@@ -1,0 +1,53 @@
+//! Plain CUDA matrix multiply: one GPU, explicit device management —
+//! what the programmer writes without OmpSs. Allocate on the device,
+//! copy A and B in, launch one GEMM per tile triple, copy C back and
+//! synchronise by hand.
+
+use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
+
+use crate::common::{gflops, run_single, AppRun, PhaseTimer};
+
+use super::{init_a, init_b, sgemm_tile, MatmulParams};
+
+/// Run the CUDA version on a single simulated GPU.
+pub fn run(spec: GpuSpec, p: MatmulParams) -> AppRun {
+    run_single("cuda-matmul", move |ctx| {
+        // Host buffers (pageable).
+        let (mut a, mut b, mut c) = if p.real {
+            let a: Vec<f32> = (0..p.matrix_elems()).map(init_a).collect();
+            let b: Vec<f32> = (0..p.matrix_elems()).map(init_b).collect();
+            (a, b, vec![0.0f32; p.matrix_elems()])
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let dev = GpuDevice::new("gpu0", spec);
+        let matrix_bytes = (p.matrix_elems() * 4) as u64;
+
+        let timer = PhaseTimer::start(ctx.now());
+        // cudaMemcpy H2D for A and B (C is write-only on the device).
+        dev.memcpy(ctx, CopyDir::H2D, matrix_bytes, false, None).unwrap();
+        dev.memcpy(ctx, CopyDir::H2D, matrix_bytes, false, None).unwrap();
+        // One kernel launch per (i, j, k); the device serialises them.
+        for i in 0..p.tiles {
+            for j in 0..p.tiles {
+                for k in 0..p.tiles {
+                    dev.launch(ctx, p.gemm_cost(), None).unwrap();
+                    if p.real {
+                        let at = a[p.tile_range(i, k)].to_vec();
+                        let bt = b[p.tile_range(k, j)].to_vec();
+                        sgemm_tile(&at, &bt, &mut c[p.tile_range(i, j)], p.bs);
+                    }
+                }
+            }
+        }
+        // cudaMemcpy D2H for the result.
+        dev.memcpy(ctx, CopyDir::D2H, matrix_bytes, false, None).unwrap();
+        let elapsed = timer.stop(ctx.now());
+
+        let _ = (&mut a, &mut b);
+        AppRun {
+            elapsed,
+            metric: gflops(p.flops(), elapsed),
+            check: if p.real { Some(c) } else { None }, report: None }
+    })
+}

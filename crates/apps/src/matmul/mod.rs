@@ -1,0 +1,128 @@
+//! Blocked single-precision matrix multiply — the paper's first
+//! benchmark (§IV-A2): 12288×12288 floats in 1024×1024 tiles, computed
+//! with CUBLAS `sgemm` per tile.
+//!
+//! The `sgemm` tile kernel below stands in for CUBLAS: all versions
+//! call it, exactly as all the paper's versions call the library. The
+//! four versions (serial / CUDA / MPI+CUDA SUMMA / OmpSs) live in their
+//! own files; Table I counts their lines.
+
+pub mod cuda;
+pub mod mpi;
+pub mod ompss;
+pub mod serial;
+
+use ompss_cudasim::KernelCost;
+
+/// Matmul workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulParams {
+    /// Tile grid dimension (matrix is `tiles × tiles` tiles).
+    pub tiles: usize,
+    /// Tile edge in elements (matrix edge = `tiles * bs`).
+    pub bs: usize,
+    /// Real data (validation) or phantom (paper-scale timing).
+    pub real: bool,
+}
+
+impl MatmulParams {
+    /// The paper's workload: 12288² floats, 1024² tiles.
+    pub fn paper() -> Self {
+        MatmulParams { tiles: 12, bs: 1024, real: false }
+    }
+
+    /// A small validated workload.
+    pub fn validate() -> Self {
+        MatmulParams { tiles: 4, bs: 16, real: true }
+    }
+
+    /// Matrix edge in elements.
+    pub fn n(&self) -> usize {
+        self.tiles * self.bs
+    }
+
+    /// Elements per tile.
+    pub fn tile_elems(&self) -> usize {
+        self.bs * self.bs
+    }
+
+    /// Elements per matrix (tile-major storage).
+    pub fn matrix_elems(&self) -> usize {
+        self.tiles * self.tiles * self.tile_elems()
+    }
+
+    /// Element range of tile `(i, j)` in tile-major storage.
+    pub fn tile_range(&self, i: usize, j: usize) -> std::ops::Range<usize> {
+        let base = (i * self.tiles + j) * self.tile_elems();
+        base..base + self.tile_elems()
+    }
+
+    /// Total floating-point operations of the full multiply.
+    pub fn flops(&self) -> f64 {
+        2.0 * (self.n() as f64).powi(3)
+    }
+
+    /// The CUBLAS-model cost of one tile GEMM (~60 % of peak on Fermi).
+    pub fn gemm_cost(&self) -> KernelCost {
+        KernelCost::compute_bound(2.0 * (self.bs as f64).powi(3), 0.6)
+    }
+}
+
+/// Deterministic initial values shared by every version, by global
+/// element index within each matrix.
+pub fn init_a(idx: usize) -> f32 {
+    ((idx % 97) as f32) * 0.01
+}
+
+/// Initial value of `B[idx]`.
+pub fn init_b(idx: usize) -> f32 {
+    ((idx % 89) as f32) * 0.02 - 0.5
+}
+
+/// The tile kernel all versions call (the stand-in for CUBLAS sgemm):
+/// `c += a × b` over row-major `bs × bs` tiles.
+pub fn sgemm_tile(a: &[f32], b: &[f32], c: &mut [f32], bs: usize) {
+    debug_assert_eq!(a.len(), bs * bs);
+    debug_assert_eq!(b.len(), bs * bs);
+    debug_assert_eq!(c.len(), bs * bs);
+    for i in 0..bs {
+        for k in 0..bs {
+            let aik = a[i * bs + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[k * bs..(k + 1) * bs];
+            let crow = &mut c[i * bs..(i + 1) * bs];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_geometry() {
+        let p = MatmulParams { tiles: 3, bs: 4, real: true };
+        assert_eq!(p.n(), 12);
+        assert_eq!(p.tile_elems(), 16);
+        assert_eq!(p.matrix_elems(), 144);
+        assert_eq!(p.tile_range(1, 2), 80..96);
+        assert_eq!(p.flops(), 2.0 * 12f64.powi(3));
+    }
+
+    #[test]
+    fn sgemm_tile_matches_naive() {
+        let bs = 4;
+        let a: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..16).map(|i| (i as f32) * 0.5).collect();
+        let mut c = vec![1.0f32; 16];
+        sgemm_tile(&a, &b, &mut c, bs);
+        // Naive check of one element: c[0][0] = 1 + sum_k a[0][k]*b[k][0]
+        let expect = 1.0 + (0..4).map(|k| a[k] * b[k * 4]).sum::<f32>();
+        assert_eq!(c[0], expect);
+    }
+}

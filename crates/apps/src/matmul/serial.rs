@@ -1,0 +1,29 @@
+//! Serial matrix multiply — the reference all other versions validate
+//! against, and the LoC baseline of Table I.
+
+use super::{init_a, init_b, sgemm_tile, MatmulParams};
+
+/// Compute `C = A × B` serially; returns C in tile-major layout.
+pub fn run(p: MatmulParams) -> Vec<f32> {
+    let mut a = vec![0.0f32; p.matrix_elems()];
+    let mut b = vec![0.0f32; p.matrix_elems()];
+    let mut c = vec![0.0f32; p.matrix_elems()];
+    for (idx, v) in a.iter_mut().enumerate() {
+        *v = init_a(idx);
+    }
+    for (idx, v) in b.iter_mut().enumerate() {
+        *v = init_b(idx);
+    }
+    for i in 0..p.tiles {
+        for j in 0..p.tiles {
+            for k in 0..p.tiles {
+                let (ar, br, cr) = (p.tile_range(i, k), p.tile_range(k, j), p.tile_range(i, j));
+                // Split borrows: copy the input tiles (small).
+                let at = a[ar].to_vec();
+                let bt = b[br].to_vec();
+                sgemm_tile(&at, &bt, &mut c[cr], p.bs);
+            }
+        }
+    }
+    c
+}

@@ -1,0 +1,53 @@
+//! Plain CUDA N-Body: one GPU, the NVIDIA-example kernel shape with
+//! explicit transfers and a device-side double buffer.
+
+use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
+
+use crate::common::{gflops, run_single, AppRun, PhaseTimer};
+
+use super::{step_block, NbodyParams};
+
+/// Run the CUDA version on one simulated GPU.
+pub fn run(spec: GpuSpec, p: NbodyParams) -> AppRun {
+    run_single("cuda-nbody", move |ctx| {
+        let (mut pos, mut vel) = if p.real {
+            let mut ps = Vec::with_capacity(4 * p.n);
+            let mut vs = Vec::with_capacity(4 * p.n);
+            for i in 0..p.n {
+                ps.extend_from_slice(&NbodyParams::init_pos(i));
+                vs.extend_from_slice(&NbodyParams::init_vel(i));
+            }
+            (ps, vs)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let dev = GpuDevice::new("gpu0", spec);
+        let pos_bytes = (4 * p.n * 4) as u64;
+
+        let timer = PhaseTimer::start(ctx.now());
+        dev.memcpy(ctx, CopyDir::H2D, pos_bytes, false, None).unwrap(); // positions
+        dev.memcpy(ctx, CopyDir::H2D, pos_bytes, false, None).unwrap(); // velocities
+        let mut next = vec![0.0f32; if p.real { 4 * p.n } else { 0 }];
+        for _ in 0..p.iters {
+            for b in 0..p.blocks {
+                dev.launch(ctx, p.kernel_cost(), None).unwrap();
+                if p.real {
+                    let bl = p.block_len();
+                    let vr = &mut vel[4 * b * bl..4 * (b + 1) * bl];
+                    let or = &mut next[4 * b * bl..4 * (b + 1) * bl];
+                    step_block(&pos, b * bl, bl, vr, or);
+                }
+            }
+            if p.real {
+                std::mem::swap(&mut pos, &mut next);
+            }
+        }
+        dev.memcpy(ctx, CopyDir::D2H, pos_bytes, false, None).unwrap();
+        let elapsed = timer.stop(ctx.now());
+
+        AppRun {
+            elapsed,
+            metric: gflops(p.flops(), elapsed),
+            check: if p.real { Some(pos) } else { None }, report: None }
+    })
+}

@@ -1,0 +1,183 @@
+//! All-pairs N-Body simulation (§IV-A2): 20 000 bodies, 10 time steps,
+//! the NVIDIA-example kernel shape. Every body's force sums over *all*
+//! bodies, so after each step the new positions must reach every GPU —
+//! the all-to-all redistribution that dominates this benchmark's
+//! communication.
+//!
+//! Positions are stored as interleaved `(x, y, z, mass)` float4s; the
+//! kernel iterates partners in global index order so every version is
+//! bit-comparable.
+
+pub mod cuda;
+pub mod mpi;
+pub mod ompss;
+pub mod serial;
+
+use ompss_cudasim::KernelCost;
+
+/// Integration time step.
+pub const DT: f32 = 0.01;
+/// Softening factor ε².
+pub const EPS2: f32 = 0.05;
+/// Interaction cost in flops (the conventional all-pairs count).
+pub const FLOPS_PER_INTERACTION: f64 = 20.0;
+
+/// N-Body workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NbodyParams {
+    /// Number of bodies.
+    pub n: usize,
+    /// Number of body blocks (task granularity).
+    pub blocks: usize,
+    /// Simulated time steps.
+    pub iters: usize,
+    /// Real data (validation) or phantom (paper scale).
+    pub real: bool,
+}
+
+impl NbodyParams {
+    /// The paper's workload: 20 000 bodies, 10 iterations.
+    pub fn paper() -> Self {
+        NbodyParams { n: 20_000, blocks: 16, iters: 10, real: false }
+    }
+
+    /// A small validated workload.
+    pub fn validate() -> Self {
+        NbodyParams { n: 256, blocks: 4, iters: 3, real: true }
+    }
+
+    /// Bodies per block.
+    pub fn block_len(&self) -> usize {
+        assert_eq!(self.n % self.blocks, 0);
+        self.n / self.blocks
+    }
+
+    /// Floats per block of positions (float4 per body).
+    pub fn block_floats(&self) -> usize {
+        self.block_len() * 4
+    }
+
+    /// Total flops over all iterations.
+    pub fn flops(&self) -> f64 {
+        FLOPS_PER_INTERACTION * (self.n as f64) * (self.n as f64) * self.iters as f64
+    }
+
+    /// Kernel cost of one block step: all-pairs over `block_len × n`.
+    pub fn kernel_cost(&self) -> KernelCost {
+        self.kernel_cost_scaled(self.block_len())
+    }
+
+    /// Kernel cost of advancing `count` bodies against all `n`.
+    pub fn kernel_cost_scaled(&self, count: usize) -> KernelCost {
+        KernelCost::compute_bound(FLOPS_PER_INTERACTION * count as f64 * self.n as f64, 0.5)
+    }
+
+    /// Deterministic initial position/mass of body `i`.
+    pub fn init_pos(i: usize) -> [f32; 4] {
+        let f = i as f32;
+        [
+            (f * 0.37).sin() * 10.0,
+            (f * 0.71).cos() * 10.0,
+            (f * 0.13).sin() * 10.0,
+            1.0 + (i % 5) as f32 * 0.25,
+        ]
+    }
+
+    /// Initial velocity of body `i`.
+    pub fn init_vel(i: usize) -> [f32; 4] {
+        let f = i as f32;
+        [(f * 0.19).cos() * 0.1, (f * 0.23).sin() * 0.1, (f * 0.29).cos() * 0.1, 0.0]
+    }
+}
+
+/// Advance one block of bodies one time step.
+///
+/// `pos_all` is the full float4 position array (all bodies, global
+/// order); `start..start + count` is this block's body range; `vel` and
+/// `pos_out` are the block's velocity and output-position float4s.
+pub fn step_block(
+    pos_all: &[f32],
+    start: usize,
+    count: usize,
+    vel: &mut [f32],
+    pos_out: &mut [f32],
+) {
+    let n = pos_all.len() / 4;
+    for i in 0..count {
+        let gi = start + i;
+        let (xi, yi, zi) = (pos_all[4 * gi], pos_all[4 * gi + 1], pos_all[4 * gi + 2]);
+        let (mut ax, mut ay, mut az) = (0.0f32, 0.0f32, 0.0f32);
+        for j in 0..n {
+            let dx = pos_all[4 * j] - xi;
+            let dy = pos_all[4 * j + 1] - yi;
+            let dz = pos_all[4 * j + 2] - zi;
+            let d2 = dx * dx + dy * dy + dz * dz + EPS2;
+            let inv = 1.0 / d2.sqrt();
+            let s = pos_all[4 * j + 3] * inv * inv * inv;
+            ax += dx * s;
+            ay += dy * s;
+            az += dz * s;
+        }
+        vel[4 * i] += ax * DT;
+        vel[4 * i + 1] += ay * DT;
+        vel[4 * i + 2] += az * DT;
+        pos_out[4 * i] = xi + vel[4 * i] * DT;
+        pos_out[4 * i + 1] = yi + vel[4 * i + 1] * DT;
+        pos_out[4 * i + 2] = zi + vel[4 * i + 2] * DT;
+        pos_out[4 * i + 3] = pos_all[4 * gi + 3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_flops() {
+        let p = NbodyParams { n: 64, blocks: 4, iters: 2, real: true };
+        assert_eq!(p.block_len(), 16);
+        assert_eq!(p.block_floats(), 64);
+        assert_eq!(p.flops(), 20.0 * 64.0 * 64.0 * 2.0);
+    }
+
+    #[test]
+    fn step_block_conserves_mass_and_moves_bodies() {
+        let n = 8;
+        let mut pos = Vec::new();
+        let mut vel = Vec::new();
+        for i in 0..n {
+            pos.extend_from_slice(&NbodyParams::init_pos(i));
+            vel.extend_from_slice(&NbodyParams::init_vel(i));
+        }
+        let mut out = vec![0.0f32; 4 * n];
+        let mut v = vel.clone();
+        step_block(&pos, 0, n, &mut v, &mut out);
+        for i in 0..n {
+            assert_eq!(out[4 * i + 3], pos[4 * i + 3], "mass preserved");
+            assert_ne!(out[4 * i], pos[4 * i], "x moved");
+        }
+    }
+
+    #[test]
+    fn blocked_equals_monolithic() {
+        let n = 16;
+        let mut pos = Vec::new();
+        let mut vel = Vec::new();
+        for i in 0..n {
+            pos.extend_from_slice(&NbodyParams::init_pos(i));
+            vel.extend_from_slice(&NbodyParams::init_vel(i));
+        }
+        // Monolithic step.
+        let mut v1 = vel.clone();
+        let mut out1 = vec![0.0f32; 4 * n];
+        step_block(&pos, 0, n, &mut v1, &mut out1);
+        // Two half blocks.
+        let mut v2 = vel.clone();
+        let mut out2 = vec![0.0f32; 4 * n];
+        let (va, vb) = v2.split_at_mut(4 * n / 2);
+        let (oa, ob) = out2.split_at_mut(4 * n / 2);
+        step_block(&pos, 0, n / 2, va, oa);
+        step_block(&pos, n / 2, n / 2, vb, ob);
+        assert_eq!(out1, out2);
+    }
+}

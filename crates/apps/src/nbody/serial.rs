@@ -1,0 +1,25 @@
+//! Serial N-Body — reference and LoC baseline.
+
+use super::{step_block, NbodyParams};
+
+/// Simulate `iters` steps serially; returns the final positions
+/// (float4 interleaved).
+pub fn run(p: NbodyParams) -> Vec<f32> {
+    let mut pos = Vec::with_capacity(4 * p.n);
+    let mut vel = Vec::with_capacity(4 * p.n);
+    for i in 0..p.n {
+        pos.extend_from_slice(&NbodyParams::init_pos(i));
+        vel.extend_from_slice(&NbodyParams::init_vel(i));
+    }
+    let mut next = vec![0.0f32; 4 * p.n];
+    for _ in 0..p.iters {
+        let bl = p.block_len();
+        for b in 0..p.blocks {
+            let vr = &mut vel[4 * b * bl..4 * (b + 1) * bl];
+            let or = &mut next[4 * b * bl..4 * (b + 1) * bl];
+            step_block(&pos, b * bl, bl, vr, or);
+        }
+        std::mem::swap(&mut pos, &mut next);
+    }
+    pos
+}

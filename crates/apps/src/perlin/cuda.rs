@@ -1,0 +1,47 @@
+//! Plain CUDA Perlin filter: one GPU, explicit management. The Flush
+//! variant copies the image back to the host after every step.
+
+use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
+
+use crate::common::{mpixels, run_single, AppRun, PhaseTimer};
+
+use super::{filter_block, PerlinParams};
+
+/// Run the CUDA version on one simulated GPU.
+pub fn run(spec: GpuSpec, p: PerlinParams, flush: bool) -> AppRun {
+    run_single("cuda-perlin", move |ctx| {
+        let mut image: Vec<u32> =
+            if p.real { (0..p.pixels()).map(PerlinParams::init_pixel).collect() } else { Vec::new() };
+        let dev = GpuDevice::new("gpu0", spec);
+        let image_bytes = (p.pixels() * 4) as u64;
+
+        let timer = PhaseTimer::start(ctx.now());
+        dev.memcpy(ctx, CopyDir::H2D, image_bytes, false, None).unwrap();
+        for step in 0..p.steps {
+            for b in 0..p.blocks() {
+                dev.launch(ctx, p.kernel_cost(), None).unwrap();
+                if p.real {
+                    let row0 = b * p.rows_per_block;
+                    let range = row0 * p.width..(row0 + p.rows_per_block) * p.width;
+                    filter_block(&mut image[range], row0, p.width, step as u32);
+                }
+            }
+            if flush {
+                dev.memcpy(ctx, CopyDir::D2H, image_bytes, false, None).unwrap();
+            }
+        }
+        if !flush {
+            dev.memcpy(ctx, CopyDir::D2H, image_bytes, false, None).unwrap();
+        }
+        let elapsed = timer.stop(ctx.now());
+
+        AppRun {
+            elapsed,
+            metric: mpixels(p.total_pixels(), elapsed),
+            check: if p.real {
+                Some(image.into_iter().map(f32::from_bits).collect())
+            } else {
+                None
+            }, report: None }
+    })
+}

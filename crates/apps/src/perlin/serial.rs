@@ -1,0 +1,16 @@
+//! Serial Perlin filter — reference and LoC baseline.
+
+use super::{filter_block, PerlinParams};
+
+/// Apply `steps` filter passes serially; returns the final image.
+pub fn run(p: PerlinParams) -> Vec<u32> {
+    let mut image: Vec<u32> = (0..p.pixels()).map(PerlinParams::init_pixel).collect();
+    for step in 0..p.steps {
+        for b in 0..p.blocks() {
+            let row0 = b * p.rows_per_block;
+            let range = row0 * p.width..(row0 + p.rows_per_block) * p.width;
+            filter_block(&mut image[range], row0, p.width, step as u32);
+        }
+    }
+    image
+}

@@ -1,0 +1,67 @@
+//! Plain CUDA STREAM: one GPU, hand-written copies and kernel launches
+//! (the paper's CUDA version came from the original source plus
+//! hand-made kernels).
+
+use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
+
+use crate::common::{gbs, run_single, AppRun, PhaseTimer};
+
+use super::{kernels, StreamParams};
+
+/// Run the CUDA version on a single simulated GPU.
+pub fn run(spec: GpuSpec, p: StreamParams) -> AppRun {
+    run_single("cuda-stream", move |ctx| {
+        let mut a: Vec<f64> = if p.real { (0..p.n).map(StreamParams::init_a).collect() } else { Vec::new() };
+        let mut b: Vec<f64> = if p.real { (0..p.n).map(StreamParams::init_b).collect() } else { Vec::new() };
+        let mut c: Vec<f64> = if p.real { vec![0.0; p.n] } else { Vec::new() };
+        let dev = GpuDevice::new("gpu0", spec);
+        let array_bytes = (p.n * 8) as u64;
+
+        // STREAM methodology: only the kernel sweeps are timed.
+        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
+        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
+        let timer = PhaseTimer::start(ctx.now());
+        for _ in 0..p.ntimes {
+            for j in (0..p.n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
+                if p.real {
+                    kernels::copy(&a[j..j + p.bsize].to_vec(), &mut c[j..j + p.bsize]);
+                }
+            }
+            for j in (0..p.n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
+                if p.real {
+                    kernels::scale(&c[j..j + p.bsize].to_vec(), &mut b[j..j + p.bsize]);
+                }
+            }
+            for j in (0..p.n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
+                if p.real {
+                    let (av, bv) = (a[j..j + p.bsize].to_vec(), b[j..j + p.bsize].to_vec());
+                    kernels::add(&av, &bv, &mut c[j..j + p.bsize]);
+                }
+            }
+            for j in (0..p.n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
+                if p.real {
+                    let (bv, cv) = (b[j..j + p.bsize].to_vec(), c[j..j + p.bsize].to_vec());
+                    kernels::triad(&bv, &cv, &mut a[j..j + p.bsize]);
+                }
+            }
+        }
+        let elapsed = timer.stop(ctx.now());
+        for _ in 0..3 {
+            dev.memcpy(ctx, CopyDir::D2H, array_bytes, false, None).unwrap();
+        }
+
+        let check = if p.real {
+            let mut all: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+            all.extend(b.iter().map(|&x| x as f32));
+            all.extend(c.iter().map(|&x| x as f32));
+            Some(all)
+        } else {
+            None
+        };
+        AppRun { elapsed, metric: gbs(p.total_bytes(), elapsed), check, report: None }
+    })
+}

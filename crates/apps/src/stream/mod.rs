@@ -1,0 +1,134 @@
+//! The STREAM benchmark (§IV-A2, Figure 2 of the paper): four
+//! memory-bound kernels — `copy`, `scale`, `add`, `triad` — swept
+//! `NTIMES` over three double-precision arrays, blocked so each task
+//! covers `BSIZE` elements. The paper allocated 768 MB per GPU.
+
+pub mod cuda;
+pub mod mpi;
+pub mod ompss;
+pub mod serial;
+
+use ompss_cudasim::KernelCost;
+
+/// STREAM scalar constant.
+pub const SCALAR: f64 = 3.0;
+
+/// STREAM workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamParams {
+    /// Elements per array (doubles).
+    pub n: usize,
+    /// Elements per task block.
+    pub bsize: usize,
+    /// Sweep count (`NTIMES`).
+    pub ntimes: usize,
+    /// Real data (validation) or phantom (paper scale).
+    pub real: bool,
+}
+
+impl StreamParams {
+    /// The paper's workload scaled to `gpus` devices: 768 MB of arrays
+    /// per GPU (32 M doubles per array per GPU), 32 MB blocks.
+    pub fn paper(gpus: usize) -> Self {
+        StreamParams { n: gpus * 32 << 20, bsize: 4 << 20, ntimes: 4, real: false }
+    }
+
+    /// A small validated workload.
+    pub fn validate() -> Self {
+        StreamParams { n: 4096, bsize: 512, ntimes: 2, real: true }
+    }
+
+    /// Number of blocks per array.
+    pub fn blocks(&self) -> usize {
+        assert_eq!(self.n % self.bsize, 0);
+        self.n / self.bsize
+    }
+
+    /// Total bytes the four kernels move per sweep (STREAM counts
+    /// 2+2+3+3 array touches of 8 bytes each).
+    pub fn sweep_bytes(&self) -> f64 {
+        10.0 * self.n as f64 * 8.0
+    }
+
+    /// Total bytes across all sweeps (the bandwidth metric numerator).
+    pub fn total_bytes(&self) -> f64 {
+        self.sweep_bytes() * self.ntimes as f64
+    }
+
+    /// Device-memory traffic cost of one kernel over one block;
+    /// `arrays` is how many arrays the kernel touches.
+    pub fn kernel_cost(&self, arrays: u32) -> KernelCost {
+        KernelCost::memory_bound(arrays as f64 * self.bsize as f64 * 8.0, 0.8)
+    }
+
+    /// Initial values shared by all versions.
+    pub fn init_a(i: usize) -> f64 {
+        1.0 + (i % 7) as f64
+    }
+
+    /// Initial `b` value.
+    pub fn init_b(_i: usize) -> f64 {
+        2.0
+    }
+}
+
+/// Host reference kernels (what the GPU kernels compute).
+pub mod kernels {
+    use super::SCALAR;
+
+    /// `c = a`.
+    pub fn copy(a: &[f64], c: &mut [f64]) {
+        c.copy_from_slice(a);
+    }
+
+    /// `b = SCALAR * c`.
+    pub fn scale(c: &[f64], b: &mut [f64]) {
+        for (bv, cv) in b.iter_mut().zip(c) {
+            *bv = SCALAR * cv;
+        }
+    }
+
+    /// `c = a + b`.
+    pub fn add(a: &[f64], b: &[f64], c: &mut [f64]) {
+        for ((cv, av), bv) in c.iter_mut().zip(a).zip(b) {
+            *cv = av + bv;
+        }
+    }
+
+    /// `a = b + SCALAR * c`.
+    pub fn triad(b: &[f64], c: &[f64], a: &mut [f64]) {
+        for ((av, bv), cv) in a.iter_mut().zip(b).zip(c) {
+            *av = bv + SCALAR * cv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_bytes() {
+        let p = StreamParams { n: 1024, bsize: 256, ntimes: 3, real: true };
+        assert_eq!(p.blocks(), 4);
+        assert_eq!(p.sweep_bytes(), 10.0 * 1024.0 * 8.0);
+        assert_eq!(p.total_bytes(), 3.0 * 10.0 * 1024.0 * 8.0);
+    }
+
+    #[test]
+    fn kernels_compute_stream_ops() {
+        let a = vec![1.0, 2.0];
+        let b = vec![10.0, 20.0];
+        let mut c = vec![0.0, 0.0];
+        kernels::copy(&a, &mut c);
+        assert_eq!(c, vec![1.0, 2.0]);
+        let mut b2 = vec![0.0; 2];
+        kernels::scale(&c, &mut b2);
+        assert_eq!(b2, vec![3.0, 6.0]);
+        kernels::add(&a, &b, &mut c);
+        assert_eq!(c, vec![11.0, 22.0]);
+        let mut a2 = vec![0.0; 2];
+        kernels::triad(&b, &c, &mut a2);
+        assert_eq!(a2, vec![43.0, 86.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! MPI+CUDA STREAM: each rank owns an equal slice of the arrays and
+//! runs the kernels on its own GPU — no inter-node communication, as in
+//! the paper's version (based on the original MPI STREAM).
+
+use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
+use ompss_net::FabricConfig;
+
+use crate::common::{gbs, run_mpi_ranks, AppRun, PhaseTimer};
+
+use super::{kernels, StreamParams};
+
+/// Run the MPI+CUDA version on `nodes` single-GPU ranks. `p.n` is the
+/// global array length; each rank owns `n / nodes` elements.
+pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: StreamParams) -> AppRun {
+    assert_eq!(p.n % nodes as usize, 0);
+    let local_n = p.n / nodes as usize;
+    assert_eq!(local_n % p.bsize, 0);
+    let results = run_mpi_ranks(nodes, fabric, move |rank, ctx| {
+        let base = rank.rank() as usize * local_n;
+        let mut a: Vec<f64> =
+            if p.real { (0..local_n).map(|i| StreamParams::init_a(base + i)).collect() } else { Vec::new() };
+        let mut b: Vec<f64> =
+            if p.real { (0..local_n).map(|i| StreamParams::init_b(base + i)).collect() } else { Vec::new() };
+        let mut c: Vec<f64> = if p.real { vec![0.0; local_n] } else { Vec::new() };
+        let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
+        let array_bytes = (local_n * 8) as u64;
+
+        // STREAM methodology: the one-time transfers sit outside the
+        // timed region; only the kernel sweeps are measured.
+        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
+        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
+        rank.barrier(ctx, 1).unwrap();
+        let timer = PhaseTimer::start(ctx.now());
+        for _ in 0..p.ntimes {
+            for j in (0..local_n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
+                if p.real {
+                    kernels::copy(&a[j..j + p.bsize].to_vec(), &mut c[j..j + p.bsize]);
+                }
+            }
+            for j in (0..local_n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
+                if p.real {
+                    kernels::scale(&c[j..j + p.bsize].to_vec(), &mut b[j..j + p.bsize]);
+                }
+            }
+            for j in (0..local_n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
+                if p.real {
+                    let (av, bv) = (a[j..j + p.bsize].to_vec(), b[j..j + p.bsize].to_vec());
+                    kernels::add(&av, &bv, &mut c[j..j + p.bsize]);
+                }
+            }
+            for j in (0..local_n).step_by(p.bsize) {
+                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
+                if p.real {
+                    let (bv, cv) = (b[j..j + p.bsize].to_vec(), c[j..j + p.bsize].to_vec());
+                    kernels::triad(&bv, &cv, &mut a[j..j + p.bsize]);
+                }
+            }
+        }
+        rank.barrier(ctx, 2).unwrap();
+        let elapsed = timer.stop(ctx.now());
+        for _ in 0..3 {
+            dev.memcpy(ctx, CopyDir::D2H, array_bytes, false, None).unwrap();
+        }
+        (elapsed, a, b, c)
+    });
+
+    let elapsed = results.iter().map(|(e, _, _, _)| *e).max().unwrap();
+    let check = if p.real {
+        let mut all: Vec<f32> = Vec::with_capacity(3 * p.n);
+        for (_, a, _, _) in &results {
+            all.extend(a.iter().map(|&x| x as f32));
+        }
+        for (_, _, b, _) in &results {
+            all.extend(b.iter().map(|&x| x as f32));
+        }
+        for (_, _, _, c) in &results {
+            all.extend(c.iter().map(|&x| x as f32));
+        }
+        Some(all)
+    } else {
+        None
+    };
+    AppRun { elapsed, metric: gbs(p.total_bytes(), elapsed), check, report: None }
+}

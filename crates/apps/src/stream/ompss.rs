@@ -1,0 +1,107 @@
+//! OmpSs STREAM — Figure 2 of the paper verbatim: the four kernels are
+//! annotated function tasks with `input`/`output` clauses per block;
+//! the runtime chains them through the dependence graph and spreads
+//! blocks over the GPUs. The kernels are memory-bound, so the runtime's
+//! footprint-derived default cost applies.
+
+use ompss_runtime::{task_views, Device, Runtime, RuntimeConfig, TaskSpec};
+
+use crate::common::{gbs, AppRun, PhaseTimer};
+
+use super::{kernels, StreamParams};
+
+/// Run the OmpSs version; measures the `ntimes` sweeps.
+pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
+    let out2 = out.clone();
+    let rep = Runtime::run(cfg, move |omp| {
+        let a = omp.alloc_array::<f64>(p.n);
+        let b = omp.alloc_array::<f64>(p.n);
+        let c = omp.alloc_array::<f64>(p.n);
+        // As in the original STREAM, the arrays are initialised in
+        // parallel — by tasks, which also places the blocks on devices.
+        for j in (0..p.n).step_by(p.bsize) {
+            let (ra, rb) = (a.region(j..j + p.bsize), b.region(j..j + p.bsize));
+            omp.submit(TaskSpec::new("init").device(Device::Cuda).output(ra).output(rb).body(
+                move |v| {
+                    task_views!(v => av: f64, bv: f64);
+                    for (off, x) in av.iter_mut().enumerate() {
+                        *x = StreamParams::init_a(j + off);
+                    }
+                    for (off, x) in bv.iter_mut().enumerate() {
+                        *x = StreamParams::init_b(j + off);
+                    }
+                },
+            ));
+        }
+
+        // One annotated task per blocked kernel invocation, exactly as
+        // in the paper's Figure 2 (two pragma lines per kernel there,
+        // one clause chain here).
+        let timer = PhaseTimer::start(omp.now());
+        for _ in 0..p.ntimes {
+            for j in (0..p.n).step_by(p.bsize) {
+                let (ra, rc) = (a.region(j..j + p.bsize), c.region(j..j + p.bsize));
+                omp.submit(TaskSpec::new("copy").device(Device::Cuda).input(ra).output(rc).body(
+                    |v| {
+                        task_views!(v => av: f64, cv: f64);
+                        kernels::copy(av, cv);
+                    },
+                ));
+            }
+            for j in (0..p.n).step_by(p.bsize) {
+                let (rc, rb) = (c.region(j..j + p.bsize), b.region(j..j + p.bsize));
+                omp.submit(TaskSpec::new("scale").device(Device::Cuda).input(rc).output(rb).body(
+                    |v| {
+                        task_views!(v => cv: f64, bv: f64);
+                        kernels::scale(cv, bv);
+                    },
+                ));
+            }
+            for j in (0..p.n).step_by(p.bsize) {
+                let (ra, rb) = (a.region(j..j + p.bsize), b.region(j..j + p.bsize));
+                let rc = c.region(j..j + p.bsize);
+                omp.submit(
+                    TaskSpec::new("add").device(Device::Cuda).input(ra).input(rb).output(rc).body(
+                        |v| {
+                            task_views!(v => av: f64, bv: f64, cv: f64);
+                            kernels::add(av, bv, cv);
+                        },
+                    ),
+                );
+            }
+            for j in (0..p.n).step_by(p.bsize) {
+                let (rb, rc) = (b.region(j..j + p.bsize), c.region(j..j + p.bsize));
+                let ra = a.region(j..j + p.bsize);
+                omp.submit(
+                    TaskSpec::new("triad").device(Device::Cuda).input(rb).input(rc).output(ra)
+                        .body(|v| {
+                            task_views!(v => bv: f64, cv: f64, av: f64);
+                            kernels::triad(bv, cv, av);
+                        }),
+                );
+            }
+        }
+        omp.taskwait_noflush();
+        let elapsed = timer.stop(omp.now());
+        omp.taskwait(); // flush for validation, outside the timed phase
+
+        let check = if p.real {
+            let mut all = omp.read_array(&a, 0..p.n).unwrap();
+            all.extend(omp.read_array(&b, 0..p.n).unwrap());
+            all.extend(omp.read_array(&c, 0..p.n).unwrap());
+            Some(all.into_iter().map(|x| x as f32).collect())
+        } else {
+            None
+        };
+        *out2.lock() = Some(AppRun {
+            elapsed,
+            metric: gbs(p.total_bytes(), elapsed),
+            check,
+            report: None,
+        });
+    });
+    let mut r = out.lock().take().unwrap();
+    r.report = Some(rep);
+    r
+}

@@ -1,0 +1,30 @@
+//! Serial STREAM — the reference and LoC baseline.
+
+use super::{kernels, StreamParams};
+
+/// Run STREAM serially; returns the final `(a, b, c)` arrays.
+pub fn run(p: StreamParams) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut a: Vec<f64> = (0..p.n).map(StreamParams::init_a).collect();
+    let mut b: Vec<f64> = (0..p.n).map(StreamParams::init_b).collect();
+    let mut c = vec![0.0f64; p.n];
+    for _ in 0..p.ntimes {
+        for j in (0..p.n).step_by(p.bsize) {
+            kernels::copy(&a[j..j + p.bsize], &mut c[j..j + p.bsize]);
+        }
+        for j in (0..p.n).step_by(p.bsize) {
+            let (cs, bs) = (c[j..j + p.bsize].to_vec(), &mut b[j..j + p.bsize]);
+            kernels::scale(&cs, bs);
+        }
+        for j in (0..p.n).step_by(p.bsize) {
+            let asl = a[j..j + p.bsize].to_vec();
+            let bsl = b[j..j + p.bsize].to_vec();
+            kernels::add(&asl, &bsl, &mut c[j..j + p.bsize]);
+        }
+        for j in (0..p.n).step_by(p.bsize) {
+            let bsl = b[j..j + p.bsize].to_vec();
+            let csl = c[j..j + p.bsize].to_vec();
+            kernels::triad(&bsl, &csl, &mut a[j..j + p.bsize]);
+        }
+    }
+    (a, b, c)
+}

@@ -1,0 +1,59 @@
+//! Criterion end-to-end benchmarks: one representative configuration
+//! per evaluation figure, at paper scale. These measure the *simulator's*
+//! wall-clock cost of regenerating each figure point (the virtual-time
+//! results themselves are deterministic), and double as ablation
+//! benches: a change to the scheduler, coherence engine or cluster
+//! protocol shows up here as a simulation-speed or result change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ompss_apps::matmul::{self, ompss::InitMode, MatmulParams};
+use ompss_apps::{nbody, perlin, stream};
+use ompss_runtime::{Backing, CachePolicy, RuntimeConfig, SlaveRouting};
+
+fn phantom_mg(gpus: u32) -> RuntimeConfig {
+    RuntimeConfig::multi_gpu(gpus).with_backing(Backing::Phantom)
+}
+
+fn phantom_cl(nodes: u32) -> RuntimeConfig {
+    RuntimeConfig::gpu_cluster(nodes)
+        .with_backing(Backing::Phantom)
+        .with_routing(SlaveRouting::Direct)
+        .with_presend(8)
+}
+
+fn fig_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure-points");
+    g.sample_size(10);
+
+    g.bench_function("fig05-matmul-4gpu-wb", |b| {
+        b.iter(|| matmul::ompss::run(phantom_mg(4), MatmulParams::paper(), InitMode::Seq))
+    });
+    g.bench_function("fig05-matmul-4gpu-nocache", |b| {
+        b.iter(|| {
+            matmul::ompss::run(
+                phantom_mg(4).with_cache(CachePolicy::NoCache),
+                MatmulParams::paper(),
+                InitMode::Seq,
+            )
+        })
+    });
+    g.bench_function("fig06-stream-4gpu-wb", |b| {
+        b.iter(|| stream::ompss::run(phantom_mg(4), stream::StreamParams::paper(4)))
+    });
+    g.bench_function("fig07-perlin-4gpu-noflush", |b| {
+        b.iter(|| perlin::ompss::run(phantom_mg(4), perlin::PerlinParams::paper(), false))
+    });
+    g.bench_function("fig09-matmul-8node-best", |b| {
+        b.iter(|| matmul::ompss::run(phantom_cl(8), MatmulParams::paper(), InitMode::Smp))
+    });
+    g.bench_function("fig13-nbody-8node", |b| {
+        b.iter(|| {
+            nbody::ompss::run(phantom_cl(8).with_presend(1), nbody::NbodyParams::paper())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig_points);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Criterion micro-benchmarks of the runtime's building blocks: the
+//! DES engine's event throughput, channel hand-offs, dependence-graph
+//! maintenance, scheduler decisions and the coherence fast path. These
+//! are the per-task overheads behind every simulated experiment, so
+//! regressions here inflate every figure's wall-clock cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use ompss_core::{AccessExt, TaskGraph, TaskId};
+use ompss_mem::{Access, Backing, DataId, MemoryManager, Region, SpaceKind};
+use ompss_sched::{NoLocality, Policy, ResourceInfo, ResourceKind, Scheduler};
+use ompss_sim::{Channel, Sim, SimDuration};
+
+fn des_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des-engine");
+    // 1000 delay events through the kernel: measures the handshake cost
+    // that dominates simulation wall-clock.
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("delay-events-x1000", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.spawn("p", |ctx| {
+                for _ in 0..1000 {
+                    ctx.delay(SimDuration::from_nanos(1)).unwrap();
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    // Process spawn/teardown cost.
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("spawn-join-x100", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..100 {
+                sim.spawn(format!("p{i}"), |ctx| {
+                    ctx.delay(SimDuration::from_nanos(1)).unwrap();
+                });
+            }
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn channels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-channel");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("pingpong-x1000", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let a: Channel<u32> = Channel::new();
+            let bq: Channel<u32> = Channel::new();
+            let (a1, b1) = (a.clone(), bq.clone());
+            sim.spawn("ping", move |ctx| {
+                for i in 0..1000 {
+                    a1.send(&ctx, i);
+                    b1.recv(&ctx).unwrap();
+                }
+            });
+            sim.spawn_daemon("pong", move |ctx| {
+                while let Ok(v) = a.recv(&ctx) {
+                    bq.send(&ctx, v);
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn task_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task-graph");
+    // A matmul-shaped graph: 8x8 tile grid, 8-deep chains.
+    let accesses: Vec<Vec<Access>> = {
+        let mut v = Vec::new();
+        let reg = |d: u64, i: usize, j: usize| Region::new(DataId(d), ((i * 8 + j) * 64) as u64, 64);
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    v.push(vec![
+                        Access::read(reg(0, i, k)),
+                        Access::read(reg(1, k, j)),
+                        Access::update(reg(2, i, j)),
+                    ]);
+                }
+            }
+        }
+        v
+    };
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    g.bench_function("matmul-shape-add-complete-512", |b| {
+        b.iter_batched(
+            || accesses.clone(),
+            |accs| {
+                let mut graph = TaskGraph::new();
+                let mut ready = Vec::new();
+                for (i, a) in accs.iter().enumerate() {
+                    if graph.add_task(TaskId(i as u64), a).unwrap() {
+                        ready.push(TaskId(i as u64));
+                    }
+                }
+                let mut idx = 0;
+                while idx < ready.len() {
+                    let t = ready[idx];
+                    idx += 1;
+                    ready.extend(graph.complete(t));
+                }
+                assert_eq!(ready.len(), accs.len());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    for policy in [Policy::BreadthFirst, Policy::Dependencies, Policy::Affinity] {
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function(format!("submit-next-x1000-{}", policy.chart_label()), |b| {
+            b.iter(|| {
+                let mut s = Scheduler::new(policy);
+                let res: Vec<_> = (0..4)
+                    .map(|i| {
+                        s.register(ResourceInfo {
+                            kind: ResourceKind::GpuManager,
+                            space: ompss_mem::SpaceId(i),
+                            steal_group: 0,
+                        })
+                    })
+                    .collect();
+                for i in 0..1000u64 {
+                    let desc = ompss_core::TaskDesc {
+                        id: TaskId(i),
+                        label: String::new(),
+                        device: ompss_core::Device::Cuda,
+                        deps: vec![Access::update(Region::new(DataId(i % 16), 0, 64))],
+                        copy_deps: true,
+                        extra_copies: vec![],
+                        priority: 0,
+                    };
+                    s.submit(&desc, &NoLocality);
+                }
+                let mut n = 0;
+                'outer: loop {
+                    for &r in &res {
+                        if s.next(r).is_some() {
+                            n += 1;
+                        } else if s.queued() == 0 {
+                            break 'outer;
+                        }
+                    }
+                }
+                assert_eq!(n, 1000);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn coherence_fast_path(c: &mut Criterion) {
+    use ompss_coherence::{CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec};
+    use ompss_sim::{Ctx, SimResult};
+
+    struct NullExec;
+    impl TransferExec for NullExec {
+        fn transfer(
+            &self,
+            ctx: &Ctx,
+            _k: HopKind,
+            _s: Loc,
+            _d: Loc,
+            bytes: u64,
+        ) -> SimResult<()> {
+            ctx.delay(SimDuration::from_nanos(bytes))
+        }
+    }
+
+    let mut g = c.benchmark_group("coherence");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("acquire-commit-hit-x1000", |b| {
+        b.iter(|| {
+            let mem = Arc::new(MemoryManager::new(Backing::Phantom));
+            let host = mem.add_space("h", SpaceKind::Host(0), None, 1 << 30);
+            let gpu = mem.add_space("g", SpaceKind::Gpu(0, 0), Some(host), 1 << 30);
+            let mut topo = Topology::new(host, SlaveRouting::Direct);
+            topo.add_gpu(gpu, host);
+            let coh = Arc::new(Coherence::new(mem.clone(), topo, CachePolicy::WriteBack));
+            let data = mem.register_data(64, host).unwrap();
+            let region = Region::new(data, 0, 64);
+            let sim = Sim::new();
+            sim.spawn("p", move |ctx| {
+                for _ in 0..1000 {
+                    coh.acquire(&ctx, &NullExec, &region, true, gpu).unwrap();
+                    coh.commit(&ctx, &NullExec, &[Access::inout(region)], gpu).unwrap();
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, des_engine, channels, task_graph, scheduler, coherence_fast_path);
+criterion_main!(benches);

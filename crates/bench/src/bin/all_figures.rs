@@ -1,0 +1,22 @@
+//! Regenerates every figure and table of the paper's evaluation,
+//! printing each and saving JSON under `results/`.
+fn main() {
+    let dir = ompss_bench::results_dir();
+    let figs = [
+        ompss_bench::figures::fig05(),
+        ompss_bench::figures::fig06(),
+        ompss_bench::figures::fig07(),
+        ompss_bench::figures::fig08(),
+        ompss_bench::figures::fig09(),
+        ompss_bench::figures::fig10(),
+        ompss_bench::figures::fig11(),
+        ompss_bench::figures::fig12(),
+        ompss_bench::figures::fig13(),
+        ompss_bench::figures::table1(),
+    ];
+    for fig in &figs {
+        fig.print();
+        fig.save(&dir);
+    }
+    println!("saved {} result files to {}", figs.len(), dir.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13 of the paper; prints the table and saves
+//! JSON under `results/`.
+fn main() {
+    let fig = ompss_bench::figures::fig13();
+    fig.print();
+    fig.save(&ompss_bench::results_dir());
+}

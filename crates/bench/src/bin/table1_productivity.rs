@@ -1,0 +1,7 @@
+//! Regenerates Table I of the paper (lines-of-code productivity
+//! comparison) from this repository's own sources.
+fn main() {
+    let fig = ompss_bench::figures::table1();
+    fig.print();
+    fig.save(&ompss_bench::results_dir());
+}

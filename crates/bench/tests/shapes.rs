@@ -1,0 +1,304 @@
+//! Shape certification: the paper's qualitative claims, asserted
+//! against paper-scale runs of the harness configurations. These are
+//! the reproduction criteria of EXPERIMENTS.md in executable form.
+//!
+//! Absolute values are platform-model-dependent; every assertion here
+//! is about *ordering* or *ratio* — who wins, what scales, what
+//! collapses.
+
+use ompss_apps::matmul::{self, ompss::InitMode, MatmulParams};
+use ompss_apps::{nbody, perlin, stream};
+use ompss_cudasim::GpuSpec;
+use ompss_net::FabricConfig;
+use ompss_runtime::{Backing, CachePolicy, Policy, RuntimeConfig, SlaveRouting};
+
+fn mg(gpus: u32) -> RuntimeConfig {
+    RuntimeConfig::multi_gpu(gpus).with_backing(Backing::Phantom)
+}
+
+fn cl(nodes: u32) -> RuntimeConfig {
+    RuntimeConfig::gpu_cluster(nodes).with_backing(Backing::Phantom)
+}
+
+// ----------------------------------------------------------- Fig 5
+
+#[test]
+fn fig05_cache_policy_ordering_on_matmul() {
+    let p = MatmulParams::paper();
+    let run = |cache| matmul::ompss::run(mg(4).with_cache(cache), p, InitMode::Seq).metric;
+    let nocache = run(CachePolicy::NoCache);
+    let wt = run(CachePolicy::WriteThrough);
+    let wb = run(CachePolicy::WriteBack);
+    assert!(nocache < wt, "no cache ({nocache:.0}) must trail write-through ({wt:.0})");
+    assert!(wt < wb, "write-through ({wt:.0}) must trail write-back ({wb:.0})");
+    assert!(wb > 1.5 * nocache, "data reuse should be worth >1.5x on matmul");
+}
+
+#[test]
+fn fig05_dependency_aware_schedulers_beat_bf_at_4_gpus() {
+    let p = MatmulParams::paper();
+    let run = |sched| matmul::ompss::run(mg(4).with_sched(sched), p, InitMode::Seq).metric;
+    let bf = run(Policy::BreadthFirst);
+    let dep = run(Policy::Dependencies);
+    let aff = run(Policy::Affinity);
+    assert!(dep > 1.3 * bf, "dependencies ({dep:.0}) should clearly beat bf ({bf:.0})");
+    assert!(aff > 1.3 * bf, "affinity ({aff:.0}) should clearly beat bf ({bf:.0})");
+}
+
+// ----------------------------------------------------------- Fig 6
+
+#[test]
+fn fig06_stream_writeback_dominates_and_schedulers_tie() {
+    let p = stream::StreamParams::paper(4);
+    let run = |cache, sched| {
+        stream::ompss::run(mg(4).with_cache(cache).with_sched(sched), p).metric
+    };
+    let wb = run(CachePolicy::WriteBack, Policy::Dependencies);
+    let wt = run(CachePolicy::WriteThrough, Policy::Dependencies);
+    let nocache = run(CachePolicy::NoCache, Policy::Dependencies);
+    assert!(wb > 5.0 * wt, "wb ({wb:.0}) must dwarf wt ({wt:.0}) on STREAM");
+    assert!(wb > 5.0 * nocache, "wb ({wb:.0}) must dwarf nocache ({nocache:.0})");
+    // "Every scheduler performs well enough": within 10% of each other.
+    let bf = run(CachePolicy::WriteBack, Policy::BreadthFirst);
+    let aff = run(CachePolicy::WriteBack, Policy::Affinity);
+    for (label, v) in [("bf", bf), ("affinity", aff)] {
+        assert!(
+            (v - wb).abs() < 0.1 * wb,
+            "{label} ({v:.0}) should be within 10% of default ({wb:.0}) on STREAM"
+        );
+    }
+}
+
+#[test]
+fn fig06_stream_scales_with_gpus_under_writeback() {
+    let run = |gpus: u32| {
+        stream::ompss::run(mg(gpus), stream::StreamParams::paper(gpus as usize)).metric
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(four > 3.5 * one, "4 GPUs ({four:.0}) should near-linearly scale 1 GPU ({one:.0})");
+}
+
+// ----------------------------------------------------------- Fig 7
+
+#[test]
+fn fig07_noflush_beats_flush_and_caching_pays() {
+    let p = perlin::PerlinParams::paper();
+    let cfg = || mg(4).with_sched(Policy::Affinity);
+    let noflush_wb = perlin::ompss::run(cfg(), p, false).metric;
+    let flush_wb = perlin::ompss::run(cfg(), p, true).metric;
+    let noflush_nc = perlin::ompss::run(cfg().with_cache(CachePolicy::NoCache), p, false).metric;
+    assert!(
+        noflush_wb > 2.0 * flush_wb,
+        "NoFlush ({noflush_wb:.0}) must far exceed Flush ({flush_wb:.0})"
+    );
+    assert!(
+        noflush_wb > 2.0 * noflush_nc,
+        "caching ({noflush_wb:.0}) must pay off vs nocache ({noflush_nc:.0})"
+    );
+}
+
+// ----------------------------------------------------------- Fig 8
+
+#[test]
+fn fig08_nbody_scales_and_nocache_is_competitive_under_pressure() {
+    let p = nbody::NbodyParams { n: 20_000, blocks: 4, iters: 10, real: false };
+    let run = |cache, gpus: u32| {
+        nbody::ompss::run(mg(gpus).with_cache(cache).with_gpu_mem(1 << 20), p).metric
+    };
+    // Under memory pressure the policies converge: no-cache stays within
+    // a few percent of write-back (the paper reports it winning; see
+    // EXPERIMENTS.md for the deviation analysis).
+    let nc = run(CachePolicy::NoCache, 4);
+    let wb = run(CachePolicy::WriteBack, 4);
+    assert!(nc > 0.9 * wb, "nocache ({nc:.0}) must be competitive with wb ({wb:.0})");
+    // Secondary claim: good scalability with 2 and 4 GPUs.
+    let one = run(CachePolicy::NoCache, 1);
+    let four = run(CachePolicy::NoCache, 4);
+    assert!(four > 3.0 * one, "4 GPUs ({four:.0}) should scale 1 GPU ({one:.0}) well");
+}
+
+// ----------------------------------------------------------- Fig 9
+
+#[test]
+fn fig09_slave_to_slave_transfers_are_a_must() {
+    let p = MatmulParams::paper();
+    let run = |routing| {
+        matmul::ompss::run(cl(8).with_routing(routing).with_presend(8), p, InitMode::Smp).metric
+    };
+    let stos = run(SlaveRouting::Direct);
+    let mtos = run(SlaveRouting::ViaMaster);
+    assert!(stos > 1.25 * mtos, "StoS ({stos:.0}) must clearly beat MtoS ({mtos:.0}) at 8 nodes");
+}
+
+#[test]
+fn fig09_parallel_initialisation_is_critical() {
+    let p = MatmulParams::paper();
+    let run = |init| {
+        matmul::ompss::run(
+            cl(8).with_routing(SlaveRouting::Direct).with_presend(8),
+            p,
+            init,
+        )
+        .metric
+    };
+    let seq = run(InitMode::Seq);
+    let smp = run(InitMode::Smp);
+    let gpu = run(InitMode::Gpu);
+    assert!(smp > 1.4 * seq, "smp init ({smp:.0}) must far exceed seq init ({seq:.0})");
+    assert!(gpu > 1.2 * seq, "gpu init ({gpu:.0}) must beat seq init ({seq:.0})");
+    // The paper reports smp init generally ahead of gpu init; in our
+    // model they are close, with gpu init sometimes ahead (the
+    // GPU-resident placement saves later H2D transfers) — recorded as a
+    // deviation in EXPERIMENTS.md. Assert only that they are same-league.
+    assert!(smp > 0.8 * gpu, "smp ({smp:.0}) and gpu ({gpu:.0}) init must be comparable");
+}
+
+#[test]
+fn fig09_presend_helps_with_stos() {
+    let p = MatmulParams::paper();
+    let run = |presend| {
+        matmul::ompss::run(
+            cl(8).with_routing(SlaveRouting::Direct).with_presend(presend),
+            p,
+            InitMode::Smp,
+        )
+        .metric
+    };
+    let p0 = run(0);
+    let p8 = run(8);
+    assert!(p8 > 1.15 * p0, "presend 8 ({p8:.0}) must improve on presend 0 ({p0:.0})");
+}
+
+// ---------------------------------------------------------- Fig 10
+
+#[test]
+fn fig10_ompss_overtakes_summa_at_scale() {
+    let p = MatmulParams::paper();
+    let om8 = matmul::ompss::run(
+        cl(8).with_routing(SlaveRouting::Direct).with_presend(8),
+        p,
+        InitMode::Smp,
+    )
+    .metric;
+    let mpi8 =
+        matmul::mpi::run(8, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(8), p).metric;
+    assert!(om8 >= mpi8, "OmpSs ({om8:.0}) must at least match SUMMA ({mpi8:.0}) at 8 nodes");
+    // And both must be far above a single node.
+    let om1 = matmul::ompss::run(cl(1), p, InitMode::Smp).metric;
+    assert!(om8 > 3.5 * om1, "8-node OmpSs ({om8:.0}) must scale over 1 node ({om1:.0})");
+}
+
+// ---------------------------------------------------------- Fig 11
+
+#[test]
+fn fig11_stream_cluster_scales_for_both_models() {
+    let run_om = |nodes: u32| {
+        stream::ompss::run(
+            cl(nodes).with_routing(SlaveRouting::Direct).with_presend(8),
+            stream::StreamParams::paper(nodes as usize),
+        )
+        .metric
+    };
+    let run_mpi = |nodes: u32| {
+        stream::mpi::run(
+            nodes,
+            GpuSpec::gtx_480(),
+            FabricConfig::qdr_infiniband(nodes),
+            stream::StreamParams::paper(nodes as usize),
+        )
+        .metric
+    };
+    let (om1, om8) = (run_om(1), run_om(8));
+    let (mp1, mp8) = (run_mpi(1), run_mpi(8));
+    assert!(om8 > 5.0 * om1, "OmpSs STREAM must scale ({om1:.0} -> {om8:.0})");
+    assert!(mp8 > 5.0 * mp1, "MPI STREAM must scale ({mp1:.0} -> {mp8:.0})");
+    // Comparable levels ("a good performance using MPI+CUDA and OmpSs").
+    assert!(om8 > 0.7 * mp8, "OmpSs ({om8:.0}) must be comparable to MPI ({mp8:.0})");
+}
+
+// ---------------------------------------------------------- Fig 12
+
+#[test]
+fn fig12_flush_cannot_scale_noflush_can() {
+    let p = perlin::PerlinParams {
+        width: 1024,
+        height: 1024,
+        steps: 10,
+        rows_per_block: 128,
+        real: false,
+    };
+    let run = |nodes: u32, flush| {
+        perlin::ompss::run(
+            cl(nodes).with_routing(SlaveRouting::Direct).with_presend(1),
+            p,
+            flush,
+        )
+        .metric
+    };
+    let (nf1, nf8) = (run(1, false), run(8, false));
+    let (fl1, fl8) = (run(1, true), run(8, true));
+    assert!(nf8 > 1.4 * nf1, "NoFlush should scale some ({nf1:.0} -> {nf8:.0})");
+    assert!(fl8 < 1.4 * fl1, "Flush must not scale ({fl1:.0} -> {fl8:.0})");
+    assert!(nf8 > 3.0 * fl8, "NoFlush ({nf8:.0}) must dwarf Flush ({fl8:.0}) at 8 nodes");
+}
+
+// ---------------------------------------------------------- Fig 13
+
+#[test]
+fn fig13_nbody_cluster_scales_and_tracks_mpi() {
+    let p = nbody::NbodyParams::paper();
+    let run_om = |nodes: u32| {
+        nbody::ompss::run(cl(nodes).with_routing(SlaveRouting::Direct).with_presend(1), p).metric
+    };
+    let om1 = run_om(1);
+    let om8 = run_om(8);
+    let mp1 = nbody::mpi::run(1, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(1), p).metric;
+    let mp8 = nbody::mpi::run(8, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(8), p).metric;
+    // Tied at one node.
+    assert!((om1 - mp1).abs() < 0.1 * mp1, "1-node tie expected ({om1:.0} vs {mp1:.0})");
+    // Both scale; OmpSs stays within reach of MPI at 8 nodes (the paper
+    // shows OmpSs slightly ahead; see EXPERIMENTS.md for the gap).
+    assert!(om8 > 4.5 * om1, "OmpSs N-Body must scale ({om1:.0} -> {om8:.0})");
+    assert!(om8 > 0.7 * mp8, "OmpSs ({om8:.0}) must track MPI ({mp8:.0}) at 8 nodes");
+}
+
+// ---------------------------------------------------------- Table I
+
+#[test]
+fn table1_ompss_adds_fewer_lines_than_mpi_cuda() {
+    let fig = ompss_bench::figures::table1();
+    for app in ["matmul", "perlin", "nbody"] {
+        let serial = fig.series("serial").unwrap().at(app).unwrap();
+        let mpi = fig.series("mpi").unwrap().at(app).unwrap();
+        let om = fig.series("ompss").unwrap().at(app).unwrap();
+        assert!(
+            om - serial < mpi - serial,
+            "{app}: OmpSs adds {} lines vs MPI+CUDA's {}",
+            om - serial,
+            mpi - serial
+        );
+    }
+    for app in ["matmul", "stream", "perlin", "nbody"] {
+        let cuda = fig.series("cuda").unwrap().at(app).unwrap();
+        let mpi = fig.series("mpi").unwrap().at(app).unwrap();
+        assert!(cuda < mpi, "{app}: MPI+CUDA must be the largest version");
+    }
+}
+
+// --------------------------------------------------- determinism
+
+#[test]
+fn paper_scale_runs_are_deterministic() {
+    let p = MatmulParams::paper();
+    let run = || {
+        let r = matmul::ompss::run(
+            cl(4).with_routing(SlaveRouting::Direct).with_presend(2),
+            p,
+            InitMode::Smp,
+        );
+        let rep = r.report.unwrap();
+        (r.elapsed, rep.events, rep.net.bytes_total, rep.coherence.bytes_moved)
+    };
+    assert_eq!(run(), run());
+}

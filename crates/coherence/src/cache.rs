@@ -1,0 +1,842 @@
+//! The coherence engine: directory, software caches and policies.
+//!
+//! Before a task runs, the runtime asks this engine to make every
+//! region named by the task's copy clauses available (and up to date,
+//! for reads) in the task's execution space; after the task, it commits
+//! the writes. The engine keeps one directory entry per exact-match
+//! region with the set of *copies* across spaces, each carrying a
+//! version, and plans transfers hop-by-hop along the space hierarchy —
+//! caching the data at every intermediate space it flows through, like
+//! Nanos++'s hierarchical caches (§III-C3).
+//!
+//! # Policies
+//!
+//! * [`CachePolicy::WriteBack`] (the runtime default, `wb`): written
+//!   data stays dirty in the execution space until it is needed
+//!   elsewhere, evicted, or flushed.
+//! * [`CachePolicy::WriteThrough`] (`wt`): every task's writes are
+//!   pushed one level up (GPU→host, slave→master) at commit time.
+//! * [`CachePolicy::NoCache`]: like write-through, and additionally the
+//!   task's copies are dropped from the execution space after commit —
+//!   data moves in and out for every task.
+//!
+//! # Concurrency protocol
+//!
+//! Bookkeeping lives under one short-held lock; transfers happen
+//! *outside* it, marked `InFlight` with a completion [`Signal`] so that
+//! concurrent requests for the same copy wait instead of duplicating
+//! the transfer (the "non-blocking cache" of the paper). Copies in use
+//! are pinned against eviction: by the running task for its clauses,
+//! and by the engine itself around a copy serving as a transfer source.
+//!
+//! # Dirty invariant
+//!
+//! A copy is *dirty* iff its data version is not present at the root
+//! (master host) home. The invariant maintained everywhere is: **if the
+//! root does not hold the latest version of a region, at least one
+//! valid-latest copy below it is marked dirty**, so eviction write-backs
+//! can never lose the only latest copy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ompss_mem::{Access, AllocId, MemoryManager, Region, SpaceId};
+use ompss_sim::{Ctx, Signal, SimResult};
+
+use crate::topo::{HopKind, Topology};
+
+/// The cache write policy (`NX_CACHE_POLICY` in Nanos++).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Move data in and out around every task.
+    NoCache,
+    /// Propagate writes upward at commit; keep read copies cached.
+    WriteThrough,
+    /// Delay write propagation until the data is needed elsewhere
+    /// (default).
+    WriteBack,
+}
+
+impl CachePolicy {
+    /// The label used in the paper's charts.
+    pub fn chart_label(self) -> &'static str {
+        match self {
+            CachePolicy::NoCache => "nocache",
+            CachePolicy::WriteThrough => "wt",
+            CachePolicy::WriteBack => "wb",
+        }
+    }
+}
+
+/// A concrete placement of a region copy: where the bytes are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc {
+    /// Address space.
+    pub space: SpaceId,
+    /// Allocation within the space.
+    pub alloc: AllocId,
+    /// Byte offset of the region within the allocation.
+    pub offset: u64,
+}
+
+/// Executes one planned hop, charging virtual time and moving the real
+/// bytes. Implemented by the runtime (PCIe hops drive the GPU DMA
+/// model; network hops drive active messages).
+pub trait TransferExec: Send + Sync {
+    /// Perform the transfer. Must move the bytes via the memory manager
+    /// and block the calling process for the modelled duration.
+    fn transfer(&self, ctx: &Ctx, kind: HopKind, src: Loc, dst: Loc, bytes: u64) -> SimResult<()>;
+}
+
+/// Coherence activity counters.
+#[derive(Debug, Default, Clone)]
+pub struct CoherenceStats {
+    /// Acquire requests satisfied without any transfer.
+    pub hits: u64,
+    /// Acquire requests that required at least one transfer or wait.
+    pub misses: u64,
+    /// Individual hop transfers executed.
+    pub transfers: u64,
+    /// Bytes moved by all hops.
+    pub bytes_moved: u64,
+    /// Bytes moved over PCIe hops.
+    pub pcie_bytes: u64,
+    /// Bytes moved over network hops.
+    pub net_bytes: u64,
+    /// Dirty evictions written back.
+    pub writebacks: u64,
+    /// Bytes written back on eviction.
+    pub writeback_bytes: u64,
+    /// Copies evicted (dirty or clean).
+    pub evictions: u64,
+}
+
+#[derive(Clone)]
+enum CState {
+    /// Holds data of the given region version.
+    Valid { version: u64 },
+    /// Being filled by a transfer; wait on the signal.
+    InFlight { done: Signal },
+    /// Allocated, contents undefined (output-only placement).
+    Garbage,
+}
+
+struct CopyState {
+    alloc: AllocId,
+    offset: u64,
+    state: CState,
+    dirty: bool,
+    pinned: u32,
+    last_use: u64,
+}
+
+struct RegionEntry {
+    version: u64,
+    copies: HashMap<SpaceId, CopyState>,
+}
+
+impl RegionEntry {
+    fn root_has(&self, root: SpaceId, version: u64) -> bool {
+        matches!(
+            self.copies.get(&root).map(|c| &c.state),
+            Some(CState::Valid { version: v }) if *v >= version
+        )
+    }
+}
+
+struct Inner {
+    regions: HashMap<Region, RegionEntry>,
+    tick: u64,
+    stats: CoherenceStats,
+}
+
+/// The coherence engine. The runtime holds it in an `Arc` and calls it
+/// from worker, GPU-manager and communication processes concurrently.
+pub struct Coherence {
+    mem: Arc<MemoryManager>,
+    topo: Topology,
+    policy: CachePolicy,
+    /// Fraction of a space's capacity to free *beyond* the immediate
+    /// need when evicting (0 = precise LRU). Non-zero models the
+    /// coarse replacement of the paper-era GPU cache, which flushed
+    /// aggressively under memory pressure — the behaviour behind the
+    /// N-Body memory-pressure study (Fig. 8).
+    evict_slack: f64,
+    inner: Mutex<Inner>,
+}
+
+/// One externally-executed action planned under the lock.
+enum Step {
+    /// Wait for a concurrent transfer of the same copy.
+    Wait(Signal),
+    /// Evict to make `bytes` available in `space`, then re-plan.
+    Room { space: SpaceId, bytes: u64 },
+    /// Execute one hop transfer.
+    Hop { kind: HopKind, from: SpaceId, to: SpaceId, src: Loc, dst: Loc, bytes: u64, version: u64, done: Signal },
+}
+
+impl Coherence {
+    /// Build an engine over the memory manager, space topology and
+    /// selected policy.
+    pub fn new(mem: Arc<MemoryManager>, topo: Topology, policy: CachePolicy) -> Self {
+        Coherence {
+            mem,
+            topo,
+            policy,
+            evict_slack: 0.0,
+            inner: Mutex::new(Inner {
+                regions: HashMap::new(),
+                tick: 0,
+                stats: CoherenceStats::default(),
+            }),
+        }
+    }
+
+    /// Set the coarse-eviction slack (see the field docs). Returns
+    /// `self` for builder-style construction.
+    pub fn with_evict_slack(mut self, slack: f64) -> Self {
+        assert!((0.0..1.0).contains(&slack));
+        self.evict_slack = slack;
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// The space topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CoherenceStats {
+        self.inner.lock().stats.clone()
+    }
+
+    fn init_entry(&self, inner: &mut Inner, region: &Region) {
+        if inner.regions.contains_key(region) {
+            return;
+        }
+        // First touch: the authoritative copy is the data object's home
+        // allocation at the root (master host).
+        let info = self.mem.data_info(region.data);
+        debug_assert_eq!(info.home_space, self.topo.root(), "home copies live at the master host");
+        let mut copies = HashMap::new();
+        copies.insert(
+            info.home_space,
+            CopyState {
+                alloc: info.home_alloc,
+                offset: region.offset,
+                state: CState::Valid { version: 0 },
+                dirty: false,
+                pinned: 0,
+                last_use: 0,
+            },
+        );
+        inner.regions.insert(*region, RegionEntry { version: 0, copies });
+    }
+
+    /// Make `region` available in `target`: up-to-date if `read`, merely
+    /// allocated if write-only. Pins the copy against eviction until
+    /// [`commit`](Coherence::commit) or [`unpin`](Coherence::unpin).
+    /// Returns where the bytes are.
+    pub fn acquire(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        region: &Region,
+        read: bool,
+        target: SpaceId,
+    ) -> SimResult<Loc> {
+        if read {
+            self.ensure_valid(ctx, exec, region, target, true)?;
+        } else {
+            self.ensure_placed(ctx, exec, region, target)?;
+        }
+        // No simulation yield can occur between the pin taken above and
+        // this lookup (the DES is sequential), so the copy is still here.
+        let inner = self.inner.lock();
+        let c = &inner.regions[region].copies[&target];
+        debug_assert!(c.pinned > 0);
+        Ok(Loc { space: target, alloc: c.alloc, offset: c.offset })
+    }
+
+    /// Drop one pin on `region`'s copy at `space` without committing a
+    /// write (used when a prefetch is abandoned).
+    pub fn unpin(&self, region: &Region, space: SpaceId) {
+        let mut inner = self.inner.lock();
+        let c = inner
+            .regions
+            .get_mut(region)
+            .and_then(|e| e.copies.get_mut(&space))
+            .expect("unpin of unknown copy");
+        assert!(c.pinned > 0, "unpin without pin");
+        c.pinned -= 1;
+    }
+
+    /// Commit a task's accesses at its execution space: bump versions
+    /// for writes, apply the policy (write-through push, no-cache
+    /// drop), and unpin everything the task had acquired.
+    pub fn commit(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        accesses: &[Access],
+        target: SpaceId,
+    ) -> SimResult<()> {
+        let root = self.topo.root();
+        let written: Vec<Region> = {
+            let mut inner = self.inner.lock();
+            let mut written = Vec::new();
+            for a in accesses {
+                if !a.kind.writes() {
+                    continue;
+                }
+                let entry = inner.regions.get_mut(&a.region).expect("committed region unknown");
+                entry.version += 1;
+                let v = entry.version;
+                let c = entry.copies.get_mut(&target).expect("written copy missing");
+                c.state = CState::Valid { version: v };
+                // The root *is* the home: data there is never dirty.
+                c.dirty = target != root;
+                written.push(a.region);
+            }
+            written
+        };
+
+        // Policy: push writes one level up at commit time.
+        if matches!(self.policy, CachePolicy::WriteThrough | CachePolicy::NoCache) {
+            if let Some(parent) = self.topo.parent_of(target) {
+                for region in &written {
+                    self.push_one_level(ctx, exec, region, target, parent)?;
+                }
+            }
+        }
+
+        // Unpin, and under no-cache drop the task's copies entirely.
+        let mut inner = self.inner.lock();
+        for a in accesses {
+            let entry = inner.regions.get_mut(&a.region).expect("committed region unknown");
+            let c = entry.copies.get_mut(&target).expect("copy missing at unpin");
+            assert!(c.pinned > 0, "commit without acquire");
+            c.pinned -= 1;
+            if self.policy == CachePolicy::NoCache
+                && target != root
+                && c.pinned == 0
+                && !matches!(c.state, CState::InFlight { .. })
+                && !c.dirty
+            {
+                let alloc = c.alloc;
+                entry.copies.remove(&target);
+                self.mem.free(target, alloc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Compute the dirty bit for a copy of `version` at `space`: data is
+    /// dirty iff it has not reached the root home yet.
+    fn dirty_for(&self, entry: &RegionEntry, space: SpaceId, version: u64) -> bool {
+        space != self.topo.root() && !entry.root_has(self.topo.root(), version)
+    }
+
+    /// Push `region`'s data from `from` one level up to `parent`
+    /// (write-through propagation / dirty eviction). Clears the dirty
+    /// bit at `from` on success. No-op if `from` is clean or stale.
+    fn push_one_level(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        region: &Region,
+        from: SpaceId,
+        parent: SpaceId,
+    ) -> SimResult<()> {
+        let kind = if self.topo.is_gpu(from) || self.topo.is_gpu(parent) {
+            HopKind::Pcie
+        } else {
+            HopKind::Network
+        };
+        loop {
+            let step: Step = {
+                let mut guard = self.inner.lock();
+                let inner = &mut *guard;
+                inner.tick += 1;
+                let tick = inner.tick;
+                let entry = inner.regions.get_mut(region).expect("push of unknown region");
+                let Some(src_c) = entry.copies.get(&from) else {
+                    return Ok(()); // copy vanished (already evicted)
+                };
+                if !src_c.dirty {
+                    return Ok(());
+                }
+                let src_version = match src_c.state {
+                    CState::Valid { version } => version,
+                    _ => return Ok(()),
+                };
+                match entry.copies.get(&parent).map(|c| c.state.clone()) {
+                    Some(CState::Valid { version }) if version >= src_version => {
+                        // Parent already has it (or newer): just clean up.
+                        entry.copies.get_mut(&from).expect("checked").dirty = false;
+                        return Ok(());
+                    }
+                    Some(CState::InFlight { done, .. }) => Step::Wait(done),
+                    other => {
+                        if other.is_none() {
+                            match self.mem.alloc(parent, region.len) {
+                                Ok(alloc) => {
+                                    entry.copies.insert(
+                                        parent,
+                                        CopyState {
+                                            alloc,
+                                            offset: 0,
+                                            state: CState::Garbage,
+                                            dirty: false,
+                                            pinned: 0,
+                                            last_use: tick,
+                                        },
+                                    );
+                                }
+                                Err(_) => {
+                                    // Fall through to Room below.
+                                }
+                            }
+                        }
+                        match entry.copies.get_mut(&parent) {
+                            Some(pc) => {
+                                let done = Signal::new();
+                                pc.state =
+                                    CState::InFlight { done: done.clone() };
+                                pc.last_use = tick;
+                                let dst = Loc { space: parent, alloc: pc.alloc, offset: pc.offset };
+                                let sc = entry.copies.get_mut(&from).expect("checked");
+                                sc.pinned += 1;
+                                let src = Loc { space: from, alloc: sc.alloc, offset: sc.offset };
+                                Step::Hop {
+                                    kind,
+                                    from,
+                                    to: parent,
+                                    src,
+                                    dst,
+                                    bytes: region.len,
+                                    version: src_version,
+                                    done,
+                                }
+                            }
+                            None => Step::Room { space: parent, bytes: region.len },
+                        }
+                    }
+                }
+            };
+            match step {
+                Step::Wait(sig) => sig.wait(ctx)?,
+                Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
+                Step::Hop { kind, from: f, to, src, dst, bytes, version, done } => {
+                    exec.transfer(ctx, kind, src, dst, bytes)?;
+                    self.finish_hop(ctx, region, f, to, kind, bytes, version, done, true);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping after a hop transfer completes: destination becomes
+    /// Valid, source is unpinned, stats updated. `clear_src_dirty` is
+    /// set for upward pushes (the parent now covers the source's data).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_hop(
+        &self,
+        ctx: &Ctx,
+        region: &Region,
+        from: SpaceId,
+        to: SpaceId,
+        kind: HopKind,
+        bytes: u64,
+        version: u64,
+        done: Signal,
+        clear_src_dirty: bool,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.stats.transfers += 1;
+        inner.stats.bytes_moved += bytes;
+        match kind {
+            HopKind::Pcie => inner.stats.pcie_bytes += bytes,
+            HopKind::Network => inner.stats.net_bytes += bytes,
+        }
+        let entry = inner.regions.get_mut(region).expect("hop region");
+        // Mark destination valid first so dirty_for sees the root state
+        // after this hop.
+        let dc = entry.copies.get_mut(&to).expect("inflight destination");
+        dc.state = CState::Valid { version };
+        let entry = inner.regions.get_mut(region).expect("hop region");
+        let dirty = self.dirty_for(entry, to, version);
+        let dc = entry.copies.get_mut(&to).expect("inflight destination");
+        dc.dirty = dirty;
+        done.set(ctx);
+        let sc = entry.copies.get_mut(&from).expect("pinned source");
+        sc.pinned -= 1;
+        if clear_src_dirty {
+            sc.dirty = false;
+        }
+    }
+
+    /// Make a Valid-latest copy of `region` exist at `target`,
+    /// transferring along the hierarchy as needed. `pin` pins the final
+    /// copy for a task.
+    fn ensure_valid(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        region: &Region,
+        target: SpaceId,
+        pin: bool,
+    ) -> SimResult<()> {
+        let mut first_check = true;
+        loop {
+            let step: Step = {
+                let mut guard = self.inner.lock();
+                let inner = &mut *guard;
+                inner.tick += 1;
+                let tick = inner.tick;
+                self.init_entry(inner, region);
+                // Quick path: target already valid (or being filled).
+                let quick: Option<Option<Step>> = {
+                    let entry = inner.regions.get_mut(region).expect("initialised");
+                    let latest = entry.version;
+                    match entry.copies.get_mut(&target) {
+                        Some(c) => match c.state.clone() {
+                            CState::Valid { version } if version == latest => {
+                                c.last_use = tick;
+                                if pin {
+                                    c.pinned += 1;
+                                }
+                                Some(None)
+                            }
+                            CState::InFlight { done, .. } => Some(Some(Step::Wait(done))),
+                            _ => None,
+                        },
+                        None => None,
+                    }
+                };
+                match quick {
+                    Some(None) => {
+                        if first_check {
+                            inner.stats.hits += 1;
+                        } else {
+                            inner.stats.misses += 1;
+                        }
+                        return Ok(());
+                    }
+                    Some(Some(step)) => {
+                        first_check = false;
+                        step
+                    }
+                    None => {
+                        first_check = false;
+                        self.plan_next_hop(inner, region, target, tick)
+                    }
+                }
+            };
+            match step {
+                Step::Wait(sig) => sig.wait(ctx)?,
+                Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
+                Step::Hop { kind, from, to, src, dst, bytes, version, done } => {
+                    if std::env::var_os("OMPSS_COH_DEBUG").is_some() {
+                        eprintln!(
+                            "[coh {:.6}s] {region} v{version} hop {from:?}->{to:?} ({kind:?}, {bytes}B) for target {target:?}",
+                            ctx.now().as_secs_f64()
+                        );
+                    }
+                    exec.transfer(ctx, kind, src, dst, bytes)?;
+                    self.finish_hop(ctx, region, from, to, kind, bytes, version, done, false);
+                }
+            }
+        }
+    }
+
+    /// Plan the first unsatisfied hop moving `region` toward `target`.
+    /// Called under the lock; the target is known not to be valid.
+    fn plan_next_hop(&self, inner: &mut Inner, region: &Region, target: SpaceId, tick: u64) -> Step {
+        let entry = inner.regions.get_mut(region).expect("entry initialised by caller");
+        let latest = entry.version;
+        // Nearest valid-latest source.
+        let src_space = entry
+            .copies
+            .iter()
+            .filter(|(_, c)| matches!(c.state, CState::Valid { version } if version == latest))
+            .map(|(&s, _)| s)
+            .min_by_key(|&s| (self.topo.distance(s, target), s.0))
+            .unwrap_or_else(|| {
+                panic!("region {region} has no valid copy of version {latest} anywhere")
+            });
+        let route = self.topo.route(src_space, target);
+        debug_assert!(!route.is_empty(), "target invalid yet source == target");
+        for hop in route {
+            match entry.copies.get(&hop.to).map(|c| c.state.clone()) {
+                Some(CState::Valid { version }) if version == latest => continue,
+                Some(CState::InFlight { done, .. }) => return Step::Wait(done),
+                Some(_) => { /* stale or garbage: refresh the existing allocation */ }
+                None => match self.mem.alloc(hop.to, region.len) {
+                    Ok(alloc) => {
+                        entry.copies.insert(
+                            hop.to,
+                            CopyState {
+                                alloc,
+                                offset: 0,
+                                state: CState::Garbage,
+                                dirty: false,
+                                pinned: 0,
+                                last_use: tick,
+                            },
+                        );
+                    }
+                    Err(_) => return Step::Room { space: hop.to, bytes: region.len },
+                },
+            }
+            let done = Signal::new();
+            let dc = entry.copies.get_mut(&hop.to).expect("just ensured");
+            dc.state = CState::InFlight { done: done.clone() };
+            dc.last_use = tick;
+            let dst = Loc { space: hop.to, alloc: dc.alloc, offset: dc.offset };
+            let sc = entry.copies.get_mut(&hop.from).expect("route source valid");
+            sc.pinned += 1;
+            sc.last_use = tick;
+            let src = Loc { space: hop.from, alloc: sc.alloc, offset: sc.offset };
+            return Step::Hop {
+                kind: hop.kind,
+                from: hop.from,
+                to: hop.to,
+                src,
+                dst,
+                bytes: region.len,
+                version: latest,
+                done,
+            };
+        }
+        unreachable!("route had no unsatisfied hop but target is invalid")
+    }
+
+    /// Place an allocation for `region` at `target` without moving data
+    /// (output-only clauses). Pins it.
+    fn ensure_placed(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        region: &Region,
+        target: SpaceId,
+    ) -> SimResult<()> {
+        loop {
+            let step: Step = {
+                let mut guard = self.inner.lock();
+                let inner = &mut *guard;
+                inner.tick += 1;
+                let tick = inner.tick;
+                self.init_entry(inner, region);
+                let entry = inner.regions.get_mut(region).expect("initialised");
+                if let Some(c) = entry.copies.get_mut(&target) {
+                    match c.state.clone() {
+                        CState::InFlight { done, .. } => Step::Wait(done),
+                        _ => {
+                            c.pinned += 1;
+                            c.last_use = tick;
+                            inner.stats.hits += 1;
+                            return Ok(());
+                        }
+                    }
+                } else {
+                    match self.mem.alloc(target, region.len) {
+                        Ok(alloc) => {
+                            entry.copies.insert(
+                                target,
+                                CopyState {
+                                    alloc,
+                                    offset: 0,
+                                    state: CState::Garbage,
+                                    dirty: false,
+                                    pinned: 1,
+                                    last_use: tick,
+                                },
+                            );
+                            inner.stats.misses += 1;
+                            return Ok(());
+                        }
+                        Err(_) => Step::Room { space: target, bytes: region.len },
+                    }
+                }
+            };
+            match step {
+                Step::Wait(sig) => sig.wait(ctx)?,
+                Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
+                Step::Hop { .. } => unreachable!("placement plans no transfers"),
+            }
+        }
+    }
+
+    /// Evict least-recently-used, unpinned copies from `space` until
+    /// `need` bytes fit, writing dirty-latest victims back one level.
+    fn make_room(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        space: SpaceId,
+        need: u64,
+    ) -> SimResult<()> {
+        assert_ne!(space, self.topo.root(), "the master host never evicts home data");
+        let info = self.mem.space_info(space);
+        let target = need + (self.evict_slack * info.capacity as f64) as u64;
+        loop {
+            let available = self.mem.available(space);
+            if available >= need.max(target.min(info.capacity)) {
+                return Ok(());
+            }
+            // Choose the LRU evictable copy in `space`.
+            let victim: Option<(Region, bool, u64)> = {
+                let inner = self.inner.lock();
+                inner
+                    .regions
+                    .iter()
+                    .filter_map(|(region, entry)| {
+                        let c = entry.copies.get(&space)?;
+                        if c.pinned > 0 || matches!(c.state, CState::InFlight { .. }) {
+                            return None;
+                        }
+                        Some((*region, c.dirty, c.last_use))
+                    })
+                    .min_by_key(|&(r, _, last_use)| (last_use, r))
+            };
+            let Some((region, dirty, _)) = victim else {
+                if available >= need {
+                    // Slack not reachable (everything left is pinned);
+                    // the immediate need is satisfied, so proceed.
+                    return Ok(());
+                }
+                panic!(
+                    "cache thrash: no evictable copy in space {space:?} while allocating {need} \
+                     bytes (all copies pinned or in flight)"
+                );
+            };
+            if dirty {
+                let parent =
+                    self.topo.parent_of(space).expect("non-root space has a parent for write-back");
+                self.push_one_level(ctx, exec, &region, space, parent)?;
+                let mut inner = self.inner.lock();
+                inner.stats.writebacks += 1;
+                inner.stats.writeback_bytes += region.len;
+            }
+            // Free it (re-checking evictability: state may have changed
+            // while the write-back ran).
+            let mut inner = self.inner.lock();
+            let entry = inner.regions.get_mut(&region).expect("victim region");
+            if let Some(c) = entry.copies.get(&space) {
+                if c.pinned == 0 && !matches!(c.state, CState::InFlight { .. }) && !c.dirty {
+                    let alloc = c.alloc;
+                    entry.copies.remove(&space);
+                    inner.stats.evictions += 1;
+                    self.mem.free(space, alloc);
+                }
+            }
+        }
+    }
+
+    /// Stage an up-to-date copy of `region` at `space` without pinning
+    /// it — used by the cluster layer to push task data to a remote
+    /// node's host memory ahead of the execution request, and by the
+    /// GPU prefetcher.
+    pub fn prefetch(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        region: &Region,
+        space: SpaceId,
+    ) -> SimResult<()> {
+        self.ensure_valid(ctx, exec, region, space, false)
+    }
+
+    /// Regions with a dirty valid-latest copy somewhere (what a flush
+    /// must write home), in deterministic order.
+    pub fn dirty_regions(&self) -> Vec<Region> {
+        let inner = self.inner.lock();
+        let mut dirty: Vec<Region> = inner
+            .regions
+            .iter()
+            .filter(|(_, e)| {
+                e.copies.values().any(|c| {
+                    c.dirty
+                        && matches!(c.state, CState::Valid { version } if version == e.version)
+                })
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        dirty.sort();
+        dirty
+    }
+
+    /// Flush every dirty region to the master host (the OmpSs `taskwait`
+    /// semantics without `noflush`), one region at a time. Copies stay
+    /// valid. The runtime's `taskwait` uses the parallel variant built
+    /// on [`dirty_regions`](Coherence::dirty_regions) +
+    /// [`flush_region`](Coherence::flush_region).
+    pub fn flush_all(&self, ctx: &Ctx, exec: &dyn TransferExec) -> SimResult<()> {
+        let dirty: Vec<Region> = {
+            let inner = self.inner.lock();
+            inner
+                .regions
+                .iter()
+                .filter(|(_, e)| {
+                    e.copies.values().any(|c| {
+                        c.dirty
+                            && matches!(c.state, CState::Valid { version } if version == e.version)
+                    })
+                })
+                .map(|(r, _)| *r)
+                .collect()
+        };
+        let mut sorted = dirty;
+        sorted.sort();
+        for region in sorted {
+            self.flush_region(ctx, exec, &region)?;
+        }
+        Ok(())
+    }
+
+    /// Flush one region's latest version to the master host
+    /// (`taskwait on(...)`).
+    pub fn flush_region(&self, ctx: &Ctx, exec: &dyn TransferExec, region: &Region) -> SimResult<()> {
+        let root = self.topo.root();
+        self.ensure_valid(ctx, exec, region, root, false)?;
+        // The home now reflects the latest version: latest copies are
+        // clean, stale dirty copies hold obsolete data and are dropped
+        // from the dirty set too.
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.regions.get_mut(region) {
+            for c in entry.copies.values_mut() {
+                c.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Valid-latest bytes of `region` at `space` (the scheduler's
+    /// locality oracle).
+    pub fn bytes_at(&self, region: &Region, space: SpaceId) -> u64 {
+        let inner = self.inner.lock();
+        let Some(entry) = inner.regions.get(region) else {
+            return 0;
+        };
+        match entry.copies.get(&space) {
+            Some(c) if matches!(c.state, CState::Valid { version } if version == entry.version) => {
+                region.len
+            }
+            _ => 0,
+        }
+    }
+
+    /// Valid-latest bytes of `region` anywhere in `spaces` (node-level
+    /// affinity: present once counts once).
+    pub fn bytes_under(&self, region: &Region, spaces: &[SpaceId]) -> u64 {
+        spaces.iter().map(|&s| self.bytes_at(region, s)).max().unwrap_or(0)
+    }
+}

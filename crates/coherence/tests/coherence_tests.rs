@@ -1,0 +1,396 @@
+//! Integration tests of the coherence engine over a small machine
+//! model: a master host with two GPUs, plus (for cluster cases) two
+//! slave hosts each with one GPU.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ompss_coherence::{CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec};
+use ompss_mem::{Access, Backing, MemoryManager, Region, SpaceId, SpaceKind};
+use ompss_sim::{Ctx, Sim, SimDuration, SimResult};
+
+/// Executes hops at 1 ns/byte (PCIe) and 2 ns/byte (network), moving
+/// the real bytes and recording a log.
+struct TestExec {
+    mem: Arc<MemoryManager>,
+    log: Mutex<Vec<(HopKind, SpaceId, SpaceId, u64)>>,
+}
+
+impl TestExec {
+    fn new(mem: Arc<MemoryManager>) -> Self {
+        TestExec { mem, log: Mutex::new(Vec::new()) }
+    }
+
+    fn hops(&self) -> Vec<(HopKind, SpaceId, SpaceId, u64)> {
+        self.log.lock().clone()
+    }
+}
+
+impl TransferExec for TestExec {
+    fn transfer(&self, ctx: &Ctx, kind: HopKind, src: Loc, dst: Loc, bytes: u64) -> SimResult<()> {
+        let per_byte = match kind {
+            HopKind::Pcie => 1,
+            HopKind::Network => 2,
+        };
+        ctx.delay(SimDuration::from_nanos(bytes * per_byte))?;
+        self.mem.copy((src.space, src.alloc), src.offset, (dst.space, dst.alloc), dst.offset, bytes);
+        self.log.lock().push((kind, src.space, dst.space, bytes));
+        Ok(())
+    }
+}
+
+/// A master host (space 0, root) with two GPU spaces. GPU capacity is
+/// configurable to exercise eviction.
+struct SingleNode {
+    mem: Arc<MemoryManager>,
+    host: SpaceId,
+    gpu0: SpaceId,
+    gpu1: SpaceId,
+    topo: Topology,
+}
+
+fn single_node(gpu_capacity: u64) -> SingleNode {
+    let mem = Arc::new(MemoryManager::new(Backing::Real));
+    let host = mem.add_space("host", SpaceKind::Host(0), None, 1 << 30);
+    let gpu0 = mem.add_space("gpu0", SpaceKind::Gpu(0, 0), Some(host), gpu_capacity);
+    let gpu1 = mem.add_space("gpu1", SpaceKind::Gpu(0, 1), Some(host), gpu_capacity);
+    let mut topo = Topology::new(host, SlaveRouting::Direct);
+    topo.add_gpu(gpu0, host);
+    topo.add_gpu(gpu1, host);
+    SingleNode { mem, host, gpu0, gpu1, topo }
+}
+
+fn run_sim(f: impl FnOnce(Ctx) + Send + 'static) {
+    let sim = Sim::new();
+    sim.spawn("test", f);
+    sim.run().unwrap();
+}
+
+fn region(mem: &MemoryManager, host: SpaceId, len: u64) -> Region {
+    let data = mem.register_data(len, host).unwrap();
+    Region::new(data, 0, len)
+}
+
+#[test]
+fn first_read_pulls_from_home_then_hits() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 256);
+    // Put a recognisable pattern in the home copy.
+    let info = n.mem.data_info(r.data);
+    n.mem.write(n.host, info.home_alloc, 0, &[7u8; 256]);
+    let (gpu0, mem) = (n.gpu0, n.mem.clone());
+    run_sim(move |ctx| {
+        let loc = coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        assert_eq!(loc.space, gpu0);
+        let mut buf = [0u8; 256];
+        mem.read(gpu0, loc.alloc, loc.offset, &mut buf);
+        assert_eq!(buf, [7u8; 256], "real bytes followed the transfer");
+        assert_eq!(exec.hops(), vec![(HopKind::Pcie, SpaceId(0), gpu0, 256)]);
+        assert_eq!(ctx.now().as_nanos(), 256, "transfer charged 1 ns/byte");
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        // Second acquire is a hit: no new transfer, no time.
+        let before = ctx.now();
+        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        assert_eq!(ctx.now(), before);
+        assert_eq!(exec.hops().len(), 1);
+        let st = coh.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+    });
+}
+
+#[test]
+fn output_only_acquire_moves_nothing() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 128);
+    let gpu0 = n.gpu0;
+    run_sim(move |ctx| {
+        coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        assert!(exec.hops().is_empty(), "write-only placement must not transfer");
+        assert_eq!(ctx.now().as_nanos(), 0);
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+    });
+}
+
+#[test]
+fn writeback_defers_and_reader_pulls_from_writer() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let (gpu0, gpu1, mem) = (n.gpu0, n.gpu1, n.mem.clone());
+    run_sim(move |ctx| {
+        // Writer on gpu0.
+        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        mem.write(gpu0, loc.alloc, loc.offset, &[9u8; 64]);
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        assert!(exec.hops().is_empty(), "write-back: no eager propagation");
+        // Reader on gpu1: data routes gpu0 -> host -> gpu1.
+        let loc1 = coh.acquire(&ctx, &*exec, &r, true, gpu1).unwrap();
+        let mut buf = [0u8; 64];
+        mem.read(gpu1, loc1.alloc, loc1.offset, &mut buf);
+        assert_eq!(buf, [9u8; 64]);
+        let hops = exec.hops();
+        assert_eq!(
+            hops,
+            vec![(HopKind::Pcie, gpu0, SpaceId(0), 64), (HopKind::Pcie, SpaceId(0), gpu1, 64)]
+        );
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu1).unwrap();
+    });
+}
+
+#[test]
+fn write_through_pushes_at_commit() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteThrough));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let (gpu0, host, mem) = (n.gpu0, n.host, n.mem.clone());
+    run_sim(move |ctx| {
+        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        mem.write(gpu0, loc.alloc, loc.offset, &[3u8; 64]);
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        assert_eq!(exec.hops(), vec![(HopKind::Pcie, gpu0, host, 64)]);
+        // The home allocation holds the new data.
+        let info = mem.data_info(r.data);
+        let mut buf = [0u8; 64];
+        mem.read(host, info.home_alloc, 0, &mut buf);
+        assert_eq!(buf, [3u8; 64]);
+        // The GPU copy is retained (unlike no-cache): re-acquire = hit.
+        let before = exec.hops().len();
+        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        assert_eq!(exec.hops().len(), before);
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+    });
+}
+
+#[test]
+fn no_cache_drops_copies_after_commit() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::NoCache));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let (gpu0, mem) = (n.gpu0, n.mem.clone());
+    run_sim(move |ctx| {
+        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        assert_eq!(mem.used(gpu0), 0, "no-cache frees the GPU copy at commit");
+        // Next task transfers again.
+        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        assert_eq!(exec.hops().len(), 2);
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+    });
+}
+
+#[test]
+fn taskwait_flush_brings_dirty_data_home() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let (gpu0, host, mem) = (n.gpu0, n.host, n.mem.clone());
+    run_sim(move |ctx| {
+        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        mem.write(gpu0, loc.alloc, loc.offset, &[5u8; 64]);
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        coh.flush_all(&ctx, &*exec).unwrap();
+        let info = mem.data_info(r.data);
+        let mut buf = [0u8; 64];
+        mem.read(host, info.home_alloc, 0, &mut buf);
+        assert_eq!(buf, [5u8; 64]);
+        // Flushing again is free: nothing dirty remains.
+        let before = exec.hops().len();
+        coh.flush_all(&ctx, &*exec).unwrap();
+        assert_eq!(exec.hops().len(), before);
+    });
+}
+
+#[test]
+fn lru_eviction_writes_back_dirty_victim() {
+    // GPU fits exactly two 64-byte regions; touching a third evicts the
+    // least recently used (dirty) one, which must be written back first.
+    let n = single_node(128);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r1 = region(&n.mem, n.host, 64);
+    let r2 = region(&n.mem, n.host, 64);
+    let r3 = region(&n.mem, n.host, 64);
+    let (gpu0, host, mem) = (n.gpu0, n.host, n.mem.clone());
+    run_sim(move |ctx| {
+        // Dirty r1 on the GPU.
+        let loc = coh.acquire(&ctx, &*exec, &r1, false, gpu0).unwrap();
+        mem.write(gpu0, loc.alloc, loc.offset, &[1u8; 64]);
+        coh.commit(&ctx, &*exec, &[Access::output(r1)], gpu0).unwrap();
+        // Clean r2 on the GPU (r1 becomes LRU).
+        coh.acquire(&ctx, &*exec, &r2, true, gpu0).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::input(r2)], gpu0).unwrap();
+        // r3 needs room: r1 must be written back and evicted.
+        coh.acquire(&ctx, &*exec, &r3, true, gpu0).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::input(r3)], gpu0).unwrap();
+        let st = coh.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.writebacks, 1);
+        assert_eq!(st.writeback_bytes, 64);
+        // The written-back data reached the home.
+        let info = mem.data_info(r1.data);
+        let mut buf = [0u8; 64];
+        mem.read(host, info.home_alloc, 0, &mut buf);
+        assert_eq!(buf, [1u8; 64]);
+        // r1 is gone from the GPU but r2 survived (it was more recent).
+        assert_eq!(coh.bytes_at(&r1, gpu0), 0);
+        assert_eq!(coh.bytes_at(&r2, gpu0), 64);
+    });
+}
+
+#[test]
+#[should_panic(expected = "cache thrash")]
+fn all_pinned_cache_panics_with_diagnosis() {
+    let n = single_node(64);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r1 = region(&n.mem, n.host, 64);
+    let r2 = region(&n.mem, n.host, 64);
+    let gpu0 = n.gpu0;
+    let sim = Sim::new();
+    sim.spawn("test", move |ctx| {
+        // r1 pinned (no commit), r2 cannot fit.
+        coh.acquire(&ctx, &*exec, &r1, true, gpu0).unwrap();
+        let _ = coh.acquire(&ctx, &*exec, &r2, true, gpu0);
+    });
+    if let Err(e) = sim.run() {
+        panic!("{e}");
+    }
+}
+
+#[test]
+fn inflight_transfers_are_deduplicated() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 1024);
+    let gpu0 = n.gpu0;
+    let sim = Sim::new();
+    // Two processes demand the same region on the same GPU at once.
+    for name in ["a", "b"] {
+        let coh = coh.clone();
+        let exec = exec.clone();
+        sim.spawn(name, move |ctx| {
+            coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+            coh.unpin(&r, gpu0);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(exec.hops().len(), 1, "second requester waited on the in-flight copy");
+}
+
+#[test]
+fn cluster_routes_respect_slave_routing_mode() {
+    for (routing, expected_net_hops) in
+        [(SlaveRouting::Direct, 1usize), (SlaveRouting::ViaMaster, 2usize)]
+    {
+        let mem = Arc::new(MemoryManager::new(Backing::Real));
+        let master = mem.add_space("master", SpaceKind::Host(0), None, 1 << 30);
+        let s1 = mem.add_space("slave1", SpaceKind::Host(1), None, 1 << 30);
+        let s2 = mem.add_space("slave2", SpaceKind::Host(2), None, 1 << 30);
+        let g1 = mem.add_space("slave1:gpu", SpaceKind::Gpu(1, 0), Some(s1), 1 << 20);
+        let g2 = mem.add_space("slave2:gpu", SpaceKind::Gpu(2, 0), Some(s2), 1 << 20);
+        let mut topo = Topology::new(master, routing);
+        topo.add_gpu(g1, s1);
+        topo.add_gpu(g2, s2);
+        let coh = Arc::new(Coherence::new(mem.clone(), topo, CachePolicy::WriteBack));
+        let exec = Arc::new(TestExec::new(mem.clone()));
+        let r = region(&mem, master, 64);
+        let mem2 = mem.clone();
+        run_sim(move |ctx| {
+            // Write on slave1's GPU, then read on slave2's GPU.
+            let loc = coh.acquire(&ctx, &*exec, &r, false, g1).unwrap();
+            mem2.write(g1, loc.alloc, loc.offset, &[8u8; 64]);
+            coh.commit(&ctx, &*exec, &[Access::output(r)], g1).unwrap();
+            let loc2 = coh.acquire(&ctx, &*exec, &r, true, g2).unwrap();
+            let mut buf = [0u8; 64];
+            mem2.read(g2, loc2.alloc, loc2.offset, &mut buf);
+            assert_eq!(buf, [8u8; 64]);
+            let hops = exec.hops();
+            let net = hops.iter().filter(|h| h.0 == HopKind::Network).count();
+            let pcie = hops.iter().filter(|h| h.0 == HopKind::Pcie).count();
+            assert_eq!(net, expected_net_hops, "routing mode {routing:?}");
+            assert_eq!(pcie, 2, "gpu->host and host->gpu at the two ends");
+            coh.commit(&ctx, &*exec, &[Access::input(r)], g2).unwrap();
+        });
+    }
+}
+
+#[test]
+fn intermediate_host_copy_is_cached_for_later_use() {
+    // After gpu0 -> host -> gpu1, a later host read is free.
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let (gpu0, gpu1, host) = (n.gpu0, n.gpu1, n.host);
+    run_sim(move |ctx| {
+        coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        coh.acquire(&ctx, &*exec, &r, true, gpu1).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu1).unwrap();
+        let before = exec.hops().len();
+        // Host read (e.g. an SMP task) hits the cached relay copy.
+        coh.acquire(&ctx, &*exec, &r, true, host).unwrap();
+        assert_eq!(exec.hops().len(), before);
+        coh.commit(&ctx, &*exec, &[Access::input(r)], host).unwrap();
+    });
+}
+
+#[test]
+fn bytes_at_reflects_validity_and_staleness() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let (gpu0, gpu1, host) = (n.gpu0, n.gpu1, n.host);
+    run_sim(move |ctx| {
+        assert_eq!(coh.bytes_at(&r, gpu0), 0, "untouched region only at home");
+        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        assert_eq!(coh.bytes_at(&r, gpu0), 64);
+        assert_eq!(coh.bytes_at(&r, host), 64);
+        // A write on gpu1 invalidates the gpu0 and host copies.
+        coh.acquire(&ctx, &*exec, &r, false, gpu1).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu1).unwrap();
+        assert_eq!(coh.bytes_at(&r, gpu0), 0);
+        assert_eq!(coh.bytes_at(&r, host), 0);
+        assert_eq!(coh.bytes_at(&r, gpu1), 64);
+        assert_eq!(coh.bytes_under(&r, &[host, gpu0, gpu1]), 64);
+    });
+}
+
+#[test]
+fn stale_copy_is_refreshed_in_place_without_realloc() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteBack));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let (gpu0, gpu1, mem) = (n.gpu0, n.gpu1, n.mem.clone());
+    run_sim(move |ctx| {
+        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        let used_before = mem.used(gpu0);
+        // Invalidate gpu0's copy by writing on gpu1...
+        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu1).unwrap();
+        mem.write(gpu1, loc.alloc, loc.offset, &[4u8; 64]);
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu1).unwrap();
+        // ...then read it again on gpu0: same allocation, fresh data.
+        let loc0 = coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        let mut buf = [0u8; 64];
+        mem.read(gpu0, loc0.alloc, loc0.offset, &mut buf);
+        assert_eq!(buf, [4u8; 64]);
+        assert_eq!(mem.used(gpu0), used_before, "stale copy refreshed in place");
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+    });
+}

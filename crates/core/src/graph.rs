@@ -1,0 +1,434 @@
+//! The task dependency graph (paper §III-C1).
+//!
+//! Nanos++ maintains a DAG connecting sibling tasks by the dependence
+//! kinds read-after-write, write-after-read and write-after-write,
+//! derived from `input`/`output`/`inout` clauses over *exact-match*
+//! regions. Tasks become *ready* when their predecessor count drains;
+//! completing a task releases its successors. The OmpSs model only
+//! relates siblings (tasks created by the same parent), so nested
+//! parallelism uses one graph per parent — that is what lets the
+//! cluster runtime distribute hierarchy cheaply.
+//!
+//! Partial region overlap is not supported (as in the paper's
+//! implementation) and is *detected*: submitting a task whose clause
+//! partially overlaps a previously-seen region is a model error, not
+//! silent misbehaviour.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use ompss_mem::{Access, DataId, Region};
+
+use crate::task::TaskId;
+
+/// Lifecycle of a task within the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting on predecessors.
+    Pending,
+    /// All predecessors completed; eligible for scheduling.
+    Ready,
+    /// Handed to a resource and executing.
+    Running,
+    /// Finished; successors released.
+    Completed,
+}
+
+/// Errors detected at task submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A dependence clause partially overlaps a region already tracked
+    /// for the same data object — undefined behaviour in the OmpSs
+    /// model, rejected here.
+    PartialOverlap {
+        /// The submitting task.
+        task: TaskId,
+        /// The newly-declared region.
+        new: Region,
+        /// The previously-tracked region it collides with.
+        existing: Region,
+    },
+    /// The same task id was submitted twice.
+    DuplicateTask(TaskId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::PartialOverlap { task, new, existing } => write!(
+                f,
+                "task {task:?} declares region {new} partially overlapping {existing}; \
+                 partial overlap is unsupported (undefined behaviour in OmpSs)"
+            ),
+            GraphError::DuplicateTask(id) => write!(f, "task {id:?} submitted twice"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+struct Node {
+    preds: usize,
+    succs: Vec<TaskId>,
+    state: TaskState,
+}
+
+#[derive(Default)]
+struct RegionState {
+    last_writer: Option<TaskId>,
+    readers: Vec<TaskId>,
+}
+
+/// A single-level (sibling) task dependency graph.
+#[derive(Default)]
+pub struct TaskGraph {
+    nodes: HashMap<TaskId, Node>,
+    regions: HashMap<DataId, BTreeMap<(u64, u64), RegionState>>,
+    live: usize,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit a task with its dependence clauses. Returns `true` if the
+    /// task is immediately ready (no outstanding predecessors).
+    pub fn add_task(&mut self, id: TaskId, accesses: &[Access]) -> Result<bool, GraphError> {
+        if self.nodes.contains_key(&id) {
+            return Err(GraphError::DuplicateTask(id));
+        }
+        // Validate against tracked regions and against the task's own
+        // clauses before mutating any state.
+        for (i, a) in accesses.iter().enumerate() {
+            if let Some(existing) = self.find_partial_overlap(&a.region) {
+                return Err(GraphError::PartialOverlap { task: id, new: a.region, existing });
+            }
+            for b in &accesses[i + 1..] {
+                if a.region.partially_overlaps(&b.region) {
+                    return Err(GraphError::PartialOverlap {
+                        task: id,
+                        new: b.region,
+                        existing: a.region,
+                    });
+                }
+            }
+        }
+
+        let mut preds: HashSet<TaskId> = HashSet::new();
+        for a in accesses {
+            let st = self
+                .regions
+                .entry(a.region.data)
+                .or_default()
+                .entry((a.region.offset, a.region.len))
+                .or_default();
+            if a.kind.reads() {
+                if let Some(w) = st.last_writer {
+                    if w != id {
+                        preds.insert(w);
+                    }
+                }
+            }
+            if a.kind.writes() {
+                // WAR on every reader since the last write, WAW on the
+                // last writer (covers the no-reader case).
+                for &r in &st.readers {
+                    if r != id {
+                        preds.insert(r);
+                    }
+                }
+                if let Some(w) = st.last_writer {
+                    if w != id {
+                        preds.insert(w);
+                    }
+                }
+                st.last_writer = Some(id);
+                st.readers.clear();
+            } else {
+                // Pure reader.
+                if !st.readers.contains(&id) {
+                    st.readers.push(id);
+                }
+            }
+        }
+
+        // Count only predecessors that have not already completed.
+        let mut pred_count = 0;
+        for p in preds {
+            let pnode = self.nodes.get_mut(&p).expect("predecessor must exist");
+            if pnode.state != TaskState::Completed {
+                pnode.succs.push(id);
+                pred_count += 1;
+            }
+        }
+
+        let ready = pred_count == 0;
+        self.nodes.insert(
+            id,
+            Node {
+                preds: pred_count,
+                succs: Vec::new(),
+                state: if ready { TaskState::Ready } else { TaskState::Pending },
+            },
+        );
+        self.live += 1;
+        Ok(ready)
+    }
+
+    fn find_partial_overlap(&self, r: &Region) -> Option<Region> {
+        let map = self.regions.get(&r.data)?;
+        for (&(offset, len), _) in map.range(..(r.end(), 0)) {
+            let existing = Region { data: r.data, offset, len };
+            if r.partially_overlaps(&existing) {
+                return Some(existing);
+            }
+        }
+        None
+    }
+
+    /// Mark a ready task as running (handed to a resource).
+    pub fn start(&mut self, id: TaskId) {
+        let n = self.nodes.get_mut(&id).expect("unknown task");
+        assert_eq!(n.state, TaskState::Ready, "start() on a task that is not ready");
+        n.state = TaskState::Running;
+    }
+
+    /// Complete a task, releasing successors. Returns the tasks that
+    /// became ready.
+    pub fn complete(&mut self, id: TaskId) -> Vec<TaskId> {
+        let succs = {
+            let n = self.nodes.get_mut(&id).expect("unknown task");
+            assert_ne!(n.state, TaskState::Completed, "task completed twice");
+            n.state = TaskState::Completed;
+            std::mem::take(&mut n.succs)
+        };
+        self.live -= 1;
+        let mut newly_ready = Vec::new();
+        for s in succs {
+            let sn = self.nodes.get_mut(&s).expect("successor must exist");
+            sn.preds -= 1;
+            if sn.preds == 0 {
+                sn.state = TaskState::Ready;
+                newly_ready.push(s);
+            }
+        }
+        newly_ready
+    }
+
+    /// State of a task.
+    pub fn state(&self, id: TaskId) -> TaskState {
+        self.nodes.get(&id).expect("unknown task").state
+    }
+
+    /// Current successors of a task (direct dependents submitted so
+    /// far). The `dependencies` scheduler consults this to run a freed
+    /// successor immediately.
+    pub fn successors(&self, id: TaskId) -> Vec<TaskId> {
+        self.nodes.get(&id).map(|n| n.succs.clone()).unwrap_or_default()
+    }
+
+    /// Number of tasks not yet completed.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Tasks ever submitted.
+    pub fn submitted(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The task that most recently declared a write on exactly `region`,
+    /// if it has not completed. Used by `taskwait on(...)`.
+    pub fn pending_writer(&self, region: &Region) -> Option<TaskId> {
+        let st = self.regions.get(&region.data)?.get(&(region.offset, region.len))?;
+        let w = st.last_writer?;
+        if self.nodes.get(&w).map(|n| n.state) == Some(TaskState::Completed) {
+            None
+        } else {
+            Some(w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::AccessExt;
+
+    fn r(data: u64, offset: u64, len: u64) -> Region {
+        Region::new(DataId(data), offset, len)
+    }
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+
+    #[test]
+    fn independent_tasks_are_immediately_ready() {
+        let mut g = TaskGraph::new();
+        assert!(g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap());
+        assert!(g.add_task(t(2), &[Access::write(r(1, 8, 8))]).unwrap());
+        assert_eq!(g.live(), 2);
+    }
+
+    #[test]
+    fn raw_chain_serialises() {
+        let mut g = TaskGraph::new();
+        assert!(g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap());
+        assert!(!g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap());
+        assert_eq!(g.state(t(2)), TaskState::Pending);
+        let ready = g.complete(t(1));
+        assert_eq!(ready, vec![t(2)]);
+        assert_eq!(g.state(t(2)), TaskState::Ready);
+    }
+
+    #[test]
+    fn multiple_readers_run_concurrently_then_war() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        assert!(!g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap());
+        assert!(!g.add_task(t(3), &[Access::read(r(1, 0, 8))]).unwrap());
+        // Writer after the readers: WAR on both.
+        assert!(!g.add_task(t(4), &[Access::write(r(1, 0, 8))]).unwrap());
+        let ready = g.complete(t(1));
+        assert_eq!(ready, vec![t(2), t(3)]);
+        assert!(g.complete(t(2)).is_empty(), "writer still blocked on t3");
+        assert_eq!(g.complete(t(3)), vec![t(4)]);
+    }
+
+    #[test]
+    fn waw_orders_writers() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        assert!(!g.add_task(t(2), &[Access::write(r(1, 0, 8))]).unwrap());
+        assert_eq!(g.complete(t(1)), vec![t(2)]);
+    }
+
+    #[test]
+    fn inout_is_both_raw_and_war() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap();
+        assert!(!g.add_task(t(3), &[Access::update(r(1, 0, 8))]).unwrap());
+        g.complete(t(1));
+        // t3 needs both t1 (RAW) and t2 (WAR).
+        assert_eq!(g.state(t(3)), TaskState::Pending);
+        assert_eq!(g.complete(t(2)), vec![t(3)]);
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        // t1 writes a; t2, t3 read a and write b0/b1; t4 reads b0+b1.
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        g.add_task(t(2), &[Access::read(r(1, 0, 8)), Access::write(r(2, 0, 8))]).unwrap();
+        g.add_task(t(3), &[Access::read(r(1, 0, 8)), Access::write(r(2, 8, 8))]).unwrap();
+        g.add_task(t(4), &[Access::read(r(2, 0, 8)), Access::read(r(2, 8, 8))]).unwrap();
+        assert_eq!(g.complete(t(1)), vec![t(2), t(3)]);
+        assert!(g.complete(t(2)).is_empty());
+        assert_eq!(g.complete(t(3)), vec![t(4)]);
+    }
+
+    #[test]
+    fn dependency_on_completed_task_is_skipped() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        g.complete(t(1));
+        // Reader of data written by an already-completed task is ready.
+        assert!(g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap());
+    }
+
+    #[test]
+    fn partial_overlap_rejected_across_tasks() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 16))]).unwrap();
+        let err = g.add_task(t(2), &[Access::read(r(1, 8, 16))]).unwrap_err();
+        match err {
+            GraphError::PartialOverlap { task, new, existing } => {
+                assert_eq!(task, t(2));
+                assert_eq!(new, r(1, 8, 16));
+                assert_eq!(existing, r(1, 0, 16));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_overlap_rejected_within_one_task() {
+        let mut g = TaskGraph::new();
+        let err = g
+            .add_task(t(1), &[Access::write(r(1, 0, 16)), Access::read(r(1, 4, 4))])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::PartialOverlap { .. }));
+    }
+
+    #[test]
+    fn exact_match_regions_are_fine() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 16))]).unwrap();
+        assert!(g.add_task(t(2), &[Access::read(r(1, 16, 16))]).unwrap(), "adjacent ok");
+        assert!(!g.add_task(t(3), &[Access::read(r(1, 0, 16))]).unwrap(), "exact ok");
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[]).unwrap();
+        assert_eq!(g.add_task(t(1), &[]).unwrap_err(), GraphError::DuplicateTask(t(1)));
+    }
+
+    #[test]
+    fn successors_visible_for_scheduler() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap();
+        g.add_task(t(3), &[Access::read(r(1, 0, 8))]).unwrap();
+        assert_eq!(g.successors(t(1)), vec![t(2), t(3)]);
+    }
+
+    #[test]
+    fn pending_writer_supports_taskwait_on() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        assert_eq!(g.pending_writer(&r(1, 0, 8)), Some(t(1)));
+        assert_eq!(g.pending_writer(&r(1, 8, 8)), None);
+        g.complete(t(1));
+        assert_eq!(g.pending_writer(&r(1, 0, 8)), None);
+    }
+
+    #[test]
+    fn start_transitions_and_double_complete_panics() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[]).unwrap();
+        g.start(t(1));
+        assert_eq!(g.state(t(1)), TaskState::Running);
+        g.complete(t(1));
+        assert_eq!(g.state(t(1)), TaskState::Completed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            g.complete(t(1));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn long_chain_completes_in_order() {
+        let mut g = TaskGraph::new();
+        let region = r(1, 0, 8);
+        for i in 0..100 {
+            let ready = g.add_task(t(i), &[Access::update(region)]).unwrap();
+            assert_eq!(ready, i == 0);
+        }
+        for i in 0..100 {
+            let next = g.complete(t(i));
+            if i < 99 {
+                assert_eq!(next, vec![t(i + 1)]);
+            } else {
+                assert!(next.is_empty());
+            }
+        }
+        assert_eq!(g.live(), 0);
+        assert_eq!(g.submitted(), 100);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ompss-core — the OmpSs programming-model core
+//!
+//! The data-flow task model of Bueno et al. (IPPS 2012): tasks annotated
+//! with `input`/`output`/`inout` dependence clauses over byte regions,
+//! a `target` construct selecting the device (`smp`/`cuda`) and copy
+//! semantics (`copy_deps`), and a sibling task dependency graph built
+//! from RAW/WAR/WAW relations over *exact-match* regions.
+//!
+//! This crate is pure model — no virtual time, no devices: the runtime
+//! crate drives it. That separation mirrors the paper's architecture,
+//! where the dependence machinery is part of Nanos++'s
+//! architecture-independent layer (§III-C).
+//!
+//! ```
+//! use ompss_core::{AccessExt, TaskGraph, TaskId};
+//! use ompss_mem::{Access, DataId, Region};
+//!
+//! let a = Region::new(DataId(0), 0, 1024);
+//! let mut g = TaskGraph::new();
+//! let producer_ready = g.add_task(TaskId(1), &[Access::write(a)]).unwrap();
+//! let consumer_ready = g.add_task(TaskId(2), &[Access::read(a)]).unwrap();
+//! assert!(producer_ready && !consumer_ready);
+//! assert_eq!(g.complete(TaskId(1)), vec![TaskId(2)]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod task;
+
+pub use graph::{GraphError, TaskGraph, TaskState};
+pub use task::{AccessExt, Device, TaskDesc, TaskId};

@@ -1,0 +1,27 @@
+//! # ompss-cudasim — a CUDA-like simulated GPU layer
+//!
+//! The paper's GPU architecture layer (§III-D2) sits on NVIDIA's CUDA
+//! 3.2 runtime; no GPU is available here, so this crate reproduces the
+//! CUDA behaviours the Nanos++ techniques depend on:
+//!
+//! * [`GpuDevice`] — compute engine, DMA copy engines and a PCIe link,
+//!   all modelled as contended resources on the virtual clock;
+//! * [`Stream`]/[`CudaEvent`] — in-order asynchronous operation queues
+//!   with recordable completion events;
+//! * pinned-vs-pageable copy semantics — only page-locked host buffers
+//!   can overlap kernels, which is why the runtime stages user data
+//!   through an internal [`PinnedPool`];
+//! * [`KernelCost`] — roofline-style analytical kernel timing with
+//!   [`GpuSpec`] presets for the paper's Tesla S2050 and GTX 480.
+//!
+//! Operations can carry an [`Effect`] closure executed at the
+//! completion instant — this is where the real byte movement and real
+//! kernel arithmetic happen, keeping simulations numerically checkable.
+
+#![warn(missing_docs)]
+
+mod device;
+mod spec;
+
+pub use device::{CopyDir, CudaEvent, Effect, GpuDevice, GpuStats, PinnedPool, Stream};
+pub use spec::{GpuSpec, KernelCost};

@@ -1,0 +1,168 @@
+//! Data objects and byte regions — the vocabulary of OmpSs dependence
+//! clauses.
+//!
+//! A [`DataId`] names a user buffer registered with the runtime (the
+//! analogue of the host pointer a `#pragma omp task input([N] a)`
+//! clause evaluates to). A [`Region`] is a `(data, offset, len)` triple:
+//! the byte range a clause covers. Like the paper's implementation
+//! (§II-A3: "we currently do not support [partial overlap]"), dependence
+//! matching is by *exact region*; partially-overlapping regions are
+//! detected and reported as a programming error rather than silently
+//! mis-synchronised.
+
+use std::fmt;
+
+/// Identifier of a registered data object (user buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataId(pub u64);
+
+/// A byte range of a data object, as named by a dependence/copy clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Region {
+    /// The data object this region belongs to.
+    pub data: DataId,
+    /// Byte offset of the region start within the object.
+    pub offset: u64,
+    /// Length of the region in bytes. Always non-zero for regions built
+    /// through [`Region::new`].
+    pub len: u64,
+}
+
+impl Region {
+    /// Create a region covering `[offset, offset + len)` of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` — empty dependence regions are meaningless
+    /// and almost always indicate a blocking-arithmetic bug in the
+    /// caller.
+    pub fn new(data: DataId, offset: u64, len: u64) -> Self {
+        assert!(len > 0, "dependence region must be non-empty");
+        Region { data, offset, len }
+    }
+
+    /// One-past-the-end byte offset.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True if the two regions share at least one byte.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.data == other.data && self.offset < other.end() && other.offset < self.end()
+    }
+
+    /// True if the regions overlap but are not identical — the case the
+    /// runtime rejects (undefined behaviour in the paper's model).
+    pub fn partially_overlaps(&self, other: &Region) -> bool {
+        self.overlaps(other) && self != other
+    }
+
+    /// True if `other` lies entirely within `self`.
+    pub fn contains(&self, other: &Region) -> bool {
+        self.data == other.data && self.offset <= other.offset && other.end() <= self.end()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}[{}..{})", self.data.0, self.offset, self.end())
+    }
+}
+
+/// How a task accesses a region — the three OmpSs dependence clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// `input(...)`: the task reads the region.
+    Input,
+    /// `output(...)`: the task writes the whole region without reading.
+    Output,
+    /// `inout(...)`: the task reads and writes the region.
+    InOut,
+}
+
+impl AccessKind {
+    /// Does this access read the prior contents?
+    pub fn reads(self) -> bool {
+        matches!(self, AccessKind::Input | AccessKind::InOut)
+    }
+
+    /// Does this access produce a new version of the region?
+    pub fn writes(self) -> bool {
+        matches!(self, AccessKind::Output | AccessKind::InOut)
+    }
+}
+
+/// A dependence/copy clause: a region plus how it is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The region named by the clause.
+    pub region: Region,
+    /// Read/write/read-write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// `input(region)`.
+    pub fn input(region: Region) -> Self {
+        Access { region, kind: AccessKind::Input }
+    }
+
+    /// `output(region)`.
+    pub fn output(region: Region) -> Self {
+        Access { region, kind: AccessKind::Output }
+    }
+
+    /// `inout(region)`.
+    pub fn inout(region: Region) -> Self {
+        Access { region, kind: AccessKind::InOut }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(data: u64, offset: u64, len: u64) -> Region {
+        Region::new(DataId(data), offset, len)
+    }
+
+    #[test]
+    fn overlap_same_object() {
+        assert!(r(1, 0, 10).overlaps(&r(1, 5, 10)));
+        assert!(!r(1, 0, 10).overlaps(&r(1, 10, 10)), "touching regions do not overlap");
+        assert!(!r(1, 0, 10).overlaps(&r(2, 0, 10)), "different objects never overlap");
+    }
+
+    #[test]
+    fn partial_overlap_excludes_identity() {
+        assert!(!r(1, 0, 10).partially_overlaps(&r(1, 0, 10)));
+        assert!(r(1, 0, 10).partially_overlaps(&r(1, 4, 10)));
+        assert!(r(1, 0, 10).partially_overlaps(&r(1, 0, 4)), "nested counts as partial");
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        assert!(r(1, 0, 10).contains(&r(1, 0, 10)));
+        assert!(r(1, 0, 10).contains(&r(1, 2, 4)));
+        assert!(!r(1, 2, 4).contains(&r(1, 0, 10)));
+        assert!(!r(1, 0, 10).contains(&r(2, 2, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_region_rejected() {
+        let _ = r(1, 0, 0);
+    }
+
+    #[test]
+    fn access_kind_semantics() {
+        assert!(AccessKind::Input.reads() && !AccessKind::Input.writes());
+        assert!(!AccessKind::Output.reads() && AccessKind::Output.writes());
+        assert!(AccessKind::InOut.reads() && AccessKind::InOut.writes());
+    }
+
+    #[test]
+    fn display_formats_region() {
+        assert_eq!(r(3, 8, 4).to_string(), "D3[8..12)");
+    }
+}

@@ -1,0 +1,96 @@
+//! Safe reinterpretation of byte buffers as scalar slices.
+//!
+//! Buffer storage is 16-byte aligned (see [`crate::space`]), so viewing
+//! it as `f32`/`f64`/integer slices is sound whenever the length checks
+//! pass. This gives task kernels natural `&mut [f32]` access to data
+//! that the runtime moves around as raw bytes.
+
+/// Marker for plain-old-data scalar types that may alias a byte buffer.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding, no invalid bit
+/// patterns, and alignment ≤ 16.
+pub unsafe trait Scalar: Copy + 'static {}
+
+unsafe impl Scalar for u8 {}
+unsafe impl Scalar for i8 {}
+unsafe impl Scalar for u16 {}
+unsafe impl Scalar for i16 {}
+unsafe impl Scalar for u32 {}
+unsafe impl Scalar for i32 {}
+unsafe impl Scalar for u64 {}
+unsafe impl Scalar for i64 {}
+unsafe impl Scalar for f32 {}
+unsafe impl Scalar for f64 {}
+
+/// View a byte slice as a slice of `T`.
+///
+/// # Panics
+///
+/// Panics if the pointer is not aligned for `T` or the length is not a
+/// multiple of `size_of::<T>()`.
+pub fn cast_slice<T: Scalar>(bytes: &[u8]) -> &[T] {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % size, 0, "byte length {} not a multiple of {}", bytes.len(), size);
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "buffer misaligned for {}",
+        std::any::type_name::<T>()
+    );
+    // SAFETY: alignment and size checked above; T is POD per `Scalar`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / size) }
+}
+
+/// View a mutable byte slice as a mutable slice of `T`.
+///
+/// # Panics
+///
+/// Same conditions as [`cast_slice`].
+pub fn cast_slice_mut<T: Scalar>(bytes: &mut [u8]) -> &mut [T] {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % size, 0, "byte length {} not a multiple of {}", bytes.len(), size);
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "buffer misaligned for {}",
+        std::any::type_name::<T>()
+    );
+    // SAFETY: alignment and size checked above; T is POD per `Scalar`.
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr() as *mut T, bytes.len() / size) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_f32_roundtrip() {
+        let mut storage = vec![0u64; 2]; // 16 aligned bytes
+        let bytes: &mut [u8] = unsafe {
+            std::slice::from_raw_parts_mut(storage.as_mut_ptr() as *mut u8, 16)
+        };
+        {
+            let floats = cast_slice_mut::<f32>(bytes);
+            floats.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        }
+        let floats = cast_slice::<f32>(bytes);
+        assert_eq!(floats, &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn cast_rejects_partial_elements() {
+        let storage = [0u64; 1];
+        let bytes: &[u8] =
+            unsafe { std::slice::from_raw_parts(storage.as_ptr() as *const u8, 7) };
+        let _ = cast_slice::<f64>(bytes);
+    }
+
+    #[test]
+    fn cast_u8_is_identity() {
+        let data = [1u8, 2, 3];
+        assert_eq!(cast_slice::<u8>(&data), &[1, 2, 3]);
+    }
+}

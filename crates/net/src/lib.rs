@@ -1,0 +1,25 @@
+//! # ompss-net — simulated cluster interconnect
+//!
+//! The paper's cluster layer runs over GASNet active messages on a QDR
+//! Infiniband network; its baselines use MPI over the same wires. This
+//! crate models that interconnect deterministically:
+//!
+//! * [`Fabric`] — per-node full-duplex NIC ports over a contention-free
+//!   core; transfers cost `latency + size/bandwidth` of virtual time and
+//!   contend for ports (which is what produces the paper's master-
+//!   bottleneck and slave-to-slave effects);
+//! * [`AmNet`]/[`AmEndpoint`] — GASNet-style short/long active messages,
+//!   used by the OmpSs cluster runtime;
+//! * [`Mpi`]/[`MpiRank`] — tagged point-to-point with MPI matching
+//!   semantics plus barrier/bcast/allgather/gather, used by the
+//!   MPI+CUDA baseline applications.
+
+#![warn(missing_docs)]
+
+mod am;
+mod fabric;
+mod mpi;
+
+pub use am::{AmEndpoint, AmNet, AM_HEADER_BYTES};
+pub use fabric::{Fabric, FabricConfig, NetStats, NodeId};
+pub use mpi::{Mpi, MpiMsg, MpiRank, Source, MPI_ENVELOPE_BYTES};

@@ -1,0 +1,471 @@
+//! A small MPI-like message-passing layer for the baseline applications.
+//!
+//! The paper compares OmpSs against hand-written MPI+CUDA programs
+//! (SUMMA matrix multiply, STREAM, Perlin, N-Body). Those baselines are
+//! reproduced here against this layer, which provides blocking tagged
+//! point-to-point sends/receives with MPI's matching semantics
+//! (source+tag, unexpected-message queue) plus the collectives the
+//! baselines need: dissemination barrier, binomial-tree broadcast (also
+//! over sub-groups, for SUMMA's row/column broadcasts) and ring
+//! allgather. It runs over the same [`Fabric`](crate::Fabric) model as
+//! the OmpSs runtime, so simulated times are directly comparable.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ompss_sim::{Ctx, SimResult};
+
+use crate::fabric::{Fabric, FabricConfig, NetStats, NodeId};
+
+/// Wire overhead of a point-to-point message envelope, in bytes.
+pub const MPI_ENVELOPE_BYTES: u64 = 64;
+
+/// A tagged message. `data` carries real bytes when the sender provides
+/// them (validation runs); `size` is always the modelled payload size.
+#[derive(Debug, Clone)]
+pub struct MpiMsg {
+    /// User tag for matching.
+    pub tag: u32,
+    /// Modelled payload size in bytes.
+    pub size: u64,
+    /// Real payload bytes, if the sender supplied them.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Receive matching: MPI's `source` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Match a specific sender rank.
+    Rank(NodeId),
+    /// `MPI_ANY_SOURCE`.
+    Any,
+}
+
+/// An MPI-like world of `size` ranks over a simulated fabric.
+///
+/// Clones share the same world.
+pub struct Mpi {
+    fabric: Fabric<MpiMsg>,
+    /// Per-rank queue of received-but-unmatched messages.
+    unexpected: Arc<Vec<Mutex<VecDeque<(NodeId, MpiMsg)>>>>,
+}
+
+impl Clone for Mpi {
+    fn clone(&self) -> Self {
+        Mpi { fabric: self.fabric.clone(), unexpected: self.unexpected.clone() }
+    }
+}
+
+impl Mpi {
+    /// Create a world over a fresh fabric.
+    pub fn new(cfg: FabricConfig) -> Self {
+        let n = cfg.nodes as usize;
+        Mpi {
+            fabric: Fabric::new(cfg),
+            unexpected: Arc::new((0..n).map(|_| Mutex::new(VecDeque::new())).collect()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.fabric.config().nodes
+    }
+
+    /// The communicator handle for rank `rank`. Each rank must be driven
+    /// by a single simulation process.
+    pub fn rank(&self, rank: NodeId) -> MpiRank {
+        assert!(rank < self.size());
+        MpiRank { rank, world: self.clone() }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.fabric.stats()
+    }
+}
+
+/// One rank's view of the world.
+pub struct MpiRank {
+    rank: NodeId,
+    world: Mpi,
+}
+
+impl Clone for MpiRank {
+    fn clone(&self) -> Self {
+        MpiRank { rank: self.rank, world: self.world.clone() }
+    }
+}
+
+impl MpiRank {
+    /// This rank's index.
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> u32 {
+        self.world.size()
+    }
+
+    /// Blocking tagged send of `size` modelled bytes (optionally with
+    /// real data). Completes when the message is delivered — rendezvous
+    /// semantics, like a large-message `MPI_Send`.
+    pub fn send(
+        &self,
+        ctx: &Ctx,
+        dst: NodeId,
+        tag: u32,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> SimResult<()> {
+        self.world.fabric.send(
+            ctx,
+            self.rank,
+            dst,
+            MPI_ENVELOPE_BYTES + size,
+            MpiMsg { tag, size, data },
+        )
+    }
+
+    /// Blocking receive matching `source` and `tag` (`None` = any tag).
+    /// Returns `(sender, message)`.
+    pub fn recv(&self, ctx: &Ctx, source: Source, tag: Option<u32>) -> SimResult<(NodeId, MpiMsg)> {
+        let matches = |src: NodeId, m: &MpiMsg| {
+            (match source {
+                Source::Rank(r) => src == r,
+                Source::Any => true,
+            }) && tag.map_or(true, |t| m.tag == t)
+        };
+        // First scan the unexpected queue (FIFO within matches).
+        {
+            let mut q = self.world.unexpected[self.rank as usize].lock();
+            if let Some(pos) = q.iter().position(|(s, m)| matches(*s, m)) {
+                return Ok(q.remove(pos).expect("position just found"));
+            }
+        }
+        // Then pull from the wire, stashing non-matching messages.
+        loop {
+            let (src, msg) = self.world.fabric.recv(ctx, self.rank)?;
+            if matches(src, &msg) {
+                return Ok((src, msg));
+            }
+            self.world.unexpected[self.rank as usize].lock().push_back((src, msg));
+        }
+    }
+
+    /// Dissemination barrier: ⌈log₂ p⌉ rounds, no master hotspot.
+    pub fn barrier(&self, ctx: &Ctx, tag: u32) -> SimResult<()> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let mut step = 1u32;
+        let mut round = 0u32;
+        while step < p {
+            let dst = (self.rank + step) % p;
+            let src = (self.rank + p - step) % p;
+            // Send then receive; both are on disjoint ports so the
+            // pattern cannot deadlock in this fabric model.
+            self.send(ctx, dst, tag + round, 0, None)?;
+            let _ = self.recv(ctx, Source::Rank(src), Some(tag + round))?;
+            step *= 2;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast over the whole world.
+    /// Returns the payload (the root passes it in; others receive it).
+    pub fn bcast(
+        &self,
+        ctx: &Ctx,
+        root: NodeId,
+        tag: u32,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> SimResult<Option<Vec<u8>>> {
+        let group: Vec<NodeId> = (0..self.size()).collect();
+        self.bcast_group(ctx, &group, root, tag, size, data)
+    }
+
+    /// Binomial-tree broadcast over an explicit `group` of ranks (used
+    /// for SUMMA's row/column broadcasts). `root` must be in the group;
+    /// every group member must call with identical arguments.
+    pub fn bcast_group(
+        &self,
+        ctx: &Ctx,
+        group: &[NodeId],
+        root: NodeId,
+        tag: u32,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> SimResult<Option<Vec<u8>>> {
+        let p = group.len() as u32;
+        let me = group
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("calling rank not in bcast group") as u32;
+        let rootpos =
+            group.iter().position(|&r| r == root).expect("root not in bcast group") as u32;
+        // Standard binomial tree over virtual ranks (root at 0): a rank
+        // receives from the peer that differs in its lowest set bit,
+        // then forwards to peers formed by setting each lower bit.
+        let vrank = (me + p - rootpos) % p;
+        let to_real = |v: u32| group[((v + rootpos) % p) as usize];
+        let mut payload = data;
+        let mut mask = 1u32;
+        while mask < p {
+            if vrank & mask != 0 {
+                let parent = to_real(vrank ^ mask);
+                let (_, msg) = self.recv(ctx, Source::Rank(parent), Some(tag))?;
+                payload = msg.data;
+                break;
+            }
+            mask <<= 1;
+        }
+        // `mask` is now our lowest set bit (or ≥ the group size for the
+        // root); children are vrank | m for every m below it.
+        mask >>= 1;
+        while mask > 0 {
+            let vchild = vrank | mask;
+            if vchild < p && vchild != vrank {
+                self.send(ctx, to_real(vchild), tag, size, payload.clone())?;
+            }
+            mask >>= 1;
+        }
+        Ok(payload)
+    }
+
+    /// Ring allgather: every rank contributes `size` modelled bytes and
+    /// receives all contributions. Returns the gathered contributions in
+    /// rank order (each `None` unless real data was supplied).
+    pub fn allgather(
+        &self,
+        ctx: &Ctx,
+        tag: u32,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> SimResult<Vec<Option<Vec<u8>>>> {
+        let p = self.size();
+        let mut slots: Vec<Option<Option<Vec<u8>>>> = vec![None; p as usize];
+        slots[self.rank as usize] = Some(data.clone());
+        if p == 1 {
+            return Ok(slots.into_iter().map(|s| s.expect("own slot")).collect());
+        }
+        let right = (self.rank + 1) % p;
+        let left = (self.rank + p - 1) % p;
+        // At step s we forward the block that originated at rank - s.
+        let mut carry = data;
+        let mut carry_origin = self.rank;
+        for _ in 0..p - 1 {
+            self.send(ctx, right, tag, size, carry.clone())?;
+            let (_, msg) = self.recv(ctx, Source::Rank(left), Some(tag))?;
+            carry_origin = (carry_origin + p - 1) % p;
+            carry = msg.data;
+            slots[carry_origin as usize] = Some(carry.clone());
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("ring visits every origin"))
+            .collect())
+    }
+
+    /// Gather to `root`: everyone sends `size` bytes to the root, which
+    /// receives them in rank order. Returns contributions at the root.
+    pub fn gather(
+        &self,
+        ctx: &Ctx,
+        root: NodeId,
+        tag: u32,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> SimResult<Option<Vec<Option<Vec<u8>>>>> {
+        if self.rank == root {
+            let mut out: Vec<Option<Vec<u8>>> = vec![None; self.size() as usize];
+            out[root as usize] = data;
+            for r in 0..self.size() {
+                if r == root {
+                    continue;
+                }
+                let (_, msg) = self.recv(ctx, Source::Rank(r), Some(tag))?;
+                out[r as usize] = msg.data;
+            }
+            Ok(Some(out))
+        } else {
+            self.send(ctx, root, tag, size, data)?;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompss_sim::{Sim, SimDuration};
+    use parking_lot::Mutex as PMutex;
+    use std::sync::Arc;
+
+    fn world(n: u32) -> Mpi {
+        Mpi::new(FabricConfig { nodes: n, latency: SimDuration::from_micros(1), bandwidth: 1e9 })
+    }
+
+    /// Run `f(rank_handle, ctx)` on every rank as its own process.
+    fn run_ranks(mpi: &Mpi, f: impl Fn(MpiRank, &Ctx) + Send + Sync + 'static) {
+        let sim = Sim::new();
+        let f = Arc::new(f);
+        for r in 0..mpi.size() {
+            let rank = mpi.rank(r);
+            let f = f.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| f(rank, &ctx));
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn send_recv_with_data() {
+        let mpi = world(2);
+        run_ranks(&mpi, |rank, ctx| {
+            if rank.rank() == 0 {
+                rank.send(ctx, 1, 7, 3, Some(vec![1, 2, 3])).unwrap();
+            } else {
+                let (src, msg) = rank.recv(ctx, Source::Rank(0), Some(7)).unwrap();
+                assert_eq!(src, 0);
+                assert_eq!(msg.data, Some(vec![1, 2, 3]));
+                assert_eq!(msg.size, 3);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_matches_tag_with_unexpected_queue() {
+        let mpi = world(2);
+        run_ranks(&mpi, |rank, ctx| {
+            if rank.rank() == 0 {
+                rank.send(ctx, 1, 1, 0, Some(vec![1])).unwrap();
+                rank.send(ctx, 1, 2, 0, Some(vec![2])).unwrap();
+            } else {
+                // Receive tag 2 first although tag 1 arrives first.
+                let (_, m2) = rank.recv(ctx, Source::Rank(0), Some(2)).unwrap();
+                assert_eq!(m2.data, Some(vec![2]));
+                let (_, m1) = rank.recv(ctx, Source::Rank(0), Some(1)).unwrap();
+                assert_eq!(m1.data, Some(vec![1]));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_source() {
+        let mpi = world(3);
+        run_ranks(&mpi, |rank, ctx| match rank.rank() {
+            0 => {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    let (src, _) = rank.recv(ctx, Source::Any, Some(9)).unwrap();
+                    got.push(src);
+                }
+                got.sort();
+                assert_eq!(got, vec![1, 2]);
+            }
+            _ => rank.send(ctx, 0, 9, 10, None).unwrap(),
+        });
+    }
+
+    #[test]
+    fn barrier_synchronises_all_ranks() {
+        for p in [1u32, 2, 3, 4, 8] {
+            let mpi = world(p);
+            let after = Arc::new(PMutex::new(Vec::new()));
+            let a = after.clone();
+            run_ranks(&mpi, move |rank, ctx| {
+                // Stagger arrival.
+                ctx.delay(SimDuration::from_micros(rank.rank() as u64 * 10)).unwrap();
+                rank.barrier(ctx, 100).unwrap();
+                a.lock().push(ctx.now());
+            });
+            let times = after.lock().clone();
+            assert_eq!(times.len(), p as usize);
+            let min = times.iter().min().unwrap();
+            // All ranks leave the barrier no earlier than the last arrival.
+            assert!(min.as_nanos() >= (p as u64 - 1) * 10_000, "p={p}");
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_payload_to_all() {
+        for p in [1u32, 2, 3, 4, 5, 8] {
+            for root in [0, p - 1] {
+                let mpi = world(p);
+                run_ranks(&mpi, move |rank, ctx| {
+                    let data =
+                        if rank.rank() == root { Some(vec![42, root as u8]) } else { None };
+                    let out = rank.bcast(ctx, root, 5, 2, data).unwrap();
+                    assert_eq!(out, Some(vec![42, root as u8]), "p={p} root={root}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_group_works_on_subsets() {
+        // Ranks {1, 3} form a group with root 3; others do nothing.
+        let mpi = world(4);
+        run_ranks(&mpi, |rank, ctx| {
+            let group = [1u32, 3];
+            if group.contains(&rank.rank()) {
+                let data = if rank.rank() == 3 { Some(vec![7]) } else { None };
+                let out = rank.bcast_group(ctx, &group, 3, 11, 1, data).unwrap();
+                assert_eq!(out, Some(vec![7]));
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        for p in [1u32, 2, 3, 4, 6] {
+            let mpi = world(p);
+            run_ranks(&mpi, move |rank, ctx| {
+                let mine = vec![rank.rank() as u8];
+                let all = rank.allgather(ctx, 3, 1, Some(mine)).unwrap();
+                let expect: Vec<_> = (0..p).map(|r| Some(vec![r as u8])).collect();
+                assert_eq!(all, expect, "p={p}");
+            });
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        let mpi = world(4);
+        run_ranks(&mpi, |rank, ctx| {
+            let out = rank.gather(ctx, 2, 8, 1, Some(vec![rank.rank() as u8])).unwrap();
+            if rank.rank() == 2 {
+                let got = out.unwrap();
+                assert_eq!(
+                    got,
+                    vec![Some(vec![0]), Some(vec![1]), Some(vec![2]), Some(vec![3])]
+                );
+            } else {
+                assert!(out.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn bigger_payloads_take_longer() {
+        let mpi = world(2);
+        let t_small = Arc::new(PMutex::new(0u64));
+        let ts = t_small.clone();
+        run_ranks(&mpi, move |rank, ctx| {
+            if rank.rank() == 0 {
+                rank.send(ctx, 1, 0, 1_000_000, None).unwrap();
+                *ts.lock() = ctx.now().as_nanos();
+            } else {
+                rank.recv(ctx, Source::Rank(0), Some(0)).unwrap();
+            }
+        });
+        // ~1ms for 1MB at 1GB/s (plus envelope + latency).
+        let t = *t_small.lock();
+        assert!(t > 1_000_000 && t < 1_100_000, "t={t}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Runtime configuration — the knobs the paper's evaluation sweeps.
+//!
+//! Every configuration axis of §IV is here: cache policy, scheduling
+//! policy, slave-to-slave routing, presend depth, transfer/compute
+//! overlap, prefetch, plus the platform shape (nodes, GPUs, specs).
+//! Presets reproduce the paper's two testbeds.
+
+use ompss_cudasim::GpuSpec;
+use ompss_mem::Backing;
+use ompss_net::FabricConfig;
+use ompss_sched::Policy;
+use ompss_sim::SimDuration;
+
+pub use ompss_coherence::{CachePolicy, SlaveRouting};
+
+/// Full configuration of a runtime instance.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Cluster nodes (1 = the multi-GPU single-node environment).
+    pub nodes: u32,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// SMP worker threads per node (cores left after manager threads).
+    pub cpu_workers_per_node: u32,
+    /// GPU model.
+    pub gpu_spec: GpuSpec,
+    /// Override the GPU memory the cache may use (bytes). Defaults to
+    /// the spec's capacity minus a small reserve. Fig. 8's memory-
+    /// pressure study uses this.
+    pub gpu_mem_override: Option<u64>,
+    /// Host memory per node (bytes).
+    pub host_mem: u64,
+    /// Interconnect model.
+    pub fabric: FabricConfig,
+    /// Cache write policy (`nocache` / `wt` / `wb`).
+    pub cache_policy: CachePolicy,
+    /// Task scheduling policy (`bf` / `default` / `affinity`).
+    pub sched_policy: Policy,
+    /// Inter-slave transfer routing (`MtoS` / `StoS`).
+    pub routing: SlaveRouting,
+    /// Tasks present to a remote node beyond its resource count, so
+    /// their input transfers overlap remote compute.
+    pub presend: u32,
+    /// Overlap PCIe transfers with GPU compute via pinned staging
+    /// buffers (off by default, as in the paper).
+    pub overlap: bool,
+    /// Prefetch the next scheduled task's data right after a kernel
+    /// launch.
+    pub prefetch: bool,
+    /// Real byte backing (validated runs) or phantom (paper-scale).
+    pub backing: Backing,
+    /// Pinned host buffer pool per node (bytes); used when `overlap`.
+    pub pinned_pool: u64,
+    /// Cost charged per SMP task in addition to its own cost — models
+    /// task bookkeeping overhead.
+    pub task_overhead: SimDuration,
+    /// Coarse-eviction slack: fraction of device capacity freed beyond
+    /// the immediate need on memory pressure (0 = precise LRU). Models
+    /// the aggressive replacement of the paper-era GPU cache.
+    pub eviction_slack: f64,
+    /// Record a Paraver-style execution trace (task intervals per
+    /// resource, transfers per medium) into the run report.
+    pub tracing: bool,
+}
+
+impl RuntimeConfig {
+    /// The paper's multi-GPU node: 2× Xeon E5440 (8 cores) with 4×
+    /// Tesla S2050. One core per GPU is a manager thread; the caller
+    /// picks how many GPUs to enable.
+    pub fn multi_gpu(gpus: u32) -> Self {
+        RuntimeConfig {
+            nodes: 1,
+            gpus_per_node: gpus,
+            cpu_workers_per_node: 8u32.saturating_sub(gpus).max(1),
+            gpu_spec: GpuSpec::tesla_s2050(),
+            gpu_mem_override: None,
+            host_mem: 16 << 30,
+            // Single node: fabric unused but must exist.
+            fabric: FabricConfig::qdr_infiniband(1),
+            cache_policy: CachePolicy::WriteBack,
+            sched_policy: Policy::Dependencies,
+            routing: SlaveRouting::Direct,
+            presend: 0,
+            overlap: false,
+            prefetch: false,
+            backing: Backing::Real,
+            pinned_pool: 2 << 30,
+            task_overhead: SimDuration::from_micros(5),
+            eviction_slack: 0.0,
+            tracing: false,
+        }
+    }
+
+    /// The paper's GPU cluster: up to 8 nodes, each 2× Xeon E5620
+    /// (8 cores) + 1 GTX 480, QDR Infiniband.
+    pub fn gpu_cluster(nodes: u32) -> Self {
+        RuntimeConfig {
+            nodes,
+            gpus_per_node: 1,
+            cpu_workers_per_node: 6,
+            gpu_spec: GpuSpec::gtx_480(),
+            gpu_mem_override: None,
+            host_mem: 25 << 30,
+            fabric: FabricConfig::qdr_infiniband(nodes),
+            cache_policy: CachePolicy::WriteBack,
+            sched_policy: Policy::Affinity,
+            routing: SlaveRouting::Direct,
+            presend: 0,
+            overlap: true,
+            prefetch: true,
+            backing: Backing::Real,
+            pinned_pool: 2 << 30,
+            task_overhead: SimDuration::from_micros(5),
+            eviction_slack: 0.0,
+            tracing: false,
+        }
+    }
+
+    /// Builder-style setters for the experiment sweeps.
+    pub fn with_cache(mut self, p: CachePolicy) -> Self {
+        self.cache_policy = p;
+        self
+    }
+
+    /// Set the scheduling policy.
+    pub fn with_sched(mut self, p: Policy) -> Self {
+        self.sched_policy = p;
+        self
+    }
+
+    /// Set inter-slave routing.
+    pub fn with_routing(mut self, r: SlaveRouting) -> Self {
+        self.routing = r;
+        self
+    }
+
+    /// Set the presend depth.
+    pub fn with_presend(mut self, n: u32) -> Self {
+        self.presend = n;
+        self
+    }
+
+    /// Enable/disable transfer–compute overlap.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Enable/disable prefetch.
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Select phantom or real byte backing.
+    pub fn with_backing(mut self, b: Backing) -> Self {
+        self.backing = b;
+        self
+    }
+
+    /// Cap the GPU memory visible to the cache.
+    pub fn with_gpu_mem(mut self, bytes: u64) -> Self {
+        self.gpu_mem_override = Some(bytes);
+        self
+    }
+
+    /// Set the coarse-eviction slack (see the field docs).
+    pub fn with_eviction_slack(mut self, slack: f64) -> Self {
+        self.eviction_slack = slack;
+        self
+    }
+
+    /// Enable execution tracing (see [`crate::trace`]).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Usable GPU cache capacity.
+    pub fn gpu_cache_capacity(&self) -> u64 {
+        self.gpu_mem_override.unwrap_or_else(|| {
+            // Reserve ~5% for CUDA context and fragmentation.
+            self.gpu_spec.mem_capacity - self.gpu_spec.mem_capacity / 20
+        })
+    }
+
+    /// Total schedulable resources on one node (workers + GPU managers).
+    pub fn node_resources(&self) -> u32 {
+        self.cpu_workers_per_node + self.gpus_per_node
+    }
+
+    /// Apply `NX_ARGS`-style environment overrides, the way Nanos++ read
+    /// its runtime options. Recognised variables:
+    ///
+    /// | variable | values |
+    /// |---|---|
+    /// | `OMPSS_SCHEDULE` | `bf`, `default`, `affinity` |
+    /// | `OMPSS_CACHE_POLICY` | `nocache`, `wt`, `wb` |
+    /// | `OMPSS_ROUTING` | `mtos`, `stos` |
+    /// | `OMPSS_PRESEND` | integer depth |
+    /// | `OMPSS_OVERLAP` / `OMPSS_PREFETCH` / `OMPSS_TRACE` | `0`/`1` |
+    ///
+    /// Unknown values panic (a typo silently ignored would invalidate an
+    /// experiment).
+    pub fn overridden_from_env(mut self) -> Self {
+        use std::env;
+        if let Ok(v) = env::var("OMPSS_SCHEDULE") {
+            self.sched_policy = match v.as_str() {
+                "bf" => Policy::BreadthFirst,
+                "default" => Policy::Dependencies,
+                "affinity" => Policy::Affinity,
+                other => panic!("OMPSS_SCHEDULE: unknown policy '{other}'"),
+            };
+        }
+        if let Ok(v) = env::var("OMPSS_CACHE_POLICY") {
+            self.cache_policy = match v.as_str() {
+                "nocache" => CachePolicy::NoCache,
+                "wt" => CachePolicy::WriteThrough,
+                "wb" => CachePolicy::WriteBack,
+                other => panic!("OMPSS_CACHE_POLICY: unknown policy '{other}'"),
+            };
+        }
+        if let Ok(v) = env::var("OMPSS_ROUTING") {
+            self.routing = match v.as_str() {
+                "mtos" => SlaveRouting::ViaMaster,
+                "stos" => SlaveRouting::Direct,
+                other => panic!("OMPSS_ROUTING: unknown mode '{other}'"),
+            };
+        }
+        if let Ok(v) = env::var("OMPSS_PRESEND") {
+            self.presend = v.parse().expect("OMPSS_PRESEND: not an integer");
+        }
+        let flag = |name: &str| -> Option<bool> {
+            env::var(name).ok().map(|v| match v.as_str() {
+                "1" | "true" | "on" => true,
+                "0" | "false" | "off" => false,
+                other => panic!("{name}: expected 0/1, got '{other}'"),
+            })
+        };
+        if let Some(b) = flag("OMPSS_OVERLAP") {
+            self.overlap = b;
+        }
+        if let Some(b) = flag("OMPSS_PREFETCH") {
+            self.prefetch = b;
+        }
+        if let Some(b) = flag("OMPSS_TRACE") {
+            self.tracing = b;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_platforms() {
+        let m = RuntimeConfig::multi_gpu(4);
+        assert_eq!(m.nodes, 1);
+        assert_eq!(m.gpus_per_node, 4);
+        assert_eq!(m.gpu_spec.name, "Tesla S2050");
+        let c = RuntimeConfig::gpu_cluster(8);
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.gpus_per_node, 1);
+        assert_eq!(c.gpu_spec.name, "GTX 480");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = RuntimeConfig::gpu_cluster(4)
+            .with_cache(CachePolicy::NoCache)
+            .with_sched(Policy::BreadthFirst)
+            .with_routing(SlaveRouting::ViaMaster)
+            .with_presend(2)
+            .with_overlap(false)
+            .with_prefetch(false)
+            .with_gpu_mem(1 << 20);
+        assert_eq!(c.cache_policy, CachePolicy::NoCache);
+        assert_eq!(c.presend, 2);
+        assert_eq!(c.gpu_cache_capacity(), 1 << 20);
+    }
+
+    #[test]
+    fn default_gpu_capacity_reserves_headroom() {
+        let c = RuntimeConfig::gpu_cluster(1);
+        assert!(c.gpu_cache_capacity() < c.gpu_spec.mem_capacity);
+        assert!(c.gpu_cache_capacity() > c.gpu_spec.mem_capacity / 2);
+    }
+}

@@ -1,0 +1,579 @@
+//! The runtime engine: node images and their service processes.
+//!
+//! Mirrors the Nanos++ execution flow (§III-C): a submitted task enters
+//! the dependency graph; when ready it goes to the scheduler; a
+//! resource (SMP worker, GPU manager thread, or — via the master's
+//! communication thread — a remote node) picks it up; the coherence
+//! layer stages its data in the execution space; the task runs; its
+//! completion releases successors.
+//!
+//! Cluster protocol (§III-D1): the master image runs the program and
+//! owns the task graph. One *communication thread* drains the per-node
+//! proxy queues round-robin, staging each dispatched task's input data
+//! in the remote node's host memory (concurrently, via helper
+//! processes — GASNet sends are asynchronous) before sending the `Exec`
+//! active message. Slaves submit received tasks to their local
+//! scheduler, execute them with their own workers/GPU managers, and
+//! send `Done` back; the master releases successors and refills the
+//! node up to `resources + presend` tasks in flight.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ompss_coherence::Coherence;
+use ompss_core::{Device, TaskGraph, TaskId};
+use ompss_cudasim::{GpuDevice, KernelCost};
+use ompss_mem::{MemoryManager, SpaceId};
+use ompss_net::{AmEndpoint, NodeId};
+use ompss_mem::Region;
+use ompss_sched::{LocalityOracle, ResourceId, Scheduler};
+use ompss_sim::{Bell, Ctx, Latch, SimDuration, SimResult};
+
+use crate::exec::{ClusterMsg, RtExec};
+use crate::task::{TaskCost, TaskRecord};
+use crate::trace::{TraceEvent, TraceResource, Tracer};
+
+/// Scheduler oracle mapping each resource's space to the set of spaces
+/// whose cached data should count toward its affinity: a GPU counts
+/// only itself; a host counts itself; a node proxy counts the whole
+/// node (host + GPUs), matching the master's node-granularity view.
+pub(crate) struct SpanOracle {
+    pub coh: Arc<Coherence>,
+    pub spans: HashMap<SpaceId, Vec<SpaceId>>,
+}
+
+impl LocalityOracle for SpanOracle {
+    fn bytes_at(&self, region: &Region, space: SpaceId) -> u64 {
+        match self.spans.get(&space) {
+            Some(spaces) => self.coh.bytes_under(region, spaces),
+            None => self.coh.bytes_at(region, space),
+        }
+    }
+}
+
+/// State owned by the master image, under one lock.
+pub(crate) struct MasterState {
+    pub graph: TaskGraph,
+    pub sched: Scheduler,
+    pub records: HashMap<TaskId, Arc<TaskRecord>>,
+    pub next_id: u64,
+    /// Dispatched-but-unfinished tasks per node and device kind
+    /// `(smp, cuda)` (index 0 unused).
+    pub inflight: Vec<(u32, u32)>,
+    pub tasks_executed: u64,
+}
+
+/// Per-slave-node state.
+pub(crate) struct SlaveState {
+    pub sched: Mutex<Scheduler>,
+    pub bell: Bell,
+    pub host: SpaceId,
+}
+
+/// Everything the service processes share.
+pub(crate) struct RtShared {
+    pub cfg: crate::config::RuntimeConfig,
+    pub mem: Arc<MemoryManager>,
+    pub coh: Arc<Coherence>,
+    pub exec: Arc<RtExec>,
+    pub master: Mutex<MasterState>,
+    pub master_bell: Bell,
+    pub comm_bell: Bell,
+    pub master_oracle: SpanOracle,
+    pub slaves: Vec<SlaveState>,
+    /// Per-slave oracle spans (same coherence).
+    pub slave_oracles: Vec<SpanOracle>,
+    /// Outstanding tasks (for `taskwait`).
+    pub latch: Latch,
+    /// Node proxy resource ids within the master scheduler, per node
+    /// (index 0 unused).
+    pub proxy_res: Vec<ResourceId>,
+    pub gpus: HashMap<SpaceId, GpuDevice>,
+    pub hosts: Vec<SpaceId>,
+    pub tracer: Option<Tracer>,
+}
+
+impl RtShared {
+    /// Record a task-execution interval when tracing is on.
+    fn trace_task(&self, rec: &TaskRecord, node: u32, name: &str, start: ompss_sim::SimTime, end: ompss_sim::SimTime) {
+        if let Some(tr) = &self.tracer {
+            tr.record(TraceEvent::Task {
+                task: rec.desc.id.0,
+                label: rec.desc.label.clone(),
+                resource: TraceResource { node, name: name.to_string() },
+                start,
+                end,
+            });
+        }
+    }
+
+    fn record(&self, id: TaskId) -> Arc<TaskRecord> {
+        self.master.lock().records.get(&id).expect("unknown task id").clone()
+    }
+
+    /// Acquire all of a task's copy accesses in `space` concurrently —
+    /// the paper's *non-blocking cache*: every input transfer is issued
+    /// at once (they pipeline on the DMA engines and NIC ports) and the
+    /// caller parks until the last completes. Returns the mapped
+    /// locations in access order.
+    fn acquire_all(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        accesses: &[ompss_mem::Access],
+        space: SpaceId,
+    ) -> SimResult<Vec<ompss_coherence::Loc>> {
+        if accesses.len() <= 1 {
+            let mut locs = Vec::with_capacity(accesses.len());
+            for a in accesses {
+                locs.push(self.coh.acquire(ctx, &*self.exec, &a.region, a.kind.reads(), space)?);
+            }
+            return Ok(locs);
+        }
+        let latch = ompss_sim::Latch::new();
+        latch.add(accesses.len() as u64);
+        let results: Arc<Mutex<Vec<Option<ompss_coherence::Loc>>>> =
+            Arc::new(Mutex::new(vec![None; accesses.len()]));
+        for (i, a) in accesses.iter().copied().enumerate() {
+            let sh = self.clone();
+            let latch = latch.clone();
+            let results = results.clone();
+            ctx.spawn_daemon(format!("acquire:{}", a.region), move |actx| {
+                if let Ok(loc) =
+                    sh.coh.acquire(&actx, &*sh.exec, &a.region, a.kind.reads(), space)
+                {
+                    results.lock()[i] = Some(loc);
+                }
+                latch.done(&actx);
+            });
+        }
+        latch.wait_zero(ctx)?;
+        let locs: Option<Vec<_>> = results.lock().iter().copied().collect();
+        locs.ok_or(ompss_sim::SimError::Shutdown)
+    }
+
+    /// Run the body + cost of `task` in `space`, assuming the caller
+    /// handles graph bookkeeping. SMP flavour: cost charged as a delay.
+    fn run_smp_body(self: &Arc<Self>, ctx: &Ctx, rec: &TaskRecord, space: SpaceId) -> SimResult<()> {
+        let accesses = rec.copy_accesses();
+        let mut locs = Vec::with_capacity(accesses.len());
+        for a in &accesses {
+            locs.push(self.coh.acquire(ctx, &*self.exec, &a.region, a.kind.reads(), space)?);
+        }
+        match rec.cost {
+            TaskCost::Smp(d) => ctx.delay(d)?,
+            TaskCost::Auto => {
+                // Streaming-kernel default: one pass over the footprint
+                // at host memcpy bandwidth.
+                let bytes = rec.desc.copy_footprint() as f64;
+                ctx.delay(SimDuration::from_secs_f64(
+                    bytes / self.cfg.gpu_spec.host_memcpy_bandwidth,
+                ))?;
+            }
+            TaskCost::Zero => {}
+            TaskCost::Gpu(_) => unreachable!("GPU task routed to an SMP worker"),
+        }
+        if let Some(body) = &rec.body {
+            let requests: Vec<_> = locs
+                .iter()
+                .zip(&accesses)
+                .map(|(l, a)| (l.space, l.alloc, l.offset, a.region.len))
+                .collect();
+            let body = body.clone();
+            self.mem.with_bytes_many(&requests, |views| body(views));
+        }
+        self.coh.commit(ctx, &*self.exec, &accesses, space)?;
+        Ok(())
+    }
+
+    /// Run `task` on a GPU through its manager's stream, with optional
+    /// prefetch of `next` while the kernel executes.
+    fn run_gpu_body(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        rec: &TaskRecord,
+        space: SpaceId,
+        stream: &ompss_cudasim::Stream,
+        prefetch_next: Option<&TaskRecord>,
+    ) -> SimResult<()> {
+        let accesses = rec.copy_accesses();
+        let locs = self.acquire_all(ctx, &accesses, space)?;
+        let cost = match rec.cost {
+            TaskCost::Gpu(k) => k,
+            TaskCost::Smp(d) => KernelCost::fixed(d),
+            TaskCost::Auto => {
+                // Streaming-kernel default: the copy clauses name every
+                // byte the kernel touches, streamed once at 80% of
+                // device memory bandwidth.
+                KernelCost::memory_bound(rec.desc.copy_footprint() as f64, 0.8)
+            }
+            TaskCost::Zero => KernelCost::fixed(SimDuration::ZERO),
+        };
+        // Launch asynchronously so prefetch can proceed underneath.
+        let effect: Option<ompss_cudasim::Effect> = rec.body.as_ref().map(|body| {
+            let body = body.clone();
+            let mem = self.mem.clone();
+            let requests: Vec<_> = locs
+                .iter()
+                .zip(&accesses)
+                .map(|(l, a)| (l.space, l.alloc, l.offset, a.region.len))
+                .collect();
+            Box::new(move |_c: &Ctx| {
+                mem.with_bytes_many(&requests, |views| body(views));
+            }) as ompss_cudasim::Effect
+        });
+        let ev = stream.launch_async(ctx, cost, effect);
+        // Prefetch the next task's read data while the kernel runs
+        // (§III-D2): effective only with overlap, since pageable copies
+        // serialise after the kernel — the cudasim models that.
+        if let Some(next) = prefetch_next {
+            for a in next.copy_accesses() {
+                if a.kind.reads() {
+                    self.coh.prefetch(ctx, &*self.exec, &a.region, space)?;
+                }
+            }
+        }
+        ev.synchronize(ctx)?;
+        self.coh.commit(ctx, &*self.exec, &accesses, space)?;
+        Ok(())
+    }
+
+    /// Master-side completion: release successors, update the
+    /// scheduler, wake everyone.
+    pub(crate) fn complete_on_master(&self, ctx: &Ctx, id: TaskId, res: ResourceId) {
+        let rec = {
+            let mut m = self.master.lock();
+            let newly = m.graph.complete(id);
+            let descs: Vec<Arc<TaskRecord>> =
+                newly.iter().map(|t| m.records[t].clone()).collect();
+            let desc_refs: Vec<&ompss_core::TaskDesc> = descs.iter().map(|r| &r.desc).collect();
+            m.sched.task_completed(res, &desc_refs, &self.master_oracle);
+            m.tasks_executed += 1;
+            m.records[&id].clone()
+        };
+        rec.done.set(ctx);
+        self.latch.done(ctx);
+        self.master_bell.ring(ctx);
+        self.comm_bell.ring(ctx);
+    }
+}
+
+/// SMP worker loop for the master node.
+pub(crate) fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId, ctx: Ctx) {
+    let space = shared.hosts[0];
+    loop {
+        let tid = { shared.master.lock().sched.next(res) };
+        let Some(tid) = tid else {
+            if shared.master_bell.wait(&ctx).is_err() {
+                return;
+            }
+            continue;
+        };
+        shared.master.lock().graph.start(tid);
+        let rec = shared.record(tid);
+        let t0 = ctx.now();
+        if shared.run_smp_body(&ctx, &rec, space).is_err() {
+            return;
+        }
+        shared.trace_task(&rec, 0, &format!("worker{}", res.0), t0, ctx.now());
+        shared.complete_on_master(&ctx, tid, res);
+    }
+}
+
+/// GPU manager loop for a master-node GPU.
+pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: SpaceId, ctx: Ctx) {
+    let dev = shared.gpus[&space].clone();
+    let stream = dev.create_stream(&ctx, format!("mgr{}", space.0));
+    let mut next: Option<TaskId> = None;
+    loop {
+        let tid = match next.take() {
+            Some(t) => t,
+            None => {
+                let t = { shared.master.lock().sched.next(res) };
+                match t {
+                    Some(t) => {
+                        shared.master.lock().graph.start(t);
+                        t
+                    }
+                    None => {
+                        if shared.master_bell.wait(&ctx).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        let rec = shared.record(tid);
+        if std::env::var_os("OMPSS_RT_DEBUG").is_some() {
+            eprintln!(
+                "[rt {:.6}s] node0 gpu runs {} (t{})",
+                ctx.now().as_secs_f64(),
+                rec.desc.label,
+                tid.0
+            );
+        }
+        // Pick (and start) a prefetch candidate before launching.
+        let pf: Option<Arc<TaskRecord>> = if shared.cfg.prefetch {
+            let t = {
+                let mut m = shared.master.lock();
+                match m.sched.next(res) {
+                    Some(n) => {
+                        m.graph.start(n);
+                        Some(n)
+                    }
+                    None => None,
+                }
+            };
+            next = t;
+            t.map(|n| shared.record(n))
+        } else {
+            None
+        };
+        let t0 = ctx.now();
+        if shared.run_gpu_body(&ctx, &rec, space, &stream, pf.as_deref()).is_err() {
+            return;
+        }
+        shared.trace_task(&rec, 0, &format!("gpu{}", space.0), t0, ctx.now());
+        shared.complete_on_master(&ctx, tid, res);
+    }
+}
+
+/// The master's communication thread: drains node-proxy queues round
+/// robin, staging data and dispatching `Exec` messages, keeping each
+/// node at `resources + presend` tasks in flight.
+pub(crate) fn comm_thread(
+    shared: Arc<RtShared>,
+    ep: AmEndpoint<ClusterMsg>,
+    ctx: Ctx,
+) {
+    let nodes = shared.cfg.nodes;
+    // "Presend" dispatches work to a node before its resources go idle:
+    // the cap per device kind is the resource count plus the presend
+    // depth (presend 0 = exactly one task per resource in flight).
+    let smp_cap = shared.cfg.cpu_workers_per_node + shared.cfg.presend;
+    let cuda_cap = shared.cfg.gpus_per_node + shared.cfg.presend;
+    let mut cursor = 0u32; // persistent round-robin position over slaves
+    loop {
+        let mut progressed = false;
+        // Round-robin: at most one task per node per visit ("polling the
+        // task pool for each node of the cluster in a round-robin
+        // fashion", §III-D1), with a persistent cursor so successive
+        // dispatches rotate over the nodes; the outer loop keeps
+        // sweeping while any node accepted work.
+        for step in 0..nodes.saturating_sub(1) {
+            let node = 1 + (cursor + step) % (nodes - 1);
+            {
+                let tid = {
+                    let mut m = shared.master.lock();
+                    let (smp_in, cuda_in) = m.inflight[node as usize];
+                    if smp_in >= smp_cap && cuda_in >= cuda_cap {
+                        continue;
+                    }
+                    let allow = |d: Device| match d {
+                        Device::Smp => smp_in < smp_cap,
+                        Device::Cuda => cuda_in < cuda_cap,
+                    };
+                    match m.sched.next_matching(shared.proxy_res[node as usize], allow) {
+                        Some(t) => {
+                            m.graph.start(t);
+                            match m.records[&t].desc.device {
+                                Device::Smp => m.inflight[node as usize].0 += 1,
+                                Device::Cuda => m.inflight[node as usize].1 += 1,
+                            }
+                            t
+                        }
+                        None => continue,
+                    }
+                };
+                progressed = true;
+                cursor = (cursor + step + 1) % (nodes - 1);
+                let rec = shared.record(tid);
+                let host = shared.slaves[node as usize].host;
+                let shared2 = shared.clone();
+                let ep2 = ep.clone();
+                // Helper process: data staging + Exec message, so sends
+                // to different nodes overlap (asynchronous GASNet puts).
+                // Staging is node-granular ("a whole remote cluster node
+                // is a single device", §III-C3): data already valid in
+                // any space of the node needs no push.
+                ctx.spawn_daemon(format!("comm:push:t{}", tid.0), move |hctx| {
+                    let node_span = shared2.master_oracle.spans.get(&host);
+                    let needed: Vec<_> = rec
+                        .copy_accesses()
+                        .into_iter()
+                        .filter(|a| a.kind.reads())
+                        .filter(|a| {
+                            !node_span
+                                .map(|span| {
+                                    shared2.coh.bytes_under(&a.region, span) == a.region.len
+                                })
+                                .unwrap_or(false)
+                        })
+                        .collect();
+                    // Asynchronous GASNet puts: stage every input at
+                    // once, then send the execution request.
+                    let latch = ompss_sim::Latch::new();
+                    latch.add(needed.len() as u64);
+                    for a in needed {
+                        let sh = shared2.clone();
+                        let latch = latch.clone();
+                        hctx.spawn_daemon(format!("comm:stage:{}", a.region), move |sctx| {
+                            let _ = sh.coh.prefetch(&sctx, &*sh.exec, &a.region, host);
+                            latch.done(&sctx);
+                        });
+                    }
+                    if latch.wait_zero(&hctx).is_err() {
+                        return;
+                    }
+                    let _ = ep2.request_short(&hctx, node, ClusterMsg::Exec { task: rec.desc.id });
+                });
+            }
+        }
+        if !progressed && shared.comm_bell.wait(&ctx).is_err() {
+            return;
+        }
+        if progressed {
+            // Yield so helpers and other processes advance before the
+            // next round-robin sweep.
+            if ctx.yield_now().is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// The master's AM dispatcher: completion notifications and inbound
+/// data-message sinks.
+pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx: Ctx) {
+    while let Ok((src, msg)) = ep.poll(&ctx) {
+        match msg {
+            ClusterMsg::Done { task } => {
+                {
+                    let mut m = shared.master.lock();
+                    match m.records[&task].desc.device {
+                        Device::Smp => m.inflight[src as usize].0 -= 1,
+                        Device::Cuda => m.inflight[src as usize].1 -= 1,
+                    }
+                }
+                shared.complete_on_master(&ctx, task, shared.proxy_res[src as usize]);
+            }
+            ClusterMsg::Data => {}
+            ClusterMsg::Exec { .. } => unreachable!("master never receives Exec"),
+        }
+    }
+}
+
+/// A slave node's AM dispatcher: receives `Exec` requests and submits
+/// them to the local scheduler.
+pub(crate) fn slave_dispatcher(
+    shared: Arc<RtShared>,
+    node: NodeId,
+    ep: AmEndpoint<ClusterMsg>,
+    ctx: Ctx,
+) {
+    while let Ok((_src, msg)) = ep.poll(&ctx) {
+        match msg {
+            ClusterMsg::Exec { task } => {
+                let rec = shared.record(task);
+                let slave = &shared.slaves[node as usize];
+                slave
+                    .sched
+                    .lock()
+                    .submit(&rec.desc, &shared.slave_oracles[node as usize]);
+                slave.bell.ring(&ctx);
+            }
+            ClusterMsg::Data => {}
+            ClusterMsg::Done { .. } => unreachable!("slaves never receive Done"),
+        }
+    }
+}
+
+/// SMP worker loop on a slave node.
+pub(crate) fn slave_smp_worker(
+    shared: Arc<RtShared>,
+    node: NodeId,
+    res: ResourceId,
+    ep: AmEndpoint<ClusterMsg>,
+    ctx: Ctx,
+) {
+    let space = shared.slaves[node as usize].host;
+    loop {
+        let tid = { shared.slaves[node as usize].sched.lock().next(res) };
+        let Some(tid) = tid else {
+            if shared.slaves[node as usize].bell.wait(&ctx).is_err() {
+                return;
+            }
+            continue;
+        };
+        let rec = shared.record(tid);
+        let t0 = ctx.now();
+        if shared.run_smp_body(&ctx, &rec, space).is_err() {
+            return;
+        }
+        shared.trace_task(&rec, node, &format!("worker{}", res.0), t0, ctx.now());
+        let _ = ep.request_short(&ctx, 0, ClusterMsg::Done { task: tid });
+    }
+}
+
+/// GPU manager loop on a slave node.
+pub(crate) fn slave_gpu_manager(
+    shared: Arc<RtShared>,
+    node: NodeId,
+    res: ResourceId,
+    space: SpaceId,
+    ep: AmEndpoint<ClusterMsg>,
+    ctx: Ctx,
+) {
+    let dev = shared.gpus[&space].clone();
+    let stream = dev.create_stream(&ctx, format!("mgr{}", space.0));
+    let mut next: Option<TaskId> = None;
+    loop {
+        let tid = match next.take() {
+            Some(t) => t,
+            None => {
+                let t = { shared.slaves[node as usize].sched.lock().next(res) };
+                match t {
+                    Some(t) => t,
+                    None => {
+                        if shared.slaves[node as usize].bell.wait(&ctx).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        let rec = shared.record(tid);
+        if std::env::var_os("OMPSS_RT_DEBUG").is_some() {
+            eprintln!(
+                "[rt {:.6}s] node{node} gpu runs {} (t{})",
+                ctx.now().as_secs_f64(),
+                rec.desc.label,
+                tid.0
+            );
+        }
+        let pf: Option<Arc<TaskRecord>> = if shared.cfg.prefetch {
+            let t = { shared.slaves[node as usize].sched.lock().next(res) };
+            next = t;
+            t.map(|n| shared.record(n))
+        } else {
+            None
+        };
+        let t0 = ctx.now();
+        if shared.run_gpu_body(&ctx, &rec, space, &stream, pf.as_deref()).is_err() {
+            return;
+        }
+        shared.trace_task(&rec, node, &format!("gpu{}", space.0), t0, ctx.now());
+        let _ = ep.request_short(&ctx, 0, ClusterMsg::Done { task: tid });
+    }
+}
+
+/// Device-kind check used by the submit path to validate task specs.
+pub(crate) fn device_has_resource(cfg: &crate::config::RuntimeConfig, d: Device) -> bool {
+    match d {
+        Device::Smp => cfg.cpu_workers_per_node > 0,
+        Device::Cuda => cfg.gpus_per_node > 0,
+    }
+}

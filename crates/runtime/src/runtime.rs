@@ -1,0 +1,536 @@
+//! The public runtime API: build a machine from a [`RuntimeConfig`],
+//! run an OmpSs program against it, and collect a [`RunReport`].
+//!
+//! The user program is a closure receiving an [`Omp`] handle — the
+//! programming model surface: allocate arrays, submit tasks built with
+//! [`TaskSpec`](crate::TaskSpec), and synchronise with `taskwait`. The
+//! same program runs unchanged on one GPU, a multi-GPU node, or a
+//! cluster of GPU nodes — only the config differs (the paper's central
+//! productivity claim).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ompss_coherence::{Coherence, CoherenceStats, Topology};
+use ompss_core::{TaskGraph, TaskId};
+use ompss_cudasim::{GpuDevice, GpuStats, PinnedPool};
+use ompss_mem::{DataId, MemoryManager, Region, Scalar, SpaceId, SpaceKind};
+use ompss_net::{AmNet, NetStats};
+use ompss_sched::{ResourceInfo, ResourceKind, SchedStats, Scheduler};
+use ompss_sim::{Bell, Ctx, Latch, RunError, Sim, SimDuration, SimTime};
+
+use crate::config::RuntimeConfig;
+use crate::engine::{
+    comm_thread, device_has_resource, master_dispatcher, master_gpu_manager, master_smp_worker,
+    slave_dispatcher, slave_gpu_manager, slave_smp_worker, MasterState, RtShared, SlaveState,
+    SpanOracle,
+};
+use crate::exec::RtExec;
+use crate::task::TaskSpec;
+use crate::trace::{TraceEvent, Tracer};
+
+/// Measured outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time from program start to the end of the user closure
+    /// (including its implicit final `taskwait`).
+    pub elapsed: SimDuration,
+    /// Absolute end time of the program.
+    pub makespan: SimTime,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Fabric traffic.
+    pub net: NetStats,
+    /// Coherence activity.
+    pub coherence: CoherenceStats,
+    /// Master scheduler decisions.
+    pub sched: SchedStats,
+    /// Per-GPU device counters, `(name, stats)`.
+    pub gpus: Vec<(String, GpuStats)>,
+    /// DES events processed (a determinism fingerprint).
+    pub events: u64,
+    /// Execution trace, when [`RuntimeConfig::tracing`] was enabled.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+/// A typed handle to a runtime-registered array living in the master's
+/// host memory, addressed by dependence clauses through byte regions.
+pub struct ArrayHandle<T: Scalar> {
+    data: DataId,
+    len: usize,
+    _t: PhantomData<T>,
+}
+
+impl<T: Scalar> Clone for ArrayHandle<T> {
+    fn clone(&self) -> Self {
+        ArrayHandle { data: self.data, len: self.len, _t: PhantomData }
+    }
+}
+
+impl<T: Scalar> Copy for ArrayHandle<T> {}
+
+impl<T: Scalar> ArrayHandle<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying data object.
+    pub fn data(&self) -> DataId {
+        self.data
+    }
+
+    /// Byte region covering elements `range` — what a dependence clause
+    /// like `input([BS] &a[j])` evaluates to.
+    pub fn region(&self, range: Range<usize>) -> Region {
+        assert!(range.start < range.end && range.end <= self.len, "region out of bounds");
+        let es = std::mem::size_of::<T>() as u64;
+        Region::new(self.data, range.start as u64 * es, (range.end - range.start) as u64 * es)
+    }
+
+    /// Byte region covering the whole array.
+    pub fn full(&self) -> Region {
+        self.region(0..self.len)
+    }
+}
+
+/// The OmpSs programming-model handle passed to the user program.
+pub struct Omp {
+    shared: Arc<RtShared>,
+    ctx: Ctx,
+}
+
+impl Omp {
+    /// Current virtual time (for phase timing in harnesses).
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The machine's memory manager (host-side initialisation and
+    /// validation go straight to the home allocations).
+    pub fn mem(&self) -> &Arc<MemoryManager> {
+        &self.shared.mem
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.cfg
+    }
+
+    /// Allocate a typed array in master host memory.
+    pub fn alloc_array<T: Scalar>(&self, len: usize) -> ArrayHandle<T> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let data = self
+            .shared
+            .mem
+            .register_data(bytes, self.shared.hosts[0])
+            .expect("master host out of memory");
+        ArrayHandle { data, len, _t: PhantomData }
+    }
+
+    /// Write elements into an array's home copy (sequential host
+    /// initialisation — zero virtual-time cost; the *placement* is what
+    /// matters to the experiments).
+    pub fn write_array<T: Scalar>(&self, h: &ArrayHandle<T>, offset: usize, values: &[T]) {
+        let info = self.shared.mem.data_info(h.data);
+        let es = std::mem::size_of::<T>();
+        self.shared.mem.with_slice_mut::<T, _>(
+            info.home_space,
+            info.home_alloc,
+            (offset * es) as u64,
+            (values.len() * es) as u64,
+            |dst| dst.copy_from_slice(values),
+        );
+    }
+
+    /// Read elements from an array's home copy (call after a flushing
+    /// `taskwait` for up-to-date values). Returns `None` under phantom
+    /// backing.
+    pub fn read_array<T: Scalar>(
+        &self,
+        h: &ArrayHandle<T>,
+        range: Range<usize>,
+    ) -> Option<Vec<T>> {
+        let info = self.shared.mem.data_info(h.data);
+        let es = std::mem::size_of::<T>();
+        self.shared.mem.with_slice::<T, _>(
+            info.home_space,
+            info.home_alloc,
+            (range.start * es) as u64,
+            ((range.end - range.start) * es) as u64,
+            |src| src.to_vec(),
+        )
+    }
+
+    /// Submit a task (the lowered `#pragma omp task`). Charges the
+    /// per-task creation overhead on the submitting process.
+    pub fn submit(&self, spec: TaskSpec) {
+        assert!(
+            device_has_resource(&self.shared.cfg, spec.device),
+            "task '{}' targets a device kind with no resources in this configuration",
+            spec.label
+        );
+        self.ctx.delay(self.shared.cfg.task_overhead).expect("submit during shutdown");
+        self.latch().add(1);
+        {
+            let mut m = self.shared.master.lock();
+            let id = TaskId(m.next_id);
+            m.next_id += 1;
+            let rec = Arc::new(spec.into_record(id));
+            let ready = match m.graph.add_task(id, &rec.desc.deps) {
+                Ok(r) => r,
+                Err(e) => panic!("invalid task submission: {e}"),
+            };
+            if ready {
+                m.sched.submit(&rec.desc, &self.shared.master_oracle);
+            }
+            m.records.insert(id, rec);
+        }
+        self.shared.master_bell.ring(&self.ctx);
+        self.shared.comm_bell.ring(&self.ctx);
+    }
+
+    fn latch(&self) -> &Latch {
+        &self.shared.latch
+    }
+
+    /// Wait for all submitted tasks and flush device data to the host
+    /// (the default `#pragma omp taskwait`). All dirty regions are
+    /// flushed concurrently — the non-blocking cache issues every
+    /// write-back at once and waits for the set.
+    pub fn taskwait(&self) {
+        self.latch().wait_zero(&self.ctx).expect("taskwait during shutdown");
+        let dirty = self.shared.coh.dirty_regions();
+        if dirty.is_empty() {
+            return;
+        }
+        let latch = ompss_sim::Latch::new();
+        latch.add(dirty.len() as u64);
+        for region in dirty {
+            let sh = self.shared.clone();
+            let latch = latch.clone();
+            self.ctx.spawn_daemon(format!("flush:{region}"), move |fctx| {
+                let _ = sh.coh.flush_region(&fctx, &*sh.exec, &region);
+                latch.done(&fctx);
+            });
+        }
+        latch.wait_zero(&self.ctx).expect("taskwait during shutdown");
+    }
+
+    /// Wait for all submitted tasks without flushing device copies
+    /// (`taskwait noflush`).
+    pub fn taskwait_noflush(&self) {
+        self.latch().wait_zero(&self.ctx).expect("taskwait during shutdown");
+    }
+
+    /// Wait until the pending writer of `region` (if any) completes,
+    /// then flush that region home (`taskwait on(...)`).
+    pub fn taskwait_on(&self, region: Region) {
+        let writer = {
+            let m = self.shared.master.lock();
+            m.graph.pending_writer(&region).map(|t| m.records[&t].clone())
+        };
+        if let Some(rec) = writer {
+            rec.done.wait(&self.ctx).expect("taskwait during shutdown");
+        }
+        self.shared
+            .coh
+            .flush_region(&self.ctx, &*self.shared.exec, &region)
+            .expect("flush during shutdown");
+    }
+
+    /// Sleep for virtual time (harness pacing).
+    pub fn delay(&self, d: SimDuration) {
+        let _ = self.ctx.delay(d);
+    }
+
+    /// Blocked worksharing: submit one task per `block`-sized chunk of
+    /// `range`, built by `make` from the chunk's element range. This is
+    /// the tasking equivalent of applying the `target` construct to a
+    /// worksharing loop — the extension the paper lists as future work
+    /// (§VII) — and what every blocked loop in the evaluation does by
+    /// hand.
+    pub fn for_each_block(
+        &self,
+        range: Range<usize>,
+        block: usize,
+        make: impl Fn(Range<usize>) -> TaskSpec,
+    ) {
+        assert!(block > 0, "block size must be positive");
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + block).min(range.end);
+            self.submit(make(start..end));
+            start = end;
+        }
+    }
+}
+
+/// The runtime: builds the simulated machine and runs a program.
+pub struct Runtime;
+
+impl Runtime {
+    /// Run `program` on a machine described by `cfg`; returns the
+    /// measured report. Panics (mirroring a crashed run) if the program
+    /// deadlocks or a process panics.
+    pub fn run<F>(cfg: RuntimeConfig, program: F) -> RunReport
+    where
+        F: FnOnce(&Omp) + Send + 'static,
+    {
+        assert!(cfg.nodes >= 1, "need at least the master node");
+
+        // ---- machine construction ------------------------------------
+        let mem = Arc::new(MemoryManager::new(cfg.backing));
+        let mut hosts = Vec::new();
+        let mut gpu_spaces: Vec<Vec<SpaceId>> = Vec::new();
+        for n in 0..cfg.nodes {
+            let host = mem.add_space(format!("node{n}:host"), SpaceKind::Host(n), None, cfg.host_mem);
+            hosts.push(host);
+            let mut gs = Vec::new();
+            for g in 0..cfg.gpus_per_node {
+                gs.push(mem.add_space(
+                    format!("node{n}:gpu{g}"),
+                    SpaceKind::Gpu(n, g),
+                    Some(host),
+                    cfg.gpu_cache_capacity(),
+                ));
+            }
+            gpu_spaces.push(gs);
+        }
+
+        let mut topo = Topology::new(hosts[0], cfg.routing);
+        let mut gpus = std::collections::HashMap::new();
+        let mut node_of = std::collections::HashMap::new();
+        for n in 0..cfg.nodes as usize {
+            node_of.insert(hosts[n], n as u32);
+            for (g, &gs) in gpu_spaces[n].iter().enumerate() {
+                topo.add_gpu(gs, hosts[n]);
+                node_of.insert(gs, n as u32);
+                gpus.insert(
+                    gs,
+                    GpuDevice::new(format!("node{n}:gpu{g}"), cfg.gpu_spec.clone()),
+                );
+            }
+        }
+
+        let tracer = cfg.tracing.then(Tracer::new);
+        let am: AmNet<crate::exec::ClusterMsg> = AmNet::new(cfg.fabric.clone());
+        let pinned: Vec<Arc<PinnedPool>> =
+            (0..cfg.nodes).map(|_| Arc::new(PinnedPool::new(cfg.pinned_pool))).collect();
+        // The fabric inside the AM net is what the executor shares.
+        let exec = Arc::new(RtExec::new(
+            mem.clone(),
+            gpus.clone(),
+            node_of.clone(),
+            pinned,
+            am_fabric(&am),
+            cfg.overlap,
+            tracer.clone(),
+        ));
+        let coh = Arc::new(
+            Coherence::new(mem.clone(), topo, cfg.cache_policy)
+                .with_evict_slack(cfg.eviction_slack),
+        );
+
+        // ---- master scheduler and resources --------------------------
+        let mut sched = Scheduler::new(cfg.sched_policy);
+        let mut spans = std::collections::HashMap::new();
+        let mut master_workers = Vec::new();
+        for _ in 0..cfg.cpu_workers_per_node {
+            master_workers.push(sched.register(ResourceInfo {
+                kind: ResourceKind::SmpWorker,
+                space: hosts[0],
+                steal_group: 0,
+            }));
+        }
+        let mut master_gpu_res = Vec::new();
+        for &gs in &gpu_spaces[0] {
+            master_gpu_res.push((
+                sched.register(ResourceInfo {
+                    kind: ResourceKind::GpuManager,
+                    space: gs,
+                    steal_group: 0,
+                }),
+                gs,
+            ));
+        }
+        // Node proxies, one per slave. All master-level resources share
+        // one steal group: an idle node's proxy may re-route (steal) a
+        // task still queued for another node — the load balancing the
+        // paper's locality scheduler does. (Slaves never steal from each
+        // other *after* dispatch; their schedulers are separate.)
+        let mut proxy_res = vec![ompss_sched::ResourceId(usize::MAX)];
+        for n in 1..cfg.nodes {
+            proxy_res.push(sched.register(ResourceInfo {
+                kind: ResourceKind::NodeProxy,
+                space: hosts[n as usize],
+                steal_group: 0,
+            }));
+            let mut span = vec![hosts[n as usize]];
+            span.extend(gpu_spaces[n as usize].iter().copied());
+            spans.insert(hosts[n as usize], span);
+        }
+        let master_oracle = SpanOracle { coh: coh.clone(), spans };
+
+        // ---- slave schedulers ----------------------------------------
+        let mut slaves = vec![SlaveState {
+            sched: Mutex::new(Scheduler::new(cfg.sched_policy)),
+            bell: Bell::new(),
+            host: hosts[0],
+        }];
+        let mut slave_oracles = vec![SpanOracle {
+            coh: coh.clone(),
+            spans: std::collections::HashMap::new(),
+        }];
+        let mut slave_res: Vec<(Vec<ompss_sched::ResourceId>, Vec<(ompss_sched::ResourceId, SpaceId)>)> =
+            vec![(Vec::new(), Vec::new())];
+        for n in 1..cfg.nodes as usize {
+            let mut s = Scheduler::new(cfg.sched_policy);
+            let mut workers = Vec::new();
+            for _ in 0..cfg.cpu_workers_per_node {
+                workers.push(s.register(ResourceInfo {
+                    kind: ResourceKind::SmpWorker,
+                    space: hosts[n],
+                    steal_group: n as u32,
+                }));
+            }
+            let mut gres = Vec::new();
+            for &gs in &gpu_spaces[n] {
+                gres.push((
+                    s.register(ResourceInfo {
+                        kind: ResourceKind::GpuManager,
+                        space: gs,
+                        steal_group: n as u32,
+                    }),
+                    gs,
+                ));
+            }
+            slaves.push(SlaveState { sched: Mutex::new(s), bell: Bell::new(), host: hosts[n] });
+            slave_oracles.push(SpanOracle {
+                coh: coh.clone(),
+                spans: std::collections::HashMap::new(),
+            });
+            slave_res.push((workers, gres));
+        }
+
+        let shared = Arc::new(RtShared {
+            cfg: cfg.clone(),
+            mem: mem.clone(),
+            coh: coh.clone(),
+            exec,
+            master: Mutex::new(MasterState {
+                graph: TaskGraph::new(),
+                sched,
+                records: std::collections::HashMap::new(),
+                next_id: 0,
+                inflight: vec![(0, 0); cfg.nodes as usize],
+                tasks_executed: 0,
+            }),
+            master_bell: Bell::new(),
+            comm_bell: Bell::new(),
+            master_oracle,
+            slaves,
+            slave_oracles,
+            latch: Latch::new(),
+            proxy_res,
+            gpus: gpus.clone(),
+            hosts: hosts.clone(),
+            tracer: tracer.clone(),
+        });
+
+        // ---- processes ------------------------------------------------
+        let sim = Sim::new();
+        for (i, res) in master_workers.into_iter().enumerate() {
+            let sh = shared.clone();
+            sim.spawn_daemon(format!("node0:worker{i}"), move |ctx| {
+                master_smp_worker(sh, res, ctx)
+            });
+        }
+        for (res, gs) in master_gpu_res {
+            let sh = shared.clone();
+            sim.spawn_daemon(format!("node0:gpumgr{}", gs.0), move |ctx| {
+                master_gpu_manager(sh, res, gs, ctx)
+            });
+        }
+        if cfg.nodes > 1 {
+            let sh = shared.clone();
+            let ep = am.endpoint(0);
+            sim.spawn_daemon("node0:comm", move |ctx| comm_thread(sh, ep, ctx));
+            let sh = shared.clone();
+            let ep = am.endpoint(0);
+            sim.spawn_daemon("node0:dispatch", move |ctx| master_dispatcher(sh, ep, ctx));
+            for n in 1..cfg.nodes {
+                let sh = shared.clone();
+                let ep = am.endpoint(n);
+                sim.spawn_daemon(format!("node{n}:dispatch"), move |ctx| {
+                    slave_dispatcher(sh, n, ep, ctx)
+                });
+                let (workers, gres) = slave_res[n as usize].clone();
+                for (i, res) in workers.into_iter().enumerate() {
+                    let sh = shared.clone();
+                    let ep = am.endpoint(n);
+                    sim.spawn_daemon(format!("node{n}:worker{i}"), move |ctx| {
+                        slave_smp_worker(sh, n, res, ep, ctx)
+                    });
+                }
+                for (res, gs) in gres {
+                    let sh = shared.clone();
+                    let ep = am.endpoint(n);
+                    sim.spawn_daemon(format!("node{n}:gpumgr{}", gs.0), move |ctx| {
+                        slave_gpu_manager(sh, n, res, gs, ep, ctx)
+                    });
+                }
+            }
+        }
+
+        // ---- main program ---------------------------------------------
+        let result: Arc<Mutex<Option<(SimTime, SimTime)>>> = Arc::new(Mutex::new(None));
+        let result2 = result.clone();
+        let sh_main = shared.clone();
+        sim.spawn("main", move |ctx| {
+            let start = ctx.now();
+            let omp = Omp { shared: sh_main, ctx };
+            program(&omp);
+            // Implicit final taskwait with flush (end of OmpSs program).
+            omp.taskwait();
+            *result2.lock() = Some((start, omp.ctx.now()));
+        });
+
+        let run = match sim.run() {
+            Ok(r) => r,
+            Err(RunError::Deadlock(names)) => panic!("runtime deadlock; stuck: {names:?}"),
+            Err(RunError::ProcessPanic(name, msg)) => panic!("process '{name}' panicked: {msg}"),
+        };
+        let (start, end) = result.lock().take().expect("main completed");
+        let m = shared.master.lock();
+        RunReport {
+            elapsed: end - start,
+            makespan: end,
+            tasks: m.tasks_executed,
+            net: am.stats(),
+            coherence: coh.stats(),
+            sched: m.sched.stats(),
+            gpus: gpus
+                .iter()
+                .map(|(_, d)| (d.name().to_string(), d.stats()))
+                .collect(),
+            events: run.events,
+            trace: tracer.map(|t| t.take()),
+        }
+    }
+}
+
+/// Extract the shared fabric from an AM network (they are the same
+/// object; the executor sends `Data` messages on it so bulk transfers
+/// contend with control traffic for NIC ports).
+fn am_fabric(am: &AmNet<crate::exec::ClusterMsg>) -> ompss_net::Fabric<crate::exec::ClusterMsg> {
+    am.fabric_clone()
+}

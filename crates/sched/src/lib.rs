@@ -1,0 +1,570 @@
+//! # ompss-sched — Nanos++-style task schedulers
+//!
+//! The three scheduling strategies evaluated in the paper (§III-C2):
+//!
+//! * **breadth-first** (`bf` in the charts) — a simple global FIFO;
+//! * **dependencies** (the runtime's default) — FIFO, but a resource
+//!   that finishes a task first tries to run one of the successors it
+//!   just released, on the theory that producer and consumer share data;
+//! * **locality-aware** (`affinity`) — on submission, an affinity score
+//!   is computed for every resource from *where the task's data already
+//!   is* (weighted by size); the task is queued on the best resource,
+//!   falling back to a global queue. Idle resources look at their local
+//!   queue, then the global queue, then *steal* from resources in the
+//!   same steal group (load balancing, per Martinell's SMPSs work).
+//!
+//! Schedulers are pure data structures: the runtime serialises access
+//! and parks/wakes worker processes itself. Resources are abstract — a
+//! host worker, a GPU manager thread, or (on the master) a *node proxy*
+//! drained by the communication thread, which is how the same policies
+//! do both intra-node and cluster-level placement.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use ompss_core::{Device, TaskDesc, TaskId};
+use ompss_mem::{Region, SpaceId};
+
+/// Index of a schedulable resource within one scheduler instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub usize);
+
+/// What a resource is, which determines the device kinds it accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// A host CPU worker: runs `Device::Smp` tasks.
+    SmpWorker,
+    /// A GPU manager thread: runs `Device::Cuda` tasks.
+    GpuManager,
+    /// A remote node, represented at the master by the communication
+    /// thread: accepts both device kinds (the remote node schedules
+    /// internally).
+    NodeProxy,
+}
+
+impl ResourceKind {
+    /// Can this resource execute a task targeted at `device`?
+    pub fn accepts(self, device: Device) -> bool {
+        match self {
+            ResourceKind::SmpWorker => device == Device::Smp,
+            ResourceKind::GpuManager => device == Device::Cuda,
+            ResourceKind::NodeProxy => true,
+        }
+    }
+}
+
+/// Registration record for a resource.
+#[derive(Debug, Clone)]
+pub struct ResourceInfo {
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// The address space tasks placed here execute against (a GPU's
+    /// device space, the node's host space, or a remote node's host
+    /// space for proxies). Affinity scores are computed against it.
+    pub space: SpaceId,
+    /// Resources share work-stealing within the same group (one group
+    /// per node; proxies are typically their own group so tasks do not
+    /// silently migrate between nodes).
+    pub steal_group: u32,
+}
+
+/// Where the data of a region currently lives — implemented by the
+/// coherence directory. `bytes_at` returns how many bytes of `region`
+/// are already valid at (or under) `space`, so moving the task there
+/// would avoid transferring them.
+pub trait LocalityOracle {
+    /// Valid bytes of `region` at `space`.
+    fn bytes_at(&self, region: &Region, space: SpaceId) -> u64;
+}
+
+/// An oracle for contexts with no locality information (breadth-first /
+/// dependencies policies, unit tests).
+pub struct NoLocality;
+
+impl LocalityOracle for NoLocality {
+    fn bytes_at(&self, _region: &Region, _space: SpaceId) -> u64 {
+        0
+    }
+}
+
+/// The task facts a scheduler retains.
+#[derive(Debug, Clone)]
+struct SchedTask {
+    id: TaskId,
+    device: Device,
+    priority: i32,
+    /// Copy-clause regions with their affinity weight (written data
+    /// weighs double: moving a producer chain's output is costlier
+    /// than re-fetching an input).
+    copies: Vec<(Region, u64)>,
+}
+
+impl SchedTask {
+    fn from_desc(desc: &TaskDesc) -> Self {
+        SchedTask {
+            id: desc.id,
+            device: desc.device,
+            priority: desc.priority,
+            copies: desc
+                .copies()
+                .iter()
+                .map(|a| (a.region, if a.kind.writes() { 2 } else { 1 }))
+                .collect(),
+        }
+    }
+}
+
+/// Scheduling decisions counted for the evaluation's ablations.
+#[derive(Debug, Default, Clone)]
+pub struct SchedStats {
+    /// Tasks handed out from a resource's own queue.
+    pub local_hits: u64,
+    /// Tasks handed out from the global queue.
+    pub global_hits: u64,
+    /// Tasks obtained by stealing.
+    pub steals: u64,
+    /// Tasks run via the successor-first hint (dependencies policy).
+    pub successor_hits: u64,
+}
+
+/// The scheduling policy selected for a run (`NX_SCHEDULE` in Nanos++).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Global FIFO.
+    BreadthFirst,
+    /// FIFO + successor-first (the runtime default).
+    Dependencies,
+    /// Locality-aware placement with per-resource queues and stealing.
+    Affinity,
+}
+
+impl Policy {
+    /// The chart label used in the paper's figures.
+    pub fn chart_label(self) -> &'static str {
+        match self {
+            Policy::BreadthFirst => "bf",
+            Policy::Dependencies => "default",
+            Policy::Affinity => "affinity",
+        }
+    }
+}
+
+/// A task scheduler: single-owner data structure driven by the runtime.
+pub struct Scheduler {
+    policy: Policy,
+    resources: Vec<ResourceInfo>,
+    global: VecDeque<SchedTask>,
+    local: Vec<VecDeque<SchedTask>>,
+    /// Successor hint slot per resource (dependencies policy).
+    hints: Vec<VecDeque<SchedTask>>,
+    stats: SchedStats,
+    queued: usize,
+}
+
+impl Scheduler {
+    /// Create a scheduler with the given policy.
+    pub fn new(policy: Policy) -> Self {
+        Scheduler {
+            policy,
+            resources: Vec::new(),
+            global: VecDeque::new(),
+            local: Vec::new(),
+            hints: Vec::new(),
+            stats: SchedStats::default(),
+            queued: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Register a resource; returns its id.
+    pub fn register(&mut self, info: ResourceInfo) -> ResourceId {
+        let id = ResourceId(self.resources.len());
+        self.resources.push(info);
+        self.local.push(VecDeque::new());
+        self.hints.push(VecDeque::new());
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Tasks currently queued (not yet handed to a resource).
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Decision counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats.clone()
+    }
+
+    /// Enqueue a ready task.
+    pub fn submit(&mut self, desc: &TaskDesc, oracle: &dyn LocalityOracle) {
+        let task = SchedTask::from_desc(desc);
+        self.queued += 1;
+        match self.policy {
+            Policy::BreadthFirst | Policy::Dependencies => self.global.push_back(task),
+            Policy::Affinity => self.place_by_affinity(task, oracle),
+        }
+    }
+
+    /// Notification that `resource` finished a task whose completion
+    /// released `ready_successors`. The scheduler enqueues them; under
+    /// the `dependencies` policy one eligible successor is pinned to the
+    /// finishing resource so it runs next and reuses the data.
+    pub fn task_completed(
+        &mut self,
+        resource: ResourceId,
+        ready_successors: &[&TaskDesc],
+        oracle: &dyn LocalityOracle,
+    ) {
+        match self.policy {
+            Policy::Dependencies => {
+                let mut hinted = false;
+                for desc in ready_successors {
+                    let task = SchedTask::from_desc(desc);
+                    self.queued += 1;
+                    if !hinted && self.resources[resource.0].kind.accepts(task.device) {
+                        self.hints[resource.0].push_back(task);
+                        hinted = true;
+                    } else {
+                        self.global.push_back(task);
+                    }
+                }
+            }
+            _ => {
+                for desc in ready_successors {
+                    self.submit(desc, oracle);
+                }
+            }
+        }
+    }
+
+    fn place_by_affinity(&mut self, task: SchedTask, oracle: &dyn LocalityOracle) {
+        // Highest weighted score wins; per the paper, "if there is no
+        // highest affinity" (a tie, or no resident data at all) the task
+        // goes to the global queue for demand-driven pickup.
+        let mut best: Option<(u64, usize)> = None;
+        let mut tied = false;
+        for (i, res) in self.resources.iter().enumerate() {
+            if !res.kind.accepts(task.device) {
+                continue;
+            }
+            let score: u64 =
+                task.copies.iter().map(|(r, w)| w * oracle.bytes_at(r, res.space)).sum();
+            if score == 0 {
+                continue;
+            }
+            match best {
+                Some((s, _)) if score > s => {
+                    best = Some((score, i));
+                    tied = false;
+                }
+                Some((s, _)) if score == s => tied = true,
+                Some(_) => {}
+                None => best = Some((score, i)),
+            }
+        }
+        match best {
+            Some((_, i)) if !tied => self.local[i].push_back(task),
+            _ => self.global.push_back(task),
+        }
+    }
+
+    /// Hand the next task to `resource`, or `None` if nothing eligible
+    /// is queued. Order of preference: successor hint, local queue,
+    /// global queue, steal within the steal group.
+    pub fn next(&mut self, resource: ResourceId) -> Option<TaskId> {
+        self.next_matching(resource, |_| true)
+    }
+
+    /// Like [`next`](Scheduler::next), but only tasks whose device kind
+    /// passes `allow` are eligible — the communication thread uses this
+    /// to enforce per-device-kind in-flight caps on remote nodes.
+    pub fn next_matching(
+        &mut self,
+        resource: ResourceId,
+        allow: impl Fn(Device) -> bool,
+    ) -> Option<TaskId> {
+        let kind = self.resources[resource.0].kind;
+        let accepts = |t: &SchedTask| kind.accepts(t.device) && allow(t.device);
+        // Highest priority wins; FIFO within a priority level.
+        fn pick(q: &VecDeque<SchedTask>, accepts: impl Fn(&SchedTask) -> bool) -> Option<usize> {
+            let mut best: Option<(i32, usize)> = None;
+            for (i, t) in q.iter().enumerate() {
+                if accepts(t) && best.map_or(true, |(bp, _)| t.priority > bp) {
+                    best = Some((t.priority, i));
+                }
+            }
+            best.map(|(_, i)| i)
+        }
+
+        if let Some(pos) = pick(&self.hints[resource.0], &accepts) {
+            let t = self.hints[resource.0].remove(pos).expect("position valid");
+            self.queued -= 1;
+            self.stats.successor_hits += 1;
+            return Some(t.id);
+        }
+
+        if let Some(pos) = pick(&self.local[resource.0], &accepts) {
+            let t = self.local[resource.0].remove(pos).expect("position valid");
+            self.queued -= 1;
+            self.stats.local_hits += 1;
+            return Some(t.id);
+        }
+
+        if let Some(pos) = pick(&self.global, &accepts) {
+            let t = self.global.remove(pos).expect("position valid");
+            self.queued -= 1;
+            self.stats.global_hits += 1;
+            return Some(t.id);
+        }
+
+        if self.policy == Policy::Affinity {
+            // Steal from the back of the longest local queue in our
+            // group — but only from a meaningfully backlogged victim
+            // (≥ STEAL_THRESHOLD queued): migrating a task away from its
+            // data is only worth it against real imbalance.
+            const STEAL_THRESHOLD: usize = 2;
+            let group = self.resources[resource.0].steal_group;
+            let victim = (0..self.resources.len())
+                .filter(|&i| i != resource.0 && self.resources[i].steal_group == group)
+                .filter(|&i| self.local[i].len() >= STEAL_THRESHOLD)
+                .filter(|&i| self.local[i].iter().any(&accepts))
+                .max_by_key(|&i| (self.local[i].len(), usize::MAX - i));
+            if let Some(v) = victim {
+                let pos = self.local[v]
+                    .iter()
+                    .rposition(&accepts)
+                    .expect("victim filtered to have an eligible task");
+                let t = self.local[v].remove(pos).expect("position valid");
+                self.queued -= 1;
+                self.stats.steals += 1;
+                return Some(t.id);
+            }
+        }
+
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompss_mem::{Access, DataId};
+    use std::collections::HashMap;
+
+    fn desc(id: u64, device: Device, copies: &[(u64, u64, u64)]) -> TaskDesc {
+        TaskDesc {
+            id: TaskId(id),
+            label: format!("t{id}"),
+            device,
+            deps: copies
+                .iter()
+                .map(|&(d, o, l)| Access::inout(Region::new(DataId(d), o, l)))
+                .collect(),
+            copy_deps: true,
+            extra_copies: vec![],
+            priority: 0,
+        }
+    }
+
+    fn smp(space: u32) -> ResourceInfo {
+        ResourceInfo { kind: ResourceKind::SmpWorker, space: SpaceId(space), steal_group: 0 }
+    }
+
+    fn gpu(space: u32) -> ResourceInfo {
+        ResourceInfo { kind: ResourceKind::GpuManager, space: SpaceId(space), steal_group: 0 }
+    }
+
+    struct MapOracle(HashMap<(u64, u32), u64>);
+
+    impl LocalityOracle for MapOracle {
+        fn bytes_at(&self, region: &Region, space: SpaceId) -> u64 {
+            *self.0.get(&(region.data.0, space.0)).unwrap_or(&0)
+        }
+    }
+
+    #[test]
+    fn resource_kind_accepts() {
+        assert!(ResourceKind::SmpWorker.accepts(Device::Smp));
+        assert!(!ResourceKind::SmpWorker.accepts(Device::Cuda));
+        assert!(ResourceKind::GpuManager.accepts(Device::Cuda));
+        assert!(!ResourceKind::GpuManager.accepts(Device::Smp));
+        assert!(ResourceKind::NodeProxy.accepts(Device::Smp));
+        assert!(ResourceKind::NodeProxy.accepts(Device::Cuda));
+    }
+
+    #[test]
+    fn breadth_first_is_fifo() {
+        let mut s = Scheduler::new(Policy::BreadthFirst);
+        let w = s.register(smp(0));
+        for i in 0..3 {
+            s.submit(&desc(i, Device::Smp, &[]), &NoLocality);
+        }
+        assert_eq!(s.queued(), 3);
+        assert_eq!(s.next(w), Some(TaskId(0)));
+        assert_eq!(s.next(w), Some(TaskId(1)));
+        assert_eq!(s.next(w), Some(TaskId(2)));
+        assert_eq!(s.next(w), None);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn device_mismatch_skipped_in_fifo() {
+        let mut s = Scheduler::new(Policy::BreadthFirst);
+        let w = s.register(smp(0));
+        let g = s.register(gpu(1));
+        s.submit(&desc(0, Device::Cuda, &[]), &NoLocality);
+        s.submit(&desc(1, Device::Smp, &[]), &NoLocality);
+        // The SMP worker skips the CUDA task and takes the SMP one.
+        assert_eq!(s.next(w), Some(TaskId(1)));
+        assert_eq!(s.next(w), None);
+        assert_eq!(s.next(g), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn dependencies_policy_prefers_released_successor() {
+        let mut s = Scheduler::new(Policy::Dependencies);
+        let w0 = s.register(smp(0));
+        let w1 = s.register(smp(0));
+        // Some unrelated work is queued first.
+        s.submit(&desc(10, Device::Smp, &[]), &NoLocality);
+        // w0 finishes a task releasing successors 20 and 21.
+        let s20 = desc(20, Device::Smp, &[]);
+        let s21 = desc(21, Device::Smp, &[]);
+        s.task_completed(w0, &[&s20, &s21], &NoLocality);
+        // w0 gets its successor before the older queued task.
+        assert_eq!(s.next(w0), Some(TaskId(20)));
+        assert_eq!(s.stats().successor_hits, 1);
+        // The other successor went to the global queue, behind task 10.
+        assert_eq!(s.next(w1), Some(TaskId(10)));
+        assert_eq!(s.next(w1), Some(TaskId(21)));
+    }
+
+    #[test]
+    fn dependencies_hint_respects_device() {
+        let mut s = Scheduler::new(Policy::Dependencies);
+        let g = s.register(gpu(1));
+        // A GPU manager finishing a task cannot take an SMP successor.
+        let smp_succ = desc(5, Device::Smp, &[]);
+        s.task_completed(g, &[&smp_succ], &NoLocality);
+        assert_eq!(s.next(g), None, "SMP successor must not be hinted to a GPU");
+        let w = s.register(smp(0));
+        assert_eq!(s.next(w), Some(TaskId(5)));
+    }
+
+    #[test]
+    fn affinity_places_on_resource_holding_data() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        let g1 = s.register(gpu(11));
+        let oracle = MapOracle(HashMap::from([((7, 11), 4096)]));
+        // Task touching data 7, which lives at space 11 (g1).
+        s.submit(&desc(0, Device::Cuda, &[(7, 0, 4096)]), &oracle);
+        assert_eq!(s.next(g1), Some(TaskId(0)));
+        assert_eq!(s.stats().local_hits, 1);
+        let _ = g0;
+    }
+
+    #[test]
+    fn affinity_prefers_bigger_bytes() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        let g1 = s.register(gpu(11));
+        let oracle = MapOracle(HashMap::from([((1, 10), 100), ((2, 11), 4096)]));
+        // Touches data 1 (100 B at g0) and data 2 (4 KiB at g1): g1 wins
+        // the placement (g0 could still steal it later, so ask g1 first).
+        s.submit(&desc(0, Device::Cuda, &[(1, 0, 100), (2, 0, 4096)]), &oracle);
+        assert_eq!(s.next(g1), Some(TaskId(0)));
+        assert_eq!(s.stats().local_hits, 1);
+        assert_eq!(s.next(g0), None);
+    }
+
+    #[test]
+    fn affinity_without_locality_goes_global() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        s.submit(&desc(0, Device::Cuda, &[(1, 0, 64)]), &NoLocality);
+        assert_eq!(s.next(g0), Some(TaskId(0)));
+        assert_eq!(s.stats().global_hits, 1);
+    }
+
+    #[test]
+    fn affinity_steals_within_group_from_longest_queue() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        let g1 = s.register(gpu(11));
+        let oracle = MapOracle(HashMap::from([((1, 11), 64)]));
+        // Three tasks all affine to g1.
+        for i in 0..3 {
+            s.submit(&desc(i, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        }
+        // Idle g0 steals from the back of g1's queue.
+        assert_eq!(s.next(g0), Some(TaskId(2)));
+        assert_eq!(s.stats().steals, 1);
+        assert_eq!(s.next(g1), Some(TaskId(0)));
+        assert_eq!(s.next(g1), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn no_steal_across_groups() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let mut p0 =
+            ResourceInfo { kind: ResourceKind::NodeProxy, space: SpaceId(20), steal_group: 1 };
+        let n0 = s.register(p0.clone());
+        p0.space = SpaceId(21);
+        p0.steal_group = 2;
+        let n1 = s.register(p0);
+        let oracle = MapOracle(HashMap::from([((1, 21), 64)]));
+        s.submit(&desc(0, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        assert_eq!(s.next(n0), None, "proxies in different groups must not steal");
+        assert_eq!(s.next(n1), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn queued_count_tracks_all_paths() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        let oracle = MapOracle(HashMap::from([((1, 10), 64)]));
+        s.submit(&desc(0, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        s.submit(&desc(1, Device::Cuda, &[]), &oracle);
+        assert_eq!(s.queued(), 2);
+        s.next(g0);
+        s.next(g0);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn priority_orders_global_queue() {
+        let mut s = Scheduler::new(Policy::BreadthFirst);
+        let w = s.register(smp(0));
+        let mut lo = desc(1, Device::Smp, &[]);
+        lo.priority = 0;
+        let mut hi = desc(2, Device::Smp, &[]);
+        hi.priority = 5;
+        let mut mid = desc(3, Device::Smp, &[]);
+        mid.priority = 5;
+        s.submit(&lo, &NoLocality);
+        s.submit(&hi, &NoLocality);
+        s.submit(&mid, &NoLocality);
+        // Highest priority first; FIFO among equal priorities.
+        assert_eq!(s.next(w), Some(TaskId(2)));
+        assert_eq!(s.next(w), Some(TaskId(3)));
+        assert_eq!(s.next(w), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn chart_labels_match_paper() {
+        assert_eq!(Policy::BreadthFirst.chart_label(), "bf");
+        assert_eq!(Policy::Dependencies.chart_label(), "default");
+        assert_eq!(Policy::Affinity.chart_label(), "affinity");
+    }
+}

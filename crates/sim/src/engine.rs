@@ -1,0 +1,689 @@
+//! The discrete-event simulation kernel.
+//!
+//! # Model
+//!
+//! A simulation is a set of *processes* — ordinary Rust closures running
+//! on dedicated OS threads — cooperatively scheduled by a single *kernel*
+//! thread over a virtual clock. Exactly one thread (kernel or one
+//! process) runs at any instant, so the whole simulation is sequential
+//! and **deterministic**: events fire in `(time, sequence)` order and a
+//! given program always produces the same schedule, the same byte counts
+//! and the same makespan.
+//!
+//! Processes interact with virtual time only through their [`Ctx`]
+//! handle: [`Ctx::delay`] advances the clock, and the blocking
+//! primitives in [`crate::queue`], [`crate::sync`] park the process until
+//! another process wakes it. While a process executes Rust code between
+//! those calls, virtual time stands still — computation is free unless
+//! explicitly charged with `delay`.
+//!
+//! # Wakeup correctness
+//!
+//! Every yield bumps the process's *epoch*; every scheduled resume event
+//! carries the epoch it was aimed at. A resume whose epoch is stale
+//! (the process has run since it was scheduled) is skipped, so spurious
+//! or duplicate wakeups can never cut a `delay` short or corrupt a
+//! primitive's wait protocol.
+//!
+//! # Shutdown
+//!
+//! Processes spawned with [`Ctx::spawn_daemon`] (service loops: workers,
+//! device managers, message dispatchers) are expected to block forever.
+//! When the event queue drains and only daemons remain blocked, the
+//! kernel flips the shutdown flag and resumes them; every blocking call
+//! then returns [`SimError::Shutdown`] and the daemon unwinds. If a
+//! *non-daemon* process is still blocked when the queue drains, that is
+//! a deadlock in the modelled system and [`Sim::run`] reports it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{RunError, RunReport, SimError, SimResult};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulation process.
+pub type Pid = usize;
+
+/// Whose turn it is to run on a process's handshake slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Kernel,
+    Proc,
+}
+
+/// Per-process handshake: a tiny baton passed between the kernel thread
+/// and the process thread. Only these two threads ever touch it.
+struct ProcCtrl {
+    turn: Mutex<Turn>,
+    cv: Condvar,
+}
+
+impl ProcCtrl {
+    fn new() -> Arc<Self> {
+        Arc::new(ProcCtrl { turn: Mutex::new(Turn::Kernel), cv: Condvar::new() })
+    }
+
+    /// Called by the kernel: hand the baton to the process and wait for
+    /// it back. Returns when the process has yielded or finished.
+    fn kernel_resume(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Proc;
+        self.cv.notify_one();
+        while *turn == Turn::Proc {
+            self.cv.wait(&mut turn);
+        }
+    }
+
+    /// Called by the process: hand the baton back to the kernel and wait
+    /// for the next activation.
+    fn proc_yield(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Kernel;
+        self.cv.notify_one();
+        while *turn == Turn::Kernel {
+            self.cv.wait(&mut turn);
+        }
+    }
+
+    /// Called by the process thread on startup: wait for the first
+    /// activation without handing anything back (the baton starts with
+    /// the kernel).
+    fn proc_wait_first(&self) {
+        let mut turn = self.turn.lock();
+        while *turn == Turn::Kernel {
+            self.cv.wait(&mut turn);
+        }
+    }
+
+    /// Called by the process when it terminates: return the baton for
+    /// good without waiting.
+    fn proc_finish(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Kernel;
+        self.cv.notify_one();
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Has a resume event in flight (initial spawn or timed wakeup).
+    Ready,
+    /// Currently executing user code (the kernel is inside `kernel_resume`).
+    Running,
+    /// Parked in a blocking primitive, waiting for an external wake.
+    Blocked,
+    /// Thread has terminated.
+    Finished,
+}
+
+struct ProcSlot {
+    ctrl: Arc<ProcCtrl>,
+    name: String,
+    phase: Phase,
+    /// Bumped every time the kernel resumes this process; used to
+    /// invalidate stale wakeup events.
+    epoch: u64,
+    daemon: bool,
+}
+
+/// One entry in the event queue: resume `pid` at `time`, provided its
+/// epoch still equals `epoch`. `seq` breaks ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    pid: Pid,
+    epoch: u64,
+}
+
+pub(crate) struct Kernel {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    procs: Vec<ProcSlot>,
+    joins: Vec<JoinHandle<()>>,
+    live: usize,
+    live_non_daemon: usize,
+    shutdown: bool,
+    events_processed: u64,
+    panics: Vec<(String, String)>,
+}
+
+/// State shared between the kernel and every process context.
+pub(crate) struct Shared {
+    pub(crate) kernel: Mutex<Kernel>,
+}
+
+impl Shared {
+    /// Schedule a wakeup for `pid` at absolute time `at`, targeted at the
+    /// process's *current* epoch. Call while the process is blocked (or
+    /// about to block); a stale epoch at pop time makes the event a no-op.
+    pub(crate) fn schedule_wake_current_epoch(&self, pid: Pid, at: SimTime) {
+        let mut k = self.kernel.lock();
+        let epoch = k.procs[pid].epoch;
+        let seq = k.seq;
+        k.seq += 1;
+        k.queue.push(Reverse(Event { time: at, seq, pid, epoch }));
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.kernel.lock().now
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.kernel.lock().shutdown
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Build one, spawn a root process, and [`run`](Sim::run) it to
+/// completion:
+///
+/// ```
+/// use ompss_sim::{Sim, SimDuration};
+///
+/// let sim = Sim::new();
+/// sim.spawn("main", |ctx| {
+///     ctx.delay(SimDuration::from_millis(3)).unwrap();
+///     assert_eq!(ctx.now().as_nanos(), 3_000_000);
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time.as_nanos(), 3_000_000);
+/// ```
+pub struct Sim {
+    shared: Arc<Shared>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            shared: Arc::new(Shared {
+                kernel: Mutex::new(Kernel {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    queue: BinaryHeap::new(),
+                    procs: Vec::new(),
+                    joins: Vec::new(),
+                    live: 0,
+                    live_non_daemon: 0,
+                    shutdown: false,
+                    events_processed: 0,
+                    panics: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Spawn a regular (non-daemon) process. It becomes runnable at the
+    /// current virtual time. The simulation is not complete until every
+    /// non-daemon process has returned.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        spawn_process(&self.shared, name.into(), false, f)
+    }
+
+    /// Spawn a daemon process: a service loop that blocks forever and is
+    /// torn down via [`SimError::Shutdown`] when the simulation drains.
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        spawn_process(&self.shared, name.into(), true, f)
+    }
+
+    /// Run the simulation until the event queue drains, then tear down
+    /// daemons and join every process thread.
+    ///
+    /// Returns an error if the modelled system deadlocked (a non-daemon
+    /// process was still blocked at drain time) or any process panicked.
+    pub fn run(self) -> Result<RunReport, RunError> {
+        loop {
+            // Pop the next valid event.
+            let next = {
+                let mut k = self.shared.kernel.lock();
+                loop {
+                    match k.queue.pop() {
+                        None => break None,
+                        Some(Reverse(ev)) => {
+                            let slot = &mut k.procs[ev.pid];
+                            if slot.phase == Phase::Finished || slot.epoch != ev.epoch {
+                                continue; // stale wakeup
+                            }
+                            debug_assert!(
+                                slot.phase == Phase::Ready || slot.phase == Phase::Blocked,
+                                "resuming a process in phase {:?}",
+                                slot.phase
+                            );
+                            slot.phase = Phase::Running;
+                            slot.epoch += 1;
+                            let ctrl = slot.ctrl.clone();
+                            k.now = ev.time;
+                            k.events_processed += 1;
+                            break Some(ctrl);
+                        }
+                    }
+                }
+            };
+            match next {
+                Some(ctrl) => ctrl.kernel_resume(),
+                None => break,
+            }
+        }
+
+        // Queue drained. Non-daemon processes still alive are deadlocked.
+        let deadlocked: Vec<String> = {
+            let k = self.shared.kernel.lock();
+            k.procs
+                .iter()
+                .filter(|p| !p.daemon && p.phase != Phase::Finished)
+                .map(|p| p.name.clone())
+                .collect()
+        };
+
+        // Tear down daemons (and, on deadlock, the stuck processes too,
+        // so their threads don't leak). Blocking calls observe the
+        // shutdown flag and return `Err(Shutdown)`.
+        self.shared.kernel.lock().shutdown = true;
+        let mut guard = 0usize;
+        loop {
+            let blocked: Vec<Arc<ProcCtrl>> = {
+                let mut k = self.shared.kernel.lock();
+                let mut v = Vec::new();
+                for slot in k.procs.iter_mut() {
+                    if slot.phase == Phase::Blocked || slot.phase == Phase::Ready {
+                        slot.phase = Phase::Running;
+                        slot.epoch += 1;
+                        v.push(slot.ctrl.clone());
+                    }
+                }
+                v
+            };
+            if blocked.is_empty() {
+                break;
+            }
+            for ctrl in blocked {
+                ctrl.kernel_resume();
+            }
+            guard += 1;
+            assert!(guard < 1000, "a process is ignoring SimError::Shutdown");
+        }
+
+        // All threads have terminated; join them.
+        let joins = {
+            let mut k = self.shared.kernel.lock();
+            std::mem::take(&mut k.joins)
+        };
+        for j in joins {
+            let _ = j.join();
+        }
+
+        let k = self.shared.kernel.lock();
+        if let Some((name, msg)) = k.panics.first() {
+            return Err(RunError::ProcessPanic(name.clone(), msg.clone()));
+        }
+        if !deadlocked.is_empty() {
+            return Err(RunError::Deadlock(deadlocked));
+        }
+        Ok(RunReport { end_time: k.now, events: k.events_processed, processes: k.procs.len() })
+    }
+}
+
+fn spawn_process<F>(shared: &Arc<Shared>, name: String, daemon: bool, f: F) -> Pid
+where
+    F: FnOnce(Ctx) + Send + 'static,
+{
+    let ctrl = ProcCtrl::new();
+    let pid;
+    {
+        let mut k = shared.kernel.lock();
+        pid = k.procs.len();
+        k.procs.push(ProcSlot {
+            ctrl: ctrl.clone(),
+            name: name.clone(),
+            phase: Phase::Ready,
+            epoch: 0,
+            daemon,
+        });
+        k.live += 1;
+        if !daemon {
+            k.live_non_daemon += 1;
+        }
+        // Initial activation at the current time, epoch 0.
+        let now = k.now;
+        let seq = k.seq;
+        k.seq += 1;
+        k.queue.push(Reverse(Event { time: now, seq, pid, epoch: 0 }));
+    }
+
+    let ctx = Ctx { shared: shared.clone(), pid };
+    let thread_shared = shared.clone();
+    let thread_ctrl = ctrl;
+    let handle = std::thread::Builder::new()
+        .name(format!("sim:{name}"))
+        .spawn(move || {
+            thread_ctrl.proc_wait_first();
+            let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+            {
+                let mut k = thread_shared.kernel.lock();
+                let slot = &mut k.procs[pid];
+                slot.phase = Phase::Finished;
+                slot.epoch += 1;
+                let (slot_name, slot_daemon) = (slot.name.clone(), slot.daemon);
+                k.live -= 1;
+                if !slot_daemon {
+                    k.live_non_daemon -= 1;
+                }
+                if let Err(payload) = result {
+                    let msg = panic_message(&*payload);
+                    // Shutdown unwinds may legitimately panic through
+                    // user code that unwraps a SimResult; only record
+                    // panics that happen while the simulation is live.
+                    if !k.shutdown {
+                        k.panics.push((slot_name, msg));
+                    }
+                }
+            }
+            thread_ctrl.proc_finish();
+        })
+        .expect("failed to spawn simulation process thread");
+    shared.kernel.lock().joins.push(handle);
+    pid
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A process's handle to the simulation: clock access, delays, and the
+/// ability to spawn further processes. Cheap to clone; every blocking
+/// primitive takes `&Ctx` to identify and park the calling process.
+#[derive(Clone)]
+pub struct Ctx {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) pid: Pid,
+}
+
+impl Ctx {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Advance virtual time by `d`: park this process and resume it once
+    /// every event scheduled before `now + d` has run.
+    pub fn delay(&self, d: SimDuration) -> SimResult<()> {
+        {
+            let mut k = self.shared.kernel.lock();
+            if k.shutdown {
+                return Err(SimError::Shutdown);
+            }
+            let at = k.now + d;
+            let seq = k.seq;
+            k.seq += 1;
+            let epoch = k.procs[self.pid].epoch;
+            k.procs[self.pid].phase = Phase::Ready;
+            k.queue.push(Reverse(Event { time: at, seq, pid: self.pid, epoch }));
+        }
+        self.handshake()?;
+        Ok(())
+    }
+
+    /// Yield to the kernel without scheduling a wakeup; some other
+    /// process (via a primitive) must wake this one. Used by the blocking
+    /// primitives; application code should prefer those.
+    pub(crate) fn park(&self) -> SimResult<()> {
+        {
+            let mut k = self.shared.kernel.lock();
+            if k.shutdown {
+                return Err(SimError::Shutdown);
+            }
+            k.procs[self.pid].phase = Phase::Blocked;
+        }
+        self.handshake()?;
+        Ok(())
+    }
+
+    /// Relinquish the CPU until the next event at the same timestamp has
+    /// run: a deterministic `yield_now`. Useful to let same-time events
+    /// interleave fairly.
+    pub fn yield_now(&self) -> SimResult<()> {
+        self.delay(SimDuration::ZERO)
+    }
+
+    fn handshake(&self) -> SimResult<()> {
+        let ctrl = {
+            let k = self.shared.kernel.lock();
+            k.procs[self.pid].ctrl.clone()
+        };
+        ctrl.proc_yield();
+        if self.shared.is_shutdown() {
+            return Err(SimError::Shutdown);
+        }
+        Ok(())
+    }
+
+    /// Spawn a non-daemon child process, runnable at the current time.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        spawn_process(&self.shared, name.into(), false, f)
+    }
+
+    /// Spawn a daemon child process (see [`Sim::spawn_daemon`]).
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        spawn_process(&self.shared, name.into(), true, f)
+    }
+
+    /// Internal access for primitives in sibling modules.
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_sim_completes() {
+        let report = Sim::new().run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn single_process_delays_advance_clock() {
+        let sim = Sim::new();
+        sim.spawn("p", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.delay(SimDuration::from_nanos(10)).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 10);
+            ctx.delay(SimDuration::from_nanos(5)).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 15);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_nanos(), 15);
+    }
+
+    #[test]
+    fn events_fire_in_time_order_across_processes() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sim = Sim::new();
+        for (name, d) in [("a", 30u64), ("b", 10), ("c", 20)] {
+            let log = log.clone();
+            sim.spawn(name, move |ctx| {
+                ctx.delay(SimDuration::from_nanos(d)).unwrap();
+                log.lock().push(name);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.lock(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_spawn_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sim = Sim::new();
+        for name in ["first", "second", "third"] {
+            let log = log.clone();
+            sim.spawn(name, move |ctx| {
+                ctx.delay(SimDuration::from_nanos(7)).unwrap();
+                log.lock().push(name);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.lock(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn nested_spawn_runs_at_current_time() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let sim = Sim::new();
+        let h = hits.clone();
+        sim.spawn("parent", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(5)).unwrap();
+            let h2 = h.clone();
+            ctx.spawn("child", move |cctx| {
+                assert_eq!(cctx.now().as_nanos(), 5);
+                h2.fetch_add(1, Ordering::SeqCst);
+            });
+            ctx.delay(SimDuration::from_nanos(1)).unwrap();
+            assert_eq!(h.load(Ordering::SeqCst), 1, "child ran before parent's next event");
+        });
+        sim.run().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn daemon_blocked_forever_is_torn_down() {
+        let sim = Sim::new();
+        sim.spawn_daemon("daemon", |ctx| {
+            // Parks forever; must be woken with Shutdown.
+            let r = ctx.park();
+            assert_eq!(r, Err(SimError::Shutdown));
+        });
+        sim.spawn("main", |ctx| {
+            ctx.delay(SimDuration::from_nanos(100)).unwrap();
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_nanos(), 100);
+    }
+
+    #[test]
+    fn blocked_non_daemon_is_reported_as_deadlock() {
+        let sim = Sim::new();
+        sim.spawn("stuck", |ctx| {
+            let _ = ctx.park();
+        });
+        match sim.run() {
+            Err(RunError::Deadlock(names)) => assert_eq!(names, vec!["stuck".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let sim = Sim::new();
+        sim.spawn("boom", |_ctx| panic!("kaboom"));
+        match sim.run() {
+            Err(RunError::ProcessPanic(name, msg)) => {
+                assert_eq!(name, "boom");
+                assert!(msg.contains("kaboom"));
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_after_shutdown_errors() {
+        let sim = Sim::new();
+        sim.spawn_daemon("d", |ctx| {
+            assert_eq!(ctx.park(), Err(SimError::Shutdown));
+            // Further blocking calls must also fail immediately.
+            assert_eq!(ctx.delay(SimDuration::from_nanos(1)), Err(SimError::Shutdown));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn yield_now_interleaves_same_time_processes() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sim = Sim::new();
+        for name in ["a", "b"] {
+            let log = log.clone();
+            sim.spawn(name, move |ctx| {
+                for i in 0..3 {
+                    log.lock().push(format!("{name}{i}"));
+                    ctx.yield_now().unwrap();
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(got, vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs_match() {
+        fn run_once() -> (u64, u64) {
+            let sim = Sim::new();
+            for i in 0..20u64 {
+                sim.spawn(format!("p{i}"), move |ctx| {
+                    for j in 0..10u64 {
+                        ctx.delay(SimDuration::from_nanos((i * 7 + j * 13) % 29 + 1)).unwrap();
+                    }
+                });
+            }
+            let r = sim.run().unwrap();
+            (r.end_time.as_nanos(), r.events)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn many_processes_complete() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let sim = Sim::new();
+        for i in 0..200 {
+            let c = counter.clone();
+            sim.spawn(format!("p{i}"), move |ctx| {
+                ctx.delay(SimDuration::from_nanos(i as u64)).unwrap();
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+        assert_eq!(report.processes, 200);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for simulation processes.
+
+use std::fmt;
+
+/// Errors returned by blocking simulation calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation is shutting down: the event queue drained and the
+    /// kernel is unwinding daemon processes. A process receiving this
+    /// from any blocking call must return promptly.
+    Shutdown,
+    /// A primitive was used after being closed (e.g. receiving on a
+    /// channel whose senders are all gone and which is empty).
+    Closed,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Shutdown => write!(f, "simulation is shutting down"),
+            SimError::Closed => write!(f, "simulation primitive closed"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for blocking simulation calls.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Outcome of [`crate::Sim::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time when the last event was processed.
+    pub end_time: crate::SimTime,
+    /// Number of events the kernel dispatched.
+    pub events: u64,
+    /// Number of processes ever spawned.
+    pub processes: usize,
+}
+
+/// A simulation failed to complete cleanly.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The event queue drained while non-daemon processes were still
+    /// blocked: a deadlock in the modelled system. Contains the names of
+    /// the stuck processes.
+    Deadlock(Vec<String>),
+    /// A process panicked. Contains `(process name, panic message)` for
+    /// the first recorded panic.
+    ProcessPanic(String, String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock(names) => {
+                write!(f, "simulation deadlock; blocked processes: {}", names.join(", "))
+            }
+            RunError::ProcessPanic(name, msg) => {
+                write!(f, "process '{name}' panicked: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}

@@ -1,0 +1,56 @@
+//! # ompss-sim — deterministic discrete-event simulation engine
+//!
+//! The substrate under the whole OmpSs reproduction. The original
+//! Nanos++ runtime (Bueno et al., IPPS 2012) ran its worker threads, GPU
+//! manager threads and cluster communication thread on real hardware;
+//! here every one of those agents is a *simulation process* scheduled
+//! over a virtual clock, so that:
+//!
+//! * experiments are **deterministic and reproducible** — identical
+//!   configurations produce identical schedules and makespans;
+//! * hardware we don't have (Fermi-era GPUs, a QDR Infiniband cluster)
+//!   is modelled by charging virtual time for transfers and kernels
+//!   while the *logic* of the runtime (dependence tracking, scheduling,
+//!   caching, message protocols) executes for real.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use ompss_sim::{Channel, Sim, SimDuration};
+//!
+//! let sim = Sim::new();
+//! let jobs: Channel<u32> = Channel::new();
+//!
+//! // A daemon service loop, torn down automatically when the sim drains.
+//! let rx = jobs.clone();
+//! sim.spawn_daemon("worker", move |ctx| {
+//!     while let Ok(job) = rx.recv(&ctx) {
+//!         // charge `job` ms of virtual time per job
+//!         ctx.delay(SimDuration::from_millis(job as u64)).unwrap();
+//!     }
+//! });
+//!
+//! let tx = jobs.clone();
+//! sim.spawn("main", move |ctx| {
+//!     for j in [1u32, 2, 3] {
+//!         tx.send(&ctx, j);
+//!     }
+//! });
+//!
+//! let report = sim.run().unwrap();
+//! assert_eq!(report.end_time.as_nanos(), 6_000_000); // 1+2+3 ms, serialised
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod queue;
+mod sync;
+mod time;
+
+pub use engine::{Ctx, Pid, Sim};
+pub use error::{RunError, RunReport, SimError, SimResult};
+pub use queue::Channel;
+pub use sync::{Bell, Latch, Semaphore, Signal};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,260 @@
+//! FIFO channels between simulation processes.
+//!
+//! [`Channel`] is an unbounded multi-producer multi-consumer queue with
+//! deterministic FIFO delivery: items are received in send order, and
+//! blocked receivers are served in the order they blocked. `send` never
+//! blocks (the modelled queues — ready-task pools, message inboxes — are
+//! unbounded in Nanos++ too); `recv` parks the calling process until an
+//! item arrives.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::{Ctx, Pid};
+use crate::error::{SimError, SimResult};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    waiters: VecDeque<Pid>,
+    closed: bool,
+}
+
+/// An unbounded MPMC FIFO channel for simulation processes.
+///
+/// Clones share the same queue.
+pub struct Channel<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Channel<T> {
+    /// Create an empty channel.
+    pub fn new() -> Self {
+        Channel {
+            inner: Arc::new(Mutex::new(Inner {
+                items: VecDeque::new(),
+                waiters: VecDeque::new(),
+                closed: false,
+            })),
+        }
+    }
+
+    /// Enqueue an item. If a receiver is parked, the oldest one is woken
+    /// at the current virtual time. Never blocks.
+    pub fn send(&self, ctx: &Ctx, item: T) {
+        let wake = {
+            let mut inner = self.inner.lock();
+            inner.items.push_back(item);
+            inner.waiters.pop_front()
+        };
+        if let Some(pid) = wake {
+            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        }
+    }
+
+    /// Dequeue an item, parking until one is available.
+    ///
+    /// Returns [`SimError::Closed`] if the channel is closed and empty,
+    /// or [`SimError::Shutdown`] during simulation teardown.
+    pub fn recv(&self, ctx: &Ctx) -> SimResult<T> {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(v) = inner.items.pop_front() {
+                    return Ok(v);
+                }
+                if inner.closed {
+                    return Err(SimError::Closed);
+                }
+                inner.waiters.push_back(ctx.pid());
+            }
+            ctx.park()?;
+        }
+    }
+
+    /// Dequeue an item if one is immediately available.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().items.pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().items.is_empty()
+    }
+
+    /// Close the channel: parked and future receivers get
+    /// [`SimError::Closed`] once the queue is empty. Items already queued
+    /// are still delivered.
+    pub fn close(&self, ctx: &Ctx) {
+        let wakes: Vec<Pid> = {
+            let mut inner = self.inner.lock();
+            inner.closed = true;
+            inner.waiters.drain(..).collect()
+        };
+        for pid in wakes {
+            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn send_then_recv_same_process() {
+        let sim = Sim::new();
+        let ch = Channel::new();
+        let c = ch.clone();
+        sim.spawn("p", move |ctx| {
+            c.send(&ctx, 41);
+            c.send(&ctx, 42);
+            assert_eq!(c.recv(&ctx).unwrap(), 41);
+            assert_eq!(c.recv(&ctx).unwrap(), 42);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let sim = Sim::new();
+        let ch: Channel<u64> = Channel::new();
+        let (c1, c2) = (ch.clone(), ch.clone());
+        sim.spawn("consumer", move |ctx| {
+            let v = c1.recv(&ctx).unwrap();
+            assert_eq!(v, 7);
+            assert_eq!(ctx.now().as_nanos(), 50, "woken at the producer's send time");
+        });
+        sim.spawn("producer", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(50)).unwrap();
+            c2.send(&ctx, 7);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let sim = Sim::new();
+        let ch = Channel::new();
+        let got = Arc::new(PMutex::new(Vec::new()));
+        let (c1, c2, g) = (ch.clone(), ch.clone(), got.clone());
+        sim.spawn("producer", move |ctx| {
+            for i in 0..100 {
+                c1.send(&ctx, i);
+            }
+        });
+        sim.spawn("consumer", move |ctx| {
+            for _ in 0..100 {
+                g.lock().push(c2.recv(&ctx).unwrap());
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_receivers_served_in_block_order() {
+        let sim = Sim::new();
+        let ch: Channel<u32> = Channel::new();
+        let got = Arc::new(PMutex::new(Vec::new()));
+        for name in ["r1", "r2"] {
+            let c = ch.clone();
+            let g = got.clone();
+            sim.spawn(name, move |ctx| {
+                let v = c.recv(&ctx).unwrap();
+                g.lock().push((name, v));
+            });
+        }
+        let c = ch.clone();
+        sim.spawn("sender", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(10)).unwrap();
+            c.send(&ctx, 100);
+            c.send(&ctx, 200);
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), vec![("r1", 100), ("r2", 200)]);
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let sim = Sim::new();
+        let ch: Channel<u32> = Channel::new();
+        let c = ch.clone();
+        sim.spawn("p", move |ctx| {
+            assert_eq!(c.try_recv(), None);
+            c.send(&ctx, 1);
+            assert_eq!(c.try_recv(), Some(1));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver_with_closed() {
+        let sim = Sim::new();
+        let ch: Channel<u32> = Channel::new();
+        let (c1, c2) = (ch.clone(), ch.clone());
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(c1.recv(&ctx), Err(SimError::Closed));
+        });
+        sim.spawn("closer", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(5)).unwrap();
+            c2.close(&ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_still_delivers_queued_items() {
+        let sim = Sim::new();
+        let ch = Channel::new();
+        let c = ch.clone();
+        sim.spawn("p", move |ctx| {
+            c.send(&ctx, 9);
+            c.close(&ctx);
+            assert_eq!(c.recv(&ctx).unwrap(), 9);
+            assert_eq!(c.recv(&ctx), Err(SimError::Closed));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn daemon_worker_loop_drains_then_shuts_down() {
+        let sim = Sim::new();
+        let ch: Channel<u32> = Channel::new();
+        let done = Arc::new(PMutex::new(0u32));
+        let (c1, c2, d) = (ch.clone(), ch.clone(), done.clone());
+        sim.spawn_daemon("worker", move |ctx| {
+            while let Ok(v) = c1.recv(&ctx) {
+                *d.lock() += v;
+            }
+        });
+        sim.spawn("main", move |ctx| {
+            for _ in 0..5 {
+                c2.send(&ctx, 2);
+                ctx.delay(SimDuration::from_nanos(1)).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*done.lock(), 10);
+    }
+}

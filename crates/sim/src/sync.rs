@@ -1,0 +1,554 @@
+//! Synchronization primitives for simulation processes: counting
+//! semaphores (the building block of every modelled hardware resource —
+//! PCIe links, DMA engines, NIC ports), one-shot broadcast signals
+//! (completion events), and counting latches (taskwait).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::{Ctx, Pid};
+use crate::error::SimResult;
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemInner {
+    permits: u64,
+    /// FIFO of (pid, permits wanted) — strict arrival-order fairness, so
+    /// modelled hardware queues (a PCIe link, a copy engine) serve
+    /// requests deterministically and without starvation.
+    waiters: VecDeque<(Pid, u64)>,
+}
+
+/// A counting semaphore with FIFO fairness.
+///
+/// Modelled hardware is a semaphore: a link with one transfer in flight
+/// is `Semaphore::new(1)`; a GPU with two copy engines is
+/// `Semaphore::new(2)`. `acquire + delay + release` around an operation
+/// serialises contending processes and accumulates queueing time on the
+/// virtual clock exactly like a busy device would.
+pub struct Semaphore {
+    inner: Arc<Mutex<SemInner>>,
+}
+
+impl Clone for Semaphore {
+    fn clone(&self) -> Self {
+        Semaphore { inner: self.inner.clone() }
+    }
+}
+
+impl Semaphore {
+    /// Create a semaphore holding `permits` permits.
+    pub fn new(permits: u64) -> Self {
+        Semaphore { inner: Arc::new(Mutex::new(SemInner { permits, waiters: VecDeque::new() })) }
+    }
+
+    /// Acquire one permit, parking until available.
+    pub fn acquire(&self, ctx: &Ctx) -> SimResult<()> {
+        self.acquire_n(ctx, 1)
+    }
+
+    /// Acquire `n` permits atomically, parking until available.
+    ///
+    /// FIFO: a large request at the head of the queue blocks later small
+    /// requests (no barging), which keeps service order deterministic.
+    pub fn acquire_n(&self, ctx: &Ctx, n: u64) -> SimResult<()> {
+        let mut registered = false;
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                let at_head = inner.waiters.front().map(|&(pid, _)| pid) == Some(ctx.pid());
+                if inner.permits >= n && (!registered || at_head) && (registered || inner.waiters.is_empty()) {
+                    if registered {
+                        inner.waiters.pop_front();
+                        // Wake the next head in case permits remain for it.
+                        if let Some(&(next, want)) = inner.waiters.front() {
+                            if inner.permits - n >= want {
+                                ctx.shared().schedule_wake_current_epoch(next, ctx.now());
+                            }
+                        }
+                    }
+                    inner.permits -= n;
+                    return Ok(());
+                }
+                if !registered {
+                    inner.waiters.push_back((ctx.pid(), n));
+                    registered = true;
+                }
+            }
+            ctx.park()?;
+        }
+    }
+
+    /// Return one permit.
+    pub fn release(&self, ctx: &Ctx) {
+        self.release_n(ctx, 1);
+    }
+
+    /// Return `n` permits and wake the head waiter if it can now proceed.
+    pub fn release_n(&self, ctx: &Ctx, n: u64) {
+        let wake = {
+            let mut inner = self.inner.lock();
+            inner.permits += n;
+            match inner.waiters.front() {
+                Some(&(pid, want)) if inner.permits >= want => Some(pid),
+                _ => None,
+            }
+        };
+        if let Some(pid) = wake {
+            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        }
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> u64 {
+        self.inner.lock().permits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signal
+// ---------------------------------------------------------------------------
+
+struct SignalInner {
+    set: bool,
+    waiters: Vec<Pid>,
+}
+
+/// A one-shot broadcast event: any number of processes [`wait`](Signal::wait)
+/// until some process calls [`set`](Signal::set). Waiting on an
+/// already-set signal returns immediately. Used for completion
+/// notifications (a transfer finished, a kernel retired, a remote task
+/// acknowledged).
+pub struct Signal {
+    inner: Arc<Mutex<SignalInner>>,
+}
+
+impl Clone for Signal {
+    fn clone(&self) -> Self {
+        Signal { inner: self.inner.clone() }
+    }
+}
+
+impl Default for Signal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Signal {
+    /// Create an unset signal.
+    pub fn new() -> Self {
+        Signal { inner: Arc::new(Mutex::new(SignalInner { set: false, waiters: Vec::new() })) }
+    }
+
+    /// Set the signal and wake every waiter. Idempotent.
+    pub fn set(&self, ctx: &Ctx) {
+        let wakes: Vec<Pid> = {
+            let mut inner = self.inner.lock();
+            if inner.set {
+                return;
+            }
+            inner.set = true;
+            std::mem::take(&mut inner.waiters)
+        };
+        for pid in wakes {
+            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        }
+    }
+
+    /// True if the signal has been set.
+    pub fn is_set(&self) -> bool {
+        self.inner.lock().set
+    }
+
+    /// Park until the signal is set.
+    pub fn wait(&self, ctx: &Ctx) -> SimResult<()> {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if inner.set {
+                    return Ok(());
+                }
+                inner.waiters.push(ctx.pid());
+            }
+            ctx.park()?;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------------
+
+struct LatchInner {
+    count: u64,
+    waiters: Vec<Pid>,
+}
+
+/// A counting latch: `add` raises the count, `done` lowers it, and
+/// [`wait_zero`](Latch::wait_zero) parks until it reaches zero.
+///
+/// This is the synchronization shape of OmpSs `taskwait`: the creating
+/// task adds one per child and waits for the count to drain. Unlike a
+/// one-shot signal the count may rise again after reaching zero (a
+/// second `taskwait` region).
+pub struct Latch {
+    inner: Arc<Mutex<LatchInner>>,
+}
+
+impl Clone for Latch {
+    fn clone(&self) -> Self {
+        Latch { inner: self.inner.clone() }
+    }
+}
+
+impl Default for Latch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Latch {
+    /// Create a latch with count zero.
+    pub fn new() -> Self {
+        Latch { inner: Arc::new(Mutex::new(LatchInner { count: 0, waiters: Vec::new() })) }
+    }
+
+    /// Raise the count by `n`.
+    pub fn add(&self, n: u64) {
+        self.inner.lock().count += n;
+    }
+
+    /// Lower the count by one; at zero, wake all waiters.
+    pub fn done(&self, ctx: &Ctx) {
+        let wakes: Vec<Pid> = {
+            let mut inner = self.inner.lock();
+            assert!(inner.count > 0, "Latch::done without matching add");
+            inner.count -= 1;
+            if inner.count == 0 {
+                std::mem::take(&mut inner.waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        for pid in wakes {
+            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        }
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Park until the count reaches zero. Returns immediately if already
+    /// zero.
+    pub fn wait_zero(&self, ctx: &Ctx) -> SimResult<()> {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if inner.count == 0 {
+                    return Ok(());
+                }
+                inner.waiters.push(ctx.pid());
+            }
+            ctx.park()?;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bell
+// ---------------------------------------------------------------------------
+
+struct BellInner {
+    waiters: Vec<Pid>,
+}
+
+/// A reusable broadcast wakeup — the shape of a condition variable.
+///
+/// Idle workers [`wait`](Bell::wait) on the bell after finding their
+/// queues empty; producers [`ring`](Bell::ring) it after enqueueing
+/// work, waking *all* current waiters to re-check their queues. Because
+/// the simulation is sequential (a process cannot be preempted between
+/// checking a queue and parking on the bell), the classic lost-wakeup
+/// race cannot occur.
+pub struct Bell {
+    inner: Arc<Mutex<BellInner>>,
+}
+
+impl Clone for Bell {
+    fn clone(&self) -> Self {
+        Bell { inner: self.inner.clone() }
+    }
+}
+
+impl Default for Bell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bell {
+    /// Create a bell with no waiters.
+    pub fn new() -> Self {
+        Bell { inner: Arc::new(Mutex::new(BellInner { waiters: Vec::new() })) }
+    }
+
+    /// Park until the next ring.
+    pub fn wait(&self, ctx: &Ctx) -> SimResult<()> {
+        self.inner.lock().waiters.push(ctx.pid());
+        ctx.park()
+    }
+
+    /// Wake every process currently waiting.
+    pub fn ring(&self, ctx: &Ctx) {
+        let wakes: Vec<Pid> = std::mem::take(&mut self.inner.lock().waiters);
+        for pid in wakes {
+            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn semaphore_serialises_contenders() {
+        // Two processes each hold a 1-permit semaphore for 10ns; the
+        // second must finish at 20ns.
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let ends = Arc::new(PMutex::new(Vec::new()));
+        for name in ["a", "b"] {
+            let s = sem.clone();
+            let e = ends.clone();
+            sim.spawn(name, move |ctx| {
+                s.acquire(&ctx).unwrap();
+                ctx.delay(SimDuration::from_nanos(10)).unwrap();
+                s.release(&ctx);
+                e.lock().push((name, ctx.now().as_nanos()));
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*ends.lock(), vec![("a", 10), ("b", 20)]);
+    }
+
+    #[test]
+    fn semaphore_two_permits_run_concurrently() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let ends = Arc::new(PMutex::new(Vec::new()));
+        for name in ["a", "b"] {
+            let s = sem.clone();
+            let e = ends.clone();
+            sim.spawn(name, move |ctx| {
+                s.acquire(&ctx).unwrap();
+                ctx.delay(SimDuration::from_nanos(10)).unwrap();
+                s.release(&ctx);
+                e.lock().push(ctx.now().as_nanos());
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*ends.lock(), vec![10, 10]);
+    }
+
+    #[test]
+    fn semaphore_fifo_no_barging() {
+        // Queue: big wants 2 permits, then small wants 1. Releasing one
+        // permit (total available 1) must NOT let small barge past big.
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let order = Arc::new(PMutex::new(Vec::new()));
+        {
+            let s = sem.clone();
+            sim.spawn("holder", move |ctx| {
+                s.acquire_n(&ctx, 2).unwrap();
+                ctx.delay(SimDuration::from_nanos(10)).unwrap();
+                s.release(&ctx); // one back -> big still can't run
+                ctx.delay(SimDuration::from_nanos(10)).unwrap();
+                s.release(&ctx); // second back -> big runs
+            });
+        }
+        {
+            let s = sem.clone();
+            let o = order.clone();
+            sim.spawn("big", move |ctx| {
+                ctx.delay(SimDuration::from_nanos(1)).unwrap();
+                s.acquire_n(&ctx, 2).unwrap();
+                o.lock().push(("big", ctx.now().as_nanos()));
+                s.release_n(&ctx, 2);
+            });
+        }
+        {
+            let s = sem.clone();
+            let o = order.clone();
+            sim.spawn("small", move |ctx| {
+                ctx.delay(SimDuration::from_nanos(2)).unwrap();
+                s.acquire(&ctx).unwrap();
+                o.lock().push(("small", ctx.now().as_nanos()));
+                s.release(&ctx);
+            });
+        }
+        sim.run().unwrap();
+        let got = order.lock().clone();
+        assert_eq!(got[0].0, "big", "FIFO order violated: {got:?}");
+        assert_eq!(got[0].1, 20);
+        assert_eq!(got[1].0, "small");
+    }
+
+    #[test]
+    fn semaphore_available_tracks_permits() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(3);
+        let s = sem.clone();
+        sim.spawn("p", move |ctx| {
+            assert_eq!(s.available(), 3);
+            s.acquire_n(&ctx, 2).unwrap();
+            assert_eq!(s.available(), 1);
+            s.release_n(&ctx, 2);
+            assert_eq!(s.available(), 3);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn signal_wakes_all_waiters() {
+        let sim = Sim::new();
+        let sig = Signal::new();
+        let done = Arc::new(PMutex::new(Vec::new()));
+        for name in ["w1", "w2", "w3"] {
+            let s = sig.clone();
+            let d = done.clone();
+            sim.spawn(name, move |ctx| {
+                s.wait(&ctx).unwrap();
+                d.lock().push((name, ctx.now().as_nanos()));
+            });
+        }
+        let s = sig.clone();
+        sim.spawn("setter", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(30)).unwrap();
+            s.set(&ctx);
+        });
+        sim.run().unwrap();
+        let got = done.lock().clone();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|&(_, t)| t == 30));
+    }
+
+    #[test]
+    fn signal_already_set_returns_immediately() {
+        let sim = Sim::new();
+        let sig = Signal::new();
+        let s = sig.clone();
+        sim.spawn("p", move |ctx| {
+            s.set(&ctx);
+            assert!(s.is_set());
+            s.wait(&ctx).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn latch_waits_for_all_children() {
+        let sim = Sim::new();
+        let latch = Latch::new();
+        latch.add(3);
+        for i in 1..=3u64 {
+            let l = latch.clone();
+            sim.spawn(format!("child{i}"), move |ctx| {
+                ctx.delay(SimDuration::from_nanos(i * 10)).unwrap();
+                l.done(&ctx);
+            });
+        }
+        let l = latch.clone();
+        sim.spawn("parent", move |ctx| {
+            l.wait_zero(&ctx).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 30);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn latch_reusable_across_regions() {
+        let sim = Sim::new();
+        let latch = Latch::new();
+        let l = latch.clone();
+        sim.spawn("parent", move |ctx| {
+            // Region 1.
+            l.add(1);
+            let l2 = l.clone();
+            ctx.spawn("c1", move |cctx| {
+                cctx.delay(SimDuration::from_nanos(5)).unwrap();
+                l2.done(&cctx);
+            });
+            l.wait_zero(&ctx).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 5);
+            // Region 2 raises the count again.
+            l.add(1);
+            let l3 = l.clone();
+            ctx.spawn("c2", move |cctx| {
+                cctx.delay(SimDuration::from_nanos(7)).unwrap();
+                l3.done(&cctx);
+            });
+            l.wait_zero(&ctx).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 12);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn bell_wakes_all_waiters_and_is_reusable() {
+        let sim = Sim::new();
+        let bell = Bell::new();
+        let wakeups = Arc::new(PMutex::new(Vec::new()));
+        for name in ["w1", "w2"] {
+            let b = bell.clone();
+            let w = wakeups.clone();
+            sim.spawn(name, move |ctx| {
+                b.wait(&ctx).unwrap();
+                w.lock().push((name, ctx.now().as_nanos()));
+                b.wait(&ctx).unwrap();
+                w.lock().push((name, ctx.now().as_nanos()));
+            });
+        }
+        let b = bell.clone();
+        sim.spawn("ringer", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(10)).unwrap();
+            b.ring(&ctx);
+            ctx.delay(SimDuration::from_nanos(10)).unwrap();
+            b.ring(&ctx);
+        });
+        sim.run().unwrap();
+        let got = wakeups.lock().clone();
+        assert_eq!(got, vec![("w1", 10), ("w2", 10), ("w1", 20), ("w2", 20)]);
+    }
+
+    #[test]
+    fn bell_ring_with_no_waiters_is_noop() {
+        let sim = Sim::new();
+        let bell = Bell::new();
+        sim.spawn("p", move |ctx| bell.ring(&ctx));
+        sim.run().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "Latch::done without matching add")]
+    fn latch_underflow_panics() {
+        let sim = Sim::new();
+        let latch = Latch::new();
+        sim.spawn("p", move |ctx| latch.done(&ctx));
+        // The panic is reported through RunError; re-panic for the test.
+        if let Err(e) = sim.run() {
+            panic!("{e}");
+        }
+    }
+}

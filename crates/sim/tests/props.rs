@@ -1,0 +1,109 @@
+//! Property tests of the DES primitives: conservation and fairness
+//! invariants under randomized schedules.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use ompss_sim::{Channel, Semaphore, Sim, SimDuration};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever interleaving the delays force, every message sent is
+    /// received exactly once and per-producer FIFO order is preserved.
+    #[test]
+    fn channel_conserves_messages_with_per_producer_fifo(
+        delays in proptest::collection::vec((0u64..50, 0u64..50), 1..20)
+    ) {
+        let sim = Sim::new();
+        let ch: Channel<(usize, u32)> = Channel::new();
+        let n_producers = delays.len();
+        let msgs_per = 5u32;
+        for (p, (d0, d1)) in delays.clone().into_iter().enumerate() {
+            let tx = ch.clone();
+            sim.spawn(format!("producer{p}"), move |ctx| {
+                for m in 0..msgs_per {
+                    ctx.delay(SimDuration::from_nanos(d0 + (m as u64 * d1) % 17)).unwrap();
+                    tx.send(&ctx, (p, m));
+                }
+            });
+        }
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        let rx = ch.clone();
+        sim.spawn_daemon("consumer", move |ctx| {
+            while let Ok(v) = rx.recv(&ctx) {
+                g.lock().push(v);
+            }
+        });
+        sim.run().unwrap();
+        let received = got.lock().clone();
+        prop_assert_eq!(received.len(), n_producers * msgs_per as usize);
+        // Per-producer FIFO.
+        for p in 0..n_producers {
+            let seq: Vec<u32> =
+                received.iter().filter(|(pp, _)| *pp == p).map(|&(_, m)| m).collect();
+            prop_assert_eq!(seq, (0..msgs_per).collect::<Vec<_>>());
+        }
+    }
+
+    /// Semaphore permits are conserved: with capacity C, at most C
+    /// holders ever overlap, and everyone eventually gets in.
+    #[test]
+    fn semaphore_never_oversubscribes(
+        cap in 1u64..5,
+        workers in 2usize..12,
+        hold in 1u64..40,
+    ) {
+        let sim = Sim::new();
+        let sem = Semaphore::new(cap);
+        let active = Arc::new(Mutex::new((0i64, 0i64))); // (current, max)
+        let served = Arc::new(Mutex::new(0usize));
+        for w in 0..workers {
+            let s = sem.clone();
+            let a = active.clone();
+            let done = served.clone();
+            sim.spawn(format!("w{w}"), move |ctx| {
+                ctx.delay(SimDuration::from_nanos((w as u64 * 7) % 13)).unwrap();
+                s.acquire(&ctx).unwrap();
+                {
+                    let mut g = a.lock();
+                    g.0 += 1;
+                    g.1 = g.1.max(g.0);
+                }
+                ctx.delay(SimDuration::from_nanos(hold)).unwrap();
+                a.lock().0 -= 1;
+                s.release(&ctx);
+                *done.lock() += 1;
+            });
+        }
+        sim.run().unwrap();
+        let (cur, max) = *active.lock();
+        prop_assert_eq!(cur, 0);
+        prop_assert!(max as u64 <= cap, "max holders {} exceeded capacity {}", max, cap);
+        prop_assert_eq!(*served.lock(), workers);
+    }
+
+    /// Determinism: any program built from random delays produces the
+    /// same end time twice.
+    #[test]
+    fn random_delay_programs_are_deterministic(
+        prog in proptest::collection::vec(proptest::collection::vec(1u64..100, 1..10), 1..10)
+    ) {
+        let run = |prog: Vec<Vec<u64>>| {
+            let sim = Sim::new();
+            for (i, delays) in prog.into_iter().enumerate() {
+                sim.spawn(format!("p{i}"), move |ctx| {
+                    for d in delays {
+                        ctx.delay(SimDuration::from_nanos(d)).unwrap();
+                    }
+                });
+            }
+            let r = sim.run().unwrap();
+            (r.end_time, r.events)
+        };
+        prop_assert_eq!(run(prog.clone()), run(prog));
+    }
+}

@@ -1,0 +1,59 @@
+//! Tiled matrix multiply on a simulated GPU cluster — the paper's
+//! headline workload (Figures 9 and 10).
+//!
+//! Runs the OmpSs version at paper scale (12288² floats, 1024² tiles,
+//! phantom-backed) across 1–8 nodes, comparing cluster configuration
+//! options (slave-to-slave transfers, parallel initialisation, presend)
+//! against the MPI+CUDA SUMMA baseline.
+//!
+//! Run with: `cargo run --release --example matmul_cluster`
+
+use ompss::apps::matmul::{self, ompss::InitMode, MatmulParams};
+use ompss::substrate::FabricConfig;
+use ompss::{Backing, GpuSpec, RuntimeConfig, SlaveRouting};
+
+fn main() {
+    let p = MatmulParams::paper();
+    println!(
+        "Matrix multiply {}x{} single precision, {}x{} tiles\n",
+        p.n(),
+        p.n(),
+        p.bs,
+        p.bs
+    );
+    println!(
+        "{:<8}{:>14}{:>14}{:>16}{:>14}",
+        "nodes", "naive (GF)", "best (GF)", "MPI+CUDA (GF)", "best config"
+    );
+    for nodes in [1u32, 2, 4, 8] {
+        // Naive: master-routed transfers, sequential init, no presend.
+        let naive = matmul::ompss::run(
+            RuntimeConfig::gpu_cluster(nodes)
+                .with_backing(Backing::Phantom)
+                .with_routing(SlaveRouting::ViaMaster)
+                .with_presend(0),
+            p,
+            InitMode::Seq,
+        );
+        // Best: direct slave-to-slave, parallel SMP init, presend 8.
+        let best = matmul::ompss::run(
+            RuntimeConfig::gpu_cluster(nodes)
+                .with_backing(Backing::Phantom)
+                .with_routing(SlaveRouting::Direct)
+                .with_presend(8),
+            p,
+            InitMode::Smp,
+        );
+        let mpi =
+            matmul::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p);
+        println!(
+            "{:<8}{:>14.0}{:>14.0}{:>16.0}{:>14}",
+            nodes, naive.metric, best.metric, mpi.metric, "StoS/smp/p8"
+        );
+    }
+    println!(
+        "\nThe configuration options matter: slave-to-slave transfers, parallel\n\
+         initialisation and presend (Fig. 9) take OmpSs from trailing the\n\
+         hand-written SUMMA baseline to beating it at scale (Fig. 10)."
+    );
+}

@@ -1,0 +1,69 @@
+//! # OmpSs for GPU clusters — a Rust reproduction
+//!
+//! This crate is the facade of a full reproduction of *Productive
+//! Programming of GPU Clusters with OmpSs* (Bueno et al., IPPS 2012):
+//! the OmpSs task-parallel programming model and its Nanos++-style
+//! runtime, rebuilt over deterministic simulated hardware (Fermi-era
+//! GPUs, a QDR-Infiniband cluster) so that the paper's entire
+//! evaluation regenerates on a laptop.
+//!
+//! The same annotated program runs unchanged on one GPU, a multi-GPU
+//! node, or a cluster of GPU nodes:
+//!
+//! ```
+//! use ompss::{Device, KernelCost, Runtime, RuntimeConfig, TaskSpec};
+//!
+//! // Two GPUs in one node; swap for `RuntimeConfig::gpu_cluster(8)`
+//! // and the program below is untouched.
+//! let report = Runtime::run(RuntimeConfig::multi_gpu(2), |omp| {
+//!     let a = omp.alloc_array::<f32>(1 << 12);
+//!     for j in (0..1 << 12).step_by(1 << 10) {
+//!         let r = a.region(j..j + (1 << 10));
+//!         omp.submit(
+//!             TaskSpec::new("scale")
+//!                 .device(Device::Cuda)
+//!                 .inout(r)
+//!                 .cost_gpu(KernelCost::memory_bound(8.0 * (1 << 10) as f64, 0.8))
+//!                 .body(|v| {
+//!                     for x in ompss::cast_slice_mut::<f32>(v[0]) {
+//!                         *x = 2.0 * *x + 1.0;
+//!                     }
+//!                 }),
+//!         );
+//!     }
+//!     omp.taskwait();
+//! });
+//! assert_eq!(report.tasks, 4);
+//! ```
+//!
+//! See the workspace crates for the pieces: `ompss-sim` (deterministic
+//! DES), `ompss-mem`, `ompss-net`, `ompss-cudasim` (substrates),
+//! `ompss-core`/`ompss-sched`/`ompss-coherence`/`ompss-runtime` (the
+//! model and runtime), `ompss-apps` (the four evaluation benchmarks in
+//! four programming styles), and `ompss-bench` (one harness per figure
+//! and table of the paper).
+
+#![warn(missing_docs)]
+
+pub use ompss_core::{Device, TaskGraph, TaskId};
+pub use ompss_cudasim::{GpuSpec, KernelCost};
+pub use ompss_mem::{cast_slice, cast_slice_mut, Backing, Region};
+pub use ompss_runtime::{
+    ArrayHandle, CachePolicy, Omp, Policy, Runtime, RunReport, RuntimeConfig, SimDuration,
+    SimTime, TaskCost, TaskSpec,
+};
+pub use ompss_runtime::SlaveRouting;
+pub use ompss_runtime::trace;
+
+/// The evaluation applications (Matmul, STREAM, Perlin, N-Body) in
+/// serial / CUDA / MPI+CUDA / OmpSs versions.
+pub use ompss_apps as apps;
+
+/// The simulation substrates, for building custom machines.
+pub mod substrate {
+    pub use ompss_coherence::{Coherence, HopKind, Loc, Topology, TransferExec};
+    pub use ompss_cudasim::{CopyDir, CudaEvent, GpuDevice, PinnedPool, Stream};
+    pub use ompss_mem::{MemoryManager, SpaceId, SpaceKind};
+    pub use ompss_net::{AmEndpoint, AmNet, Fabric, FabricConfig, Mpi, MpiRank};
+    pub use ompss_sim::{Bell, Channel, Ctx, Latch, Semaphore, Signal, Sim};
+}
