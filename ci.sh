@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, build, tests.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh quick    # skip the release build (lints + tests only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI green."

@@ -31,10 +31,7 @@ pub struct AppRun {
 
 /// Run `f` as the only process of a fresh simulation and return its
 /// result.
-pub fn run_single<R: Send + 'static>(
-    name: &str,
-    f: impl FnOnce(&Ctx) -> R + Send + 'static,
-) -> R {
+pub fn run_single<R: Send + 'static>(name: &str, f: impl FnOnce(&Ctx) -> R + Send + 'static) -> R {
     let out: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
     let out2 = out.clone();
     let sim = Sim::new();
@@ -55,8 +52,7 @@ pub fn run_mpi_ranks<R: Send + 'static>(
 ) -> Vec<R> {
     assert_eq!(fabric.nodes, nodes);
     let mpi = Mpi::new(fabric);
-    let outs: Arc<Vec<Mutex<Option<R>>>> =
-        Arc::new((0..nodes).map(|_| Mutex::new(None)).collect());
+    let outs: Arc<Vec<Mutex<Option<R>>>> = Arc::new((0..nodes).map(|_| Mutex::new(None)).collect());
     let f = Arc::new(f);
     let sim = Sim::new();
     for r in 0..nodes {

@@ -48,6 +48,8 @@ pub fn run(spec: GpuSpec, p: MatmulParams) -> AppRun {
         AppRun {
             elapsed,
             metric: gflops(p.flops(), elapsed),
-            check: if p.real { Some(c) } else { None }, report: None }
+            check: if p.real { Some(c) } else { None },
+            report: None,
+        }
     })
 }

@@ -71,9 +71,9 @@ pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: MatmulParams) -> 
             } else {
                 None
             };
-            let a_panel =
-                rank.bcast_group(ctx, &row_group, a_root, 1000 + k as u32, panel_a_bytes, a_payload)
-                    .unwrap();
+            let a_panel = rank
+                .bcast_group(ctx, &row_group, a_root, 1000 + k as u32, panel_a_bytes, a_payload)
+                .unwrap();
 
             // Broadcast the B panel (row k) along my process column.
             let col_group: Vec<u32> = (0..r).map(|q| (q * c + pc) as u32).collect();
@@ -89,9 +89,9 @@ pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: MatmulParams) -> 
             } else {
                 None
             };
-            let b_panel =
-                rank.bcast_group(ctx, &col_group, b_root, 2000 + k as u32, panel_b_bytes, b_payload)
-                    .unwrap();
+            let b_panel = rank
+                .bcast_group(ctx, &col_group, b_root, 2000 + k as u32, panel_b_bytes, b_payload)
+                .unwrap();
 
             // Ship the panels to the GPU and run the tile GEMMs. As in
             // the paper, the baseline is straightforward: pageable

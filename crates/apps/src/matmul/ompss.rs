@@ -28,7 +28,9 @@ pub fn run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> AppRun {
     let out = std::sync::Arc::new(parking_lot::Mutex::new(AppRun {
         elapsed: ompss_sim::SimDuration::ZERO,
         metric: 0.0,
-        check: None, report: None }));
+        check: None,
+        report: None,
+    }));
     let out2 = out.clone();
     let rep = Runtime::run(cfg, move |omp| {
         let a = omp.alloc_array::<f32>(p.matrix_elems());

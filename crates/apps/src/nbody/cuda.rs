@@ -48,6 +48,8 @@ pub fn run(spec: GpuSpec, p: NbodyParams) -> AppRun {
         AppRun {
             elapsed,
             metric: gflops(p.flops(), elapsed),
-            check: if p.real { Some(pos) } else { None }, report: None }
+            check: if p.real { Some(pos) } else { None },
+            report: None,
+        }
     })
 }

@@ -43,15 +43,15 @@ pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: NbodyParams) -> A
             } else {
                 None
             };
-            let gathered =
-                rank.allgather(ctx, 100 + it as u32, local_bytes, payload).unwrap();
+            let gathered = rank.allgather(ctx, 100 + it as u32, local_bytes, payload).unwrap();
             let pos_all: Vec<f32> = if p.real {
                 gathered
                     .iter()
                     .flat_map(|part| {
-                        part.as_ref().expect("real payload").chunks_exact(4).map(|b| {
-                            f32::from_le_bytes([b[0], b[1], b[2], b[3]])
-                        })
+                        part.as_ref()
+                            .expect("real payload")
+                            .chunks_exact(4)
+                            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
                     })
                     .collect()
             } else {

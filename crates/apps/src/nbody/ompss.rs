@@ -40,9 +40,8 @@ pub fn run(cfg: RuntimeConfig, p: NbodyParams) -> AppRun {
         for it in 0..p.iters {
             let (cur, nxt) = (pos[it], pos[it + 1]);
             for b in 0..p.blocks {
-                let mut spec = TaskSpec::new("nbody_step")
-                    .device(Device::Cuda)
-                    .cost_gpu(p.kernel_cost());
+                let mut spec =
+                    TaskSpec::new("nbody_step").device(Device::Cuda).cost_gpu(p.kernel_cost());
                 for src in 0..p.blocks {
                     spec = spec.input(cur.region(src * bf..(src + 1) * bf));
                 }
@@ -69,7 +68,8 @@ pub fn run(cfg: RuntimeConfig, p: NbodyParams) -> AppRun {
         omp.taskwait();
 
         let check = if p.real { omp.read_array(&pos[p.iters], 0..4 * p.n) } else { None };
-        *out2.lock() = Some(AppRun { elapsed, metric: gflops(p.flops(), elapsed), check, report: None });
+        *out2.lock() =
+            Some(AppRun { elapsed, metric: gflops(p.flops(), elapsed), check, report: None });
     });
     let mut r = out.lock().take().unwrap();
     r.report = Some(rep);

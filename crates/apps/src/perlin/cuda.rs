@@ -10,8 +10,11 @@ use super::{filter_block, PerlinParams};
 /// Run the CUDA version on one simulated GPU.
 pub fn run(spec: GpuSpec, p: PerlinParams, flush: bool) -> AppRun {
     run_single("cuda-perlin", move |ctx| {
-        let mut image: Vec<u32> =
-            if p.real { (0..p.pixels()).map(PerlinParams::init_pixel).collect() } else { Vec::new() };
+        let mut image: Vec<u32> = if p.real {
+            (0..p.pixels()).map(PerlinParams::init_pixel).collect()
+        } else {
+            Vec::new()
+        };
         let dev = GpuDevice::new("gpu0", spec);
         let image_bytes = (p.pixels() * 4) as u64;
 
@@ -42,6 +45,8 @@ pub fn run(spec: GpuSpec, p: PerlinParams, flush: bool) -> AppRun {
                 Some(image.into_iter().map(f32::from_bits).collect())
             } else {
                 None
-            }, report: None }
+            },
+            report: None,
+        }
     })
 }

@@ -110,10 +110,10 @@ pub fn noise_pixel(x: u32, y: u32, step: u32, prev: u32) -> u32 {
     let top = v00 * (256 - sx) + v10 * sx; // 16-bit
     let bot = v01 * (256 - sx) + v11 * sx;
     let n = (top * (256 - sy) + bot * sy) >> 16; // 8-bit noise value
-    // Blend: average each RGBA channel of `prev` with the noise.
-    let r = (((prev >> 24) & 0xFF) + n) / 2 & 0xFF;
-    let g = (((prev >> 16) & 0xFF) + n) / 2 & 0xFF;
-    let b = (((prev >> 8) & 0xFF) + n) / 2 & 0xFF;
+                                                 // Blend: average each RGBA channel of `prev` with the noise.
+    let r = ((((prev >> 24) & 0xFF) + n) / 2) & 0xFF;
+    let g = ((((prev >> 16) & 0xFF) + n) / 2) & 0xFF;
+    let b = ((((prev >> 8) & 0xFF) + n) / 2) & 0xFF;
     let a = prev & 0xFF;
     (r << 24) | (g << 16) | (b << 8) | a
 }

@@ -11,7 +11,13 @@ use crate::common::{mpixels, run_mpi_ranks, AppRun, PhaseTimer};
 use super::{filter_block, PerlinParams};
 
 /// Run the MPI+CUDA version on `nodes` single-GPU ranks.
-pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: PerlinParams, flush: bool) -> AppRun {
+pub fn run(
+    nodes: u32,
+    spec: GpuSpec,
+    fabric: FabricConfig,
+    p: PerlinParams,
+    flush: bool,
+) -> AppRun {
     assert_eq!(p.blocks() % nodes as usize, 0, "blocks must divide evenly over ranks");
     let blocks_per_rank = p.blocks() / nodes as usize;
     let results = run_mpi_ranks(nodes, fabric, move |rank, ctx| {

@@ -34,12 +34,10 @@ pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
             for b in 0..p.blocks() {
                 let (row0, width) = (b * p.rows_per_block, p.width);
                 let r = image.region(row0 * width..row0 * width + p.block_pixels());
-                omp.submit(TaskSpec::new("perlin").device(Device::Cuda).inout(r).body(
-                    move |v| {
-                        task_views!(v => px: u32);
-                        filter_block(px, row0, width, step as u32);
-                    },
-                ));
+                omp.submit(TaskSpec::new("perlin").device(Device::Cuda).inout(r).body(move |v| {
+                    task_views!(v => px: u32);
+                    filter_block(px, row0, width, step as u32);
+                }));
             }
             if flush {
                 omp.taskwait();

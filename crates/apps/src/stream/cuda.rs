@@ -11,8 +11,10 @@ use super::{kernels, StreamParams};
 /// Run the CUDA version on a single simulated GPU.
 pub fn run(spec: GpuSpec, p: StreamParams) -> AppRun {
     run_single("cuda-stream", move |ctx| {
-        let mut a: Vec<f64> = if p.real { (0..p.n).map(StreamParams::init_a).collect() } else { Vec::new() };
-        let mut b: Vec<f64> = if p.real { (0..p.n).map(StreamParams::init_b).collect() } else { Vec::new() };
+        let mut a: Vec<f64> =
+            if p.real { (0..p.n).map(StreamParams::init_a).collect() } else { Vec::new() };
+        let mut b: Vec<f64> =
+            if p.real { (0..p.n).map(StreamParams::init_b).collect() } else { Vec::new() };
         let mut c: Vec<f64> = if p.real { vec![0.0; p.n] } else { Vec::new() };
         let dev = GpuDevice::new("gpu0", spec);
         let array_bytes = (p.n * 8) as u64;
@@ -25,13 +27,13 @@ pub fn run(spec: GpuSpec, p: StreamParams) -> AppRun {
             for j in (0..p.n).step_by(p.bsize) {
                 dev.launch(ctx, p.kernel_cost(2), None).unwrap();
                 if p.real {
-                    kernels::copy(&a[j..j + p.bsize].to_vec(), &mut c[j..j + p.bsize]);
+                    kernels::copy(&a[j..j + p.bsize], &mut c[j..j + p.bsize]);
                 }
             }
             for j in (0..p.n).step_by(p.bsize) {
                 dev.launch(ctx, p.kernel_cost(2), None).unwrap();
                 if p.real {
-                    kernels::scale(&c[j..j + p.bsize].to_vec(), &mut b[j..j + p.bsize]);
+                    kernels::scale(&c[j..j + p.bsize], &mut b[j..j + p.bsize]);
                 }
             }
             for j in (0..p.n).step_by(p.bsize) {

@@ -30,7 +30,7 @@ impl StreamParams {
     /// The paper's workload scaled to `gpus` devices: 768 MB of arrays
     /// per GPU (32 M doubles per array per GPU), 32 MB blocks.
     pub fn paper(gpus: usize) -> Self {
-        StreamParams { n: gpus * 32 << 20, bsize: 4 << 20, ntimes: 4, real: false }
+        StreamParams { n: (gpus * 32) << 20, bsize: 4 << 20, ntimes: 4, real: false }
     }
 
     /// A small validated workload.

@@ -17,10 +17,16 @@ pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: StreamParams) -> 
     assert_eq!(local_n % p.bsize, 0);
     let results = run_mpi_ranks(nodes, fabric, move |rank, ctx| {
         let base = rank.rank() as usize * local_n;
-        let mut a: Vec<f64> =
-            if p.real { (0..local_n).map(|i| StreamParams::init_a(base + i)).collect() } else { Vec::new() };
-        let mut b: Vec<f64> =
-            if p.real { (0..local_n).map(|i| StreamParams::init_b(base + i)).collect() } else { Vec::new() };
+        let mut a: Vec<f64> = if p.real {
+            (0..local_n).map(|i| StreamParams::init_a(base + i)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut b: Vec<f64> = if p.real {
+            (0..local_n).map(|i| StreamParams::init_b(base + i)).collect()
+        } else {
+            Vec::new()
+        };
         let mut c: Vec<f64> = if p.real { vec![0.0; local_n] } else { Vec::new() };
         let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
         let array_bytes = (local_n * 8) as u64;
@@ -35,13 +41,13 @@ pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: StreamParams) -> 
             for j in (0..local_n).step_by(p.bsize) {
                 dev.launch(ctx, p.kernel_cost(2), None).unwrap();
                 if p.real {
-                    kernels::copy(&a[j..j + p.bsize].to_vec(), &mut c[j..j + p.bsize]);
+                    kernels::copy(&a[j..j + p.bsize], &mut c[j..j + p.bsize]);
                 }
             }
             for j in (0..local_n).step_by(p.bsize) {
                 dev.launch(ctx, p.kernel_cost(2), None).unwrap();
                 if p.real {
-                    kernels::scale(&c[j..j + p.bsize].to_vec(), &mut b[j..j + p.bsize]);
+                    kernels::scale(&c[j..j + p.bsize], &mut b[j..j + p.bsize]);
                 }
             }
             for j in (0..local_n).step_by(p.bsize) {

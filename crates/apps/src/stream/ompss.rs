@@ -74,7 +74,11 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                 let (rb, rc) = (b.region(j..j + p.bsize), c.region(j..j + p.bsize));
                 let ra = a.region(j..j + p.bsize);
                 omp.submit(
-                    TaskSpec::new("triad").device(Device::Cuda).input(rb).input(rc).output(ra)
+                    TaskSpec::new("triad")
+                        .device(Device::Cuda)
+                        .input(rb)
+                        .input(rc)
+                        .output(ra)
                         .body(|v| {
                             task_views!(v => bv: f64, cv: f64, av: f64);
                             kernels::triad(bv, cv, av);
@@ -94,12 +98,8 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
         } else {
             None
         };
-        *out2.lock() = Some(AppRun {
-            elapsed,
-            metric: gbs(p.total_bytes(), elapsed),
-            check,
-            report: None,
-        });
+        *out2.lock() =
+            Some(AppRun { elapsed, metric: gbs(p.total_bytes(), elapsed), check, report: None });
     });
     let mut r = out.lock().take().unwrap();
     r.report = Some(rep);

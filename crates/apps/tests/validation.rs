@@ -42,9 +42,10 @@ fn matmul_ompss_matches_serial_multi_gpu() {
     let p = matmul::MatmulParams::validate();
     let reference = matmul::serial::run(p);
     for gpus in [1u32, 2, 4] {
-        let got = matmul::ompss::run(RuntimeConfig::multi_gpu(gpus), p, matmul::ompss::InitMode::Seq)
-            .check
-            .unwrap();
+        let got =
+            matmul::ompss::run(RuntimeConfig::multi_gpu(gpus), p, matmul::ompss::InitMode::Seq)
+                .check
+                .unwrap();
         assert!(rel_error(&got, &reference) < 1e-6, "gpus={gpus}");
     }
 }

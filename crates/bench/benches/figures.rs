@@ -48,9 +48,7 @@ fn fig_points(c: &mut Criterion) {
         b.iter(|| matmul::ompss::run(phantom_cl(8), MatmulParams::paper(), InitMode::Smp))
     });
     g.bench_function("fig13-nbody-8node", |b| {
-        b.iter(|| {
-            nbody::ompss::run(phantom_cl(8).with_presend(1), nbody::NbodyParams::paper())
-        })
+        b.iter(|| nbody::ompss::run(phantom_cl(8).with_presend(1), nbody::NbodyParams::paper()))
     });
     g.finish();
 }

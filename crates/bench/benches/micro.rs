@@ -76,7 +76,8 @@ fn task_graph(c: &mut Criterion) {
     // A matmul-shaped graph: 8x8 tile grid, 8-deep chains.
     let accesses: Vec<Vec<Access>> = {
         let mut v = Vec::new();
-        let reg = |d: u64, i: usize, j: usize| Region::new(DataId(d), ((i * 8 + j) * 64) as u64, 64);
+        let reg =
+            |d: u64, i: usize, j: usize| Region::new(DataId(d), ((i * 8 + j) * 64) as u64, 64);
         for i in 0..8 {
             for j in 0..8 {
                 for k in 0..8 {
@@ -162,7 +163,9 @@ fn scheduler(c: &mut Criterion) {
 }
 
 fn coherence_fast_path(c: &mut Criterion) {
-    use ompss_coherence::{CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec};
+    use ompss_coherence::{
+        CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec, TransferPurpose,
+    };
     use ompss_sim::{Ctx, SimResult};
 
     struct NullExec;
@@ -171,6 +174,7 @@ fn coherence_fast_path(c: &mut Criterion) {
             &self,
             ctx: &Ctx,
             _k: HopKind,
+            _p: TransferPurpose,
             _s: Loc,
             _d: Loc,
             bytes: u64,

@@ -1,7 +1,28 @@
 //! Regenerates Figure 5 of the paper; prints the table and saves
-//! JSON under `results/`.
+//! JSON under `results/`, plus a Paraver trace pair
+//! (`fig05_multigpu.prv`/`.row`) of the best 4-GPU configuration.
+use ompss_apps::matmul::{self, ompss::InitMode};
+use ompss_runtime::{Backing, CachePolicy, ParaverTrace, Policy, RuntimeConfig};
+
 fn main() {
     let fig = ompss_bench::figures::fig05();
     fig.print();
-    fig.save(&ompss_bench::results_dir());
+    let dir = ompss_bench::results_dir();
+    fig.save(&dir);
+
+    // One traced run of the winning configuration, exported for
+    // Paraver: the timeline behind the wb/affinity bar.
+    let cfg = RuntimeConfig::multi_gpu(4)
+        .with_backing(Backing::Phantom)
+        .with_cache(CachePolicy::WriteBack)
+        .with_sched(Policy::Affinity)
+        .with_tracing(true);
+    let r = matmul::ompss::run(cfg, matmul::MatmulParams::paper(), InitMode::Seq);
+    let rep = r.report.expect("ompss run carries a report");
+    let events = rep.trace.as_deref().expect("tracing was enabled");
+    let prv = ParaverTrace::from_events(events, rep.makespan);
+    match prv.save(&dir, "fig05_multigpu") {
+        Ok((p, _)) => println!("paraver trace: {}", p.display()),
+        Err(e) => eprintln!("paraver trace export failed: {e}"),
+    }
 }

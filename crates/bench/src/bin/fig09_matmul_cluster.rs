@@ -1,7 +1,28 @@
 //! Regenerates Figure 9 of the paper; prints the table and saves
-//! JSON under `results/`.
+//! JSON under `results/`, plus a Paraver trace pair
+//! (`fig09_cluster.prv`/`.row`) of the best 8-node configuration.
+use ompss_apps::matmul::{self, ompss::InitMode};
+use ompss_runtime::{Backing, ParaverTrace, RuntimeConfig, SlaveRouting};
+
 fn main() {
     let fig = ompss_bench::figures::fig09();
     fig.print();
-    fig.save(&ompss_bench::results_dir());
+    let dir = ompss_bench::results_dir();
+    fig.save(&dir);
+
+    // One traced run of the paper's best cluster setup (StoS routing,
+    // SMP-parallel init, deep presend), exported for Paraver.
+    let cfg = RuntimeConfig::gpu_cluster(8)
+        .with_backing(Backing::Phantom)
+        .with_routing(SlaveRouting::Direct)
+        .with_presend(8)
+        .with_tracing(true);
+    let r = matmul::ompss::run(cfg, matmul::MatmulParams::paper(), InitMode::Smp);
+    let rep = r.report.expect("ompss run carries a report");
+    let events = rep.trace.as_deref().expect("tracing was enabled");
+    let prv = ParaverTrace::from_events(events, rep.makespan);
+    match prv.save(&dir, "fig09_cluster") {
+        Ok((p, _)) => println!("paraver trace: {}", p.display()),
+        Err(e) => eprintln!("paraver trace export failed: {e}"),
+    }
 }

@@ -5,9 +5,11 @@
 //! returns the series. Shape assertions — the reproduction criteria —
 //! live in the crate's integration tests and in `EXPERIMENTS.md`.
 
+use ompss_apps::common::AppRun;
 use ompss_apps::matmul::{self, ompss::InitMode};
 use ompss_apps::{nbody, perlin, stream};
 use ompss_cudasim::GpuSpec;
+use ompss_json::ToJson;
 use ompss_net::FabricConfig;
 use ompss_runtime::{Backing, CachePolicy, Policy, RuntimeConfig, SlaveRouting};
 
@@ -41,24 +43,34 @@ fn cl_light(nodes: u32) -> RuntimeConfig {
     cl(nodes).with_routing(SlaveRouting::Direct).with_presend(1)
 }
 
+/// Embed the run's full [`RunReport`](ompss_runtime::RunReport) JSON in
+/// the figure, keyed by configuration label. Every figure attaches the
+/// report of each series' largest configuration, so the observability
+/// data (per-resource utilisation, cache counters, bytes by medium)
+/// ships with the chart it explains.
+fn attach(fig: &mut FigureData, key: String, r: &AppRun) {
+    if let Some(rep) = &r.report {
+        fig.attach_report(key, rep.to_json());
+    }
+}
+
 // ---------------------------------------------------------------- Fig 5
 
 /// Fig. 5: Matrix multiply on the multi-GPU node — GFLOPS for every
 /// cache policy × scheduling policy × GPU count.
 pub fn fig05() -> FigureData {
-    let mut fig = FigureData::new(
-        "fig05",
-        "Matrix multiply, multi-GPU node (12288², 1024² tiles)",
-        "GFLOPS",
-    );
+    let mut fig =
+        FigureData::new("fig05", "Matrix multiply, multi-GPU node (12288², 1024² tiles)", "GFLOPS");
     let p = matmul::MatmulParams::paper();
     for cache in CACHES {
         for sched in SCHEDS {
-            let mut s =
-                Series::new(format!("{}/{}", cache.chart_label(), sched.chart_label()));
+            let mut s = Series::new(format!("{}/{}", cache.chart_label(), sched.chart_label()));
             for gpus in GPUS {
                 let cfg = mg(gpus).with_cache(cache).with_sched(sched);
                 let r = matmul::ompss::run(cfg, p, InitMode::Seq);
+                if gpus == 4 {
+                    attach(&mut fig, format!("{}@4gpus", s.label), &r);
+                }
                 s.push(gpus.to_string(), r.metric);
             }
             fig.add(s);
@@ -76,12 +88,14 @@ pub fn fig06() -> FigureData {
     let mut fig = FigureData::new("fig06", "STREAM, multi-GPU node (768 MB/GPU)", "GB/s");
     for cache in CACHES {
         for sched in SCHEDS {
-            let mut s =
-                Series::new(format!("{}/{}", cache.chart_label(), sched.chart_label()));
+            let mut s = Series::new(format!("{}/{}", cache.chart_label(), sched.chart_label()));
             for gpus in GPUS {
                 let p = stream::StreamParams::paper(gpus as usize);
                 let cfg = mg(gpus).with_cache(cache).with_sched(sched);
                 let r = stream::ompss::run(cfg, p);
+                if gpus == 4 {
+                    attach(&mut fig, format!("{}@4gpus", s.label), &r);
+                }
                 s.push(gpus.to_string(), r.metric);
             }
             fig.add(s);
@@ -96,8 +110,7 @@ pub fn fig06() -> FigureData {
 /// Fig. 7: Perlin noise on the multi-GPU node — Mpixels/s for
 /// Flush/NoFlush × cache policy × GPU count.
 pub fn fig07() -> FigureData {
-    let mut fig =
-        FigureData::new("fig07", "Perlin noise, multi-GPU node (1024×1024)", "Mpixels/s");
+    let mut fig = FigureData::new("fig07", "Perlin noise, multi-GPU node (1024×1024)", "Mpixels/s");
     let p = perlin::PerlinParams::paper();
     for flush in [true, false] {
         for cache in CACHES {
@@ -108,6 +121,9 @@ pub fn fig07() -> FigureData {
                 // across the Flush variant's per-step taskwaits.
                 let cfg = mg(gpus).with_cache(cache).with_sched(Policy::Affinity);
                 let r = perlin::ompss::run(cfg, p, flush);
+                if gpus == 4 {
+                    attach(&mut fig, format!("{}@4gpus", s.label), &r);
+                }
                 s.push(gpus.to_string(), r.metric);
             }
             fig.add(s);
@@ -144,11 +160,16 @@ pub fn fig08() -> FigureData {
         for gpus in GPUS {
             let cfg = mg(gpus).with_cache(cache).with_gpu_mem(FIG8_GPU_MEM);
             let r = nbody::ompss::run(cfg, p);
+            if gpus == 4 {
+                attach(&mut fig, format!("{}@4gpus", s.label), &r);
+            }
             s.push(gpus.to_string(), r.metric);
         }
         fig.add(s);
     }
-    fig.note("paper shape: nocache outperforms wt/wb; reproduced as near-parity (see EXPERIMENTS.md)");
+    fig.note(
+        "paper shape: nocache outperforms wt/wb; reproduced as near-parity (see EXPERIMENTS.md)",
+    );
     fig.note("secondary shape: good scalability to 2-4 GPUs holds for all policies");
     fig
 }
@@ -163,21 +184,24 @@ pub fn fig09() -> FigureData {
         FigureData::new("fig09", "Matrix multiply, GPU cluster configuration sweep", "GFLOPS");
     let p = matmul::MatmulParams::paper();
     for (routing, rl) in [(SlaveRouting::ViaMaster, "MtoS"), (SlaveRouting::Direct, "StoS")] {
-        for (init, il) in
-            [(InitMode::Seq, "seq"), (InitMode::Smp, "smp"), (InitMode::Gpu, "gpu")]
-        {
+        for (init, il) in [(InitMode::Seq, "seq"), (InitMode::Smp, "smp"), (InitMode::Gpu, "gpu")] {
             for presend in [0u32, 2, 8] {
                 let mut s = Series::new(format!("{rl}/{il}/presend{presend}"));
                 for nodes in NODES {
                     let cfg = cl(nodes).with_routing(routing).with_presend(presend);
                     let r = matmul::ompss::run(cfg, p, init);
+                    if nodes == 8 {
+                        attach(&mut fig, format!("{}@8nodes", s.label), &r);
+                    }
                     s.push(nodes.to_string(), r.metric);
                 }
                 fig.add(s);
             }
         }
     }
-    fig.note("expected shapes: StoS >> MtoS at scale; parallel init >> seq; presend helps (with StoS)");
+    fig.note(
+        "expected shapes: StoS >> MtoS at scale; parallel init >> seq; presend helps (with StoS)",
+    );
     fig
 }
 
@@ -192,6 +216,9 @@ pub fn fig10() -> FigureData {
     let mut mp = Series::new("MPI+CUDA");
     for nodes in NODES {
         let r = matmul::ompss::run(cl_best(nodes), p, InitMode::Smp);
+        if nodes == 8 {
+            attach(&mut fig, "OmpSs@8nodes".to_string(), &r);
+        }
         om.push(nodes.to_string(), r.metric);
         let m = matmul::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p);
         mp.push(nodes.to_string(), m.metric);
@@ -212,6 +239,9 @@ pub fn fig11() -> FigureData {
     for nodes in NODES {
         let p = stream::StreamParams::paper(nodes as usize);
         let r = stream::ompss::run(cl_best(nodes), p);
+        if nodes == 8 {
+            attach(&mut fig, "OmpSs@8nodes".to_string(), &r);
+        }
         om.push(nodes.to_string(), r.metric);
         let m = stream::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p);
         mp.push(nodes.to_string(), m.metric);
@@ -243,6 +273,9 @@ pub fn fig12() -> FigureData {
         let mut mp = Series::new(format!("MPI+CUDA/{ml}"));
         for nodes in NODES {
             let r = perlin::ompss::run(cl_light(nodes), p, flush);
+            if nodes == 8 {
+                attach(&mut fig, format!("OmpSs/{ml}@8nodes"), &r);
+            }
             om.push(nodes.to_string(), r.metric);
             let m = perlin::mpi::run(
                 nodes,
@@ -274,6 +307,9 @@ pub fn fig13() -> FigureData {
     let mut mp = Series::new("MPI+CUDA");
     for nodes in NODES {
         let r = nbody::ompss::run(cl_light(nodes), p);
+        if nodes == 8 {
+            attach(&mut fig, "OmpSs@8nodes".to_string(), &r);
+        }
         om.push(nodes.to_string(), r.metric);
         let m = nbody::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p);
         mp.push(nodes.to_string(), m.metric);

@@ -27,10 +27,10 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
+use ompss_json::{Json, ToJson};
 
 /// One data point of a series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Sweep coordinate (e.g. "2 GPUs", "4").
     pub x: String,
@@ -39,7 +39,7 @@ pub struct Point {
 }
 
 /// One line/bar-group of a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (e.g. "wb / affinity").
     pub label: String,
@@ -65,7 +65,7 @@ impl Series {
 }
 
 /// A regenerated figure or table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureData {
     /// Identifier (`fig05`, `table1`, ...).
     pub id: String,
@@ -77,17 +77,25 @@ pub struct FigureData {
     pub series: Vec<Series>,
     /// Shape findings and reproduction notes.
     pub notes: Vec<String>,
+    /// Machine-readable run reports keyed by configuration label
+    /// (`"<series> @ <x>"`); embedded verbatim in the saved JSON.
+    pub reports: Vec<(String, Json)>,
 }
 
 impl FigureData {
     /// Start a figure.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         FigureData {
             id: id.into(),
             title: title.into(),
             y_label: y_label.into(),
             series: Vec::new(),
             notes: Vec::new(),
+            reports: Vec::new(),
         }
     }
 
@@ -99,6 +107,12 @@ impl FigureData {
     /// Record a reproduction note (printed and saved).
     pub fn note(&mut self, n: impl Into<String>) {
         self.notes.push(n.into());
+    }
+
+    /// Attach the [`RunReport`](ompss_runtime::RunReport) JSON of one
+    /// measured configuration, keyed by a label such as `"wb/affinity @ 4"`.
+    pub fn attach_report(&mut self, key: impl Into<String>, report: Json) {
+        self.reports.push((key.into(), report));
     }
 
     /// Find a series by label.
@@ -147,25 +161,64 @@ impl FigureData {
     pub fn save(&self, dir: &Path) {
         fs::create_dir_all(dir).expect("create results dir");
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_string_pretty(self).expect("serialise"))
+        fs::write(&path, self.to_json().to_pretty_string())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     }
 }
 
-/// The default results directory (`<workspace>/results`).
-pub fn results_dir() -> PathBuf {
-    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
-    Path::new(&manifest).join("../../results").canonicalize().unwrap_or_else(|_| {
-        let p = Path::new(&manifest).join("../../results");
-        fs::create_dir_all(&p).expect("create results dir");
-        p.canonicalize().expect("canonicalize results dir")
-    })
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        Json::object().field("x", self.x.as_str()).field("y", self.y)
+    }
 }
 
-/// Path to the apps crate sources (for Table I line counting).
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("label", self.label.as_str())
+            .field("points", Json::Arr(self.points.iter().map(ToJson::to_json).collect()))
+    }
+}
+
+impl ToJson for FigureData {
+    fn to_json(&self) -> Json {
+        let mut reports = Json::object();
+        for (k, v) in &self.reports {
+            reports.set(k, v.clone());
+        }
+        Json::object()
+            .field("id", self.id.as_str())
+            .field("title", self.title.as_str())
+            .field("y_label", self.y_label.as_str())
+            .field("series", Json::Arr(self.series.iter().map(ToJson::to_json).collect()))
+            .field("notes", Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()))
+            .field("reports", reports)
+    }
+}
+
+/// The default results directory (`<workspace>/results`).
+///
+/// Under cargo the manifest dir locates the workspace root; a bare
+/// binary invocation (no `CARGO_MANIFEST_DIR`) writes to `./results`
+/// rather than guessing at parent directories.
+pub fn results_dir() -> PathBuf {
+    let p = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => Path::new(&m).join("../../results"),
+        Err(_) => PathBuf::from("results"),
+    };
+    fs::create_dir_all(&p).expect("create results dir");
+    p.canonicalize().expect("canonicalize results dir")
+}
+
+/// Path to the apps crate sources (for Table I line counting). Same
+/// fallback rule as [`results_dir`]: without cargo's manifest dir,
+/// resolve from the workspace root as the working directory.
 pub fn apps_src_dir() -> PathBuf {
-    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
-    Path::new(&manifest).join("../apps/src").canonicalize().expect("apps source dir")
+    let p = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => Path::new(&m).join("../apps/src"),
+        Err(_) => PathBuf::from("crates/apps/src"),
+    };
+    p.canonicalize().expect("apps source dir")
 }
 
 /// Count "useful" lines of a Rust source file, the paper's Table I
@@ -173,11 +226,7 @@ pub fn apps_src_dir() -> PathBuf {
 /// doc comments, `//!` headers).
 pub fn useful_lines(path: &Path) -> usize {
     let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty())
-        .filter(|l| !l.starts_with("//"))
-        .count()
+    text.lines().map(str::trim).filter(|l| !l.is_empty()).filter(|l| !l.starts_with("//")).count()
 }
 
 pub mod figures;

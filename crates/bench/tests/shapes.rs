@@ -50,9 +50,8 @@ fn fig05_dependency_aware_schedulers_beat_bf_at_4_gpus() {
 #[test]
 fn fig06_stream_writeback_dominates_and_schedulers_tie() {
     let p = stream::StreamParams::paper(4);
-    let run = |cache, sched| {
-        stream::ompss::run(mg(4).with_cache(cache).with_sched(sched), p).metric
-    };
+    let run =
+        |cache, sched| stream::ompss::run(mg(4).with_cache(cache).with_sched(sched), p).metric;
     let wb = run(CachePolicy::WriteBack, Policy::Dependencies);
     let wt = run(CachePolicy::WriteThrough, Policy::Dependencies);
     let nocache = run(CachePolicy::NoCache, Policy::Dependencies);
@@ -71,9 +70,8 @@ fn fig06_stream_writeback_dominates_and_schedulers_tie() {
 
 #[test]
 fn fig06_stream_scales_with_gpus_under_writeback() {
-    let run = |gpus: u32| {
-        stream::ompss::run(mg(gpus), stream::StreamParams::paper(gpus as usize)).metric
-    };
+    let run =
+        |gpus: u32| stream::ompss::run(mg(gpus), stream::StreamParams::paper(gpus as usize)).metric;
     let one = run(1);
     let four = run(4);
     assert!(four > 3.5 * one, "4 GPUs ({four:.0}) should near-linearly scale 1 GPU ({one:.0})");
@@ -135,12 +133,7 @@ fn fig09_slave_to_slave_transfers_are_a_must() {
 fn fig09_parallel_initialisation_is_critical() {
     let p = MatmulParams::paper();
     let run = |init| {
-        matmul::ompss::run(
-            cl(8).with_routing(SlaveRouting::Direct).with_presend(8),
-            p,
-            init,
-        )
-        .metric
+        matmul::ompss::run(cl(8).with_routing(SlaveRouting::Direct).with_presend(8), p, init).metric
     };
     let seq = run(InitMode::Seq);
     let smp = run(InitMode::Smp);
@@ -181,8 +174,7 @@ fn fig10_ompss_overtakes_summa_at_scale() {
         InitMode::Smp,
     )
     .metric;
-    let mpi8 =
-        matmul::mpi::run(8, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(8), p).metric;
+    let mpi8 = matmul::mpi::run(8, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(8), p).metric;
     assert!(om8 >= mpi8, "OmpSs ({om8:.0}) must at least match SUMMA ({mpi8:.0}) at 8 nodes");
     // And both must be far above a single node.
     let om1 = matmul::ompss::run(cl(1), p, InitMode::Smp).metric;
@@ -229,12 +221,8 @@ fn fig12_flush_cannot_scale_noflush_can() {
         real: false,
     };
     let run = |nodes: u32, flush| {
-        perlin::ompss::run(
-            cl(nodes).with_routing(SlaveRouting::Direct).with_presend(1),
-            p,
-            flush,
-        )
-        .metric
+        perlin::ompss::run(cl(nodes).with_routing(SlaveRouting::Direct).with_presend(1), p, flush)
+            .metric
     };
     let (nf1, nf8) = (run(1, false), run(8, false));
     let (fl1, fl8) = (run(1, true), run(8, true));

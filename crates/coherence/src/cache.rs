@@ -81,13 +81,55 @@ pub struct Loc {
     pub offset: u64,
 }
 
+/// Why a transfer is being made. The engine threads this through to the
+/// [`TransferExec`] so the runtime can account bytes by purpose —
+/// demand fetches on a task's critical path versus anticipatory
+/// movement (GPU prefetch, cluster presend) versus write traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TransferPurpose {
+    /// A task acquire is waiting on this data.
+    Demand,
+    /// Anticipatory fetch toward a GPU ahead of its task.
+    Prefetch,
+    /// Cluster-level staging of task data at a remote node before the
+    /// execution request is sent (the paper's pre-send optimisation).
+    Presend,
+    /// Dirty data pushed up one level: write-through commit or eviction
+    /// write-back.
+    WriteBack,
+    /// Taskwait flush returning dirty data to the master host.
+    Flush,
+}
+
+impl TransferPurpose {
+    /// Stable lowercase label (report/trace key).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferPurpose::Demand => "demand",
+            TransferPurpose::Prefetch => "prefetch",
+            TransferPurpose::Presend => "presend",
+            TransferPurpose::WriteBack => "writeback",
+            TransferPurpose::Flush => "flush",
+        }
+    }
+}
+
 /// Executes one planned hop, charging virtual time and moving the real
 /// bytes. Implemented by the runtime (PCIe hops drive the GPU DMA
 /// model; network hops drive active messages).
 pub trait TransferExec: Send + Sync {
     /// Perform the transfer. Must move the bytes via the memory manager
     /// and block the calling process for the modelled duration.
-    fn transfer(&self, ctx: &Ctx, kind: HopKind, src: Loc, dst: Loc, bytes: u64) -> SimResult<()>;
+    #[allow(clippy::too_many_arguments)]
+    fn transfer(
+        &self,
+        ctx: &Ctx,
+        kind: HopKind,
+        purpose: TransferPurpose,
+        src: Loc,
+        dst: Loc,
+        bytes: u64,
+    ) -> SimResult<()>;
 }
 
 /// Coherence activity counters.
@@ -105,6 +147,17 @@ pub struct CoherenceStats {
     pub pcie_bytes: u64,
     /// Bytes moved over network hops.
     pub net_bytes: u64,
+    /// Bytes moved on a task's critical path (demand fetches).
+    pub demand_bytes: u64,
+    /// Bytes moved ahead of need by the GPU prefetcher.
+    pub prefetch_bytes: u64,
+    /// Bytes staged at remote nodes by the cluster pre-send path.
+    pub presend_bytes: u64,
+    /// Bytes pushed upward: write-through commits plus eviction
+    /// write-backs.
+    pub push_bytes: u64,
+    /// Bytes returned home by taskwait flushes.
+    pub flush_bytes: u64,
     /// Dirty evictions written back.
     pub writebacks: u64,
     /// Bytes written back on eviction.
@@ -174,7 +227,16 @@ enum Step {
     /// Evict to make `bytes` available in `space`, then re-plan.
     Room { space: SpaceId, bytes: u64 },
     /// Execute one hop transfer.
-    Hop { kind: HopKind, from: SpaceId, to: SpaceId, src: Loc, dst: Loc, bytes: u64, version: u64, done: Signal },
+    Hop {
+        kind: HopKind,
+        from: SpaceId,
+        to: SpaceId,
+        src: Loc,
+        dst: Loc,
+        bytes: u64,
+        version: u64,
+        done: Signal,
+    },
 }
 
 impl Coherence {
@@ -253,7 +315,7 @@ impl Coherence {
         target: SpaceId,
     ) -> SimResult<Loc> {
         if read {
-            self.ensure_valid(ctx, exec, region, target, true)?;
+            self.ensure_valid(ctx, exec, region, target, true, TransferPurpose::Demand)?;
         } else {
             self.ensure_placed(ctx, exec, region, target)?;
         }
@@ -408,8 +470,7 @@ impl Coherence {
                         match entry.copies.get_mut(&parent) {
                             Some(pc) => {
                                 let done = Signal::new();
-                                pc.state =
-                                    CState::InFlight { done: done.clone() };
+                                pc.state = CState::InFlight { done: done.clone() };
                                 pc.last_use = tick;
                                 let dst = Loc { space: parent, alloc: pc.alloc, offset: pc.offset };
                                 let sc = entry.copies.get_mut(&from).expect("checked");
@@ -435,8 +496,9 @@ impl Coherence {
                 Step::Wait(sig) => sig.wait(ctx)?,
                 Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
                 Step::Hop { kind, from: f, to, src, dst, bytes, version, done } => {
-                    exec.transfer(ctx, kind, src, dst, bytes)?;
-                    self.finish_hop(ctx, region, f, to, kind, bytes, version, done, true);
+                    let purpose = TransferPurpose::WriteBack;
+                    exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
+                    self.finish_hop(ctx, region, f, to, kind, purpose, bytes, version, done, true);
                     return Ok(());
                 }
             }
@@ -454,6 +516,7 @@ impl Coherence {
         from: SpaceId,
         to: SpaceId,
         kind: HopKind,
+        purpose: TransferPurpose,
         bytes: u64,
         version: u64,
         done: Signal,
@@ -465,6 +528,13 @@ impl Coherence {
         match kind {
             HopKind::Pcie => inner.stats.pcie_bytes += bytes,
             HopKind::Network => inner.stats.net_bytes += bytes,
+        }
+        match purpose {
+            TransferPurpose::Demand => inner.stats.demand_bytes += bytes,
+            TransferPurpose::Prefetch => inner.stats.prefetch_bytes += bytes,
+            TransferPurpose::Presend => inner.stats.presend_bytes += bytes,
+            TransferPurpose::WriteBack => inner.stats.push_bytes += bytes,
+            TransferPurpose::Flush => inner.stats.flush_bytes += bytes,
         }
         let entry = inner.regions.get_mut(region).expect("hop region");
         // Mark destination valid first so dirty_for sees the root state
@@ -493,6 +563,7 @@ impl Coherence {
         region: &Region,
         target: SpaceId,
         pin: bool,
+        purpose: TransferPurpose,
     ) -> SimResult<()> {
         let mut first_check = true;
         loop {
@@ -550,8 +621,10 @@ impl Coherence {
                             ctx.now().as_secs_f64()
                         );
                     }
-                    exec.transfer(ctx, kind, src, dst, bytes)?;
-                    self.finish_hop(ctx, region, from, to, kind, bytes, version, done, false);
+                    exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
+                    self.finish_hop(
+                        ctx, region, from, to, kind, purpose, bytes, version, done, false,
+                    );
                 }
             }
         }
@@ -559,7 +632,13 @@ impl Coherence {
 
     /// Plan the first unsatisfied hop moving `region` toward `target`.
     /// Called under the lock; the target is known not to be valid.
-    fn plan_next_hop(&self, inner: &mut Inner, region: &Region, target: SpaceId, tick: u64) -> Step {
+    fn plan_next_hop(
+        &self,
+        inner: &mut Inner,
+        region: &Region,
+        target: SpaceId,
+        tick: u64,
+    ) -> Step {
         let entry = inner.regions.get_mut(region).expect("entry initialised by caller");
         let latest = entry.version;
         // Nearest valid-latest source.
@@ -752,7 +831,20 @@ impl Coherence {
         region: &Region,
         space: SpaceId,
     ) -> SimResult<()> {
-        self.ensure_valid(ctx, exec, region, space, false)
+        self.ensure_valid(ctx, exec, region, space, false, TransferPurpose::Prefetch)
+    }
+
+    /// Like [`prefetch`](Coherence::prefetch), but accounted as
+    /// cluster pre-send traffic: the communication thread stages task
+    /// data at a slave node's host memory ahead of the `Exec` request.
+    pub fn presend(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        region: &Region,
+        space: SpaceId,
+    ) -> SimResult<()> {
+        self.ensure_valid(ctx, exec, region, space, false, TransferPurpose::Presend)
     }
 
     /// Regions with a dirty valid-latest copy somewhere (what a flush
@@ -764,8 +856,7 @@ impl Coherence {
             .iter()
             .filter(|(_, e)| {
                 e.copies.values().any(|c| {
-                    c.dirty
-                        && matches!(c.state, CState::Valid { version } if version == e.version)
+                    c.dirty && matches!(c.state, CState::Valid { version } if version == e.version)
                 })
             })
             .map(|(r, _)| *r)
@@ -804,9 +895,14 @@ impl Coherence {
 
     /// Flush one region's latest version to the master host
     /// (`taskwait on(...)`).
-    pub fn flush_region(&self, ctx: &Ctx, exec: &dyn TransferExec, region: &Region) -> SimResult<()> {
+    pub fn flush_region(
+        &self,
+        ctx: &Ctx,
+        exec: &dyn TransferExec,
+        region: &Region,
+    ) -> SimResult<()> {
         let root = self.topo.root();
-        self.ensure_valid(ctx, exec, region, root, false)?;
+        self.ensure_valid(ctx, exec, region, root, false, TransferPurpose::Flush)?;
         // The home now reflects the latest version: latest copies are
         // clean, stale dirty copies hold obsolete data and are dropped
         // from the dirty set too.

@@ -22,5 +22,5 @@
 mod cache;
 mod topo;
 
-pub use cache::{CachePolicy, Coherence, CoherenceStats, Loc, TransferExec};
+pub use cache::{CachePolicy, Coherence, CoherenceStats, Loc, TransferExec, TransferPurpose};
 pub use topo::{Hop, HopKind, SlaveRouting, Topology};

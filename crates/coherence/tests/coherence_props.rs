@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use ompss_coherence::{CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec};
+use ompss_coherence::{
+    CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec, TransferPurpose,
+};
 use ompss_mem::{Access, Backing, MemoryManager, Region, SpaceKind};
 use ompss_sim::{Ctx, Sim, SimDuration, SimResult};
 
@@ -16,10 +18,23 @@ struct ByteExec {
 }
 
 impl TransferExec for ByteExec {
-    fn transfer(&self, ctx: &Ctx, _kind: HopKind, src: Loc, dst: Loc, bytes: u64) -> SimResult<()> {
+    fn transfer(
+        &self,
+        ctx: &Ctx,
+        _kind: HopKind,
+        _purpose: TransferPurpose,
+        src: Loc,
+        dst: Loc,
+        bytes: u64,
+    ) -> SimResult<()> {
         ctx.delay(SimDuration::from_nanos(bytes))?;
-        self.mem
-            .copy((src.space, src.alloc), src.offset, (dst.space, dst.alloc), dst.offset, bytes);
+        self.mem.copy(
+            (src.space, src.alloc),
+            src.offset,
+            (dst.space, dst.alloc),
+            dst.offset,
+            bytes,
+        );
         Ok(())
     }
 }
@@ -35,8 +50,11 @@ struct Op {
 
 fn gen_ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        (0usize..5, 0usize..4, any::<bool>())
-            .prop_map(|(space_idx, region_idx, write)| Op { space_idx, region_idx, write }),
+        (0usize..5, 0usize..4, any::<bool>()).prop_map(|(space_idx, region_idx, write)| Op {
+            space_idx,
+            region_idx,
+            write,
+        }),
         1..60,
     )
 }

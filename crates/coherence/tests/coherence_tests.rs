@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_coherence::{CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec};
+use ompss_coherence::{
+    CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec, TransferPurpose,
+};
 use ompss_mem::{Access, Backing, MemoryManager, Region, SpaceId, SpaceKind};
 use ompss_sim::{Ctx, Sim, SimDuration, SimResult};
 
@@ -28,13 +30,27 @@ impl TestExec {
 }
 
 impl TransferExec for TestExec {
-    fn transfer(&self, ctx: &Ctx, kind: HopKind, src: Loc, dst: Loc, bytes: u64) -> SimResult<()> {
+    fn transfer(
+        &self,
+        ctx: &Ctx,
+        kind: HopKind,
+        _purpose: TransferPurpose,
+        src: Loc,
+        dst: Loc,
+        bytes: u64,
+    ) -> SimResult<()> {
         let per_byte = match kind {
             HopKind::Pcie => 1,
             HopKind::Network => 2,
         };
         ctx.delay(SimDuration::from_nanos(bytes * per_byte))?;
-        self.mem.copy((src.space, src.alloc), src.offset, (dst.space, dst.alloc), dst.offset, bytes);
+        self.mem.copy(
+            (src.space, src.alloc),
+            src.offset,
+            (dst.space, dst.alloc),
+            dst.offset,
+            bytes,
+        );
         self.log.lock().push((kind, src.space, dst.space, bytes));
         Ok(())
     }

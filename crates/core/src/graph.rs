@@ -358,9 +358,8 @@ mod tests {
     #[test]
     fn partial_overlap_rejected_within_one_task() {
         let mut g = TaskGraph::new();
-        let err = g
-            .add_task(t(1), &[Access::write(r(1, 0, 16)), Access::read(r(1, 4, 4))])
-            .unwrap_err();
+        let err =
+            g.add_task(t(1), &[Access::write(r(1, 0, 16)), Access::read(r(1, 4, 4))]).unwrap_err();
         assert!(matches!(err, GraphError::PartialOverlap { .. }));
     }
 

@@ -1,0 +1,183 @@
+//! In-tree drop-in subset of the `criterion` API. The build
+//! environment has no access to crates.io, so the workspace vendors
+//! the slice of the API its benches use: `benchmark_group`,
+//! `bench_function`, `iter`/`iter_batched`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — warm up briefly, then time a
+//! fixed-duration batch of iterations with `std::time::Instant` and
+//! report mean time per iteration (plus per-element throughput when
+//! declared). No statistics, outlier analysis, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Declared work per benchmark iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; ignored by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration for benches that follow.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Hint for the sample count; this shim times a fixed batch.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        // Warm-up / calibration run.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        // Aim for ~target_time of measurement, capped for slow benches.
+        let iters = (self.parent.target_time.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000);
+        let mut b = Bencher { iters: iters as u64, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.3} MB/s", n as f64 / mean / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<40} {:>12.3} µs/iter  ({} iters){}",
+            self.name,
+            id,
+            mean * 1e6,
+            b.iters,
+            rate
+        );
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { target_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), parent: self, throughput: None }
+    }
+}
+
+/// Prevent the optimiser from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Group benchmark functions under one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut c = Criterion { target_time: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        g.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -83,6 +83,10 @@ pub struct GpuStats {
     pub d2h_copies: u64,
     /// Bytes moved device→host.
     pub d2h_bytes: u64,
+    /// Bytes copied through page-locked host buffers (either direction).
+    pub pinned_bytes: u64,
+    /// Bytes copied from/to pageable host memory.
+    pub pageable_bytes: u64,
     /// Virtual time spent on PCIe transfers.
     pub copy_time: SimDuration,
 }
@@ -171,6 +175,11 @@ impl GpuDevice {
         }
         let mut st = d.stats.lock();
         st.copy_time += t;
+        if pinned {
+            st.pinned_bytes += bytes;
+        } else {
+            st.pageable_bytes += bytes;
+        }
         match dir {
             CopyDir::H2D => {
                 st.h2d_copies += 1;

@@ -212,7 +212,9 @@ mod tests {
         let spec = GpuSpec::gtx_480();
         let compute_heavy = KernelCost::roofline(1e12, 1.0, 1.0, 1.0);
         let memory_heavy = KernelCost::roofline(1.0, 1e12, 1.0, 1.0);
-        assert!(compute_heavy.body_time(&spec) > KernelCost::fixed(SimDuration::ZERO).body_time(&spec));
+        assert!(
+            compute_heavy.body_time(&spec) > KernelCost::fixed(SimDuration::ZERO).body_time(&spec)
+        );
         // memory-heavy: 1e12 / 177.4e9 ≈ 5.6 s ≫ compute term
         assert!(memory_heavy.body_time(&spec).as_secs_f64() > 5.0);
     }

@@ -28,15 +28,14 @@ fn spec() -> GpuSpec {
 /// A generated stream operation.
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    Kernel(u64),          // duration ns
+    Kernel(u64),           // duration ns
     Copy(bool, u64, bool), // (h2d, bytes, pinned)
 }
 
 fn gen_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u64..10_000).prop_map(Op::Kernel),
-        (any::<bool>(), 1u64..10_000, any::<bool>())
-            .prop_map(|(d, b, p)| Op::Copy(d, b, p)),
+        (any::<bool>(), 1u64..10_000, any::<bool>()).prop_map(|(d, b, p)| Op::Copy(d, b, p)),
     ]
 }
 

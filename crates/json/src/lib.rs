@@ -1,0 +1,344 @@
+//! A minimal JSON document model and writer.
+//!
+//! The runtime's observability layer (run reports, figure data)
+//! serialises to JSON with a hard requirement the usual ecosystem
+//! crates don't state: **byte-identical output for identical input**,
+//! across runs and platforms. This crate guarantees that by
+//! construction — objects are ordered vectors (insertion order is the
+//! output order, so builders decide it once), numbers format through
+//! Rust's deterministic shortest-round-trip float printing, and the
+//! writer has no configuration.
+//!
+//! Output is standard JSON, pretty-printed with two-space indentation
+//! in the same style as `serde_json::to_string_pretty`, so existing
+//! tooling that consumed the old bench output keeps working.
+//!
+//! There is deliberately no parser and no derive machinery: producers
+//! implement [`ToJson`] by hand, which keeps the field order explicit
+//! and the dependency graph free of proc-macros (the build environment
+//! has no network access to fetch them).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float. Non-finite values serialise as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn array() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// Append a field to an object (builder style).
+    ///
+    /// # Panics
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Append a field to an object in place.
+    ///
+    /// # Panics
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Append an element to an array in place.
+    ///
+    /// # Panics
+    /// Panics if `self` is not an array.
+    pub fn push(&mut self, value: impl Into<Json>) {
+        match self {
+            Json::Arr(items) => items.push(value.into()),
+            other => panic!("Json::push on non-array {other:?}"),
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serialise compactly (no whitespace).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serialise pretty-printed with two-space indentation and a
+    /// trailing newline, `serde_json::to_string_pretty` style.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{x}");
+    // Match serde_json: floats always carry a fractional part or
+    // exponent so they round-trip as floats.
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::I64(v as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(v: &[T]) -> Json {
+        Json::Arr(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+/// Types with a canonical JSON representation.
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl<T: ToJson> From<&T> for Json {
+    fn from(v: &T) -> Json {
+        v.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_match_serde_style() {
+        let doc = Json::object()
+            .field("name", "fig05")
+            .field("points", vec![1u64, 2, 3])
+            .field("ratio", 0.5)
+            .field("whole", 2.0)
+            .field("ok", true)
+            .field("none", Json::Null)
+            .field("empty_arr", Json::array())
+            .field("empty_obj", Json::object());
+        assert_eq!(
+            doc.to_compact_string(),
+            r#"{"name":"fig05","points":[1,2,3],"ratio":0.5,"whole":2.0,"ok":true,"none":null,"empty_arr":[],"empty_obj":{}}"#
+        );
+        let pretty = doc.to_pretty_string();
+        assert!(pretty.starts_with("{\n  \"name\": \"fig05\",\n  \"points\": [\n    1,"));
+        assert!(pretty.contains("\"whole\": 2.0"));
+        assert!(pretty.contains("\"empty_arr\": []"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.to_compact_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Json::from(f64::NAN).to_compact_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn insertion_order_is_output_order() {
+        let a = Json::object().field("z", 1u64).field("a", 2u64);
+        assert_eq!(a.to_compact_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn get_looks_up_fields() {
+        let doc = Json::object().field("x", 3u64);
+        assert_eq!(doc.get("x"), Some(&Json::U64(3)));
+        assert_eq!(doc.get("y"), None);
+    }
+}

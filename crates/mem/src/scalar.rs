@@ -68,9 +68,8 @@ mod tests {
     #[test]
     fn cast_f32_roundtrip() {
         let mut storage = vec![0u64; 2]; // 16 aligned bytes
-        let bytes: &mut [u8] = unsafe {
-            std::slice::from_raw_parts_mut(storage.as_mut_ptr() as *mut u8, 16)
-        };
+        let bytes: &mut [u8] =
+            unsafe { std::slice::from_raw_parts_mut(storage.as_mut_ptr() as *mut u8, 16) };
         {
             let floats = cast_slice_mut::<f32>(bytes);
             floats.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
@@ -83,8 +82,7 @@ mod tests {
     #[should_panic(expected = "not a multiple")]
     fn cast_rejects_partial_elements() {
         let storage = [0u64; 1];
-        let bytes: &[u8] =
-            unsafe { std::slice::from_raw_parts(storage.as_ptr() as *const u8, 7) };
+        let bytes: &[u8] = unsafe { std::slice::from_raw_parts(storage.as_ptr() as *const u8, 7) };
         let _ = cast_slice::<f64>(bytes);
     }
 

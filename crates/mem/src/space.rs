@@ -280,9 +280,10 @@ impl MemoryManager {
     pub fn free(&self, space: SpaceId, alloc: AllocId) {
         let mut inner = self.inner.lock();
         let s = &mut inner.spaces[space.0 as usize];
-        let a = s.allocs.remove(&alloc).unwrap_or_else(|| {
-            panic!("free of unknown allocation {alloc:?} in space {space:?}")
-        });
+        let a = s
+            .allocs
+            .remove(&alloc)
+            .unwrap_or_else(|| panic!("free of unknown allocation {alloc:?} in space {space:?}"));
         s.used -= a.size;
     }
 
@@ -453,12 +454,7 @@ impl MemoryManager {
 
     /// Metadata of a registered data object.
     pub fn data_info(&self, id: DataId) -> DataInfo {
-        *self
-            .inner
-            .lock()
-            .data
-            .get(&id)
-            .unwrap_or_else(|| panic!("unknown data object {id:?}"))
+        *self.inner.lock().data.get(&id).unwrap_or_else(|| panic!("unknown data object {id:?}"))
     }
 
     /// Number of registered data objects.

@@ -9,6 +9,9 @@
 //! runs the handler logic — exactly the "slave images constantly waiting
 //! for upcoming requests" structure of the paper.
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
 use ompss_sim::{Ctx, Signal, SimResult};
 
 use crate::fabric::{Fabric, FabricConfig, NetStats, NodeId};
@@ -16,23 +19,43 @@ use crate::fabric::{Fabric, FabricConfig, NetStats, NodeId};
 /// Wire overhead of an active-message header, in bytes.
 pub const AM_HEADER_BYTES: u64 = 64;
 
+/// Counts of active messages by kind, across all endpoints.
+#[derive(Debug, Default)]
+struct AmCounters {
+    shorts: AtomicU64,
+    longs: AtomicU64,
+    long_payload_bytes: AtomicU64,
+}
+
+/// Snapshot of [`AmNet`] message counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AmStats {
+    /// Header-only (*short*) requests sent.
+    pub shorts: u64,
+    /// Bulk (*long*) requests sent.
+    pub longs: u64,
+    /// Total payload bytes carried by long requests (headers excluded).
+    pub long_payload_bytes: u64,
+}
+
 /// An active-message network carrying handler arguments of type `M`.
 ///
 /// Clones share the same fabric.
 pub struct AmNet<M> {
     fabric: Fabric<M>,
+    counters: Arc<AmCounters>,
 }
 
 impl<M> Clone for AmNet<M> {
     fn clone(&self) -> Self {
-        AmNet { fabric: self.fabric.clone() }
+        AmNet { fabric: self.fabric.clone(), counters: self.counters.clone() }
     }
 }
 
 impl<M: Send + 'static> AmNet<M> {
     /// Build an AM network over a fresh fabric.
     pub fn new(cfg: FabricConfig) -> Self {
-        AmNet { fabric: Fabric::new(cfg) }
+        AmNet { fabric: Fabric::new(cfg), counters: Arc::new(AmCounters::default()) }
     }
 
     /// The endpoint owned by `node`.
@@ -48,6 +71,15 @@ impl<M: Send + 'static> AmNet<M> {
     /// Traffic counters (shared with the underlying fabric).
     pub fn stats(&self) -> NetStats {
         self.fabric.stats()
+    }
+
+    /// Active-message counts by kind.
+    pub fn am_stats(&self) -> AmStats {
+        AmStats {
+            shorts: self.counters.shorts.load(Relaxed),
+            longs: self.counters.longs.load(Relaxed),
+            long_payload_bytes: self.counters.long_payload_bytes.load(Relaxed),
+        }
     }
 
     /// A handle to the underlying fabric (the same shared object) so
@@ -78,6 +110,7 @@ impl<M: Send + 'static> AmEndpoint<M> {
 
     /// Send a header-only control message; blocks for the wire time.
     pub fn request_short(&self, ctx: &Ctx, dst: NodeId, msg: M) -> SimResult<()> {
+        self.net.counters.shorts.fetch_add(1, Relaxed);
         self.net.fabric.send(ctx, self.node, dst, AM_HEADER_BYTES, msg)
     }
 
@@ -87,18 +120,26 @@ impl<M: Send + 'static> AmEndpoint<M> {
     /// manager on the handler side; the fabric charges their transfer
     /// time and accounts them here.
     pub fn request_long(&self, ctx: &Ctx, dst: NodeId, msg: M, payload: u64) -> SimResult<()> {
+        self.count_long(payload);
         self.net.fabric.send(ctx, self.node, dst, AM_HEADER_BYTES + payload, msg)
     }
 
     /// Asynchronous [`request_long`]: the transfer proceeds on a helper
     /// process; the returned signal is set at delivery time.
     pub fn request_long_detached(&self, ctx: &Ctx, dst: NodeId, msg: M, payload: u64) -> Signal {
+        self.count_long(payload);
         self.net.fabric.send_detached(ctx, self.node, dst, AM_HEADER_BYTES + payload, msg)
     }
 
     /// Asynchronous [`request_short`].
     pub fn request_short_detached(&self, ctx: &Ctx, dst: NodeId, msg: M) -> Signal {
+        self.net.counters.shorts.fetch_add(1, Relaxed);
         self.net.fabric.send_detached(ctx, self.node, dst, AM_HEADER_BYTES, msg)
+    }
+
+    fn count_long(&self, payload: u64) {
+        self.net.counters.longs.fetch_add(1, Relaxed);
+        self.net.counters.long_payload_bytes.fetch_add(payload, Relaxed);
     }
 
     /// Park until the next request addressed to this node arrives;
@@ -120,11 +161,7 @@ mod tests {
     use ompss_sim::{Sim, SimDuration};
 
     fn net() -> AmNet<&'static str> {
-        AmNet::new(FabricConfig {
-            nodes: 3,
-            latency: SimDuration::from_micros(1),
-            bandwidth: 1e9,
-        })
+        AmNet::new(FabricConfig { nodes: 3, latency: SimDuration::from_micros(1), bandwidth: 1e9 })
     }
 
     #[test]
@@ -214,6 +251,7 @@ mod tests {
             let st = n2.stats();
             assert_eq!(st.bytes_total, 1000);
             assert_eq!(st.messages, 1);
+            assert_eq!(n2.am_stats(), AmStats { shorts: 0, longs: 1, long_payload_bytes: 936 });
         });
         sim.spawn_daemon("sink", {
             let ep1 = n.endpoint(1);

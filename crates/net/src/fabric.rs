@@ -60,6 +60,41 @@ pub struct NetStats {
     pub tx_bytes: Vec<u64>,
     /// Bytes received by each node.
     pub rx_bytes: Vec<u64>,
+    /// Full per-link traffic matrix: `link_bytes[src][dst]` is every
+    /// byte carried on that directed link (loopback on the diagonal).
+    pub link_bytes: Vec<Vec<u64>>,
+    /// Messages per directed link, same layout.
+    pub link_messages: Vec<Vec<u64>>,
+}
+
+impl NetStats {
+    /// Bytes on links with the master (node 0) as an endpoint,
+    /// excluding loopback — the traffic of master-routed (`MtoS`)
+    /// configurations.
+    pub fn master_link_bytes(&self) -> u64 {
+        let mut total = 0;
+        for (s, row) in self.link_bytes.iter().enumerate() {
+            for (d, &b) in row.iter().enumerate() {
+                if s != d && (s == 0 || d == 0) {
+                    total += b;
+                }
+            }
+        }
+        total
+    }
+
+    /// Bytes on slave↔slave links (neither endpoint is node 0).
+    pub fn slave_link_bytes(&self) -> u64 {
+        let mut total = 0;
+        for (s, row) in self.link_bytes.iter().enumerate() {
+            for (d, &b) in row.iter().enumerate() {
+                if s != d && s != 0 && d != 0 {
+                    total += b;
+                }
+            }
+        }
+        total
+    }
 }
 
 struct Nic<M> {
@@ -98,6 +133,8 @@ impl<M: Send + 'static> Fabric<M> {
                 stats: Mutex::new(NetStats {
                     tx_bytes: vec![0; cfg.nodes as usize],
                     rx_bytes: vec![0; cfg.nodes as usize],
+                    link_bytes: vec![vec![0; cfg.nodes as usize]; cfg.nodes as usize],
+                    link_messages: vec![vec![0; cfg.nodes as usize]; cfg.nodes as usize],
                     ..NetStats::default()
                 }),
                 cfg,
@@ -124,6 +161,8 @@ impl<M: Send + 'static> Fabric<M> {
             st.messages += 1;
             st.tx_bytes[src as usize] += size;
             st.rx_bytes[dst as usize] += size;
+            st.link_bytes[src as usize][dst as usize] += size;
+            st.link_messages[src as usize][dst as usize] += 1;
         }
         if src == dst {
             self.inner.nics[dst as usize].inbox.send(ctx, (src, msg));
@@ -142,14 +181,7 @@ impl<M: Send + 'static> Fabric<M> {
 
     /// Fire-and-forget send: a helper process performs the transfer; the
     /// returned signal is set when the message has been delivered.
-    pub fn send_detached(
-        &self,
-        ctx: &Ctx,
-        src: NodeId,
-        dst: NodeId,
-        size: u64,
-        msg: M,
-    ) -> Signal {
+    pub fn send_detached(&self, ctx: &Ctx, src: NodeId, dst: NodeId, size: u64, msg: M) -> Signal {
         let done = Signal::new();
         let fab = self.clone();
         let sig = done.clone();
@@ -308,6 +340,28 @@ mod tests {
             assert_eq!(st.messages, 2);
             assert_eq!(st.tx_bytes, vec![500, 300, 0, 0]);
             assert_eq!(st.rx_bytes, vec![300, 500, 0, 0]);
+            assert_eq!(st.link_bytes[0][1], 500);
+            assert_eq!(st.link_bytes[1][0], 300);
+            assert_eq!(st.link_messages[0][1], 1);
+            assert_eq!(st.master_link_bytes(), 800);
+            assert_eq!(st.slave_link_bytes(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn link_matrix_separates_master_and_slave_traffic() {
+        let sim = Sim::new();
+        let fab: Fabric<u32> = Fabric::new(cfg());
+        let f = fab.clone();
+        sim.spawn("p", move |ctx| {
+            f.send(&ctx, 0, 2, 100, 0).unwrap();
+            f.send(&ctx, 1, 2, 40, 0).unwrap();
+            f.send(&ctx, 3, 3, 7, 0).unwrap(); // loopback: neither bucket
+            let st = f.stats();
+            assert_eq!(st.master_link_bytes(), 100);
+            assert_eq!(st.slave_link_bytes(), 40);
+            assert_eq!(st.link_bytes[3][3], 7);
         });
         sim.run().unwrap();
     }

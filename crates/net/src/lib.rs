@@ -20,6 +20,6 @@ mod am;
 mod fabric;
 mod mpi;
 
-pub use am::{AmEndpoint, AmNet, AM_HEADER_BYTES};
+pub use am::{AmEndpoint, AmNet, AmStats, AM_HEADER_BYTES};
 pub use fabric::{Fabric, FabricConfig, NetStats, NodeId};
 pub use mpi::{Mpi, MpiMsg, MpiRank, Source, MPI_ENVELOPE_BYTES};

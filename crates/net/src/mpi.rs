@@ -49,6 +49,7 @@ pub enum Source {
 pub struct Mpi {
     fabric: Fabric<MpiMsg>,
     /// Per-rank queue of received-but-unmatched messages.
+    #[allow(clippy::type_complexity)]
     unexpected: Arc<Vec<Mutex<VecDeque<(NodeId, MpiMsg)>>>>,
 }
 
@@ -136,7 +137,7 @@ impl MpiRank {
             (match source {
                 Source::Rank(r) => src == r,
                 Source::Any => true,
-            }) && tag.map_or(true, |t| m.tag == t)
+            }) && tag.is_none_or(|t| m.tag == t)
         };
         // First scan the unexpected queue (FIFO within matches).
         {
@@ -203,10 +204,9 @@ impl MpiRank {
         data: Option<Vec<u8>>,
     ) -> SimResult<Option<Vec<u8>>> {
         let p = group.len() as u32;
-        let me = group
-            .iter()
-            .position(|&r| r == self.rank)
-            .expect("calling rank not in bcast group") as u32;
+        let me =
+            group.iter().position(|&r| r == self.rank).expect("calling rank not in bcast group")
+                as u32;
         let rootpos =
             group.iter().position(|&r| r == root).expect("root not in bcast group") as u32;
         // Standard binomial tree over virtual ranks (root at 0): a rank
@@ -266,10 +266,7 @@ impl MpiRank {
             carry = msg.data;
             slots[carry_origin as usize] = Some(carry.clone());
         }
-        Ok(slots
-            .into_iter()
-            .map(|s| s.expect("ring visits every origin"))
-            .collect())
+        Ok(slots.into_iter().map(|s| s.expect("ring visits every origin")).collect())
     }
 
     /// Gather to `root`: everyone sends `size` bytes to the root, which
@@ -398,8 +395,7 @@ mod tests {
             for root in [0, p - 1] {
                 let mpi = world(p);
                 run_ranks(&mpi, move |rank, ctx| {
-                    let data =
-                        if rank.rank() == root { Some(vec![42, root as u8]) } else { None };
+                    let data = if rank.rank() == root { Some(vec![42, root as u8]) } else { None };
                     let out = rank.bcast(ctx, root, 5, 2, data).unwrap();
                     assert_eq!(out, Some(vec![42, root as u8]), "p={p} root={root}");
                 });
@@ -441,10 +437,7 @@ mod tests {
             let out = rank.gather(ctx, 2, 8, 1, Some(vec![rank.rank() as u8])).unwrap();
             if rank.rank() == 2 {
                 let got = out.unwrap();
-                assert_eq!(
-                    got,
-                    vec![Some(vec![0]), Some(vec![1]), Some(vec![2]), Some(vec![3])]
-                );
+                assert_eq!(got, vec![Some(vec![0]), Some(vec![1]), Some(vec![2]), Some(vec![3])]);
             } else {
                 assert!(out.is_none());
             }

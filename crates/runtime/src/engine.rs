@@ -25,9 +25,9 @@ use parking_lot::Mutex;
 use ompss_coherence::Coherence;
 use ompss_core::{Device, TaskGraph, TaskId};
 use ompss_cudasim::{GpuDevice, KernelCost};
+use ompss_mem::Region;
 use ompss_mem::{MemoryManager, SpaceId};
 use ompss_net::{AmEndpoint, NodeId};
-use ompss_mem::Region;
 use ompss_sched::{LocalityOracle, ResourceId, Scheduler};
 use ompss_sim::{Bell, Ctx, Latch, SimDuration, SimResult};
 
@@ -93,11 +93,22 @@ pub(crate) struct RtShared {
     pub gpus: HashMap<SpaceId, GpuDevice>,
     pub hosts: Vec<SpaceId>,
     pub tracer: Option<Tracer>,
+    pub counters: Arc<crate::stats::Counters>,
 }
 
 impl RtShared {
-    /// Record a task-execution interval when tracing is on.
-    fn trace_task(&self, rec: &TaskRecord, node: u32, name: &str, start: ompss_sim::SimTime, end: ompss_sim::SimTime) {
+    /// Record a completed task body: always charges the counter
+    /// registry's per-resource busy time, and additionally emits a
+    /// trace event when tracing is on.
+    fn trace_task(
+        &self,
+        rec: &TaskRecord,
+        node: u32,
+        name: &str,
+        start: ompss_sim::SimTime,
+        end: ompss_sim::SimTime,
+    ) {
+        self.counters.record_busy(node, name, end.saturating_since(start));
         if let Some(tr) = &self.tracer {
             tr.record(TraceEvent::Task {
                 task: rec.desc.id.0,
@@ -140,8 +151,7 @@ impl RtShared {
             let latch = latch.clone();
             let results = results.clone();
             ctx.spawn_daemon(format!("acquire:{}", a.region), move |actx| {
-                if let Ok(loc) =
-                    sh.coh.acquire(&actx, &*sh.exec, &a.region, a.kind.reads(), space)
+                if let Ok(loc) = sh.coh.acquire(&actx, &*sh.exec, &a.region, a.kind.reads(), space)
                 {
                     results.lock()[i] = Some(loc);
                 }
@@ -155,7 +165,12 @@ impl RtShared {
 
     /// Run the body + cost of `task` in `space`, assuming the caller
     /// handles graph bookkeeping. SMP flavour: cost charged as a delay.
-    fn run_smp_body(self: &Arc<Self>, ctx: &Ctx, rec: &TaskRecord, space: SpaceId) -> SimResult<()> {
+    fn run_smp_body(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        rec: &TaskRecord,
+        space: SpaceId,
+    ) -> SimResult<()> {
         let accesses = rec.copy_accesses();
         let mut locs = Vec::with_capacity(accesses.len());
         for a in &accesses {
@@ -245,8 +260,7 @@ impl RtShared {
         let rec = {
             let mut m = self.master.lock();
             let newly = m.graph.complete(id);
-            let descs: Vec<Arc<TaskRecord>> =
-                newly.iter().map(|t| m.records[t].clone()).collect();
+            let descs: Vec<Arc<TaskRecord>> = newly.iter().map(|t| m.records[t].clone()).collect();
             let desc_refs: Vec<&ompss_core::TaskDesc> = descs.iter().map(|r| &r.desc).collect();
             m.sched.task_completed(res, &desc_refs, &self.master_oracle);
             m.tasks_executed += 1;
@@ -343,11 +357,7 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
 /// The master's communication thread: drains node-proxy queues round
 /// robin, staging data and dispatching `Exec` messages, keeping each
 /// node at `resources + presend` tasks in flight.
-pub(crate) fn comm_thread(
-    shared: Arc<RtShared>,
-    ep: AmEndpoint<ClusterMsg>,
-    ctx: Ctx,
-) {
+pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx: Ctx) {
     let nodes = shared.cfg.nodes;
     // "Presend" dispatches work to a node before its resources go idle:
     // the cap per device kind is the resource count plus the presend
@@ -420,13 +430,14 @@ pub(crate) fn comm_thread(
                         let sh = shared2.clone();
                         let latch = latch.clone();
                         hctx.spawn_daemon(format!("comm:stage:{}", a.region), move |sctx| {
-                            let _ = sh.coh.prefetch(&sctx, &*sh.exec, &a.region, host);
+                            let _ = sh.coh.presend(&sctx, &*sh.exec, &a.region, host);
                             latch.done(&sctx);
                         });
                     }
                     if latch.wait_zero(&hctx).is_err() {
                         return;
                     }
+                    crate::stats::Counters::add(&shared2.counters.am_exec, 1);
                     let _ = ep2.request_short(&hctx, node, ClusterMsg::Exec { task: rec.desc.id });
                 });
             }
@@ -478,10 +489,7 @@ pub(crate) fn slave_dispatcher(
             ClusterMsg::Exec { task } => {
                 let rec = shared.record(task);
                 let slave = &shared.slaves[node as usize];
-                slave
-                    .sched
-                    .lock()
-                    .submit(&rec.desc, &shared.slave_oracles[node as usize]);
+                slave.sched.lock().submit(&rec.desc, &shared.slave_oracles[node as usize]);
                 slave.bell.ring(&ctx);
             }
             ClusterMsg::Data => {}
@@ -513,6 +521,7 @@ pub(crate) fn slave_smp_worker(
             return;
         }
         shared.trace_task(&rec, node, &format!("worker{}", res.0), t0, ctx.now());
+        crate::stats::Counters::add(&shared.counters.am_done, 1);
         let _ = ep.request_short(&ctx, 0, ClusterMsg::Done { task: tid });
     }
 }
@@ -566,6 +575,7 @@ pub(crate) fn slave_gpu_manager(
             return;
         }
         shared.trace_task(&rec, node, &format!("gpu{}", space.0), t0, ctx.now());
+        crate::stats::Counters::add(&shared.counters.am_done, 1);
         let _ = ep.request_short(&ctx, 0, ClusterMsg::Done { task: tid });
     }
 }

@@ -16,13 +16,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ompss_coherence::{HopKind, Loc, TransferExec};
+use ompss_coherence::{HopKind, Loc, TransferExec, TransferPurpose};
 use ompss_core::TaskId;
 use ompss_cudasim::{CopyDir, GpuDevice, PinnedPool};
 use ompss_mem::{MemoryManager, SpaceId};
 use ompss_net::{Fabric, NodeId};
 use ompss_sim::{Ctx, SimResult};
 
+use crate::stats::Counters;
 use crate::trace::{TraceEvent, Tracer};
 
 /// Control / data messages of the cluster protocol (§III-D1).
@@ -55,10 +56,12 @@ pub struct RtExec {
     fabric: Fabric<ClusterMsg>,
     overlap: bool,
     tracer: Option<Tracer>,
+    counters: Arc<Counters>,
 }
 
 impl RtExec {
     /// Assemble the executor from machine parts.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         mem: Arc<MemoryManager>,
         gpus: HashMap<SpaceId, GpuDevice>,
@@ -67,13 +70,22 @@ impl RtExec {
         fabric: Fabric<ClusterMsg>,
         overlap: bool,
         tracer: Option<Tracer>,
+        counters: Arc<Counters>,
     ) -> Self {
-        RtExec { mem, gpus, node_of, pinned, fabric, overlap, tracer }
+        RtExec { mem, gpus, node_of, pinned, fabric, overlap, tracer, counters }
     }
 }
 
 impl TransferExec for RtExec {
-    fn transfer(&self, ctx: &Ctx, kind: HopKind, src: Loc, dst: Loc, bytes: u64) -> SimResult<()> {
+    fn transfer(
+        &self,
+        ctx: &Ctx,
+        kind: HopKind,
+        purpose: TransferPurpose,
+        src: Loc,
+        dst: Loc,
+        bytes: u64,
+    ) -> SimResult<()> {
         let t0 = ctx.now();
         match kind {
             HopKind::Pcie => {
@@ -86,6 +98,14 @@ impl TransferExec for RtExec {
                 let node = self.node_of[&gpu_space] as usize;
                 let pool = &self.pinned[node];
                 let use_pinned = self.overlap && pool.try_alloc(bytes);
+                Counters::add(
+                    if use_pinned {
+                        &self.counters.pcie_pinned_bytes
+                    } else {
+                        &self.counters.pcie_pageable_bytes
+                    },
+                    bytes,
+                );
                 if use_pinned {
                     // Stage pageable user memory into the pinned buffer
                     // (H2D) — one host memcpy — before the DMA.
@@ -107,6 +127,20 @@ impl TransferExec for RtExec {
                 let sn = self.node_of[&src.space];
                 let dn = self.node_of[&dst.space];
                 debug_assert_ne!(sn, dn, "network hop within one node");
+                // Classify the wire traffic: pre-send staging is its own
+                // bucket; everything else splits by whether the master
+                // is an endpoint (MtoS) or the hop is slave-direct (StoS).
+                Counters::add(
+                    if purpose == TransferPurpose::Presend {
+                        &self.counters.net_presend_bytes
+                    } else if sn == 0 || dn == 0 {
+                        &self.counters.net_mts_bytes
+                    } else {
+                        &self.counters.net_sts_bytes
+                    },
+                    bytes,
+                );
+                Counters::add(&self.counters.am_data, 1);
                 self.fabric.send(
                     ctx,
                     sn,
@@ -116,7 +150,13 @@ impl TransferExec for RtExec {
                 )?;
             }
         }
-        self.mem.copy((src.space, src.alloc), src.offset, (dst.space, dst.alloc), dst.offset, bytes);
+        self.mem.copy(
+            (src.space, src.alloc),
+            src.offset,
+            (dst.space, dst.alloc),
+            dst.offset,
+            bytes,
+        );
         if let Some(tr) = &self.tracer {
             tr.record(TraceEvent::Transfer {
                 medium: match kind {

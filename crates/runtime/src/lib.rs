@@ -43,14 +43,16 @@ mod config;
 mod engine;
 mod exec;
 mod runtime;
+pub mod stats;
 mod task;
 pub mod trace;
 
 pub use config::{CachePolicy, RuntimeConfig, SlaveRouting};
 pub use exec::ClusterMsg;
-pub use runtime::{ArrayHandle, Omp, Runtime, RunReport};
+pub use runtime::{ArrayHandle, Omp, RunReport, Runtime, TaskHandle};
+pub use stats::{CounterSnapshot, Counters, ResourceBusy};
 pub use task::{TaskBody, TaskCost, TaskRecord, TaskSpec};
-pub use trace::{TraceEvent, TraceResource};
+pub use trace::{ParaverTrace, TraceEvent, TraceResource};
 
 // Re-exports for downstream ergonomics (apps, benches).
 pub use ompss_core::Device;

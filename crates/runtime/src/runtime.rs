@@ -17,10 +17,11 @@ use parking_lot::Mutex;
 use ompss_coherence::{Coherence, CoherenceStats, Topology};
 use ompss_core::{TaskGraph, TaskId};
 use ompss_cudasim::{GpuDevice, GpuStats, PinnedPool};
+use ompss_json::{Json, ToJson};
 use ompss_mem::{DataId, MemoryManager, Region, Scalar, SpaceId, SpaceKind};
-use ompss_net::{AmNet, NetStats};
+use ompss_net::{AmNet, AmStats, NetStats};
 use ompss_sched::{ResourceInfo, ResourceKind, SchedStats, Scheduler};
-use ompss_sim::{Bell, Ctx, Latch, RunError, Sim, SimDuration, SimTime};
+use ompss_sim::{Bell, Ctx, Latch, RunError, Signal, Sim, SimDuration, SimTime};
 
 use crate::config::RuntimeConfig;
 use crate::engine::{
@@ -29,6 +30,7 @@ use crate::engine::{
     SpanOracle,
 };
 use crate::exec::RtExec;
+use crate::stats::{CounterSnapshot, Counters};
 use crate::task::TaskSpec;
 use crate::trace::{TraceEvent, Tracer};
 
@@ -44,16 +46,128 @@ pub struct RunReport {
     pub tasks: u64,
     /// Fabric traffic.
     pub net: NetStats,
+    /// Active-message counts by wire kind (short/long).
+    pub am: AmStats,
     /// Coherence activity.
     pub coherence: CoherenceStats,
     /// Master scheduler decisions.
     pub sched: SchedStats,
-    /// Per-GPU device counters, `(name, stats)`.
+    /// Per-GPU device counters, `(name, stats)`, sorted by name.
     pub gpus: Vec<(String, GpuStats)>,
+    /// The always-on runtime counter registry: per-resource busy time,
+    /// bytes by medium, AM counts by protocol kind.
+    pub counters: CounterSnapshot,
     /// DES events processed (a determinism fingerprint).
     pub events: u64,
+    /// Distinct virtual-clock advances in the DES kernel.
+    pub clock_advances: u64,
     /// Execution trace, when [`RuntimeConfig::tracing`] was enabled.
     pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl RunReport {
+    /// Per-resource utilisation from the always-on counters:
+    /// `(node, name, tasks, busy_ns, busy/makespan)`.
+    pub fn utilisation(&self) -> Vec<(u32, String, u64, u64, f64)> {
+        self.counters.utilisation(self.makespan.as_nanos())
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        let mut gpus = Json::array();
+        for (name, g) in &self.gpus {
+            gpus.push(
+                Json::object()
+                    .field("name", name.as_str())
+                    .field("kernels", g.kernels)
+                    .field("kernel_time_ns", g.kernel_time.as_nanos())
+                    .field("h2d_copies", g.h2d_copies)
+                    .field("h2d_bytes", g.h2d_bytes)
+                    .field("d2h_copies", g.d2h_copies)
+                    .field("d2h_bytes", g.d2h_bytes)
+                    .field("pinned_bytes", g.pinned_bytes)
+                    .field("pageable_bytes", g.pageable_bytes)
+                    .field("copy_time_ns", g.copy_time.as_nanos()),
+            );
+        }
+        let mut utilisation = Json::array();
+        for (node, name, tasks, busy_ns, u) in self.utilisation() {
+            utilisation.push(
+                Json::object()
+                    .field("node", node)
+                    .field("name", name)
+                    .field("tasks", tasks)
+                    .field("busy_ns", busy_ns)
+                    .field("utilisation", u),
+            );
+        }
+        Json::object()
+            .field("elapsed_ns", self.elapsed.as_nanos())
+            .field("makespan_ns", self.makespan.as_nanos())
+            .field("tasks", self.tasks)
+            .field(
+                "net",
+                Json::object()
+                    .field("bytes_total", self.net.bytes_total)
+                    .field("messages", self.net.messages)
+                    .field("tx_bytes", self.net.tx_bytes.as_slice())
+                    .field("rx_bytes", self.net.rx_bytes.as_slice())
+                    .field("master_link_bytes", self.net.master_link_bytes())
+                    .field("slave_link_bytes", self.net.slave_link_bytes())
+                    .field("am_shorts", self.am.shorts)
+                    .field("am_longs", self.am.longs)
+                    .field("am_long_payload_bytes", self.am.long_payload_bytes),
+            )
+            .field(
+                "coherence",
+                Json::object()
+                    .field("hits", self.coherence.hits)
+                    .field("misses", self.coherence.misses)
+                    .field("transfers", self.coherence.transfers)
+                    .field("bytes_moved", self.coherence.bytes_moved)
+                    .field("pcie_bytes", self.coherence.pcie_bytes)
+                    .field("net_bytes", self.coherence.net_bytes)
+                    .field("demand_bytes", self.coherence.demand_bytes)
+                    .field("prefetch_bytes", self.coherence.prefetch_bytes)
+                    .field("presend_bytes", self.coherence.presend_bytes)
+                    .field("push_bytes", self.coherence.push_bytes)
+                    .field("flush_bytes", self.coherence.flush_bytes)
+                    .field("writebacks", self.coherence.writebacks)
+                    .field("writeback_bytes", self.coherence.writeback_bytes)
+                    .field("evictions", self.coherence.evictions),
+            )
+            .field(
+                "sched",
+                Json::object()
+                    .field("local_hits", self.sched.local_hits)
+                    .field("global_hits", self.sched.global_hits)
+                    .field("steals", self.sched.steals)
+                    .field("successor_hits", self.sched.successor_hits)
+                    .field("submitted", self.sched.submitted)
+                    .field("max_queued", self.sched.max_queued),
+            )
+            .field("gpus", gpus)
+            .field("counters", self.counters.to_json())
+            .field("utilisation", utilisation)
+            .field("events", self.events)
+            .field("clock_advances", self.clock_advances)
+    }
+}
+
+/// A handle to one submitted task, returned by [`Omp::submit`]. Lets a
+/// program wait on that task alone (finer than a full `taskwait`).
+#[derive(Clone)]
+pub struct TaskHandle {
+    id: TaskId,
+    done: Signal,
+}
+
+impl TaskHandle {
+    /// The runtime-assigned task id.
+    pub fn id(&self) -> u64 {
+        self.id.0
+    }
 }
 
 /// A typed handle to a runtime-registered array living in the master's
@@ -66,7 +180,7 @@ pub struct ArrayHandle<T: Scalar> {
 
 impl<T: Scalar> Clone for ArrayHandle<T> {
     fn clone(&self) -> Self {
-        ArrayHandle { data: self.data, len: self.len, _t: PhantomData }
+        *self
     }
 }
 
@@ -99,6 +213,20 @@ impl<T: Scalar> ArrayHandle<T> {
     /// Byte region covering the whole array.
     pub fn full(&self) -> Region {
         self.region(0..self.len)
+    }
+}
+
+/// A bare handle in a dependence clause means "the whole array" —
+/// `input(a)` reads like `input([N]a)` in the pragma syntax.
+impl<T: Scalar> From<ArrayHandle<T>> for Region {
+    fn from(h: ArrayHandle<T>) -> Region {
+        h.full()
+    }
+}
+
+impl<T: Scalar> From<&ArrayHandle<T>> for Region {
+    fn from(h: &ArrayHandle<T>) -> Region {
+        h.full()
     }
 }
 
@@ -146,7 +274,7 @@ impl Omp {
             info.home_space,
             info.home_alloc,
             (offset * es) as u64,
-            (values.len() * es) as u64,
+            std::mem::size_of_val(values) as u64,
             |dst| dst.copy_from_slice(values),
         );
     }
@@ -154,11 +282,7 @@ impl Omp {
     /// Read elements from an array's home copy (call after a flushing
     /// `taskwait` for up-to-date values). Returns `None` under phantom
     /// backing.
-    pub fn read_array<T: Scalar>(
-        &self,
-        h: &ArrayHandle<T>,
-        range: Range<usize>,
-    ) -> Option<Vec<T>> {
+    pub fn read_array<T: Scalar>(&self, h: &ArrayHandle<T>, range: Range<usize>) -> Option<Vec<T>> {
         let info = self.shared.mem.data_info(h.data);
         let es = std::mem::size_of::<T>();
         self.shared.mem.with_slice::<T, _>(
@@ -171,8 +295,11 @@ impl Omp {
     }
 
     /// Submit a task (the lowered `#pragma omp task`). Charges the
-    /// per-task creation overhead on the submitting process.
-    pub fn submit(&self, spec: TaskSpec) {
+    /// per-task creation overhead on the submitting process. Returns a
+    /// [`TaskHandle`] for fine-grained synchronisation with
+    /// [`taskwait_on_handle`](Omp::taskwait_on_handle); the handle may
+    /// be dropped freely when only barrier-style `taskwait` is needed.
+    pub fn submit(&self, spec: TaskSpec) -> TaskHandle {
         assert!(
             device_has_resource(&self.shared.cfg, spec.device),
             "task '{}' targets a device kind with no resources in this configuration",
@@ -180,11 +307,12 @@ impl Omp {
         );
         self.ctx.delay(self.shared.cfg.task_overhead).expect("submit during shutdown");
         self.latch().add(1);
-        {
+        let handle = {
             let mut m = self.shared.master.lock();
             let id = TaskId(m.next_id);
             m.next_id += 1;
             let rec = Arc::new(spec.into_record(id));
+            let handle = TaskHandle { id, done: rec.done.clone() };
             let ready = match m.graph.add_task(id, &rec.desc.deps) {
                 Ok(r) => r,
                 Err(e) => panic!("invalid task submission: {e}"),
@@ -193,9 +321,11 @@ impl Omp {
                 m.sched.submit(&rec.desc, &self.shared.master_oracle);
             }
             m.records.insert(id, rec);
-        }
+            handle
+        };
         self.shared.master_bell.ring(&self.ctx);
         self.shared.comm_bell.ring(&self.ctx);
+        handle
     }
 
     fn latch(&self) -> &Latch {
@@ -229,6 +359,14 @@ impl Omp {
     /// (`taskwait noflush`).
     pub fn taskwait_noflush(&self) {
         self.latch().wait_zero(&self.ctx).expect("taskwait during shutdown");
+    }
+
+    /// Wait until one specific task (identified by the handle its
+    /// submission returned) has completed. Does not flush; pair with
+    /// [`taskwait_on`](Omp::taskwait_on) when the host must read the
+    /// task's output.
+    pub fn taskwait_on_handle(&self, handle: &TaskHandle) {
+        handle.done.wait(&self.ctx).expect("taskwait during shutdown");
     }
 
     /// Wait until the pending writer of `region` (if any) completes,
@@ -292,7 +430,8 @@ impl Runtime {
         let mut hosts = Vec::new();
         let mut gpu_spaces: Vec<Vec<SpaceId>> = Vec::new();
         for n in 0..cfg.nodes {
-            let host = mem.add_space(format!("node{n}:host"), SpaceKind::Host(n), None, cfg.host_mem);
+            let host =
+                mem.add_space(format!("node{n}:host"), SpaceKind::Host(n), None, cfg.host_mem);
             hosts.push(host);
             let mut gs = Vec::new();
             for g in 0..cfg.gpus_per_node {
@@ -314,14 +453,12 @@ impl Runtime {
             for (g, &gs) in gpu_spaces[n].iter().enumerate() {
                 topo.add_gpu(gs, hosts[n]);
                 node_of.insert(gs, n as u32);
-                gpus.insert(
-                    gs,
-                    GpuDevice::new(format!("node{n}:gpu{g}"), cfg.gpu_spec.clone()),
-                );
+                gpus.insert(gs, GpuDevice::new(format!("node{n}:gpu{g}"), cfg.gpu_spec.clone()));
             }
         }
 
         let tracer = cfg.tracing.then(Tracer::new);
+        let counters = Arc::new(Counters::new());
         let am: AmNet<crate::exec::ClusterMsg> = AmNet::new(cfg.fabric.clone());
         let pinned: Vec<Arc<PinnedPool>> =
             (0..cfg.nodes).map(|_| Arc::new(PinnedPool::new(cfg.pinned_pool))).collect();
@@ -334,6 +471,7 @@ impl Runtime {
             am_fabric(&am),
             cfg.overlap,
             tracer.clone(),
+            counters.clone(),
         ));
         let coh = Arc::new(
             Coherence::new(mem.clone(), topo, cfg.cache_policy)
@@ -386,12 +524,10 @@ impl Runtime {
             bell: Bell::new(),
             host: hosts[0],
         }];
-        let mut slave_oracles = vec![SpanOracle {
-            coh: coh.clone(),
-            spans: std::collections::HashMap::new(),
-        }];
-        let mut slave_res: Vec<(Vec<ompss_sched::ResourceId>, Vec<(ompss_sched::ResourceId, SpaceId)>)> =
-            vec![(Vec::new(), Vec::new())];
+        let mut slave_oracles =
+            vec![SpanOracle { coh: coh.clone(), spans: std::collections::HashMap::new() }];
+        type SlaveRes = (Vec<ompss_sched::ResourceId>, Vec<(ompss_sched::ResourceId, SpaceId)>);
+        let mut slave_res: Vec<SlaveRes> = vec![(Vec::new(), Vec::new())];
         for n in 1..cfg.nodes as usize {
             let mut s = Scheduler::new(cfg.sched_policy);
             let mut workers = Vec::new();
@@ -414,10 +550,8 @@ impl Runtime {
                 ));
             }
             slaves.push(SlaveState { sched: Mutex::new(s), bell: Bell::new(), host: hosts[n] });
-            slave_oracles.push(SpanOracle {
-                coh: coh.clone(),
-                spans: std::collections::HashMap::new(),
-            });
+            slave_oracles
+                .push(SpanOracle { coh: coh.clone(), spans: std::collections::HashMap::new() });
             slave_res.push((workers, gres));
         }
 
@@ -444,6 +578,7 @@ impl Runtime {
             gpus: gpus.clone(),
             hosts: hosts.clone(),
             tracer: tracer.clone(),
+            counters: counters.clone(),
         });
 
         // ---- processes ------------------------------------------------
@@ -511,18 +646,23 @@ impl Runtime {
         };
         let (start, end) = result.lock().take().expect("main completed");
         let m = shared.master.lock();
+        // HashMap iteration order is nondeterministic; the report sorts
+        // so identical runs serialise byte-identically.
+        let mut gpu_stats: Vec<(String, GpuStats)> =
+            gpus.values().map(|d| (d.name().to_string(), d.stats())).collect();
+        gpu_stats.sort_by(|a, b| a.0.cmp(&b.0));
         RunReport {
             elapsed: end - start,
             makespan: end,
             tasks: m.tasks_executed,
             net: am.stats(),
+            am: am.am_stats(),
             coherence: coh.stats(),
             sched: m.sched.stats(),
-            gpus: gpus
-                .iter()
-                .map(|(_, d)| (d.name().to_string(), d.stats()))
-                .collect(),
+            gpus: gpu_stats,
+            counters: counters.snapshot(),
             events: run.events,
+            clock_advances: run.clock_advances,
             trace: tracer.map(|t| t.take()),
         }
     }

@@ -88,45 +88,48 @@ impl TaskSpec {
         self
     }
 
-    /// `input(region)` dependence clause.
-    pub fn input(mut self, r: Region) -> Self {
-        self.deps.push(Access::input(r));
+    /// `input(region)` dependence clause. Accepts anything convertible
+    /// to a [`Region`] — e.g. an `ArrayHandle` for the whole array.
+    pub fn input(mut self, r: impl Into<Region>) -> Self {
+        self.deps.push(Access::input(r.into()));
         self
     }
 
     /// `output(region)` dependence clause.
-    pub fn output(mut self, r: Region) -> Self {
-        self.deps.push(Access::output(r));
+    pub fn output(mut self, r: impl Into<Region>) -> Self {
+        self.deps.push(Access::output(r.into()));
         self
     }
 
     /// `inout(region)` dependence clause.
-    pub fn inout(mut self, r: Region) -> Self {
-        self.deps.push(Access::inout(r));
+    pub fn inout(mut self, r: impl Into<Region>) -> Self {
+        self.deps.push(Access::inout(r.into()));
         self
     }
 
-    /// Disable `copy_deps` (dependence clauses stop implying copies).
-    pub fn no_copy_deps(mut self) -> Self {
-        self.copy_deps = false;
+    /// `copy_deps` / `no_copy_deps` choice on the target construct:
+    /// whether dependence clauses also imply copies (the OmpSs default
+    /// is yes; pass `false` to manage copies with explicit clauses).
+    pub fn copy_deps(mut self, enabled: bool) -> Self {
+        self.copy_deps = enabled;
         self
     }
 
     /// Explicit `copy_in` clause.
-    pub fn copy_in(mut self, r: Region) -> Self {
-        self.extra_copies.push(Access::input(r));
+    pub fn copy_in(mut self, r: impl Into<Region>) -> Self {
+        self.extra_copies.push(Access::input(r.into()));
         self
     }
 
     /// Explicit `copy_out` clause.
-    pub fn copy_out(mut self, r: Region) -> Self {
-        self.extra_copies.push(Access::output(r));
+    pub fn copy_out(mut self, r: impl Into<Region>) -> Self {
+        self.extra_copies.push(Access::output(r.into()));
         self
     }
 
     /// Explicit `copy_inout` clause.
-    pub fn copy_inout(mut self, r: Region) -> Self {
-        self.extra_copies.push(Access::inout(r));
+    pub fn copy_inout(mut self, r: impl Into<Region>) -> Self {
+        self.extra_copies.push(Access::inout(r.into()));
         self
     }
 
@@ -208,7 +211,7 @@ mod tests {
     #[test]
     fn no_copy_deps_with_explicit_copies() {
         let a = Region::new(DataId(0), 0, 64);
-        let rec = TaskSpec::new("t").inout(a).no_copy_deps().copy_in(a).into_record(TaskId(1));
+        let rec = TaskSpec::new("t").inout(a).copy_deps(false).copy_in(a).into_record(TaskId(1));
         assert_eq!(rec.copy_accesses().len(), 1);
         assert_eq!(rec.desc.deps.len(), 1);
     }

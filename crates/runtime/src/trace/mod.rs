@@ -5,18 +5,22 @@
 //! tools; this module records the equivalent events (task executions
 //! per resource, data transfers per medium) when
 //! [`RuntimeConfig::tracing`](crate::RuntimeConfig) is enabled, and can
-//! render them as CSV for external tooling or as a per-resource
-//! utilisation summary.
+//! render them as CSV for external tooling, as a per-resource
+//! utilisation summary, or as a Paraver `.prv`/`.row` trace pair via
+//! [`ParaverTrace`].
+
+mod paraver;
+
+pub use paraver::ParaverTrace;
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use ompss_sim::{SimDuration, SimTime};
-use serde::Serialize;
 
 /// Where a traced activity ran.
-#[derive(Debug, Clone, Serialize, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceResource {
     /// Cluster node index.
     pub node: u32,
@@ -25,7 +29,7 @@ pub struct TraceResource {
 }
 
 /// One traced event.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub enum TraceEvent {
     /// A task body executed on a resource.
     Task {

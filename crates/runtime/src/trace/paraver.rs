@@ -1,0 +1,220 @@
+//! Paraver trace export.
+//!
+//! BSC's Paraver visualiser consumes a `.prv` record file plus a `.row`
+//! naming file; Nanos++ instrumented runs produced exactly that pair.
+//! This exporter renders the runtime's [`TraceEvent`] stream in the
+//! same format so recorded runs load into the same tooling the paper's
+//! authors used.
+//!
+//! Mapping: every traced resource (`node0.worker0`, `node1.gpu2`, …)
+//! becomes one Paraver *thread* of a single application, in `.row`
+//! order; each transfer medium (`pcie`, `network`) becomes one extra
+//! synthetic thread carrying transfer states. Task executions are state
+//! records (state [`STATE_RUNNING`]) with a paired event record giving
+//! the kernel label id; transfers are state records on their medium's
+//! thread with an event carrying the byte count.
+//!
+//! The header's date field is fixed at a constant: the export is a pure
+//! function of the events, so identical runs produce byte-identical
+//! trace pairs (the observability subsystem's determinism contract).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ompss_sim::SimTime;
+
+use super::{TraceEvent, TraceResource};
+
+/// Paraver state value for "running a task body".
+pub const STATE_RUNNING: u32 = 1;
+/// Paraver state value for "bytes on the wire" on a medium thread.
+pub const STATE_TRANSFER: u32 = 12;
+/// Event type carrying the task label id (0 = end of task).
+pub const EVENT_TASK_LABEL: u64 = 60_000_001;
+/// Event type carrying a transfer's payload bytes (0 = end).
+pub const EVENT_TRANSFER_BYTES: u64 = 60_000_002;
+
+/// A rendered Paraver trace pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParaverTrace {
+    /// The `.prv` record file contents.
+    pub prv: String,
+    /// The `.row` object-naming file contents.
+    pub row: String,
+}
+
+impl ParaverTrace {
+    /// Render `events` (as drained from the tracer, i.e. sorted by
+    /// start time) over a run of length `makespan`.
+    pub fn from_events(events: &[TraceEvent], makespan: SimTime) -> Self {
+        // Stable object numbering: traced resources sorted by
+        // (node, name), then the media threads.
+        let mut resources: BTreeMap<TraceResource, usize> = BTreeMap::new();
+        let mut media: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for e in events {
+            match e {
+                TraceEvent::Task { resource, .. } => {
+                    let next = resources.len();
+                    resources.entry(resource.clone()).or_insert(next);
+                }
+                TraceEvent::Transfer { medium, .. } => {
+                    media.entry(medium).or_insert(0);
+                }
+            }
+        }
+        // BTreeMap insertion above can assign ids out of key order;
+        // renumber in key order.
+        for (i, (_, id)) in resources.iter_mut().enumerate() {
+            *id = i;
+        }
+        let base = resources.len();
+        for (i, (_, id)) in media.iter_mut().enumerate() {
+            *id = base + i;
+        }
+        let labels: BTreeMap<String, usize> = {
+            let mut set: Vec<String> = events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Task { label, .. } => Some(label.clone()),
+                    _ => None,
+                })
+                .collect();
+            set.sort();
+            set.dedup();
+            set.into_iter().enumerate().map(|(i, l)| (l, i + 1)).collect()
+        };
+
+        let nthreads = base + media.len();
+        let mut prv = String::new();
+        // Header. The date is constant by design (see module docs); the
+        // object hierarchy is 1 node × nthreads CPUs, 1 application
+        // whose single task has nthreads threads.
+        let _ = writeln!(
+            prv,
+            "#Paraver (01/01/2012 at 00:00):{}_ns:1({nthreads}):1:1({nthreads}:1)",
+            makespan.as_nanos()
+        );
+        let mut records: Vec<(u64, usize, String)> = Vec::new();
+        for e in events {
+            match e {
+                TraceEvent::Task { task: _, label, resource, start, end } => {
+                    let obj = resources[resource] + 1;
+                    let (s, t) = (start.as_nanos(), end.as_nanos());
+                    let lid = labels[label];
+                    records.push((s, obj, format!("1:{obj}:1:1:{obj}:{s}:{t}:{STATE_RUNNING}")));
+                    records.push((
+                        s,
+                        obj,
+                        format!("2:{obj}:1:1:{obj}:{s}:{EVENT_TASK_LABEL}:{lid}"),
+                    ));
+                    records.push((t, obj, format!("2:{obj}:1:1:{obj}:{t}:{EVENT_TASK_LABEL}:0")));
+                }
+                TraceEvent::Transfer { medium, bytes, start, end } => {
+                    let obj = media[medium] + 1;
+                    let (s, t) = (start.as_nanos(), end.as_nanos());
+                    records.push((s, obj, format!("1:{obj}:1:1:{obj}:{s}:{t}:{STATE_TRANSFER}")));
+                    records.push((
+                        s,
+                        obj,
+                        format!("2:{obj}:1:1:{obj}:{s}:{EVENT_TRANSFER_BYTES}:{bytes}"),
+                    ));
+                    records.push((
+                        t,
+                        obj,
+                        format!("2:{obj}:1:1:{obj}:{t}:{EVENT_TRANSFER_BYTES}:0"),
+                    ));
+                }
+            }
+        }
+        // Paraver wants records ordered by time; tie-break on object id
+        // then text for full determinism.
+        records.sort();
+        for (_, _, line) in &records {
+            prv.push_str(line);
+            prv.push('\n');
+        }
+
+        let mut row = String::new();
+        let _ = writeln!(row, "LEVEL THREAD SIZE {nthreads}");
+        for r in resources.keys() {
+            let _ = writeln!(row, "node{}.{}", r.node, r.name);
+        }
+        for m in media.keys() {
+            let _ = writeln!(row, "transfers.{m}");
+        }
+        ParaverTrace { prv, row }
+    }
+
+    /// Write `<stem>.prv` and `<stem>.row` under `dir`; returns both
+    /// paths.
+    pub fn save(&self, dir: &Path, stem: &str) -> io::Result<(PathBuf, PathBuf)> {
+        fs::create_dir_all(dir)?;
+        let prv_path = dir.join(format!("{stem}.prv"));
+        let row_path = dir.join(format!("{stem}.row"));
+        fs::write(&prv_path, &self.prv)?;
+        fs::write(&row_path, &self.row)?;
+        Ok((prv_path, row_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task_ev(task: u64, node: u32, name: &str, label: &str, s: u64, e: u64) -> TraceEvent {
+        TraceEvent::Task {
+            task,
+            label: label.into(),
+            resource: TraceResource { node, name: name.into() },
+            start: SimTime(s),
+            end: SimTime(e),
+        }
+    }
+
+    #[test]
+    fn header_names_objects_and_endtime() {
+        let evs = vec![task_ev(1, 0, "gpu0", "k", 0, 10), task_ev(2, 1, "worker0", "k", 5, 25)];
+        let p = ParaverTrace::from_events(&evs, SimTime(25));
+        assert!(p.prv.starts_with("#Paraver (01/01/2012 at 00:00):25_ns:1(2):1:1(2:1)\n"));
+        assert_eq!(p.row, "LEVEL THREAD SIZE 2\nnode0.gpu0\nnode1.worker0\n");
+    }
+
+    #[test]
+    fn task_becomes_state_plus_label_events() {
+        let evs = vec![task_ev(7, 0, "worker0", "scale", 10, 40)];
+        let p = ParaverTrace::from_events(&evs, SimTime(40));
+        let lines: Vec<&str> = p.prv.lines().collect();
+        assert_eq!(lines[1], format!("1:1:1:1:1:10:40:{STATE_RUNNING}"));
+        assert_eq!(lines[2], format!("2:1:1:1:1:10:{EVENT_TASK_LABEL}:1"));
+        assert_eq!(lines[3], format!("2:1:1:1:1:40:{EVENT_TASK_LABEL}:0"));
+    }
+
+    #[test]
+    fn transfers_ride_a_medium_thread() {
+        let evs = vec![
+            task_ev(1, 0, "gpu0", "k", 0, 10),
+            TraceEvent::Transfer { medium: "pcie", bytes: 512, start: SimTime(2), end: SimTime(6) },
+        ];
+        let p = ParaverTrace::from_events(&evs, SimTime(10));
+        // Object 2 is the pcie medium thread (after 1 resource).
+        assert!(p.prv.contains(&format!("1:2:1:1:2:2:6:{STATE_TRANSFER}")));
+        assert!(p.prv.contains(&format!("2:2:1:1:2:2:{EVENT_TRANSFER_BYTES}:512")));
+        assert!(p.row.ends_with("transfers.pcie\n"));
+    }
+
+    #[test]
+    fn records_are_time_sorted_and_deterministic() {
+        let evs = vec![task_ev(2, 0, "b", "k2", 50, 80), task_ev(1, 0, "a", "k1", 10, 40)];
+        let p1 = ParaverTrace::from_events(&evs, SimTime(80));
+        let p2 = ParaverTrace::from_events(&evs, SimTime(80));
+        assert_eq!(p1, p2);
+        let times: Vec<u64> =
+            p1.prv.lines().skip(1).map(|l| l.split(':').nth(5).unwrap().parse().unwrap()).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+}

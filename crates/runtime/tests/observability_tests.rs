@@ -1,0 +1,194 @@
+//! Observability contract tests: the RunReport is complete,
+//! deterministic to the byte, and its counters are physically
+//! consistent; Paraver export round-trips a real run; the TaskHandle
+//! API waits on exactly the named task.
+
+use proptest::prelude::*;
+
+use ompss_json::ToJson;
+use ompss_mem::cast_slice_mut;
+use ompss_runtime::{
+    Backing, Device, ParaverTrace, RunReport, Runtime, RuntimeConfig, SimDuration, TaskSpec,
+};
+
+/// A small mixed SMP/CUDA workload exercising transfers on every
+/// medium of the given machine.
+fn workload(cfg: RuntimeConfig) -> RunReport {
+    Runtime::run(cfg, |omp| {
+        let a = omp.alloc_array::<f32>(4096);
+        omp.write_array(&a, 0, &vec![1.0f32; 4096]);
+        for step in 0..3 {
+            for chunk in 0..8 {
+                let r = a.region(chunk * 512..(chunk + 1) * 512);
+                let dev = if (step + chunk) % 2 == 0 { Device::Cuda } else { Device::Smp };
+                omp.submit(
+                    TaskSpec::new("scale")
+                        .device(dev)
+                        .inout(r)
+                        .cost_smp(SimDuration::from_micros(40))
+                        .body(|v| {
+                            for x in cast_slice_mut::<f32>(v[0]) {
+                                *x *= 2.0;
+                            }
+                        }),
+                );
+            }
+            omp.taskwait();
+        }
+    })
+}
+
+#[test]
+fn run_reports_are_byte_identical_multigpu() {
+    let r1 = workload(RuntimeConfig::multi_gpu(2));
+    let r2 = workload(RuntimeConfig::multi_gpu(2));
+    assert_eq!(r1.to_json().to_pretty_string(), r2.to_json().to_pretty_string());
+}
+
+#[test]
+fn run_reports_are_byte_identical_cluster() {
+    let r1 = workload(RuntimeConfig::gpu_cluster(2));
+    let r2 = workload(RuntimeConfig::gpu_cluster(2));
+    assert_eq!(r1.to_json().to_pretty_string(), r2.to_json().to_pretty_string());
+}
+
+#[test]
+fn report_counters_are_populated() {
+    let r = workload(RuntimeConfig::gpu_cluster(2));
+    assert_eq!(r.tasks, 24);
+    // Tasks ran on both nodes' resources and busy time was recorded.
+    assert!(!r.counters.resources.is_empty());
+    let total_tasks: u64 = r.counters.resources.iter().map(|(_, b)| b.tasks).sum();
+    assert_eq!(total_tasks, 24);
+    // Data crossed both media: PCIe to reach GPUs, the fabric to reach
+    // the slave node.
+    let c = &r.counters;
+    assert!(c.pcie_pinned_bytes + c.pcie_pageable_bytes > 0, "no PCIe traffic counted");
+    assert!(c.net_mts_bytes + c.net_sts_bytes + c.net_presend_bytes > 0, "no fabric traffic");
+    // The AM-kind counters saw the task-offload protocol: Exec out to
+    // the slave, Done back, data messages for the region payloads.
+    assert!(c.am_exec > 0, "no Exec AMs counted");
+    assert!(c.am_done > 0, "no Done AMs counted");
+    assert!(c.am_data > 0, "no data AMs counted");
+    // Utilisation is derived per resource and bounded.
+    for (_, _, _, _, u) in r.utilisation() {
+        assert!((0.0..=1.0).contains(&u), "utilisation {u} out of range");
+    }
+}
+
+#[test]
+fn report_json_exposes_every_section() {
+    let r = workload(RuntimeConfig::multi_gpu(2));
+    let s = r.to_json().to_pretty_string();
+    for key in
+        ["makespan_ns", "tasks", "net", "coherence", "sched", "gpus", "counters", "utilisation"]
+    {
+        assert!(s.contains(&format!("\"{key}\"")), "missing {key} in report JSON");
+    }
+}
+
+#[test]
+fn paraver_export_round_trips_real_runs() {
+    for cfg in [RuntimeConfig::multi_gpu(2), RuntimeConfig::gpu_cluster(2)] {
+        let r = Runtime::run(cfg.with_tracing(true), |omp| {
+            let a = omp.alloc_array::<f32>(1024);
+            for chunk in 0..4 {
+                let reg = a.region(chunk * 256..(chunk + 1) * 256);
+                omp.submit(
+                    TaskSpec::new("k")
+                        .device(Device::Cuda)
+                        .inout(reg)
+                        .cost_smp(SimDuration::from_micros(10)),
+                );
+            }
+            omp.taskwait();
+        });
+        let events = r.trace.as_deref().expect("tracing enabled");
+        assert!(!events.is_empty());
+        let p = ParaverTrace::from_events(events, r.makespan);
+        assert!(p.prv.starts_with("#Paraver"));
+        assert!(p.prv.contains(&format!(":{}_ns:", r.makespan.as_nanos())));
+        // Every record line is state (1) or event (2) with 8 resp. 8 fields.
+        for line in p.prv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(':').collect();
+            assert!(matches!(fields[0], "1" | "2"), "unknown record {line}");
+            assert_eq!(fields.len(), 8, "malformed record {line}");
+        }
+        let mut rows = p.row.lines();
+        let header = rows.next().unwrap();
+        let n: usize = header.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(rows.count(), n, "row count disagrees with header");
+    }
+}
+
+#[test]
+fn task_handles_wait_on_the_named_task() {
+    let report = Runtime::run(RuntimeConfig::multi_gpu(1), |omp| {
+        let a = omp.alloc_array::<f32>(256);
+        omp.write_array(&a, 0, &vec![1.0f32; 256]);
+        let slow = omp.submit(
+            TaskSpec::new("slow")
+                .device(Device::Smp)
+                .inout(a.region(0..128))
+                .cost_smp(SimDuration::from_millis(5))
+                .body(|v| cast_slice_mut::<f32>(v[0]).fill(3.0)),
+        );
+        let fast = omp.submit(
+            TaskSpec::new("fast")
+                .device(Device::Smp)
+                .inout(a.region(128..256))
+                .cost_smp(SimDuration::from_micros(1))
+                .body(|v| cast_slice_mut::<f32>(v[0]).fill(7.0)),
+        );
+        assert_ne!(slow.id(), fast.id());
+        omp.taskwait_on_handle(&slow);
+        omp.taskwait_on_handle(&fast);
+        // Both bodies have run; the final taskwait flushes the data.
+        omp.taskwait();
+        assert_eq!(omp.read_array(&a, 0..1).unwrap(), vec![3.0]);
+        assert_eq!(omp.read_array(&a, 128..129).unwrap(), vec![7.0]);
+    });
+    assert_eq!(report.tasks, 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Physical consistency: a resource is a serial executor, so its
+    /// recorded busy time can never exceed the run's makespan.
+    #[test]
+    fn busy_time_never_exceeds_makespan(
+        ntasks in 1usize..20,
+        cost_us in 1u64..200,
+        machine in 0u8..3,
+    ) {
+        let cfg = match machine {
+            0 => RuntimeConfig::multi_gpu(1),
+            1 => RuntimeConfig::multi_gpu(3),
+            _ => RuntimeConfig::gpu_cluster(2),
+        }
+        .with_backing(Backing::Phantom);
+        let r = Runtime::run(cfg, move |omp| {
+            let a = omp.alloc_array::<f32>(64 * ntasks);
+            for i in 0..ntasks {
+                let reg = a.region(i * 64..(i + 1) * 64);
+                let dev = if i % 2 == 0 { Device::Cuda } else { Device::Smp };
+                omp.submit(
+                    TaskSpec::new("t")
+                        .device(dev)
+                        .inout(reg)
+                        .cost_smp(SimDuration::from_micros(cost_us)),
+                );
+            }
+            omp.taskwait();
+        });
+        let makespan = r.makespan.as_nanos();
+        for ((node, name), b) in &r.counters.resources {
+            prop_assert!(
+                b.busy_ns <= makespan,
+                "resource node{}.{} busy {}ns > makespan {makespan}ns",
+                node, name, b.busy_ns,
+            );
+        }
+    }
+}

@@ -31,11 +31,7 @@ struct GenTask {
 }
 
 fn gen_task() -> impl Strategy<Value = GenTask> {
-    (
-        proptest::collection::vec((0usize..ARRAYS, 0usize..SLOTS), 1..3),
-        0u8..100,
-        any::<bool>(),
-    )
+    (proptest::collection::vec((0usize..ARRAYS, 0usize..SLOTS), 1..3), 0u8..100, any::<bool>())
         .prop_map(|(mut targets, c, cuda)| {
             targets.sort();
             targets.dedup();
@@ -50,9 +46,7 @@ fn machine(sel: u8) -> RuntimeConfig {
         2 => RuntimeConfig::gpu_cluster(2)
             .with_sched(Policy::BreadthFirst)
             .with_cache(CachePolicy::WriteThrough),
-        _ => RuntimeConfig::gpu_cluster(3)
-            .with_routing(SlaveRouting::ViaMaster)
-            .with_presend(2),
+        _ => RuntimeConfig::gpu_cluster(3).with_routing(SlaveRouting::ViaMaster).with_presend(2),
     }
 }
 

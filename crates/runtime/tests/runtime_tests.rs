@@ -24,9 +24,7 @@ fn run_scale(cfg: RuntimeConfig, device: Device, n: usize, bs: usize) -> (Vec<f3
             });
             let spec = match device {
                 Device::Smp => spec.cost_smp(SimDuration::from_micros(100)),
-                Device::Cuda => {
-                    spec.cost_gpu(KernelCost::memory_bound((bs * 8) as f64, 0.8))
-                }
+                Device::Cuda => spec.cost_gpu(KernelCost::memory_bound((bs * 8) as f64, 0.8)),
             };
             omp.submit(spec);
         }
@@ -85,8 +83,7 @@ fn cluster_smp_tasks_distribute() {
 fn cluster_routing_and_presend_options_preserve_results() {
     for routing in [SlaveRouting::ViaMaster, SlaveRouting::Direct] {
         for presend in [0u32, 2] {
-            let cfg =
-                RuntimeConfig::gpu_cluster(4).with_routing(routing).with_presend(presend);
+            let cfg = RuntimeConfig::gpu_cluster(4).with_routing(routing).with_presend(presend);
             let (v, _) = run_scale(cfg, Device::Cuda, 2048, 128);
             assert_eq!(v, expect_scaled(2048), "routing={routing:?} presend={presend}");
         }
@@ -386,14 +383,10 @@ fn tracing_records_tasks_and_transfers() {
         omp.taskwait();
     });
     let trace = report.trace.expect("tracing enabled");
-    let tasks = trace
-        .iter()
-        .filter(|e| matches!(e, ompss_runtime::TraceEvent::Task { .. }))
-        .count();
-    let transfers = trace
-        .iter()
-        .filter(|e| matches!(e, ompss_runtime::TraceEvent::Transfer { .. }))
-        .count();
+    let tasks =
+        trace.iter().filter(|e| matches!(e, ompss_runtime::TraceEvent::Task { .. })).count();
+    let transfers =
+        trace.iter().filter(|e| matches!(e, ompss_runtime::TraceEvent::Transfer { .. })).count();
     assert_eq!(tasks as u64, report.tasks);
     assert!(transfers > 0, "cluster run must record transfers");
     // Every interval is well-formed and within the makespan.
@@ -491,7 +484,14 @@ fn env_overrides_parse() {
     assert_eq!(cfg.presend, 7);
     assert!(!cfg.overlap);
     assert!(cfg.tracing);
-    for k in ["OMPSS_SCHEDULE", "OMPSS_CACHE_POLICY", "OMPSS_ROUTING", "OMPSS_PRESEND", "OMPSS_OVERLAP", "OMPSS_TRACE"] {
+    for k in [
+        "OMPSS_SCHEDULE",
+        "OMPSS_CACHE_POLICY",
+        "OMPSS_ROUTING",
+        "OMPSS_PRESEND",
+        "OMPSS_OVERLAP",
+        "OMPSS_TRACE",
+    ] {
         std::env::remove_var(k);
     }
 }

@@ -126,6 +126,10 @@ pub struct SchedStats {
     pub steals: u64,
     /// Tasks run via the successor-first hint (dependencies policy).
     pub successor_hits: u64,
+    /// Tasks ever enqueued (submissions plus released successors).
+    pub submitted: u64,
+    /// High-water mark of the ready-queue depth.
+    pub max_queued: u64,
 }
 
 /// The scheduling policy selected for a run (`NX_SCHEDULE` in Nanos++).
@@ -205,10 +209,16 @@ impl Scheduler {
         self.stats.clone()
     }
 
+    fn note_enqueue(&mut self) {
+        self.stats.submitted += 1;
+        self.stats.max_queued = self.stats.max_queued.max(self.queued as u64);
+    }
+
     /// Enqueue a ready task.
     pub fn submit(&mut self, desc: &TaskDesc, oracle: &dyn LocalityOracle) {
         let task = SchedTask::from_desc(desc);
         self.queued += 1;
+        self.note_enqueue();
         match self.policy {
             Policy::BreadthFirst | Policy::Dependencies => self.global.push_back(task),
             Policy::Affinity => self.place_by_affinity(task, oracle),
@@ -231,6 +241,7 @@ impl Scheduler {
                 for desc in ready_successors {
                     let task = SchedTask::from_desc(desc);
                     self.queued += 1;
+                    self.note_enqueue();
                     if !hinted && self.resources[resource.0].kind.accepts(task.device) {
                         self.hints[resource.0].push_back(task);
                         hinted = true;
@@ -299,28 +310,28 @@ impl Scheduler {
         fn pick(q: &VecDeque<SchedTask>, accepts: impl Fn(&SchedTask) -> bool) -> Option<usize> {
             let mut best: Option<(i32, usize)> = None;
             for (i, t) in q.iter().enumerate() {
-                if accepts(t) && best.map_or(true, |(bp, _)| t.priority > bp) {
+                if accepts(t) && best.is_none_or(|(bp, _)| t.priority > bp) {
                     best = Some((t.priority, i));
                 }
             }
             best.map(|(_, i)| i)
         }
 
-        if let Some(pos) = pick(&self.hints[resource.0], &accepts) {
+        if let Some(pos) = pick(&self.hints[resource.0], accepts) {
             let t = self.hints[resource.0].remove(pos).expect("position valid");
             self.queued -= 1;
             self.stats.successor_hits += 1;
             return Some(t.id);
         }
 
-        if let Some(pos) = pick(&self.local[resource.0], &accepts) {
+        if let Some(pos) = pick(&self.local[resource.0], accepts) {
             let t = self.local[resource.0].remove(pos).expect("position valid");
             self.queued -= 1;
             self.stats.local_hits += 1;
             return Some(t.id);
         }
 
-        if let Some(pos) = pick(&self.global, &accepts) {
+        if let Some(pos) = pick(&self.global, accepts) {
             let t = self.global.remove(pos).expect("position valid");
             self.queued -= 1;
             self.stats.global_hits += 1;

@@ -151,6 +151,7 @@ pub(crate) struct Kernel {
     live_non_daemon: usize,
     shutdown: bool,
     events_processed: u64,
+    clock_advances: u64,
     panics: Vec<(String, String)>,
 }
 
@@ -221,6 +222,7 @@ impl Sim {
                     live_non_daemon: 0,
                     shutdown: false,
                     events_processed: 0,
+                    clock_advances: 0,
                     panics: Vec::new(),
                 }),
             }),
@@ -272,6 +274,9 @@ impl Sim {
                             slot.phase = Phase::Running;
                             slot.epoch += 1;
                             let ctrl = slot.ctrl.clone();
+                            if ev.time > k.now {
+                                k.clock_advances += 1;
+                            }
                             k.now = ev.time;
                             k.events_processed += 1;
                             break Some(ctrl);
@@ -339,7 +344,12 @@ impl Sim {
         if !deadlocked.is_empty() {
             return Err(RunError::Deadlock(deadlocked));
         }
-        Ok(RunReport { end_time: k.now, events: k.events_processed, processes: k.procs.len() })
+        Ok(RunReport {
+            end_time: k.now,
+            events: k.events_processed,
+            clock_advances: k.clock_advances,
+            processes: k.procs.len(),
+        })
     }
 }
 

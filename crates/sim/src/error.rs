@@ -35,6 +35,10 @@ pub struct RunReport {
     pub end_time: crate::SimTime,
     /// Number of events the kernel dispatched.
     pub events: u64,
+    /// Number of times the virtual clock moved forward (distinct event
+    /// timestamps dispatched) — the simulation's "clock tick" count for
+    /// observability reports.
+    pub clock_advances: u64,
     /// Number of processes ever spawned.
     pub processes: usize,
 }

@@ -61,7 +61,10 @@ impl Semaphore {
             {
                 let mut inner = self.inner.lock();
                 let at_head = inner.waiters.front().map(|&(pid, _)| pid) == Some(ctx.pid());
-                if inner.permits >= n && (!registered || at_head) && (registered || inner.waiters.is_empty()) {
+                if inner.permits >= n
+                    && (!registered || at_head)
+                    && (registered || inner.waiters.is_empty())
+                {
                     if registered {
                         inner.waiters.pop_front();
                         // Wake the next head in case permits remain for it.

@@ -11,8 +11,8 @@
 //! Run with: `cargo run --release --example custom_machine`
 
 use ompss::apps::matmul::{self, ompss::InitMode, MatmulParams};
+use ompss::prelude::*;
 use ompss::substrate::{CopyDir, GpuDevice, Sim};
-use ompss::{Backing, GpuSpec, KernelCost, RuntimeConfig, SimDuration};
 
 fn main() {
     // Part 1: drive the simulated CUDA layer directly — the substrate
@@ -41,9 +41,7 @@ fn main() {
     println!("\nmatmul 12288^2 on 8 nodes vs interconnect bandwidth:");
     println!("{:<18}{:>12}", "fabric (GB/s)", "GFLOPS");
     for bw in [0.4e9, 0.8e9, 1.6e9, 3.2e9, 6.4e9] {
-        let mut cfg = RuntimeConfig::gpu_cluster(8)
-            .with_backing(Backing::Phantom)
-            .with_presend(8);
+        let mut cfg = RuntimeConfig::gpu_cluster(8).with_backing(Backing::Phantom).with_presend(8);
         cfg.fabric.bandwidth = bw;
         let r = matmul::ompss::run(cfg, p, InitMode::Smp);
         println!("{:<18}{:>12.0}", bw / 1e9, r.metric);

@@ -9,18 +9,12 @@
 //! Run with: `cargo run --release --example matmul_cluster`
 
 use ompss::apps::matmul::{self, ompss::InitMode, MatmulParams};
+use ompss::prelude::*;
 use ompss::substrate::FabricConfig;
-use ompss::{Backing, GpuSpec, RuntimeConfig, SlaveRouting};
 
 fn main() {
     let p = MatmulParams::paper();
-    println!(
-        "Matrix multiply {}x{} single precision, {}x{} tiles\n",
-        p.n(),
-        p.n(),
-        p.bs,
-        p.bs
-    );
+    println!("Matrix multiply {}x{} single precision, {}x{} tiles\n", p.n(), p.n(), p.bs, p.bs);
     println!(
         "{:<8}{:>14}{:>14}{:>16}{:>14}",
         "nodes", "naive (GF)", "best (GF)", "MPI+CUDA (GF)", "best config"

@@ -11,8 +11,8 @@
 
 use ompss::apps::common::rel_error;
 use ompss::apps::nbody::{self, NbodyParams};
+use ompss::prelude::*;
 use ompss::substrate::FabricConfig;
-use ompss::{Backing, GpuSpec, RuntimeConfig, SlaveRouting};
 
 fn main() {
     // First: a small validated run — the cluster must produce exactly

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example perlin_pipeline`
 
 use ompss::apps::perlin::{self, PerlinParams};
-use ompss::{Backing, Policy, RuntimeConfig};
+use ompss::prelude::*;
 
 fn main() {
     // Small validated run first: identical pixels to the serial filter.

@@ -8,7 +8,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ompss::{cast_slice, cast_slice_mut, Device, KernelCost, Runtime, RuntimeConfig, TaskSpec};
+use ompss::prelude::*;
+use ompss::{cast_slice, cast_slice_mut};
 
 const N: usize = 1 << 14;
 const BS: usize = 1 << 11;
@@ -32,7 +33,9 @@ fn saxpy(omp: &ompss::Omp) -> Vec<f32> {
                 .cost_gpu(KernelCost::memory_bound((BS * 12) as f64, 0.8))
                 .body(|v| {
                     let (xs, ys) = v.split_first_mut().unwrap();
-                    for (yv, xv) in cast_slice_mut::<f32>(ys[0]).iter_mut().zip(cast_slice::<f32>(xs)) {
+                    for (yv, xv) in
+                        cast_slice_mut::<f32>(ys[0]).iter_mut().zip(cast_slice::<f32>(xs))
+                    {
                         *yv += A * xv;
                     }
                 }),

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example stream_multigpu`
 
 use ompss::apps::stream::{self, StreamParams};
-use ompss::{Backing, CachePolicy, Policy, RuntimeConfig};
+use ompss::prelude::*;
 
 fn main() {
     println!("STREAM (copy/scale/add/triad), 768 MB of arrays per GPU\n");
@@ -18,9 +18,8 @@ fn main() {
         let p = StreamParams::paper(gpus as usize);
         let mut row = format!("{gpus:<10}");
         for cache in [CachePolicy::NoCache, CachePolicy::WriteThrough, CachePolicy::WriteBack] {
-            let cfg = RuntimeConfig::multi_gpu(gpus)
-                .with_backing(Backing::Phantom)
-                .with_cache(cache);
+            let cfg =
+                RuntimeConfig::multi_gpu(gpus).with_backing(Backing::Phantom).with_cache(cache);
             let r = stream::ompss::run(cfg, p);
             row.push_str(&format!("{:>12.1}", r.metric));
         }

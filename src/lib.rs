@@ -48,12 +48,36 @@
 pub use ompss_core::{Device, TaskGraph, TaskId};
 pub use ompss_cudasim::{GpuSpec, KernelCost};
 pub use ompss_mem::{cast_slice, cast_slice_mut, Backing, Region};
-pub use ompss_runtime::{
-    ArrayHandle, CachePolicy, Omp, Policy, Runtime, RunReport, RuntimeConfig, SimDuration,
-    SimTime, TaskCost, TaskSpec,
-};
-pub use ompss_runtime::SlaveRouting;
 pub use ompss_runtime::trace;
+pub use ompss_runtime::SlaveRouting;
+pub use ompss_runtime::{
+    ArrayHandle, CachePolicy, CounterSnapshot, Omp, ParaverTrace, Policy, RunReport, Runtime,
+    RuntimeConfig, SimDuration, SimTime, TaskCost, TaskHandle, TaskSpec,
+};
+
+/// Everything an annotated program needs, in one import.
+///
+/// ```
+/// use ompss::prelude::*;
+///
+/// let report = Runtime::run(RuntimeConfig::multi_gpu(1), |omp| {
+///     let a = omp.alloc_array::<f32>(256);
+///     // A bare handle in a clause means the whole array; `submit`
+///     // returns a handle for `taskwait on`-style point waits.
+///     let h = omp.submit(TaskSpec::new("init").device(Device::Smp).output(a));
+///     omp.taskwait_on_handle(&h);
+/// });
+/// assert_eq!(report.tasks, 1);
+/// ```
+pub mod prelude {
+    pub use ompss_core::Device;
+    pub use ompss_cudasim::{GpuSpec, KernelCost};
+    pub use ompss_mem::{Backing, Region};
+    pub use ompss_runtime::{
+        ArrayHandle, CachePolicy, Omp, Policy, RunReport, Runtime, RuntimeConfig, SimDuration,
+        SlaveRouting, TaskHandle, TaskSpec,
+    };
+}
 
 /// The evaluation applications (Matmul, STREAM, Perlin, N-Body) in
 /// serial / CUDA / MPI+CUDA / OmpSs versions.

@@ -82,9 +82,8 @@ fn heterogeneous_cpu_gpu_pipeline_validates() {
 fn matmul_small_validates_and_paper_scale_times() {
     let small = MatmulParams::validate();
     let reference = matmul::serial::run(small);
-    let got = matmul::ompss::run(RuntimeConfig::gpu_cluster(4), small, InitMode::Smp)
-        .check
-        .unwrap();
+    let got =
+        matmul::ompss::run(RuntimeConfig::gpu_cluster(4), small, InitMode::Smp).check.unwrap();
     assert!(rel_error(&got, &reference) < 1e-6);
 
     let paper = MatmulParams::paper();
@@ -198,9 +197,8 @@ fn taskwait_variants_through_facade() {
 /// reports consistent accounting.
 #[test]
 fn large_cluster_mixed_device_accounting() {
-    let report = Runtime::run(
-        RuntimeConfig::gpu_cluster(8).with_backing(Backing::Phantom),
-        |omp| {
+    let report =
+        Runtime::run(RuntimeConfig::gpu_cluster(8).with_backing(Backing::Phantom), |omp| {
             let a = omp.alloc_array::<f32>(64 * 1024);
             for j in (0..64 * 1024).step_by(4096) {
                 let r = a.region(j..j + 4096);
@@ -222,8 +220,7 @@ fn large_cluster_mixed_device_accounting() {
                 );
             }
             omp.taskwait();
-        },
-    );
+        });
     assert_eq!(report.tasks, 32);
     assert_eq!(report.gpus.len(), 8);
     let kernels: u64 = report.gpus.iter().map(|(_, g)| g.kernels).sum();
