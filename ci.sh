@@ -1,10 +1,22 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, build, tests.
+# Full CI gate: formatting, lints, build, tests, clause verification.
 #
 #   ./ci.sh          # everything
-#   ./ci.sh quick    # skip the release build (lints + tests only)
+#   ./ci.sh quick    # skip the release build (lints + tests + verify)
+#   ./ci.sh verify   # only the ompss-verify sweep over the apps
 set -euo pipefail
 cd "$(dirname "$0")"
+
+verify() {
+    echo "==> ompss-verify (all apps, multi-GPU + cluster, schedule sweep)"
+    cargo run -q --release -p ompss-verify --bin verify -- --all
+}
+
+if [[ "${1:-}" == "verify" ]]; then
+    verify
+    echo "CI green."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -19,5 +31,7 @@ fi
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+verify
 
 echo "CI green."

@@ -3,6 +3,7 @@
 //! the C tile. The runtime distributes tiles over GPUs and nodes,
 //! caches them, and keeps the dependence chains per C tile.
 
+use ompss_mem::track;
 use ompss_runtime::{task_views, Device, Omp, Runtime, RuntimeConfig, TaskSpec};
 
 use crate::common::{gflops, AppRun, PhaseTimer};
@@ -86,15 +87,22 @@ fn submit_gemms(
     for i in 0..p.tiles {
         for j in 0..p.tiles {
             for k in 0..p.tiles {
+                let ra = a.region(p.tile_range(i, k));
+                let rb = b.region(p.tile_range(k, j));
+                let rc = c.region(p.tile_range(i, j));
                 omp.submit(
                     TaskSpec::new("sgemm")
                         .device(Device::Cuda)
-                        .input(a.region(p.tile_range(i, k)))
-                        .input(b.region(p.tile_range(k, j)))
-                        .inout(c.region(p.tile_range(i, j)))
+                        .input(ra)
+                        .input(rb)
+                        .inout(rc)
                         .cost_gpu(p.gemm_cost())
                         .body(move |v| {
                             task_views!(v => at: f32, bt: f32, ct: f32);
+                            track::record_read(ra);
+                            track::record_read(rb);
+                            track::record_read(rc);
+                            track::record_write(rc);
                             sgemm_tile(at, bt, ct, bs);
                         }),
                 );
@@ -117,16 +125,16 @@ fn submit_inits(
         for j in 0..p.tiles {
             let range = p.tile_range(i, j);
             let base = range.start;
+            let r = h.region(range);
             // Memory-bound fills: the runtime's footprint-derived
             // default cost applies on either device kind.
-            omp.submit(TaskSpec::new(label).device(device).output(h.region(range)).body(
-                move |v| {
-                    task_views!(v => tile: f32);
-                    for (off, x) in tile.iter_mut().enumerate() {
-                        *x = f(base + off);
-                    }
-                },
-            ));
+            omp.submit(TaskSpec::new(label).device(device).output(r).body(move |v| {
+                task_views!(v => tile: f32);
+                track::record_write(r);
+                for (off, x) in tile.iter_mut().enumerate() {
+                    *x = f(base + off);
+                }
+            }));
         }
     }
 }

@@ -5,7 +5,7 @@
 //! the coherence layer does to satisfy those input clauses on every
 //! GPU each iteration.
 
-use ompss_mem::cast_slice;
+use ompss_mem::{cast_slice, track};
 use ompss_runtime::{Device, Runtime, RuntimeConfig, TaskSpec};
 
 use crate::common::{gflops, AppRun, PhaseTimer};
@@ -45,11 +45,17 @@ pub fn run(cfg: RuntimeConfig, p: NbodyParams) -> AppRun {
                 for src in 0..p.blocks {
                     spec = spec.input(cur.region(src * bf..(src + 1) * bf));
                 }
-                spec = spec
-                    .inout(vel.region(b * bf..(b + 1) * bf))
-                    .output(nxt.region(b * bf..(b + 1) * bf));
+                let rvel = vel.region(b * bf..(b + 1) * bf);
+                let rout = nxt.region(b * bf..(b + 1) * bf);
+                spec = spec.inout(rvel).output(rout);
                 let blocks = p.blocks;
                 omp.submit(spec.body(move |v| {
+                    for src in 0..blocks {
+                        track::record_read(cur.region(src * bf..(src + 1) * bf));
+                    }
+                    track::record_read(rvel);
+                    track::record_write(rvel);
+                    track::record_write(rout);
                     // Reassemble the full position array from the block
                     // views (the device kernel reads them in place; the
                     // functional model concatenates).

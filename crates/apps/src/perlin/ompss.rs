@@ -4,6 +4,7 @@
 //! lets consecutive steps chain on the device through the dependence
 //! graph.
 
+use ompss_mem::track;
 use ompss_runtime::{task_views, Device, Runtime, RuntimeConfig, TaskSpec};
 
 use crate::common::{mpixels, AppRun, PhaseTimer};
@@ -23,6 +24,7 @@ pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
             let r = image.region(base..base + p.block_pixels());
             omp.submit(TaskSpec::new("init").device(Device::Cuda).output(r).body(move |v| {
                 task_views!(v => px: u32);
+                track::record_write(r);
                 for (off, x) in px.iter_mut().enumerate() {
                     *x = PerlinParams::init_pixel(base + off);
                 }
@@ -36,6 +38,8 @@ pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
                 let r = image.region(row0 * width..row0 * width + p.block_pixels());
                 omp.submit(TaskSpec::new("perlin").device(Device::Cuda).inout(r).body(move |v| {
                     task_views!(v => px: u32);
+                    track::record_read(r);
+                    track::record_write(r);
                     filter_block(px, row0, width, step as u32);
                 }));
             }

@@ -4,6 +4,7 @@
 //! blocks over the GPUs. The kernels are memory-bound, so the runtime's
 //! footprint-derived default cost applies.
 
+use ompss_mem::track;
 use ompss_runtime::{task_views, Device, Runtime, RuntimeConfig, TaskSpec};
 
 use crate::common::{gbs, AppRun, PhaseTimer};
@@ -20,19 +21,19 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
         let c = omp.alloc_array::<f64>(p.n);
         // As in the original STREAM, the arrays are initialised in
         // parallel — by tasks, which also places the blocks on devices.
+        // Only `a` needs values: `copy` overwrites `c` and `scale`
+        // overwrites `b` before anything reads them (initialising `b`
+        // here would be a dead write — ompss-verify's DeadWrite lint
+        // caught the original version doing exactly that).
         for j in (0..p.n).step_by(p.bsize) {
-            let (ra, rb) = (a.region(j..j + p.bsize), b.region(j..j + p.bsize));
-            omp.submit(TaskSpec::new("init").device(Device::Cuda).output(ra).output(rb).body(
-                move |v| {
-                    task_views!(v => av: f64, bv: f64);
-                    for (off, x) in av.iter_mut().enumerate() {
-                        *x = StreamParams::init_a(j + off);
-                    }
-                    for (off, x) in bv.iter_mut().enumerate() {
-                        *x = StreamParams::init_b(j + off);
-                    }
-                },
-            ));
+            let ra = a.region(j..j + p.bsize);
+            omp.submit(TaskSpec::new("init").device(Device::Cuda).output(ra).body(move |v| {
+                task_views!(v => av: f64);
+                track::record_write(ra);
+                for (off, x) in av.iter_mut().enumerate() {
+                    *x = StreamParams::init_a(j + off);
+                }
+            }));
         }
 
         // One annotated task per blocked kernel invocation, exactly as
@@ -43,8 +44,10 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
             for j in (0..p.n).step_by(p.bsize) {
                 let (ra, rc) = (a.region(j..j + p.bsize), c.region(j..j + p.bsize));
                 omp.submit(TaskSpec::new("copy").device(Device::Cuda).input(ra).output(rc).body(
-                    |v| {
+                    move |v| {
                         task_views!(v => av: f64, cv: f64);
+                        track::record_read(ra);
+                        track::record_write(rc);
                         kernels::copy(av, cv);
                     },
                 ));
@@ -52,8 +55,10 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
             for j in (0..p.n).step_by(p.bsize) {
                 let (rc, rb) = (c.region(j..j + p.bsize), b.region(j..j + p.bsize));
                 omp.submit(TaskSpec::new("scale").device(Device::Cuda).input(rc).output(rb).body(
-                    |v| {
+                    move |v| {
                         task_views!(v => cv: f64, bv: f64);
+                        track::record_read(rc);
+                        track::record_write(rb);
                         kernels::scale(cv, bv);
                     },
                 ));
@@ -63,8 +68,11 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                 let rc = c.region(j..j + p.bsize);
                 omp.submit(
                     TaskSpec::new("add").device(Device::Cuda).input(ra).input(rb).output(rc).body(
-                        |v| {
+                        move |v| {
                             task_views!(v => av: f64, bv: f64, cv: f64);
+                            track::record_read(ra);
+                            track::record_read(rb);
+                            track::record_write(rc);
                             kernels::add(av, bv, cv);
                         },
                     ),
@@ -79,8 +87,11 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                         .input(rb)
                         .input(rc)
                         .output(ra)
-                        .body(|v| {
+                        .body(move |v| {
                             task_views!(v => bv: f64, cv: f64, av: f64);
+                            track::record_read(rb);
+                            track::record_read(rc);
+                            track::record_write(ra);
                             kernels::triad(bv, cv, av);
                         }),
                 );

@@ -1,0 +1,65 @@
+//! Verification mode must not perturb the benchmarks.
+//!
+//! The fig05/fig09 harnesses (and every other timing in EXPERIMENTS.md)
+//! are only comparable to the paper if the verification hooks cost
+//! nothing in *virtual* time: with `verify` off, the runtime takes one
+//! `Option` check per task; with it on, the byte snapshots and access
+//! recording are host-side work that the DES never sees. Both
+//! properties reduce to one assertion — the run's deterministic
+//! fingerprint (makespan, event count, clock advances, task count) is
+//! byte-identical whether verification is enabled or not.
+
+use ompss_apps::matmul::ompss::InitMode;
+use ompss_apps::matmul::{self, MatmulParams};
+use ompss_apps::stream::{self, StreamParams};
+use ompss_runtime::{RunReport, RuntimeConfig};
+
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64) {
+    (r.makespan.as_nanos(), r.events, r.clock_advances, r.tasks)
+}
+
+#[test]
+fn matmul_multigpu_timing_unchanged_by_verify_mode() {
+    // Fig. 5's app/topology at validation scale.
+    let run = |verify| {
+        matmul::ompss::run(
+            RuntimeConfig::multi_gpu(2).with_verify(verify),
+            MatmulParams::validate(),
+            InitMode::Smp,
+        )
+    };
+    let (off, on) = (run(false), run(true));
+    assert_eq!(
+        fingerprint(off.report.as_ref().unwrap()),
+        fingerprint(on.report.as_ref().unwrap()),
+        "verification mode changed the virtual-time fingerprint"
+    );
+    assert_eq!(off.check, on.check, "verification mode changed the results");
+}
+
+#[test]
+fn matmul_cluster_timing_unchanged_by_verify_mode() {
+    // Fig. 9's app/topology at validation scale.
+    let run = |verify| {
+        matmul::ompss::run(
+            RuntimeConfig::gpu_cluster(2).with_verify(verify),
+            MatmulParams::validate(),
+            InitMode::Smp,
+        )
+    };
+    let (off, on) = (run(false), run(true));
+    assert_eq!(fingerprint(off.report.as_ref().unwrap()), fingerprint(on.report.as_ref().unwrap()),);
+}
+
+#[test]
+fn stream_timing_unchanged_by_verify_mode() {
+    let run = |verify| {
+        stream::ompss::run(
+            RuntimeConfig::multi_gpu(2).with_verify(verify),
+            StreamParams::validate(),
+        )
+    };
+    let (off, on) = (run(false), run(true));
+    assert_eq!(fingerprint(off.report.as_ref().unwrap()), fingerprint(on.report.as_ref().unwrap()),);
+    assert_eq!(off.check, on.check);
+}

@@ -217,6 +217,11 @@ pub struct Coherence {
     /// aggressively under memory pressure — the behaviour behind the
     /// N-Body memory-pressure study (Fig. 8).
     evict_slack: f64,
+    /// When set (verification runs and the coherence proptests), the
+    /// full directory invariant check runs after every state-changing
+    /// operation, panicking on the first violation. Off by default: the
+    /// sweep is O(regions × copies) per operation.
+    validate: bool,
     inner: Mutex<Inner>,
 }
 
@@ -248,6 +253,7 @@ impl Coherence {
             topo,
             policy,
             evict_slack: 0.0,
+            validate: false,
             inner: Mutex::new(Inner {
                 regions: HashMap::new(),
                 tick: 0,
@@ -262,6 +268,82 @@ impl Coherence {
         assert!((0.0..1.0).contains(&slack));
         self.evict_slack = slack;
         self
+    }
+
+    /// Enable (or disable) continuous invariant checking: after every
+    /// commit, completed hop, eviction round and flush the whole
+    /// directory is swept with [`check_invariants`](Self::check_invariants)
+    /// and the engine panics on the first violation. Used by `verify`
+    /// runs and the coherence proptests; costs O(regions × copies) per
+    /// operation, so it stays off for benchmarks. Builder-style.
+    pub fn with_validation(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
+    /// Sweep the directory and report the first invariant violation:
+    ///
+    /// 1. **Dirty cover** — if the root home does not hold a region's
+    ///    latest version, at least one valid-latest copy below it is
+    ///    marked dirty (eviction write-backs can never lose the only
+    ///    latest data).
+    /// 2. **Version monotonicity** — no copy carries a version newer
+    ///    than the directory entry's.
+    /// 3. **Root never dirty** — the master-host home copy is the
+    ///    authority; it is never marked dirty.
+    ///
+    /// Note what is *not* an invariant: multiple dirty copies of one
+    /// region are legal (a demand hop to a sibling marks the
+    /// destination dirty without cleaning the source), and a *stale*
+    /// dirty copy is legal too (superseded data whose dirty bit is
+    /// cleared lazily by the next flush).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.check_invariants_locked(&self.inner.lock())
+    }
+
+    fn check_invariants_locked(&self, inner: &Inner) -> Result<(), String> {
+        let root = self.topo.root();
+        for (region, entry) in &inner.regions {
+            for (&space, c) in &entry.copies {
+                if let CState::Valid { version } = c.state {
+                    if version > entry.version {
+                        return Err(format!(
+                            "version monotonicity violated: {region} copy at {space:?} \
+                             holds v{version} but the directory says v{}",
+                            entry.version
+                        ));
+                    }
+                }
+                if space == root && c.dirty {
+                    return Err(format!(
+                        "root dirty: {region} home copy at {space:?} is marked dirty"
+                    ));
+                }
+            }
+            if !entry.root_has(root, entry.version) {
+                let covered = entry.copies.values().any(|c| {
+                    c.dirty
+                        && matches!(c.state, CState::Valid { version } if version == entry.version)
+                });
+                if !covered {
+                    return Err(format!(
+                        "dirty cover violated: root lacks {region} v{} and no valid-latest \
+                         copy is marked dirty — an eviction could lose the data",
+                        entry.version
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the sweep under an already-held lock when validation is on.
+    fn debug_validate_locked(&self, inner: &Inner, site: &str) {
+        if self.validate {
+            if let Err(msg) = self.check_invariants_locked(inner) {
+                panic!("coherence invariant broken after {site}: {msg}");
+            }
+        }
     }
 
     /// The active policy.
@@ -322,8 +404,17 @@ impl Coherence {
         // No simulation yield can occur between the pin taken above and
         // this lookup (the DES is sequential), so the copy is still here.
         let inner = self.inner.lock();
-        let c = &inner.regions[region].copies[&target];
+        let entry = &inner.regions[region];
+        let c = &entry.copies[&target];
         debug_assert!(c.pinned > 0);
+        // No-stale-read: a read acquire must hand the task the latest
+        // version, under the same lock as the location lookup.
+        debug_assert!(
+            !read || matches!(c.state, CState::Valid { version } if version == entry.version),
+            "stale read: acquire(read) of {region} at {target:?} returned a copy that is \
+             not valid-latest (directory v{})",
+            entry.version
+        );
         Ok(Loc { space: target, alloc: c.alloc, offset: c.offset })
     }
 
@@ -365,6 +456,19 @@ impl Coherence {
                 c.state = CState::Valid { version: v };
                 // The root *is* the home: data there is never dirty.
                 c.dirty = target != root;
+                // Single owner: the freshly committed version exists in
+                // exactly one place until the engine propagates it.
+                debug_assert_eq!(
+                    entry
+                        .copies
+                        .values()
+                        .filter(|c| matches!(c.state, CState::Valid { version } if version == v))
+                        .count(),
+                    1,
+                    "single-owner violated: committed version {v} of {} exists in more than \
+                     one space",
+                    a.region
+                );
                 written.push(a.region);
             }
             written
@@ -397,6 +501,7 @@ impl Coherence {
                 self.mem.free(target, alloc);
             }
         }
+        self.debug_validate_locked(&inner, "commit");
         Ok(())
     }
 
@@ -551,6 +656,7 @@ impl Coherence {
         if clear_src_dirty {
             sc.dirty = false;
         }
+        self.debug_validate_locked(&inner, "finish_hop");
     }
 
     /// Make a Valid-latest copy of `region` exist at `target`,
@@ -817,6 +923,7 @@ impl Coherence {
                     self.mem.free(space, alloc);
                 }
             }
+            self.debug_validate_locked(&inner, "eviction");
         }
     }
 
@@ -912,6 +1019,7 @@ impl Coherence {
                 c.dirty = false;
             }
         }
+        self.debug_validate_locked(&inner, "flush_region");
         Ok(())
     }
 

@@ -39,44 +39,178 @@ pub enum TaskState {
 pub enum GraphError {
     /// A dependence clause partially overlaps a region already tracked
     /// for the same data object — undefined behaviour in the OmpSs
-    /// model, rejected here.
-    PartialOverlap {
-        /// The submitting task.
-        task: TaskId,
-        /// The newly-declared region.
-        new: Region,
-        /// The previously-tracked region it collides with.
-        existing: Region,
-    },
+    /// model, rejected here. Boxed: the diagnostic payload is large
+    /// and the `Ok` path pays for the biggest variant.
+    PartialOverlap(Box<PartialOverlap>),
     /// The same task id was submitted twice.
     DuplicateTask(TaskId),
+}
+
+/// The payload of [`GraphError::PartialOverlap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialOverlap {
+    /// The submitting task.
+    pub task: TaskId,
+    /// Label of the submitting task (empty if none was given).
+    pub task_label: String,
+    /// The newly-declared region.
+    pub new: Region,
+    /// The previously-tracked region it collides with.
+    pub existing: Region,
+    /// The task that declared `existing` most recently, if any
+    /// (`None` when the collision is between two clauses of the
+    /// submitting task itself).
+    pub existing_task: Option<TaskId>,
+    /// Label of `existing_task` (empty if unknown or unlabeled).
+    pub existing_label: String,
+    /// Suggested exact-match split: the union of both regions cut
+    /// at every boundary. Declaring these sub-regions instead of
+    /// `new`/`existing` keeps dependence matching exact.
+    pub splits: Vec<Region>,
 }
 
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::PartialOverlap { task, new, existing } => write!(
-                f,
-                "task {task:?} declares region {new} partially overlapping {existing}; \
-                 partial overlap is unsupported (undefined behaviour in OmpSs)"
-            ),
+            GraphError::PartialOverlap(o) => {
+                let who = fmt_task(o.task, &o.task_label);
+                let owner = match o.existing_task {
+                    Some(t) => format!(" (declared by {})", fmt_task(t, &o.existing_label)),
+                    None => " (declared by the same task)".to_string(),
+                };
+                let cut = o.splits.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ");
+                write!(
+                    f,
+                    "{who} declares region {} partially overlapping {}{owner}; \
+                     partial overlap is unsupported (undefined behaviour in OmpSs) — \
+                     split both clauses into exact tiles: {cut}",
+                    o.new, o.existing
+                )
+            }
             GraphError::DuplicateTask(id) => write!(f, "task {id:?} submitted twice"),
         }
     }
 }
 
+fn fmt_task(id: TaskId, label: &str) -> String {
+    if label.is_empty() {
+        format!("task {}", id.0)
+    } else {
+        format!("task {} '{label}'", id.0)
+    }
+}
+
 impl std::error::Error for GraphError {}
+
+/// An advisory finding detected over the graph: not an error (the run
+/// stays well-defined) but a strong smell the verify subsystem reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphLint {
+    /// A region produced by `writer` was overwritten by a non-reading
+    /// (`output`) clause of `overwriter` with no task reading it in
+    /// between — the value never escaped (dead / never-released write).
+    /// Host-side reads between taskwaits are not tracked here, so this
+    /// is advisory.
+    DeadWrite {
+        /// The overwritten region.
+        region: Region,
+        /// The task whose write was lost.
+        writer: TaskId,
+        /// Label of `writer`.
+        writer_label: String,
+        /// The task that overwrote it without reading.
+        overwriter: TaskId,
+        /// Label of `overwriter`.
+        overwriter_label: String,
+    },
+    /// Two tasks wrote overlapping bytes with no ordering path between
+    /// them in either direction — a write/write race.
+    ConcurrentWrite {
+        /// First writer (lower id).
+        a: TaskId,
+        /// Label of `a`.
+        a_label: String,
+        /// Bytes written by `a`.
+        a_region: Region,
+        /// Second writer.
+        b: TaskId,
+        /// Label of `b`.
+        b_label: String,
+        /// Bytes written by `b`.
+        b_region: Region,
+    },
+    /// A task read bytes another task wrote, with no ordering path
+    /// between them — the reader may observe a stale (or torn) value.
+    UnorderedReadWrite {
+        /// The reading task.
+        reader: TaskId,
+        /// Label of `reader`.
+        reader_label: String,
+        /// Bytes read.
+        read: Region,
+        /// The writing task.
+        writer: TaskId,
+        /// Label of `writer`.
+        writer_label: String,
+        /// Bytes written.
+        written: Region,
+    },
+}
+
+impl fmt::Display for GraphLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphLint::DeadWrite { region, writer, writer_label, overwriter, overwriter_label } => {
+                write!(
+                    f,
+                    "dead write: {} produced {region} but {} overwrote it before any task read it",
+                    fmt_task(*writer, writer_label),
+                    fmt_task(*overwriter, overwriter_label)
+                )
+            }
+            GraphLint::ConcurrentWrite { a, a_label, a_region, b, b_label, b_region } => write!(
+                f,
+                "concurrent writers: {} wrote {a_region} and {} wrote {b_region} \
+                 with no ordering path between them",
+                fmt_task(*a, a_label),
+                fmt_task(*b, b_label)
+            ),
+            GraphLint::UnorderedReadWrite {
+                reader,
+                reader_label,
+                read,
+                writer,
+                writer_label,
+                written,
+            } => write!(
+                f,
+                "stale read: {} read {read} while {} wrote {written} \
+                 with no ordering path between them",
+                fmt_task(*reader, reader_label),
+                fmt_task(*writer, writer_label)
+            ),
+        }
+    }
+}
 
 struct Node {
     preds: usize,
     succs: Vec<TaskId>,
     state: TaskState,
+    label: String,
+    /// Position in the global submit/complete sequence when submitted.
+    seq: u64,
+    /// Position in the sequence when completed, if completed.
+    completed_seq: Option<u64>,
 }
 
 #[derive(Default)]
 struct RegionState {
     last_writer: Option<TaskId>,
     readers: Vec<TaskId>,
+    /// Most recent task to declare any clause on this exact region —
+    /// used to name the owner in `PartialOverlap` diagnostics.
+    declared_by: Option<TaskId>,
 }
 
 /// A single-level (sibling) task dependency graph.
@@ -85,6 +219,11 @@ pub struct TaskGraph {
     nodes: HashMap<TaskId, Node>,
     regions: HashMap<DataId, BTreeMap<(u64, u64), RegionState>>,
     live: usize,
+    /// Logical clock over submit/complete events, backing the
+    /// happens-before oracle (a completed-before-b-was-submitted is an
+    /// ordering even though no edge was recorded).
+    clock: u64,
+    lints: Vec<GraphLint>,
 }
 
 impl TaskGraph {
@@ -96,27 +235,35 @@ impl TaskGraph {
     /// Submit a task with its dependence clauses. Returns `true` if the
     /// task is immediately ready (no outstanding predecessors).
     pub fn add_task(&mut self, id: TaskId, accesses: &[Access]) -> Result<bool, GraphError> {
+        self.add_task_labeled(id, "", accesses)
+    }
+
+    /// [`TaskGraph::add_task`] with a human-readable task label, threaded
+    /// into diagnostics and lints.
+    pub fn add_task_labeled(
+        &mut self,
+        id: TaskId,
+        label: &str,
+        accesses: &[Access],
+    ) -> Result<bool, GraphError> {
         if self.nodes.contains_key(&id) {
             return Err(GraphError::DuplicateTask(id));
         }
         // Validate against tracked regions and against the task's own
         // clauses before mutating any state.
         for (i, a) in accesses.iter().enumerate() {
-            if let Some(existing) = self.find_partial_overlap(&a.region) {
-                return Err(GraphError::PartialOverlap { task: id, new: a.region, existing });
+            if let Some((existing, owner)) = self.find_partial_overlap(&a.region) {
+                return Err(self.partial_overlap(id, label, a.region, existing, owner));
             }
             for b in &accesses[i + 1..] {
                 if a.region.partially_overlaps(&b.region) {
-                    return Err(GraphError::PartialOverlap {
-                        task: id,
-                        new: b.region,
-                        existing: a.region,
-                    });
+                    return Err(self.partial_overlap(id, label, b.region, a.region, None));
                 }
             }
         }
 
         let mut preds: HashSet<TaskId> = HashSet::new();
+        let mut dead: Vec<(Region, TaskId)> = Vec::new();
         for a in accesses {
             let st = self
                 .regions
@@ -132,6 +279,15 @@ impl TaskGraph {
                 }
             }
             if a.kind.writes() {
+                // A non-reading write that supersedes an unread write:
+                // the previous value never escaped. Advisory lint.
+                if !a.kind.reads() {
+                    if let Some(w) = st.last_writer {
+                        if st.readers.is_empty() && w != id {
+                            dead.push((a.region, w));
+                        }
+                    }
+                }
                 // WAR on every reader since the last write, WAW on the
                 // last writer (covers the no-reader case).
                 for &r in &st.readers {
@@ -152,6 +308,16 @@ impl TaskGraph {
                     st.readers.push(id);
                 }
             }
+            st.declared_by = Some(id);
+        }
+        for (region, w) in dead {
+            self.lints.push(GraphLint::DeadWrite {
+                region,
+                writer: w,
+                writer_label: self.label_of(w).to_string(),
+                overwriter: id,
+                overwriter_label: label.to_string(),
+            });
         }
 
         // Count only predecessors that have not already completed.
@@ -165,27 +331,54 @@ impl TaskGraph {
         }
 
         let ready = pred_count == 0;
+        self.clock += 1;
         self.nodes.insert(
             id,
             Node {
                 preds: pred_count,
                 succs: Vec::new(),
                 state: if ready { TaskState::Ready } else { TaskState::Pending },
+                label: label.to_string(),
+                seq: self.clock,
+                completed_seq: None,
             },
         );
         self.live += 1;
         Ok(ready)
     }
 
-    fn find_partial_overlap(&self, r: &Region) -> Option<Region> {
+    fn partial_overlap(
+        &self,
+        id: TaskId,
+        label: &str,
+        new: Region,
+        existing: Region,
+        owner: Option<TaskId>,
+    ) -> GraphError {
+        GraphError::PartialOverlap(Box::new(PartialOverlap {
+            task: id,
+            task_label: label.to_string(),
+            new,
+            existing,
+            existing_task: owner,
+            existing_label: owner.map(|t| self.label_of(t).to_string()).unwrap_or_default(),
+            splits: suggest_splits(&new, &existing),
+        }))
+    }
+
+    fn find_partial_overlap(&self, r: &Region) -> Option<(Region, Option<TaskId>)> {
         let map = self.regions.get(&r.data)?;
-        for (&(offset, len), _) in map.range(..(r.end(), 0)) {
+        for (&(offset, len), st) in map.range(..(r.end(), 0)) {
             let existing = Region { data: r.data, offset, len };
             if r.partially_overlaps(&existing) {
-                return Some(existing);
+                return Some((existing, st.declared_by));
             }
         }
         None
+    }
+
+    fn label_of(&self, id: TaskId) -> &str {
+        self.nodes.get(&id).map(|n| n.label.as_str()).unwrap_or("")
     }
 
     /// Mark a ready task as running (handed to a resource).
@@ -198,11 +391,16 @@ impl TaskGraph {
     /// Complete a task, releasing successors. Returns the tasks that
     /// became ready.
     pub fn complete(&mut self, id: TaskId) -> Vec<TaskId> {
+        self.clock += 1;
+        let clock = self.clock;
         let succs = {
             let n = self.nodes.get_mut(&id).expect("unknown task");
             assert_ne!(n.state, TaskState::Completed, "task completed twice");
             n.state = TaskState::Completed;
-            std::mem::take(&mut n.succs)
+            n.completed_seq = Some(clock);
+            // Edges are kept (cloned, not drained) so the verify
+            // subsystem can query reachability after the run.
+            n.succs.clone()
         };
         self.live -= 1;
         let mut newly_ready = Vec::new();
@@ -250,6 +448,112 @@ impl TaskGraph {
             Some(w)
         }
     }
+
+    /// Advisory lints accumulated at submission time (dead writes).
+    pub fn lints(&self) -> &[GraphLint] {
+        &self.lints
+    }
+
+    /// Is `a` ordered before `b`? True when `a == b`, when `a` completed
+    /// before `b` was submitted (temporal order — the graph records no
+    /// edge for an already-completed predecessor), or when a dependence
+    /// path `a → … → b` exists. Sound and complete over the orderings
+    /// the runtime actually enforces: any enforced chain either consists
+    /// purely of edges (found by the walk) or contains a
+    /// completed-before-submitted link, in which case `a` itself
+    /// completed before `b` was submitted.
+    pub fn happens_before(&self, a: TaskId, b: TaskId) -> bool {
+        if a == b {
+            return true;
+        }
+        let (Some(na), Some(nb)) = (self.nodes.get(&a), self.nodes.get(&b)) else {
+            return false;
+        };
+        if na.completed_seq.is_some_and(|ca| ca < nb.seq) {
+            return true;
+        }
+        let mut stack = vec![a];
+        let mut seen = HashSet::new();
+        while let Some(x) = stack.pop() {
+            if x == b {
+                return true;
+            }
+            if !seen.insert(x) {
+                continue;
+            }
+            if let Some(n) = self.nodes.get(&x) {
+                stack.extend(n.succs.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Race detection over *observed* accesses `(task, region, is_write)`
+    /// — typically the regions task bodies actually touched, as recorded
+    /// by the verify subsystem's access-tracking mode. Declared clauses
+    /// never race (the graph orders them by construction), so this is
+    /// where mis-declared clauses surface: any overlapping pair with at
+    /// least one write and no ordering path in either direction is a
+    /// race. One lint per unordered task pair and kind.
+    pub fn races(&self, observed: &[(TaskId, Region, bool)]) -> Vec<GraphLint> {
+        let mut out = Vec::new();
+        let mut reported: HashSet<(TaskId, TaskId, bool)> = HashSet::new();
+        for (i, &(ta, ra, wa)) in observed.iter().enumerate() {
+            for &(tb, rb, wb) in &observed[i + 1..] {
+                if ta == tb || (!wa && !wb) || !ra.overlaps(&rb) {
+                    continue;
+                }
+                if self.happens_before(ta, tb) || self.happens_before(tb, ta) {
+                    continue;
+                }
+                let (lo, hi) = if ta.0 <= tb.0 { (ta, tb) } else { (tb, ta) };
+                let both_write = wa && wb;
+                if !reported.insert((lo, hi, both_write)) {
+                    continue;
+                }
+                if both_write {
+                    let ((a, a_region), (b, b_region)) =
+                        if ta.0 <= tb.0 { ((ta, ra), (tb, rb)) } else { ((tb, rb), (ta, ra)) };
+                    out.push(GraphLint::ConcurrentWrite {
+                        a,
+                        a_label: self.label_of(a).to_string(),
+                        a_region,
+                        b,
+                        b_label: self.label_of(b).to_string(),
+                        b_region,
+                    });
+                } else {
+                    let ((reader, read), (writer, written)) =
+                        if wa { ((tb, rb), (ta, ra)) } else { ((ta, ra), (tb, rb)) };
+                    out.push(GraphLint::UnorderedReadWrite {
+                        reader,
+                        reader_label: self.label_of(reader).to_string(),
+                        read,
+                        writer,
+                        writer_label: self.label_of(writer).to_string(),
+                        written,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cut the union of two partially-overlapping regions at every start/end
+/// boundary, yielding the exact-match tiles a correct decomposition
+/// would use.
+fn suggest_splits(a: &Region, b: &Region) -> Vec<Region> {
+    debug_assert_eq!(a.data, b.data);
+    let mut cuts = [a.offset, a.end(), b.offset, b.end()];
+    cuts.sort_unstable();
+    let mut out = Vec::new();
+    for w in cuts.windows(2) {
+        if w[1] > w[0] {
+            out.push(Region { data: a.data, offset: w[0], len: w[1] - w[0] });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -343,13 +647,41 @@ mod tests {
     #[test]
     fn partial_overlap_rejected_across_tasks() {
         let mut g = TaskGraph::new();
-        g.add_task(t(1), &[Access::write(r(1, 0, 16))]).unwrap();
-        let err = g.add_task(t(2), &[Access::read(r(1, 8, 16))]).unwrap_err();
+        g.add_task_labeled(t(1), "init", &[Access::write(r(1, 0, 16))]).unwrap();
+        let err = g.add_task_labeled(t(2), "gemm", &[Access::read(r(1, 8, 16))]).unwrap_err();
         match err {
-            GraphError::PartialOverlap { task, new, existing } => {
-                assert_eq!(task, t(2));
-                assert_eq!(new, r(1, 8, 16));
-                assert_eq!(existing, r(1, 0, 16));
+            GraphError::PartialOverlap(o) => {
+                assert_eq!(o.task, t(2));
+                assert_eq!(o.task_label, "gemm");
+                assert_eq!(o.new, r(1, 8, 16));
+                assert_eq!(o.existing, r(1, 0, 16));
+                assert_eq!(o.existing_task, Some(t(1)), "names the declaring task");
+                assert_eq!(o.existing_label, "init");
+                assert_eq!(o.splits, vec![r(1, 0, 8), r(1, 8, 8), r(1, 16, 8)]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_overlap_diagnostic_mentions_labels_and_splits() {
+        let mut g = TaskGraph::new();
+        g.add_task_labeled(t(1), "init", &[Access::write(r(1, 0, 16))]).unwrap();
+        let msg =
+            g.add_task_labeled(t(2), "gemm", &[Access::read(r(1, 8, 16))]).unwrap_err().to_string();
+        assert!(msg.contains("task 2 'gemm'"), "{msg}");
+        assert!(msg.contains("task 1 'init'"), "{msg}");
+        assert!(msg.contains("D1[0..8), D1[8..16), D1[16..24)"), "{msg}");
+    }
+
+    #[test]
+    fn nested_overlap_suggests_three_way_split() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 24))]).unwrap();
+        let err = g.add_task(t(2), &[Access::read(r(1, 8, 8))]).unwrap_err();
+        match err {
+            GraphError::PartialOverlap(o) => {
+                assert_eq!(o.splits, vec![r(1, 0, 8), r(1, 8, 8), r(1, 16, 8)]);
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -360,7 +692,7 @@ mod tests {
         let mut g = TaskGraph::new();
         let err =
             g.add_task(t(1), &[Access::write(r(1, 0, 16)), Access::read(r(1, 4, 4))]).unwrap_err();
-        assert!(matches!(err, GraphError::PartialOverlap { .. }));
+        assert!(matches!(err, GraphError::PartialOverlap(_)));
     }
 
     #[test]
@@ -409,6 +741,84 @@ mod tests {
             g.complete(t(1));
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn dead_write_lint_fires_on_unread_overwrite() {
+        let mut g = TaskGraph::new();
+        g.add_task_labeled(t(1), "init", &[Access::write(r(1, 0, 8))]).unwrap();
+        // Output over an unread output: the init value never escaped.
+        g.add_task_labeled(t(2), "scale", &[Access::write(r(1, 0, 8))]).unwrap();
+        assert_eq!(g.lints().len(), 1);
+        match &g.lints()[0] {
+            GraphLint::DeadWrite { region, writer, writer_label, overwriter, overwriter_label } => {
+                assert_eq!(*region, r(1, 0, 8));
+                assert_eq!((*writer, writer_label.as_str()), (t(1), "init"));
+                assert_eq!((*overwriter, overwriter_label.as_str()), (t(2), "scale"));
+            }
+            other => panic!("unexpected lint: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_write_lint_spares_read_values_and_inout() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap();
+        // Overwrite after a read: value escaped, no lint.
+        g.add_task(t(3), &[Access::write(r(1, 0, 8))]).unwrap();
+        // InOut reads the prior version itself: no lint either.
+        g.add_task(t(4), &[Access::update(r(1, 0, 8))]).unwrap();
+        assert!(g.lints().is_empty(), "{:?}", g.lints());
+    }
+
+    #[test]
+    fn happens_before_edges_temporal_and_unordered() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap(); // edge 1→2
+        g.add_task(t(3), &[Access::write(r(2, 0, 8))]).unwrap(); // independent
+        assert!(g.happens_before(t(1), t(2)), "dependence edge");
+        assert!(!g.happens_before(t(2), t(1)));
+        assert!(!g.happens_before(t(1), t(3)) && !g.happens_before(t(3), t(1)), "unordered");
+        g.complete(t(1));
+        g.complete(t(2));
+        g.complete(t(3));
+        // Temporal: t4 submitted after everything completed — ordered
+        // after all of them even with no shared region.
+        g.add_task(t(4), &[Access::write(r(3, 0, 8))]).unwrap();
+        assert!(g.happens_before(t(1), t(4)) && g.happens_before(t(3), t(4)));
+        assert!(!g.happens_before(t(4), t(1)));
+        // Edges survive completion so reachability still answers.
+        assert!(g.happens_before(t(1), t(2)));
+    }
+
+    #[test]
+    fn races_found_only_between_unordered_tasks() {
+        let mut g = TaskGraph::new();
+        g.add_task_labeled(t(1), "a", &[Access::write(r(1, 0, 8))]).unwrap();
+        g.add_task_labeled(t(2), "b", &[Access::read(r(1, 0, 8))]).unwrap(); // ordered after t1
+        g.add_task_labeled(t(3), "c", &[Access::write(r(2, 0, 8))]).unwrap(); // unordered vs both
+        let s = r(9, 0, 16); // a region nobody declared
+                             // Ordered pair writing the same bytes: no race.
+        assert!(g.races(&[(t(1), s, true), (t(2), s, true)]).is_empty());
+        // Unordered write/write: one ConcurrentWrite.
+        let ww = g.races(&[(t(1), s, true), (t(3), s, true)]);
+        assert_eq!(ww.len(), 1);
+        assert!(
+            matches!(&ww[0], GraphLint::ConcurrentWrite { a, b, .. } if *a == t(1) && *b == t(3)),
+            "{ww:?}"
+        );
+        // Unordered read vs write: one UnorderedReadWrite with roles.
+        let rw = g.races(&[(t(3), s, false), (t(1), s, true)]);
+        assert_eq!(rw.len(), 1);
+        assert!(
+            matches!(&rw[0], GraphLint::UnorderedReadWrite { reader, writer, .. }
+                if *reader == t(3) && *writer == t(1)),
+            "{rw:?}"
+        );
+        // Read/read never races.
+        assert!(g.races(&[(t(1), s, false), (t(3), s, false)]).is_empty());
     }
 
     #[test]

@@ -28,5 +28,5 @@
 mod graph;
 mod task;
 
-pub use graph::{GraphError, TaskGraph, TaskState};
+pub use graph::{GraphError, GraphLint, PartialOverlap, TaskGraph, TaskState};
 pub use task::{AccessExt, Device, TaskDesc, TaskId};

@@ -225,19 +225,19 @@ impl GpuDevice {
                     StreamOp::Memcpy { dir, bytes, pinned, effect, done } => {
                         let r = dev.memcpy(&sctx, dir, bytes, pinned, effect);
                         if r.is_ok() {
-                            done.signal.set(&sctx);
+                            complete(&sctx, &done);
                         }
                         r
                     }
                     StreamOp::Kernel { cost, effect, done } => {
                         let r = dev.launch(&sctx, cost, effect);
                         if r.is_ok() {
-                            done.signal.set(&sctx);
+                            complete(&sctx, &done);
                         }
                         r
                     }
                     StreamOp::Marker { done } => {
-                        done.signal.set(&sctx);
+                        complete(&sctx, &done);
                         Ok(())
                     }
                 };
@@ -248,6 +248,17 @@ impl GpuDevice {
         });
         Stream { ops }
     }
+}
+
+/// Signal a stream operation's completion event. Stream FIFO invariant
+/// (debug builds): an event completes exactly once — a second signal
+/// would mean an operation was executed twice or an event token was
+/// reused across operations, either of which breaks the CUDA event
+/// contract everything above (kernel synchronisation, verify-mode
+/// effect observation) relies on.
+fn complete(ctx: &Ctx, done: &CudaEvent) {
+    debug_assert!(!done.query(), "stream operation completed twice");
+    done.signal.set(ctx);
 }
 
 /// An asynchronous CUDA-like stream. Operations are queued immediately

@@ -100,8 +100,8 @@ impl Json {
         out
     }
 
-    /// Serialise pretty-printed with two-space indentation and a
-    /// trailing newline, `serde_json::to_string_pretty` style.
+    /// Serialise pretty-printed with two-space indentation,
+    /// `serde_json::to_string_pretty` style (no trailing newline).
     pub fn to_pretty_string(&self) -> String {
         let mut out = String::new();
         self.write_pretty(&mut out, 0);

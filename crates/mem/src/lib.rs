@@ -29,6 +29,7 @@
 mod region;
 mod scalar;
 mod space;
+pub mod track;
 
 pub use region::{Access, AccessKind, DataId, Region};
 pub use scalar::{cast_slice, cast_slice_mut, Scalar};

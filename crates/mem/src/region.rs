@@ -46,9 +46,16 @@ impl Region {
         self.offset + self.len
     }
 
-    /// True if the two regions share at least one byte.
+    /// True if the two regions share at least one byte. A zero-length
+    /// region (constructible only as a literal — [`Region::new`] rejects
+    /// it) has no bytes and therefore overlaps nothing, even when its
+    /// offset falls strictly inside the other range.
     pub fn overlaps(&self, other: &Region) -> bool {
-        self.data == other.data && self.offset < other.end() && other.offset < self.end()
+        self.data == other.data
+            && self.len > 0
+            && other.len > 0
+            && self.offset < other.end()
+            && other.offset < self.end()
     }
 
     /// True if the regions overlap but are not identical — the case the
@@ -152,6 +159,40 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_region_rejected() {
         let _ = r(1, 0, 0);
+    }
+
+    #[test]
+    fn zero_length_regions() {
+        // `Region::new` rejects empty regions, but structs can still be
+        // built literally (e.g. by diffing tools); the predicates must
+        // treat them consistently: an empty range shares no byte with
+        // anything, yet sits inside any range covering its offset.
+        let z = Region { data: DataId(1), offset: 5, len: 0 };
+        assert!(!z.overlaps(&r(1, 0, 10)), "empty region overlaps nothing");
+        assert!(!r(1, 0, 10).overlaps(&z));
+        assert!(!z.overlaps(&z), "not even itself");
+        assert!(!z.partially_overlaps(&r(1, 0, 10)));
+        assert!(!r(1, 0, 10).partially_overlaps(&z));
+        assert!(r(1, 0, 10).contains(&z), "empty region is contained at its offset");
+        assert!(r(1, 5, 5).contains(&z), "contained at its own start boundary");
+        assert!(r(1, 0, 5).contains(&z), "contained at its own end boundary");
+        assert!(!z.contains(&r(1, 5, 1)), "empty region contains no non-empty one");
+        assert!(z.contains(&z), "an empty region contains itself");
+        assert_eq!(z.end(), 5);
+    }
+
+    #[test]
+    fn adjacent_regions_are_disjoint() {
+        // [0, 8) and [8, 16): touching at a boundary is not sharing a
+        // byte — no overlap, no partial overlap, no containment.
+        let lo = r(1, 0, 8);
+        let hi = r(1, 8, 8);
+        assert!(!lo.overlaps(&hi) && !hi.overlaps(&lo));
+        assert!(!lo.partially_overlaps(&hi) && !hi.partially_overlaps(&lo));
+        assert!(!lo.contains(&hi) && !hi.contains(&lo));
+        // One byte of overlap flips all of that.
+        let hi1 = r(1, 7, 8);
+        assert!(lo.overlaps(&hi1) && lo.partially_overlaps(&hi1));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Access tracking for the verify subsystem (`ompss-verify`).
+//!
+//! When a verification run is active, the runtime installs a per-thread
+//! access log around each task body (and around each simulated kernel's
+//! completion effect). Instrumented kernels report the byte regions
+//! they actually touch through [`record_read`] / [`record_write`]; the
+//! runtime collects the log with [`take`] and a validator later checks
+//! the observed accesses against the task's declared
+//! `input`/`output`/`inout` clauses.
+//!
+//! The design is deliberately zero-cost when disabled: no log is
+//! installed, so [`record_read`]/[`record_write`] reduce to one
+//! thread-local `Option` check and the task-body hot path is untouched.
+//! Recording never charges virtual time — tracking is observation, not
+//! simulation.
+
+use std::cell::RefCell;
+
+use crate::region::Region;
+
+/// The byte regions a task body actually touched, as reported by
+/// instrumented accessors (reads and writes separately).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AccessSet {
+    /// Regions read by the body.
+    pub reads: Vec<Region>,
+    /// Regions written by the body.
+    pub writes: Vec<Region>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<AccessSet>> = const { RefCell::new(None) };
+}
+
+/// Begin recording accesses on the current thread. Any previously
+/// active log is discarded. The runtime calls this immediately before
+/// invoking a task body under verification.
+pub fn begin() {
+    ACTIVE.with(|a| *a.borrow_mut() = Some(AccessSet::default()));
+}
+
+/// Stop recording and return the log, or `None` if [`begin`] was never
+/// called on this thread (tracking disabled).
+pub fn take() -> Option<AccessSet> {
+    ACTIVE.with(|a| a.borrow_mut().take())
+}
+
+/// Is an access log installed on this thread?
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Report that the running task body read `region`. No-op unless a log
+/// is active (i.e. outside verification runs).
+pub fn record_read(region: Region) {
+    ACTIVE.with(|a| {
+        if let Some(set) = a.borrow_mut().as_mut() {
+            set.reads.push(region);
+        }
+    });
+}
+
+/// Report that the running task body wrote `region`. No-op unless a
+/// log is active.
+pub fn record_write(region: Region) {
+    ACTIVE.with(|a| {
+        if let Some(set) = a.borrow_mut().as_mut() {
+            set.writes.push(region);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::DataId;
+
+    fn r(data: u64, offset: u64, len: u64) -> Region {
+        Region::new(DataId(data), offset, len)
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        assert!(!active());
+        record_read(r(1, 0, 8));
+        record_write(r(1, 8, 8));
+        assert_eq!(take(), None);
+    }
+
+    #[test]
+    fn begin_record_take_roundtrip() {
+        begin();
+        assert!(active());
+        record_read(r(1, 0, 8));
+        record_write(r(2, 4, 4));
+        let set = take().expect("log active");
+        assert_eq!(set.reads, vec![r(1, 0, 8)]);
+        assert_eq!(set.writes, vec![r(2, 4, 4)]);
+        assert!(!active(), "take uninstalls the log");
+        assert_eq!(take(), None);
+    }
+
+    #[test]
+    fn begin_discards_stale_log() {
+        begin();
+        record_read(r(1, 0, 8));
+        begin();
+        let set = take().expect("log active");
+        assert!(set.reads.is_empty() && set.writes.is_empty());
+    }
+
+    #[test]
+    fn logs_are_per_thread() {
+        begin();
+        record_write(r(9, 0, 16));
+        let other = std::thread::spawn(|| {
+            record_write(r(9, 16, 16));
+            take()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, None, "sibling thread has no log");
+        let set = take().expect("our log survives");
+        assert_eq!(set.writes, vec![r(9, 0, 16)]);
+    }
+}

@@ -61,6 +61,19 @@ pub struct RuntimeConfig {
     /// Record a Paraver-style execution trace (task intervals per
     /// resource, transfers per medium) into the run report.
     pub tracing: bool,
+    /// Verification mode (`OMPSS_VERIFY`): record the regions task
+    /// bodies actually touch, diff them against the declared clauses,
+    /// run graph race lints over the observations, and sweep the
+    /// coherence directory invariants after every operation. The
+    /// findings land in [`crate::RunReport::verify`]. Zero-cost when
+    /// off: the task hot path checks one `Option`.
+    pub verify: bool,
+    /// Scheduler tie-break perturbation seed (`OMPSS_SCHED_SEED`): `0`
+    /// (default) keeps the deterministic FIFO tie-break; any other
+    /// value permutes equal-priority scheduling decisions pseudo-
+    /// randomly but reproducibly. The verify binary's schedule
+    /// exploration reruns apps under several seeds and diffs results.
+    pub sched_seed: u64,
 }
 
 impl RuntimeConfig {
@@ -88,6 +101,8 @@ impl RuntimeConfig {
             task_overhead: SimDuration::from_micros(5),
             eviction_slack: 0.0,
             tracing: false,
+            verify: false,
+            sched_seed: 0,
         }
     }
 
@@ -113,6 +128,8 @@ impl RuntimeConfig {
             task_overhead: SimDuration::from_micros(5),
             eviction_slack: 0.0,
             tracing: false,
+            verify: false,
+            sched_seed: 0,
         }
     }
 
@@ -176,6 +193,18 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable verification mode (see the field docs).
+    pub fn with_verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Set the scheduler tie-break perturbation seed (0 = off).
+    pub fn with_sched_seed(mut self, seed: u64) -> Self {
+        self.sched_seed = seed;
+        self
+    }
+
     /// Usable GPU cache capacity.
     pub fn gpu_cache_capacity(&self) -> u64 {
         self.gpu_mem_override.unwrap_or_else(|| {
@@ -199,6 +228,8 @@ impl RuntimeConfig {
     /// | `OMPSS_ROUTING` | `mtos`, `stos` |
     /// | `OMPSS_PRESEND` | integer depth |
     /// | `OMPSS_OVERLAP` / `OMPSS_PREFETCH` / `OMPSS_TRACE` | `0`/`1` |
+    /// | `OMPSS_VERIFY` | `0`/`1` |
+    /// | `OMPSS_SCHED_SEED` | integer seed (0 = off) |
     ///
     /// Unknown values panic (a typo silently ignored would invalidate an
     /// experiment).
@@ -245,6 +276,12 @@ impl RuntimeConfig {
         }
         if let Some(b) = flag("OMPSS_TRACE") {
             self.tracing = b;
+        }
+        if let Some(b) = flag("OMPSS_VERIFY") {
+            self.verify = b;
+        }
+        if let Ok(v) = env::var("OMPSS_SCHED_SEED") {
+            self.sched_seed = v.parse().expect("OMPSS_SCHED_SEED: not an integer");
         }
         self
     }

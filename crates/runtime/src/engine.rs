@@ -94,6 +94,10 @@ pub(crate) struct RtShared {
     pub hosts: Vec<SpaceId>,
     pub tracer: Option<Tracer>,
     pub counters: Arc<crate::stats::Counters>,
+    /// Access-observation collector; `Some` only in verification mode
+    /// ([`crate::RuntimeConfig::verify`]), so the task hot path pays
+    /// one `Option` check when it is off.
+    pub verify: Option<Arc<crate::verify::VerifySink>>,
 }
 
 impl RtShared {
@@ -195,8 +199,19 @@ impl RtShared {
                 .zip(&accesses)
                 .map(|(l, a)| (l.space, l.alloc, l.offset, a.region.len))
                 .collect();
-            let body = body.clone();
-            self.mem.with_bytes_many(&requests, |views| body(views));
+            match &self.verify {
+                Some(sink) => sink.run_observed(
+                    &self.mem,
+                    rec.desc.id,
+                    &rec.desc.label,
+                    &accesses,
+                    &requests,
+                    body,
+                ),
+                None => {
+                    self.mem.with_bytes_many(&requests, |views| body(views));
+                }
+            }
         }
         self.coh.commit(ctx, &*self.exec, &accesses, space)?;
         Ok(())
@@ -225,7 +240,10 @@ impl RtShared {
             }
             TaskCost::Zero => KernelCost::fixed(SimDuration::ZERO),
         };
-        // Launch asynchronously so prefetch can proceed underneath.
+        // Launch asynchronously so prefetch can proceed underneath. The
+        // effect runs on the stream's own process, so in verification
+        // mode the observation wrapper (thread-local access tracker +
+        // byte diffing) must travel inside the closure.
         let effect: Option<ompss_cudasim::Effect> = rec.body.as_ref().map(|body| {
             let body = body.clone();
             let mem = self.mem.clone();
@@ -234,8 +252,15 @@ impl RtShared {
                 .zip(&accesses)
                 .map(|(l, a)| (l.space, l.alloc, l.offset, a.region.len))
                 .collect();
-            Box::new(move |_c: &Ctx| {
-                mem.with_bytes_many(&requests, |views| body(views));
+            let verify = self.verify.clone();
+            let id = rec.desc.id;
+            let label = rec.desc.label.clone();
+            let declared = accesses.clone();
+            Box::new(move |_c: &Ctx| match &verify {
+                Some(sink) => sink.run_observed(&mem, id, &label, &declared, &requests, &body),
+                None => {
+                    mem.with_bytes_many(&requests, |views| body(views));
+                }
             }) as ompss_cudasim::Effect
         });
         let ev = stream.launch_async(ctx, cost, effect);

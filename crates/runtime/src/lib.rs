@@ -46,6 +46,7 @@ mod runtime;
 pub mod stats;
 mod task;
 pub mod trace;
+mod verify;
 
 pub use config::{CachePolicy, RuntimeConfig, SlaveRouting};
 pub use exec::ClusterMsg;
@@ -53,13 +54,14 @@ pub use runtime::{ArrayHandle, Omp, RunReport, Runtime, TaskHandle};
 pub use stats::{CounterSnapshot, Counters, ResourceBusy};
 pub use task::{TaskBody, TaskCost, TaskRecord, TaskSpec};
 pub use trace::{ParaverTrace, TraceEvent, TraceResource};
+pub use verify::{TaskAccess, VerifyData};
 
 // Re-exports for downstream ergonomics (apps, benches).
-pub use ompss_core::Device;
+pub use ompss_core::{Device, GraphLint, TaskId};
 pub use ompss_cudasim::{GpuSpec, KernelCost};
 pub use ompss_mem::{Backing, Region};
 pub use ompss_sched::Policy;
-pub use ompss_sim::{SimDuration, SimTime};
+pub use ompss_sim::{RunError, SimDuration, SimTime};
 
 /// Destructure a task body's byte views into typed mutable slices, in
 /// clause order:

@@ -33,6 +33,7 @@ use crate::exec::RtExec;
 use crate::stats::{CounterSnapshot, Counters};
 use crate::task::TaskSpec;
 use crate::trace::{TraceEvent, Tracer};
+use crate::verify::{VerifyData, VerifySink};
 
 /// Measured outcome of a run.
 #[derive(Debug, Clone)]
@@ -63,6 +64,11 @@ pub struct RunReport {
     pub clock_advances: u64,
     /// Execution trace, when [`RuntimeConfig::tracing`] was enabled.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Verification evidence, when [`RuntimeConfig::verify`] was
+    /// enabled: per-task observed accesses, graph lints, and races
+    /// among the observations. The `ompss-verify` crate turns this
+    /// into findings.
+    pub verify: Option<VerifyData>,
 }
 
 impl RunReport {
@@ -313,7 +319,7 @@ impl Omp {
             m.next_id += 1;
             let rec = Arc::new(spec.into_record(id));
             let handle = TaskHandle { id, done: rec.done.clone() };
-            let ready = match m.graph.add_task(id, &rec.desc.deps) {
+            let ready = match m.graph.add_task_labeled(id, &rec.desc.label, &rec.desc.deps) {
                 Ok(r) => r,
                 Err(e) => panic!("invalid task submission: {e}"),
             };
@@ -418,8 +424,25 @@ pub struct Runtime;
 impl Runtime {
     /// Run `program` on a machine described by `cfg`; returns the
     /// measured report. Panics (mirroring a crashed run) if the program
-    /// deadlocks or a process panics.
+    /// deadlocks or a process panics; use [`Runtime::try_run`] to
+    /// handle those outcomes as values.
     pub fn run<F>(cfg: RuntimeConfig, program: F) -> RunReport
+    where
+        F: FnOnce(&Omp) + Send + 'static,
+    {
+        match Self::try_run(cfg, program) {
+            Ok(report) => report,
+            Err(RunError::Deadlock(names)) => panic!("runtime deadlock; stuck: {names:?}"),
+            Err(RunError::ProcessPanic(name, msg)) => panic!("process '{name}' panicked: {msg}"),
+        }
+    }
+
+    /// Like [`Runtime::run`], but returns the failure as a value when
+    /// the program deadlocks ([`RunError::Deadlock`], carrying the
+    /// stuck process names) or a process panics
+    /// ([`RunError::ProcessPanic`]). Harnesses that probe pathological
+    /// schedules want the error, not a crash.
+    pub fn try_run<F>(cfg: RuntimeConfig, program: F) -> Result<RunReport, RunError>
     where
         F: FnOnce(&Omp) + Send + 'static,
     {
@@ -475,11 +498,12 @@ impl Runtime {
         ));
         let coh = Arc::new(
             Coherence::new(mem.clone(), topo, cfg.cache_policy)
-                .with_evict_slack(cfg.eviction_slack),
+                .with_evict_slack(cfg.eviction_slack)
+                .with_validation(cfg.verify),
         );
 
         // ---- master scheduler and resources --------------------------
-        let mut sched = Scheduler::new(cfg.sched_policy);
+        let mut sched = Scheduler::new(cfg.sched_policy).with_seed(cfg.sched_seed);
         let mut spans = std::collections::HashMap::new();
         let mut master_workers = Vec::new();
         for _ in 0..cfg.cpu_workers_per_node {
@@ -520,7 +544,7 @@ impl Runtime {
 
         // ---- slave schedulers ----------------------------------------
         let mut slaves = vec![SlaveState {
-            sched: Mutex::new(Scheduler::new(cfg.sched_policy)),
+            sched: Mutex::new(Scheduler::new(cfg.sched_policy).with_seed(cfg.sched_seed)),
             bell: Bell::new(),
             host: hosts[0],
         }];
@@ -529,7 +553,7 @@ impl Runtime {
         type SlaveRes = (Vec<ompss_sched::ResourceId>, Vec<(ompss_sched::ResourceId, SpaceId)>);
         let mut slave_res: Vec<SlaveRes> = vec![(Vec::new(), Vec::new())];
         for n in 1..cfg.nodes as usize {
-            let mut s = Scheduler::new(cfg.sched_policy);
+            let mut s = Scheduler::new(cfg.sched_policy).with_seed(cfg.sched_seed);
             let mut workers = Vec::new();
             for _ in 0..cfg.cpu_workers_per_node {
                 workers.push(s.register(ResourceInfo {
@@ -579,6 +603,7 @@ impl Runtime {
             hosts: hosts.clone(),
             tracer: tracer.clone(),
             counters: counters.clone(),
+            verify: cfg.verify.then(|| Arc::new(VerifySink::new())),
         });
 
         // ---- processes ------------------------------------------------
@@ -639,19 +664,20 @@ impl Runtime {
             *result2.lock() = Some((start, omp.ctx.now()));
         });
 
-        let run = match sim.run() {
-            Ok(r) => r,
-            Err(RunError::Deadlock(names)) => panic!("runtime deadlock; stuck: {names:?}"),
-            Err(RunError::ProcessPanic(name, msg)) => panic!("process '{name}' panicked: {msg}"),
-        };
+        let run = sim.run()?;
         let (start, end) = result.lock().take().expect("main completed");
         let m = shared.master.lock();
+        let verify = shared.verify.as_ref().map(|sink| {
+            let tasks = sink.take();
+            let races = m.graph.races(&VerifySink::observations(&tasks));
+            VerifyData { tasks, lints: m.graph.lints().to_vec(), races, phantom: !mem.is_real() }
+        });
         // HashMap iteration order is nondeterministic; the report sorts
         // so identical runs serialise byte-identically.
         let mut gpu_stats: Vec<(String, GpuStats)> =
             gpus.values().map(|d| (d.name().to_string(), d.stats())).collect();
         gpu_stats.sort_by(|a, b| a.0.cmp(&b.0));
-        RunReport {
+        Ok(RunReport {
             elapsed: end - start,
             makespan: end,
             tasks: m.tasks_executed,
@@ -664,7 +690,8 @@ impl Runtime {
             events: run.events,
             clock_advances: run.clock_advances,
             trace: tracer.map(|t| t.take()),
-        }
+            verify,
+        })
     }
 }
 

@@ -212,7 +212,7 @@ mod tests {
         c.record_busy(2, "worker1", SimDuration::from_nanos(42));
         let j = c.snapshot().to_json();
         assert_eq!(j.get("bytes").and_then(|b| b.get("net_presend")), Some(&Json::U64(7)));
-        let r = j.get("resources").unwrap();
+        let r = j.get("resources").expect("counter json lost its 'resources' field");
         assert_eq!(
             r,
             &Json::Arr(vec![Json::object()

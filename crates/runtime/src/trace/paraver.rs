@@ -211,8 +211,18 @@ mod tests {
         let p1 = ParaverTrace::from_events(&evs, SimTime(80));
         let p2 = ParaverTrace::from_events(&evs, SimTime(80));
         assert_eq!(p1, p2);
-        let times: Vec<u64> =
-            p1.prv.lines().skip(1).map(|l| l.split(':').nth(5).unwrap().parse().unwrap()).collect();
+        let times: Vec<u64> = p1
+            .prv
+            .lines()
+            .skip(1)
+            .map(|l| {
+                l.split(':')
+                    .nth(5)
+                    .expect("prv record is missing field 6 (begin time)")
+                    .parse()
+                    .expect("prv begin-time field is not an integer")
+            })
+            .collect();
         let mut sorted = times.clone();
         sorted.sort();
         assert_eq!(times, sorted);

@@ -477,6 +477,8 @@ fn env_overrides_parse() {
     std::env::set_var("OMPSS_PRESEND", "7");
     std::env::set_var("OMPSS_OVERLAP", "0");
     std::env::set_var("OMPSS_TRACE", "1");
+    std::env::set_var("OMPSS_VERIFY", "1");
+    std::env::set_var("OMPSS_SCHED_SEED", "17");
     let cfg = RuntimeConfig::gpu_cluster(2).overridden_from_env();
     assert_eq!(cfg.sched_policy, Policy::BreadthFirst);
     assert_eq!(cfg.cache_policy, CachePolicy::NoCache);
@@ -484,6 +486,8 @@ fn env_overrides_parse() {
     assert_eq!(cfg.presend, 7);
     assert!(!cfg.overlap);
     assert!(cfg.tracing);
+    assert!(cfg.verify);
+    assert_eq!(cfg.sched_seed, 17);
     for k in [
         "OMPSS_SCHEDULE",
         "OMPSS_CACHE_POLICY",
@@ -491,6 +495,8 @@ fn env_overrides_parse() {
         "OMPSS_PRESEND",
         "OMPSS_OVERLAP",
         "OMPSS_TRACE",
+        "OMPSS_VERIFY",
+        "OMPSS_SCHED_SEED",
     ] {
         std::env::remove_var(k);
     }

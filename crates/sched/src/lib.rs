@@ -164,6 +164,15 @@ pub struct Scheduler {
     hints: Vec<VecDeque<SchedTask>>,
     stats: SchedStats,
     queued: usize,
+    /// Tie-break perturbation seed for the verify subsystem's schedule
+    /// exploration: `0` (the default) keeps the documented deterministic
+    /// FIFO tie-break; any other value picks among equal-priority
+    /// eligible tasks pseudo-randomly (but still deterministically for a
+    /// given seed), exposing schedule-dependent nondeterminism in
+    /// applications.
+    seed: u64,
+    /// Decision counter feeding the perturbation stream.
+    decisions: u64,
 }
 
 impl Scheduler {
@@ -177,7 +186,16 @@ impl Scheduler {
             hints: Vec::new(),
             stats: SchedStats::default(),
             queued: 0,
+            seed: 0,
+            decisions: 0,
         }
+    }
+
+    /// Set the tie-break perturbation seed (see the `seed` field docs);
+    /// `0` disables perturbation. Builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// The active policy.
@@ -306,32 +324,59 @@ impl Scheduler {
     ) -> Option<TaskId> {
         let kind = self.resources[resource.0].kind;
         let accepts = |t: &SchedTask| kind.accepts(t.device) && allow(t.device);
-        // Highest priority wins; FIFO within a priority level.
-        fn pick(q: &VecDeque<SchedTask>, accepts: impl Fn(&SchedTask) -> bool) -> Option<usize> {
-            let mut best: Option<(i32, usize)> = None;
+        // Highest priority wins; FIFO within a priority level — unless a
+        // perturbation seed is set, in which case the tie-break among
+        // equal-priority eligible tasks is drawn from a deterministic
+        // pseudo-random stream (schedule exploration).
+        let salt = if self.seed == 0 {
+            0
+        } else {
+            self.decisions += 1;
+            splitmix64(self.seed ^ self.decisions)
+        };
+        fn pick(
+            q: &VecDeque<SchedTask>,
+            accepts: impl Fn(&SchedTask) -> bool,
+            salt: u64,
+        ) -> Option<usize> {
+            let mut best_prio = i32::MIN;
+            let mut candidates: Vec<usize> = Vec::new();
             for (i, t) in q.iter().enumerate() {
-                if accepts(t) && best.is_none_or(|(bp, _)| t.priority > bp) {
-                    best = Some((t.priority, i));
+                if !accepts(t) {
+                    continue;
+                }
+                if candidates.is_empty() || t.priority > best_prio {
+                    best_prio = t.priority;
+                    candidates.clear();
+                    candidates.push(i);
+                } else if t.priority == best_prio {
+                    candidates.push(i);
                 }
             }
-            best.map(|(_, i)| i)
+            if candidates.is_empty() {
+                None
+            } else {
+                // salt == 0 selects the first (oldest) candidate: the
+                // exact pre-perturbation FIFO behaviour.
+                Some(candidates[(salt % candidates.len() as u64) as usize])
+            }
         }
 
-        if let Some(pos) = pick(&self.hints[resource.0], accepts) {
+        if let Some(pos) = pick(&self.hints[resource.0], accepts, salt) {
             let t = self.hints[resource.0].remove(pos).expect("position valid");
             self.queued -= 1;
             self.stats.successor_hits += 1;
             return Some(t.id);
         }
 
-        if let Some(pos) = pick(&self.local[resource.0], accepts) {
+        if let Some(pos) = pick(&self.local[resource.0], accepts, salt) {
             let t = self.local[resource.0].remove(pos).expect("position valid");
             self.queued -= 1;
             self.stats.local_hits += 1;
             return Some(t.id);
         }
 
-        if let Some(pos) = pick(&self.global, accepts) {
+        if let Some(pos) = pick(&self.global, accepts, salt) {
             let t = self.global.remove(pos).expect("position valid");
             self.queued -= 1;
             self.stats.global_hits += 1;
@@ -364,6 +409,16 @@ impl Scheduler {
 
         None
     }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer used as the perturbation
+/// stream. Chosen for statelessness: the n-th decision's draw depends
+/// only on `(seed, n)`, keeping perturbed runs reproducible.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -570,6 +625,59 @@ mod tests {
         assert_eq!(s.next(w), Some(TaskId(2)));
         assert_eq!(s.next(w), Some(TaskId(3)));
         assert_eq!(s.next(w), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn seed_zero_matches_unseeded_fifo_exactly() {
+        let run = |seed: u64| {
+            let mut s = Scheduler::new(Policy::BreadthFirst).with_seed(seed);
+            let w = s.register(smp(0));
+            for i in 0..8 {
+                s.submit(&desc(i, Device::Smp, &[]), &NoLocality);
+            }
+            let mut order = Vec::new();
+            while let Some(t) = s.next(w) {
+                order.push(t);
+            }
+            order
+        };
+        assert_eq!(run(0), (0..8).map(TaskId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nonzero_seed_permutes_equal_priority_ties_deterministically() {
+        let run = |seed: u64| {
+            let mut s = Scheduler::new(Policy::BreadthFirst).with_seed(seed);
+            let w = s.register(smp(0));
+            for i in 0..8 {
+                s.submit(&desc(i, Device::Smp, &[]), &NoLocality);
+            }
+            let mut order = Vec::new();
+            while let Some(t) = s.next(w) {
+                order.push(t);
+            }
+            order
+        };
+        let fifo: Vec<_> = (0..8).map(TaskId).collect();
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), fifo, "a perturbed seed must actually change tie-breaks");
+        // All eight tasks still get scheduled exactly once.
+        let mut sorted = run(7);
+        sorted.sort();
+        assert_eq!(sorted, fifo);
+    }
+
+    #[test]
+    fn perturbation_never_violates_priority_order() {
+        let mut s = Scheduler::new(Policy::BreadthFirst).with_seed(99);
+        let w = s.register(smp(0));
+        let mut hi = desc(50, Device::Smp, &[]);
+        hi.priority = 10;
+        for i in 0..4 {
+            s.submit(&desc(i, Device::Smp, &[]), &NoLocality);
+        }
+        s.submit(&hi, &NoLocality);
+        assert_eq!(s.next(w), Some(TaskId(50)), "priority beats any tie-break seed");
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! `verify` — run the shipped applications under verification mode and
+//! report clause/dependence findings as JSON.
+//!
+//! ```text
+//! verify --all              # all four apps (default when no args)
+//! verify matmul stream      # a subset
+//! verify --no-schedules ... # skip the seed-permutation exploration
+//! ```
+//!
+//! Each selected application runs with [`RuntimeConfig::verify`] on
+//! under two topologies (2 GPUs on one node; a 2-node cluster), its
+//! evidence is checked by [`ompss_verify::validate`], and — unless
+//! `--no-schedules` — it is rerun across scheduler tie-break seeds
+//! ([`ompss_verify::schedule`]) to diff results. The report is printed
+//! as pretty JSON; any finding makes the exit status 1.
+
+use ompss_apps::common::AppRun;
+use ompss_apps::matmul::ompss::InitMode;
+use ompss_apps::matmul::{self, MatmulParams};
+use ompss_apps::nbody::{self, NbodyParams};
+use ompss_apps::perlin::{self, PerlinParams};
+use ompss_apps::stream::{self, StreamParams};
+use ompss_json::Json;
+use ompss_runtime::RuntimeConfig;
+use ompss_verify::schedule::{self, Observation};
+use ompss_verify::{report_json, validate, Finding};
+
+const APPS: [&str; 4] = ["matmul", "stream", "nbody", "perlin"];
+
+fn run_app(name: &str, cfg: RuntimeConfig) -> AppRun {
+    match name {
+        "matmul" => matmul::ompss::run(cfg, MatmulParams::validate(), InitMode::Smp),
+        "stream" => stream::ompss::run(cfg, StreamParams::validate()),
+        "nbody" => nbody::ompss::run(cfg, NbodyParams::validate()),
+        "perlin" => perlin::ompss::run(cfg, PerlinParams::validate(), false),
+        other => panic!("unknown app '{other}'"),
+    }
+}
+
+/// The two topologies every app is checked under: the paper's
+/// single-node multi-GPU setting and its multi-node cluster setting.
+fn configs() -> [(&'static str, RuntimeConfig); 2] {
+    [("multi_gpu", RuntimeConfig::multi_gpu(2)), ("cluster", RuntimeConfig::gpu_cluster(2))]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: verify [--all] [--no-schedules] [app...]\napps: {}", APPS.join(" "));
+        return;
+    }
+    let schedules = !args.iter().any(|a| a == "--no-schedules");
+    let named: Vec<&str> =
+        args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
+    for a in &named {
+        assert!(APPS.contains(a), "unknown app '{a}'; expected one of {APPS:?}");
+    }
+    let selected: Vec<&str> =
+        if named.is_empty() || args.iter().any(|a| a == "--all") { APPS.to_vec() } else { named };
+
+    let mut sections = Json::array();
+    let mut total = 0usize;
+    for app in &selected {
+        for (cfg_name, cfg) in configs() {
+            let target = format!("{app}/{cfg_name}");
+            let run = run_app(app, cfg.with_verify(true));
+            let report = run.report.as_ref().expect("ompss app run carries a report");
+            let findings = validate(report);
+            total += findings.len();
+            sections.push(report_json(&target, &findings));
+        }
+        if schedules {
+            let target = format!("{app}/schedules");
+            let findings = explore_app(app);
+            total += findings.len();
+            sections.push(report_json(&target, &findings));
+        }
+    }
+
+    let report = Json::object()
+        .field("tool", "ompss-verify")
+        .field("total_findings", total as u64)
+        .field("reports", sections);
+    println!("{}", report.to_pretty_string().trim_end());
+    if total > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Rerun `app` on the multi-GPU topology across scheduler seeds and
+/// diff outputs (verification itself stays off: exploration only cares
+/// about the results, and the byte-diff snapshots would slow the extra
+/// runs for nothing).
+fn explore_app(app: &str) -> Vec<Finding> {
+    schedule::explore(app, &schedule::DEFAULT_SEEDS, |seed| {
+        let run = run_app(app, RuntimeConfig::multi_gpu(2).with_sched_seed(seed));
+        let tasks = run.report.as_ref().map_or(0, |r| r.tasks);
+        Observation { check: run.check, tasks }
+    })
+}

@@ -1,0 +1,157 @@
+//! Schedule exploration: rerun a program under permuted scheduler
+//! tie-break seeds and diff the results.
+//!
+//! A correct OmpSs program's output is a function of its dependence
+//! graph alone — any schedule the graph admits must produce the same
+//! bytes. The runtime's scheduler accepts a seed
+//! ([`RuntimeConfig::with_sched_seed`]) that perturbs *only* the order
+//! of equally-ready tasks, so rerunning an application across seeds
+//! and comparing outputs is a cheap dynamic probe for
+//! under-declared dependences: a clause bug that happens to be benign
+//! under the default FIFO order often surfaces as a result mismatch
+//! (or a deadlock) under another legal order.
+//!
+//! [`RuntimeConfig::with_sched_seed`]: ompss_runtime::RuntimeConfig::with_sched_seed
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::{Finding, FindingKind};
+
+/// The seeds [`explore`] uses when the caller has no preference. Seed 0
+/// is the byte-identical legacy FIFO order; the others are arbitrary
+/// perturbations.
+pub const DEFAULT_SEEDS: [u64; 3] = [0, 17, 42];
+
+/// What one seeded run produced, as far as schedule comparison cares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The application's validation payload (final output bytes as
+    /// floats). `None` means the run had no real data to compare.
+    pub check: Option<Vec<f32>>,
+    /// Number of tasks the runtime executed.
+    pub tasks: u64,
+}
+
+/// Run `run` once per seed and diff the observations against the first
+/// seed's. Returns one [`FindingKind::Deadlock`] finding per crashed
+/// or deadlocked seed and one [`FindingKind::ScheduleNondeterminism`]
+/// finding per diverging seed.
+///
+/// `target` names the program under test in the findings' messages.
+pub fn explore<F>(target: &str, seeds: &[u64], run: F) -> Vec<Finding>
+where
+    F: Fn(u64) -> Observation,
+{
+    let mut findings = Vec::new();
+    let mut baseline: Option<(u64, Observation)> = None;
+    for &seed in seeds {
+        // A buggy program may deadlock (the runtime panics the whole
+        // process group) under some orders; contain that to a finding.
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(seed)));
+        let obs = match outcome {
+            Ok(obs) => obs,
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                findings.push(Finding {
+                    kind: FindingKind::Deadlock,
+                    task: None,
+                    label: String::new(),
+                    region: None,
+                    message: format!("{target} crashed under scheduler seed {seed}: {msg}"),
+                });
+                continue;
+            }
+        };
+        match &baseline {
+            None => baseline = Some((seed, obs)),
+            Some((base_seed, base)) => {
+                if let Some(diff) = diverges(base, &obs) {
+                    findings.push(Finding {
+                        kind: FindingKind::ScheduleNondeterminism,
+                        task: None,
+                        label: String::new(),
+                        region: None,
+                        message: format!(
+                            "{target} diverged between scheduler seeds \
+                             {base_seed} and {seed}: {diff}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Describe how two observations differ, or `None` if they agree.
+fn diverges(a: &Observation, b: &Observation) -> Option<String> {
+    if a.tasks != b.tasks {
+        return Some(format!("{} tasks vs {}", a.tasks, b.tasks));
+    }
+    match (&a.check, &b.check) {
+        (Some(x), Some(y)) if x.len() != y.len() => {
+            Some(format!("output length {} vs {}", x.len(), y.len()))
+        }
+        (Some(x), Some(y)) => {
+            let at = x.iter().zip(y).position(|(p, q)| p.to_bits() != q.to_bits())?;
+            Some(format!("outputs first differ at element {at}: {} vs {}", x[at], y[at]))
+        }
+        (None, None) => None,
+        _ => Some("one run produced output, the other none".into()),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(tasks: u64, check: &[f32]) -> Observation {
+        Observation { check: Some(check.to_vec()), tasks }
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let f = explore("t", &DEFAULT_SEEDS, |_| obs(4, &[1.0, 2.0]));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn diverging_output_is_flagged_per_seed() {
+        let f =
+            explore("t", &DEFAULT_SEEDS, |seed| obs(4, &[1.0, if seed == 42 { 3.0 } else { 2.0 }]));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FindingKind::ScheduleNondeterminism);
+        assert!(f[0].message.contains("seeds 0 and 42"), "{}", f[0].message);
+        assert!(f[0].message.contains("element 1"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn task_count_divergence_is_flagged() {
+        let f = explore("t", &[0, 1], |seed| obs(4 + seed, &[]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("4 tasks vs 5"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn crash_becomes_deadlock_finding_and_comparison_continues() {
+        let f = explore("t", &DEFAULT_SEEDS, |seed| {
+            if seed == 0 {
+                panic!("runtime deadlock; stuck: [\"worker\"]");
+            }
+            obs(2, &[1.0])
+        });
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, FindingKind::Deadlock);
+        assert!(f[0].message.contains("seed 0"), "{}", f[0].message);
+    }
+}

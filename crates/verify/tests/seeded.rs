@@ -1,0 +1,127 @@
+//! Seeded-violation self-tests: four deliberately broken programs,
+//! each of which must yield EXACTLY ONE finding of the right kind,
+//! anchored to the right task label. These pin down both the
+//! detectors and the suppression rules (a race must not additionally
+//! surface as its constituent undeclared accesses).
+
+use ompss_mem::track;
+use ompss_runtime::{Device, Runtime, RuntimeConfig, SimDuration, TaskSpec};
+use ompss_verify::{validate, Finding, FindingKind};
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig::multi_gpu(2).with_verify(true)
+}
+
+/// Writer tasks need a real duration: a task that completes before the
+/// racing task is even submitted is *temporally* ordered with it, and
+/// the race detector (correctly) stays quiet.
+fn slow() -> SimDuration {
+    SimDuration::from_millis(1)
+}
+
+fn sole(findings: Vec<Finding>) -> Finding {
+    assert_eq!(findings.len(), 1, "expected exactly one finding: {findings:?}");
+    findings.into_iter().next().unwrap()
+}
+
+#[test]
+fn undeclared_write_yields_one_finding() {
+    let rep = Runtime::run(cfg(), |omp| {
+        let data = omp.alloc_array::<f32>(64);
+        let other = omp.alloc_array::<f32>(64);
+        let r1 = data.region(0..64);
+        let r2 = other.region(0..64);
+        // Declares only a read of `data`, but (claims to) scribble on
+        // `other` — the graph cannot order that write against anyone.
+        omp.submit(TaskSpec::new("bad_write").device(Device::Smp).input(r1).body(move |_v| {
+            track::record_write(r2);
+        }));
+    });
+    let f = sole(validate(&rep));
+    assert_eq!(f.kind, FindingKind::UndeclaredWrite);
+    assert_eq!(f.label, "bad_write");
+}
+
+#[test]
+fn write_through_input_yields_one_finding() {
+    let rep = Runtime::run(cfg(), |omp| {
+        let data = omp.alloc_array::<f32>(64);
+        let r1 = data.region(0..64);
+        // No explicit recording needed: the byte diff catches the
+        // mutation through the input-declared view.
+        omp.submit(TaskSpec::new("sneaky").device(Device::Smp).input(r1).body(move |v| {
+            v[0][0] ^= 0xff;
+        }));
+    });
+    let f = sole(validate(&rep));
+    assert_eq!(f.kind, FindingKind::WriteThroughInput);
+    assert_eq!(f.label, "sneaky");
+}
+
+#[test]
+fn concurrent_writers_yield_one_finding() {
+    let rep = Runtime::run(cfg(), |omp| {
+        let decoy = omp.alloc_array::<f32>(64);
+        let shared = omp.alloc_array::<f32>(64);
+        let r3 = shared.region(0..64);
+        for (label, range) in [("writer_a", 0..32), ("writer_b", 32..64)] {
+            let rd = decoy.region(range);
+            omp.submit(TaskSpec::new(label).device(Device::Smp).input(rd).cost_smp(slow()).body(
+                move |_v| {
+                    track::record_write(r3);
+                },
+            ));
+        }
+    });
+    // One ConcurrentWriters finding; the two undeclared writes that
+    // constitute it are suppressed.
+    let f = sole(validate(&rep));
+    assert_eq!(f.kind, FindingKind::ConcurrentWriters);
+    assert_eq!(f.label, "writer_a");
+}
+
+#[test]
+fn stale_read_yields_one_finding() {
+    let rep = Runtime::run(cfg(), |omp| {
+        let data = omp.alloc_array::<f32>(64);
+        let other = omp.alloc_array::<f32>(64);
+        let r4 = data.region(0..64);
+        let ro = other.region(0..64);
+        omp.submit(TaskSpec::new("producer").device(Device::Smp).output(r4).cost_smp(slow()).body(
+            move |_v| {
+                track::record_write(r4);
+            },
+        ));
+        // Reads the producer's region without declaring it: nothing
+        // orders this read after (or before) the write.
+        omp.submit(TaskSpec::new("racy_reader").device(Device::Smp).input(ro).body(move |_v| {
+            track::record_read(r4);
+        }));
+    });
+    // One StaleRead finding anchored on the reader; its undeclared
+    // read is suppressed, and the producer's write was declared.
+    let f = sole(validate(&rep));
+    assert_eq!(f.kind, FindingKind::StaleRead);
+    assert_eq!(f.label, "racy_reader");
+}
+
+/// The flip side of the seeded violations: a correctly-annotated
+/// version of the same pattern is clean.
+#[test]
+fn declared_ordered_version_is_clean() {
+    let rep = Runtime::run(cfg(), |omp| {
+        let data = omp.alloc_array::<f32>(64);
+        let r = data.region(0..64);
+        omp.submit(TaskSpec::new("producer").device(Device::Smp).output(r).cost_smp(slow()).body(
+            move |v| {
+                track::record_write(r);
+                v[0].fill(1);
+            },
+        ));
+        omp.submit(TaskSpec::new("consumer").device(Device::Smp).input(r).body(move |_v| {
+            track::record_read(r);
+        }));
+    });
+    let findings = validate(&rep);
+    assert!(findings.is_empty(), "{findings:?}");
+}

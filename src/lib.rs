@@ -83,6 +83,29 @@ pub mod prelude {
 /// serial / CUDA / MPI+CUDA / OmpSs versions.
 pub use ompss_apps as apps;
 
+/// The clause/dependence race detector and invariant checker: turns
+/// verify-mode run evidence ([`RuntimeConfig::with_verify`]) into
+/// actionable findings.
+///
+/// ```
+/// use ompss::{Device, Runtime, RuntimeConfig, TaskSpec};
+///
+/// let report = Runtime::run(RuntimeConfig::multi_gpu(1).with_verify(true), |omp| {
+///     let a = omp.alloc_array::<f32>(64);
+///     let r = a.region(0..64);
+///     // Mutates its view despite declaring only `input` — the byte
+///     // diff catches it.
+///     omp.submit(TaskSpec::new("sneaky").device(Device::Smp).input(r).body(|v| {
+///         v[0][0] ^= 1;
+///     }));
+/// });
+/// let findings = ompss::verify::validate(&report);
+/// assert_eq!(findings.len(), 1);
+/// assert_eq!(findings[0].kind, ompss::verify::FindingKind::WriteThroughInput);
+/// assert_eq!(findings[0].label, "sneaky");
+/// ```
+pub use ompss_verify as verify;
+
 /// The simulation substrates, for building custom machines.
 pub mod substrate {
     pub use ompss_coherence::{Coherence, HopKind, Loc, Topology, TransferExec};
