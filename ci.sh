@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, build, tests, clause verification.
+# Full CI gate: formatting, lints, build, tests, clause verification,
+# fault-injection sweep.
 #
 #   ./ci.sh          # everything
 #   ./ci.sh quick    # skip the release build (lints + tests + verify)
 #   ./ci.sh verify   # only the ompss-verify sweep over the apps
+#   ./ci.sh chaos    # only the fault-injection sweep over the apps
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,8 +14,19 @@ verify() {
     cargo run -q --release -p ompss-verify --bin verify -- --all
 }
 
+chaos() {
+    echo "==> ompss-chaos (all apps, two rates x three seeds, both topologies)"
+    cargo run -q --release -p ompss-chaos --bin chaos -- --rates 0.05,0.1 --seeds 1,2,3
+}
+
 if [[ "${1:-}" == "verify" ]]; then
     verify
+    echo "CI green."
+    exit 0
+fi
+
+if [[ "${1:-}" == "chaos" ]]; then
+    chaos
     echo "CI green."
     exit 0
 fi
@@ -33,5 +46,7 @@ echo "==> cargo test"
 cargo test --workspace -q
 
 verify
+
+chaos
 
 echo "CI green."

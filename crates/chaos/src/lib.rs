@@ -1,0 +1,65 @@
+//! Chaos harness: the shipped applications under seeded deterministic
+//! fault injection.
+//!
+//! A [`FaultPlan`] draws every injection decision from one counter-mode
+//! generator, so a `(seed, rate)` pair names an exact fault schedule in
+//! virtual time — any failing sweep case replays bit-for-bit. The
+//! harness runs each application fault-free for a reference output,
+//! re-runs it under the plan, and requires the recovered output to be
+//! *bit-identical*: recovery that loses or doubles work shows up as a
+//! diff, not a tolerance miss.
+//!
+//! The `chaos` binary (see `src/bin/chaos.rs`) sweeps apps × topologies
+//! × rates × seeds and reports JSON; the crate's tests pin one seeded
+//! scenario per defect class the runtime recovers from.
+
+use std::sync::Arc;
+
+use ompss_apps::common::AppRun;
+use ompss_apps::matmul::ompss::InitMode;
+use ompss_apps::matmul::{self, MatmulParams};
+use ompss_apps::nbody::{self, NbodyParams};
+use ompss_apps::perlin::{self, PerlinParams};
+use ompss_apps::stream::{self, StreamParams};
+use ompss_runtime::{FaultPlan, RuntimeConfig};
+
+/// The applications the sweep covers.
+pub const APPS: [&str; 4] = ["matmul", "stream", "nbody", "perlin"];
+
+/// Run one application at validation scale (real byte backing, output
+/// returned in `check`) under `cfg`.
+pub fn run_app(name: &str, cfg: RuntimeConfig) -> AppRun {
+    match name {
+        "matmul" => matmul::ompss::run(cfg, MatmulParams::validate(), InitMode::Smp),
+        "stream" => stream::ompss::run(cfg, StreamParams::validate()),
+        "nbody" => nbody::ompss::run(cfg, NbodyParams::validate()),
+        "perlin" => perlin::ompss::run(cfg, PerlinParams::validate(), false),
+        other => panic!("unknown app '{other}'"),
+    }
+}
+
+/// The two topologies the sweep exercises: the paper's single-node
+/// multi-GPU setting and its multi-node cluster setting.
+pub fn topologies() -> [(&'static str, RuntimeConfig); 2] {
+    [("multi_gpu", RuntimeConfig::multi_gpu(2)), ("cluster", RuntimeConfig::gpu_cluster(2))]
+}
+
+/// Raise the retry budgets for probabilistic sweeps: at moderate rates
+/// a message can be unlucky several times in a row, and the sweep
+/// asserts recovery, not budget tuning. (The pinned defect-class tests
+/// keep the default budgets.)
+pub fn with_big_budgets(cfg: RuntimeConfig) -> RuntimeConfig {
+    cfg.with_task_retry_budget(8).with_am_retry_budget(16)
+}
+
+/// Chaos run of `app` on `cfg` under an explicit `plan`, with budgets
+/// raised.
+pub fn chaos_run(app: &str, cfg: RuntimeConfig, plan: Arc<FaultPlan>) -> AppRun {
+    run_app(app, with_big_budgets(cfg.with_fault_plan(plan)))
+}
+
+/// Fetch the validation output of a run, which validation-scale app
+/// configs always produce.
+pub fn output_of(run: &AppRun) -> &[f32] {
+    run.check.as_deref().expect("validation-scale app run carries its output")
+}

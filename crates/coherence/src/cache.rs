@@ -1023,6 +1023,46 @@ impl Coherence {
         Ok(())
     }
 
+    /// Drop every droppable copy held at `space` and free its memory —
+    /// the space's device was lost, so nothing cached there may serve as
+    /// a transfer source again. Returns the number of copies dropped.
+    ///
+    /// Copies that are pinned, in flight, or dirty-latest are skipped:
+    /// pins belong to a task still being torn down (the runtime unpins a
+    /// failed task's accesses before calling this), in-flight fills
+    /// complete through their signal, and a dirty-latest copy is the
+    /// only home of its data so removing it would violate the dirty
+    /// cover invariant (fault runs pin the write-through policy exactly
+    /// so such copies cannot exist at a lost device).
+    pub fn invalidate_space(&self, space: SpaceId) -> usize {
+        assert_ne!(space, self.topo.root(), "the master host home is never invalidated");
+        let mut inner = self.inner.lock();
+        let mut dropped = 0;
+        let mut freed: Vec<AllocId> = Vec::new();
+        for entry in inner.regions.values_mut() {
+            let Some(c) = entry.copies.get(&space) else {
+                continue;
+            };
+            if c.pinned > 0 || matches!(c.state, CState::InFlight { .. }) {
+                continue;
+            }
+            let latest = matches!(c.state, CState::Valid { version } if version == entry.version);
+            if c.dirty && latest {
+                continue;
+            }
+            let alloc = c.alloc;
+            entry.copies.remove(&space);
+            freed.push(alloc);
+            dropped += 1;
+        }
+        inner.stats.evictions += dropped as u64;
+        for alloc in freed {
+            self.mem.free(space, alloc);
+        }
+        self.debug_validate_locked(&inner, "invalidate_space");
+        dropped
+    }
+
     /// Valid-latest bytes of `region` at `space` (the scheduler's
     /// locality oracle).
     pub fn bytes_at(&self, region: &Region, space: SpaceId) -> u64 {

@@ -410,3 +410,55 @@ fn stale_copy_is_refreshed_in_place_without_realloc() {
         coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
     });
 }
+
+#[test]
+fn invalidate_space_drops_clean_copies_and_frees_memory() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(
+        Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteThrough)
+            .with_validation(true),
+    );
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 128);
+    let (host, gpu0, gpu1, mem) = (n.host, n.gpu0, n.gpu1, n.mem.clone());
+    run_sim(move |ctx| {
+        // gpu0 writes the region; write-through pushes it home at commit,
+        // leaving a clean cached copy on gpu0.
+        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        mem.write(gpu0, loc.alloc, loc.offset, &[9u8; 128]);
+        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        assert_eq!(coh.bytes_at(&r, gpu0), 128);
+        let used_before = mem.used(gpu0);
+        assert!(used_before > 0);
+        // gpu0 is lost: its cache empties and its memory returns.
+        assert_eq!(coh.invalidate_space(gpu0), 1);
+        assert_eq!(coh.bytes_at(&r, gpu0), 0);
+        assert_eq!(mem.used(gpu0), 0);
+        // The data is still reachable from home for the survivor.
+        let loc1 = coh.acquire(&ctx, &*exec, &r, true, gpu1).unwrap();
+        let mut buf = [0u8; 128];
+        mem.read(gpu1, loc1.alloc, loc1.offset, &mut buf);
+        assert_eq!(buf, [9u8; 128]);
+        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu1).unwrap();
+        assert_eq!(coh.bytes_at(&r, host), 128);
+    });
+}
+
+#[test]
+fn invalidate_space_skips_pinned_copies() {
+    let n = single_node(1 << 20);
+    let coh = Arc::new(Coherence::new(n.mem.clone(), n.topo.clone(), CachePolicy::WriteThrough));
+    let exec = Arc::new(TestExec::new(n.mem.clone()));
+    let r = region(&n.mem, n.host, 64);
+    let gpu0 = n.gpu0;
+    run_sim(move |ctx| {
+        // Acquire pins the copy; invalidation must leave it alone until
+        // the failed task's teardown unpins it.
+        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        assert_eq!(coh.invalidate_space(gpu0), 0);
+        assert_eq!(coh.bytes_at(&r, gpu0), 64);
+        coh.unpin(&r, gpu0);
+        assert_eq!(coh.invalidate_space(gpu0), 1);
+        assert_eq!(coh.bytes_at(&r, gpu0), 0);
+    });
+}

@@ -388,6 +388,16 @@ impl TaskGraph {
         n.state = TaskState::Running;
     }
 
+    /// Return a running task to the ready state without releasing its
+    /// successors — its resource was lost before the task could finish,
+    /// and the runtime is migrating it to a surviving resource, which
+    /// will [`start`](TaskGraph::start) it again.
+    pub fn reset_running(&mut self, id: TaskId) {
+        let n = self.nodes.get_mut(&id).expect("unknown task");
+        assert_eq!(n.state, TaskState::Running, "reset_running() on a task that is not running");
+        n.state = TaskState::Ready;
+    }
+
     /// Complete a task, releasing successors. Returns the tasks that
     /// became ready.
     pub fn complete(&mut self, id: TaskId) -> Vec<TaskId> {
@@ -600,6 +610,21 @@ mod tests {
         assert_eq!(ready, vec![t(2), t(3)]);
         assert!(g.complete(t(2)).is_empty(), "writer still blocked on t3");
         assert_eq!(g.complete(t(3)), vec![t(4)]);
+    }
+
+    #[test]
+    fn reset_running_allows_a_clean_restart() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        assert!(!g.add_task(t(2), &[Access::read(r(1, 0, 8))]).unwrap());
+        g.start(t(1));
+        assert_eq!(g.state(t(1)), TaskState::Running);
+        // The resource running t1 dies; the task migrates.
+        g.reset_running(t(1));
+        assert_eq!(g.state(t(1)), TaskState::Ready);
+        assert_eq!(g.state(t(2)), TaskState::Pending, "successors stay blocked");
+        g.start(t(1));
+        assert_eq!(g.complete(t(1)), vec![t(2)]);
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //! subject to engine availability — the same concurrency contract CUDA
 //! streams give.
 
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_sim::{Channel, Ctx, Semaphore, Signal, SimDuration, SimResult};
+use ompss_sim::{
+    Channel, Ctx, DeviceFuse, FaultClass, FaultPlan, Semaphore, Signal, SimDuration, SimResult,
+};
 
 use crate::spec::{GpuSpec, KernelCost};
 
@@ -34,16 +37,34 @@ pub enum CopyDir {
     D2H,
 }
 
+/// An injected device-side failure, reported through the [`CudaEvent`]
+/// of the operation it struck (the analogue of a sticky CUDA error code
+/// returned by `cudaEventSynchronize`). The runtime reacts by retrying
+/// the task or migrating away from the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuFault {
+    /// The kernel launched but did not retire correctly; its effect was
+    /// not applied. Re-launching is safe.
+    KernelFailed,
+    /// An asynchronous copy was detected corrupt on arrival; its effect
+    /// was not applied. Re-issuing the copy is safe.
+    CopyFailed,
+    /// The whole device dropped off the bus. Every subsequent operation
+    /// on it fails instantly with this fault.
+    DeviceLost,
+}
+
 /// Completion token for an asynchronous stream operation — the analogue
 /// of a recorded `cudaEvent_t`.
 #[derive(Clone)]
 pub struct CudaEvent {
     signal: Signal,
+    fault: Arc<Mutex<Option<GpuFault>>>,
 }
 
 impl CudaEvent {
     fn new() -> Self {
-        CudaEvent { signal: Signal::new() }
+        CudaEvent { signal: Signal::new(), fault: Arc::new(Mutex::new(None)) }
     }
 
     /// True once the operation (and everything before it in its stream)
@@ -55,6 +76,12 @@ impl CudaEvent {
     /// Park until the operation completes (`cudaEventSynchronize`).
     pub fn synchronize(&self, ctx: &Ctx) -> SimResult<()> {
         self.signal.wait(ctx)
+    }
+
+    /// After completion: the injected fault that struck this operation,
+    /// if any. `None` means the operation (and its effect) succeeded.
+    pub fn fault(&self) -> Option<GpuFault> {
+        *self.fault.lock()
     }
 }
 
@@ -98,6 +125,8 @@ struct DeviceInner {
     copy: Semaphore,
     pcie: Semaphore,
     stats: Mutex<GpuStats>,
+    lost: AtomicBool,
+    faults: Mutex<Option<(Arc<FaultPlan>, Arc<DeviceFuse>)>>,
 }
 
 /// A simulated GPU.
@@ -124,10 +153,27 @@ impl GpuDevice {
                 copy: Semaphore::new(spec.copy_engines as u64),
                 pcie: Semaphore::new(1),
                 stats: Mutex::new(GpuStats::default()),
+                lost: AtomicBool::new(false),
+                faults: Mutex::new(None),
                 name: name.into(),
                 spec,
             }),
         }
+    }
+
+    /// Arm chaos injection: the device consults `plan` on the fallible
+    /// (`try_*` / stream) paths for kernel failures, async-copy
+    /// corruption and whole-device loss. The shared `fuse` caps loss so
+    /// at least one device in the machine always survives.
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>, fuse: Arc<DeviceFuse>) {
+        *self.inner.faults.lock() = Some((plan, fuse));
+    }
+
+    /// True once the device has been lost to an injected failure. All
+    /// further fallible operations on it fail fast with
+    /// [`GpuFault::DeviceLost`].
+    pub fn is_lost(&self) -> bool {
+        self.inner.lost.load(Relaxed)
     }
 
     /// Device spec.
@@ -157,7 +203,40 @@ impl GpuDevice {
         pinned: bool,
         effect: Option<Effect>,
     ) -> SimResult<()> {
+        let r = self.do_memcpy(ctx, dir, bytes, pinned, effect, false)?;
+        debug_assert!(r.is_ok(), "non-injecting copy reported a fault");
+        Ok(())
+    }
+
+    /// Fallible host↔device copy: like [`GpuDevice::memcpy`] but subject
+    /// to chaos injection when a fault plan is armed. `Ok(Err(_))` means
+    /// the copy was detected corrupt (time was charged, the effect was
+    /// NOT applied) or the device is lost; the caller decides whether to
+    /// re-issue.
+    pub fn try_memcpy(
+        &self,
+        ctx: &Ctx,
+        dir: CopyDir,
+        bytes: u64,
+        pinned: bool,
+        effect: Option<Effect>,
+    ) -> SimResult<Result<(), GpuFault>> {
+        self.do_memcpy(ctx, dir, bytes, pinned, effect, true)
+    }
+
+    fn do_memcpy(
+        &self,
+        ctx: &Ctx,
+        dir: CopyDir,
+        bytes: u64,
+        pinned: bool,
+        effect: Option<Effect>,
+        inject: bool,
+    ) -> SimResult<Result<(), GpuFault>> {
         let d = &self.inner;
+        if inject && self.is_lost() {
+            return Ok(Err(GpuFault::DeviceLost));
+        }
         if !pinned {
             d.compute.acquire(ctx)?;
         }
@@ -170,8 +249,11 @@ impl GpuDevice {
         if !pinned {
             d.compute.release(ctx);
         }
-        if let Some(e) = effect {
-            e(ctx);
+        let fault = if inject { self.roll_copy_fault() } else { None };
+        if fault.is_none() {
+            if let Some(e) = effect {
+                e(ctx);
+            }
         }
         let mut st = d.stats.lock();
         st.copy_time += t;
@@ -190,25 +272,92 @@ impl GpuDevice {
                 st.d2h_bytes += bytes;
             }
         }
-        Ok(())
+        Ok(match fault {
+            Some(f) => Err(f),
+            None => Ok(()),
+        })
     }
 
     /// Synchronous kernel launch: blocks until the kernel retires.
     pub fn launch(&self, ctx: &Ctx, cost: KernelCost, effect: Option<Effect>) -> SimResult<()> {
+        let r = self.do_launch(ctx, cost, effect, false)?;
+        debug_assert!(r.is_ok(), "non-injecting launch reported a fault");
+        Ok(())
+    }
+
+    /// Fallible kernel launch: like [`GpuDevice::launch`] but subject to
+    /// chaos injection when a fault plan is armed. `Ok(Err(_))` means
+    /// the kernel's effect was NOT applied — the launch failed, or the
+    /// whole device was lost mid-kernel.
+    pub fn try_launch(
+        &self,
+        ctx: &Ctx,
+        cost: KernelCost,
+        effect: Option<Effect>,
+    ) -> SimResult<Result<(), GpuFault>> {
+        self.do_launch(ctx, cost, effect, true)
+    }
+
+    fn do_launch(
+        &self,
+        ctx: &Ctx,
+        cost: KernelCost,
+        effect: Option<Effect>,
+        inject: bool,
+    ) -> SimResult<Result<(), GpuFault>> {
         let d = &self.inner;
+        if inject && self.is_lost() {
+            return Ok(Err(GpuFault::DeviceLost));
+        }
         // Launch overhead is host-side; charge it before contending.
         ctx.delay(d.spec.launch_overhead)?;
         d.compute.acquire(ctx)?;
         let t = cost.body_time(&d.spec);
         ctx.delay(t)?;
         d.compute.release(ctx);
-        if let Some(e) = effect {
-            e(ctx);
+        let fault = if inject { self.roll_kernel_fault() } else { None };
+        if fault.is_none() {
+            if let Some(e) = effect {
+                e(ctx);
+            }
         }
         let mut st = d.stats.lock();
         st.kernels += 1;
         st.kernel_time += t;
-        Ok(())
+        Ok(match fault {
+            Some(f) => Err(f),
+            None => Ok(()),
+        })
+    }
+
+    /// Consult the fault plan at a kernel retirement point. Device loss
+    /// is drawn first and gated by the machine-wide fuse (the last
+    /// surviving device degrades a would-be loss into a kernel failure
+    /// so forward progress stays possible).
+    fn roll_kernel_fault(&self) -> Option<GpuFault> {
+        let guard = self.inner.faults.lock();
+        let (plan, fuse) = guard.as_ref()?;
+        if plan.decide(FaultClass::DeviceLoss) {
+            if fuse.try_claim() {
+                self.inner.lost.store(true, Relaxed);
+                return Some(GpuFault::DeviceLost);
+            }
+            return Some(GpuFault::KernelFailed);
+        }
+        if plan.decide(FaultClass::KernelFail) {
+            return Some(GpuFault::KernelFailed);
+        }
+        None
+    }
+
+    /// Consult the fault plan at a copy completion point.
+    fn roll_copy_fault(&self) -> Option<GpuFault> {
+        let guard = self.inner.faults.lock();
+        let (plan, _) = guard.as_ref()?;
+        if plan.decide(FaultClass::CopyCorrupt) {
+            return Some(GpuFault::CopyFailed);
+        }
+        None
     }
 
     /// Create an asynchronous stream. Its operations execute in FIFO
@@ -223,21 +372,21 @@ impl GpuDevice {
             while let Ok(op) = rx.recv(&sctx) {
                 let r = match op {
                     StreamOp::Memcpy { dir, bytes, pinned, effect, done } => {
-                        let r = dev.memcpy(&sctx, dir, bytes, pinned, effect);
-                        if r.is_ok() {
-                            complete(&sctx, &done);
+                        let r = dev.try_memcpy(&sctx, dir, bytes, pinned, effect);
+                        if let Ok(outcome) = &r {
+                            complete(&sctx, &done, outcome.err());
                         }
-                        r
+                        r.map(|_| ())
                     }
                     StreamOp::Kernel { cost, effect, done } => {
-                        let r = dev.launch(&sctx, cost, effect);
-                        if r.is_ok() {
-                            complete(&sctx, &done);
+                        let r = dev.try_launch(&sctx, cost, effect);
+                        if let Ok(outcome) = &r {
+                            complete(&sctx, &done, outcome.err());
                         }
-                        r
+                        r.map(|_| ())
                     }
                     StreamOp::Marker { done } => {
-                        complete(&sctx, &done);
+                        complete(&sctx, &done, None);
                         Ok(())
                     }
                 };
@@ -250,14 +399,17 @@ impl GpuDevice {
     }
 }
 
-/// Signal a stream operation's completion event. Stream FIFO invariant
-/// (debug builds): an event completes exactly once — a second signal
-/// would mean an operation was executed twice or an event token was
-/// reused across operations, either of which breaks the CUDA event
-/// contract everything above (kernel synchronisation, verify-mode
-/// effect observation) relies on.
-fn complete(ctx: &Ctx, done: &CudaEvent) {
+/// Signal a stream operation's completion event, recording any injected
+/// fault first so a waiter never observes a completed event with a
+/// not-yet-published fault. Stream FIFO invariant (debug builds): an
+/// event completes exactly once — a second signal would mean an
+/// operation was executed twice or an event token was reused across
+/// operations, either of which breaks the CUDA event contract everything
+/// above (kernel synchronisation, verify-mode effect observation)
+/// relies on.
+fn complete(ctx: &Ctx, done: &CudaEvent, fault: Option<GpuFault>) {
     debug_assert!(!done.query(), "stream operation completed twice");
+    *done.fault.lock() = fault;
     done.signal.set(ctx);
 }
 
@@ -529,6 +681,134 @@ mod tests {
     fn pinned_pool_underflow_panics() {
         let pool = PinnedPool::new(10);
         pool.free(1);
+    }
+
+    #[test]
+    fn forced_kernel_failure_skips_effect_and_is_reported() {
+        let sim = Sim::new();
+        let gpu = GpuDevice::new("g", test_spec());
+        gpu.set_fault_plan(
+            Arc::new(FaultPlan::quiet(7).with_forced(FaultClass::KernelFail, 1)),
+            DeviceFuse::new(2),
+        );
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = ran.clone();
+        sim.spawn("host", move |ctx| {
+            let s = gpu.create_stream(&ctx, "s");
+            let r1 = r.clone();
+            let e1 = s.launch_async(
+                &ctx,
+                KernelCost::fixed(SimDuration::from_millis(1)),
+                Some(Box::new(move |_c| {
+                    r1.fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+            let r2 = r.clone();
+            let e2 = s.launch_async(
+                &ctx,
+                KernelCost::fixed(SimDuration::from_millis(1)),
+                Some(Box::new(move |_c| {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+            e2.synchronize(&ctx).unwrap();
+            assert_eq!(e1.fault(), Some(GpuFault::KernelFailed));
+            assert_eq!(e2.fault(), None);
+            // Time was still charged for the failed kernel.
+            assert_eq!(ctx.now().as_nanos(), 2_000_000);
+        });
+        sim.run().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "failed kernel's effect must not run");
+    }
+
+    #[test]
+    fn forced_device_loss_fails_everything_after() {
+        let sim = Sim::new();
+        let gpu = GpuDevice::new("g", test_spec());
+        gpu.set_fault_plan(
+            Arc::new(FaultPlan::quiet(7).with_forced(FaultClass::DeviceLoss, 1)),
+            DeviceFuse::new(2),
+        );
+        let g2 = gpu.clone();
+        sim.spawn("host", move |ctx| {
+            let k = g2.try_launch(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None);
+            assert_eq!(k.unwrap(), Err(GpuFault::DeviceLost));
+            assert!(g2.is_lost());
+            // Later operations fail instantly, charging no device time.
+            let t0 = ctx.now();
+            let k2 = g2.try_launch(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None);
+            assert_eq!(k2.unwrap(), Err(GpuFault::DeviceLost));
+            let c = g2.try_memcpy(&ctx, CopyDir::H2D, 1 << 20, true, None);
+            assert_eq!(c.unwrap(), Err(GpuFault::DeviceLost));
+            assert_eq!(ctx.now(), t0);
+        });
+        sim.run().unwrap();
+        assert!(gpu.is_lost());
+    }
+
+    #[test]
+    fn last_surviving_device_cannot_be_lost() {
+        let sim = Sim::new();
+        let gpu = GpuDevice::new("g", test_spec());
+        // A single-device machine: the fuse refuses the loss and the
+        // draw degrades into a recoverable kernel failure.
+        gpu.set_fault_plan(
+            Arc::new(FaultPlan::quiet(7).with_forced(FaultClass::DeviceLoss, 1)),
+            DeviceFuse::new(1),
+        );
+        let g2 = gpu.clone();
+        sim.spawn("host", move |ctx| {
+            let k = g2.try_launch(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None);
+            assert_eq!(k.unwrap(), Err(GpuFault::KernelFailed));
+            assert!(!g2.is_lost());
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn forced_copy_corruption_charges_time_and_retry_succeeds() {
+        let sim = Sim::new();
+        let gpu = GpuDevice::new("g", test_spec());
+        gpu.set_fault_plan(
+            Arc::new(FaultPlan::quiet(7).with_forced(FaultClass::CopyCorrupt, 1)),
+            DeviceFuse::new(2),
+        );
+        let applied = Arc::new(AtomicU64::new(0));
+        let g2 = gpu.clone();
+        let a = applied.clone();
+        sim.spawn("host", move |ctx| {
+            let a1 = a.clone();
+            let eff: Effect = Box::new(move |_c| {
+                a1.fetch_add(1, Ordering::SeqCst);
+            });
+            let r = g2.try_memcpy(&ctx, CopyDir::H2D, 1 << 20, true, Some(eff));
+            assert_eq!(r.unwrap(), Err(GpuFault::CopyFailed));
+            assert_eq!(ctx.now().as_nanos(), 1_048_576, "corrupt copy still burned the wire");
+            let a2 = a.clone();
+            let eff: Effect = Box::new(move |_c| {
+                a2.fetch_add(1, Ordering::SeqCst);
+            });
+            let r = g2.try_memcpy(&ctx, CopyDir::H2D, 1 << 20, true, Some(eff));
+            assert_eq!(r.unwrap(), Ok(()));
+        });
+        sim.run().unwrap();
+        assert_eq!(applied.load(Ordering::SeqCst), 1, "only the clean copy's effect ran");
+        assert_eq!(gpu.stats().h2d_copies, 2);
+    }
+
+    #[test]
+    fn unarmed_device_never_injects() {
+        let sim = Sim::new();
+        let gpu = GpuDevice::new("g", test_spec());
+        sim.spawn("host", move |ctx| {
+            for _ in 0..32 {
+                let k = gpu.try_launch(&ctx, KernelCost::fixed(SimDuration::from_micros(1)), None);
+                assert_eq!(k.unwrap(), Ok(()));
+                let c = gpu.try_memcpy(&ctx, CopyDir::D2H, 64, true, None);
+                assert_eq!(c.unwrap(), Ok(()));
+            }
+        });
+        sim.run().unwrap();
     }
 
     #[test]

@@ -23,5 +23,5 @@
 mod device;
 mod spec;
 
-pub use device::{CopyDir, CudaEvent, Effect, GpuDevice, GpuStats, PinnedPool, Stream};
+pub use device::{CopyDir, CudaEvent, Effect, GpuDevice, GpuFault, GpuStats, PinnedPool, Stream};
 pub use spec::{GpuSpec, KernelCost};

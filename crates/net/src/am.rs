@@ -52,10 +52,16 @@ impl<M> Clone for AmNet<M> {
     }
 }
 
-impl<M: Send + 'static> AmNet<M> {
+impl<M: Send + Clone + 'static> AmNet<M> {
     /// Build an AM network over a fresh fabric.
     pub fn new(cfg: FabricConfig) -> Self {
         AmNet { fabric: Fabric::new(cfg), counters: Arc::new(AmCounters::default()) }
+    }
+
+    /// Arm chaos injection on the underlying fabric (see
+    /// [`Fabric::set_fault_plan`]).
+    pub fn set_fault_plan(&self, plan: std::sync::Arc<ompss_sim::FaultPlan>) {
+        self.fabric.set_fault_plan(plan);
     }
 
     /// The endpoint owned by `node`.
@@ -102,7 +108,7 @@ impl<M> Clone for AmEndpoint<M> {
     }
 }
 
-impl<M: Send + 'static> AmEndpoint<M> {
+impl<M: Send + Clone + 'static> AmEndpoint<M> {
     /// The node that owns this endpoint.
     pub fn node(&self) -> NodeId {
         self.node

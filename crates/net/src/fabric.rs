@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_sim::{Channel, Ctx, Semaphore, Signal, SimDuration, SimResult};
+use ompss_sim::{Channel, Ctx, FaultClass, FaultPlan, Semaphore, Signal, SimDuration, SimResult};
 
 /// A node index within the fabric.
 pub type NodeId = u32;
@@ -107,6 +107,9 @@ struct FabricInner<M> {
     cfg: FabricConfig,
     nics: Vec<Nic<M>>,
     stats: Mutex<NetStats>,
+    /// Chaos injection plan; `None` (the default) takes the exact
+    /// legacy path.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 /// A simulated cluster interconnect carrying messages of type `M`.
@@ -122,7 +125,7 @@ impl<M> Clone for Fabric<M> {
     }
 }
 
-impl<M: Send + 'static> Fabric<M> {
+impl<M: Send + Clone + 'static> Fabric<M> {
     /// Build a fabric with one NIC and inbox per node.
     pub fn new(cfg: FabricConfig) -> Self {
         let nics = (0..cfg.nodes)
@@ -139,6 +142,7 @@ impl<M: Send + 'static> Fabric<M> {
                 }),
                 cfg,
                 nics,
+                faults: Mutex::new(None),
             }),
         }
     }
@@ -146,6 +150,13 @@ impl<M: Send + 'static> Fabric<M> {
     /// Fabric configuration.
     pub fn config(&self) -> &FabricConfig {
         &self.inner.cfg
+    }
+
+    /// Arm chaos injection on every non-loopback link: messages may be
+    /// dropped after occupying the wire, delivered twice, or delayed by
+    /// a bounded extra latency, as the plan decides.
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.inner.faults.lock() = Some(plan);
     }
 
     /// Send `msg` (declared wire size `size` bytes) from `src` to `dst`,
@@ -168,13 +179,37 @@ impl<M: Send + 'static> Fabric<M> {
             self.inner.nics[dst as usize].inbox.send(ctx, (src, msg));
             return Ok(());
         }
+        // Chaos: one decision per class per message, drawn before the
+        // wire so the fault stream is a pure function of message order.
+        let plan = self.inner.faults.lock().clone();
+        let (mut wire, mut dropped, mut dup) = (self.inner.cfg.wire_time(size), false, false);
+        if let Some(p) = &plan {
+            if p.decide(FaultClass::NetDelay) {
+                // Bounded: at most 4 extra one-way latencies.
+                let extra = self.inner.cfg.latency.as_nanos() as f64
+                    * 4.0
+                    * p.fraction(FaultClass::NetDelay);
+                wire += SimDuration::from_nanos(extra as u64);
+            }
+            dropped = p.decide(FaultClass::NetDrop);
+            dup = p.decide(FaultClass::NetDup);
+        }
         let s = &self.inner.nics[src as usize];
         let d = &self.inner.nics[dst as usize];
         s.tx.acquire(ctx)?;
         d.rx.acquire(ctx)?;
-        ctx.delay(self.inner.cfg.wire_time(size))?;
+        ctx.delay(wire)?;
         d.rx.release(ctx);
         s.tx.release(ctx);
+        if dropped {
+            // The message occupied both ports and the wire, then
+            // vanished; the sender cannot tell. Recovery is the
+            // reliability layer's problem.
+            return Ok(());
+        }
+        if dup {
+            self.inner.nics[dst as usize].inbox.send(ctx, (src, msg.clone()));
+        }
         self.inner.nics[dst as usize].inbox.send(ctx, (src, msg));
         Ok(())
     }
@@ -345,6 +380,80 @@ mod tests {
             assert_eq!(st.link_messages[0][1], 1);
             assert_eq!(st.master_link_bytes(), 800);
             assert_eq!(st.slave_link_bytes(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn forced_drop_occupies_wire_but_never_delivers() {
+        let sim = Sim::new();
+        let fab: Fabric<u32> = Fabric::new(cfg());
+        fab.set_fault_plan(Arc::new(FaultPlan::quiet(1).with_forced(FaultClass::NetDrop, 1)));
+        let f = fab.clone();
+        sim.spawn("p", move |ctx| {
+            f.send(&ctx, 0, 1, 1000, 7).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 2_000, "dropped message still cost wire time");
+            assert_eq!(f.try_recv(1), None, "dropped message must not arrive");
+            f.send(&ctx, 0, 1, 1000, 8).unwrap();
+            assert_eq!(f.try_recv(1), Some((0, 8)), "later messages flow normally");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn forced_dup_delivers_twice() {
+        let sim = Sim::new();
+        let fab: Fabric<u32> = Fabric::new(cfg());
+        fab.set_fault_plan(Arc::new(FaultPlan::quiet(1).with_forced(FaultClass::NetDup, 1)));
+        let f = fab.clone();
+        sim.spawn("p", move |ctx| {
+            f.send(&ctx, 0, 1, 100, 9).unwrap();
+            assert_eq!(f.try_recv(1), Some((0, 9)));
+            assert_eq!(f.try_recv(1), Some((0, 9)), "duplicated message arrives twice");
+            assert_eq!(f.try_recv(1), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn delay_fault_is_bounded_and_deterministic() {
+        let run = || {
+            let sim = Sim::new();
+            let fab: Fabric<u32> = Fabric::new(cfg());
+            fab.set_fault_plan(Arc::new(
+                FaultPlan::new(5, 0.0).with_rate(FaultClass::NetDelay, 1.0),
+            ));
+            let f = fab.clone();
+            let t = Arc::new(Mutex::new(0u64));
+            let t2 = t.clone();
+            sim.spawn("p", move |ctx| {
+                f.send(&ctx, 0, 1, 1000, 1).unwrap();
+                *t2.lock() = ctx.now().as_nanos();
+            });
+            sim.run().unwrap();
+            let v = *t.lock();
+            v
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "delay injection must replay exactly");
+        // Base wire time 2µs; extra bounded by 4 × 1µs latency.
+        assert!((2_000..6_000).contains(&a), "delay out of bounds: {a}");
+    }
+
+    #[test]
+    fn loopback_is_immune_to_faults() {
+        let sim = Sim::new();
+        let fab: Fabric<u32> = Fabric::new(cfg());
+        fab.set_fault_plan(Arc::new(
+            FaultPlan::quiet(1)
+                .with_forced(FaultClass::NetDrop, u64::MAX)
+                .with_forced(FaultClass::NetDup, u64::MAX),
+        ));
+        let f = fab.clone();
+        sim.spawn("p", move |ctx| {
+            f.send(&ctx, 2, 2, 64, 3).unwrap();
+            assert_eq!(f.try_recv(2), Some((2, 3)), "loopback models a call, not a wire");
+            assert_eq!(f.try_recv(2), None);
         });
         sim.run().unwrap();
     }

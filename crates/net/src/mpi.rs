@@ -15,12 +15,17 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_sim::{Ctx, SimResult};
+use ompss_sim::{Ctx, RunError, SimResult};
 
 use crate::fabric::{Fabric, FabricConfig, NetStats, NodeId};
 
 /// Wire overhead of a point-to-point message envelope, in bytes.
 pub const MPI_ENVELOPE_BYTES: u64 = 64;
+
+/// Default bound on each rank's unexpected-message queue. Real MPI
+/// implementations cap eager buffering; an unbounded queue hides a
+/// receiver that never matches what it is sent until memory runs out.
+pub const MPI_UNEXPECTED_CAP: usize = 4096;
 
 /// A tagged message. `data` carries real bytes when the sender provides
 /// them (validation runs); `size` is always the modelled payload size.
@@ -51,11 +56,18 @@ pub struct Mpi {
     /// Per-rank queue of received-but-unmatched messages.
     #[allow(clippy::type_complexity)]
     unexpected: Arc<Vec<Mutex<VecDeque<(NodeId, MpiMsg)>>>>,
+    /// Bound on each unexpected queue; overflow aborts the run with
+    /// [`RunError::QueueOverflow`] instead of growing silently.
+    unexpected_cap: usize,
 }
 
 impl Clone for Mpi {
     fn clone(&self) -> Self {
-        Mpi { fabric: self.fabric.clone(), unexpected: self.unexpected.clone() }
+        Mpi {
+            fabric: self.fabric.clone(),
+            unexpected: self.unexpected.clone(),
+            unexpected_cap: self.unexpected_cap,
+        }
     }
 }
 
@@ -66,7 +78,15 @@ impl Mpi {
         Mpi {
             fabric: Fabric::new(cfg),
             unexpected: Arc::new((0..n).map(|_| Mutex::new(VecDeque::new())).collect()),
+            unexpected_cap: MPI_UNEXPECTED_CAP,
         }
+    }
+
+    /// Override the unexpected-queue bound (tests use small caps).
+    pub fn with_unexpected_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "unexpected-queue cap must be positive");
+        self.unexpected_cap = cap;
+        self
     }
 
     /// Number of ranks.
@@ -152,7 +172,14 @@ impl MpiRank {
             if matches(src, &msg) {
                 return Ok((src, msg));
             }
-            self.world.unexpected[self.rank as usize].lock().push_back((src, msg));
+            let mut q = self.world.unexpected[self.rank as usize].lock();
+            if q.len() >= self.world.unexpected_cap {
+                return Err(ctx.abort_run(RunError::QueueOverflow {
+                    queue: format!("mpi:rank{}:unexpected", self.rank),
+                    capacity: self.world.unexpected_cap,
+                }));
+            }
+            q.push_back((src, msg));
         }
     }
 
@@ -442,6 +469,32 @@ mod tests {
                 assert!(out.is_none());
             }
         });
+    }
+
+    #[test]
+    fn unexpected_queue_overflow_surfaces_as_run_error() {
+        let mpi = world(2).with_unexpected_cap(2);
+        let sim = Sim::new();
+        let r0 = mpi.rank(0);
+        sim.spawn("rank0", move |ctx| {
+            // Four tag-1 messages the receiver never matches.
+            for _ in 0..4 {
+                let _ = r0.send(&ctx, 1, 1, 0, None);
+            }
+        });
+        let r1 = mpi.rank(1);
+        sim.spawn("rank1", move |ctx| {
+            // Waits for tag 2, which never comes; the mismatched tag-1
+            // flood must overflow the bounded queue, not grow forever.
+            let _ = r1.recv(&ctx, Source::Rank(0), Some(2));
+        });
+        match sim.run() {
+            Err(ompss_sim::RunError::QueueOverflow { queue, capacity }) => {
+                assert_eq!(queue, "mpi:rank1:unexpected");
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected QueueOverflow, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! overlap, prefetch, plus the platform shape (nodes, GPUs, specs).
 //! Presets reproduce the paper's two testbeds.
 
+use std::sync::Arc;
+
 use ompss_cudasim::GpuSpec;
 use ompss_mem::Backing;
 use ompss_net::FabricConfig;
 use ompss_sched::Policy;
-use ompss_sim::SimDuration;
+use ompss_sim::{FaultPlan, SimDuration};
 
 pub use ompss_coherence::{CachePolicy, SlaveRouting};
 
@@ -74,6 +76,24 @@ pub struct RuntimeConfig {
     /// randomly but reproducibly. The verify binary's schedule
     /// exploration reruns apps under several seeds and diffs results.
     pub sched_seed: u64,
+    /// Chaos injection rate (`OMPSS_FAULT_RATE`): probability that any
+    /// one fault draw fires. `0.0` (default) disables injection and the
+    /// whole recovery machinery — runs are bit- and time-identical to a
+    /// build without it.
+    pub fault_rate: f64,
+    /// Seed of the deterministic fault stream (`OMPSS_FAULT_SEED`).
+    /// Same seed + same rate = the same faults at the same draws.
+    pub fault_seed: u64,
+    /// Times a failed task is re-executed before the run aborts with
+    /// [`ompss_sim::RunError::Exhausted`].
+    pub task_retry_budget: u32,
+    /// Times an unacknowledged cluster message is retransmitted before
+    /// the run aborts with [`ompss_sim::RunError::Exhausted`].
+    pub am_retry_budget: u32,
+    /// A pre-armed fault plan. Overrides `fault_seed`/`fault_rate`:
+    /// harnesses use [`FaultPlan::with_forced`] to pin one specific
+    /// fault class deterministically instead of sweeping a rate.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl RuntimeConfig {
@@ -103,6 +123,11 @@ impl RuntimeConfig {
             tracing: false,
             verify: false,
             sched_seed: 0,
+            fault_rate: 0.0,
+            fault_seed: 1,
+            task_retry_budget: 3,
+            am_retry_budget: 8,
+            fault_plan: None,
         }
     }
 
@@ -130,6 +155,11 @@ impl RuntimeConfig {
             tracing: false,
             verify: false,
             sched_seed: 0,
+            fault_rate: 0.0,
+            fault_seed: 1,
+            task_retry_budget: 3,
+            am_retry_budget: 8,
+            fault_plan: None,
         }
     }
 
@@ -205,6 +235,38 @@ impl RuntimeConfig {
         self
     }
 
+    /// Arm chaos injection: fault `rate` (0 disables) drawn from the
+    /// deterministic stream of `seed`.
+    pub fn with_faults(mut self, seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+        self.fault_seed = seed;
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Set the per-task re-execution budget.
+    pub fn with_task_retry_budget(mut self, n: u32) -> Self {
+        self.task_retry_budget = n;
+        self
+    }
+
+    /// Set the per-message retransmit budget.
+    pub fn with_am_retry_budget(mut self, n: u32) -> Self {
+        self.am_retry_budget = n;
+        self
+    }
+
+    /// Arm a hand-built fault plan (see the field docs).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Are faults (and therefore the recovery machinery) enabled?
+    pub fn faults_enabled(&self) -> bool {
+        self.fault_plan.is_some() || self.fault_rate > 0.0
+    }
+
     /// Usable GPU cache capacity.
     pub fn gpu_cache_capacity(&self) -> u64 {
         self.gpu_mem_override.unwrap_or_else(|| {
@@ -230,6 +292,9 @@ impl RuntimeConfig {
     /// | `OMPSS_OVERLAP` / `OMPSS_PREFETCH` / `OMPSS_TRACE` | `0`/`1` |
     /// | `OMPSS_VERIFY` | `0`/`1` |
     /// | `OMPSS_SCHED_SEED` | integer seed (0 = off) |
+    /// | `OMPSS_FAULT_RATE` | float in `[0, 1]` (0 = off) |
+    /// | `OMPSS_FAULT_SEED` | integer seed of the fault stream |
+    /// | `OMPSS_TASK_RETRIES` / `OMPSS_AM_RETRIES` | integer budgets |
     ///
     /// Unknown values panic (a typo silently ignored would invalidate an
     /// experiment).
@@ -282,6 +347,20 @@ impl RuntimeConfig {
         }
         if let Ok(v) = env::var("OMPSS_SCHED_SEED") {
             self.sched_seed = v.parse().expect("OMPSS_SCHED_SEED: not an integer");
+        }
+        if let Ok(v) = env::var("OMPSS_FAULT_RATE") {
+            let rate: f64 = v.parse().expect("OMPSS_FAULT_RATE: not a number");
+            assert!((0.0..=1.0).contains(&rate), "OMPSS_FAULT_RATE: must be in [0, 1]");
+            self.fault_rate = rate;
+        }
+        if let Ok(v) = env::var("OMPSS_FAULT_SEED") {
+            self.fault_seed = v.parse().expect("OMPSS_FAULT_SEED: not an integer");
+        }
+        if let Ok(v) = env::var("OMPSS_TASK_RETRIES") {
+            self.task_retry_budget = v.parse().expect("OMPSS_TASK_RETRIES: not an integer");
+        }
+        if let Ok(v) = env::var("OMPSS_AM_RETRIES") {
+            self.am_retry_budget = v.parse().expect("OMPSS_AM_RETRIES: not an integer");
         }
         self
     }

@@ -18,20 +18,22 @@
 //! node up to `resources + presend` tasks in flight.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use ompss_coherence::Coherence;
 use ompss_core::{Device, TaskGraph, TaskId};
-use ompss_cudasim::{GpuDevice, KernelCost};
+use ompss_cudasim::{GpuDevice, GpuFault, KernelCost};
 use ompss_mem::Region;
 use ompss_mem::{MemoryManager, SpaceId};
 use ompss_net::{AmEndpoint, NodeId};
 use ompss_sched::{LocalityOracle, ResourceId, Scheduler};
-use ompss_sim::{Bell, Ctx, Latch, SimDuration, SimResult};
+use ompss_sim::{Bell, Ctx, FaultClass, FaultPlan, Latch, RunError, SimDuration, SimResult};
 
 use crate::exec::{ClusterMsg, RtExec};
+use crate::recover::Reliability;
 use crate::task::{TaskCost, TaskRecord};
 use crate::trace::{TraceEvent, TraceResource, Tracer};
 
@@ -63,6 +65,10 @@ pub(crate) struct MasterState {
     /// `(smp, cuda)` (index 0 unused).
     pub inflight: Vec<(u32, u32)>,
     pub tasks_executed: u64,
+    /// Live CUDA devices per node as the master knows them (index 0
+    /// unused): decremented by `GpuDown` notifications so the comm
+    /// thread stops dispatching CUDA tasks to a GPU-less node.
+    pub cuda_alive: Vec<u32>,
 }
 
 /// Per-slave-node state.
@@ -70,6 +76,10 @@ pub(crate) struct SlaveState {
     pub sched: Mutex<Scheduler>,
     pub bell: Bell,
     pub host: SpaceId,
+    /// Set once this node has lost a GPU: its dispatcher then bounces
+    /// freshly arrived CUDA tasks the node can no longer serve back to
+    /// the master (covers `Exec`s that raced the `GpuDown` notice).
+    pub gpu_lost: AtomicBool,
 }
 
 /// Everything the service processes share.
@@ -98,6 +108,24 @@ pub(crate) struct RtShared {
     /// ([`crate::RuntimeConfig::verify`]), so the task hot path pays
     /// one `Option` check when it is off.
     pub verify: Option<Arc<crate::verify::VerifySink>>,
+    /// The armed chaos plan; `None` in fault-free runs, where every
+    /// injection site costs one `Option` check.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Reliable-delivery state for control messages; `Some` exactly
+    /// when `faults` is (plain sends otherwise — the paper's protocol).
+    pub rel: Option<Arc<Reliability>>,
+}
+
+/// How one attempt at a task body ended.
+pub(crate) enum BodyOutcome {
+    /// Completed and committed.
+    Done,
+    /// An injected failure was detected before commit: the body never
+    /// ran, outputs were not written, inputs were unpinned — safe to
+    /// re-execute under the retry budget.
+    Failed,
+    /// The executing GPU was lost outright (GPU flavour only).
+    DeviceLost,
 }
 
 impl RtShared {
@@ -169,29 +197,52 @@ impl RtShared {
 
     /// Run the body + cost of `task` in `space`, assuming the caller
     /// handles graph bookkeeping. SMP flavour: cost charged as a delay.
+    ///
+    /// `sim`-layer injection happens here: a *stall* charges bounded
+    /// extra time (the task still completes); a *timeout* charges the
+    /// full cost and then reports failure without running the body, so
+    /// the worker re-executes under its retry budget.
     fn run_smp_body(
         self: &Arc<Self>,
         ctx: &Ctx,
         rec: &TaskRecord,
         space: SpaceId,
-    ) -> SimResult<()> {
+    ) -> SimResult<BodyOutcome> {
         let accesses = rec.copy_accesses();
         let mut locs = Vec::with_capacity(accesses.len());
         for a in &accesses {
             locs.push(self.coh.acquire(ctx, &*self.exec, &a.region, a.kind.reads(), space)?);
         }
-        match rec.cost {
-            TaskCost::Smp(d) => ctx.delay(d)?,
+        let base = match rec.cost {
+            TaskCost::Smp(d) => Some(d),
             TaskCost::Auto => {
                 // Streaming-kernel default: one pass over the footprint
                 // at host memcpy bandwidth.
                 let bytes = rec.desc.copy_footprint() as f64;
-                ctx.delay(SimDuration::from_secs_f64(
-                    bytes / self.cfg.gpu_spec.host_memcpy_bandwidth,
-                ))?;
+                Some(SimDuration::from_secs_f64(bytes / self.cfg.gpu_spec.host_memcpy_bandwidth))
             }
-            TaskCost::Zero => {}
+            TaskCost::Zero => None,
             TaskCost::Gpu(_) => unreachable!("GPU task routed to an SMP worker"),
+        };
+        let mut timed_out = false;
+        let mut charge = base;
+        if let Some(plan) = &self.faults {
+            if plan.decide(FaultClass::SimTimeout) {
+                timed_out = true;
+            } else if plan.decide(FaultClass::SimStall) {
+                let b = base.unwrap_or(SimDuration::ZERO);
+                let extra = (b.as_nanos() as f64 * plan.fraction(FaultClass::SimStall)) as u64;
+                charge = Some(b + SimDuration::from_nanos(extra));
+            }
+        }
+        if let Some(d) = charge {
+            ctx.delay(d)?;
+        }
+        if timed_out {
+            for a in &accesses {
+                self.coh.unpin(&a.region, space);
+            }
+            return Ok(BodyOutcome::Failed);
         }
         if let Some(body) = &rec.body {
             let requests: Vec<_> = locs
@@ -214,7 +265,7 @@ impl RtShared {
             }
         }
         self.coh.commit(ctx, &*self.exec, &accesses, space)?;
-        Ok(())
+        Ok(BodyOutcome::Done)
     }
 
     /// Run `task` on a GPU through its manager's stream, with optional
@@ -226,7 +277,7 @@ impl RtShared {
         space: SpaceId,
         stream: &ompss_cudasim::Stream,
         prefetch_next: Option<&TaskRecord>,
-    ) -> SimResult<()> {
+    ) -> SimResult<BodyOutcome> {
         let accesses = rec.copy_accesses();
         let locs = self.acquire_all(ctx, &accesses, space)?;
         let cost = match rec.cost {
@@ -275,8 +326,78 @@ impl RtShared {
             }
         }
         ev.synchronize(ctx)?;
+        if let Some(fault) = ev.fault() {
+            // The kernel did not retire: its effect never ran, outputs
+            // were not written. Unpin the acquired copies (commit would
+            // have) so recovery can re-acquire or invalidate them.
+            for a in &accesses {
+                self.coh.unpin(&a.region, space);
+            }
+            return Ok(match fault {
+                GpuFault::DeviceLost => BodyOutcome::DeviceLost,
+                _ => BodyOutcome::Failed,
+            });
+        }
         self.coh.commit(ctx, &*self.exec, &accesses, space)?;
-        Ok(())
+        Ok(BodyOutcome::Done)
+    }
+
+    /// Account one failed attempt at `rec`'s body. True = retry; false
+    /// after aborting the run because the budget ran out.
+    fn note_retry(&self, ctx: &Ctx, rec: &TaskRecord, attempts: &mut u32) -> bool {
+        *attempts += 1;
+        if *attempts > self.cfg.task_retry_budget {
+            ctx.abort_run(RunError::Exhausted {
+                what: format!("task '{}' (t{}) re-executions", rec.desc.label, rec.desc.id.0),
+                attempts: *attempts,
+            });
+            return false;
+        }
+        crate::stats::Counters::add(&self.counters.tasks_reexecuted, 1);
+        if let Some(tr) = &self.tracer {
+            tr.record(TraceEvent::Recovery {
+                kind: "task_retry",
+                task: Some(rec.desc.id.0),
+                at: ctx.now(),
+            });
+        }
+        true
+    }
+
+    /// Master-side whole-device loss: blacklist the manager's resource
+    /// (migrating its queue), put the in-hand and any prefetched task
+    /// back into the graph and scheduler, and drop the dead space's
+    /// cached copies. The machine-wide fuse guarantees a surviving
+    /// CUDA-capable resource (another local GPU, or the node proxies
+    /// when clustered), so nothing becomes unservable here.
+    fn master_gpu_lost(
+        &self,
+        ctx: &Ctx,
+        res: ResourceId,
+        space: SpaceId,
+        tid: TaskId,
+        prefetched: Option<TaskId>,
+    ) {
+        crate::stats::Counters::add(&self.counters.devices_lost, 1);
+        {
+            let mut m = self.master.lock();
+            m.sched.deactivate(res);
+            for t in std::iter::once(tid).chain(prefetched) {
+                m.graph.reset_running(t);
+                let rec = m.records[&t].clone();
+                m.sched.submit(&rec.desc, &self.master_oracle);
+            }
+        }
+        self.coh.invalidate_space(space);
+        if let Some(tr) = &self.tracer {
+            tr.record(TraceEvent::Recovery {
+                kind: "device_lost",
+                task: Some(tid.0),
+                at: ctx.now(),
+            });
+        }
+        self.master_bell.ring(ctx);
+        self.comm_bell.ring(ctx);
     }
 
     /// Master-side completion: release successors, update the
@@ -311,12 +432,24 @@ pub(crate) fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId, ctx: Ctx
         };
         shared.master.lock().graph.start(tid);
         let rec = shared.record(tid);
-        let t0 = ctx.now();
-        if shared.run_smp_body(&ctx, &rec, space).is_err() {
-            return;
+        let mut attempts = 0u32;
+        loop {
+            let t0 = ctx.now();
+            match shared.run_smp_body(&ctx, &rec, space) {
+                Err(_) => return,
+                Ok(BodyOutcome::Done) => {
+                    shared.trace_task(&rec, 0, &format!("worker{}", res.0), t0, ctx.now());
+                    shared.complete_on_master(&ctx, tid, res);
+                    break;
+                }
+                Ok(BodyOutcome::Failed) => {
+                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                        return;
+                    }
+                }
+                Ok(BodyOutcome::DeviceLost) => unreachable!("SMP body cannot lose a device"),
+            }
         }
-        shared.trace_task(&rec, 0, &format!("worker{}", res.0), t0, ctx.now());
-        shared.complete_on_master(&ctx, tid, res);
     }
 }
 
@@ -370,12 +503,30 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
         } else {
             None
         };
-        let t0 = ctx.now();
-        if shared.run_gpu_body(&ctx, &rec, space, &stream, pf.as_deref()).is_err() {
-            return;
+        let mut attempts = 0u32;
+        loop {
+            let t0 = ctx.now();
+            // Prefetch only rides the first attempt; a retry must not
+            // re-issue it (the copies are already inbound or pinned).
+            let pf_arg = if attempts == 0 { pf.as_deref() } else { None };
+            match shared.run_gpu_body(&ctx, &rec, space, &stream, pf_arg) {
+                Err(_) => return,
+                Ok(BodyOutcome::Done) => {
+                    shared.trace_task(&rec, 0, &format!("gpu{}", space.0), t0, ctx.now());
+                    shared.complete_on_master(&ctx, tid, res);
+                    break;
+                }
+                Ok(BodyOutcome::Failed) => {
+                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                        return;
+                    }
+                }
+                Ok(BodyOutcome::DeviceLost) => {
+                    shared.master_gpu_lost(&ctx, res, space, tid, next.take());
+                    return;
+                }
+            }
         }
-        shared.trace_task(&rec, 0, &format!("gpu{}", space.0), t0, ctx.now());
-        shared.complete_on_master(&ctx, tid, res);
     }
 }
 
@@ -406,9 +557,12 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
                     if smp_in >= smp_cap && cuda_in >= cuda_cap {
                         continue;
                     }
+                    // A node the master knows to be GPU-less gets no
+                    // CUDA work (its dispatcher would only bounce it).
+                    let cuda_ok = m.cuda_alive[node as usize] > 0;
                     let allow = |d: Device| match d {
                         Device::Smp => smp_in < smp_cap,
-                        Device::Cuda => cuda_in < cuda_cap,
+                        Device::Cuda => cuda_ok && cuda_in < cuda_cap,
                     };
                     match m.sched.next_matching(shared.proxy_res[node as usize], allow) {
                         Some(t) => {
@@ -463,7 +617,10 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
                         return;
                     }
                     crate::stats::Counters::add(&shared2.counters.am_exec, 1);
-                    let _ = ep2.request_short(&hctx, node, ClusterMsg::Exec { task: rec.desc.id });
+                    send_msg(&shared2, &ep2, &hctx, node, "Exec", |rel| ClusterMsg::Exec {
+                        task: rec.desc.id,
+                        rel,
+                    });
                 });
             }
         }
@@ -485,7 +642,10 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
 pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx: Ctx) {
     while let Ok((src, msg)) = ep.poll(&ctx) {
         match msg {
-            ClusterMsg::Done { task } => {
+            ClusterMsg::Done { task, rel } => {
+                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                    continue;
+                }
                 {
                     let mut m = shared.master.lock();
                     match m.records[&task].desc.device {
@@ -494,6 +654,48 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                     }
                 }
                 shared.complete_on_master(&ctx, task, shared.proxy_res[src as usize]);
+            }
+            ClusterMsg::Failed { task, rel } => {
+                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                    continue;
+                }
+                // The node hands the task back: put it into the graph
+                // and scheduler again, free its in-flight slot.
+                {
+                    let mut m = shared.master.lock();
+                    match m.records[&task].desc.device {
+                        Device::Smp => m.inflight[src as usize].0 -= 1,
+                        Device::Cuda => m.inflight[src as usize].1 -= 1,
+                    }
+                    m.graph.reset_running(task);
+                    let rec = m.records[&task].clone();
+                    m.sched.submit(&rec.desc, &shared.master_oracle);
+                }
+                shared.master_bell.ring(&ctx);
+                shared.comm_bell.ring(&ctx);
+            }
+            ClusterMsg::GpuDown { rel } => {
+                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                    continue;
+                }
+                {
+                    let mut m = shared.master.lock();
+                    m.cuda_alive[src as usize] = m.cuda_alive[src as usize].saturating_sub(1);
+                    if m.cuda_alive[src as usize] == 0 {
+                        // The node can never again serve CUDA: stop
+                        // placing/hinting CUDA tasks on its proxy and
+                        // migrate any already queued there to the
+                        // global queue for the surviving GPUs.
+                        m.sched.forbid(shared.proxy_res[src as usize], Device::Cuda);
+                    }
+                }
+                shared.master_bell.ring(&ctx);
+                shared.comm_bell.ring(&ctx);
+            }
+            ClusterMsg::Ack { id } => {
+                if let Some(r) = &shared.rel {
+                    r.on_ack(&ctx, id);
+                }
             }
             ClusterMsg::Data => {}
             ClusterMsg::Exec { .. } => unreachable!("master never receives Exec"),
@@ -509,16 +711,44 @@ pub(crate) fn slave_dispatcher(
     ep: AmEndpoint<ClusterMsg>,
     ctx: Ctx,
 ) {
-    while let Ok((_src, msg)) = ep.poll(&ctx) {
+    while let Ok((src, msg)) = ep.poll(&ctx) {
         match msg {
-            ClusterMsg::Exec { task } => {
+            ClusterMsg::Exec { task, rel } => {
+                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                    continue;
+                }
                 let rec = shared.record(task);
                 let slave = &shared.slaves[node as usize];
-                slave.sched.lock().submit(&rec.desc, &shared.slave_oracles[node as usize]);
+                let orphans = {
+                    let mut s = slave.sched.lock();
+                    s.submit(&rec.desc, &shared.slave_oracles[node as usize]);
+                    if slave.gpu_lost.load(Relaxed) {
+                        // This Exec may have raced the GpuDown notice:
+                        // hand back anything no local resource serves.
+                        s.drain_unservable()
+                    } else {
+                        Vec::new()
+                    }
+                };
+                for t in orphans {
+                    let shared2 = shared.clone();
+                    let ep2 = ep.clone();
+                    ctx.spawn_daemon(format!("bounce:t{}", t.0), move |bctx| {
+                        send_msg(&shared2, &ep2, &bctx, 0, "Failed", |rel| ClusterMsg::Failed {
+                            task: t,
+                            rel,
+                        });
+                    });
+                }
                 slave.bell.ring(&ctx);
             }
+            ClusterMsg::Ack { id } => {
+                if let Some(r) = &shared.rel {
+                    r.on_ack(&ctx, id);
+                }
+            }
             ClusterMsg::Data => {}
-            ClusterMsg::Done { .. } => unreachable!("slaves never receive Done"),
+            _ => unreachable!("slaves receive only Exec/Ack/Data"),
         }
     }
 }
@@ -541,13 +771,28 @@ pub(crate) fn slave_smp_worker(
             continue;
         };
         let rec = shared.record(tid);
-        let t0 = ctx.now();
-        if shared.run_smp_body(&ctx, &rec, space).is_err() {
-            return;
+        let mut attempts = 0u32;
+        loop {
+            let t0 = ctx.now();
+            match shared.run_smp_body(&ctx, &rec, space) {
+                Err(_) => return,
+                Ok(BodyOutcome::Done) => {
+                    shared.trace_task(&rec, node, &format!("worker{}", res.0), t0, ctx.now());
+                    crate::stats::Counters::add(&shared.counters.am_done, 1);
+                    send_msg(&shared, &ep, &ctx, 0, "Done", |rel| ClusterMsg::Done {
+                        task: tid,
+                        rel,
+                    });
+                    break;
+                }
+                Ok(BodyOutcome::Failed) => {
+                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                        return;
+                    }
+                }
+                Ok(BodyOutcome::DeviceLost) => unreachable!("SMP body cannot lose a device"),
+            }
         }
-        shared.trace_task(&rec, node, &format!("worker{}", res.0), t0, ctx.now());
-        crate::stats::Counters::add(&shared.counters.am_done, 1);
-        let _ = ep.request_short(&ctx, 0, ClusterMsg::Done { task: tid });
     }
 }
 
@@ -595,14 +840,115 @@ pub(crate) fn slave_gpu_manager(
         } else {
             None
         };
-        let t0 = ctx.now();
-        if shared.run_gpu_body(&ctx, &rec, space, &stream, pf.as_deref()).is_err() {
-            return;
+        let mut attempts = 0u32;
+        loop {
+            let t0 = ctx.now();
+            let pf_arg = if attempts == 0 { pf.as_deref() } else { None };
+            match shared.run_gpu_body(&ctx, &rec, space, &stream, pf_arg) {
+                Err(_) => return,
+                Ok(BodyOutcome::Done) => {
+                    shared.trace_task(&rec, node, &format!("gpu{}", space.0), t0, ctx.now());
+                    crate::stats::Counters::add(&shared.counters.am_done, 1);
+                    send_msg(&shared, &ep, &ctx, 0, "Done", |rel| ClusterMsg::Done {
+                        task: tid,
+                        rel,
+                    });
+                    break;
+                }
+                Ok(BodyOutcome::Failed) => {
+                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                        return;
+                    }
+                }
+                Ok(BodyOutcome::DeviceLost) => {
+                    slave_gpu_lost(&shared, node, res, space, tid, next.take(), &ep, &ctx);
+                    return;
+                }
+            }
         }
-        shared.trace_task(&rec, node, &format!("gpu{}", space.0), t0, ctx.now());
-        crate::stats::Counters::add(&shared.counters.am_done, 1);
-        let _ = ep.request_short(&ctx, 0, ClusterMsg::Done { task: tid });
     }
+}
+
+/// Slave-side whole-device loss: blacklist the manager's resource in
+/// the local scheduler (migrating its queue), re-queue the in-hand and
+/// any prefetched task, then hand everything the node can no longer
+/// serve back to the master as `Failed` — after a `GpuDown` notice so
+/// the master throttles CUDA dispatch to this node.
+#[allow(clippy::too_many_arguments)]
+fn slave_gpu_lost(
+    shared: &Arc<RtShared>,
+    node: NodeId,
+    res: ResourceId,
+    space: SpaceId,
+    tid: TaskId,
+    prefetched: Option<TaskId>,
+    ep: &AmEndpoint<ClusterMsg>,
+    ctx: &Ctx,
+) {
+    crate::stats::Counters::add(&shared.counters.devices_lost, 1);
+    let slave = &shared.slaves[node as usize];
+    slave.gpu_lost.store(true, Relaxed);
+    let requeue: Vec<Arc<TaskRecord>> =
+        std::iter::once(tid).chain(prefetched).map(|t| shared.record(t)).collect();
+    let orphans = {
+        let mut s = slave.sched.lock();
+        s.deactivate(res);
+        for rec in &requeue {
+            s.submit(&rec.desc, &shared.slave_oracles[node as usize]);
+        }
+        s.drain_unservable()
+    };
+    shared.coh.invalidate_space(space);
+    if let Some(tr) = &shared.tracer {
+        tr.record(TraceEvent::Recovery { kind: "device_lost", task: Some(tid.0), at: ctx.now() });
+    }
+    let shared2 = shared.clone();
+    let ep2 = ep.clone();
+    ctx.spawn_daemon(format!("gpu-down:n{node}"), move |dctx| {
+        send_msg(&shared2, &ep2, &dctx, 0, "GpuDown", |rel| ClusterMsg::GpuDown { rel });
+        for t in orphans {
+            send_msg(&shared2, &ep2, &dctx, 0, "Failed", |rel| ClusterMsg::Failed { task: t, rel });
+        }
+    });
+    slave.bell.ring(ctx);
+}
+
+/// Send one control message: reliably (park until the ack arrives,
+/// retransmitting on timeout) when chaos is armed, as a plain
+/// fire-and-forget active message otherwise.
+fn send_msg(
+    shared: &Arc<RtShared>,
+    ep: &AmEndpoint<ClusterMsg>,
+    ctx: &Ctx,
+    dst: NodeId,
+    what: &str,
+    make: impl Fn(Option<u64>) -> ClusterMsg,
+) {
+    match &shared.rel {
+        Some(r) => {
+            let _ = r.send_reliable(ctx, &shared.counters, what, |id| {
+                ep.request_short(ctx, dst, make(Some(id)))
+            });
+        }
+        None => {
+            let _ = ep.request_short(ctx, dst, make(None));
+        }
+    }
+}
+
+/// Ack a received control message and report whether it is fresh
+/// (first delivery). Duplicates are re-acked — the sender may have
+/// missed the first ack — but must not be reprocessed.
+fn ack_fresh(
+    shared: &Arc<RtShared>,
+    ep: &AmEndpoint<ClusterMsg>,
+    ctx: &Ctx,
+    src: NodeId,
+    rel: Option<u64>,
+) -> bool {
+    let Some(id) = rel else { return true };
+    let _ = ep.request_short_detached(ctx, src, ClusterMsg::Ack { id });
+    shared.rel.as_ref().map(|r| r.should_process(id)).unwrap_or(true)
 }
 
 /// Device-kind check used by the submit path to validate task specs.

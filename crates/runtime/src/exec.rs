@@ -18,26 +18,59 @@ use std::sync::Arc;
 
 use ompss_coherence::{HopKind, Loc, TransferExec, TransferPurpose};
 use ompss_core::TaskId;
-use ompss_cudasim::{CopyDir, GpuDevice, PinnedPool};
+use ompss_cudasim::{CopyDir, GpuDevice, GpuFault, PinnedPool};
 use ompss_mem::{MemoryManager, SpaceId};
 use ompss_net::{Fabric, NodeId};
-use ompss_sim::{Ctx, SimResult};
+use ompss_sim::{Ctx, RunError, SimResult};
+
+/// DMA re-issues allowed when an injected fault corrupts a PCIe copy
+/// before the run aborts. Corruption is detected per transfer and each
+/// retry pays the full copy time, so a small budget suffices.
+const PCIE_RETRIES: u32 = 8;
 
 use crate::stats::Counters;
 use crate::trace::{TraceEvent, Tracer};
 
 /// Control / data messages of the cluster protocol (§III-D1).
+///
+/// The `rel` field of each control message is its reliable-delivery id:
+/// `Some` when chaos is armed (the receiver acks and deduplicates by
+/// it, see [`crate::recover`]), `None` in fault-free runs, where the
+/// protocol is exactly the paper's.
 #[derive(Debug, Clone, Copy)]
 pub enum ClusterMsg {
     /// Master → slave: run this task (its data is already staged).
     Exec {
         /// The task to run.
         task: TaskId,
+        /// Reliable-delivery id.
+        rel: Option<u64>,
     },
     /// Slave → master: the task finished.
     Done {
         /// The finished task.
         task: TaskId,
+        /// Reliable-delivery id.
+        rel: Option<u64>,
+    },
+    /// Slave → master: this dispatched task cannot run here any more
+    /// (its device was lost) — take it back and reschedule.
+    Failed {
+        /// The handed-back task.
+        task: TaskId,
+        /// Reliable-delivery id.
+        rel: Option<u64>,
+    },
+    /// Slave → master: the sending node lost one GPU; throttle CUDA
+    /// dispatch to it accordingly.
+    GpuDown {
+        /// Reliable-delivery id.
+        rel: Option<u64>,
+    },
+    /// Acknowledgement of the reliable control message `id`.
+    Ack {
+        /// The acknowledged id.
+        id: u64,
     },
     /// A bulk data payload (byte movement itself is done by the
     /// executor; the message models the wire traffic).
@@ -106,22 +139,11 @@ impl TransferExec for RtExec {
                     },
                     bytes,
                 );
+                let r = pcie_copy(ctx, dev, dir, bytes, use_pinned);
                 if use_pinned {
-                    // Stage pageable user memory into the pinned buffer
-                    // (H2D) — one host memcpy — before the DMA.
-                    if dir == CopyDir::H2D {
-                        ctx.delay(dev.spec().staging_time(bytes))?;
-                    }
-                    let r = dev.memcpy(ctx, dir, bytes, true, None);
-                    if dir == CopyDir::D2H {
-                        // Unstage after the DMA.
-                        ctx.delay(dev.spec().staging_time(bytes))?;
-                    }
                     pool.free(bytes);
-                    r?;
-                } else {
-                    dev.memcpy(ctx, dir, bytes, false, None)?;
                 }
+                r?;
             }
             HopKind::Network => {
                 let sn = self.node_of[&src.space];
@@ -169,5 +191,40 @@ impl TransferExec for RtExec {
             });
         }
         Ok(())
+    }
+}
+
+/// One PCIe hop on `dev`, re-issued (paying the copy time again) when
+/// the armed fault plan corrupts it. Pinned copies stage through the
+/// host buffer on the way in (H2D) or out (D2H), as in the paper's
+/// overlap path. A lost device short-circuits to success: the byte
+/// movement is performed by the caller in simulator memory, and the
+/// space is being torn down by its manager — there is no DMA left to
+/// charge.
+fn pcie_copy(ctx: &Ctx, dev: &GpuDevice, dir: CopyDir, bytes: u64, pinned: bool) -> SimResult<()> {
+    let mut attempts = 0u32;
+    loop {
+        if pinned && dir == CopyDir::H2D {
+            ctx.delay(dev.spec().staging_time(bytes))?;
+        }
+        match dev.try_memcpy(ctx, dir, bytes, pinned, None)? {
+            Ok(()) => {}
+            Err(GpuFault::DeviceLost) => return Ok(()),
+            Err(_) => {
+                attempts += 1;
+                if attempts > PCIE_RETRIES {
+                    return Err(ctx.abort_run(RunError::Exhausted {
+                        what: "pcie copy re-issues".into(),
+                        attempts,
+                    }));
+                }
+                continue;
+            }
+        }
+        if pinned && dir == CopyDir::D2H {
+            // Unstage after the DMA.
+            ctx.delay(dev.spec().staging_time(bytes))?;
+        }
+        return Ok(());
     }
 }

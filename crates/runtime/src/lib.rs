@@ -42,6 +42,7 @@
 mod config;
 mod engine;
 mod exec;
+mod recover;
 mod runtime;
 pub mod stats;
 mod task;
@@ -61,7 +62,9 @@ pub use ompss_core::{Device, GraphLint, TaskId};
 pub use ompss_cudasim::{GpuSpec, KernelCost};
 pub use ompss_mem::{Backing, Region};
 pub use ompss_sched::Policy;
-pub use ompss_sim::{RunError, SimDuration, SimTime};
+pub use ompss_sim::{
+    DeviceFuse, FaultClass, FaultPlan, FaultStats, RunError, SimDuration, SimTime,
+};
 
 /// Destructure a task body's byte views into typed mutable slices, in
 /// clause order:

@@ -1,0 +1,163 @@
+//! Reliable delivery for the cluster control protocol under chaos.
+//!
+//! The fabric's fault plan may drop, duplicate or delay any message
+//! (see `ompss_net`), so when faults are armed every *control* message
+//! (`Exec`, `Done`, `Failed`, `GpuDown`) travels with a globally unique
+//! id, the receiver acknowledges it, and the sender retransmits on an
+//! ack timeout with exponential backoff until a budget runs out. The
+//! receiver deduplicates by id (a retransmission whose original did
+//! arrive is re-acked but not reprocessed), which makes duplicated
+//! *and* dropped messages both safe.
+//!
+//! Bulk `Data` messages need none of this: they model wire occupancy,
+//! and the simulated byte movement is performed by the executor after
+//! the send — a dropped `Data` costs time, never data.
+//!
+//! When faults are off the runtime sends plain messages and none of
+//! this state exists — the zero-cost contract.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use parking_lot::Mutex;
+
+use ompss_sim::{Ctx, RunError, Signal, SimDuration, SimResult};
+
+use crate::stats::Counters;
+
+/// Shared reliable-delivery state: one instance per run, used by every
+/// node image (the simulation is one process, so ids are globally
+/// unique by construction).
+pub(crate) struct Reliability {
+    next_id: AtomicU64,
+    /// Unacknowledged sends, keyed by message id; the signal wakes the
+    /// blocked sender when the ack arrives.
+    pending: Mutex<HashMap<u64, Signal>>,
+    /// Every id already processed by a receiver (dedup).
+    seen: Mutex<HashSet<u64>>,
+    /// First ack wait; doubles per retransmission.
+    base_timeout: SimDuration,
+    /// Retransmissions allowed before the run aborts.
+    budget: u32,
+}
+
+impl Reliability {
+    /// New delivery state with `budget` retransmissions per message and
+    /// an initial ack timeout of `base_timeout`.
+    pub fn new(base_timeout: SimDuration, budget: u32) -> Self {
+        Reliability {
+            next_id: AtomicU64::new(0),
+            pending: Mutex::new(HashMap::new()),
+            seen: Mutex::new(HashSet::new()),
+            base_timeout,
+            budget,
+        }
+    }
+
+    /// Send a message built by `send(id)` and park until its ack
+    /// arrives, retransmitting on timeout. Each retransmission doubles
+    /// the wait and bumps `am_retries`. When the budget is exhausted
+    /// the whole run is aborted with [`RunError::Exhausted`] — an
+    /// unreachable peer is unrecoverable.
+    pub fn send_reliable(
+        &self,
+        ctx: &Ctx,
+        counters: &Counters,
+        what: &str,
+        mut send: impl FnMut(u64) -> SimResult<()>,
+    ) -> SimResult<()> {
+        let id = self.next_id.fetch_add(1, Relaxed);
+        let sig = Signal::new();
+        self.pending.lock().insert(id, sig.clone());
+        let mut timeout = self.base_timeout;
+        let attempts = self.budget.saturating_add(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                Counters::add(&counters.am_retries, 1);
+            }
+            send(id)?;
+            if sig.wait_timeout(ctx, timeout)? {
+                self.pending.lock().remove(&id);
+                return Ok(());
+            }
+            timeout = timeout * 2;
+        }
+        self.pending.lock().remove(&id);
+        Err(ctx
+            .abort_run(RunError::Exhausted { what: format!("{what} retransmissions"), attempts }))
+    }
+
+    /// An ack for `id` arrived: wake its sender. Idempotent (duplicate
+    /// acks, or acks racing a concurrent timeout, are no-ops).
+    pub fn on_ack(&self, ctx: &Ctx, id: u64) {
+        if let Some(sig) = self.pending.lock().remove(&id) {
+            sig.set(ctx);
+        }
+    }
+
+    /// Receiver-side dedup: true exactly once per id. The caller acks
+    /// regardless (the sender may have missed the first ack) but only
+    /// acts when this returns true.
+    pub fn should_process(&self, id: u64) -> bool {
+        self.seen.lock().insert(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use ompss_sim::Sim;
+
+    use super::*;
+
+    #[test]
+    fn retransmission_recovers_a_dropped_message() {
+        let rel = Arc::new(Reliability::new(SimDuration::from_micros(10), 3));
+        let counters = Arc::new(Counters::new());
+        let sent = Arc::new(AtomicU64::new(0));
+        let (r2, c2, s2) = (rel.clone(), counters.clone(), sent.clone());
+        let sim = Sim::new();
+        sim.spawn("sender", move |ctx| {
+            let r3 = &r2;
+            r2.send_reliable(&ctx, &c2, "test", |id| {
+                if s2.fetch_add(1, Relaxed) == 0 {
+                    return Ok(()); // the first copy vanishes on the wire
+                }
+                let r4 = r3.clone();
+                ctx.spawn_daemon("acker", move |actx| {
+                    let _ = actx.delay(SimDuration::from_micros(1));
+                    r4.on_ack(&actx, id);
+                });
+                Ok(())
+            })
+            .expect("retransmission must recover the message");
+        });
+        sim.run().expect("run completes");
+        assert_eq!(sent.load(Relaxed), 2, "exactly one retransmission");
+        assert_eq!(counters.snapshot().am_retries, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_the_run() {
+        let rel = Arc::new(Reliability::new(SimDuration::from_micros(5), 2));
+        let counters = Arc::new(Counters::new());
+        let sim = Sim::new();
+        sim.spawn("sender", move |ctx| {
+            let r = rel.send_reliable(&ctx, &counters, "exec", |_| Ok(()));
+            assert!(r.is_err(), "an unacknowledged message must fail the send");
+        });
+        match sim.run() {
+            Err(RunError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_are_processed_once() {
+        let rel = Reliability::new(SimDuration::from_micros(1), 0);
+        assert!(rel.should_process(7));
+        assert!(!rel.should_process(7), "retransmitted id must be deduplicated");
+        assert!(rel.should_process(8));
+    }
+}

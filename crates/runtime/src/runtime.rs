@@ -10,18 +10,22 @@
 
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_coherence::{Coherence, CoherenceStats, Topology};
+use ompss_coherence::{CachePolicy, Coherence, CoherenceStats, Topology};
 use ompss_core::{TaskGraph, TaskId};
 use ompss_cudasim::{GpuDevice, GpuStats, PinnedPool};
 use ompss_json::{Json, ToJson};
 use ompss_mem::{DataId, MemoryManager, Region, Scalar, SpaceId, SpaceKind};
 use ompss_net::{AmNet, AmStats, NetStats};
 use ompss_sched::{ResourceInfo, ResourceKind, SchedStats, Scheduler};
-use ompss_sim::{Bell, Ctx, Latch, RunError, Signal, Sim, SimDuration, SimTime};
+use ompss_sim::{
+    Bell, Ctx, DeviceFuse, FaultClass, FaultPlan, FaultStats, Latch, RunError, Signal, Sim,
+    SimDuration, SimTime,
+};
 
 use crate::config::RuntimeConfig;
 use crate::engine::{
@@ -30,6 +34,7 @@ use crate::engine::{
     SpanOracle,
 };
 use crate::exec::RtExec;
+use crate::recover::Reliability;
 use crate::stats::{CounterSnapshot, Counters};
 use crate::task::TaskSpec;
 use crate::trace::{TraceEvent, Tracer};
@@ -69,6 +74,9 @@ pub struct RunReport {
     /// among the observations. The `ompss-verify` crate turns this
     /// into findings.
     pub verify: Option<VerifyData>,
+    /// Injection tallies of the armed fault plan; `None` in fault-free
+    /// runs.
+    pub faults: Option<FaultStats>,
 }
 
 impl RunReport {
@@ -108,7 +116,7 @@ impl ToJson for RunReport {
                     .field("utilisation", u),
             );
         }
-        Json::object()
+        let mut j = Json::object()
             .field("elapsed_ns", self.elapsed.as_nanos())
             .field("makespan_ns", self.makespan.as_nanos())
             .field("tasks", self.tasks)
@@ -157,7 +165,23 @@ impl ToJson for RunReport {
             .field("counters", self.counters.to_json())
             .field("utilisation", utilisation)
             .field("events", self.events)
-            .field("clock_advances", self.clock_advances)
+            .field("clock_advances", self.clock_advances);
+        if let Some(f) = &self.faults {
+            j = j.field(
+                "faults",
+                Json::object()
+                    .field("injected", f.total())
+                    .field("net_drop", f.count(FaultClass::NetDrop))
+                    .field("net_dup", f.count(FaultClass::NetDup))
+                    .field("net_delay", f.count(FaultClass::NetDelay))
+                    .field("kernel_fail", f.count(FaultClass::KernelFail))
+                    .field("copy_corrupt", f.count(FaultClass::CopyCorrupt))
+                    .field("device_loss", f.count(FaultClass::DeviceLoss))
+                    .field("sim_stall", f.count(FaultClass::SimStall))
+                    .field("sim_timeout", f.count(FaultClass::SimTimeout)),
+            );
+        }
+        j
     }
 }
 
@@ -434,6 +458,7 @@ impl Runtime {
             Ok(report) => report,
             Err(RunError::Deadlock(names)) => panic!("runtime deadlock; stuck: {names:?}"),
             Err(RunError::ProcessPanic(name, msg)) => panic!("process '{name}' panicked: {msg}"),
+            Err(e) => panic!("run failed: {e}"),
         }
     }
 
@@ -447,6 +472,23 @@ impl Runtime {
         F: FnOnce(&Omp) + Send + 'static,
     {
         assert!(cfg.nodes >= 1, "need at least the master node");
+
+        // ---- chaos arming ---------------------------------------------
+        let faults: Option<Arc<FaultPlan>> = match &cfg.fault_plan {
+            Some(plan) => Some(plan.clone()),
+            None if cfg.fault_rate > 0.0 => {
+                Some(Arc::new(FaultPlan::new(cfg.fault_seed, cfg.fault_rate)))
+            }
+            None => None,
+        };
+        // Recovery assumes a failed or lost device never holds the only
+        // up-to-date copy of anything, so chaos pins write-back caching
+        // down to write-through (commit leaves device copies clean).
+        let mut cfg = cfg;
+        if faults.is_some() && cfg.cache_policy == CachePolicy::WriteBack {
+            cfg.cache_policy = CachePolicy::WriteThrough;
+        }
+        let cfg = cfg;
 
         // ---- machine construction ------------------------------------
         let mem = Arc::new(MemoryManager::new(cfg.backing));
@@ -480,9 +522,30 @@ impl Runtime {
             }
         }
 
+        if let Some(plan) = &faults {
+            // One fuse across the whole machine: device-loss draws are
+            // granted only while more than one GPU survives, so the
+            // scheduler always has a CUDA-capable resource left.
+            let fuse = DeviceFuse::new(gpus.len() as u64);
+            for dev in gpus.values() {
+                dev.set_fault_plan(plan.clone(), fuse.clone());
+            }
+        }
+
         let tracer = cfg.tracing.then(Tracer::new);
         let counters = Arc::new(Counters::new());
         let am: AmNet<crate::exec::ClusterMsg> = AmNet::new(cfg.fabric.clone());
+        if let Some(plan) = &faults {
+            am.set_fault_plan(plan.clone());
+        }
+        let rel = faults.as_ref().map(|_| {
+            // Base ack timeout: a generous round trip on the configured
+            // fabric; doubles per retransmission.
+            Arc::new(Reliability::new(
+                cfg.fabric.latency * 8 + SimDuration::from_micros(100),
+                cfg.am_retry_budget,
+            ))
+        });
         let pinned: Vec<Arc<PinnedPool>> =
             (0..cfg.nodes).map(|_| Arc::new(PinnedPool::new(cfg.pinned_pool))).collect();
         // The fabric inside the AM net is what the executor shares.
@@ -547,6 +610,7 @@ impl Runtime {
             sched: Mutex::new(Scheduler::new(cfg.sched_policy).with_seed(cfg.sched_seed)),
             bell: Bell::new(),
             host: hosts[0],
+            gpu_lost: AtomicBool::new(false),
         }];
         let mut slave_oracles =
             vec![SpanOracle { coh: coh.clone(), spans: std::collections::HashMap::new() }];
@@ -573,7 +637,12 @@ impl Runtime {
                     gs,
                 ));
             }
-            slaves.push(SlaveState { sched: Mutex::new(s), bell: Bell::new(), host: hosts[n] });
+            slaves.push(SlaveState {
+                sched: Mutex::new(s),
+                bell: Bell::new(),
+                host: hosts[n],
+                gpu_lost: AtomicBool::new(false),
+            });
             slave_oracles
                 .push(SpanOracle { coh: coh.clone(), spans: std::collections::HashMap::new() });
             slave_res.push((workers, gres));
@@ -591,6 +660,7 @@ impl Runtime {
                 next_id: 0,
                 inflight: vec![(0, 0); cfg.nodes as usize],
                 tasks_executed: 0,
+                cuda_alive: vec![cfg.gpus_per_node; cfg.nodes as usize],
             }),
             master_bell: Bell::new(),
             comm_bell: Bell::new(),
@@ -604,6 +674,8 @@ impl Runtime {
             tracer: tracer.clone(),
             counters: counters.clone(),
             verify: cfg.verify.then(|| Arc::new(VerifySink::new())),
+            faults: faults.clone(),
+            rel,
         });
 
         // ---- processes ------------------------------------------------
@@ -665,6 +737,9 @@ impl Runtime {
         });
 
         let run = sim.run()?;
+        if let Some(plan) = &faults {
+            Counters::add(&counters.msgs_dropped, plan.stats().count(FaultClass::NetDrop));
+        }
         let (start, end) = result.lock().take().expect("main completed");
         let m = shared.master.lock();
         let verify = shared.verify.as_ref().map(|sink| {
@@ -691,6 +766,7 @@ impl Runtime {
             clock_advances: run.clock_advances,
             trace: tracer.map(|t| t.take()),
             verify,
+            faults: faults.as_ref().map(|p| p.stats()),
         })
     }
 }

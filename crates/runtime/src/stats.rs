@@ -55,6 +55,14 @@ pub struct Counters {
     pub am_done: AtomicU64,
     /// `Data` active messages sent (bulk transfers).
     pub am_data: AtomicU64,
+    /// Cluster messages retransmitted after an ack timeout.
+    pub am_retries: AtomicU64,
+    /// Task bodies re-executed after an injected failure.
+    pub tasks_reexecuted: AtomicU64,
+    /// GPU devices lost to injected whole-device failures.
+    pub devices_lost: AtomicU64,
+    /// Messages the fault plan dropped on the wire.
+    pub msgs_dropped: AtomicU64,
     busy: Mutex<BTreeMap<ResourceKey, ResourceBusy>>,
 }
 
@@ -93,6 +101,10 @@ impl Counters {
             am_exec: self.am_exec.load(Relaxed),
             am_done: self.am_done.load(Relaxed),
             am_data: self.am_data.load(Relaxed),
+            am_retries: self.am_retries.load(Relaxed),
+            tasks_reexecuted: self.tasks_reexecuted.load(Relaxed),
+            devices_lost: self.devices_lost.load(Relaxed),
+            msgs_dropped: self.msgs_dropped.load(Relaxed),
             resources: self.busy_snapshot(),
         }
     }
@@ -117,6 +129,14 @@ pub struct CounterSnapshot {
     pub am_done: u64,
     /// `Data` active messages.
     pub am_data: u64,
+    /// Cluster messages retransmitted after an ack timeout.
+    pub am_retries: u64,
+    /// Task bodies re-executed after an injected failure.
+    pub tasks_reexecuted: u64,
+    /// GPU devices lost to injected whole-device failures.
+    pub devices_lost: u64,
+    /// Messages the fault plan dropped on the wire.
+    pub msgs_dropped: u64,
     /// Per-resource activity, sorted by `(node, name)`.
     pub resources: Vec<(ResourceKey, ResourceBusy)>,
 }
@@ -164,6 +184,14 @@ impl ToJson for CounterSnapshot {
                     .field("done", self.am_done)
                     .field("data", self.am_data),
             )
+            .field(
+                "recovery",
+                Json::object()
+                    .field("am_retries", self.am_retries)
+                    .field("tasks_reexecuted", self.tasks_reexecuted)
+                    .field("devices_lost", self.devices_lost)
+                    .field("msgs_dropped", self.msgs_dropped),
+            )
             .field("resources", resources)
     }
 }
@@ -210,8 +238,15 @@ mod tests {
         let c = Counters::new();
         Counters::add(&c.net_presend_bytes, 7);
         c.record_busy(2, "worker1", SimDuration::from_nanos(42));
+        Counters::add(&c.am_retries, 2);
+        Counters::add(&c.tasks_reexecuted, 1);
         let j = c.snapshot().to_json();
         assert_eq!(j.get("bytes").and_then(|b| b.get("net_presend")), Some(&Json::U64(7)));
+        let rec = j.get("recovery").expect("counter json lost its 'recovery' field");
+        assert_eq!(rec.get("am_retries"), Some(&Json::U64(2)));
+        assert_eq!(rec.get("tasks_reexecuted"), Some(&Json::U64(1)));
+        assert_eq!(rec.get("devices_lost"), Some(&Json::U64(0)));
+        assert_eq!(rec.get("msgs_dropped"), Some(&Json::U64(0)));
         let r = j.get("resources").expect("counter json lost its 'resources' field");
         assert_eq!(
             r,

@@ -55,12 +55,22 @@ pub enum TraceEvent {
         /// Transfer end.
         end: SimTime,
     },
+    /// The runtime recovered from an injected fault.
+    Recovery {
+        /// `"task_retry"` or `"device_lost"`.
+        kind: &'static str,
+        /// The affected task, when one was in hand.
+        task: Option<u64>,
+        /// When recovery was initiated.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
     fn start(&self) -> SimTime {
         match self {
             TraceEvent::Task { start, .. } | TraceEvent::Transfer { start, .. } => *start,
+            TraceEvent::Recovery { at, .. } => *at,
         }
     }
 }
@@ -109,6 +119,14 @@ pub fn to_csv(events: &[TraceEvent]) -> String {
                     "transfer,,,,,{medium},{bytes},{},{}\n",
                     start.as_nanos(),
                     end.as_nanos()
+                ));
+            }
+            TraceEvent::Recovery { kind, task, at } => {
+                let task = task.map(|t| t.to_string()).unwrap_or_default();
+                out.push_str(&format!(
+                    "recovery,{task},{kind},,,,,{},{}\n",
+                    at.as_nanos(),
+                    at.as_nanos()
                 ));
             }
         }
@@ -189,6 +207,14 @@ mod tests {
         assert!(lines[0].starts_with("kind,"));
         assert!(lines[1].contains("task,1,k,0,gpu0"));
         assert!(lines[2].contains("transfer,,,,,network,64,5,9"));
+    }
+
+    #[test]
+    fn recovery_rows_in_csv() {
+        let evs =
+            vec![TraceEvent::Recovery { kind: "device_lost", task: Some(9), at: SimTime(17) }];
+        let csv = to_csv(&evs);
+        assert!(csv.lines().nth(1).expect("one row").contains("recovery,9,device_lost,,,,,17,17"));
     }
 
     #[test]

@@ -36,6 +36,19 @@ pub const STATE_TRANSFER: u32 = 12;
 pub const EVENT_TASK_LABEL: u64 = 60_000_001;
 /// Event type carrying a transfer's payload bytes (0 = end).
 pub const EVENT_TRANSFER_BYTES: u64 = 60_000_002;
+/// Punctual event type marking a recovery action on the synthetic
+/// `recovery` thread; the value encodes the kind
+/// (see [`recovery_kind_id`]).
+pub const EVENT_RECOVERY: u64 = 60_000_003;
+
+/// Paraver value for a recovery kind string.
+pub fn recovery_kind_id(kind: &str) -> u64 {
+    match kind {
+        "task_retry" => 1,
+        "device_lost" => 2,
+        _ => 99,
+    }
+}
 
 /// A rendered Paraver trace pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +67,7 @@ impl ParaverTrace {
         // (node, name), then the media threads.
         let mut resources: BTreeMap<TraceResource, usize> = BTreeMap::new();
         let mut media: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut has_recovery = false;
         for e in events {
             match e {
                 TraceEvent::Task { resource, .. } => {
@@ -63,6 +77,7 @@ impl ParaverTrace {
                 TraceEvent::Transfer { medium, .. } => {
                     media.entry(medium).or_insert(0);
                 }
+                TraceEvent::Recovery { .. } => has_recovery = true,
             }
         }
         // BTreeMap insertion above can assign ids out of key order;
@@ -87,7 +102,9 @@ impl ParaverTrace {
             set.into_iter().enumerate().map(|(i, l)| (l, i + 1)).collect()
         };
 
-        let nthreads = base + media.len();
+        // Recovery marks ride one synthetic thread after the media.
+        let rec_obj = base + media.len();
+        let nthreads = rec_obj + usize::from(has_recovery);
         let mut prv = String::new();
         // Header. The date is constant by design (see module docs); the
         // object hierarchy is 1 node × nthreads CPUs, 1 application
@@ -127,6 +144,12 @@ impl ParaverTrace {
                         format!("2:{obj}:1:1:{obj}:{t}:{EVENT_TRANSFER_BYTES}:0"),
                     ));
                 }
+                TraceEvent::Recovery { kind, at, .. } => {
+                    let obj = rec_obj + 1;
+                    let s = at.as_nanos();
+                    let kid = recovery_kind_id(kind);
+                    records.push((s, obj, format!("2:{obj}:1:1:{obj}:{s}:{EVENT_RECOVERY}:{kid}")));
+                }
             }
         }
         // Paraver wants records ordered by time; tie-break on object id
@@ -144,6 +167,9 @@ impl ParaverTrace {
         }
         for m in media.keys() {
             let _ = writeln!(row, "transfers.{m}");
+        }
+        if has_recovery {
+            let _ = writeln!(row, "recovery");
         }
         ParaverTrace { prv, row }
     }
@@ -203,6 +229,30 @@ mod tests {
         assert!(p.prv.contains(&format!("1:2:1:1:2:2:6:{STATE_TRANSFER}")));
         assert!(p.prv.contains(&format!("2:2:1:1:2:2:{EVENT_TRANSFER_BYTES}:512")));
         assert!(p.row.ends_with("transfers.pcie\n"));
+    }
+
+    #[test]
+    fn recovery_marks_ride_their_own_thread() {
+        let evs = vec![
+            task_ev(1, 0, "gpu0", "k", 0, 10),
+            TraceEvent::Transfer { medium: "pcie", bytes: 64, start: SimTime(1), end: SimTime(3) },
+            TraceEvent::Recovery { kind: "task_retry", task: Some(1), at: SimTime(5) },
+            TraceEvent::Recovery { kind: "device_lost", task: None, at: SimTime(8) },
+        ];
+        let p = ParaverTrace::from_events(&evs, SimTime(10));
+        // Objects: 1 resource, 1 medium, then the recovery thread (3).
+        assert!(p.prv.starts_with("#Paraver (01/01/2012 at 00:00):10_ns:1(3):1:1(3:1)\n"));
+        assert!(p.prv.contains(&format!("2:3:1:1:3:5:{EVENT_RECOVERY}:1")));
+        assert!(p.prv.contains(&format!("2:3:1:1:3:8:{EVENT_RECOVERY}:2")));
+        assert!(p.row.ends_with("transfers.pcie\nrecovery\n"));
+    }
+
+    #[test]
+    fn no_recovery_thread_without_recovery_events() {
+        let evs = vec![task_ev(1, 0, "gpu0", "k", 0, 10)];
+        let p = ParaverTrace::from_events(&evs, SimTime(10));
+        assert!(p.prv.starts_with("#Paraver (01/01/2012 at 00:00):10_ns:1(1):1:1(1:1)\n"));
+        assert!(!p.row.contains("recovery"));
     }
 
     #[test]

@@ -158,6 +158,14 @@ impl Policy {
 pub struct Scheduler {
     policy: Policy,
     resources: Vec<ResourceInfo>,
+    /// Per-resource liveness: a deactivated resource (lost GPU) is
+    /// handed no more work, receives no placements and is never a steal
+    /// victim.
+    active: Vec<bool>,
+    /// Per-resource forbidden device kind: the master's view of a
+    /// remote node that lost its last GPU — the proxy stays in service
+    /// for SMP work but must no longer attract CUDA tasks.
+    forbidden: Vec<Option<Device>>,
     global: VecDeque<SchedTask>,
     local: Vec<VecDeque<SchedTask>>,
     /// Successor hint slot per resource (dependencies policy).
@@ -181,6 +189,8 @@ impl Scheduler {
         Scheduler {
             policy,
             resources: Vec::new(),
+            active: Vec::new(),
+            forbidden: Vec::new(),
             global: VecDeque::new(),
             local: Vec::new(),
             hints: Vec::new(),
@@ -207,9 +217,99 @@ impl Scheduler {
     pub fn register(&mut self, info: ResourceInfo) -> ResourceId {
         let id = ResourceId(self.resources.len());
         self.resources.push(info);
+        self.active.push(true);
+        self.forbidden.push(None);
         self.local.push(VecDeque::new());
         self.hints.push(VecDeque::new());
         id
+    }
+
+    /// Take `resource` out of service (an injected device loss): its
+    /// queued work — local placements and successor hints — migrates to
+    /// the global queue for surviving resources to pick up, and the
+    /// resource is skipped by placement, hand-out and stealing from now
+    /// on. Idempotent.
+    pub fn deactivate(&mut self, resource: ResourceId) {
+        if !self.active[resource.0] {
+            return;
+        }
+        self.active[resource.0] = false;
+        let orphans: Vec<SchedTask> =
+            self.hints[resource.0].drain(..).chain(self.local[resource.0].drain(..)).collect();
+        self.global.extend(orphans);
+    }
+
+    /// Is `resource` still in service?
+    pub fn is_active(&self, resource: ResourceId) -> bool {
+        self.active[resource.0]
+    }
+
+    /// Stop routing `device`-kind tasks to `resource` while keeping it
+    /// in service for everything else: the master calls this on a node
+    /// proxy when the node reports its last GPU down, so CUDA work no
+    /// longer strands on a queue the node can never drain. Already
+    /// queued tasks of that kind migrate to the global queue for
+    /// surviving resources. Idempotent.
+    pub fn forbid(&mut self, resource: ResourceId, device: Device) {
+        if self.forbidden[resource.0] == Some(device) {
+            return;
+        }
+        self.forbidden[resource.0] = Some(device);
+        let strand = |t: &SchedTask| t.device == device;
+        let orphans: Vec<SchedTask> = {
+            let hints = &mut self.hints[resource.0];
+            let local = &mut self.local[resource.0];
+            let mut out = Vec::new();
+            for q in [hints, local] {
+                let mut i = 0;
+                while i < q.len() {
+                    if strand(&q[i]) {
+                        out.push(q.remove(i).expect("index in bounds"));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            out
+        };
+        self.global.extend(orphans);
+    }
+
+    /// Can `resource` currently be handed a `device`-kind task?
+    fn serves(&self, resource: usize, device: Device) -> bool {
+        self.active[resource]
+            && self.resources[resource].kind.accepts(device)
+            && self.forbidden[resource] != Some(device)
+    }
+
+    /// Remove and return every queued task no surviving resource can
+    /// execute (e.g. CUDA tasks on a node whose last GPU died — the
+    /// machine-wide fuse prevents this, but a *node* can lose all its
+    /// GPUs). The caller re-routes them elsewhere.
+    pub fn drain_unservable(&mut self) -> Vec<TaskId> {
+        let mut orphans = Vec::new();
+        // Split borrows: the queue iterators borrow the queues mutably
+        // while the check reads the resource tables, so it takes them
+        // as separate slices rather than going through `serves`.
+        let servable =
+            |t: &SchedTask, res: &[ResourceInfo], act: &[bool], fb: &[Option<Device>]| {
+                (0..res.len())
+                    .any(|i| act[i] && res[i].kind.accepts(t.device) && fb[i] != Some(t.device))
+            };
+        let (resources, active, forbidden) = (&self.resources, &self.active, &self.forbidden);
+        let queues = self.hints.iter_mut().chain(self.local.iter_mut()).chain([&mut self.global]);
+        for q in queues {
+            let mut i = 0;
+            while i < q.len() {
+                if servable(&q[i], resources, active, forbidden) {
+                    i += 1;
+                } else {
+                    orphans.push(q.remove(i).expect("index in bounds").id);
+                }
+            }
+        }
+        self.queued -= orphans.len();
+        orphans
     }
 
     /// Number of registered resources.
@@ -260,7 +360,7 @@ impl Scheduler {
                     let task = SchedTask::from_desc(desc);
                     self.queued += 1;
                     self.note_enqueue();
-                    if !hinted && self.resources[resource.0].kind.accepts(task.device) {
+                    if !hinted && self.serves(resource.0, task.device) {
                         self.hints[resource.0].push_back(task);
                         hinted = true;
                     } else {
@@ -282,12 +382,12 @@ impl Scheduler {
         // goes to the global queue for demand-driven pickup.
         let mut best: Option<(u64, usize)> = None;
         let mut tied = false;
-        for (i, res) in self.resources.iter().enumerate() {
-            if !res.kind.accepts(task.device) {
+        for i in 0..self.resources.len() {
+            if !self.serves(i, task.device) {
                 continue;
             }
-            let score: u64 =
-                task.copies.iter().map(|(r, w)| w * oracle.bytes_at(r, res.space)).sum();
+            let space = self.resources[i].space;
+            let score: u64 = task.copies.iter().map(|(r, w)| w * oracle.bytes_at(r, space)).sum();
             if score == 0 {
                 continue;
             }
@@ -322,8 +422,13 @@ impl Scheduler {
         resource: ResourceId,
         allow: impl Fn(Device) -> bool,
     ) -> Option<TaskId> {
+        if !self.active[resource.0] {
+            return None;
+        }
         let kind = self.resources[resource.0].kind;
-        let accepts = |t: &SchedTask| kind.accepts(t.device) && allow(t.device);
+        let banned = self.forbidden[resource.0];
+        let accepts =
+            |t: &SchedTask| kind.accepts(t.device) && banned != Some(t.device) && allow(t.device);
         // Highest priority wins; FIFO within a priority level — unless a
         // perturbation seed is set, in which case the tie-break among
         // equal-priority eligible tasks is drawn from a deterministic
@@ -391,7 +496,8 @@ impl Scheduler {
             const STEAL_THRESHOLD: usize = 2;
             let group = self.resources[resource.0].steal_group;
             let victim = (0..self.resources.len())
-                .filter(|&i| i != resource.0 && self.resources[i].steal_group == group)
+                .filter(|&i| i != resource.0 && self.active[i])
+                .filter(|&i| self.resources[i].steal_group == group)
                 .filter(|&i| self.local[i].len() >= STEAL_THRESHOLD)
                 .filter(|&i| self.local[i].iter().any(&accepts))
                 .max_by_key(|&i| (self.local[i].len(), usize::MAX - i));
@@ -678,6 +784,106 @@ mod tests {
         }
         s.submit(&hi, &NoLocality);
         assert_eq!(s.next(w), Some(TaskId(50)), "priority beats any tie-break seed");
+    }
+
+    #[test]
+    fn deactivated_resource_gets_nothing_and_its_queue_migrates() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        let g1 = s.register(gpu(11));
+        let oracle = MapOracle(HashMap::from([((1, 11), 64)]));
+        // Both tasks placed locally on g1, then g1 dies.
+        s.submit(&desc(0, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        s.submit(&desc(1, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        s.deactivate(g1);
+        assert!(!s.is_active(g1));
+        assert_eq!(s.next(g1), None, "a dead resource is handed no work");
+        // The orphans are available to the survivor via the global queue.
+        assert_eq!(s.next(g0), Some(TaskId(0)));
+        assert_eq!(s.next(g0), Some(TaskId(1)));
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn deactivated_resource_is_not_placed_on_or_stolen_from() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        let g1 = s.register(gpu(11));
+        s.deactivate(g1);
+        let oracle = MapOracle(HashMap::from([((1, 11), 64)]));
+        // Affinity points at the dead g1: placement must not use it.
+        s.submit(&desc(0, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        assert_eq!(s.next(g0), Some(TaskId(0)), "task must be reachable by the survivor");
+    }
+
+    #[test]
+    fn dead_resource_successor_hint_goes_global() {
+        let mut s = Scheduler::new(Policy::Dependencies);
+        let w0 = s.register(smp(0));
+        let w1 = s.register(smp(0));
+        s.deactivate(w0);
+        let succ = desc(5, Device::Smp, &[]);
+        s.task_completed(w0, &[&succ], &NoLocality);
+        assert_eq!(s.next(w0), None);
+        assert_eq!(s.next(w1), Some(TaskId(5)));
+    }
+
+    #[test]
+    fn drain_unservable_returns_orphaned_device_tasks() {
+        let mut s = Scheduler::new(Policy::BreadthFirst);
+        let w = s.register(smp(0));
+        let g = s.register(gpu(1));
+        s.submit(&desc(0, Device::Cuda, &[]), &NoLocality);
+        s.submit(&desc(1, Device::Smp, &[]), &NoLocality);
+        s.submit(&desc(2, Device::Cuda, &[]), &NoLocality);
+        s.deactivate(g);
+        let orphans = s.drain_unservable();
+        assert_eq!(orphans, vec![TaskId(0), TaskId(2)]);
+        assert_eq!(s.queued(), 1);
+        assert_eq!(s.next(w), Some(TaskId(1)));
+        // With every kind still servable, nothing drains.
+        assert!(s.drain_unservable().is_empty());
+    }
+
+    #[test]
+    fn forbid_migrates_queued_kind_and_blocks_future_placement() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let proxy =
+            ResourceInfo { kind: ResourceKind::NodeProxy, space: SpaceId(20), steal_group: 1 };
+        let p = s.register(proxy);
+        let g = s.register(gpu(10));
+        let oracle = MapOracle(HashMap::from([((1, 20), 64)]));
+        // Two CUDA tasks and an SMP task, all affine to the proxy.
+        s.submit(&desc(0, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        s.submit(&desc(1, Device::Smp, &[(1, 0, 64)]), &oracle);
+        s.submit(&desc(2, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        // The node reports its last GPU down: CUDA work must leave the
+        // proxy queue (for the surviving GPU) but SMP work stays.
+        s.forbid(p, Device::Cuda);
+        assert_eq!(s.next(p), Some(TaskId(1)), "proxy keeps serving SMP");
+        assert_eq!(s.next(p), None, "proxy is handed no CUDA work");
+        assert_eq!(s.next(g), Some(TaskId(0)));
+        assert_eq!(s.next(g), Some(TaskId(2)));
+        // Future placements skip the forbidden proxy even with affinity.
+        s.submit(&desc(3, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        assert_eq!(s.next(p), None);
+        assert_eq!(s.next(g), Some(TaskId(3)));
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn drain_unservable_counts_forbidden_resources_as_dead() {
+        let mut s = Scheduler::new(Policy::BreadthFirst);
+        let p = s.register(ResourceInfo {
+            kind: ResourceKind::NodeProxy,
+            space: SpaceId(20),
+            steal_group: 1,
+        });
+        s.submit(&desc(0, Device::Cuda, &[]), &NoLocality);
+        s.submit(&desc(1, Device::Smp, &[]), &NoLocality);
+        s.forbid(p, Device::Cuda);
+        assert_eq!(s.drain_unservable(), vec![TaskId(0)]);
+        assert_eq!(s.next(p), Some(TaskId(1)));
     }
 
     #[test]

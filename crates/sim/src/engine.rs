@@ -153,6 +153,9 @@ pub(crate) struct Kernel {
     events_processed: u64,
     clock_advances: u64,
     panics: Vec<(String, String)>,
+    /// First fatal error raised via [`Ctx::abort_run`]; ends the run at
+    /// the next kernel step and becomes [`Sim::run`]'s error.
+    fatal: Option<RunError>,
 }
 
 /// State shared between the kernel and every process context.
@@ -224,6 +227,7 @@ impl Sim {
                     events_processed: 0,
                     clock_advances: 0,
                     panics: Vec::new(),
+                    fatal: None,
                 }),
             }),
         }
@@ -259,6 +263,11 @@ impl Sim {
             let next = {
                 let mut k = self.shared.kernel.lock();
                 loop {
+                    // A process aborted the run: stop dispatching and
+                    // fall through to the teardown below.
+                    if k.fatal.is_some() {
+                        break None;
+                    }
                     match k.queue.pop() {
                         None => break None,
                         Some(Reverse(ev)) => {
@@ -337,7 +346,13 @@ impl Sim {
             let _ = j.join();
         }
 
-        let k = self.shared.kernel.lock();
+        let mut k = self.shared.kernel.lock();
+        // An abort takes precedence: processes blocked at that instant
+        // (and panics from their forced unwinds) are consequences of
+        // stopping early, not independent failures.
+        if let Some(fatal) = k.fatal.take() {
+            return Err(fatal);
+        }
         if let Some((name, msg)) = k.panics.first() {
             return Err(RunError::ProcessPanic(name.clone(), msg.clone()));
         }
@@ -484,6 +499,18 @@ impl Ctx {
     /// interleave fairly.
     pub fn yield_now(&self) -> SimResult<()> {
         self.delay(SimDuration::ZERO)
+    }
+
+    /// Abort the whole simulation with a structured error: the kernel
+    /// stops dispatching, daemons are torn down, and [`Sim::run`]
+    /// returns `err` (first abort wins). Returns [`SimError::Shutdown`]
+    /// so the caller can unwind through the ordinary `?` path.
+    pub fn abort_run(&self, err: RunError) -> SimError {
+        let mut k = self.shared.kernel.lock();
+        if !k.shutdown && k.fatal.is_none() {
+            k.fatal = Some(err);
+        }
+        SimError::Shutdown
     }
 
     fn handshake(&self) -> SimResult<()> {
@@ -662,6 +689,42 @@ mod tests {
         sim.run().unwrap();
         let got = log.lock().clone();
         assert_eq!(got, vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn abort_run_returns_the_structured_error() {
+        let sim = Sim::new();
+        sim.spawn("stuck", |ctx| {
+            // Would be a deadlock — but the abort below must win.
+            let _ = ctx.park();
+        });
+        sim.spawn("aborter", |ctx| {
+            ctx.delay(SimDuration::from_nanos(5)).unwrap();
+            let e = ctx.abort_run(RunError::Exhausted { what: "t0".into(), attempts: 4 });
+            assert_eq!(e, SimError::Shutdown);
+        });
+        match sim.run() {
+            Err(RunError::Exhausted { what, attempts }) => {
+                assert_eq!(what, "t0");
+                assert_eq!(attempts, 4);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_abort_wins() {
+        let sim = Sim::new();
+        for i in 0..3u32 {
+            sim.spawn(format!("a{i}"), move |ctx| {
+                ctx.delay(SimDuration::from_nanos(i as u64 + 1)).unwrap();
+                let _ = ctx.abort_run(RunError::Exhausted { what: format!("t{i}"), attempts: i });
+            });
+        }
+        match sim.run() {
+            Err(RunError::Exhausted { what, .. }) => assert_eq!(what, "t0"),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
     }
 
     #[test]

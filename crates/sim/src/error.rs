@@ -53,6 +53,24 @@ pub enum RunError {
     /// A process panicked. Contains `(process name, panic message)` for
     /// the first recorded panic.
     ProcessPanic(String, String),
+    /// A recovery budget ran out: a fault kept firing past every retry
+    /// the runtime was allowed. `what` names the exhausted operation
+    /// (task label, message kind), `attempts` how many were made.
+    Exhausted {
+        /// What ran out of retries.
+        what: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A bounded runtime queue overflowed (e.g. the MPI unexpected-
+    /// message queue) — surfaced as an error instead of silent
+    /// unbounded growth.
+    QueueOverflow {
+        /// Which queue overflowed.
+        queue: String,
+        /// The configured capacity it hit.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -63,6 +81,12 @@ impl fmt::Display for RunError {
             }
             RunError::ProcessPanic(name, msg) => {
                 write!(f, "process '{name}' panicked: {msg}")
+            }
+            RunError::Exhausted { what, attempts } => {
+                write!(f, "recovery budget exhausted for {what} after {attempts} attempts")
+            }
+            RunError::QueueOverflow { queue, capacity } => {
+                write!(f, "queue '{queue}' overflowed its capacity of {capacity}")
             }
         }
     }

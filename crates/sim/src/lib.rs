@@ -45,12 +45,14 @@
 
 mod engine;
 mod error;
+mod fault;
 mod queue;
 mod sync;
 mod time;
 
 pub use engine::{Ctx, Pid, Sim};
 pub use error::{RunError, RunReport, SimError, SimResult};
+pub use fault::{DeviceFuse, FaultClass, FaultPlan, FaultStats, FAULT_CLASSES};
 pub use queue::Channel;
 pub use sync::{Bell, Latch, Semaphore, Signal};
 pub use time::{SimDuration, SimTime};

@@ -181,6 +181,33 @@ impl Signal {
             ctx.park()?;
         }
     }
+
+    /// Park until the signal is set or `timeout` elapses. Returns
+    /// `Ok(true)` if the signal was set, `Ok(false)` on timeout. The
+    /// timeout path deregisters this process from the waiter list, so a
+    /// later `set` cannot deliver a stale wakeup into whatever the
+    /// process blocks on next.
+    pub fn wait_timeout(&self, ctx: &Ctx, timeout: crate::SimDuration) -> SimResult<bool> {
+        let deadline = ctx.now() + timeout;
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if inner.set {
+                    inner.waiters.retain(|&p| p != ctx.pid());
+                    return Ok(true);
+                }
+                if ctx.now() >= deadline {
+                    inner.waiters.retain(|&p| p != ctx.pid());
+                    return Ok(false);
+                }
+                inner.waiters.push(ctx.pid());
+            }
+            // Own wakeup at the deadline; a `set` before then wakes us
+            // earlier and the stale deadline event is epoch-invalidated.
+            ctx.shared().schedule_wake_current_epoch(ctx.pid(), deadline);
+            ctx.park()?;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -456,6 +483,47 @@ mod tests {
             assert!(s.is_set());
             s.wait(&ctx).unwrap();
             assert_eq!(ctx.now().as_nanos(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn signal_wait_timeout_set_and_expiry() {
+        let sim = Sim::new();
+        let sig = Signal::new();
+        {
+            let s = sig.clone();
+            sim.spawn("waiter", move |ctx| {
+                // First wait times out at 10ns (set comes at 25ns).
+                assert!(!s.wait_timeout(&ctx, SimDuration::from_nanos(10)).unwrap());
+                assert_eq!(ctx.now().as_nanos(), 10);
+                // Second wait sees the set at 25ns, before its deadline.
+                assert!(s.wait_timeout(&ctx, SimDuration::from_nanos(100)).unwrap());
+                assert_eq!(ctx.now().as_nanos(), 25);
+                // A later delay must not be cut short by any stale wake.
+                ctx.delay(SimDuration::from_nanos(500)).unwrap();
+                assert_eq!(ctx.now().as_nanos(), 525);
+            });
+        }
+        let s = sig.clone();
+        sim.spawn("setter", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(25)).unwrap();
+            s.set(&ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn signal_wait_timeout_deregisters_on_expiry() {
+        // After a timeout, a set() must find no stale waiter entry.
+        let sim = Sim::new();
+        let sig = Signal::new();
+        let s = sig.clone();
+        sim.spawn("p", move |ctx| {
+            assert!(!s.wait_timeout(&ctx, SimDuration::from_nanos(5)).unwrap());
+            s.set(&ctx); // would panic/misfire on a stale self-wake
+            ctx.delay(SimDuration::from_nanos(50)).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 55);
         });
         sim.run().unwrap();
     }

@@ -51,8 +51,9 @@ pub use ompss_mem::{cast_slice, cast_slice_mut, Backing, Region};
 pub use ompss_runtime::trace;
 pub use ompss_runtime::SlaveRouting;
 pub use ompss_runtime::{
-    ArrayHandle, CachePolicy, CounterSnapshot, Omp, ParaverTrace, Policy, RunReport, Runtime,
-    RuntimeConfig, SimDuration, SimTime, TaskCost, TaskHandle, TaskSpec,
+    ArrayHandle, CachePolicy, CounterSnapshot, FaultClass, FaultPlan, FaultStats, Omp,
+    ParaverTrace, Policy, RunError, RunReport, Runtime, RuntimeConfig, SimDuration, SimTime,
+    TaskCost, TaskHandle, TaskSpec,
 };
 
 /// Everything an annotated program needs, in one import.
