@@ -6,6 +6,7 @@
 #   ./ci.sh quick    # skip the release build (lints + tests + verify)
 #   ./ci.sh verify   # only the ompss-verify sweep over the apps
 #   ./ci.sh chaos    # only the fault-injection sweep over the apps
+#   ./ci.sh bench    # wall-clock spine: fail on >20% macro regression
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,6 +20,11 @@ chaos() {
     cargo run -q --release -p ompss-chaos --bin chaos -- --rates 0.05,0.1 --seeds 1,2,3
 }
 
+bench() {
+    echo "==> bench_sim (host wall-clock vs committed BENCH_sim.json, +20% budget)"
+    cargo run -q --release -p ompss-bench --bin bench_sim -- --check
+}
+
 if [[ "${1:-}" == "verify" ]]; then
     verify
     echo "CI green."
@@ -27,6 +33,12 @@ fi
 
 if [[ "${1:-}" == "chaos" ]]; then
     chaos
+    echo "CI green."
+    exit 0
+fi
+
+if [[ "${1:-}" == "bench" ]]; then
+    bench
     echo "CI green."
     exit 0
 fi

@@ -114,6 +114,38 @@ fn task_graph(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Pure submission throughput at depth: 10k tasks, three accesses
+    // each, long reduction chains — the workload the bounded overlap
+    // scan in `find_partial_overlap` exists for.
+    let big: Vec<Vec<Access>> = {
+        let reg = |d: u64, i: usize, j: usize| {
+            Region::new(DataId(d), ((i % 8 * 8 + j % 8) * 64) as u64, 64)
+        };
+        (0..10_000)
+            .map(|t| {
+                let (i, j, k) = (t / 64, t / 8, t);
+                vec![
+                    Access::read(reg(0, i, k)),
+                    Access::read(reg(1, k, j)),
+                    Access::update(reg(2, i, j)),
+                ]
+            })
+            .collect()
+    };
+    g.throughput(Throughput::Elements(big.len() as u64));
+    g.bench_function("add-task-x10000", |b| {
+        b.iter_batched(
+            || big.clone(),
+            |accs| {
+                let mut graph = TaskGraph::new();
+                for (i, a) in accs.iter().enumerate() {
+                    graph.add_task(TaskId(i as u64), a).unwrap();
+                }
+                assert_eq!(graph.submitted(), accs.len());
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.finish();
 }
 

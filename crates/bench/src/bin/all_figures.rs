@@ -1,6 +1,13 @@
 //! Regenerates every figure and table of the paper's evaluation,
 //! printing each and saving JSON under `results/`.
+//!
+//! Independent configurations within each figure run on `--jobs N` host
+//! threads (default: `OMPSS_BENCH_JOBS` or the host's parallelism); the
+//! output is byte-identical at any job count.
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    ompss_sweep::parse_jobs_flag(&mut args);
+    assert!(args.is_empty(), "usage: all_figures [--jobs N]");
     let dir = ompss_bench::results_dir();
     let figs = [
         ompss_bench::figures::fig05(),

@@ -4,6 +4,13 @@
 //! the simulated platform (phantom-backed, paper-scale workloads) and
 //! returns the series. Shape assertions — the reproduction criteria —
 //! live in the crate's integration tests and in `EXPERIMENTS.md`.
+//!
+//! Every configuration in a sweep is an independent simulation, so each
+//! figure queues its runs and fans them across host threads with
+//! [`ompss_sweep::run_jobs`] (`--jobs N` / `OMPSS_BENCH_JOBS`). Results
+//! come back in submission order and the series are assembled by the
+//! same loops that queued the runs, so the figure JSON is byte-identical
+//! at any job count.
 
 use ompss_apps::common::AppRun;
 use ompss_apps::matmul::{self, ompss::InitMode};
@@ -54,6 +61,16 @@ fn attach(fig: &mut FigureData, key: String, r: &AppRun) {
     }
 }
 
+/// A queued figure run, executed on the host-thread sweep.
+type Task = Box<dyn FnOnce() -> AppRun + Send>;
+
+/// Fan the queued runs across host threads, yielding results in
+/// submission order so the assembly loops below consume them exactly
+/// as the serial code did.
+fn sweep(tasks: Vec<Task>) -> std::vec::IntoIter<AppRun> {
+    ompss_sweep::run_jobs(ompss_sweep::jobs(), tasks).into_iter()
+}
+
 // ---------------------------------------------------------------- Fig 5
 
 /// Fig. 5: Matrix multiply on the multi-GPU node — GFLOPS for every
@@ -62,12 +79,26 @@ pub fn fig05() -> FigureData {
     let mut fig =
         FigureData::new("fig05", "Matrix multiply, multi-GPU node (12288², 1024² tiles)", "GFLOPS");
     let p = matmul::MatmulParams::paper();
+    let mut runs: Vec<Task> = Vec::new();
+    for cache in CACHES {
+        for sched in SCHEDS {
+            for gpus in GPUS {
+                runs.push(Box::new(move || {
+                    matmul::ompss::run(
+                        mg(gpus).with_cache(cache).with_sched(sched),
+                        p,
+                        InitMode::Seq,
+                    )
+                }));
+            }
+        }
+    }
+    let mut results = sweep(runs);
     for cache in CACHES {
         for sched in SCHEDS {
             let mut s = Series::new(format!("{}/{}", cache.chart_label(), sched.chart_label()));
             for gpus in GPUS {
-                let cfg = mg(gpus).with_cache(cache).with_sched(sched);
-                let r = matmul::ompss::run(cfg, p, InitMode::Seq);
+                let r = results.next().expect("one result per queued config");
                 if gpus == 4 {
                     attach(&mut fig, format!("{}@4gpus", s.label), &r);
                 }
@@ -86,13 +117,23 @@ pub fn fig05() -> FigureData {
 /// GPU count (768 MB of arrays per GPU).
 pub fn fig06() -> FigureData {
     let mut fig = FigureData::new("fig06", "STREAM, multi-GPU node (768 MB/GPU)", "GB/s");
+    let mut runs: Vec<Task> = Vec::new();
+    for cache in CACHES {
+        for sched in SCHEDS {
+            for gpus in GPUS {
+                runs.push(Box::new(move || {
+                    let p = stream::StreamParams::paper(gpus as usize);
+                    stream::ompss::run(mg(gpus).with_cache(cache).with_sched(sched), p)
+                }));
+            }
+        }
+    }
+    let mut results = sweep(runs);
     for cache in CACHES {
         for sched in SCHEDS {
             let mut s = Series::new(format!("{}/{}", cache.chart_label(), sched.chart_label()));
             for gpus in GPUS {
-                let p = stream::StreamParams::paper(gpus as usize);
-                let cfg = mg(gpus).with_cache(cache).with_sched(sched);
-                let r = stream::ompss::run(cfg, p);
+                let r = results.next().expect("one result per queued config");
                 if gpus == 4 {
                     attach(&mut fig, format!("{}@4gpus", s.label), &r);
                 }
@@ -112,15 +153,26 @@ pub fn fig06() -> FigureData {
 pub fn fig07() -> FigureData {
     let mut fig = FigureData::new("fig07", "Perlin noise, multi-GPU node (1024×1024)", "Mpixels/s");
     let p = perlin::PerlinParams::paper();
+    let mut runs: Vec<Task> = Vec::new();
+    for flush in [true, false] {
+        for cache in CACHES {
+            for gpus in GPUS {
+                runs.push(Box::new(move || {
+                    // Locality-aware scheduling keeps row blocks anchored
+                    // across the Flush variant's per-step taskwaits.
+                    let cfg = mg(gpus).with_cache(cache).with_sched(Policy::Affinity);
+                    perlin::ompss::run(cfg, p, flush)
+                }));
+            }
+        }
+    }
+    let mut results = sweep(runs);
     for flush in [true, false] {
         for cache in CACHES {
             let mode = if flush { "flush" } else { "noflush" };
             let mut s = Series::new(format!("{}/{}", mode, cache.chart_label()));
             for gpus in GPUS {
-                // Locality-aware scheduling keeps row blocks anchored
-                // across the Flush variant's per-step taskwaits.
-                let cfg = mg(gpus).with_cache(cache).with_sched(Policy::Affinity);
-                let r = perlin::ompss::run(cfg, p, flush);
+                let r = results.next().expect("one result per queued config");
                 if gpus == 4 {
                     attach(&mut fig, format!("{}@4gpus", s.label), &r);
                 }
@@ -155,11 +207,19 @@ pub fn fig08() -> FigureData {
     // Coarse blocks (one per GPU at 4 GPUs, NVIDIA multi-GPU example
     // style) and a capped cache reproduce the pressure regime.
     let p = nbody::NbodyParams { n: 20_000, blocks: 4, iters: 10, real: false };
+    let mut runs: Vec<Task> = Vec::new();
+    for cache in CACHES {
+        for gpus in GPUS {
+            runs.push(Box::new(move || {
+                nbody::ompss::run(mg(gpus).with_cache(cache).with_gpu_mem(FIG8_GPU_MEM), p)
+            }));
+        }
+    }
+    let mut results = sweep(runs);
     for cache in CACHES {
         let mut s = Series::new(cache.chart_label().to_string());
         for gpus in GPUS {
-            let cfg = mg(gpus).with_cache(cache).with_gpu_mem(FIG8_GPU_MEM);
-            let r = nbody::ompss::run(cfg, p);
+            let r = results.next().expect("one result per queued config");
             if gpus == 4 {
                 attach(&mut fig, format!("{}@4gpus", s.label), &r);
             }
@@ -183,13 +243,26 @@ pub fn fig09() -> FigureData {
     let mut fig =
         FigureData::new("fig09", "Matrix multiply, GPU cluster configuration sweep", "GFLOPS");
     let p = matmul::MatmulParams::paper();
-    for (routing, rl) in [(SlaveRouting::ViaMaster, "MtoS"), (SlaveRouting::Direct, "StoS")] {
-        for (init, il) in [(InitMode::Seq, "seq"), (InitMode::Smp, "smp"), (InitMode::Gpu, "gpu")] {
+    let mut runs: Vec<Task> = Vec::new();
+    for (routing, _) in [(SlaveRouting::ViaMaster, "MtoS"), (SlaveRouting::Direct, "StoS")] {
+        for (init, _) in [(InitMode::Seq, "seq"), (InitMode::Smp, "smp"), (InitMode::Gpu, "gpu")] {
+            for presend in [0u32, 2, 8] {
+                for nodes in NODES {
+                    runs.push(Box::new(move || {
+                        let cfg = cl(nodes).with_routing(routing).with_presend(presend);
+                        matmul::ompss::run(cfg, p, init)
+                    }));
+                }
+            }
+        }
+    }
+    let mut results = sweep(runs);
+    for (_, rl) in [(SlaveRouting::ViaMaster, "MtoS"), (SlaveRouting::Direct, "StoS")] {
+        for (_, il) in [(InitMode::Seq, "seq"), (InitMode::Smp, "smp"), (InitMode::Gpu, "gpu")] {
             for presend in [0u32, 2, 8] {
                 let mut s = Series::new(format!("{rl}/{il}/presend{presend}"));
                 for nodes in NODES {
-                    let cfg = cl(nodes).with_routing(routing).with_presend(presend);
-                    let r = matmul::ompss::run(cfg, p, init);
+                    let r = results.next().expect("one result per queued config");
                     if nodes == 8 {
                         attach(&mut fig, format!("{}@8nodes", s.label), &r);
                     }
@@ -212,15 +285,23 @@ pub fn fig10() -> FigureData {
     let mut fig =
         FigureData::new("fig10", "Matrix multiply: OmpSs vs MPI+CUDA on the cluster", "GFLOPS");
     let p = matmul::MatmulParams::paper();
+    let mut runs: Vec<Task> = Vec::new();
+    for nodes in NODES {
+        runs.push(Box::new(move || matmul::ompss::run(cl_best(nodes), p, InitMode::Smp)));
+        runs.push(Box::new(move || {
+            matmul::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p)
+        }));
+    }
+    let mut results = sweep(runs);
     let mut om = Series::new("OmpSs");
     let mut mp = Series::new("MPI+CUDA");
     for nodes in NODES {
-        let r = matmul::ompss::run(cl_best(nodes), p, InitMode::Smp);
+        let r = results.next().expect("one result per queued config");
         if nodes == 8 {
             attach(&mut fig, "OmpSs@8nodes".to_string(), &r);
         }
         om.push(nodes.to_string(), r.metric);
-        let m = matmul::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p);
+        let m = results.next().expect("one result per queued config");
         mp.push(nodes.to_string(), m.metric);
     }
     fig.add(om);
@@ -234,16 +315,26 @@ pub fn fig10() -> FigureData {
 /// Fig. 11: STREAM on the GPU cluster — OmpSs vs MPI+CUDA.
 pub fn fig11() -> FigureData {
     let mut fig = FigureData::new("fig11", "STREAM on the GPU cluster (768 MB/node)", "GB/s");
+    let mut runs: Vec<Task> = Vec::new();
+    for nodes in NODES {
+        runs.push(Box::new(move || {
+            stream::ompss::run(cl_best(nodes), stream::StreamParams::paper(nodes as usize))
+        }));
+        runs.push(Box::new(move || {
+            let p = stream::StreamParams::paper(nodes as usize);
+            stream::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p)
+        }));
+    }
+    let mut results = sweep(runs);
     let mut om = Series::new("OmpSs");
     let mut mp = Series::new("MPI+CUDA");
     for nodes in NODES {
-        let p = stream::StreamParams::paper(nodes as usize);
-        let r = stream::ompss::run(cl_best(nodes), p);
+        let r = results.next().expect("one result per queued config");
         if nodes == 8 {
             attach(&mut fig, "OmpSs@8nodes".to_string(), &r);
         }
         om.push(nodes.to_string(), r.metric);
-        let m = stream::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p);
+        let m = results.next().expect("one result per queued config");
         mp.push(nodes.to_string(), m.metric);
     }
     fig.add(om);
@@ -268,22 +359,32 @@ pub fn fig12() -> FigureData {
         rows_per_block: 128,
         real: false,
     };
-    for (flush, ml) in [(true, "flush"), (false, "noflush")] {
+    let mut runs: Vec<Task> = Vec::new();
+    for (flush, _) in [(true, "flush"), (false, "noflush")] {
+        for nodes in NODES {
+            runs.push(Box::new(move || perlin::ompss::run(cl_light(nodes), p, flush)));
+            runs.push(Box::new(move || {
+                perlin::mpi::run(
+                    nodes,
+                    GpuSpec::gtx_480(),
+                    FabricConfig::qdr_infiniband(nodes),
+                    p,
+                    flush,
+                )
+            }));
+        }
+    }
+    let mut results = sweep(runs);
+    for (_, ml) in [(true, "flush"), (false, "noflush")] {
         let mut om = Series::new(format!("OmpSs/{ml}"));
         let mut mp = Series::new(format!("MPI+CUDA/{ml}"));
         for nodes in NODES {
-            let r = perlin::ompss::run(cl_light(nodes), p, flush);
+            let r = results.next().expect("one result per queued config");
             if nodes == 8 {
                 attach(&mut fig, format!("OmpSs/{ml}@8nodes"), &r);
             }
             om.push(nodes.to_string(), r.metric);
-            let m = perlin::mpi::run(
-                nodes,
-                GpuSpec::gtx_480(),
-                FabricConfig::qdr_infiniband(nodes),
-                p,
-                flush,
-            );
+            let m = results.next().expect("one result per queued config");
             mp.push(nodes.to_string(), m.metric);
         }
         fig.add(om);
@@ -303,15 +404,23 @@ pub fn fig13() -> FigureData {
         "GFLOPS",
     );
     let p = nbody::NbodyParams::paper();
+    let mut runs: Vec<Task> = Vec::new();
+    for nodes in NODES {
+        runs.push(Box::new(move || nbody::ompss::run(cl_light(nodes), p)));
+        runs.push(Box::new(move || {
+            nbody::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p)
+        }));
+    }
+    let mut results = sweep(runs);
     let mut om = Series::new("OmpSs");
     let mut mp = Series::new("MPI+CUDA");
     for nodes in NODES {
-        let r = nbody::ompss::run(cl_light(nodes), p);
+        let r = results.next().expect("one result per queued config");
         if nodes == 8 {
             attach(&mut fig, "OmpSs@8nodes".to_string(), &r);
         }
         om.push(nodes.to_string(), r.metric);
-        let m = nbody::mpi::run(nodes, GpuSpec::gtx_480(), FabricConfig::qdr_infiniband(nodes), p);
+        let m = results.next().expect("one result per queued config");
         mp.push(nodes.to_string(), m.metric);
     }
     fig.add(om);

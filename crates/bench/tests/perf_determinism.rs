@@ -1,0 +1,100 @@
+//! Host-performance machinery must never change what a run computes.
+//!
+//! Two invariants pin the perf work (parallel sweeps, DES fast paths)
+//! to the determinism contract, in the same spirit as
+//! `fault_zero_cost.rs`:
+//!
+//! * **Sweep-width neutrality** — running the same configurations
+//!   through the sweep runner at `--jobs 4` must produce byte-identical
+//!   report JSON to `--jobs 1`. Parallelism may only change *when* a
+//!   configuration runs, never *what* it computes.
+//! * **Fast-path neutrality** — the kernel's inline-delay and
+//!   wakeup-dedup fast paths (disabled via `OMPSS_SIM_NO_FASTPATH=1`)
+//!   must leave the virtual-time fingerprint — makespan, event count,
+//!   clock advances, task count — and the computed results unchanged.
+//!
+//! Host wall-clock fields (`host_ns`, `events_per_sec`) are *expected*
+//! to differ run to run; the JSON serialisation must therefore exclude
+//! them, which the byte comparison below also enforces.
+
+use std::sync::Mutex;
+
+use ompss_apps::common::AppRun;
+use ompss_apps::matmul::ompss::InitMode;
+use ompss_apps::matmul::{self, MatmulParams};
+use ompss_apps::nbody::{self, NbodyParams};
+use ompss_json::ToJson;
+use ompss_runtime::{RunReport, RuntimeConfig};
+
+/// Serialises the env-sensitive parts of these tests: `ENV_LOCK` keeps
+/// the `OMPSS_SIM_NO_FASTPATH` flip from interleaving with the sweep
+/// test's simulations inside this test binary.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64) {
+    (r.makespan.as_nanos(), r.events, r.clock_advances, r.tasks)
+}
+
+/// The validate-scale configurations the sweep test fans out: two apps
+/// across the paper's two topologies.
+fn sweep_tasks() -> Vec<Box<dyn FnOnce() -> AppRun + Send>> {
+    let mut tasks: Vec<Box<dyn FnOnce() -> AppRun + Send>> = Vec::new();
+    for cfg in [RuntimeConfig::multi_gpu(2), RuntimeConfig::gpu_cluster(2)] {
+        let c = cfg.clone();
+        tasks
+            .push(Box::new(move || matmul::ompss::run(c, MatmulParams::validate(), InitMode::Smp)));
+        tasks.push(Box::new(move || nbody::ompss::run(cfg, NbodyParams::validate())));
+    }
+    tasks
+}
+
+/// One byte-comparable digest per run: the full report JSON plus the
+/// computed output.
+fn digests(runs: Vec<AppRun>) -> Vec<(String, Option<Vec<f32>>)> {
+    runs.into_iter()
+        .map(|r| {
+            let rep = r.report.as_ref().expect("ompss app run carries a report");
+            (rep.to_json().to_pretty_string(), r.check)
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_width_does_not_change_report_bytes() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let serial = digests(ompss_sweep::run_jobs(1, sweep_tasks()));
+    let parallel = digests(ompss_sweep::run_jobs(4, sweep_tasks()));
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.0, p.0, "config {i}: report JSON differs between --jobs 1 and --jobs 4");
+        assert_eq!(s.1, p.1, "config {i}: computed results differ between --jobs 1 and --jobs 4");
+    }
+}
+
+#[test]
+fn fast_paths_do_not_change_fingerprint_or_results() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let run =
+        || matmul::ompss::run(RuntimeConfig::multi_gpu(2), MatmulParams::validate(), InitMode::Smp);
+    let fast = run();
+    // The kernel samples the variable at `Sim::new`, so flipping it
+    // between runs (under ENV_LOCK) gives a clean A/B.
+    std::env::set_var("OMPSS_SIM_NO_FASTPATH", "1");
+    let slow = run();
+    std::env::remove_var("OMPSS_SIM_NO_FASTPATH");
+
+    let (fast_rep, slow_rep) = (fast.report.as_ref().unwrap(), slow.report.as_ref().unwrap());
+    assert_eq!(
+        fingerprint(fast_rep),
+        fingerprint(slow_rep),
+        "fast paths changed the virtual-time fingerprint"
+    );
+    assert_eq!(fast.check, slow.check, "fast paths changed the computed results");
+    assert_eq!(
+        fast_rep.to_json().to_pretty_string(),
+        slow_rep.to_json().to_pretty_string(),
+        "fast paths changed the serialised report"
+    );
+    assert_eq!(slow_rep.wakes_coalesced, 0, "OMPSS_SIM_NO_FASTPATH=1 must disable wake coalescing");
+    assert!(fast_rep.host_ns > 0, "the kernel must record host wall-clock time");
+}

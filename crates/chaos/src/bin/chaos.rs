@@ -11,6 +11,12 @@
 //! `(rate, seed)` fault plan and requires the recovered output to be
 //! bit-identical. The report is printed as pretty JSON; any divergence,
 //! failed run, or missing recovery class makes the exit status 1.
+//!
+//! Every run in the grid — references included — is an independent
+//! simulation, so all of them execute on `--jobs N` host threads
+//! (default `OMPSS_BENCH_JOBS` / host parallelism); comparisons and the
+//! report are assembled serially in grid order, so the output is
+//! byte-identical at any job count.
 
 use std::sync::Arc;
 
@@ -25,17 +31,19 @@ fn parse_list(flag: &str, s: &str) -> Vec<f64> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: chaos [--rates r1,r2] [--seeds s1,s2] [app...]\napps: {}",
+            "usage: chaos [--rates r1,r2] [--seeds s1,s2] [--jobs N] [app...]\napps: {}",
             APPS.join(" ")
         );
         return;
     }
+    ompss_sweep::parse_jobs_flag(&mut args);
     let mut rates: Vec<f64> = vec![0.05, 0.1];
     let mut seeds: Vec<u64> = vec![1, 2, 3];
-    let mut named: Vec<String> = Vec::new();
+    // Resolved against APPS so the sweep closures capture `&'static str`.
+    let mut named: Vec<&'static str> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,13 +57,39 @@ fn main() {
                     .collect();
             }
             other => {
-                assert!(APPS.contains(&other), "unknown app '{other}'; expected one of {APPS:?}");
-                named.push(other.to_string());
+                named.push(
+                    *APPS.iter().find(|x| **x == other).unwrap_or_else(|| {
+                        panic!("unknown app '{other}'; expected one of {APPS:?}")
+                    }),
+                );
             }
         }
     }
-    let apps: Vec<&str> =
-        if named.is_empty() { APPS.to_vec() } else { named.iter().map(String::as_str).collect() };
+    let apps: Vec<&'static str> = if named.is_empty() { APPS.to_vec() } else { named };
+
+    // Queue every simulation in the grid — per (app, topology): the
+    // fault-free reference, then one chaos run per (rate, seed). The
+    // `FaultPlan` handles stay out here so `plan.stats()` is readable
+    // during assembly.
+    type RunTask = Box<dyn FnOnce() -> ompss_apps::common::AppRun + Send>;
+    let mut tasks: Vec<RunTask> = Vec::new();
+    let mut plans: Vec<Arc<FaultPlan>> = Vec::new();
+    for &app in &apps {
+        for (_topo, cfg) in topologies() {
+            let ref_cfg = cfg.clone();
+            tasks.push(Box::new(move || run_app(app, ref_cfg)));
+            for &rate in &rates {
+                for &seed in &seeds {
+                    let plan = Arc::new(FaultPlan::new(seed, rate));
+                    plans.push(plan.clone());
+                    let case_cfg = cfg.clone();
+                    tasks.push(Box::new(move || chaos_run(app, case_cfg, plan)));
+                }
+            }
+        }
+    }
+    let mut results = ompss_sweep::run_jobs(ompss_sweep::jobs(), tasks).into_iter();
+    let mut plans = plans.into_iter();
 
     let mut cases = Json::array();
     let mut divergences = 0usize;
@@ -64,13 +98,13 @@ fn main() {
     // exercised it.
     let (mut retries, mut reexec, mut lost, mut dropped) = (0u64, 0u64, 0u64, 0u64);
     for app in &apps {
-        for (topo, cfg) in topologies() {
-            let reference = run_app(app, cfg.clone());
+        for (topo, _cfg) in topologies() {
+            let reference = results.next().expect("one result per queued run");
             let ref_out = output_of(&reference).to_vec();
             for &rate in &rates {
                 for &seed in &seeds {
-                    let plan = Arc::new(FaultPlan::new(seed, rate));
-                    let run = chaos_run(app, cfg.clone(), plan.clone());
+                    let plan = plans.next().expect("one plan per queued chaos run");
+                    let run = results.next().expect("one result per queued run");
                     let identical = output_of(&run) == ref_out.as_slice();
                     if !identical {
                         divergences += 1;

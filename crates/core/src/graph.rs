@@ -213,11 +213,22 @@ struct RegionState {
     declared_by: Option<TaskId>,
 }
 
+/// Regions tracked for one datum, with the longest region length ever
+/// declared on it. The bound lets partial-overlap validation scan only
+/// keys in `(offset + 1 − max_len)..end` instead of every region below
+/// `end` — O(candidates) instead of O(all prior regions) per access,
+/// which keeps submission linear for tiled apps.
+#[derive(Default)]
+struct DataRegions {
+    max_len: u64,
+    map: BTreeMap<(u64, u64), RegionState>,
+}
+
 /// A single-level (sibling) task dependency graph.
 #[derive(Default)]
 pub struct TaskGraph {
     nodes: HashMap<TaskId, Node>,
-    regions: HashMap<DataId, BTreeMap<(u64, u64), RegionState>>,
+    regions: HashMap<DataId, DataRegions>,
     live: usize,
     /// Logical clock over submit/complete events, backing the
     /// happens-before oracle (a completed-before-b-was-submitted is an
@@ -265,12 +276,9 @@ impl TaskGraph {
         let mut preds: HashSet<TaskId> = HashSet::new();
         let mut dead: Vec<(Region, TaskId)> = Vec::new();
         for a in accesses {
-            let st = self
-                .regions
-                .entry(a.region.data)
-                .or_default()
-                .entry((a.region.offset, a.region.len))
-                .or_default();
+            let dr = self.regions.entry(a.region.data).or_default();
+            dr.max_len = dr.max_len.max(a.region.len);
+            let st = dr.map.entry((a.region.offset, a.region.len)).or_default();
             if a.kind.reads() {
                 if let Some(w) = st.last_writer {
                     if w != id {
@@ -367,8 +375,11 @@ impl TaskGraph {
     }
 
     fn find_partial_overlap(&self, r: &Region) -> Option<(Region, Option<TaskId>)> {
-        let map = self.regions.get(&r.data)?;
-        for (&(offset, len), st) in map.range(..(r.end(), 0)) {
+        let dr = self.regions.get(&r.data)?;
+        // A region (o, l) overlaps `r` only if o < r.end() and
+        // o + l > r.offset; with l ≤ max_len that bounds o from below.
+        let start = (r.offset + 1).saturating_sub(dr.max_len);
+        for (&(offset, len), st) in dr.map.range((start, 0)..(r.end(), 0)) {
             let existing = Region { data: r.data, offset, len };
             if r.partially_overlaps(&existing) {
                 return Some((existing, st.declared_by));
@@ -401,6 +412,16 @@ impl TaskGraph {
     /// Complete a task, releasing successors. Returns the tasks that
     /// became ready.
     pub fn complete(&mut self, id: TaskId) -> Vec<TaskId> {
+        let mut newly_ready = Vec::new();
+        self.complete_into(id, &mut newly_ready);
+        newly_ready
+    }
+
+    /// [`TaskGraph::complete`] into a caller-supplied buffer (cleared
+    /// first), so the per-completion allocation disappears from hot
+    /// loops that complete many tasks with a reusable scratch vector.
+    pub fn complete_into(&mut self, id: TaskId, newly_ready: &mut Vec<TaskId>) {
+        newly_ready.clear();
         self.clock += 1;
         let clock = self.clock;
         let succs = {
@@ -408,13 +429,14 @@ impl TaskGraph {
             assert_ne!(n.state, TaskState::Completed, "task completed twice");
             n.state = TaskState::Completed;
             n.completed_seq = Some(clock);
-            // Edges are kept (cloned, not drained) so the verify
-            // subsystem can query reachability after the run.
-            n.succs.clone()
+            // Edges move out and back below (not cloned) so the verify
+            // subsystem can still query reachability after the run.
+            // Nothing appends to a completed task's edge list, so the
+            // round trip is invisible.
+            std::mem::take(&mut n.succs)
         };
         self.live -= 1;
-        let mut newly_ready = Vec::new();
-        for s in succs {
+        for &s in &succs {
             let sn = self.nodes.get_mut(&s).expect("successor must exist");
             sn.preds -= 1;
             if sn.preds == 0 {
@@ -422,7 +444,7 @@ impl TaskGraph {
                 newly_ready.push(s);
             }
         }
-        newly_ready
+        self.nodes.get_mut(&id).expect("unknown task").succs = succs;
     }
 
     /// State of a task.
@@ -431,10 +453,10 @@ impl TaskGraph {
     }
 
     /// Current successors of a task (direct dependents submitted so
-    /// far). The `dependencies` scheduler consults this to run a freed
-    /// successor immediately.
-    pub fn successors(&self, id: TaskId) -> Vec<TaskId> {
-        self.nodes.get(&id).map(|n| n.succs.clone()).unwrap_or_default()
+    /// far), borrowed — no per-query allocation. The `dependencies`
+    /// scheduler consults this to run a freed successor immediately.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        self.nodes.get(&id).map(|n| n.succs.as_slice()).unwrap_or(&[])
     }
 
     /// Number of tasks not yet completed.
@@ -450,7 +472,7 @@ impl TaskGraph {
     /// The task that most recently declared a write on exactly `region`,
     /// if it has not completed. Used by `taskwait on(...)`.
     pub fn pending_writer(&self, region: &Region) -> Option<TaskId> {
-        let st = self.regions.get(&region.data)?.get(&(region.offset, region.len))?;
+        let st = self.regions.get(&region.data)?.map.get(&(region.offset, region.len))?;
         let w = st.last_writer?;
         if self.nodes.get(&w).map(|n| n.state) == Some(TaskState::Completed) {
             None

@@ -65,6 +65,9 @@ pub(crate) struct MasterState {
     /// `(smp, cuda)` (index 0 unused).
     pub inflight: Vec<(u32, u32)>,
     pub tasks_executed: u64,
+    /// Reusable buffer for [`TaskGraph::complete_into`] on the
+    /// completion hot path (always left empty between completions).
+    pub newly_scratch: Vec<TaskId>,
     /// Live CUDA devices per node as the master knows them (index 0
     /// unused): decremented by `GpuDown` notifications so the comm
     /// thread stops dispatching CUDA tasks to a GPU-less node.
@@ -405,10 +408,19 @@ impl RtShared {
     pub(crate) fn complete_on_master(&self, ctx: &Ctx, id: TaskId, res: ResourceId) {
         let rec = {
             let mut m = self.master.lock();
-            let newly = m.graph.complete(id);
-            let descs: Vec<Arc<TaskRecord>> = newly.iter().map(|t| m.records[t].clone()).collect();
-            let desc_refs: Vec<&ompss_core::TaskDesc> = descs.iter().map(|r| &r.desc).collect();
-            m.sched.task_completed(res, &desc_refs, &self.master_oracle);
+            let mut newly = std::mem::take(&mut m.newly_scratch);
+            m.graph.complete_into(id, &mut newly);
+            if newly.is_empty() {
+                // Common case: nothing released — no allocation at all.
+                m.sched.task_completed(res, &[], &self.master_oracle);
+            } else {
+                let descs: Vec<Arc<TaskRecord>> =
+                    newly.iter().map(|t| m.records[t].clone()).collect();
+                let desc_refs: Vec<&ompss_core::TaskDesc> = descs.iter().map(|r| &r.desc).collect();
+                m.sched.task_completed(res, &desc_refs, &self.master_oracle);
+            }
+            newly.clear();
+            m.newly_scratch = newly;
             m.tasks_executed += 1;
             m.records[&id].clone()
         };

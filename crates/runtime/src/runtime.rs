@@ -67,6 +67,15 @@ pub struct RunReport {
     pub events: u64,
     /// Distinct virtual-clock advances in the DES kernel.
     pub clock_advances: u64,
+    /// Host wall-clock nanoseconds the DES kernel spent running this
+    /// program. **Not deterministic** — it varies run to run and host
+    /// to host, so [`ToJson`] leaves it out; use [`Self::events_per_sec`]
+    /// or read it directly for wall-clock reporting (`bench_sim`).
+    pub host_ns: u64,
+    /// Wakeups the kernel's dedup fast path skipped (they could only
+    /// ever have popped stale). Zero under `OMPSS_SIM_NO_FASTPATH=1`;
+    /// excluded from the JSON report for that reason.
+    pub wakes_coalesced: u64,
     /// Execution trace, when [`RuntimeConfig::tracing`] was enabled.
     pub trace: Option<Vec<TraceEvent>>,
     /// Verification evidence, when [`RuntimeConfig::verify`] was
@@ -84,6 +93,16 @@ impl RunReport {
     /// `(node, name, tasks, busy_ns, busy/makespan)`.
     pub fn utilisation(&self) -> Vec<(u32, String, u64, u64, f64)> {
         self.counters.utilisation(self.makespan.as_nanos())
+    }
+
+    /// Host throughput of the simulation that produced this report:
+    /// DES events per host second. Like [`Self::host_ns`] this is a
+    /// wall-clock measurement, not a deterministic field.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.host_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.host_ns as f64 / 1e9)
     }
 }
 
@@ -660,6 +679,7 @@ impl Runtime {
                 next_id: 0,
                 inflight: vec![(0, 0); cfg.nodes as usize],
                 tasks_executed: 0,
+                newly_scratch: Vec::new(),
                 cuda_alive: vec![cfg.gpus_per_node; cfg.nodes as usize],
             }),
             master_bell: Bell::new(),
@@ -764,6 +784,8 @@ impl Runtime {
             counters: counters.snapshot(),
             events: run.events,
             clock_advances: run.clock_advances,
+            host_ns: run.host_ns,
+            wakes_coalesced: run.wakes_coalesced,
             trace: tracer.map(|t| t.take()),
             verify,
             faults: faults.as_ref().map(|p| p.stats()),

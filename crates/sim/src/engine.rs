@@ -3,12 +3,15 @@
 //! # Model
 //!
 //! A simulation is a set of *processes* — ordinary Rust closures running
-//! on dedicated OS threads — cooperatively scheduled by a single *kernel*
-//! thread over a virtual clock. Exactly one thread (kernel or one
-//! process) runs at any instant, so the whole simulation is sequential
-//! and **deterministic**: events fire in `(time, sequence)` order and a
-//! given program always produces the same schedule, the same byte counts
-//! and the same makespan.
+//! on dedicated OS threads — cooperatively scheduled over a virtual
+//! clock. Scheduling is continuation-passing: the thread that yields
+//! runs the dispatcher itself and hands the baton straight to the next
+//! process (or keeps it, when its own wakeup is next). Exactly one
+//! thread holds the baton at any instant, so the whole simulation is
+//! sequential and **deterministic**: events fire in `(time, sequence)`
+//! order and a given program always produces the same schedule, the same
+//! byte counts and the same makespan. The driver thread inside
+//! [`Sim::run`] sleeps until the queue drains, then owns teardown.
 //!
 //! Processes interact with virtual time only through their [`Ctx`]
 //! handle: [`Ctx::delay`] advances the clock, and the blocking
@@ -34,12 +37,28 @@
 //! then returns [`SimError::Shutdown`] and the daemon unwinds. If a
 //! *non-daemon* process is still blocked when the queue drains, that is
 //! a deadlock in the modelled system and [`Sim::run`] reports it.
+//!
+//! # Host fast paths
+//!
+//! An activation costs at most one OS context switch (direct baton
+//! handoff; a central scheduler thread would need two), and the kernel
+//! avoids even that wherever the outcome is already decided (see
+//! DESIGN.md §7): a `delay` whose wakeup precedes every queued event
+//! resumes inline without parking, a wakeup scheduled behind an earlier
+//! live wakeup for the same process is never enqueued (it could only
+//! pop stale), and the event heap is compacted when superseded entries
+//! outnumber live ones. None of this is observable in virtual time —
+//! event and clock-advance counts are identical to the slow path — and
+//! setting `OMPSS_SIM_NO_FASTPATH=1` disables the delay/wakeup-dedup
+//! shortcuts for A/B determinism checks.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -56,8 +75,12 @@ enum Turn {
     Proc,
 }
 
-/// Per-process handshake: a tiny baton passed between the kernel thread
-/// and the process thread. Only these two threads ever touch it.
+/// Per-process resume slot. The simulation baton is *continuation
+/// passing*: whichever thread yields runs the dispatcher itself and
+/// resumes the next process directly, so an activation costs one host
+/// context switch (the yielding thread → the resumed thread) instead of
+/// the two a central scheduler thread would need, and costs zero when
+/// the dispatcher pops the yielding process's own event.
 struct ProcCtrl {
     turn: Mutex<Turn>,
     cv: Condvar,
@@ -68,44 +91,24 @@ impl ProcCtrl {
         Arc::new(ProcCtrl { turn: Mutex::new(Turn::Kernel), cv: Condvar::new() })
     }
 
-    /// Called by the kernel: hand the baton to the process and wait for
-    /// it back. Returns when the process has yielded or finished.
-    fn kernel_resume(&self) {
+    /// Hand the baton to this process. Called by whatever thread popped
+    /// its resume event (another process, the driver, or an exiting
+    /// thread); never blocks.
+    fn resume(&self) {
         let mut turn = self.turn.lock();
         *turn = Turn::Proc;
         self.cv.notify_one();
-        while *turn == Turn::Proc {
-            self.cv.wait(&mut turn);
-        }
     }
 
-    /// Called by the process: hand the baton back to the kernel and wait
-    /// for the next activation.
-    fn proc_yield(&self) {
-        let mut turn = self.turn.lock();
-        *turn = Turn::Kernel;
-        self.cv.notify_one();
-        while *turn == Turn::Kernel {
-            self.cv.wait(&mut turn);
-        }
-    }
-
-    /// Called by the process thread on startup: wait for the first
-    /// activation without handing anything back (the baton starts with
-    /// the kernel).
-    fn proc_wait_first(&self) {
+    /// Park this process's thread until the next [`ProcCtrl::resume`].
+    /// The caller must have published its yield (set `turn` back to
+    /// [`Turn::Kernel`]) *before* its wake event became poppable, or the
+    /// resume could be lost.
+    fn wait_turn(&self) {
         let mut turn = self.turn.lock();
         while *turn == Turn::Kernel {
             self.cv.wait(&mut turn);
         }
-    }
-
-    /// Called by the process when it terminates: return the baton for
-    /// good without waiting.
-    fn proc_finish(&self) {
-        let mut turn = self.turn.lock();
-        *turn = Turn::Kernel;
-        self.cv.notify_one();
     }
 }
 
@@ -129,6 +132,12 @@ struct ProcSlot {
     /// invalidate stale wakeup events.
     epoch: u64,
     daemon: bool,
+    /// `(time, epoch)` of the earliest live resume event queued for this
+    /// process. A later wakeup aimed at the same epoch could only ever
+    /// pop stale (the earlier one fires first and bumps the epoch), so
+    /// it is not enqueued at all — this is the per-process reuse slot
+    /// that keeps redundant wakes out of the heap.
+    pending_wake: Option<(SimTime, u64)>,
 }
 
 /// One entry in the event queue: resume `pid` at `time`, provided its
@@ -152,15 +161,66 @@ pub(crate) struct Kernel {
     shutdown: bool,
     events_processed: u64,
     clock_advances: u64,
+    /// Events still in the heap that are already known stale: they were
+    /// superseded by an earlier wake for the same `(pid, epoch)`. When
+    /// they outnumber live events the heap is compacted instead of
+    /// letting cancelled wakeups accumulate.
+    stale_events: u64,
+    /// Wakeups never enqueued because an earlier live wake for the same
+    /// `(pid, epoch)` already guaranteed them stale.
+    wakes_coalesced: u64,
     panics: Vec<(String, String)>,
     /// First fatal error raised via [`Ctx::abort_run`]; ends the run at
     /// the next kernel step and becomes [`Sim::run`]'s error.
     fatal: Option<RunError>,
 }
 
+impl Kernel {
+    /// Drop provably-stale events once they dominate the heap. Amortised
+    /// O(1) per push: each compaction halves the heap at least.
+    fn maybe_compact(&mut self) {
+        if self.stale_events >= 64 && self.stale_events * 2 > self.queue.len() as u64 {
+            let procs = &self.procs;
+            self.queue.retain(|Reverse(ev)| {
+                let slot = &procs[ev.pid];
+                slot.phase != Phase::Finished && slot.epoch == ev.epoch
+            });
+            self.stale_events = 0;
+        }
+    }
+}
+
+/// Outcome of one dispatcher step (see [`Shared::dispatch_locked`]).
+enum Dispatch {
+    /// The popped event belonged to the dispatching process itself: it
+    /// simply keeps running. No context switch at all.
+    SelfResume,
+    /// Another process's event was popped; the caller must hand it the
+    /// baton (after releasing the kernel lock) and park.
+    Hand(Arc<ProcCtrl>),
+    /// Nothing left to dispatch (queue drained, fatal abort, or
+    /// shutdown): the caller must wake the driver thread.
+    Drained,
+}
+
 /// State shared between the kernel and every process context.
 pub(crate) struct Shared {
     pub(crate) kernel: Mutex<Kernel>,
+    /// Wake token for the driver thread (the one inside [`Sim::run`]).
+    /// It sleeps for the whole live phase and is woken exactly when the
+    /// baton has nowhere to go: queue drained, fatal abort, or a process
+    /// finishing during teardown.
+    driver_token: Mutex<bool>,
+    driver_cv: Condvar,
+    /// Mirror of `Kernel::now` so `Ctx::now` (called on every primitive
+    /// operation) never takes the kernel lock. Only the thread holding
+    /// the baton writes it; handshake mutexes order the accesses.
+    now_ns: AtomicU64,
+    /// Mirror of `Kernel::shutdown`, for lock-free checks after a yield.
+    shutdown_flag: AtomicBool,
+    /// Host fast paths enabled (default). `OMPSS_SIM_NO_FASTPATH=1`
+    /// restores the literal kernel for determinism A/B tests.
+    fast_paths: bool,
 }
 
 impl Shared {
@@ -170,17 +230,100 @@ impl Shared {
     pub(crate) fn schedule_wake_current_epoch(&self, pid: Pid, at: SimTime) {
         let mut k = self.kernel.lock();
         let epoch = k.procs[pid].epoch;
+        if self.fast_paths {
+            match k.procs[pid].pending_wake {
+                // An earlier (or simultaneous, hence lower-seq) live wake
+                // already resumes the process and bumps its epoch; this
+                // one could only pop stale. Skip the heap entirely.
+                Some((t, e)) if e == epoch && t <= at => {
+                    k.wakes_coalesced += 1;
+                    return;
+                }
+                // The new wake fires first and strands the old entry.
+                Some((_, e)) if e == epoch => k.stale_events += 1,
+                _ => {}
+            }
+            k.procs[pid].pending_wake = Some((at, epoch));
+        }
         let seq = k.seq;
         k.seq += 1;
         k.queue.push(Reverse(Event { time: at, seq, pid, epoch }));
+        if self.fast_paths {
+            k.maybe_compact();
+        }
+    }
+
+    /// Pop and account the next valid event, deciding who runs next.
+    /// This *is* the kernel step; it executes on whichever thread holds
+    /// the baton. `me` is the dispatching process (None for the driver
+    /// or an exiting thread), so popping one's own wakeup short-circuits
+    /// into [`Dispatch::SelfResume`] with no handoff.
+    fn dispatch_locked(&self, k: &mut Kernel, me: Option<Pid>) -> Dispatch {
+        loop {
+            // A fatal abort or teardown stops dispatching: the driver
+            // takes over from here.
+            if k.fatal.is_some() || k.shutdown {
+                return Dispatch::Drained;
+            }
+            match k.queue.pop() {
+                None => return Dispatch::Drained,
+                Some(Reverse(ev)) => {
+                    let slot = &mut k.procs[ev.pid];
+                    if slot.phase == Phase::Finished || slot.epoch != ev.epoch {
+                        // Stale wakeup. If it was superseded it was
+                        // counted; settle the books.
+                        k.stale_events = k.stale_events.saturating_sub(1);
+                        continue;
+                    }
+                    debug_assert!(
+                        slot.phase == Phase::Ready || slot.phase == Phase::Blocked,
+                        "resuming a process in phase {:?}",
+                        slot.phase
+                    );
+                    slot.phase = Phase::Running;
+                    slot.epoch += 1;
+                    // A valid pop is necessarily the tracked earliest
+                    // live wake for this process.
+                    slot.pending_wake = None;
+                    if ev.time > k.now {
+                        k.clock_advances += 1;
+                    }
+                    k.now = ev.time;
+                    k.events_processed += 1;
+                    self.now_ns.store(ev.time.as_nanos(), Ordering::Release);
+                    return if me == Some(ev.pid) {
+                        Dispatch::SelfResume
+                    } else {
+                        Dispatch::Hand(k.procs[ev.pid].ctrl.clone())
+                    };
+                }
+            }
+        }
+    }
+
+    /// Hand control to the driver thread (queue drained / abort /
+    /// teardown progress). Never blocks.
+    fn wake_driver(&self) {
+        let mut token = self.driver_token.lock();
+        *token = true;
+        self.driver_cv.notify_one();
+    }
+
+    /// Driver side: park until a process hands control back.
+    fn wait_driver(&self) {
+        let mut token = self.driver_token.lock();
+        while !*token {
+            self.driver_cv.wait(&mut token);
+        }
+        *token = false;
     }
 
     pub(crate) fn now(&self) -> SimTime {
-        self.kernel.lock().now
+        SimTime(self.now_ns.load(Ordering::Acquire))
     }
 
     pub(crate) fn is_shutdown(&self) -> bool {
-        self.kernel.lock().shutdown
+        self.shutdown_flag.load(Ordering::Acquire)
     }
 }
 
@@ -226,9 +369,16 @@ impl Sim {
                     shutdown: false,
                     events_processed: 0,
                     clock_advances: 0,
+                    stale_events: 0,
+                    wakes_coalesced: 0,
                     panics: Vec::new(),
                     fatal: None,
                 }),
+                driver_token: Mutex::new(false),
+                driver_cv: Condvar::new(),
+                now_ns: AtomicU64::new(0),
+                shutdown_flag: AtomicBool::new(false),
+                fast_paths: std::env::var_os("OMPSS_SIM_NO_FASTPATH").is_none_or(|v| v == "0"),
             }),
         }
     }
@@ -258,45 +408,24 @@ impl Sim {
     /// Returns an error if the modelled system deadlocked (a non-daemon
     /// process was still blocked at drain time) or any process panicked.
     pub fn run(self) -> Result<RunReport, RunError> {
+        let host_start = Instant::now();
+        // Dispatch the first event; after that the baton circulates
+        // process-to-process and this thread sleeps until the queue
+        // drains or a process aborts the run.
         loop {
-            // Pop the next valid event.
-            let next = {
+            let hand = {
                 let mut k = self.shared.kernel.lock();
-                loop {
-                    // A process aborted the run: stop dispatching and
-                    // fall through to the teardown below.
-                    if k.fatal.is_some() {
-                        break None;
-                    }
-                    match k.queue.pop() {
-                        None => break None,
-                        Some(Reverse(ev)) => {
-                            let slot = &mut k.procs[ev.pid];
-                            if slot.phase == Phase::Finished || slot.epoch != ev.epoch {
-                                continue; // stale wakeup
-                            }
-                            debug_assert!(
-                                slot.phase == Phase::Ready || slot.phase == Phase::Blocked,
-                                "resuming a process in phase {:?}",
-                                slot.phase
-                            );
-                            slot.phase = Phase::Running;
-                            slot.epoch += 1;
-                            let ctrl = slot.ctrl.clone();
-                            if ev.time > k.now {
-                                k.clock_advances += 1;
-                            }
-                            k.now = ev.time;
-                            k.events_processed += 1;
-                            break Some(ctrl);
-                        }
-                    }
+                match self.shared.dispatch_locked(&mut k, None) {
+                    Dispatch::Hand(ctrl) => Some(ctrl),
+                    Dispatch::Drained => None,
+                    Dispatch::SelfResume => unreachable!("driver has no events of its own"),
                 }
             };
-            match next {
-                Some(ctrl) => ctrl.kernel_resume(),
+            match hand {
+                Some(ctrl) => ctrl.resume(),
                 None => break,
             }
+            self.shared.wait_driver();
         }
 
         // Queue drained. Non-daemon processes still alive are deadlocked.
@@ -313,6 +442,7 @@ impl Sim {
         // so their threads don't leak). Blocking calls observe the
         // shutdown flag and return `Err(Shutdown)`.
         self.shared.kernel.lock().shutdown = true;
+        self.shared.shutdown_flag.store(true, Ordering::Release);
         let mut guard = 0usize;
         loop {
             let blocked: Vec<Arc<ProcCtrl>> = {
@@ -330,8 +460,12 @@ impl Sim {
             if blocked.is_empty() {
                 break;
             }
+            // One at a time: a resumed process cannot block again (every
+            // yield path checks the shutdown flag first), so it runs to
+            // completion and its exit path hands control back here.
             for ctrl in blocked {
-                ctrl.kernel_resume();
+                ctrl.resume();
+                self.shared.wait_driver();
             }
             guard += 1;
             assert!(guard < 1000, "a process is ignoring SimError::Shutdown");
@@ -364,6 +498,8 @@ impl Sim {
             events: k.events_processed,
             clock_advances: k.clock_advances,
             processes: k.procs.len(),
+            host_ns: host_start.elapsed().as_nanos() as u64,
+            wakes_coalesced: k.wakes_coalesced,
         })
     }
 }
@@ -377,33 +513,36 @@ where
     {
         let mut k = shared.kernel.lock();
         pid = k.procs.len();
+        // Initial activation at the current time, epoch 0.
+        let now = k.now;
         k.procs.push(ProcSlot {
             ctrl: ctrl.clone(),
             name: name.clone(),
             phase: Phase::Ready,
             epoch: 0,
             daemon,
+            pending_wake: Some((now, 0)),
         });
         k.live += 1;
         if !daemon {
             k.live_non_daemon += 1;
         }
-        // Initial activation at the current time, epoch 0.
-        let now = k.now;
         let seq = k.seq;
         k.seq += 1;
         k.queue.push(Reverse(Event { time: now, seq, pid, epoch: 0 }));
     }
 
-    let ctx = Ctx { shared: shared.clone(), pid };
+    let ctx = Ctx { shared: shared.clone(), pid, ctrl: ctrl.clone() };
     let thread_shared = shared.clone();
     let thread_ctrl = ctrl;
     let handle = std::thread::Builder::new()
         .name(format!("sim:{name}"))
         .spawn(move || {
-            thread_ctrl.proc_wait_first();
+            thread_ctrl.wait_turn();
             let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
-            {
+            // This thread still holds the baton: pass it on (next event's
+            // process, or the driver if nothing is left) before exiting.
+            let hand = {
                 let mut k = thread_shared.kernel.lock();
                 let slot = &mut k.procs[pid];
                 slot.phase = Phase::Finished;
@@ -422,8 +561,16 @@ where
                         k.panics.push((slot_name, msg));
                     }
                 }
+                match thread_shared.dispatch_locked(&mut k, None) {
+                    Dispatch::Hand(ctrl) => Some(ctrl),
+                    Dispatch::Drained => None,
+                    Dispatch::SelfResume => unreachable!("finished process cannot be resumed"),
+                }
+            };
+            match hand {
+                Some(ctrl) => ctrl.resume(),
+                None => thread_shared.wake_driver(),
             }
-            thread_ctrl.proc_finish();
         })
         .expect("failed to spawn simulation process thread");
     shared.kernel.lock().joins.push(handle);
@@ -447,6 +594,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct Ctx {
     pub(crate) shared: Arc<Shared>,
     pub(crate) pid: Pid,
+    /// This process's handshake baton, cached so a yield never has to
+    /// take the kernel lock just to find it.
+    ctrl: Arc<ProcCtrl>,
 }
 
 impl Ctx {
@@ -462,36 +612,62 @@ impl Ctx {
 
     /// Advance virtual time by `d`: park this process and resume it once
     /// every event scheduled before `now + d` has run.
+    ///
+    /// Fast path: when no queued event precedes the wakeup, parking
+    /// would hand the baton to the kernel only for it to pop our own
+    /// event straight back — so the clock advances inline instead,
+    /// with identical event accounting and no context switch.
     pub fn delay(&self, d: SimDuration) -> SimResult<()> {
-        {
-            let mut k = self.shared.kernel.lock();
-            if k.shutdown {
-                return Err(SimError::Shutdown);
-            }
-            let at = k.now + d;
-            let seq = k.seq;
-            k.seq += 1;
-            let epoch = k.procs[self.pid].epoch;
-            k.procs[self.pid].phase = Phase::Ready;
-            k.queue.push(Reverse(Event { time: at, seq, pid: self.pid, epoch }));
+        let mut k = self.shared.kernel.lock();
+        if k.shutdown {
+            return Err(SimError::Shutdown);
         }
-        self.handshake()?;
-        Ok(())
+        let at = k.now + d;
+        if self.shared.fast_paths && k.fatal.is_none() {
+            let head_due = match k.queue.peek() {
+                Some(Reverse(ev)) => ev.time <= at,
+                None => false,
+            };
+            if !head_due {
+                let now = k.now;
+                let slot = &mut k.procs[self.pid];
+                debug_assert_eq!(slot.phase, Phase::Running);
+                debug_assert!(
+                    !matches!(slot.pending_wake, Some((_, e)) if e == slot.epoch),
+                    "running process has a live wake in flight"
+                );
+                // The virtual yield-and-resume, minus the heap traffic.
+                slot.epoch += 1;
+                if at > now {
+                    k.clock_advances += 1;
+                }
+                k.now = at;
+                k.events_processed += 1;
+                self.shared.now_ns.store(at.as_nanos(), Ordering::Release);
+                return Ok(());
+            }
+        }
+        let seq = k.seq;
+        k.seq += 1;
+        let epoch = k.procs[self.pid].epoch;
+        k.procs[self.pid].phase = Phase::Ready;
+        if self.shared.fast_paths {
+            k.procs[self.pid].pending_wake = Some((at, epoch));
+        }
+        k.queue.push(Reverse(Event { time: at, seq, pid: self.pid, epoch }));
+        self.yield_baton(k)
     }
 
     /// Yield to the kernel without scheduling a wakeup; some other
     /// process (via a primitive) must wake this one. Used by the blocking
     /// primitives; application code should prefer those.
     pub(crate) fn park(&self) -> SimResult<()> {
-        {
-            let mut k = self.shared.kernel.lock();
-            if k.shutdown {
-                return Err(SimError::Shutdown);
-            }
-            k.procs[self.pid].phase = Phase::Blocked;
+        let mut k = self.shared.kernel.lock();
+        if k.shutdown {
+            return Err(SimError::Shutdown);
         }
-        self.handshake()?;
-        Ok(())
+        k.procs[self.pid].phase = Phase::Blocked;
+        self.yield_baton(k)
     }
 
     /// Relinquish the CPU until the next event at the same timestamp has
@@ -513,12 +689,32 @@ impl Ctx {
         SimError::Shutdown
     }
 
-    fn handshake(&self) -> SimResult<()> {
-        let ctrl = {
-            let k = self.shared.kernel.lock();
-            k.procs[self.pid].ctrl.clone()
+    /// Give up the baton: run the dispatcher on this thread. If our own
+    /// event is next we simply keep running (zero context switches);
+    /// otherwise hand the baton straight to the next process (one
+    /// switch) — or to the driver if nothing is left — and park until
+    /// our own wakeup is dispatched.
+    ///
+    /// The caller must already have published its yield in `k` (phase
+    /// set to `Ready`/`Blocked`, wake event pushed if self-scheduled).
+    fn yield_baton(&self, mut k: parking_lot::MutexGuard<'_, Kernel>) -> SimResult<()> {
+        let hand = match self.shared.dispatch_locked(&mut k, Some(self.pid)) {
+            Dispatch::SelfResume => {
+                return Ok(());
+            }
+            Dispatch::Hand(ctrl) => Some(ctrl),
+            Dispatch::Drained => None,
         };
-        ctrl.proc_yield();
+        // Flip our turn *before* releasing the kernel lock: our wake
+        // event only becomes poppable by other threads once the lock
+        // drops, so the resume targeting it cannot be lost.
+        *self.ctrl.turn.lock() = Turn::Kernel;
+        drop(k);
+        match hand {
+            Some(ctrl) => ctrl.resume(),
+            None => self.shared.wake_driver(),
+        }
+        self.ctrl.wait_turn();
         if self.shared.is_shutdown() {
             return Err(SimError::Shutdown);
         }

@@ -41,6 +41,13 @@ pub struct RunReport {
     pub clock_advances: u64,
     /// Number of processes ever spawned.
     pub processes: usize,
+    /// Host wall-clock nanoseconds spent inside [`crate::Sim::run`].
+    /// **Not deterministic** — varies run to run and machine to machine;
+    /// never fold it into a fingerprint or committed JSON.
+    pub host_ns: u64,
+    /// Wakeups skipped by the kernel's dedup fast path (they could only
+    /// ever have popped stale). Zero with `OMPSS_SIM_NO_FASTPATH=1`.
+    pub wakes_coalesced: u64,
 }
 
 /// A simulation failed to complete cleanly.

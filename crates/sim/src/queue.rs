@@ -18,6 +18,12 @@ use crate::error::{SimError, SimResult};
 struct Inner<T> {
     items: VecDeque<T>,
     waiters: VecDeque<Pid>,
+    /// Items handed directly to a woken receiver. When `send` finds a
+    /// parked waiter it moves the item here instead of through `items`,
+    /// so the receiver's wake path is a guaranteed O(1) claim — it can
+    /// never lose its item to another consumer and re-park. A pid
+    /// appears at most once (a parked process cannot call `recv` again).
+    handoff: Vec<(Pid, T)>,
     closed: bool,
 }
 
@@ -47,6 +53,7 @@ impl<T> Channel<T> {
             inner: Arc::new(Mutex::new(Inner {
                 items: VecDeque::new(),
                 waiters: VecDeque::new(),
+                handoff: Vec::new(),
                 closed: false,
             })),
         }
@@ -57,8 +64,16 @@ impl<T> Channel<T> {
     pub fn send(&self, ctx: &Ctx, item: T) {
         let wake = {
             let mut inner = self.inner.lock();
-            inner.items.push_back(item);
-            inner.waiters.pop_front()
+            match inner.waiters.pop_front() {
+                Some(pid) => {
+                    inner.handoff.push((pid, item));
+                    Some(pid)
+                }
+                None => {
+                    inner.items.push_back(item);
+                    None
+                }
+            }
         };
         if let Some(pid) = wake {
             ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
@@ -73,6 +88,9 @@ impl<T> Channel<T> {
         loop {
             {
                 let mut inner = self.inner.lock();
+                if let Some(i) = inner.handoff.iter().position(|(p, _)| *p == ctx.pid()) {
+                    return Ok(inner.handoff.swap_remove(i).1);
+                }
                 if let Some(v) = inner.items.pop_front() {
                     return Ok(v);
                 }
@@ -90,14 +108,18 @@ impl<T> Channel<T> {
         self.inner.lock().items.pop_front()
     }
 
-    /// Number of queued items.
+    /// Number of queued items, including those already handed to a woken
+    /// receiver that has not resumed yet (they were externally observable
+    /// as "queued" before the handoff optimisation, and must stay so).
     pub fn len(&self) -> usize {
-        self.inner.lock().items.len()
+        let inner = self.inner.lock();
+        inner.items.len() + inner.handoff.len()
     }
 
-    /// True if no items are queued.
+    /// True if no items are queued (see [`Channel::len`]).
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().items.is_empty()
+        let inner = self.inner.lock();
+        inner.items.is_empty() && inner.handoff.is_empty()
     }
 
     /// Close the channel: parked and future receivers get

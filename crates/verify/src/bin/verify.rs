@@ -13,6 +13,12 @@
 //! `--no-schedules` — it is rerun across scheduler tie-break seeds
 //! ([`ompss_verify::schedule`]) to diff results. The report is printed
 //! as pretty JSON; any finding makes the exit status 1.
+//!
+//! Every section (app × topology, and each app's schedule exploration)
+//! is an independent set of simulations, so sections run on `--jobs N`
+//! host threads (default `OMPSS_BENCH_JOBS` / host parallelism) and are
+//! reassembled in a fixed order: the report is byte-identical at any
+//! job count.
 
 use ompss_apps::common::AppRun;
 use ompss_apps::matmul::ompss::InitMode;
@@ -44,37 +50,53 @@ fn configs() -> [(&'static str, RuntimeConfig); 2] {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: verify [--all] [--no-schedules] [app...]\napps: {}", APPS.join(" "));
+        eprintln!(
+            "usage: verify [--all] [--no-schedules] [--jobs N] [app...]\napps: {}",
+            APPS.join(" ")
+        );
         return;
     }
+    ompss_sweep::parse_jobs_flag(&mut args);
     let schedules = !args.iter().any(|a| a == "--no-schedules");
-    let named: Vec<&str> =
-        args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
-    for a in &named {
-        assert!(APPS.contains(a), "unknown app '{a}'; expected one of {APPS:?}");
-    }
-    let selected: Vec<&str> =
+    // Resolve names against APPS so the closures below capture
+    // `&'static str`, not borrows of `args`.
+    let named: Vec<&'static str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| {
+            *APPS
+                .iter()
+                .find(|x| **x == a)
+                .unwrap_or_else(|| panic!("unknown app '{a}'; expected one of {APPS:?}"))
+        })
+        .collect();
+    let selected: Vec<&'static str> =
         if named.is_empty() || args.iter().any(|a| a == "--all") { APPS.to_vec() } else { named };
+
+    // One sweep task per report section, queued in report order.
+    type SectionTask = Box<dyn FnOnce() -> (String, Vec<Finding>) + Send>;
+    let mut tasks: Vec<SectionTask> = Vec::new();
+    for &app in &selected {
+        for (cfg_name, cfg) in configs() {
+            tasks.push(Box::new(move || {
+                let run = run_app(app, cfg.with_verify(true));
+                let report = run.report.as_ref().expect("ompss app run carries a report");
+                (format!("{app}/{cfg_name}"), validate(report))
+            }));
+        }
+        if schedules {
+            tasks.push(Box::new(move || (format!("{app}/schedules"), explore_app(app))));
+        }
+    }
 
     let mut sections = Json::array();
     let mut total = 0usize;
-    for app in &selected {
-        for (cfg_name, cfg) in configs() {
-            let target = format!("{app}/{cfg_name}");
-            let run = run_app(app, cfg.with_verify(true));
-            let report = run.report.as_ref().expect("ompss app run carries a report");
-            let findings = validate(report);
-            total += findings.len();
-            sections.push(report_json(&target, &findings));
-        }
-        if schedules {
-            let target = format!("{app}/schedules");
-            let findings = explore_app(app);
-            total += findings.len();
-            sections.push(report_json(&target, &findings));
-        }
+    for (target, findings) in ompss_sweep::run_jobs(ompss_sweep::jobs(), tasks) {
+        total += findings.len();
+        sections.push(report_json(&target, &findings));
     }
 
     let report = Json::object()
