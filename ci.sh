@@ -18,6 +18,8 @@ verify() {
 chaos() {
     echo "==> ompss-chaos (all apps, two rates x three seeds, both topologies)"
     cargo run -q --release -p ompss-chaos --bin chaos -- --rates 0.05,0.1 --seeds 1,2,3
+    echo "==> ompss-chaos --node-kill (all apps, cluster sizes 2+3, every slave, three kill points)"
+    cargo run -q --release -p ompss-chaos --bin chaos -- --node-kill --kill-points 20,45,70
 }
 
 bench() {

@@ -210,8 +210,9 @@ fn coherence_fast_path(c: &mut Criterion) {
             _s: Loc,
             _d: Loc,
             bytes: u64,
-        ) -> SimResult<()> {
-            ctx.delay(SimDuration::from_nanos(bytes))
+        ) -> SimResult<bool> {
+            ctx.delay(SimDuration::from_nanos(bytes))?;
+            Ok(true)
         }
     }
 

@@ -37,6 +37,39 @@ fn assert_disarmed_is_free(cfg: RuntimeConfig) {
         (0, 0, 0, 0),
         "recovery counters must stay zero without faults"
     );
+    assert_eq!(
+        (c.nodes_lost, c.tasks_relineaged, c.bytes_reconstructed, c.heartbeats_missed),
+        (0, 0, 0, 0),
+        "node-loss counters must stay zero without faults"
+    );
+}
+
+/// Node-loss knobs (heartbeat period, lease window, lineage budget) are
+/// inert without an armed kill: no heartbeat traffic, no lease
+/// tracking, no lineage retention — the fingerprint and the results
+/// must be byte-identical to a config that never heard of them.
+fn assert_node_loss_knobs_are_free(cfg: RuntimeConfig) {
+    use ompss_runtime::SimDuration;
+    let run = |cfg: RuntimeConfig| matmul::ompss::run(cfg, MatmulParams::validate(), InitMode::Smp);
+    let tuned = cfg
+        .clone()
+        .with_heartbeat(SimDuration::from_micros(50), SimDuration::from_micros(250))
+        .with_lineage_depth(7);
+    let (base, idle) = (run(cfg), run(tuned));
+    let (base_rep, idle_rep) = (base.report.as_ref().unwrap(), idle.report.as_ref().unwrap());
+    assert_eq!(
+        fingerprint(base_rep),
+        fingerprint(idle_rep),
+        "unarmed node-loss knobs changed the virtual-time fingerprint"
+    );
+    assert_eq!(base.check, idle.check, "unarmed node-loss knobs changed the results");
+    assert!(idle_rep.faults.is_none(), "heartbeat/lineage knobs alone must not arm a plan");
+    let c = &idle_rep.counters;
+    assert_eq!(
+        (c.nodes_lost, c.heartbeats_missed, c.tasks_relineaged, c.bytes_reconstructed),
+        (0, 0, 0, 0),
+        "node-loss counters must stay zero without an armed kill"
+    );
 }
 
 #[test]
@@ -47,4 +80,14 @@ fn matmul_multigpu_timing_unchanged_by_disarmed_faults() {
 #[test]
 fn matmul_cluster_timing_unchanged_by_disarmed_faults() {
     assert_disarmed_is_free(RuntimeConfig::gpu_cluster(2));
+}
+
+#[test]
+fn matmul_multigpu_timing_unchanged_by_unarmed_node_loss_knobs() {
+    assert_node_loss_knobs_are_free(RuntimeConfig::multi_gpu(2));
+}
+
+#[test]
+fn matmul_cluster_timing_unchanged_by_unarmed_node_loss_knobs() {
+    assert_node_loss_knobs_are_free(RuntimeConfig::gpu_cluster(2));
 }

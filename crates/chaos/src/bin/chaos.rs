@@ -4,6 +4,8 @@
 //! ```text
 //! chaos                          # all apps, default rates and seeds
 //! chaos --rates 0.05,0.1 --seeds 1,2,3 matmul stream
+//! chaos --node-kill              # whole-node kill sweep (cluster only)
+//! chaos --node-kill --kill-points 20,45,70 perlin
 //! ```
 //!
 //! For every app × topology, the sweep first runs fault-free for a
@@ -11,6 +13,13 @@
 //! `(rate, seed)` fault plan and requires the recovered output to be
 //! bit-identical. The report is printed as pretty JSON; any divergence,
 //! failed run, or missing recovery class makes the exit status 1.
+//!
+//! `--node-kill` switches to the whole-node loss grid: every app on
+//! every cluster topology, killing each slave node at planned fractions
+//! of the fault-free makespan. Each case must either recover
+//! bit-identically or fail closed with [`RunError::Exhausted`]; wrong
+//! bytes or any other crash fails the sweep, as does a grid in which no
+//! case actually recovered.
 //!
 //! Every run in the grid — references included — is an independent
 //! simulation, so all of them execute on `--jobs N` host threads
@@ -34,7 +43,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: chaos [--rates r1,r2] [--seeds s1,s2] [--jobs N] [app...]\napps: {}",
+            "usage: chaos [--rates r1,r2] [--seeds s1,s2] [--jobs N] [app...]\n       \
+             chaos --node-kill [--kill-points p1,p2] [--jobs N] [app...]\napps: {}",
             APPS.join(" ")
         );
         return;
@@ -42,6 +52,8 @@ fn main() {
     ompss_sweep::parse_jobs_flag(&mut args);
     let mut rates: Vec<f64> = vec![0.05, 0.1];
     let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut node_kill = false;
+    let mut kill_points: Vec<u64> = vec![20, 45, 70];
     // Resolved against APPS so the sweep closures capture `&'static str`.
     let mut named: Vec<&'static str> = Vec::new();
     let mut it = args.into_iter();
@@ -56,6 +68,14 @@ fn main() {
                     .map(|v| v as u64)
                     .collect();
             }
+            "--node-kill" => node_kill = true,
+            "--kill-points" => {
+                kill_points =
+                    parse_list("--kill-points", &it.next().expect("--kill-points needs a value"))
+                        .into_iter()
+                        .map(|v| v as u64)
+                        .collect();
+            }
             other => {
                 named.push(
                     *APPS.iter().find(|x| **x == other).unwrap_or_else(|| {
@@ -66,6 +86,11 @@ fn main() {
         }
     }
     let apps: Vec<&'static str> = if named.is_empty() { APPS.to_vec() } else { named };
+
+    if node_kill {
+        node_kill_sweep(&apps, &kill_points);
+        return;
+    }
 
     // Queue every simulation in the grid — per (app, topology): the
     // fault-free reference, then one chaos run per (rate, seed). The
@@ -165,6 +190,159 @@ fn main() {
     }
     if !missing.is_empty() {
         eprintln!("chaos: sweep exercised no recovery of class(es): {}", missing.join(", "));
+        std::process::exit(1);
+    }
+}
+
+/// How one planned node-kill case ended. Recovery and a fail-closed
+/// [`ompss_runtime::RunError::Exhausted`] are the only acceptable
+/// outcomes — wrong bytes and crashes fail the sweep.
+enum KillOutcome {
+    /// The run completed bit-identically; carries its recovery
+    /// counters `(nodes_lost, relineaged, reconstructed, missed)`.
+    Finished((u64, u64, u64, u64)),
+    /// The run aborted with a recovery-budget/lineage exhaustion.
+    FailClosed(String),
+    /// Any other panic: a real defect.
+    Crashed(String),
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The whole-node loss grid: app × cluster size × victim slave × kill
+/// instant (a percentage of the fault-free makespan). See the module
+/// docs for the pass criteria.
+fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
+    use ompss_runtime::{RuntimeConfig, SimDuration};
+    type RefTask = Box<dyn FnOnce() -> (Vec<f32>, u64) + Send>;
+    let clusters: [(&'static str, u32); 2] = [("cluster2", 2), ("cluster3", 3)];
+
+    // Phase 1: fault-free references (output bytes + makespan).
+    let mut ref_tasks: Vec<RefTask> = Vec::new();
+    for &app in apps {
+        for &(_, nodes) in &clusters {
+            ref_tasks.push(Box::new(move || {
+                let run = run_app(app, RuntimeConfig::gpu_cluster(nodes));
+                let makespan = run.report.as_ref().expect("report").makespan.as_nanos();
+                (output_of(&run).to_vec(), makespan)
+            }));
+        }
+    }
+    let mut refs = ompss_sweep::run_jobs(ompss_sweep::jobs(), ref_tasks).into_iter();
+
+    // Phase 2: one kill case per (app, cluster, victim, point). Each
+    // case classifies itself against its captured reference, so the
+    // grid still fans out across `--jobs` threads. An `Exhausted` abort
+    // surfaces as a panic from the app harness; silence the default
+    // hook for the phase so expected fail-closed cases do not spray
+    // backtraces over the report.
+    let mut kill_tasks: Vec<Box<dyn FnOnce() -> KillOutcome + Send>> = Vec::new();
+    let mut grid: Vec<(&'static str, &'static str, u32, u64)> = Vec::new();
+    for &app in apps {
+        for &(topo, nodes) in &clusters {
+            let (expect, makespan) = refs.next().expect("one reference per app x cluster");
+            let expect = std::sync::Arc::new(expect);
+            for victim in 1..nodes {
+                for &pct in points {
+                    grid.push((app, topo, victim, pct));
+                    let expect = expect.clone();
+                    let at = SimDuration::from_nanos(makespan * pct / 100);
+                    kill_tasks.push(Box::new(move || {
+                        let cfg = RuntimeConfig::gpu_cluster(nodes).with_node_loss(victim, at);
+                        match std::panic::catch_unwind(|| run_app(app, cfg)) {
+                            Ok(run) => {
+                                let c = &run.report.as_ref().expect("report").counters;
+                                let counters = (
+                                    c.nodes_lost,
+                                    c.tasks_relineaged,
+                                    c.bytes_reconstructed,
+                                    c.heartbeats_missed,
+                                );
+                                if output_of(&run) == expect.as_slice() {
+                                    KillOutcome::Finished(counters)
+                                } else {
+                                    KillOutcome::Crashed("output diverged".into())
+                                }
+                            }
+                            Err(p) => {
+                                let msg = panic_text(p);
+                                if msg.contains("exhausted") {
+                                    KillOutcome::FailClosed(msg)
+                                } else {
+                                    KillOutcome::Crashed(msg)
+                                }
+                            }
+                        }
+                    }));
+                }
+            }
+        }
+    }
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let results = ompss_sweep::run_jobs(ompss_sweep::jobs(), kill_tasks);
+    std::panic::set_hook(hook);
+
+    let mut cases = Json::array();
+    let (mut recovered, mut fail_closed, mut failures) = (0u64, 0u64, 0u64);
+    let (mut relineaged, mut reconstructed) = (0u64, 0u64);
+    for ((app, topo, victim, pct), outcome) in grid.into_iter().zip(results) {
+        let mut case = Json::object()
+            .field("app", app)
+            .field("topology", topo)
+            .field("victim", victim as u64)
+            .field("kill_percent", pct);
+        case = match outcome {
+            KillOutcome::Finished((lost, rel, bytes, missed)) => {
+                recovered += 1;
+                relineaged += rel;
+                reconstructed += bytes;
+                case.field("outcome", "recovered")
+                    .field("nodes_lost", lost)
+                    .field("tasks_relineaged", rel)
+                    .field("bytes_reconstructed", bytes)
+                    .field("heartbeats_missed", missed)
+            }
+            KillOutcome::FailClosed(msg) => {
+                fail_closed += 1;
+                case.field("outcome", "fail_closed").field("error", msg)
+            }
+            KillOutcome::Crashed(msg) => {
+                failures += 1;
+                case.field("outcome", "FAILURE").field("error", msg)
+            }
+        };
+        cases.push(case);
+    }
+
+    let report = Json::object()
+        .field("tool", "ompss-chaos")
+        .field("mode", "node-kill")
+        .field(
+            "totals",
+            Json::object()
+                .field("recovered", recovered)
+                .field("fail_closed", fail_closed)
+                .field("failures", failures)
+                .field("tasks_relineaged", relineaged)
+                .field("bytes_reconstructed", reconstructed),
+        )
+        .field("cases", cases);
+    println!("{}", report.to_pretty_string().trim_end());
+    if failures > 0 {
+        eprintln!("chaos --node-kill: {failures} case(s) crashed or produced wrong bytes");
+        std::process::exit(1);
+    }
+    if recovered == 0 {
+        eprintln!("chaos --node-kill: no case actually recovered; the grid proves nothing");
         std::process::exit(1);
     }
 }

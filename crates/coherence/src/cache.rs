@@ -43,7 +43,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use ompss_mem::{Access, AllocId, MemoryManager, Region, SpaceId};
-use ompss_sim::{Ctx, Signal, SimResult};
+use ompss_sim::{Ctx, Signal, SimError, SimResult};
 
 use crate::topo::{HopKind, Topology};
 
@@ -120,6 +120,11 @@ impl TransferPurpose {
 pub trait TransferExec: Send + Sync {
     /// Perform the transfer. Must move the bytes via the memory manager
     /// and block the calling process for the modelled duration.
+    ///
+    /// Returns `Ok(true)` when the bytes arrived at the destination.
+    /// `Ok(false)` means the hop spent its wire time but the data never
+    /// landed — one endpoint's node died mid-transfer — so the engine
+    /// must treat the destination as garbage, not valid.
     #[allow(clippy::too_many_arguments)]
     fn transfer(
         &self,
@@ -129,7 +134,23 @@ pub trait TransferExec: Send + Sync {
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<()>;
+    ) -> SimResult<bool>;
+}
+
+/// A region whose latest committed version was lost with a purged
+/// space: no surviving copy holds it any more. Produced by
+/// [`Coherence::purge_spaces`]; the node-loss recovery path consumes it
+/// to drive lineage reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostRegion {
+    /// The affected region.
+    pub region: Region,
+    /// The version the directory had committed before the loss.
+    pub latest: u64,
+    /// The newest version still held by a surviving copy (the root
+    /// home always holds at least version 0, so reconstruction always
+    /// has a base to replay from).
+    pub best: u64,
 }
 
 /// Coherence activity counters.
@@ -203,6 +224,10 @@ struct Inner {
     regions: HashMap<Region, RegionEntry>,
     tick: u64,
     stats: CoherenceStats,
+    /// Spaces declared dead by [`Coherence::purge_spaces`]: their node
+    /// was lost. Acquires and placements targeting them shut down
+    /// instead of planning transfers nobody could serve.
+    dead: Vec<SpaceId>,
 }
 
 /// The coherence engine. The runtime holds it in an `Arc` and calls it
@@ -258,6 +283,7 @@ impl Coherence {
                 regions: HashMap::new(),
                 tick: 0,
                 stats: CoherenceStats::default(),
+                dead: Vec::new(),
             }),
         }
     }
@@ -419,16 +445,15 @@ impl Coherence {
     }
 
     /// Drop one pin on `region`'s copy at `space` without committing a
-    /// write (used when a prefetch is abandoned).
+    /// write (used when a prefetch is abandoned). A no-op when the copy
+    /// no longer exists — node-loss recovery purges copies wholesale,
+    /// pins included, and late unpinners must not trip over the hole.
     pub fn unpin(&self, region: &Region, space: SpaceId) {
         let mut inner = self.inner.lock();
-        let c = inner
-            .regions
-            .get_mut(region)
-            .and_then(|e| e.copies.get_mut(&space))
-            .expect("unpin of unknown copy");
-        assert!(c.pinned > 0, "unpin without pin");
-        c.pinned -= 1;
+        if let Some(c) = inner.regions.get_mut(region).and_then(|e| e.copies.get_mut(&space)) {
+            assert!(c.pinned > 0, "unpin without pin");
+            c.pinned -= 1;
+        }
     }
 
     /// Commit a task's accesses at its execution space: bump versions
@@ -602,8 +627,10 @@ impl Coherence {
                 Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
                 Step::Hop { kind, from: f, to, src, dst, bytes, version, done } => {
                     let purpose = TransferPurpose::WriteBack;
-                    exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
-                    self.finish_hop(ctx, region, f, to, kind, purpose, bytes, version, done, true);
+                    let delivered = exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
+                    self.finish_hop(
+                        ctx, region, f, to, kind, purpose, bytes, version, done, true, delivered,
+                    );
                     return Ok(());
                 }
             }
@@ -613,6 +640,13 @@ impl Coherence {
     /// Bookkeeping after a hop transfer completes: destination becomes
     /// Valid, source is unpinned, stats updated. `clear_src_dirty` is
     /// set for upward pushes (the parent now covers the source's data).
+    ///
+    /// With `delivered == false` the bytes never arrived (an endpoint's
+    /// node died mid-hop): the destination reverts to `Garbage` so
+    /// waiters re-plan from a surviving source, and no stats are
+    /// counted. Either endpoint's copy may have been purged outright by
+    /// node-loss recovery while the transfer was on the wire, so every
+    /// lookup here tolerates a hole.
     #[allow(clippy::too_many_arguments)]
     fn finish_hop(
         &self,
@@ -626,37 +660,66 @@ impl Coherence {
         version: u64,
         done: Signal,
         clear_src_dirty: bool,
+        delivered: bool,
     ) {
         let mut inner = self.inner.lock();
-        inner.stats.transfers += 1;
-        inner.stats.bytes_moved += bytes;
-        match kind {
-            HopKind::Pcie => inner.stats.pcie_bytes += bytes,
-            HopKind::Network => inner.stats.net_bytes += bytes,
+        if delivered {
+            inner.stats.transfers += 1;
+            inner.stats.bytes_moved += bytes;
+            match kind {
+                HopKind::Pcie => inner.stats.pcie_bytes += bytes,
+                HopKind::Network => inner.stats.net_bytes += bytes,
+            }
+            match purpose {
+                TransferPurpose::Demand => inner.stats.demand_bytes += bytes,
+                TransferPurpose::Prefetch => inner.stats.prefetch_bytes += bytes,
+                TransferPurpose::Presend => inner.stats.presend_bytes += bytes,
+                TransferPurpose::WriteBack => inner.stats.push_bytes += bytes,
+                TransferPurpose::Flush => inner.stats.flush_bytes += bytes,
+            }
         }
-        match purpose {
-            TransferPurpose::Demand => inner.stats.demand_bytes += bytes,
-            TransferPurpose::Prefetch => inner.stats.prefetch_bytes += bytes,
-            TransferPurpose::Presend => inner.stats.presend_bytes += bytes,
-            TransferPurpose::WriteBack => inner.stats.push_bytes += bytes,
-            TransferPurpose::Flush => inner.stats.flush_bytes += bytes,
+        let Some(entry) = inner.regions.get_mut(region) else {
+            done.set(ctx);
+            return;
+        };
+        if delivered {
+            // Mark destination valid first so dirty_for sees the root
+            // state after this hop. Recovery may have repaired the copy
+            // to a version at least as new while the hop ran — never
+            // downgrade it.
+            let repaired = matches!(
+                entry.copies.get(&to).map(|c| &c.state),
+                Some(CState::Valid { version: cur }) if *cur >= version
+            );
+            if !repaired {
+                if let Some(dc) = entry.copies.get_mut(&to) {
+                    dc.state = CState::Valid { version };
+                }
+                let entry = inner.regions.get_mut(region).expect("just found");
+                let dirty = self.dirty_for(entry, to, version);
+                if let Some(dc) = entry.copies.get_mut(&to) {
+                    dc.dirty = dirty;
+                }
+            }
+        } else if let Some(dc) = entry.copies.get_mut(&to) {
+            // Still ours to resolve: contents are undefined. (If
+            // recovery already replaced the state, leave it alone.)
+            if matches!(dc.state, CState::InFlight { .. }) {
+                dc.state = CState::Garbage;
+                dc.dirty = false;
+            }
         }
-        let entry = inner.regions.get_mut(region).expect("hop region");
-        // Mark destination valid first so dirty_for sees the root state
-        // after this hop.
-        let dc = entry.copies.get_mut(&to).expect("inflight destination");
-        dc.state = CState::Valid { version };
-        let entry = inner.regions.get_mut(region).expect("hop region");
-        let dirty = self.dirty_for(entry, to, version);
-        let dc = entry.copies.get_mut(&to).expect("inflight destination");
-        dc.dirty = dirty;
         done.set(ctx);
-        let sc = entry.copies.get_mut(&from).expect("pinned source");
-        sc.pinned -= 1;
-        if clear_src_dirty {
-            sc.dirty = false;
+        let entry = inner.regions.get_mut(region).expect("just found");
+        if let Some(sc) = entry.copies.get_mut(&from) {
+            sc.pinned = sc.pinned.saturating_sub(1);
+            if clear_src_dirty && delivered {
+                sc.dirty = false;
+            }
         }
-        self.debug_validate_locked(&inner, "finish_hop");
+        if delivered {
+            self.debug_validate_locked(&inner, "finish_hop");
+        }
     }
 
     /// Make a Valid-latest copy of `region` exist at `target`,
@@ -676,6 +739,12 @@ impl Coherence {
             let step: Step = {
                 let mut guard = self.inner.lock();
                 let inner = &mut *guard;
+                if inner.dead.contains(&target) {
+                    // The target's node is gone; nothing can be staged
+                    // there any more. Callers on the dead node are
+                    // being torn down and treat this as shutdown.
+                    return Err(SimError::Shutdown);
+                }
                 inner.tick += 1;
                 let tick = inner.tick;
                 self.init_entry(inner, region);
@@ -727,9 +796,10 @@ impl Coherence {
                             ctx.now().as_secs_f64()
                         );
                     }
-                    exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
+                    let delivered = exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
                     self.finish_hop(
                         ctx, region, from, to, kind, purpose, bytes, version, done, false,
+                        delivered,
                     );
                 }
             }
@@ -817,6 +887,9 @@ impl Coherence {
             let step: Step = {
                 let mut guard = self.inner.lock();
                 let inner = &mut *guard;
+                if inner.dead.contains(&target) {
+                    return Err(SimError::Shutdown);
+                }
                 inner.tick += 1;
                 let tick = inner.tick;
                 self.init_entry(inner, region);
@@ -1061,6 +1134,145 @@ impl Coherence {
         }
         self.debug_validate_locked(&inner, "invalidate_space");
         dropped
+    }
+
+    /// Declare every space in `spaces` dead and drop all directory
+    /// state held there — the whole node was lost, so pinned and
+    /// in-flight copies go too (their fill signals are set so live
+    /// waiters re-plan instead of blocking forever). Memory at the dead
+    /// spaces is *not* freed: the allocations are unreachable, not
+    /// reclaimed, and an in-flight transfer that already sourced its
+    /// bytes from one may still complete its copy harmlessly.
+    ///
+    /// Returns, in deterministic order, every region whose latest
+    /// committed version no longer exists at any surviving space. For
+    /// those regions the directory is left *intentionally* short of its
+    /// dirty-cover invariant; the caller must reconstruct them (lineage
+    /// re-execution) and finish with [`repair_root`](Self::repair_root)
+    /// before yielding to the simulation.
+    pub fn purge_spaces(&self, ctx: &Ctx, spaces: &[SpaceId]) -> Vec<LostRegion> {
+        assert!(!spaces.contains(&self.topo.root()), "the master host cannot be purged");
+        let mut inner = self.inner.lock();
+        for &s in spaces {
+            if !inner.dead.contains(&s) {
+                inner.dead.push(s);
+            }
+        }
+        let mut lost = Vec::new();
+        for (region, entry) in inner.regions.iter_mut() {
+            let mut touched = false;
+            for &s in spaces {
+                if let Some(c) = entry.copies.remove(&s) {
+                    touched = true;
+                    if let CState::InFlight { done } = c.state {
+                        done.set(ctx);
+                    }
+                }
+            }
+            if !touched {
+                continue;
+            }
+            let best = entry
+                .copies
+                .values()
+                .filter_map(|c| match c.state {
+                    CState::Valid { version } => Some(version),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            if best < entry.version {
+                lost.push(LostRegion { region: *region, latest: entry.version, best });
+            }
+        }
+        lost.sort_by_key(|l| l.region);
+        lost
+    }
+
+    /// Has `space` been declared dead by a purge?
+    pub fn is_dead_space(&self, space: SpaceId) -> bool {
+        self.inner.lock().dead.contains(&space)
+    }
+
+    /// Materialise the best surviving version of `region` in its root
+    /// home allocation by raw byte copy (zero virtual time — recovery
+    /// preamble, not modelled traffic). Returns `(best_version,
+    /// bytes_copied)`; zero bytes when the root already holds it. Does
+    /// not touch directory state — [`repair_root`](Self::repair_root)
+    /// finalises once reconstruction is done. `None` when no valid copy
+    /// survives anywhere (the root home was mid-flight when its source
+    /// died): the caller must fail closed, because the root bytes are
+    /// then of an unknown version and replay could compound the error.
+    pub fn pull_best_to_root(&self, region: &Region) -> Option<(u64, u64)> {
+        let inner = self.inner.lock();
+        let root = self.topo.root();
+        let entry = inner.regions.get(region)?;
+        let best = entry
+            .copies
+            .values()
+            .filter_map(|c| match c.state {
+                CState::Valid { version } => Some(version),
+                _ => None,
+            })
+            .max()?;
+        if matches!(
+            entry.copies.get(&root).map(|c| &c.state),
+            Some(CState::Valid { version }) if *version >= best
+        ) {
+            return Some((best, 0));
+        }
+        // Deterministic source: the lowest-numbered space holding it.
+        let (&src_space, src_c) = entry
+            .copies
+            .iter()
+            .filter(|(_, c)| matches!(c.state, CState::Valid { version } if version == best))
+            .min_by_key(|(&s, _)| s.0)
+            .expect("best version has a holder");
+        let root_c = entry.copies.get(&root).expect("root home copy");
+        self.mem.copy(
+            (src_space, src_c.alloc),
+            src_c.offset,
+            (root, root_c.alloc),
+            root_c.offset,
+            region.len,
+        );
+        Some((best, region.len))
+    }
+
+    /// Whether the directory tracks `region` at all (any entry, any
+    /// copy states). Recovery uses this to distinguish "never written
+    /// by a task" (home bytes are the original data) from a tracked
+    /// region whose version matters.
+    pub fn has_region(&self, region: &Region) -> bool {
+        self.inner.lock().regions.contains_key(region)
+    }
+
+    /// Declare `version` of `region` reconstructed at the root home:
+    /// the directory version rolls back to it, the root copy becomes
+    /// the authoritative valid-latest, and every surviving copy is
+    /// cleaned. Only node-loss recovery calls this, after lineage
+    /// re-execution materialised the bytes in the root home allocation;
+    /// rolled-back versions had copies only on the dead node and their
+    /// successors were never released, so normal execution re-commits
+    /// them from here.
+    pub fn repair_root(&self, ctx: &Ctx, region: &Region, version: u64) {
+        let root = self.topo.root();
+        let mut inner = self.inner.lock();
+        let entry = inner.regions.get_mut(region).expect("repair of unknown region");
+        entry.version = version;
+        let c = entry.copies.get_mut(&root).expect("root home copy");
+        if let CState::InFlight { done } = &c.state {
+            // A flush toward the root was on the wire when the node
+            // died; its source is gone, so it will resolve undelivered.
+            // Wake its waiters now — the state below supersedes it.
+            done.set(ctx);
+        }
+        c.state = CState::Valid { version };
+        c.dirty = false;
+        for c in entry.copies.values_mut() {
+            c.dirty = false;
+        }
+        self.debug_validate_locked(&inner, "repair_root");
     }
 
     /// Valid-latest bytes of `region` at `space` (the scheduler's

@@ -22,5 +22,7 @@
 mod cache;
 mod topo;
 
-pub use cache::{CachePolicy, Coherence, CoherenceStats, Loc, TransferExec, TransferPurpose};
+pub use cache::{
+    CachePolicy, Coherence, CoherenceStats, Loc, LostRegion, TransferExec, TransferPurpose,
+};
 pub use topo::{Hop, HopKind, SlaveRouting, Topology};

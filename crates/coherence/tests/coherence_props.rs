@@ -26,7 +26,7 @@ impl TransferExec for ByteExec {
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<()> {
+    ) -> SimResult<bool> {
         ctx.delay(SimDuration::from_nanos(bytes))?;
         self.mem.copy(
             (src.space, src.alloc),
@@ -35,7 +35,7 @@ impl TransferExec for ByteExec {
             dst.offset,
             bytes,
         );
-        Ok(())
+        Ok(true)
     }
 }
 

@@ -211,6 +211,16 @@ struct RegionState {
     /// Most recent task to declare any clause on this exact region —
     /// used to name the owner in `PartialOverlap` diagnostics.
     declared_by: Option<TaskId>,
+    /// Every writer of this region in submission order, retained only
+    /// while lineage tracking is enabled and bounded by its depth. The
+    /// exact-match dependence rules serialise writers of one region
+    /// (WAW/RAW/WAR chaining), so position `k` in the *absolute* history
+    /// is the producer of version `k + 1` — the fact the node-loss
+    /// recovery path re-executes from.
+    writers: Vec<TaskId>,
+    /// Writers trimmed off the front of `writers` by the depth bound;
+    /// `writers[i]` is absolute writer index `dropped + i`.
+    dropped: u64,
 }
 
 /// Regions tracked for one datum, with the longest region length ever
@@ -235,6 +245,10 @@ pub struct TaskGraph {
     /// ordering even though no edge was recorded).
     clock: u64,
     lints: Vec<GraphLint>,
+    /// Per-region writer-history retention depth; `None` (the default)
+    /// retains nothing — the zero-cost path when node-loss recovery is
+    /// disarmed.
+    lineage: Option<u32>,
 }
 
 impl TaskGraph {
@@ -275,6 +289,7 @@ impl TaskGraph {
 
         let mut preds: HashSet<TaskId> = HashSet::new();
         let mut dead: Vec<(Region, TaskId)> = Vec::new();
+        let lineage = self.lineage;
         for a in accesses {
             let dr = self.regions.entry(a.region.data).or_default();
             dr.max_len = dr.max_len.max(a.region.len);
@@ -310,6 +325,14 @@ impl TaskGraph {
                 }
                 st.last_writer = Some(id);
                 st.readers.clear();
+                if let Some(depth) = lineage {
+                    st.writers.push(id);
+                    let over = st.writers.len().saturating_sub(depth.max(1) as usize);
+                    if over > 0 {
+                        st.writers.drain(..over);
+                        st.dropped += over as u64;
+                    }
+                }
             } else {
                 // Pure reader.
                 if !st.readers.contains(&id) {
@@ -484,6 +507,33 @@ impl TaskGraph {
     /// Advisory lints accumulated at submission time (dead writes).
     pub fn lints(&self) -> &[GraphLint] {
         &self.lints
+    }
+
+    /// Retain up to `depth` writers per region for lineage-based
+    /// reconstruction (node-loss recovery). Enable *before* submitting
+    /// tasks — history is recorded at submission, not retroactively.
+    pub fn enable_lineage(&mut self, depth: u32) {
+        self.lineage = Some(depth);
+    }
+
+    /// The retained writer history of exactly `region`: the slice of
+    /// retained writer ids plus the count of older writers trimmed by
+    /// the depth bound. The producer of version `v` (versions are
+    /// 1-based; version 0 is the pre-task home copy) is absolute writer
+    /// index `v - 1`, i.e. `writers[v - 1 - dropped]` when retained.
+    /// `None` when lineage is disabled or the region has no writers.
+    pub fn writer_history(&self, region: &Region) -> Option<(&[TaskId], u64)> {
+        self.lineage?;
+        let st = self.regions.get(&region.data)?.map.get(&(region.offset, region.len))?;
+        if st.writers.is_empty() && st.dropped == 0 {
+            return None;
+        }
+        Some((&st.writers, st.dropped))
+    }
+
+    /// The label a task was submitted with (empty if unknown).
+    pub fn task_label(&self, id: TaskId) -> &str {
+        self.label_of(id)
     }
 
     /// Is `a` ordered before `b`? True when `a == b`, when `a` completed
@@ -866,6 +916,45 @@ mod tests {
         );
         // Read/read never races.
         assert!(g.races(&[(t(1), s, false), (t(3), s, false)]).is_empty());
+    }
+
+    #[test]
+    fn lineage_disabled_retains_nothing() {
+        let mut g = TaskGraph::new();
+        g.add_task(t(1), &[Access::write(r(1, 0, 8))]).unwrap();
+        g.add_task(t(2), &[Access::update(r(1, 0, 8))]).unwrap();
+        assert_eq!(g.writer_history(&r(1, 0, 8)), None, "no retention when disabled");
+    }
+
+    #[test]
+    fn lineage_records_writers_in_version_order() {
+        let mut g = TaskGraph::new();
+        g.enable_lineage(64);
+        let region = r(1, 0, 8);
+        g.add_task(t(1), &[Access::write(region)]).unwrap();
+        g.add_task(t(2), &[Access::read(region)]).unwrap(); // readers don't count
+        g.add_task(t(3), &[Access::update(region)]).unwrap();
+        g.add_task(t(4), &[Access::write(region)]).unwrap();
+        let (writers, dropped) = g.writer_history(&region).unwrap();
+        assert_eq!(writers, &[t(1), t(3), t(4)]);
+        assert_eq!(dropped, 0);
+        assert_eq!(g.writer_history(&r(1, 8, 8)), None, "unwritten region has no history");
+    }
+
+    #[test]
+    fn lineage_depth_bound_trims_front_and_keeps_absolute_indexing() {
+        let mut g = TaskGraph::new();
+        g.enable_lineage(3);
+        let region = r(1, 0, 8);
+        for i in 1..=10 {
+            g.add_task(t(i), &[Access::update(region)]).unwrap();
+        }
+        let (writers, dropped) = g.writer_history(&region).unwrap();
+        assert_eq!(writers, &[t(8), t(9), t(10)]);
+        assert_eq!(dropped, 7);
+        // The producer of version v is absolute index v-1: version 9's
+        // producer is writers[9 - 1 - dropped] = writers[1] = t(9).
+        assert_eq!(writers[(9 - 1 - dropped) as usize], t(9));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! bulk payload bytes are accounted here but physically moved by the
 //! memory manager (which may be phantom-backed for paper-scale runs).
 
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -110,6 +111,9 @@ struct FabricInner<M> {
     /// Chaos injection plan; `None` (the default) takes the exact
     /// legacy path.
     faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Per-node NIC death flags (whole-node loss): a dead endpoint's
+    /// messages still occupy the wire but are never delivered.
+    dead: Vec<AtomicBool>,
 }
 
 /// A simulated cluster interconnect carrying messages of type `M`.
@@ -140,6 +144,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
                     link_messages: vec![vec![0; cfg.nodes as usize]; cfg.nodes as usize],
                     ..NetStats::default()
                 }),
+                dead: (0..cfg.nodes).map(|_| AtomicBool::new(false)).collect(),
                 cfg,
                 nics,
                 faults: Mutex::new(None),
@@ -159,6 +164,19 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         *self.inner.faults.lock() = Some(plan);
     }
 
+    /// Declare `node`'s NIC dead (whole-node loss): messages to or from
+    /// it still occupy ports and wire time (in-flight traffic does not
+    /// un-happen) but are never delivered, and nothing it would send
+    /// reaches an inbox again. Irreversible for the run.
+    pub fn kill_node(&self, node: NodeId) {
+        self.inner.dead[node as usize].store(true, Relaxed);
+    }
+
+    /// Has `node` been declared dead?
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.inner.dead[node as usize].load(Relaxed)
+    }
+
     /// Send `msg` (declared wire size `size` bytes) from `src` to `dst`,
     /// blocking the calling process for the transfer duration. The
     /// message is in `dst`'s inbox when this returns.
@@ -176,7 +194,9 @@ impl<M: Send + Clone + 'static> Fabric<M> {
             st.link_messages[src as usize][dst as usize] += 1;
         }
         if src == dst {
-            self.inner.nics[dst as usize].inbox.send(ctx, (src, msg));
+            if !self.is_dead(dst) {
+                self.inner.nics[dst as usize].inbox.send(ctx, (src, msg));
+            }
             return Ok(());
         }
         // Chaos: one decision per class per message, drawn before the
@@ -205,6 +225,12 @@ impl<M: Send + Clone + 'static> Fabric<M> {
             // The message occupied both ports and the wire, then
             // vanished; the sender cannot tell. Recovery is the
             // reliability layer's problem.
+            return Ok(());
+        }
+        if self.is_dead(src) || self.is_dead(dst) {
+            // A dead endpoint (killed before or during the transfer):
+            // the bytes were on the wire but there is nobody to receive
+            // them — same observable outcome as a drop.
             return Ok(());
         }
         if dup {
@@ -454,6 +480,32 @@ mod tests {
             f.send(&ctx, 2, 2, 64, 3).unwrap();
             assert_eq!(f.try_recv(2), Some((2, 3)), "loopback models a call, not a wire");
             assert_eq!(f.try_recv(2), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn dead_node_messages_occupy_wire_but_never_deliver() {
+        let sim = Sim::new();
+        let fab: Fabric<u32> = Fabric::new(cfg());
+        let f = fab.clone();
+        sim.spawn("p", move |ctx| {
+            f.kill_node(1);
+            assert!(f.is_dead(1));
+            assert!(!f.is_dead(0));
+            // To the dead node: wire time charged, nothing delivered.
+            f.send(&ctx, 0, 1, 1000, 7).unwrap();
+            assert_eq!(ctx.now().as_nanos(), 2_000);
+            assert_eq!(f.try_recv(1), None);
+            // From the dead node (a zombie process mid-send): same.
+            f.send(&ctx, 1, 2, 1000, 8).unwrap();
+            assert_eq!(f.try_recv(2), None);
+            // Dead-node loopback delivers nothing either.
+            f.send(&ctx, 1, 1, 64, 9).unwrap();
+            assert_eq!(f.try_recv(1), None);
+            // Live pairs are unaffected.
+            f.send(&ctx, 0, 2, 64, 10).unwrap();
+            assert_eq!(f.try_recv(2), Some((0, 10)));
         });
         sim.run().unwrap();
     }

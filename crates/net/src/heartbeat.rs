@@ -1,0 +1,149 @@
+//! Heartbeat/lease failure detection for whole-node loss.
+//!
+//! The master probes every slave on a fixed virtual-time period and
+//! each reply renews that slave's *lease*. A node whose lease has gone
+//! unrenewed for longer than the configured window is declared dead —
+//! in the simulator this detection is exact (a live slave always
+//! answers within two one-way latencies), so a lease expiry is proof of
+//! death, not a suspicion. This module is pure bookkeeping on
+//! [`SimTime`] values; the runtime owns the ping/pong processes and
+//! calls [`LeaseTracker::beat`] / [`LeaseTracker::expired`] from them.
+//! Disarmed runs construct none of this and send nothing.
+
+use ompss_sim::{SimDuration, SimTime};
+
+use crate::fabric::NodeId;
+
+/// Virtual-time parameters of the lease protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// Interval between liveness probes to each tracked node.
+    pub period: SimDuration,
+    /// A node whose last renewal is older than this is declared dead.
+    /// Must comfortably exceed `period` plus the round-trip latency or
+    /// a healthy node can be declared dead between probes.
+    pub window: SimDuration,
+}
+
+/// Per-node lease state, owned by the master's lease-monitor process.
+#[derive(Debug)]
+pub struct LeaseTracker {
+    cfg: LeaseConfig,
+    /// Tracked nodes in registration order.
+    nodes: Vec<NodeId>,
+    /// Last renewal instant per tracked node (same order as `nodes`).
+    last_seen: Vec<SimTime>,
+    /// Nodes already declared dead (never re-declared).
+    declared: Vec<bool>,
+    /// Probe periods that elapsed without a renewal, summed over nodes —
+    /// the `heartbeats_missed` observability counter's source.
+    missed: u64,
+}
+
+impl LeaseTracker {
+    /// Track `nodes`, all leases freshly renewed at `now`.
+    pub fn new(cfg: LeaseConfig, nodes: Vec<NodeId>, now: SimTime) -> Self {
+        let n = nodes.len();
+        LeaseTracker { cfg, nodes, last_seen: vec![now; n], declared: vec![false; n], missed: 0 }
+    }
+
+    /// The protocol parameters.
+    pub fn config(&self) -> LeaseConfig {
+        self.cfg
+    }
+
+    /// Renew `node`'s lease at `now` (a heartbeat reply arrived).
+    /// Renewals from untracked or already-declared nodes are ignored.
+    pub fn beat(&mut self, node: NodeId, now: SimTime) {
+        if let Some(i) = self.nodes.iter().position(|&n| n == node) {
+            if !self.declared[i] && now > self.last_seen[i] {
+                self.last_seen[i] = now;
+            }
+        }
+    }
+
+    /// Check every lease at `now`: nodes silent for more than one probe
+    /// period count a missed heartbeat; nodes silent beyond the window
+    /// are declared dead and returned (each node at most once, in
+    /// registration order).
+    pub fn expired(&mut self, now: SimTime) -> Vec<NodeId> {
+        let mut dead = Vec::new();
+        for i in 0..self.nodes.len() {
+            if self.declared[i] {
+                continue;
+            }
+            let silent = now - self.last_seen[i];
+            if silent > self.cfg.period {
+                self.missed += 1;
+            }
+            if silent > self.cfg.window {
+                self.declared[i] = true;
+                dead.push(self.nodes[i]);
+            }
+        }
+        dead
+    }
+
+    /// Probe periods that elapsed without a renewal, summed over nodes.
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+
+    /// Has `node` been declared dead?
+    pub fn is_declared_dead(&self, node: NodeId) -> bool {
+        self.nodes.iter().position(|&n| n == node).is_some_and(|i| self.declared[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LeaseConfig {
+        LeaseConfig {
+            period: SimDuration::from_micros(200),
+            window: SimDuration::from_micros(1000),
+        }
+    }
+
+    fn us(n: u64) -> SimTime {
+        SimTime(n * 1_000)
+    }
+
+    #[test]
+    fn renewed_leases_never_expire() {
+        let mut t = LeaseTracker::new(cfg(), vec![1, 2], us(0));
+        for k in 1..=20 {
+            t.beat(1, us(k * 200));
+            t.beat(2, us(k * 200));
+            assert!(t.expired(us(k * 200)).is_empty());
+        }
+        assert_eq!(t.missed(), 0);
+        assert!(!t.is_declared_dead(1));
+    }
+
+    #[test]
+    fn silent_node_misses_then_dies_once() {
+        let mut t = LeaseTracker::new(cfg(), vec![1, 2], us(0));
+        // Node 2 keeps renewing; node 1 goes silent at t=0.
+        t.beat(2, us(400));
+        assert!(t.expired(us(400)).is_empty(), "within the window: alive");
+        assert!(t.missed() >= 1, "but the silence was counted");
+        t.beat(2, us(1200));
+        assert_eq!(t.expired(us(1200)), vec![1], "window exceeded: declared dead");
+        assert!(t.is_declared_dead(1));
+        assert!(!t.is_declared_dead(2));
+        // Never re-declared, and late beats from the dead are ignored.
+        t.beat(1, us(1400));
+        assert!(t.expired(us(1400)).is_empty());
+        assert!(t.is_declared_dead(1));
+    }
+
+    #[test]
+    fn beats_ignore_untracked_nodes_and_stale_times() {
+        let mut t = LeaseTracker::new(cfg(), vec![1], us(100));
+        t.beat(7, us(500)); // untracked: no panic, no effect
+        t.beat(1, us(50)); // stale (before last renewal): ignored
+        assert_eq!(t.expired(us(1200)), vec![1], "stale beat must not extend the lease");
+    }
+}

@@ -12,14 +12,18 @@
 //!   used by the OmpSs cluster runtime;
 //! * [`Mpi`]/[`MpiRank`] — tagged point-to-point with MPI matching
 //!   semantics plus barrier/bcast/allgather/gather, used by the
-//!   MPI+CUDA baseline applications.
+//!   MPI+CUDA baseline applications;
+//! * [`LeaseTracker`] — heartbeat/lease bookkeeping for whole-node
+//!   failure detection (the master's lease monitor drives it).
 
 #![warn(missing_docs)]
 
 mod am;
 mod fabric;
+mod heartbeat;
 mod mpi;
 
 pub use am::{AmEndpoint, AmNet, AmStats, AM_HEADER_BYTES};
 pub use fabric::{Fabric, FabricConfig, NetStats, NodeId};
+pub use heartbeat::{LeaseConfig, LeaseTracker};
 pub use mpi::{Mpi, MpiMsg, MpiRank, Source, MPI_ENVELOPE_BYTES};

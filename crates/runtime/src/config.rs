@@ -94,6 +94,23 @@ pub struct RuntimeConfig {
     /// harnesses use [`FaultPlan::with_forced`] to pin one specific
     /// fault class deterministically instead of sweeping a rate.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Planned whole-node kill (`OMPSS_FAULT_NODE_LOSS`): slave node
+    /// index and the virtual instant it dies. Arms the heartbeat/lease
+    /// protocol and lineage retention; `None` (default) spawns none of
+    /// that machinery.
+    pub node_loss: Option<(u32, SimDuration)>,
+    /// Interval between the master's liveness probes to each slave
+    /// (`OMPSS_HEARTBEAT_PERIOD_US`). Only meaningful when node-loss
+    /// chaos is armed.
+    pub heartbeat_period: SimDuration,
+    /// Silence beyond this window declares a slave dead
+    /// (`OMPSS_LEASE_WINDOW_US`). Must comfortably exceed the period
+    /// plus a network round trip.
+    pub lease_window: SimDuration,
+    /// Most completed producer tasks lineage reconstruction may re-run
+    /// per lost region before the run aborts with
+    /// [`ompss_sim::RunError::Exhausted`] (`OMPSS_LINEAGE_DEPTH`).
+    pub lineage_depth_budget: u32,
 }
 
 impl RuntimeConfig {
@@ -128,6 +145,10 @@ impl RuntimeConfig {
             task_retry_budget: 3,
             am_retry_budget: 8,
             fault_plan: None,
+            node_loss: None,
+            heartbeat_period: SimDuration::from_micros(200),
+            lease_window: SimDuration::from_micros(1000),
+            lineage_depth_budget: 64,
         }
     }
 
@@ -160,6 +181,10 @@ impl RuntimeConfig {
             task_retry_budget: 3,
             am_retry_budget: 8,
             fault_plan: None,
+            node_loss: None,
+            heartbeat_period: SimDuration::from_micros(200),
+            lease_window: SimDuration::from_micros(1000),
+            lineage_depth_budget: 64,
         }
     }
 
@@ -262,9 +287,31 @@ impl RuntimeConfig {
         self
     }
 
+    /// Arm a planned whole-node kill: slave `node` dies at `at` of
+    /// virtual time. Also arms the heartbeat/lease machinery.
+    pub fn with_node_loss(mut self, node: u32, at: SimDuration) -> Self {
+        assert!(node > 0, "node 0 is the master; only slaves can be killed");
+        self.node_loss = Some((node, at));
+        self
+    }
+
+    /// Set the lease protocol timing (probe period, death window).
+    pub fn with_heartbeat(mut self, period: SimDuration, window: SimDuration) -> Self {
+        assert!(window > period, "the lease window must exceed the probe period");
+        self.heartbeat_period = period;
+        self.lease_window = window;
+        self
+    }
+
+    /// Set the lineage re-execution budget per lost region.
+    pub fn with_lineage_depth(mut self, depth: u32) -> Self {
+        self.lineage_depth_budget = depth;
+        self
+    }
+
     /// Are faults (and therefore the recovery machinery) enabled?
     pub fn faults_enabled(&self) -> bool {
-        self.fault_plan.is_some() || self.fault_rate > 0.0
+        self.fault_plan.is_some() || self.fault_rate > 0.0 || self.node_loss.is_some()
     }
 
     /// Usable GPU cache capacity.
@@ -295,6 +342,9 @@ impl RuntimeConfig {
     /// | `OMPSS_FAULT_RATE` | float in `[0, 1]` (0 = off) |
     /// | `OMPSS_FAULT_SEED` | integer seed of the fault stream |
     /// | `OMPSS_TASK_RETRIES` / `OMPSS_AM_RETRIES` | integer budgets |
+    /// | `OMPSS_FAULT_NODE_LOSS` | `node@micros` planned kill (e.g. `1@800`) |
+    /// | `OMPSS_HEARTBEAT_PERIOD_US` / `OMPSS_LEASE_WINDOW_US` | integers (µs) |
+    /// | `OMPSS_LINEAGE_DEPTH` | integer re-execution budget |
     ///
     /// Unknown values panic (a typo silently ignored would invalidate an
     /// experiment).
@@ -361,6 +411,25 @@ impl RuntimeConfig {
         }
         if let Ok(v) = env::var("OMPSS_AM_RETRIES") {
             self.am_retry_budget = v.parse().expect("OMPSS_AM_RETRIES: not an integer");
+        }
+        if let Ok(v) = env::var("OMPSS_FAULT_NODE_LOSS") {
+            let (node, micros) =
+                v.split_once('@').expect("OMPSS_FAULT_NODE_LOSS: expected node@micros");
+            let node: u32 = node.parse().expect("OMPSS_FAULT_NODE_LOSS: node not an integer");
+            let micros: u64 = micros.parse().expect("OMPSS_FAULT_NODE_LOSS: not microseconds");
+            self = self.with_node_loss(node, SimDuration::from_micros(micros));
+        }
+        if let Ok(v) = env::var("OMPSS_HEARTBEAT_PERIOD_US") {
+            self.heartbeat_period = SimDuration::from_micros(
+                v.parse().expect("OMPSS_HEARTBEAT_PERIOD_US: not an integer"),
+            );
+        }
+        if let Ok(v) = env::var("OMPSS_LEASE_WINDOW_US") {
+            self.lease_window =
+                SimDuration::from_micros(v.parse().expect("OMPSS_LEASE_WINDOW_US: not an integer"));
+        }
+        if let Ok(v) = env::var("OMPSS_LINEAGE_DEPTH") {
+            self.lineage_depth_budget = v.parse().expect("OMPSS_LINEAGE_DEPTH: not an integer");
         }
         self
     }

@@ -17,7 +17,7 @@
 //! send `Done` back; the master releases successors and refills the
 //! node up to `resources + presend` tasks in flight.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
@@ -28,9 +28,11 @@ use ompss_core::{Device, TaskGraph, TaskId};
 use ompss_cudasim::{GpuDevice, GpuFault, KernelCost};
 use ompss_mem::Region;
 use ompss_mem::{MemoryManager, SpaceId};
-use ompss_net::{AmEndpoint, NodeId};
+use ompss_net::{AmEndpoint, Fabric, LeaseTracker, NodeId};
 use ompss_sched::{LocalityOracle, ResourceId, Scheduler};
-use ompss_sim::{Bell, Ctx, FaultClass, FaultPlan, Latch, RunError, SimDuration, SimResult};
+use ompss_sim::{
+    Bell, Ctx, FaultClass, FaultPlan, Latch, RunError, Signal, SimDuration, SimResult,
+};
 
 use crate::exec::{ClusterMsg, RtExec};
 use crate::recover::Reliability;
@@ -72,6 +74,13 @@ pub(crate) struct MasterState {
     /// unused): decremented by `GpuDown` notifications so the comm
     /// thread stops dispatching CUDA tasks to a GPU-less node.
     pub cuda_alive: Vec<u32>,
+    /// Tasks dispatched to each node and not yet completed or handed
+    /// back (index 0 unused) — the re-home set when a node is lost.
+    pub dispatched: Vec<BTreeSet<TaskId>>,
+    /// Nodes the lease protocol has declared dead (index 0 unused): the
+    /// comm thread stops dispatching to them and stale notifications
+    /// from them are ignored.
+    pub node_dead: Vec<bool>,
 }
 
 /// Per-slave-node state.
@@ -83,6 +92,11 @@ pub(crate) struct SlaveState {
     /// freshly arrived CUDA tasks the node can no longer serve back to
     /// the master (covers `Exec`s that raced the `GpuDown` notice).
     pub gpu_lost: AtomicBool,
+    /// Ground truth of a planned node-kill: set at the fault instant.
+    /// The node's own processes observe it and stop before committing
+    /// anything further; the *master* reacts only once the lease
+    /// protocol detects the silence.
+    pub dead: AtomicBool,
 }
 
 /// Everything the service processes share.
@@ -117,6 +131,17 @@ pub(crate) struct RtShared {
     /// Reliable-delivery state for control messages; `Some` exactly
     /// when `faults` is (plain sends otherwise — the paper's protocol).
     pub rel: Option<Arc<Reliability>>,
+    /// Lease bookkeeping of the heartbeat protocol; `Some` exactly when
+    /// node-loss chaos is armed (disarmed runs track nothing and send
+    /// nothing).
+    pub lease: Option<Mutex<LeaseTracker>>,
+    /// Every space of each node (host first, then its GPUs) — the purge
+    /// set when that node dies.
+    pub node_spaces: Vec<Vec<SpaceId>>,
+    /// Set by the main program when it returns: chaos daemons (lease
+    /// monitor, planned node-kill) stand down instead of holding timed
+    /// events that would keep virtual time marching past the makespan.
+    pub done: Signal,
 }
 
 /// How one attempt at a task body ended.
@@ -129,6 +154,10 @@ pub(crate) enum BodyOutcome {
     Failed,
     /// The executing GPU was lost outright (GPU flavour only).
     DeviceLost,
+    /// The executing *node* was killed while the body ran: nothing was
+    /// committed, no completion is sent, and the acquired copies are
+    /// left for the master's purge — the worker just stops.
+    Abandoned,
 }
 
 impl RtShared {
@@ -157,6 +186,13 @@ impl RtShared {
 
     fn record(&self, id: TaskId) -> Arc<TaskRecord> {
         self.master.lock().records.get(&id).expect("unknown task id").clone()
+    }
+
+    /// Ground truth: has `node` been killed? (The master only *acts* on
+    /// this once the lease protocol detects it; the dead node's own
+    /// processes consult it directly — a dead machine stops computing.)
+    pub(crate) fn node_down(&self, node: NodeId) -> bool {
+        node != 0 && self.slaves[node as usize].dead.load(Relaxed)
     }
 
     /// Acquire all of a task's copy accesses in `space` concurrently —
@@ -210,6 +246,7 @@ impl RtShared {
         ctx: &Ctx,
         rec: &TaskRecord,
         space: SpaceId,
+        node: NodeId,
     ) -> SimResult<BodyOutcome> {
         let accesses = rec.copy_accesses();
         let mut locs = Vec::with_capacity(accesses.len());
@@ -247,6 +284,9 @@ impl RtShared {
             }
             return Ok(BodyOutcome::Failed);
         }
+        if self.node_down(node) {
+            return Ok(BodyOutcome::Abandoned);
+        }
         if let Some(body) = &rec.body {
             let requests: Vec<_> = locs
                 .iter()
@@ -278,6 +318,7 @@ impl RtShared {
         ctx: &Ctx,
         rec: &TaskRecord,
         space: SpaceId,
+        node: NodeId,
         stream: &ompss_cudasim::Stream,
         prefetch_next: Option<&TaskRecord>,
     ) -> SimResult<BodyOutcome> {
@@ -340,6 +381,9 @@ impl RtShared {
                 GpuFault::DeviceLost => BodyOutcome::DeviceLost,
                 _ => BodyOutcome::Failed,
             });
+        }
+        if self.node_down(node) {
+            return Ok(BodyOutcome::Abandoned);
         }
         self.coh.commit(ctx, &*self.exec, &accesses, space)?;
         Ok(BodyOutcome::Done)
@@ -447,7 +491,7 @@ pub(crate) fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId, ctx: Ctx
         let mut attempts = 0u32;
         loop {
             let t0 = ctx.now();
-            match shared.run_smp_body(&ctx, &rec, space) {
+            match shared.run_smp_body(&ctx, &rec, space, 0) {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
                     shared.trace_task(&rec, 0, &format!("worker{}", res.0), t0, ctx.now());
@@ -460,6 +504,7 @@ pub(crate) fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId, ctx: Ctx
                     }
                 }
                 Ok(BodyOutcome::DeviceLost) => unreachable!("SMP body cannot lose a device"),
+                Ok(BodyOutcome::Abandoned) => unreachable!("node 0 cannot be killed"),
             }
         }
     }
@@ -521,7 +566,7 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
             // Prefetch only rides the first attempt; a retry must not
             // re-issue it (the copies are already inbound or pinned).
             let pf_arg = if attempts == 0 { pf.as_deref() } else { None };
-            match shared.run_gpu_body(&ctx, &rec, space, &stream, pf_arg) {
+            match shared.run_gpu_body(&ctx, &rec, space, 0, &stream, pf_arg) {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
                     shared.trace_task(&rec, 0, &format!("gpu{}", space.0), t0, ctx.now());
@@ -537,6 +582,7 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
                     shared.master_gpu_lost(&ctx, res, space, tid, next.take());
                     return;
                 }
+                Ok(BodyOutcome::Abandoned) => unreachable!("node 0 cannot be killed"),
             }
         }
     }
@@ -565,6 +611,9 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
             {
                 let tid = {
                     let mut m = shared.master.lock();
+                    if m.node_dead[node as usize] {
+                        continue;
+                    }
                     let (smp_in, cuda_in) = m.inflight[node as usize];
                     if smp_in >= smp_cap && cuda_in >= cuda_cap {
                         continue;
@@ -583,6 +632,7 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
                                 Device::Smp => m.inflight[node as usize].0 += 1,
                                 Device::Cuda => m.inflight[node as usize].1 += 1,
                             }
+                            m.dispatched[node as usize].insert(t);
                             t
                         }
                         None => continue,
@@ -658,12 +708,23 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                 if !ack_fresh(&shared, &ep, &ctx, src, rel) {
                     continue;
                 }
-                {
+                let stale = {
                     let mut m = shared.master.lock();
-                    match m.records[&task].desc.device {
-                        Device::Smp => m.inflight[src as usize].0 -= 1,
-                        Device::Cuda => m.inflight[src as usize].1 -= 1,
+                    if m.node_dead[src as usize] {
+                        // The node was declared dead and this task was
+                        // already re-homed; the straggler is dropped.
+                        true
+                    } else {
+                        match m.records[&task].desc.device {
+                            Device::Smp => m.inflight[src as usize].0 -= 1,
+                            Device::Cuda => m.inflight[src as usize].1 -= 1,
+                        }
+                        m.dispatched[src as usize].remove(&task);
+                        false
                     }
+                };
+                if stale {
+                    continue;
                 }
                 shared.complete_on_master(&ctx, task, shared.proxy_res[src as usize]);
             }
@@ -675,10 +736,14 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                 // and scheduler again, free its in-flight slot.
                 {
                     let mut m = shared.master.lock();
+                    if m.node_dead[src as usize] {
+                        continue;
+                    }
                     match m.records[&task].desc.device {
                         Device::Smp => m.inflight[src as usize].0 -= 1,
                         Device::Cuda => m.inflight[src as usize].1 -= 1,
                     }
+                    m.dispatched[src as usize].remove(&task);
                     m.graph.reset_running(task);
                     let rec = m.records[&task].clone();
                     m.sched.submit(&rec.desc, &shared.master_oracle);
@@ -692,6 +757,9 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                 }
                 {
                     let mut m = shared.master.lock();
+                    if m.node_dead[src as usize] {
+                        continue;
+                    }
                     m.cuda_alive[src as usize] = m.cuda_alive[src as usize].saturating_sub(1);
                     if m.cuda_alive[src as usize] == 0 {
                         // The node can never again serve CUDA: stop
@@ -704,13 +772,20 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                 shared.master_bell.ring(&ctx);
                 shared.comm_bell.ring(&ctx);
             }
+            ClusterMsg::Pong { node } => {
+                if let Some(lease) = &shared.lease {
+                    lease.lock().beat(node, ctx.now());
+                }
+            }
             ClusterMsg::Ack { id } => {
                 if let Some(r) = &shared.rel {
                     r.on_ack(&ctx, id);
                 }
             }
             ClusterMsg::Data => {}
-            ClusterMsg::Exec { .. } => unreachable!("master never receives Exec"),
+            ClusterMsg::Exec { .. } | ClusterMsg::Ping => {
+                unreachable!("master never receives Exec/Ping")
+            }
         }
     }
 }
@@ -724,6 +799,12 @@ pub(crate) fn slave_dispatcher(
     ctx: Ctx,
 ) {
     while let Ok((src, msg)) = ep.poll(&ctx) {
+        if shared.node_down(node) {
+            // A dead machine processes nothing. (The fabric already
+            // suppresses delivery to a killed node; this also covers
+            // messages queued before the kill instant.)
+            return;
+        }
         match msg {
             ClusterMsg::Exec { task, rel } => {
                 if !ack_fresh(&shared, &ep, &ctx, src, rel) {
@@ -754,13 +835,18 @@ pub(crate) fn slave_dispatcher(
                 }
                 slave.bell.ring(&ctx);
             }
+            ClusterMsg::Ping => {
+                // Renew the master's lease on this node. Detached and
+                // unacknowledged by design: a silent node is the signal.
+                let _ = ep.request_short_detached(&ctx, 0, ClusterMsg::Pong { node });
+            }
             ClusterMsg::Ack { id } => {
                 if let Some(r) = &shared.rel {
                     r.on_ack(&ctx, id);
                 }
             }
             ClusterMsg::Data => {}
-            _ => unreachable!("slaves receive only Exec/Ack/Data"),
+            _ => unreachable!("slaves receive only Exec/Ping/Ack/Data"),
         }
     }
 }
@@ -775,6 +861,9 @@ pub(crate) fn slave_smp_worker(
 ) {
     let space = shared.slaves[node as usize].host;
     loop {
+        if shared.node_down(node) {
+            return;
+        }
         let tid = { shared.slaves[node as usize].sched.lock().next(res) };
         let Some(tid) = tid else {
             if shared.slaves[node as usize].bell.wait(&ctx).is_err() {
@@ -786,7 +875,7 @@ pub(crate) fn slave_smp_worker(
         let mut attempts = 0u32;
         loop {
             let t0 = ctx.now();
-            match shared.run_smp_body(&ctx, &rec, space) {
+            match shared.run_smp_body(&ctx, &rec, space, node) {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
                     shared.trace_task(&rec, node, &format!("worker{}", res.0), t0, ctx.now());
@@ -803,6 +892,7 @@ pub(crate) fn slave_smp_worker(
                     }
                 }
                 Ok(BodyOutcome::DeviceLost) => unreachable!("SMP body cannot lose a device"),
+                Ok(BodyOutcome::Abandoned) => return,
             }
         }
     }
@@ -821,6 +911,9 @@ pub(crate) fn slave_gpu_manager(
     let stream = dev.create_stream(&ctx, format!("mgr{}", space.0));
     let mut next: Option<TaskId> = None;
     loop {
+        if shared.node_down(node) {
+            return;
+        }
         let tid = match next.take() {
             Some(t) => t,
             None => {
@@ -856,7 +949,7 @@ pub(crate) fn slave_gpu_manager(
         loop {
             let t0 = ctx.now();
             let pf_arg = if attempts == 0 { pf.as_deref() } else { None };
-            match shared.run_gpu_body(&ctx, &rec, space, &stream, pf_arg) {
+            match shared.run_gpu_body(&ctx, &rec, space, node, &stream, pf_arg) {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
                     shared.trace_task(&rec, node, &format!("gpu{}", space.0), t0, ctx.now());
@@ -876,6 +969,7 @@ pub(crate) fn slave_gpu_manager(
                     slave_gpu_lost(&shared, node, res, space, tid, next.take(), &ep, &ctx);
                     return;
                 }
+                Ok(BodyOutcome::Abandoned) => return,
             }
         }
     }
@@ -925,6 +1019,118 @@ fn slave_gpu_lost(
     slave.bell.ring(ctx);
 }
 
+/// The planned node-kill: at the armed virtual instant the slave's
+/// ground-truth dead flag goes up (its processes stop before their next
+/// commit) and its NIC goes silent — messages to or from it still
+/// occupy the wire but never deliver. Nothing on the master changes
+/// here: detection is the lease protocol's job.
+pub(crate) fn node_kill(
+    shared: Arc<RtShared>,
+    fabric: Fabric<ClusterMsg>,
+    node: NodeId,
+    at: SimDuration,
+    ctx: Ctx,
+) {
+    match shared.done.wait_timeout(&ctx, at) {
+        Ok(false) => {} // the planned instant arrived mid-run: kill
+        _ => return,    // program finished first (or shutdown): stand down
+    }
+    shared.slaves[node as usize].dead.store(true, Relaxed);
+    fabric.kill_node(node);
+    if let Some(plan) = &shared.faults {
+        plan.note_injected(FaultClass::NodeLoss);
+    }
+    // Wake the node's parked processes so they observe the flag and
+    // stop instead of sleeping through their own death.
+    shared.slaves[node as usize].bell.ring(&ctx);
+}
+
+/// The master's lease monitor (armed-only): probes every live slave on
+/// the heartbeat period, charges missed renewals, and hands nodes whose
+/// lease expired to [`master_node_lost`].
+pub(crate) fn lease_monitor(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx: Ctx) {
+    let Some(lease) = &shared.lease else { return };
+    let period = lease.lock().config().period;
+    loop {
+        match shared.done.wait_timeout(&ctx, period) {
+            Ok(false) => {} // a full period elapsed mid-run: probe
+            _ => return,    // program finished (or shutdown): stand down
+        }
+        let dead = {
+            let mut l = lease.lock();
+            let before = l.missed();
+            let dead = l.expired(ctx.now());
+            crate::stats::Counters::add(&shared.counters.heartbeats_missed, l.missed() - before);
+            dead
+        };
+        for node in dead {
+            master_node_lost(&shared, &ctx, node);
+        }
+        let mut any_live = false;
+        for n in 1..shared.cfg.nodes {
+            if !lease.lock().is_declared_dead(n) {
+                any_live = true;
+                let _ = ep.request_short_detached(&ctx, n, ClusterMsg::Ping);
+            }
+        }
+        if !any_live {
+            return;
+        }
+    }
+}
+
+/// Master-side whole-node loss, run at lease expiry — atomically in
+/// virtual time (no yields), so the rest of the machine observes either
+/// the pre-loss or the fully recovered state:
+///
+/// 1. withdraw the node's proxy resource (tasks only it could serve are
+///    fail-closed [`RunError::Exhausted`]),
+/// 2. re-home every task dispatched to it and not yet finished,
+/// 3. abandon reliable exchanges aimed at it (parked senders resolve),
+/// 4. purge its spaces from the coherence directory, and
+/// 5. reconstruct regions whose latest version lived only there by
+///    lineage re-execution ([`crate::lineage`]), rolling the version
+///    back to the rebuilt point so re-homed writers re-commit on top.
+pub(crate) fn master_node_lost(shared: &Arc<RtShared>, ctx: &Ctx, node: NodeId) {
+    crate::stats::Counters::add(&shared.counters.nodes_lost, 1);
+    if let Some(tr) = &shared.tracer {
+        tr.record(TraceEvent::Recovery { kind: "node_lost", task: None, at: ctx.now() });
+    }
+    {
+        let mut m = shared.master.lock();
+        m.node_dead[node as usize] = true;
+        m.cuda_alive[node as usize] = 0;
+        m.inflight[node as usize] = (0, 0);
+        let orphans = m.sched.withdraw(shared.proxy_res[node as usize]);
+        if !orphans.is_empty() {
+            drop(m);
+            ctx.abort_run(RunError::Exhausted {
+                what: format!("placements for tasks only lost node {node} could serve"),
+                attempts: orphans.len() as u32,
+            });
+            return;
+        }
+        let stranded: Vec<TaskId> =
+            std::mem::take(&mut m.dispatched[node as usize]).into_iter().collect();
+        for t in stranded {
+            m.graph.reset_running(t);
+            let rec = m.records[&t].clone();
+            m.sched.submit(&rec.desc, &shared.master_oracle);
+        }
+        if let Some(r) = &shared.rel {
+            r.abandon_node(ctx, node);
+        }
+        let lost = shared.coh.purge_spaces(ctx, &shared.node_spaces[node as usize]);
+        if let Err(e) = crate::lineage::reconstruct(shared, ctx, &m, &lost) {
+            drop(m);
+            ctx.abort_run(e);
+            return;
+        }
+    }
+    shared.master_bell.ring(ctx);
+    shared.comm_bell.ring(ctx);
+}
+
 /// Send one control message: reliably (park until the ack arrives,
 /// retransmitting on timeout) when chaos is armed, as a plain
 /// fire-and-forget active message otherwise.
@@ -938,7 +1144,7 @@ fn send_msg(
 ) {
     match &shared.rel {
         Some(r) => {
-            let _ = r.send_reliable(ctx, &shared.counters, what, |id| {
+            let _ = r.send_reliable(ctx, &shared.counters, what, ep.node(), dst, |id| {
                 ep.request_short(ctx, dst, make(Some(id)))
             });
         }

@@ -72,6 +72,15 @@ pub enum ClusterMsg {
         /// The acknowledged id.
         id: u64,
     },
+    /// Master → slave: liveness probe of the lease protocol. Sent only
+    /// when node-loss chaos is armed; never retried or acknowledged —
+    /// a missing reply *is* the detection signal.
+    Ping,
+    /// Slave → master: lease renewal answering a [`ClusterMsg::Ping`].
+    Pong {
+        /// The replying node.
+        node: NodeId,
+    },
     /// A bulk data payload (byte movement itself is done by the
     /// executor; the message models the wire traffic).
     Data,
@@ -118,7 +127,7 @@ impl TransferExec for RtExec {
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<()> {
+    ) -> SimResult<bool> {
         let t0 = ctx.now();
         match kind {
             HopKind::Pcie => {
@@ -172,13 +181,21 @@ impl TransferExec for RtExec {
                 )?;
             }
         }
-        self.mem.copy(
-            (src.space, src.alloc),
-            src.offset,
-            (dst.space, dst.alloc),
-            dst.offset,
-            bytes,
-        );
+        // The wire/DMA time is spent either way, but if an endpoint's
+        // node has been killed the bytes never land: copying here would
+        // let a stale in-flight transfer clobber data that node-loss
+        // recovery reconstructs at the destination.
+        let delivered = !self.fabric.is_dead(self.node_of[&src.space])
+            && !self.fabric.is_dead(self.node_of[&dst.space]);
+        if delivered {
+            self.mem.copy(
+                (src.space, src.alloc),
+                src.offset,
+                (dst.space, dst.alloc),
+                dst.offset,
+                bytes,
+            );
+        }
         if let Some(tr) = &self.tracer {
             tr.record(TraceEvent::Transfer {
                 medium: match kind {
@@ -190,7 +207,7 @@ impl TransferExec for RtExec {
                 end: ctx.now(),
             });
         }
-        Ok(())
+        Ok(delivered)
     }
 }
 

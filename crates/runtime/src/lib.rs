@@ -42,6 +42,7 @@
 mod config;
 mod engine;
 mod exec;
+mod lineage;
 mod recover;
 mod runtime;
 pub mod stats;

@@ -30,11 +30,17 @@ use crate::stats::Counters;
 /// unique by construction).
 pub(crate) struct Reliability {
     next_id: AtomicU64,
-    /// Unacknowledged sends, keyed by message id; the signal wakes the
-    /// blocked sender when the ack arrives.
-    pending: Mutex<HashMap<u64, Signal>>,
+    /// Unacknowledged sends, keyed by message id; each carries its
+    /// endpoint nodes `(src, dst)` (so node-loss recovery can abandon
+    /// every exchange touching a dead peer — aimed at it, or stuck on
+    /// it when it died) and the signal that wakes the blocked sender
+    /// when the ack arrives.
+    pending: Mutex<HashMap<u64, (u32, u32, Signal)>>,
     /// Every id already processed by a receiver (dedup).
     seen: Mutex<HashSet<u64>>,
+    /// Nodes declared dead: sends to them resolve immediately instead
+    /// of burning the retransmit budget on a peer that cannot answer.
+    dead: Mutex<HashSet<u32>>,
     /// First ack wait; doubles per retransmission.
     base_timeout: SimDuration,
     /// Retransmissions allowed before the run aborts.
@@ -49,26 +55,39 @@ impl Reliability {
             next_id: AtomicU64::new(0),
             pending: Mutex::new(HashMap::new()),
             seen: Mutex::new(HashSet::new()),
+            dead: Mutex::new(HashSet::new()),
             base_timeout,
             budget,
         }
     }
 
-    /// Send a message built by `send(id)` and park until its ack
-    /// arrives, retransmitting on timeout. Each retransmission doubles
-    /// the wait and bumps `am_retries`. When the budget is exhausted
-    /// the whole run is aborted with [`RunError::Exhausted`] — an
-    /// unreachable peer is unrecoverable.
+    /// Send a message from node `src` to node `dst` built by `send(id)`
+    /// and park until its ack arrives, retransmitting on timeout. Each
+    /// retransmission doubles the wait and bumps `am_retries`. When the
+    /// budget is exhausted the whole run is aborted with
+    /// [`RunError::Exhausted`] — an unreachable peer is unrecoverable,
+    /// unless node-loss recovery declared either endpoint dead, in
+    /// which case the exchange is abandoned as delivered (the recovery
+    /// path re-homes whatever the message was about, and a sender on a
+    /// dead node is about to observe its own death and stand down).
     pub fn send_reliable(
         &self,
         ctx: &Ctx,
         counters: &Counters,
         what: &str,
+        src: u32,
+        dst: u32,
         mut send: impl FnMut(u64) -> SimResult<()>,
     ) -> SimResult<()> {
+        {
+            let dead = self.dead.lock();
+            if dead.contains(&dst) || dead.contains(&src) {
+                return Ok(());
+            }
+        }
         let id = self.next_id.fetch_add(1, Relaxed);
         let sig = Signal::new();
-        self.pending.lock().insert(id, sig.clone());
+        self.pending.lock().insert(id, (src, dst, sig.clone()));
         let mut timeout = self.base_timeout;
         let attempts = self.budget.saturating_add(1);
         for attempt in 0..attempts {
@@ -87,10 +106,26 @@ impl Reliability {
             .abort_run(RunError::Exhausted { what: format!("{what} retransmissions"), attempts }))
     }
 
+    /// Node `node` died: wake every sender blocked on an exchange
+    /// touching it — sends aimed at it *and* sends stuck on it (the
+    /// fabric silences a dead node in both directions, so neither kind
+    /// of exchange can ever complete) — and short-circuit all future
+    /// sends involving it. Idempotent.
+    pub fn abandon_node(&self, ctx: &Ctx, node: u32) {
+        self.dead.lock().insert(node);
+        let mut pending = self.pending.lock();
+        for (_, (src, dst, sig)) in pending.iter() {
+            if *dst == node || *src == node {
+                sig.set(ctx);
+            }
+        }
+        pending.retain(|_, (src, dst, _)| *dst != node && *src != node);
+    }
+
     /// An ack for `id` arrived: wake its sender. Idempotent (duplicate
     /// acks, or acks racing a concurrent timeout, are no-ops).
     pub fn on_ack(&self, ctx: &Ctx, id: u64) {
-        if let Some(sig) = self.pending.lock().remove(&id) {
+        if let Some((_, _, sig)) = self.pending.lock().remove(&id) {
             sig.set(ctx);
         }
     }
@@ -120,7 +155,7 @@ mod tests {
         let sim = Sim::new();
         sim.spawn("sender", move |ctx| {
             let r3 = &r2;
-            r2.send_reliable(&ctx, &c2, "test", |id| {
+            r2.send_reliable(&ctx, &c2, "test", 0, 1, |id| {
                 if s2.fetch_add(1, Relaxed) == 0 {
                     return Ok(()); // the first copy vanishes on the wire
                 }
@@ -144,13 +179,50 @@ mod tests {
         let counters = Arc::new(Counters::new());
         let sim = Sim::new();
         sim.spawn("sender", move |ctx| {
-            let r = rel.send_reliable(&ctx, &counters, "exec", |_| Ok(()));
+            let r = rel.send_reliable(&ctx, &counters, "exec", 0, 1, |_| Ok(()));
             assert!(r.is_err(), "an unacknowledged message must fail the send");
         });
         match sim.run() {
             Err(RunError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
             other => panic!("expected Exhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn abandon_to_resolves_pending_and_future_sends_to_a_dead_node() {
+        let rel = Arc::new(Reliability::new(SimDuration::from_micros(50), 2));
+        let counters = Arc::new(Counters::new());
+        let (r2, c2) = (rel.clone(), counters.clone());
+        let sim = Sim::new();
+        sim.spawn("sender", move |ctx| {
+            let r3 = r2.clone();
+            ctx.spawn_daemon("reaper", move |actx| {
+                let _ = actx.delay(SimDuration::from_micros(10));
+                r3.abandon_node(&actx, 2);
+            });
+            // Never acked, but abandoned before any retransmission: the
+            // exchange resolves without burning the budget or aborting.
+            r2.send_reliable(&ctx, &c2, "exec", 0, 2, |_| Ok(()))
+                .expect("abandoned exchange resolves as delivered");
+            // Sends to an already-dead node return immediately.
+            let t0 = ctx.now();
+            r2.send_reliable(&ctx, &c2, "exec", 0, 2, |_| panic!("must not hit the wire"))
+                .expect("dead-node send short-circuits");
+            assert_eq!(ctx.now(), t0);
+            // Exchanges with live nodes still work as before.
+            let r4 = r2.clone();
+            r2.send_reliable(&ctx, &c2, "done", 1, 0, |id| {
+                let r5 = r4.clone();
+                ctx.spawn_daemon("acker", move |actx| {
+                    let _ = actx.delay(SimDuration::from_micros(1));
+                    r5.on_ack(&actx, id);
+                });
+                Ok(())
+            })
+            .expect("live exchange unaffected");
+        });
+        sim.run().expect("run completes");
+        assert_eq!(counters.snapshot().am_retries, 0);
     }
 
     #[test]

@@ -29,9 +29,9 @@ use ompss_sim::{
 
 use crate::config::RuntimeConfig;
 use crate::engine::{
-    comm_thread, device_has_resource, master_dispatcher, master_gpu_manager, master_smp_worker,
-    slave_dispatcher, slave_gpu_manager, slave_smp_worker, MasterState, RtShared, SlaveState,
-    SpanOracle,
+    comm_thread, device_has_resource, lease_monitor, master_dispatcher, master_gpu_manager,
+    master_smp_worker, node_kill, slave_dispatcher, slave_gpu_manager, slave_smp_worker,
+    MasterState, RtShared, SlaveState, SpanOracle,
 };
 use crate::exec::RtExec;
 use crate::recover::Reliability;
@@ -197,7 +197,8 @@ impl ToJson for RunReport {
                     .field("copy_corrupt", f.count(FaultClass::CopyCorrupt))
                     .field("device_loss", f.count(FaultClass::DeviceLoss))
                     .field("sim_stall", f.count(FaultClass::SimStall))
-                    .field("sim_timeout", f.count(FaultClass::SimTimeout)),
+                    .field("sim_timeout", f.count(FaultClass::SimTimeout))
+                    .field("node_loss", f.count(FaultClass::NodeLoss)),
             );
         }
         j
@@ -495,16 +496,25 @@ impl Runtime {
         // ---- chaos arming ---------------------------------------------
         let faults: Option<Arc<FaultPlan>> = match &cfg.fault_plan {
             Some(plan) => Some(plan.clone()),
-            None if cfg.fault_rate > 0.0 => {
+            None if cfg.fault_rate > 0.0 || cfg.node_loss.is_some() => {
                 Some(Arc::new(FaultPlan::new(cfg.fault_seed, cfg.fault_rate)))
             }
             None => None,
         };
-        // Recovery assumes a failed or lost device never holds the only
-        // up-to-date copy of anything, so chaos pins write-back caching
-        // down to write-through (commit leaves device copies clean).
+        if let (Some(plan), Some((node, at))) = (&faults, cfg.node_loss) {
+            assert!(node < cfg.nodes, "node-loss target {node} outside the cluster");
+            plan.arm_node_loss(node, at.as_nanos());
+        }
+        // Rate-based recovery assumes a failed or lost device never
+        // holds the only up-to-date copy of anything, so that chaos pins
+        // write-back caching down to write-through (commit leaves device
+        // copies clean). Node loss keeps the configured policy: lineage
+        // reconstruction exists precisely to rebuild dirty data the dead
+        // node took with it.
         let mut cfg = cfg;
-        if faults.is_some() && cfg.cache_policy == CachePolicy::WriteBack {
+        if (cfg.fault_plan.is_some() || cfg.fault_rate > 0.0)
+            && cfg.cache_policy == CachePolicy::WriteBack
+        {
             cfg.cache_policy = CachePolicy::WriteThrough;
         }
         let cfg = cfg;
@@ -630,6 +640,7 @@ impl Runtime {
             bell: Bell::new(),
             host: hosts[0],
             gpu_lost: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
         }];
         let mut slave_oracles =
             vec![SpanOracle { coh: coh.clone(), spans: std::collections::HashMap::new() }];
@@ -661,19 +672,33 @@ impl Runtime {
                 bell: Bell::new(),
                 host: hosts[n],
                 gpu_lost: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
             });
             slave_oracles
                 .push(SpanOracle { coh: coh.clone(), spans: std::collections::HashMap::new() });
             slave_res.push((workers, gres));
         }
 
+        // Per-node purge set for node loss: losing a node loses its host
+        // memory and every GPU attached to it.
+        let node_spaces: Vec<Vec<SpaceId>> = (0..cfg.nodes as usize)
+            .map(|n| {
+                let mut v = vec![hosts[n]];
+                v.extend(gpu_spaces[n].iter().copied());
+                v
+            })
+            .collect();
+        let mut graph = TaskGraph::new();
+        if cfg.node_loss.is_some() {
+            graph.enable_lineage(cfg.lineage_depth_budget);
+        }
         let shared = Arc::new(RtShared {
             cfg: cfg.clone(),
             mem: mem.clone(),
             coh: coh.clone(),
             exec,
             master: Mutex::new(MasterState {
-                graph: TaskGraph::new(),
+                graph,
                 sched,
                 records: std::collections::HashMap::new(),
                 next_id: 0,
@@ -681,6 +706,8 @@ impl Runtime {
                 tasks_executed: 0,
                 newly_scratch: Vec::new(),
                 cuda_alive: vec![cfg.gpus_per_node; cfg.nodes as usize],
+                dispatched: vec![std::collections::BTreeSet::new(); cfg.nodes as usize],
+                node_dead: vec![false; cfg.nodes as usize],
             }),
             master_bell: Bell::new(),
             comm_bell: Bell::new(),
@@ -696,6 +723,18 @@ impl Runtime {
             verify: cfg.verify.then(|| Arc::new(VerifySink::new())),
             faults: faults.clone(),
             rel,
+            lease: cfg.node_loss.is_some().then(|| {
+                Mutex::new(ompss_net::LeaseTracker::new(
+                    ompss_net::LeaseConfig {
+                        period: cfg.heartbeat_period,
+                        window: cfg.lease_window,
+                    },
+                    (1..cfg.nodes).collect(),
+                    SimTime(0),
+                ))
+            }),
+            node_spaces,
+            done: ompss_sim::Signal::new(),
         });
 
         // ---- processes ------------------------------------------------
@@ -741,6 +780,16 @@ impl Runtime {
                     });
                 }
             }
+            if cfg.node_loss.is_some() {
+                let sh = shared.clone();
+                let ep = am.endpoint(0);
+                sim.spawn_daemon("node0:lease", move |ctx| lease_monitor(sh, ep, ctx));
+            }
+            if let Some((node, at)) = cfg.node_loss {
+                let sh = shared.clone();
+                let fabric = am.fabric_clone();
+                sim.spawn_daemon("chaos:nodekill", move |ctx| node_kill(sh, fabric, node, at, ctx));
+            }
         }
 
         // ---- main program ---------------------------------------------
@@ -754,9 +803,21 @@ impl Runtime {
             // Implicit final taskwait with flush (end of OmpSs program).
             omp.taskwait();
             *result2.lock() = Some((start, omp.ctx.now()));
+            // Program over: release the chaos daemons (lease monitor,
+            // planned kill) so their timers stop driving virtual time.
+            omp.shared.done.set(&omp.ctx);
         });
 
-        let run = sim.run()?;
+        // Tag failures from armed-chaos runs with the fault coordinates
+        // so a sweep harness can reproduce the exact run from the error
+        // alone.
+        let run = match sim.run() {
+            Ok(run) => run,
+            Err(e) if faults.is_some() => {
+                return Err(e.with_fault_context(cfg.fault_seed, cfg.fault_rate))
+            }
+            Err(e) => return Err(e),
+        };
         if let Some(plan) = &faults {
             Counters::add(&counters.msgs_dropped, plan.stats().count(FaultClass::NetDrop));
         }

@@ -63,6 +63,15 @@ pub struct Counters {
     pub devices_lost: AtomicU64,
     /// Messages the fault plan dropped on the wire.
     pub msgs_dropped: AtomicU64,
+    /// Whole slave nodes lost to planned node-kill chaos.
+    pub nodes_lost: AtomicU64,
+    /// Completed tasks re-executed by lineage reconstruction to rebuild
+    /// data that lived only on a dead node.
+    pub tasks_relineaged: AtomicU64,
+    /// Bytes of lost region data rebuilt at the master home.
+    pub bytes_reconstructed: AtomicU64,
+    /// Heartbeat probe periods that elapsed without a lease renewal.
+    pub heartbeats_missed: AtomicU64,
     busy: Mutex<BTreeMap<ResourceKey, ResourceBusy>>,
 }
 
@@ -105,6 +114,10 @@ impl Counters {
             tasks_reexecuted: self.tasks_reexecuted.load(Relaxed),
             devices_lost: self.devices_lost.load(Relaxed),
             msgs_dropped: self.msgs_dropped.load(Relaxed),
+            nodes_lost: self.nodes_lost.load(Relaxed),
+            tasks_relineaged: self.tasks_relineaged.load(Relaxed),
+            bytes_reconstructed: self.bytes_reconstructed.load(Relaxed),
+            heartbeats_missed: self.heartbeats_missed.load(Relaxed),
             resources: self.busy_snapshot(),
         }
     }
@@ -137,6 +150,14 @@ pub struct CounterSnapshot {
     pub devices_lost: u64,
     /// Messages the fault plan dropped on the wire.
     pub msgs_dropped: u64,
+    /// Whole slave nodes lost to planned node-kill chaos.
+    pub nodes_lost: u64,
+    /// Completed tasks re-executed by lineage reconstruction.
+    pub tasks_relineaged: u64,
+    /// Bytes of lost region data rebuilt at the master home.
+    pub bytes_reconstructed: u64,
+    /// Heartbeat probe periods elapsed without a lease renewal.
+    pub heartbeats_missed: u64,
     /// Per-resource activity, sorted by `(node, name)`.
     pub resources: Vec<(ResourceKey, ResourceBusy)>,
 }
@@ -190,7 +211,11 @@ impl ToJson for CounterSnapshot {
                     .field("am_retries", self.am_retries)
                     .field("tasks_reexecuted", self.tasks_reexecuted)
                     .field("devices_lost", self.devices_lost)
-                    .field("msgs_dropped", self.msgs_dropped),
+                    .field("msgs_dropped", self.msgs_dropped)
+                    .field("nodes_lost", self.nodes_lost)
+                    .field("tasks_relineaged", self.tasks_relineaged)
+                    .field("bytes_reconstructed", self.bytes_reconstructed)
+                    .field("heartbeats_missed", self.heartbeats_missed),
             )
             .field("resources", resources)
     }
@@ -247,6 +272,10 @@ mod tests {
         assert_eq!(rec.get("tasks_reexecuted"), Some(&Json::U64(1)));
         assert_eq!(rec.get("devices_lost"), Some(&Json::U64(0)));
         assert_eq!(rec.get("msgs_dropped"), Some(&Json::U64(0)));
+        assert_eq!(rec.get("nodes_lost"), Some(&Json::U64(0)));
+        assert_eq!(rec.get("tasks_relineaged"), Some(&Json::U64(0)));
+        assert_eq!(rec.get("bytes_reconstructed"), Some(&Json::U64(0)));
+        assert_eq!(rec.get("heartbeats_missed"), Some(&Json::U64(0)));
         let r = j.get("resources").expect("counter json lost its 'resources' field");
         assert_eq!(
             r,

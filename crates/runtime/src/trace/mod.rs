@@ -57,7 +57,8 @@ pub enum TraceEvent {
     },
     /// The runtime recovered from an injected fault.
     Recovery {
-        /// `"task_retry"` or `"device_lost"`.
+        /// `"task_retry"`, `"device_lost"`, `"node_lost"` or
+        /// `"relineage"`.
         kind: &'static str,
         /// The affected task, when one was in hand.
         task: Option<u64>,

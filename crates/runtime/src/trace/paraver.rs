@@ -46,6 +46,8 @@ pub fn recovery_kind_id(kind: &str) -> u64 {
     match kind {
         "task_retry" => 1,
         "device_lost" => 2,
+        "node_lost" => 3,
+        "relineage" => 4,
         _ => 99,
     }
 }

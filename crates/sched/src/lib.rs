@@ -275,6 +275,19 @@ impl Scheduler {
         self.global.extend(orphans);
     }
 
+    /// Withdraw `resource` entirely — whole-node loss, the
+    /// generalisation of [`deactivate`](Scheduler::deactivate) (a lost
+    /// GPU) and [`forbid`](Scheduler::forbid) (a node that can no longer
+    /// run one device kind): the resource is taken out of service for
+    /// *every* device kind, its queued placements and hints migrate to
+    /// the global queue, and any task **no surviving resource can
+    /// serve** is drained out and returned for the caller to fail
+    /// closed on. Idempotent.
+    pub fn withdraw(&mut self, resource: ResourceId) -> Vec<TaskId> {
+        self.deactivate(resource);
+        self.drain_unservable()
+    }
+
     /// Can `resource` currently be handed a `device`-kind task?
     fn serves(&self, resource: usize, device: Device) -> bool {
         self.active[resource]
@@ -884,6 +897,28 @@ mod tests {
         s.forbid(p, Device::Cuda);
         assert_eq!(s.drain_unservable(), vec![TaskId(0)]);
         assert_eq!(s.next(p), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn withdraw_rehomes_servable_work_and_returns_the_rest() {
+        let mut s = Scheduler::new(Policy::Affinity);
+        let proxy =
+            ResourceInfo { kind: ResourceKind::NodeProxy, space: SpaceId(20), steal_group: 1 };
+        let p = s.register(proxy);
+        let w = s.register(smp(0));
+        let oracle = MapOracle(HashMap::from([((1, 20), 64)]));
+        // An SMP task placed on the proxy (survivable by the worker) and
+        // a CUDA task only the proxy could ever serve.
+        s.submit(&desc(0, Device::Smp, &[(1, 0, 64)]), &oracle);
+        s.submit(&desc(1, Device::Cuda, &[(1, 0, 64)]), &oracle);
+        let orphans = s.withdraw(p);
+        assert_eq!(orphans, vec![TaskId(1)], "unservable CUDA task is surfaced");
+        assert!(!s.is_active(p));
+        assert_eq!(s.next(p), None, "a withdrawn node is handed nothing");
+        assert_eq!(s.next(w), Some(TaskId(0)), "SMP work re-homed to the survivor");
+        assert_eq!(s.queued(), 0);
+        // Idempotent.
+        assert!(s.withdraw(p).is_empty());
     }
 
     #[test]

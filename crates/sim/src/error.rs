@@ -80,6 +80,26 @@ pub enum RunError {
     },
 }
 
+impl RunError {
+    /// Tag this error with the fault plan that produced the run, so any
+    /// chaos failure is reproducible from its message alone. The tag is
+    /// appended to the variant's existing string payload (the `what`,
+    /// panic message, queue name, or the stuck-process list) — the enum
+    /// shape is unchanged, so callers matching on variants still work.
+    pub fn with_fault_context(mut self, seed: u64, rate: f64) -> RunError {
+        let tag = format!(" [fault_seed={seed} fault_rate={rate}]");
+        match &mut self {
+            RunError::Deadlock(names) => {
+                names.push(format!("(fault_seed={seed} fault_rate={rate})"))
+            }
+            RunError::ProcessPanic(_, msg) => msg.push_str(&tag),
+            RunError::Exhausted { what, .. } => what.push_str(&tag),
+            RunError::QueueOverflow { queue, .. } => queue.push_str(&tag),
+        }
+        self
+    }
+}
+
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -100,3 +120,33 @@ impl fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_context_lands_in_display_of_every_variant() {
+        let errs = [
+            RunError::Deadlock(vec!["p0".into()]),
+            RunError::ProcessPanic("p".into(), "boom".into()),
+            RunError::Exhausted { what: "x".into(), attempts: 3 },
+            RunError::QueueOverflow { queue: "q".into(), capacity: 8 },
+        ];
+        for e in errs {
+            let tagged = e.with_fault_context(42, 0.05);
+            let shown = tagged.to_string();
+            assert!(shown.contains("fault_seed=42"), "missing seed in: {shown}");
+            assert!(shown.contains("fault_rate=0.05"), "missing rate in: {shown}");
+        }
+    }
+
+    #[test]
+    fn fault_context_preserves_variant_shape() {
+        let e = RunError::Exhausted { what: "task t".into(), attempts: 2 };
+        match e.with_fault_context(1, 0.1) {
+            RunError::Exhausted { attempts: 2, .. } => {}
+            other => panic!("variant changed: {other:?}"),
+        }
+    }
+}

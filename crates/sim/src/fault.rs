@@ -38,10 +38,16 @@ pub enum FaultClass {
     SimStall = 6,
     /// `sim`: an SMP task times out — its body never runs this attempt.
     SimTimeout = 7,
+    /// `runtime`: a whole slave node dies — its GPUs, host space,
+    /// in-flight messages and queued tasks — at a planned virtual
+    /// instant. Never drawn from the rate stream: node loss is armed
+    /// explicitly via [`with_node_loss`](FaultPlan::with_node_loss) so a
+    /// kill names one exact `(node, instant)`.
+    NodeLoss = 8,
 }
 
 /// All classes, in discriminant order (report/iteration order).
-pub const FAULT_CLASSES: [FaultClass; 8] = [
+pub const FAULT_CLASSES: [FaultClass; 9] = [
     FaultClass::NetDrop,
     FaultClass::NetDup,
     FaultClass::NetDelay,
@@ -50,6 +56,7 @@ pub const FAULT_CLASSES: [FaultClass; 8] = [
     FaultClass::DeviceLoss,
     FaultClass::SimStall,
     FaultClass::SimTimeout,
+    FaultClass::NodeLoss,
 ];
 
 impl FaultClass {
@@ -64,6 +71,7 @@ impl FaultClass {
             FaultClass::DeviceLoss => "device_loss",
             FaultClass::SimStall => "sim_stall",
             FaultClass::SimTimeout => "sim_timeout",
+            FaultClass::NodeLoss => "node_loss",
         }
     }
 }
@@ -84,6 +92,11 @@ pub struct FaultPlan {
     draws: [AtomicU64; N],
     /// Faults actually injected per class.
     injected: [AtomicU64; N],
+    /// Planned whole-node kill: the slave node index, or `u64::MAX` when
+    /// no kill is armed. Node loss never rides the rate stream.
+    node_loss_node: AtomicU64,
+    /// Virtual instant (ns) of the planned kill.
+    node_loss_at_ns: AtomicU64,
 }
 
 impl FaultPlan {
@@ -103,7 +116,19 @@ impl FaultPlan {
         rates[FaultClass::DeviceLoss as usize] = rate / 8.0;
         rates[FaultClass::SimStall as usize] = rate;
         rates[FaultClass::SimTimeout as usize] = rate / 4.0;
-        Self { seed, rates, force: zeros(), draws: zeros(), injected: zeros() }
+        // NodeLoss stays at rate 0: whole-node kills are armed explicitly
+        // (`with_node_loss`), never drawn — keeping the rate-sweep streams
+        // of the other classes byte-identical to pre-node-loss plans.
+        rates[FaultClass::NodeLoss as usize] = 0.0;
+        Self {
+            seed,
+            rates,
+            force: zeros(),
+            draws: zeros(),
+            injected: zeros(),
+            node_loss_node: AtomicU64::new(u64::MAX),
+            node_loss_at_ns: AtomicU64::new(0),
+        }
     }
 
     /// A plan that never fires on its own — combine with
@@ -122,6 +147,33 @@ impl FaultPlan {
     pub fn with_forced(self, class: FaultClass, n: u64) -> Self {
         self.force[class as usize].store(n, Relaxed);
         self
+    }
+
+    /// Plan the loss of slave `node` at virtual instant `at_ns`.
+    /// Builder form of [`arm_node_loss`](FaultPlan::arm_node_loss).
+    pub fn with_node_loss(self, node: u32, at_ns: u64) -> Self {
+        self.arm_node_loss(node, at_ns);
+        self
+    }
+
+    /// Plan the loss of slave `node` at virtual instant `at_ns` on an
+    /// already-shared plan.
+    pub fn arm_node_loss(&self, node: u32, at_ns: u64) {
+        self.node_loss_node.store(node as u64, Relaxed);
+        self.node_loss_at_ns.store(at_ns, Relaxed);
+    }
+
+    /// The planned `(node, instant ns)` kill, if one is armed.
+    pub fn node_loss(&self) -> Option<(u32, u64)> {
+        let node = self.node_loss_node.load(Relaxed);
+        (node != u64::MAX).then(|| (node as u32, self.node_loss_at_ns.load(Relaxed)))
+    }
+
+    /// Record that a planned (non-drawn) fault of `class` was injected —
+    /// the node-kill daemon calls this at the kill instant so the stats
+    /// count the loss without consuming a rate-stream draw.
+    pub fn note_injected(&self, class: FaultClass) {
+        self.injected[class as usize].fetch_add(1, Relaxed);
     }
 
     /// Should the next fault of `class` fire? Pure in `(seed, class,
@@ -304,6 +356,20 @@ mod tests {
             p.decide(FaultClass::NetDelay);
             q.decide(FaultClass::NetDelay);
         }
+    }
+
+    #[test]
+    fn node_loss_is_armed_explicitly_never_drawn() {
+        let p = FaultPlan::new(11, 1.0);
+        assert_eq!(p.node_loss(), None, "rate alone must not plan a kill");
+        assert!(!p.decide(FaultClass::NodeLoss), "node loss never rides the rate stream");
+        p.arm_node_loss(1, 250_000);
+        assert_eq!(p.node_loss(), Some((1, 250_000)));
+        assert_eq!(p.stats().count(FaultClass::NodeLoss), 0);
+        p.note_injected(FaultClass::NodeLoss);
+        assert_eq!(p.stats().count(FaultClass::NodeLoss), 1);
+        let q = FaultPlan::quiet(11).with_node_loss(0, 7);
+        assert_eq!(q.node_loss(), Some((0, 7)));
     }
 
     #[test]
