@@ -7,6 +7,7 @@
 #   ./ci.sh verify   # only the ompss-verify sweep over the apps
 #   ./ci.sh chaos    # only the fault-injection sweep over the apps
 #   ./ci.sh bench    # wall-clock spine: fail on >20% macro regression
+#   ./ci.sh scale    # 1000-node cluster demonstration (release)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,6 +28,11 @@ bench() {
     cargo run -q --release -p ompss-bench --bin bench_sim -- --check
 }
 
+scale() {
+    echo "==> 1000-node cluster demonstration (release, in-memory)"
+    cargo test -q --release -p ompss-runtime --test runtime_tests -- --ignored thousand_node
+}
+
 if [[ "${1:-}" == "verify" ]]; then
     verify
     echo "CI green."
@@ -45,6 +51,12 @@ if [[ "${1:-}" == "bench" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "scale" ]]; then
+    scale
+    echo "CI green."
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -54,6 +66,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> cargo build --release"
     cargo build --release
+    scale
 fi
 
 echo "==> cargo test"

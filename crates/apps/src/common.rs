@@ -7,12 +7,13 @@
 //! source files so that Table I's line counting compares only the code
 //! a programmer writes differently per model.
 
+use std::future::Future;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use ompss_net::{FabricConfig, Mpi, MpiRank};
-use ompss_sim::{Ctx, Sim, SimDuration, SimTime};
+use ompss_sim::{Sim, SimDuration, SimTime};
 
 /// Outcome of one application run.
 #[derive(Debug, Clone)]
@@ -29,14 +30,17 @@ pub struct AppRun {
     pub report: Option<ompss_runtime::RunReport>,
 }
 
-/// Run `f` as the only process of a fresh simulation and return its
+/// Run `fut` as the only process of a fresh simulation and return its
 /// result.
-pub fn run_single<R: Send + 'static>(name: &str, f: impl FnOnce(&Ctx) -> R + Send + 'static) -> R {
+pub fn run_single<R: Send + 'static>(
+    name: &str,
+    fut: impl Future<Output = R> + Send + 'static,
+) -> R {
     let out: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
     let out2 = out.clone();
     let sim = Sim::new();
-    sim.spawn(name.to_string(), move |ctx| {
-        *out2.lock() = Some(f(&ctx));
+    sim.spawn(name.to_string(), async move {
+        *out2.lock() = Some(fut.await);
     });
     sim.run().expect("simulation failed");
     let r = out.lock().take().expect("process completed");
@@ -45,11 +49,12 @@ pub fn run_single<R: Send + 'static>(name: &str, f: impl FnOnce(&Ctx) -> R + Sen
 
 /// Run one process per MPI rank over a fresh fabric; returns each
 /// rank's result in rank order.
-pub fn run_mpi_ranks<R: Send + 'static>(
-    nodes: u32,
-    fabric: FabricConfig,
-    f: impl Fn(MpiRank, &Ctx) -> R + Send + Sync + 'static,
-) -> Vec<R> {
+pub fn run_mpi_ranks<R, F, Fut>(nodes: u32, fabric: FabricConfig, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(MpiRank) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = R> + Send + 'static,
+{
     assert_eq!(fabric.nodes, nodes);
     let mpi = Mpi::new(fabric);
     let outs: Arc<Vec<Mutex<Option<R>>>> = Arc::new((0..nodes).map(|_| Mutex::new(None)).collect());
@@ -59,8 +64,8 @@ pub fn run_mpi_ranks<R: Send + 'static>(
         let rank = mpi.rank(r);
         let outs = outs.clone();
         let f = f.clone();
-        sim.spawn(format!("rank{r}"), move |ctx| {
-            let v = f(rank, &ctx);
+        sim.spawn(format!("rank{r}"), async move {
+            let v = f(rank).await;
             *outs[r as usize].lock() = Some(v);
         });
     }
@@ -127,16 +132,21 @@ mod tests {
 
     #[test]
     fn run_single_returns_value() {
-        let v = run_single("t", |ctx| {
-            ctx.delay(SimDuration::from_millis(1)).unwrap();
-            ctx.now().as_nanos()
+        let v = run_single("t", async {
+            ompss_sim::delay(SimDuration::from_millis(1)).await.unwrap();
+            ompss_sim::now().as_nanos()
         });
         assert_eq!(v, 1_000_000);
     }
 
     #[test]
     fn run_mpi_ranks_returns_in_rank_order() {
-        let vs = run_mpi_ranks(3, FabricConfig::qdr_infiniband(3), |rank, _ctx| rank.rank() * 10);
+        let vs =
+            run_mpi_ranks(
+                3,
+                FabricConfig::qdr_infiniband(3),
+                |rank| async move { rank.rank() * 10 },
+            );
         assert_eq!(vs, vec![0, 10, 20]);
     }
 

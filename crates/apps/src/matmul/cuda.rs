@@ -8,10 +8,11 @@ use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
 use crate::common::{gflops, run_single, AppRun, PhaseTimer};
 
 use super::{init_a, init_b, sgemm_tile, MatmulParams};
+use ompss_sim::now;
 
 /// Run the CUDA version on a single simulated GPU.
 pub fn run(spec: GpuSpec, p: MatmulParams) -> AppRun {
-    run_single("cuda-matmul", move |ctx| {
+    run_single("cuda-matmul", async move {
         // Host buffers (pageable).
         let (mut a, mut b, mut c) = if p.real {
             let a: Vec<f32> = (0..p.matrix_elems()).map(init_a).collect();
@@ -23,15 +24,15 @@ pub fn run(spec: GpuSpec, p: MatmulParams) -> AppRun {
         let dev = GpuDevice::new("gpu0", spec);
         let matrix_bytes = (p.matrix_elems() * 4) as u64;
 
-        let timer = PhaseTimer::start(ctx.now());
+        let timer = PhaseTimer::start(now());
         // cudaMemcpy H2D for A and B (C is write-only on the device).
-        dev.memcpy(ctx, CopyDir::H2D, matrix_bytes, false, None).unwrap();
-        dev.memcpy(ctx, CopyDir::H2D, matrix_bytes, false, None).unwrap();
+        dev.memcpy(CopyDir::H2D, matrix_bytes, false, None).await.unwrap();
+        dev.memcpy(CopyDir::H2D, matrix_bytes, false, None).await.unwrap();
         // One kernel launch per (i, j, k); the device serialises them.
         for i in 0..p.tiles {
             for j in 0..p.tiles {
                 for k in 0..p.tiles {
-                    dev.launch(ctx, p.gemm_cost(), None).unwrap();
+                    dev.launch(p.gemm_cost(), None).await.unwrap();
                     if p.real {
                         let at = a[p.tile_range(i, k)].to_vec();
                         let bt = b[p.tile_range(k, j)].to_vec();
@@ -41,8 +42,8 @@ pub fn run(spec: GpuSpec, p: MatmulParams) -> AppRun {
             }
         }
         // cudaMemcpy D2H for the result.
-        dev.memcpy(ctx, CopyDir::D2H, matrix_bytes, false, None).unwrap();
-        let elapsed = timer.stop(ctx.now());
+        dev.memcpy(CopyDir::D2H, matrix_bytes, false, None).await.unwrap();
+        let elapsed = timer.stop(now());
 
         let _ = (&mut a, &mut b);
         AppRun {

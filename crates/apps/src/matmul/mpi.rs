@@ -11,6 +11,7 @@ use ompss_net::FabricConfig;
 use crate::common::{gflops, run_mpi_ranks, AppRun, PhaseTimer};
 
 use super::{init_a, init_b, sgemm_tile, MatmulParams};
+use ompss_sim::now;
 
 /// Process-grid shape for a node count.
 fn grid(nodes: u32) -> (usize, usize) {
@@ -28,97 +29,104 @@ pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: MatmulParams) -> 
     let (r, c) = grid(nodes);
     assert_eq!(p.tiles % r, 0, "tile grid must divide the process grid rows");
     assert_eq!(p.tiles % c, 0, "tile grid must divide the process grid cols");
-    let results = run_mpi_ranks(nodes, fabric, move |rank, ctx| {
-        let (pr, pc) = ((rank.rank() as usize) / c, (rank.rank() as usize) % c);
-        let my_rows = p.tiles / r; // C-block tile rows owned
-        let my_cols = p.tiles / c;
-        let row0 = pr * my_rows;
-        let col0 = pc * my_cols;
-        let te = p.tile_elems();
+    let results = run_mpi_ranks(nodes, fabric, move |rank| {
+        let spec = spec.clone();
+        async move {
+            let (pr, pc) = ((rank.rank() as usize) / c, (rank.rank() as usize) % c);
+            let my_rows = p.tiles / r; // C-block tile rows owned
+            let my_cols = p.tiles / c;
+            let row0 = pr * my_rows;
+            let col0 = pc * my_cols;
+            let te = p.tile_elems();
 
-        // Local data: my A tiles (rows × all k), my B tiles (all k ×
-        // cols), my C block. Values indexed by *global* element index so
-        // every version matches.
-        let local_tile = |m: char, i: usize, j: usize| -> Vec<f32> {
-            if !p.real {
-                return Vec::new();
-            }
-            let base = p.tile_range(i, j).start;
-            (0..te).map(|o| if m == 'a' { init_a(base + o) } else { init_b(base + o) }).collect()
-        };
-        let mut cblock = vec![vec![0.0f32; if p.real { te } else { 0 }]; my_rows * my_cols];
+            // Local data: my A tiles (rows × all k), my B tiles (all k ×
+            // cols), my C block. Values indexed by *global* element index so
+            // every version matches.
+            let local_tile = |m: char, i: usize, j: usize| -> Vec<f32> {
+                if !p.real {
+                    return Vec::new();
+                }
+                let base = p.tile_range(i, j).start;
+                (0..te)
+                    .map(|o| if m == 'a' { init_a(base + o) } else { init_b(base + o) })
+                    .collect()
+            };
+            let mut cblock = vec![vec![0.0f32; if p.real { te } else { 0 }]; my_rows * my_cols];
 
-        let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
-        let panel_a_bytes = (my_rows * te * 4) as u64;
-        let panel_b_bytes = (my_cols * te * 4) as u64;
+            let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
+            let panel_a_bytes = (my_rows * te * 4) as u64;
+            let panel_b_bytes = (my_cols * te * 4) as u64;
 
-        let cblock_bytes = (my_rows * my_cols * te * 4) as u64;
-        let timer = PhaseTimer::start(ctx.now());
-        // C accumulates on the device across all k steps.
-        dev.memcpy(ctx, CopyDir::H2D, cblock_bytes, false, None).unwrap();
-        for k in 0..p.tiles {
-            // Broadcast the A panel (column k) along my process row.
-            let row_group: Vec<u32> = (0..c).map(|q| (pr * c + q) as u32).collect();
-            let a_root = (pr * c + k / my_cols) as u32;
-            let a_payload = if rank.rank() == a_root && p.real {
-                let mut buf = Vec::with_capacity(my_rows * te * 4);
+            let cblock_bytes = (my_rows * my_cols * te * 4) as u64;
+            let timer = PhaseTimer::start(now());
+            // C accumulates on the device across all k steps.
+            dev.memcpy(CopyDir::H2D, cblock_bytes, false, None).await.unwrap();
+            for k in 0..p.tiles {
+                // Broadcast the A panel (column k) along my process row.
+                let row_group: Vec<u32> = (0..c).map(|q| (pr * c + q) as u32).collect();
+                let a_root = (pr * c + k / my_cols) as u32;
+                let a_payload = if rank.rank() == a_root && p.real {
+                    let mut buf = Vec::with_capacity(my_rows * te * 4);
+                    for i in 0..my_rows {
+                        for v in local_tile('a', row0 + i, k) {
+                            buf.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    Some(buf)
+                } else {
+                    None
+                };
+                let a_panel = rank
+                    .bcast_group(&row_group, a_root, 1000 + k as u32, panel_a_bytes, a_payload)
+                    .await
+                    .unwrap();
+
+                // Broadcast the B panel (row k) along my process column.
+                let col_group: Vec<u32> = (0..r).map(|q| (q * c + pc) as u32).collect();
+                let b_root = ((k / my_rows) * c + pc) as u32;
+                let b_payload = if rank.rank() == b_root && p.real {
+                    let mut buf = Vec::with_capacity(my_cols * te * 4);
+                    for j in 0..my_cols {
+                        for v in local_tile('b', k, col0 + j) {
+                            buf.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    Some(buf)
+                } else {
+                    None
+                };
+                let b_panel = rank
+                    .bcast_group(&col_group, b_root, 2000 + k as u32, panel_b_bytes, b_payload)
+                    .await
+                    .unwrap();
+
+                // Ship the panels to the GPU and run the tile GEMMs. As in
+                // the paper, the baseline is straightforward: pageable
+                // synchronous copies, no transfer/compute overlap.
+                dev.memcpy(CopyDir::H2D, panel_a_bytes, false, None).await.unwrap();
+                dev.memcpy(CopyDir::H2D, panel_b_bytes, false, None).await.unwrap();
                 for i in 0..my_rows {
-                    for v in local_tile('a', row0 + i, k) {
-                        buf.extend_from_slice(&v.to_le_bytes());
-                    }
-                }
-                Some(buf)
-            } else {
-                None
-            };
-            let a_panel = rank
-                .bcast_group(ctx, &row_group, a_root, 1000 + k as u32, panel_a_bytes, a_payload)
-                .unwrap();
-
-            // Broadcast the B panel (row k) along my process column.
-            let col_group: Vec<u32> = (0..r).map(|q| (q * c + pc) as u32).collect();
-            let b_root = ((k / my_rows) * c + pc) as u32;
-            let b_payload = if rank.rank() == b_root && p.real {
-                let mut buf = Vec::with_capacity(my_cols * te * 4);
-                for j in 0..my_cols {
-                    for v in local_tile('b', k, col0 + j) {
-                        buf.extend_from_slice(&v.to_le_bytes());
-                    }
-                }
-                Some(buf)
-            } else {
-                None
-            };
-            let b_panel = rank
-                .bcast_group(ctx, &col_group, b_root, 2000 + k as u32, panel_b_bytes, b_payload)
-                .unwrap();
-
-            // Ship the panels to the GPU and run the tile GEMMs. As in
-            // the paper, the baseline is straightforward: pageable
-            // synchronous copies, no transfer/compute overlap.
-            dev.memcpy(ctx, CopyDir::H2D, panel_a_bytes, false, None).unwrap();
-            dev.memcpy(ctx, CopyDir::H2D, panel_b_bytes, false, None).unwrap();
-            for i in 0..my_rows {
-                for j in 0..my_cols {
-                    dev.launch(ctx, p.gemm_cost(), None).unwrap();
-                    if p.real {
-                        let decode = |buf: &Option<Vec<u8>>, t: usize| -> Vec<f32> {
-                            let bytes = &buf.as_ref().expect("real payload")[t * te * 4..];
-                            bytes[..te * 4]
-                                .chunks_exact(4)
-                                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-                                .collect()
-                        };
-                        let at = decode(&a_panel, i);
-                        let bt = decode(&b_panel, j);
-                        sgemm_tile(&at, &bt, &mut cblock[i * my_cols + j], p.bs);
+                    for j in 0..my_cols {
+                        dev.launch(p.gemm_cost(), None).await.unwrap();
+                        if p.real {
+                            let decode = |buf: &Option<Vec<u8>>, t: usize| -> Vec<f32> {
+                                let bytes = &buf.as_ref().expect("real payload")[t * te * 4..];
+                                bytes[..te * 4]
+                                    .chunks_exact(4)
+                                    .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                                    .collect()
+                            };
+                            let at = decode(&a_panel, i);
+                            let bt = decode(&b_panel, j);
+                            sgemm_tile(&at, &bt, &mut cblock[i * my_cols + j], p.bs);
+                        }
                     }
                 }
             }
+            dev.memcpy(CopyDir::D2H, cblock_bytes, false, None).await.unwrap();
+            let elapsed = timer.stop(now());
+            (elapsed, cblock, (row0, col0, my_rows, my_cols))
         }
-        dev.memcpy(ctx, CopyDir::D2H, cblock_bytes, false, None).unwrap();
-        let elapsed = timer.stop(ctx.now());
-        (elapsed, cblock, (row0, col0, my_rows, my_cols))
     });
 
     // Makespan = slowest rank; assemble C (tile-major) for validation.

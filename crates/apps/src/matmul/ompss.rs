@@ -33,7 +33,7 @@ pub fn run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> AppRun {
         report: None,
     }));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| {
+    let rep = Runtime::run(cfg, move |omp| async move {
         let a = omp.alloc_array::<f32>(p.matrix_elems());
         let b = omp.alloc_array::<f32>(p.matrix_elems());
         let c = omp.alloc_array::<f32>(p.matrix_elems());
@@ -52,21 +52,21 @@ pub fn run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> AppRun {
                 // row order; demand-driven pickup spreads whole rows of
                 // tiles per node, anchoring the GEMM chains.
                 let device = if init == InitMode::Smp { Device::Smp } else { Device::Cuda };
-                submit_inits(omp, p, &a, device, "init_a", init_a);
-                submit_inits(omp, p, &b, device, "init_b", init_b);
-                submit_inits(omp, p, &c, device, "init_c", |_| 0.0);
-                omp.taskwait_noflush();
+                submit_inits(&omp, p, &a, device, "init_a", init_a).await;
+                submit_inits(&omp, p, &b, device, "init_b", init_b).await;
+                submit_inits(&omp, p, &c, device, "init_c", |_| 0.0).await;
+                omp.taskwait_noflush().await;
             }
         }
 
         let timer = PhaseTimer::start(omp.now());
-        submit_gemms(omp, p, &a, &b, &c);
+        submit_gemms(&omp, p, &a, &b, &c).await;
         // Like the MPI baseline (whose C stays distributed), the timed
         // phase ends when the multiply completes; the flush that gathers
         // C back to the master is outside the timer.
-        omp.taskwait_noflush();
+        omp.taskwait_noflush().await;
         let elapsed = timer.stop(omp.now());
-        omp.taskwait();
+        omp.taskwait().await;
 
         let check = if p.real { omp.read_array(&c, 0..p.matrix_elems()) } else { None };
         *out2.lock() = AppRun { elapsed, metric: gflops(p.flops(), elapsed), check, report: None };
@@ -76,7 +76,7 @@ pub fn run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> AppRun {
     r
 }
 
-fn submit_gemms(
+async fn submit_gemms(
     omp: &Omp,
     p: MatmulParams,
     a: &ompss_runtime::ArrayHandle<f32>,
@@ -105,7 +105,8 @@ fn submit_gemms(
                             track::record_write(rc);
                             sgemm_tile(at, bt, ct, bs);
                         }),
-                );
+                )
+                .await;
             }
         }
     }
@@ -113,7 +114,7 @@ fn submit_gemms(
 
 /// Submit one output-only init task per tile of `h`, on `device`,
 /// filling element `idx` (global) with `f(idx)`.
-fn submit_inits(
+async fn submit_inits(
     omp: &Omp,
     p: MatmulParams,
     h: &ompss_runtime::ArrayHandle<f32>,
@@ -134,7 +135,8 @@ fn submit_inits(
                 for (off, x) in tile.iter_mut().enumerate() {
                     *x = f(base + off);
                 }
-            }));
+            }))
+            .await;
         }
     }
 }

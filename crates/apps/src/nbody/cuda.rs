@@ -6,10 +6,11 @@ use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
 use crate::common::{gflops, run_single, AppRun, PhaseTimer};
 
 use super::{step_block, NbodyParams};
+use ompss_sim::now;
 
 /// Run the CUDA version on one simulated GPU.
 pub fn run(spec: GpuSpec, p: NbodyParams) -> AppRun {
-    run_single("cuda-nbody", move |ctx| {
+    run_single("cuda-nbody", async move {
         let (mut pos, mut vel) = if p.real {
             let mut ps = Vec::with_capacity(4 * p.n);
             let mut vs = Vec::with_capacity(4 * p.n);
@@ -24,13 +25,13 @@ pub fn run(spec: GpuSpec, p: NbodyParams) -> AppRun {
         let dev = GpuDevice::new("gpu0", spec);
         let pos_bytes = (4 * p.n * 4) as u64;
 
-        let timer = PhaseTimer::start(ctx.now());
-        dev.memcpy(ctx, CopyDir::H2D, pos_bytes, false, None).unwrap(); // positions
-        dev.memcpy(ctx, CopyDir::H2D, pos_bytes, false, None).unwrap(); // velocities
+        let timer = PhaseTimer::start(now());
+        dev.memcpy(CopyDir::H2D, pos_bytes, false, None).await.unwrap(); // positions
+        dev.memcpy(CopyDir::H2D, pos_bytes, false, None).await.unwrap(); // velocities
         let mut next = vec![0.0f32; if p.real { 4 * p.n } else { 0 }];
         for _ in 0..p.iters {
             for b in 0..p.blocks {
-                dev.launch(ctx, p.kernel_cost(), None).unwrap();
+                dev.launch(p.kernel_cost(), None).await.unwrap();
                 if p.real {
                     let bl = p.block_len();
                     let vr = &mut vel[4 * b * bl..4 * (b + 1) * bl];
@@ -42,8 +43,8 @@ pub fn run(spec: GpuSpec, p: NbodyParams) -> AppRun {
                 std::mem::swap(&mut pos, &mut next);
             }
         }
-        dev.memcpy(ctx, CopyDir::D2H, pos_bytes, false, None).unwrap();
-        let elapsed = timer.stop(ctx.now());
+        dev.memcpy(CopyDir::D2H, pos_bytes, false, None).await.unwrap();
+        let elapsed = timer.stop(now());
 
         AppRun {
             elapsed,

@@ -8,68 +8,72 @@ use ompss_net::FabricConfig;
 use crate::common::{gflops, run_mpi_ranks, AppRun, PhaseTimer};
 
 use super::{step_block, NbodyParams};
+use ompss_sim::now;
 
 /// Run the MPI+CUDA version on `nodes` single-GPU ranks.
 pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: NbodyParams) -> AppRun {
     assert_eq!(p.n % nodes as usize, 0);
     let local_n = p.n / nodes as usize;
-    let results = run_mpi_ranks(nodes, fabric, move |rank, ctx| {
-        let start = rank.rank() as usize * local_n;
-        let (mut my_pos, mut my_vel) = if p.real {
-            let mut ps = Vec::with_capacity(4 * local_n);
-            let mut vs = Vec::with_capacity(4 * local_n);
-            for i in 0..local_n {
-                ps.extend_from_slice(&NbodyParams::init_pos(start + i));
-                vs.extend_from_slice(&NbodyParams::init_vel(start + i));
-            }
-            (ps, vs)
-        } else {
-            (Vec::new(), Vec::new())
-        };
-        let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
-        let local_bytes = (4 * local_n * 4) as u64;
-
-        rank.barrier(ctx, 1).unwrap();
-        let timer = PhaseTimer::start(ctx.now());
-        dev.memcpy(ctx, CopyDir::H2D, local_bytes, false, None).unwrap(); // velocities
-        for it in 0..p.iters {
-            // All-to-all: gather every rank's current positions.
-            let payload = if p.real {
-                let mut buf = Vec::with_capacity(my_pos.len() * 4);
-                for v in &my_pos {
-                    buf.extend_from_slice(&v.to_le_bytes());
+    let results = run_mpi_ranks(nodes, fabric, move |rank| {
+        let spec = spec.clone();
+        async move {
+            let start = rank.rank() as usize * local_n;
+            let (mut my_pos, mut my_vel) = if p.real {
+                let mut ps = Vec::with_capacity(4 * local_n);
+                let mut vs = Vec::with_capacity(4 * local_n);
+                for i in 0..local_n {
+                    ps.extend_from_slice(&NbodyParams::init_pos(start + i));
+                    vs.extend_from_slice(&NbodyParams::init_vel(start + i));
                 }
-                Some(buf)
+                (ps, vs)
             } else {
-                None
+                (Vec::new(), Vec::new())
             };
-            let gathered = rank.allgather(ctx, 100 + it as u32, local_bytes, payload).unwrap();
-            let pos_all: Vec<f32> = if p.real {
-                gathered
-                    .iter()
-                    .flat_map(|part| {
-                        part.as_ref()
-                            .expect("real payload")
-                            .chunks_exact(4)
-                            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            // Ship the full positions to the GPU and advance my bodies.
-            dev.memcpy(ctx, CopyDir::H2D, local_bytes * nodes as u64, false, None).unwrap();
-            dev.launch(ctx, p.kernel_cost_scaled(local_n), None).unwrap();
-            if p.real {
-                let mut out = vec![0.0f32; 4 * local_n];
-                step_block(&pos_all, start, local_n, &mut my_vel, &mut out);
-                my_pos = out;
+            let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
+            let local_bytes = (4 * local_n * 4) as u64;
+
+            rank.barrier(1).await.unwrap();
+            let timer = PhaseTimer::start(now());
+            dev.memcpy(CopyDir::H2D, local_bytes, false, None).await.unwrap(); // velocities
+            for it in 0..p.iters {
+                // All-to-all: gather every rank's current positions.
+                let payload = if p.real {
+                    let mut buf = Vec::with_capacity(my_pos.len() * 4);
+                    for v in &my_pos {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                    Some(buf)
+                } else {
+                    None
+                };
+                let gathered = rank.allgather(100 + it as u32, local_bytes, payload).await.unwrap();
+                let pos_all: Vec<f32> = if p.real {
+                    gathered
+                        .iter()
+                        .flat_map(|part| {
+                            part.as_ref()
+                                .expect("real payload")
+                                .chunks_exact(4)
+                                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                // Ship the full positions to the GPU and advance my bodies.
+                dev.memcpy(CopyDir::H2D, local_bytes * nodes as u64, false, None).await.unwrap();
+                dev.launch(p.kernel_cost_scaled(local_n), None).await.unwrap();
+                if p.real {
+                    let mut out = vec![0.0f32; 4 * local_n];
+                    step_block(&pos_all, start, local_n, &mut my_vel, &mut out);
+                    my_pos = out;
+                }
+                // New positions back to the host for the next allgather.
+                dev.memcpy(CopyDir::D2H, local_bytes, false, None).await.unwrap();
             }
-            // New positions back to the host for the next allgather.
-            dev.memcpy(ctx, CopyDir::D2H, local_bytes, false, None).unwrap();
+            let elapsed = timer.stop(now());
+            (elapsed, my_pos)
         }
-        let elapsed = timer.stop(ctx.now());
-        (elapsed, my_pos)
     });
 
     let elapsed = results.iter().map(|(e, _)| *e).max().unwrap();

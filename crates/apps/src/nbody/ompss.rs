@@ -16,7 +16,7 @@ use super::{step_block, NbodyParams};
 pub fn run(cfg: RuntimeConfig, p: NbodyParams) -> AppRun {
     let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| {
+    let rep = Runtime::run(cfg, move |omp| async move {
         // One position array per round: each iteration produces a fresh
         // snapshot that must be distributed to all GPUs (the paper's
         // "data from the previous round"), while older rounds linger as
@@ -66,12 +66,13 @@ pub fn run(cfg: RuntimeConfig, p: NbodyParams) -> AppRun {
                     let (velv, outv) = v[blocks..].split_first_mut().unwrap();
                     ompss_runtime::task_views!(outv => out: f32);
                     step_block(&pos_all, b * bl, bl, ompss_mem::cast_slice_mut(velv), out);
-                }));
+                }))
+                .await;
             }
         }
-        omp.taskwait_noflush();
+        omp.taskwait_noflush().await;
         let elapsed = timer.stop(omp.now());
-        omp.taskwait();
+        omp.taskwait().await;
 
         let check = if p.real { omp.read_array(&pos[p.iters], 0..4 * p.n) } else { None };
         *out2.lock() =

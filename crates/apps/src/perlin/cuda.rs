@@ -6,10 +6,11 @@ use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
 use crate::common::{mpixels, run_single, AppRun, PhaseTimer};
 
 use super::{filter_block, PerlinParams};
+use ompss_sim::now;
 
 /// Run the CUDA version on one simulated GPU.
 pub fn run(spec: GpuSpec, p: PerlinParams, flush: bool) -> AppRun {
-    run_single("cuda-perlin", move |ctx| {
+    run_single("cuda-perlin", async move {
         let mut image: Vec<u32> = if p.real {
             (0..p.pixels()).map(PerlinParams::init_pixel).collect()
         } else {
@@ -18,11 +19,11 @@ pub fn run(spec: GpuSpec, p: PerlinParams, flush: bool) -> AppRun {
         let dev = GpuDevice::new("gpu0", spec);
         let image_bytes = (p.pixels() * 4) as u64;
 
-        let timer = PhaseTimer::start(ctx.now());
-        dev.memcpy(ctx, CopyDir::H2D, image_bytes, false, None).unwrap();
+        let timer = PhaseTimer::start(now());
+        dev.memcpy(CopyDir::H2D, image_bytes, false, None).await.unwrap();
         for step in 0..p.steps {
             for b in 0..p.blocks() {
-                dev.launch(ctx, p.kernel_cost(), None).unwrap();
+                dev.launch(p.kernel_cost(), None).await.unwrap();
                 if p.real {
                     let row0 = b * p.rows_per_block;
                     let range = row0 * p.width..(row0 + p.rows_per_block) * p.width;
@@ -30,13 +31,13 @@ pub fn run(spec: GpuSpec, p: PerlinParams, flush: bool) -> AppRun {
                 }
             }
             if flush {
-                dev.memcpy(ctx, CopyDir::D2H, image_bytes, false, None).unwrap();
+                dev.memcpy(CopyDir::D2H, image_bytes, false, None).await.unwrap();
             }
         }
         if !flush {
-            dev.memcpy(ctx, CopyDir::D2H, image_bytes, false, None).unwrap();
+            dev.memcpy(CopyDir::D2H, image_bytes, false, None).await.unwrap();
         }
-        let elapsed = timer.stop(ctx.now());
+        let elapsed = timer.stop(now());
 
         AppRun {
             elapsed,

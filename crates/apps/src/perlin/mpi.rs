@@ -9,6 +9,7 @@ use ompss_net::FabricConfig;
 use crate::common::{mpixels, run_mpi_ranks, AppRun, PhaseTimer};
 
 use super::{filter_block, PerlinParams};
+use ompss_sim::now;
 
 /// Run the MPI+CUDA version on `nodes` single-GPU ranks.
 pub fn run(
@@ -20,42 +21,47 @@ pub fn run(
 ) -> AppRun {
     assert_eq!(p.blocks() % nodes as usize, 0, "blocks must divide evenly over ranks");
     let blocks_per_rank = p.blocks() / nodes as usize;
-    let results = run_mpi_ranks(nodes, fabric, move |rank, ctx| {
-        let my_rows = blocks_per_rank * p.rows_per_block;
-        let row0 = rank.rank() as usize * my_rows;
-        let mut local: Vec<u32> = if p.real {
-            (0..my_rows * p.width).map(|i| PerlinParams::init_pixel(row0 * p.width + i)).collect()
-        } else {
-            Vec::new()
-        };
-        let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
-        let local_bytes = (my_rows * p.width * 4) as u64;
+    let results = run_mpi_ranks(nodes, fabric, move |rank| {
+        let spec = spec.clone();
+        async move {
+            let my_rows = blocks_per_rank * p.rows_per_block;
+            let row0 = rank.rank() as usize * my_rows;
+            let mut local: Vec<u32> = if p.real {
+                (0..my_rows * p.width)
+                    .map(|i| PerlinParams::init_pixel(row0 * p.width + i))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
+            let local_bytes = (my_rows * p.width * 4) as u64;
 
-        rank.barrier(ctx, 1).unwrap();
-        let timer = PhaseTimer::start(ctx.now());
-        dev.memcpy(ctx, CopyDir::H2D, local_bytes, false, None).unwrap();
-        for step in 0..p.steps {
-            for b in 0..blocks_per_rank {
-                dev.launch(ctx, p.kernel_cost(), None).unwrap();
-                if p.real {
-                    let brow = row0 + b * p.rows_per_block;
-                    let range =
-                        b * p.rows_per_block * p.width..(b + 1) * p.rows_per_block * p.width;
-                    filter_block(&mut local[range], brow, p.width, step as u32);
+            rank.barrier(1).await.unwrap();
+            let timer = PhaseTimer::start(now());
+            dev.memcpy(CopyDir::H2D, local_bytes, false, None).await.unwrap();
+            for step in 0..p.steps {
+                for b in 0..blocks_per_rank {
+                    dev.launch(p.kernel_cost(), None).await.unwrap();
+                    if p.real {
+                        let brow = row0 + b * p.rows_per_block;
+                        let range =
+                            b * p.rows_per_block * p.width..(b + 1) * p.rows_per_block * p.width;
+                        filter_block(&mut local[range], brow, p.width, step as u32);
+                    }
+                }
+                if flush {
+                    // Device → host, then gather the frame at rank 0.
+                    dev.memcpy(CopyDir::D2H, local_bytes, false, None).await.unwrap();
+                    rank.gather(0, 10 + step as u32, local_bytes, None).await.unwrap();
                 }
             }
-            if flush {
-                // Device → host, then gather the frame at rank 0.
-                dev.memcpy(ctx, CopyDir::D2H, local_bytes, false, None).unwrap();
-                rank.gather(ctx, 0, 10 + step as u32, local_bytes, None).unwrap();
+            if !flush {
+                dev.memcpy(CopyDir::D2H, local_bytes, false, None).await.unwrap();
+                rank.gather(0, 999, local_bytes, None).await.unwrap();
             }
+            let elapsed = timer.stop(now());
+            (elapsed, local)
         }
-        if !flush {
-            dev.memcpy(ctx, CopyDir::D2H, local_bytes, false, None).unwrap();
-            rank.gather(ctx, 0, 999, local_bytes, None).unwrap();
-        }
-        let elapsed = timer.stop(ctx.now());
-        (elapsed, local)
     });
 
     let elapsed = results.iter().map(|(e, _)| *e).max().unwrap();

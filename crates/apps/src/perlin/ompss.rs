@@ -15,7 +15,7 @@ use super::{filter_block, PerlinParams};
 pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
     let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| {
+    let rep = Runtime::run(cfg, move |omp| async move {
         let image = omp.alloc_array::<u32>(p.pixels());
         // The blank frame is produced in place by tasks, which also
         // distributes the row blocks across devices.
@@ -28,7 +28,8 @@ pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
                 for (off, x) in px.iter_mut().enumerate() {
                     *x = PerlinParams::init_pixel(base + off);
                 }
-            }));
+            }))
+            .await;
         }
 
         let timer = PhaseTimer::start(omp.now());
@@ -41,13 +42,14 @@ pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
                     track::record_read(r);
                     track::record_write(r);
                     filter_block(px, row0, width, step as u32);
-                }));
+                }))
+                .await;
             }
             if flush {
-                omp.taskwait();
+                omp.taskwait().await;
             }
         }
-        omp.taskwait();
+        omp.taskwait().await;
         let elapsed = timer.stop(omp.now());
 
         let check = if p.real {

@@ -7,10 +7,11 @@ use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec};
 use crate::common::{gbs, run_single, AppRun, PhaseTimer};
 
 use super::{kernels, StreamParams};
+use ompss_sim::now;
 
 /// Run the CUDA version on a single simulated GPU.
 pub fn run(spec: GpuSpec, p: StreamParams) -> AppRun {
-    run_single("cuda-stream", move |ctx| {
+    run_single("cuda-stream", async move {
         let mut a: Vec<f64> =
             if p.real { (0..p.n).map(StreamParams::init_a).collect() } else { Vec::new() };
         let mut b: Vec<f64> =
@@ -20,40 +21,40 @@ pub fn run(spec: GpuSpec, p: StreamParams) -> AppRun {
         let array_bytes = (p.n * 8) as u64;
 
         // STREAM methodology: only the kernel sweeps are timed.
-        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
-        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
-        let timer = PhaseTimer::start(ctx.now());
+        dev.memcpy(CopyDir::H2D, array_bytes, false, None).await.unwrap();
+        dev.memcpy(CopyDir::H2D, array_bytes, false, None).await.unwrap();
+        let timer = PhaseTimer::start(now());
         for _ in 0..p.ntimes {
             for j in (0..p.n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
+                dev.launch(p.kernel_cost(2), None).await.unwrap();
                 if p.real {
                     kernels::copy(&a[j..j + p.bsize], &mut c[j..j + p.bsize]);
                 }
             }
             for j in (0..p.n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
+                dev.launch(p.kernel_cost(2), None).await.unwrap();
                 if p.real {
                     kernels::scale(&c[j..j + p.bsize], &mut b[j..j + p.bsize]);
                 }
             }
             for j in (0..p.n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
+                dev.launch(p.kernel_cost(3), None).await.unwrap();
                 if p.real {
                     let (av, bv) = (a[j..j + p.bsize].to_vec(), b[j..j + p.bsize].to_vec());
                     kernels::add(&av, &bv, &mut c[j..j + p.bsize]);
                 }
             }
             for j in (0..p.n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
+                dev.launch(p.kernel_cost(3), None).await.unwrap();
                 if p.real {
                     let (bv, cv) = (b[j..j + p.bsize].to_vec(), c[j..j + p.bsize].to_vec());
                     kernels::triad(&bv, &cv, &mut a[j..j + p.bsize]);
                 }
             }
         }
-        let elapsed = timer.stop(ctx.now());
+        let elapsed = timer.stop(now());
         for _ in 0..3 {
-            dev.memcpy(ctx, CopyDir::D2H, array_bytes, false, None).unwrap();
+            dev.memcpy(CopyDir::D2H, array_bytes, false, None).await.unwrap();
         }
 
         let check = if p.real {

@@ -8,6 +8,7 @@ use ompss_net::FabricConfig;
 use crate::common::{gbs, run_mpi_ranks, AppRun, PhaseTimer};
 
 use super::{kernels, StreamParams};
+use ompss_sim::now;
 
 /// Run the MPI+CUDA version on `nodes` single-GPU ranks. `p.n` is the
 /// global array length; each rank owns `n / nodes` elements.
@@ -15,62 +16,65 @@ pub fn run(nodes: u32, spec: GpuSpec, fabric: FabricConfig, p: StreamParams) -> 
     assert_eq!(p.n % nodes as usize, 0);
     let local_n = p.n / nodes as usize;
     assert_eq!(local_n % p.bsize, 0);
-    let results = run_mpi_ranks(nodes, fabric, move |rank, ctx| {
-        let base = rank.rank() as usize * local_n;
-        let mut a: Vec<f64> = if p.real {
-            (0..local_n).map(|i| StreamParams::init_a(base + i)).collect()
-        } else {
-            Vec::new()
-        };
-        let mut b: Vec<f64> = if p.real {
-            (0..local_n).map(|i| StreamParams::init_b(base + i)).collect()
-        } else {
-            Vec::new()
-        };
-        let mut c: Vec<f64> = if p.real { vec![0.0; local_n] } else { Vec::new() };
-        let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
-        let array_bytes = (local_n * 8) as u64;
+    let results = run_mpi_ranks(nodes, fabric, move |rank| {
+        let spec = spec.clone();
+        async move {
+            let base = rank.rank() as usize * local_n;
+            let mut a: Vec<f64> = if p.real {
+                (0..local_n).map(|i| StreamParams::init_a(base + i)).collect()
+            } else {
+                Vec::new()
+            };
+            let mut b: Vec<f64> = if p.real {
+                (0..local_n).map(|i| StreamParams::init_b(base + i)).collect()
+            } else {
+                Vec::new()
+            };
+            let mut c: Vec<f64> = if p.real { vec![0.0; local_n] } else { Vec::new() };
+            let dev = GpuDevice::new(format!("rank{}", rank.rank()), spec.clone());
+            let array_bytes = (local_n * 8) as u64;
 
-        // STREAM methodology: the one-time transfers sit outside the
-        // timed region; only the kernel sweeps are measured.
-        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
-        dev.memcpy(ctx, CopyDir::H2D, array_bytes, false, None).unwrap();
-        rank.barrier(ctx, 1).unwrap();
-        let timer = PhaseTimer::start(ctx.now());
-        for _ in 0..p.ntimes {
-            for j in (0..local_n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
-                if p.real {
-                    kernels::copy(&a[j..j + p.bsize], &mut c[j..j + p.bsize]);
+            // STREAM methodology: the one-time transfers sit outside the
+            // timed region; only the kernel sweeps are measured.
+            dev.memcpy(CopyDir::H2D, array_bytes, false, None).await.unwrap();
+            dev.memcpy(CopyDir::H2D, array_bytes, false, None).await.unwrap();
+            rank.barrier(1).await.unwrap();
+            let timer = PhaseTimer::start(now());
+            for _ in 0..p.ntimes {
+                for j in (0..local_n).step_by(p.bsize) {
+                    dev.launch(p.kernel_cost(2), None).await.unwrap();
+                    if p.real {
+                        kernels::copy(&a[j..j + p.bsize], &mut c[j..j + p.bsize]);
+                    }
+                }
+                for j in (0..local_n).step_by(p.bsize) {
+                    dev.launch(p.kernel_cost(2), None).await.unwrap();
+                    if p.real {
+                        kernels::scale(&c[j..j + p.bsize], &mut b[j..j + p.bsize]);
+                    }
+                }
+                for j in (0..local_n).step_by(p.bsize) {
+                    dev.launch(p.kernel_cost(3), None).await.unwrap();
+                    if p.real {
+                        let (av, bv) = (a[j..j + p.bsize].to_vec(), b[j..j + p.bsize].to_vec());
+                        kernels::add(&av, &bv, &mut c[j..j + p.bsize]);
+                    }
+                }
+                for j in (0..local_n).step_by(p.bsize) {
+                    dev.launch(p.kernel_cost(3), None).await.unwrap();
+                    if p.real {
+                        let (bv, cv) = (b[j..j + p.bsize].to_vec(), c[j..j + p.bsize].to_vec());
+                        kernels::triad(&bv, &cv, &mut a[j..j + p.bsize]);
+                    }
                 }
             }
-            for j in (0..local_n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(2), None).unwrap();
-                if p.real {
-                    kernels::scale(&c[j..j + p.bsize], &mut b[j..j + p.bsize]);
-                }
+            rank.barrier(2).await.unwrap();
+            let elapsed = timer.stop(now());
+            for _ in 0..3 {
+                dev.memcpy(CopyDir::D2H, array_bytes, false, None).await.unwrap();
             }
-            for j in (0..local_n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
-                if p.real {
-                    let (av, bv) = (a[j..j + p.bsize].to_vec(), b[j..j + p.bsize].to_vec());
-                    kernels::add(&av, &bv, &mut c[j..j + p.bsize]);
-                }
-            }
-            for j in (0..local_n).step_by(p.bsize) {
-                dev.launch(ctx, p.kernel_cost(3), None).unwrap();
-                if p.real {
-                    let (bv, cv) = (b[j..j + p.bsize].to_vec(), c[j..j + p.bsize].to_vec());
-                    kernels::triad(&bv, &cv, &mut a[j..j + p.bsize]);
-                }
-            }
+            (elapsed, a, b, c)
         }
-        rank.barrier(ctx, 2).unwrap();
-        let elapsed = timer.stop(ctx.now());
-        for _ in 0..3 {
-            dev.memcpy(ctx, CopyDir::D2H, array_bytes, false, None).unwrap();
-        }
-        (elapsed, a, b, c)
     });
 
     let elapsed = results.iter().map(|(e, _, _, _)| *e).max().unwrap();

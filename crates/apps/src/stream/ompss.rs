@@ -15,7 +15,7 @@ use super::{kernels, StreamParams};
 pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
     let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| {
+    let rep = Runtime::run(cfg, move |omp| async move {
         let a = omp.alloc_array::<f64>(p.n);
         let b = omp.alloc_array::<f64>(p.n);
         let c = omp.alloc_array::<f64>(p.n);
@@ -33,7 +33,8 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                 for (off, x) in av.iter_mut().enumerate() {
                     *x = StreamParams::init_a(j + off);
                 }
-            }));
+            }))
+            .await;
         }
 
         // One annotated task per blocked kernel invocation, exactly as
@@ -50,7 +51,8 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                         track::record_write(rc);
                         kernels::copy(av, cv);
                     },
-                ));
+                ))
+                .await;
             }
             for j in (0..p.n).step_by(p.bsize) {
                 let (rc, rb) = (c.region(j..j + p.bsize), b.region(j..j + p.bsize));
@@ -61,7 +63,8 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                         track::record_write(rb);
                         kernels::scale(cv, bv);
                     },
-                ));
+                ))
+                .await;
             }
             for j in (0..p.n).step_by(p.bsize) {
                 let (ra, rb) = (a.region(j..j + p.bsize), b.region(j..j + p.bsize));
@@ -76,7 +79,8 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                             kernels::add(av, bv, cv);
                         },
                     ),
-                );
+                )
+                .await;
             }
             for j in (0..p.n).step_by(p.bsize) {
                 let (rb, rc) = (b.region(j..j + p.bsize), c.region(j..j + p.bsize));
@@ -94,12 +98,13 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
                             track::record_write(ra);
                             kernels::triad(bv, cv, av);
                         }),
-                );
+                )
+                .await;
             }
         }
-        omp.taskwait_noflush();
+        omp.taskwait_noflush().await;
         let elapsed = timer.stop(omp.now());
-        omp.taskwait(); // flush for validation, outside the timed phase
+        omp.taskwait().await; // flush for validation, outside the timed phase
 
         let check = if p.real {
             let mut all = omp.read_array(&a, 0..p.n).unwrap();

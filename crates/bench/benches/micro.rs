@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use ompss_core::{AccessExt, TaskGraph, TaskId};
 use ompss_mem::{Access, Backing, DataId, MemoryManager, Region, SpaceKind};
 use ompss_sched::{NoLocality, Policy, ResourceInfo, ResourceKind, Scheduler};
-use ompss_sim::{Channel, Sim, SimDuration};
+use ompss_sim::{delay, Channel, Sim, SimDuration};
 
 fn des_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("des-engine");
@@ -21,9 +21,9 @@ fn des_engine(c: &mut Criterion) {
     g.bench_function("delay-events-x1000", |b| {
         b.iter(|| {
             let sim = Sim::new();
-            sim.spawn("p", |ctx| {
+            sim.spawn("p", async {
                 for _ in 0..1000 {
-                    ctx.delay(SimDuration::from_nanos(1)).unwrap();
+                    delay(SimDuration::from_nanos(1)).await.unwrap();
                 }
             });
             sim.run().unwrap()
@@ -35,8 +35,8 @@ fn des_engine(c: &mut Criterion) {
         b.iter(|| {
             let sim = Sim::new();
             for i in 0..100 {
-                sim.spawn(format!("p{i}"), |ctx| {
-                    ctx.delay(SimDuration::from_nanos(1)).unwrap();
+                sim.spawn(format!("p{i}"), async {
+                    delay(SimDuration::from_nanos(1)).await.unwrap();
                 });
             }
             sim.run().unwrap()
@@ -54,15 +54,15 @@ fn channels(c: &mut Criterion) {
             let a: Channel<u32> = Channel::new();
             let bq: Channel<u32> = Channel::new();
             let (a1, b1) = (a.clone(), bq.clone());
-            sim.spawn("ping", move |ctx| {
+            sim.spawn("ping", async move {
                 for i in 0..1000 {
-                    a1.send(&ctx, i);
-                    b1.recv(&ctx).unwrap();
+                    a1.send(i);
+                    b1.recv().await.unwrap();
                 }
             });
-            sim.spawn_daemon("pong", move |ctx| {
-                while let Ok(v) = a.recv(&ctx) {
-                    bq.send(&ctx, v);
+            sim.process("pong").daemon().spawn(async move {
+                while let Ok(v) = a.recv().await {
+                    bq.send(v);
                 }
             });
             sim.run().unwrap()
@@ -198,21 +198,23 @@ fn coherence_fast_path(c: &mut Criterion) {
     use ompss_coherence::{
         CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec, TransferPurpose,
     };
-    use ompss_sim::{Ctx, SimResult};
+    use ompss_sim::SimResult;
 
     struct NullExec;
     impl TransferExec for NullExec {
-        fn transfer(
-            &self,
-            ctx: &Ctx,
+        fn transfer<'a>(
+            &'a self,
             _k: HopKind,
             _p: TransferPurpose,
             _s: Loc,
             _d: Loc,
             bytes: u64,
-        ) -> SimResult<bool> {
-            ctx.delay(SimDuration::from_nanos(bytes))?;
-            Ok(true)
+        ) -> std::pin::Pin<Box<dyn std::future::Future<Output = SimResult<bool>> + Send + 'a>>
+        {
+            Box::pin(async move {
+                delay(SimDuration::from_nanos(bytes)).await?;
+                Ok(true)
+            })
         }
     }
 
@@ -229,10 +231,10 @@ fn coherence_fast_path(c: &mut Criterion) {
             let data = mem.register_data(64, host).unwrap();
             let region = Region::new(data, 0, 64);
             let sim = Sim::new();
-            sim.spawn("p", move |ctx| {
+            sim.spawn("p", async move {
                 for _ in 0..1000 {
-                    coh.acquire(&ctx, &NullExec, &region, true, gpu).unwrap();
-                    coh.commit(&ctx, &NullExec, &[Access::inout(region)], gpu).unwrap();
+                    coh.acquire(&NullExec, &region, true, gpu).await.unwrap();
+                    coh.commit(&NullExec, &[Access::inout(region)], gpu).await.unwrap();
                 }
             });
             sim.run().unwrap()

@@ -34,12 +34,19 @@ use ompss_bench::FigureData;
 use ompss_core::{AccessExt, TaskGraph, TaskId};
 use ompss_json::Json;
 use ompss_mem::{Access, DataId, Region};
-use ompss_sim::{Channel, Sim, SimDuration};
+use ompss_sim::{delay, Channel, Sim, SimDuration};
 
 /// Delay events issued by the single-process DES micro-benchmark.
 const DES_DELAYS: u64 = 200_000;
 /// Round trips of the two-process pingpong micro-benchmark.
 const PINGPONG_ROUNDS: u64 = 50_000;
+/// Trivial processes spawned by the cluster-scale spawn micro-benchmark.
+const SPAWN_PROCESSES: u64 = 1_000_000;
+/// Peak-RSS growth allowed while running the spawn micro-benchmark:
+/// ~512 bytes of heap per in-flight process, with slack for the run
+/// queue and allocator overhead. A thread-per-process design (8 MiB
+/// stacks) would need terabytes.
+const SPAWN_RSS_BOUND_BYTES: u64 = 512 << 20;
 /// Tasks submitted by the graph micro-benchmark.
 const GRAPH_TASKS: usize = 10_000;
 /// `--check` fails when the macro total exceeds baseline × this factor.
@@ -50,9 +57,9 @@ const REGRESSION_HEADROOM: f64 = 1.20;
 /// kernel's report so fast-path and slow-path builds stay comparable.
 fn des_delay_micro() -> (f64, u64) {
     let sim = Sim::new();
-    sim.spawn("spin", |ctx| {
+    sim.spawn("spin", async {
         for _ in 0..DES_DELAYS {
-            ctx.delay(SimDuration::from_nanos(1)).unwrap();
+            delay(SimDuration::from_nanos(1)).await.unwrap();
         }
     });
     let rep = sim.run().expect("delay micro-benchmark completes");
@@ -60,25 +67,67 @@ fn des_delay_micro() -> (f64, u64) {
 }
 
 /// Events/second of a two-process channel pingpong — every event is a
-/// cross-process resume, so this measures the baton handoff.
+/// cross-process resume, so this measures the wake/poll handoff.
 fn des_pingpong_micro() -> (f64, u64) {
     let sim = Sim::new();
     let a: Channel<u32> = Channel::new();
     let b: Channel<u32> = Channel::new();
     let (a1, b1) = (a.clone(), b.clone());
-    sim.spawn("ping", move |ctx| {
+    sim.spawn("ping", async move {
         for i in 0..PINGPONG_ROUNDS as u32 {
-            a1.send(&ctx, i);
-            b1.recv(&ctx).unwrap();
+            a1.send(i);
+            b1.recv().await.unwrap();
         }
     });
-    sim.spawn_daemon("pong", move |ctx| {
-        while let Ok(v) = a.recv(&ctx) {
-            b.send(&ctx, v);
+    sim.process("pong").daemon().spawn(async move {
+        while let Ok(v) = a.recv().await {
+            b.send(v);
         }
     });
     let rep = sim.run().expect("pingpong micro-benchmark completes");
     (rep.events as f64 / (rep.host_ns as f64 / 1e9), rep.events)
+}
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// `VmHWM`; 0 where unavailable).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Spawn throughput and memory footprint at cluster scale: one million
+/// trivial processes (spawn, one yield, exit), as a stand-in for the
+/// thousand-node × multi-GPU worker/manager/pump population. Reports
+/// events/second and asserts the peak-RSS *delta* stays under a bound
+/// that an OS-thread-per-process design would exceed by orders of
+/// magnitude.
+fn des_spawn_micro() -> (f64, u64, u64) {
+    let rss_before = peak_rss_bytes();
+    let sim = Sim::new();
+    sim.spawn("spawner", async {
+        for i in 0..SPAWN_PROCESSES {
+            ompss_sim::spawn(format!("p{i}"), async {
+                ompss_sim::yield_now().await.unwrap();
+            });
+        }
+    });
+    let rep = sim.run().expect("spawn micro-benchmark completes");
+    assert_eq!(rep.processes as u64, SPAWN_PROCESSES + 1);
+    let rss_delta = peak_rss_bytes().saturating_sub(rss_before);
+    assert!(
+        rss_delta < SPAWN_RSS_BOUND_BYTES,
+        "1M stackless processes grew peak RSS by {} MiB (bound {} MiB); \
+         a process stopped being one small heap object",
+        rss_delta >> 20,
+        SPAWN_RSS_BOUND_BYTES >> 20,
+    );
+    (rep.events as f64 / (rep.host_ns as f64 / 1e9), rep.events, rss_delta)
 }
 
 /// `TaskGraph::add_task` throughput (tasks/second) over a 10 000-task
@@ -161,6 +210,11 @@ fn main() {
     println!("  des delay       {delay_eps:>14.0} events/s  ({delay_events} events)");
     let (ping_eps, ping_events) = des_pingpong_micro();
     println!("  des pingpong    {ping_eps:>14.0} events/s  ({ping_events} events)");
+    let (spawn_eps, spawn_events, spawn_rss) = des_spawn_micro();
+    println!(
+        "  des spawn 1m    {spawn_eps:>14.0} events/s  ({spawn_events} events, +{} MiB peak RSS)",
+        spawn_rss >> 20
+    );
     let (graph_tps, graph_tasks) = graph_micro();
     println!("  graph add_task  {graph_tps:>14.0} tasks/s   ({graph_tasks} tasks)");
 
@@ -208,6 +262,9 @@ fn main() {
                 .field("des_delay_events", delay_events)
                 .field("des_pingpong_events_per_sec", ping_eps)
                 .field("des_pingpong_events", ping_events)
+                .field("des_spawn_1m_processes_events_per_sec", spawn_eps)
+                .field("des_spawn_1m_processes_events", spawn_events)
+                .field("des_spawn_1m_processes_peak_rss_delta_bytes", spawn_rss)
                 .field("graph_add_task_per_sec", graph_tps)
                 .field("graph_tasks", graph_tasks),
         )

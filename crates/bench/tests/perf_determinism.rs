@@ -98,3 +98,97 @@ fn fast_paths_do_not_change_fingerprint_or_results() {
     assert_eq!(slow_rep.wakes_coalesced, 0, "OMPSS_SIM_NO_FASTPATH=1 must disable wake coalescing");
     assert!(fast_rep.host_ns > 0, "the kernel must record host wall-clock time");
 }
+
+mod jobs_width_props {
+    //! Satellite of the async-executor redesign: the executor invariant
+    //! pinned at the DES level. Interleaved spawn/delay/channel
+    //! workloads — the full primitive mix — must produce identical
+    //! event orders and RunReport fingerprints whether the batch of
+    //! simulations runs serially (`--jobs 1`) or fanned out over host
+    //! threads (`--jobs 4`). Each `Sim` is self-contained, so host
+    //! parallelism may change *when* a simulation runs, never *what*
+    //! it computes.
+
+    use std::sync::Arc;
+
+    use parking_lot::Mutex;
+    use proptest::prelude::*;
+
+    use ompss_sim::{delay, now, spawn, Channel, Sim, SimDuration};
+
+    /// Trace of `(virtual time, group, value)` observations plus the
+    /// report fingerprint of one workload run.
+    type Digest = (Vec<(u64, u64, u64)>, (u64, u64, u64, u64));
+
+    fn run_workload(groups: &[(u64, u64, u64)]) -> Digest {
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let sim = Sim::new();
+        let ch: Channel<u64> = Channel::new();
+        for (g, &(d, msgs, kids)) in groups.iter().enumerate() {
+            let tx = ch.clone();
+            let tr = trace.clone();
+            sim.spawn(format!("g{g}"), async move {
+                for k in 0..kids {
+                    let tx = tx.clone();
+                    let tr = tr.clone();
+                    spawn(format!("g{g}k{k}"), async move {
+                        delay(SimDuration::from_nanos(d * (k + 1))).await.unwrap();
+                        for m in 0..msgs {
+                            tx.send(g as u64 * 1000 + k * 100 + m);
+                            delay(SimDuration::from_nanos(d % 7 + 1)).await.unwrap();
+                        }
+                        tr.lock().push((now().as_nanos(), g as u64, k));
+                    });
+                }
+                delay(SimDuration::from_nanos(d)).await.unwrap();
+            });
+        }
+        let total: u64 = groups.iter().map(|&(_, m, k)| m * k).sum();
+        let rx = ch.clone();
+        let tr = trace.clone();
+        sim.spawn("drain", async move {
+            for _ in 0..total {
+                let v = rx.recv().await.unwrap();
+                tr.lock().push((now().as_nanos(), u64::MAX, v));
+            }
+        });
+        let r = sim.run().unwrap();
+        let t = trace.lock().clone();
+        (t, (r.end_time.as_nanos(), r.events, r.clock_advances, r.processes as u64))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn interleaved_workloads_fingerprint_identically_at_any_jobs_count(
+            batch in proptest::collection::vec(
+                proptest::collection::vec((1u64..60, 1u64..8, 1u64..6), 1..8),
+                4..8,
+            )
+        ) {
+            let tasks = |batch: &[Vec<(u64, u64, u64)>]| -> Vec<Box<dyn FnOnce() -> Digest + Send>> {
+                batch
+                    .iter()
+                    .cloned()
+                    .map(|groups| {
+                        Box::new(move || run_workload(&groups)) as Box<dyn FnOnce() -> Digest + Send>
+                    })
+                    .collect()
+            };
+            let serial = ompss_sweep::run_jobs(1, tasks(&batch));
+            let parallel = ompss_sweep::run_jobs(4, tasks(&batch));
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (i, (s, p)) in serial.into_iter().zip(parallel).enumerate() {
+                prop_assert_eq!(
+                    &s.0, &p.0,
+                    "workload {}: event order diverged between --jobs 1 and --jobs 4", i
+                );
+                prop_assert_eq!(
+                    s.1, p.1,
+                    "workload {}: RunReport fingerprint diverged between --jobs 1 and --jobs 4", i
+                );
+            }
+        }
+    }
+}

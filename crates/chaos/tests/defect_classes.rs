@@ -68,7 +68,7 @@ fn exhausted_budget_yields_run_error_not_panic() {
     let plan = Arc::new(FaultPlan::quiet(1).with_forced(FaultClass::KernelFail, u64::MAX));
     let cfg = RuntimeConfig::multi_gpu(1).with_fault_plan(plan);
     let budget = cfg.task_retry_budget;
-    let result = Runtime::try_run(cfg, |omp| {
+    let result = Runtime::try_run(cfg, |omp| async move {
         let a = omp.alloc_array::<f32>(256);
         omp.write_array(&a, 0, &vec![1.0f32; 256]);
         omp.submit(
@@ -81,7 +81,8 @@ fn exhausted_budget_yields_run_error_not_panic() {
                         *x *= 2.0;
                     }
                 }),
-        );
+        )
+        .await;
     });
     match result {
         Err(RunError::Exhausted { attempts, .. }) => {

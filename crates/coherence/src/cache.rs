@@ -38,12 +38,14 @@
 //! can never lose the only latest copy.
 
 use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use ompss_mem::{Access, AllocId, MemoryManager, Region, SpaceId};
-use ompss_sim::{Ctx, Signal, SimError, SimResult};
+use ompss_sim::{now, Signal, SimError, SimResult};
 
 use crate::topo::{HopKind, Topology};
 
@@ -125,16 +127,18 @@ pub trait TransferExec: Send + Sync {
     /// `Ok(false)` means the hop spent its wire time but the data never
     /// landed — one endpoint's node died mid-transfer — so the engine
     /// must treat the destination as garbage, not valid.
-    #[allow(clippy::too_many_arguments)]
-    fn transfer(
-        &self,
-        ctx: &Ctx,
+    ///
+    /// Boxed future rather than `async fn`: the trait must stay
+    /// object-safe (`&dyn TransferExec` is threaded through the engine).
+    /// Implementors wrap their body in `Box::pin(async move { ... })`.
+    fn transfer<'a>(
+        &'a self,
         kind: HopKind,
         purpose: TransferPurpose,
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<bool>;
+    ) -> Pin<Box<dyn Future<Output = SimResult<bool>> + Send + 'a>>;
 }
 
 /// A region whose latest committed version was lost with a purged
@@ -414,18 +418,17 @@ impl Coherence {
     /// allocated if write-only. Pins the copy against eviction until
     /// [`commit`](Coherence::commit) or [`unpin`](Coherence::unpin).
     /// Returns where the bytes are.
-    pub fn acquire(
+    pub async fn acquire(
         &self,
-        ctx: &Ctx,
         exec: &dyn TransferExec,
         region: &Region,
         read: bool,
         target: SpaceId,
     ) -> SimResult<Loc> {
         if read {
-            self.ensure_valid(ctx, exec, region, target, true, TransferPurpose::Demand)?;
+            self.ensure_valid(exec, region, target, true, TransferPurpose::Demand).await?;
         } else {
-            self.ensure_placed(ctx, exec, region, target)?;
+            self.ensure_placed(exec, region, target).await?;
         }
         // No simulation yield can occur between the pin taken above and
         // this lookup (the DES is sequential), so the copy is still here.
@@ -459,9 +462,8 @@ impl Coherence {
     /// Commit a task's accesses at its execution space: bump versions
     /// for writes, apply the policy (write-through push, no-cache
     /// drop), and unpin everything the task had acquired.
-    pub fn commit(
+    pub async fn commit(
         &self,
-        ctx: &Ctx,
         exec: &dyn TransferExec,
         accesses: &[Access],
         target: SpaceId,
@@ -503,7 +505,7 @@ impl Coherence {
         if matches!(self.policy, CachePolicy::WriteThrough | CachePolicy::NoCache) {
             if let Some(parent) = self.topo.parent_of(target) {
                 for region in &written {
-                    self.push_one_level(ctx, exec, region, target, parent)?;
+                    self.push_one_level(exec, region, target, parent).await?;
                 }
             }
         }
@@ -539,9 +541,8 @@ impl Coherence {
     /// Push `region`'s data from `from` one level up to `parent`
     /// (write-through propagation / dirty eviction). Clears the dirty
     /// bit at `from` on success. No-op if `from` is clean or stale.
-    fn push_one_level(
+    async fn push_one_level(
         &self,
-        ctx: &Ctx,
         exec: &dyn TransferExec,
         region: &Region,
         from: SpaceId,
@@ -623,13 +624,13 @@ impl Coherence {
                 }
             };
             match step {
-                Step::Wait(sig) => sig.wait(ctx)?,
-                Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
+                Step::Wait(sig) => sig.wait().await?,
+                Step::Room { space, bytes } => self.make_room(exec, space, bytes).await?,
                 Step::Hop { kind, from: f, to, src, dst, bytes, version, done } => {
                     let purpose = TransferPurpose::WriteBack;
-                    let delivered = exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
+                    let delivered = exec.transfer(kind, purpose, src, dst, bytes).await?;
                     self.finish_hop(
-                        ctx, region, f, to, kind, purpose, bytes, version, done, true, delivered,
+                        region, f, to, kind, purpose, bytes, version, done, true, delivered,
                     );
                     return Ok(());
                 }
@@ -650,7 +651,6 @@ impl Coherence {
     #[allow(clippy::too_many_arguments)]
     fn finish_hop(
         &self,
-        ctx: &Ctx,
         region: &Region,
         from: SpaceId,
         to: SpaceId,
@@ -679,7 +679,7 @@ impl Coherence {
             }
         }
         let Some(entry) = inner.regions.get_mut(region) else {
-            done.set(ctx);
+            done.set();
             return;
         };
         if delivered {
@@ -709,7 +709,7 @@ impl Coherence {
                 dc.dirty = false;
             }
         }
-        done.set(ctx);
+        done.set();
         let entry = inner.regions.get_mut(region).expect("just found");
         if let Some(sc) = entry.copies.get_mut(&from) {
             sc.pinned = sc.pinned.saturating_sub(1);
@@ -725,9 +725,8 @@ impl Coherence {
     /// Make a Valid-latest copy of `region` exist at `target`,
     /// transferring along the hierarchy as needed. `pin` pins the final
     /// copy for a task.
-    fn ensure_valid(
+    async fn ensure_valid(
         &self,
-        ctx: &Ctx,
         exec: &dyn TransferExec,
         region: &Region,
         target: SpaceId,
@@ -787,19 +786,18 @@ impl Coherence {
                 }
             };
             match step {
-                Step::Wait(sig) => sig.wait(ctx)?,
-                Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
+                Step::Wait(sig) => sig.wait().await?,
+                Step::Room { space, bytes } => self.make_room(exec, space, bytes).await?,
                 Step::Hop { kind, from, to, src, dst, bytes, version, done } => {
                     if std::env::var_os("OMPSS_COH_DEBUG").is_some() {
                         eprintln!(
                             "[coh {:.6}s] {region} v{version} hop {from:?}->{to:?} ({kind:?}, {bytes}B) for target {target:?}",
-                            ctx.now().as_secs_f64()
+                            now().as_secs_f64()
                         );
                     }
-                    let delivered = exec.transfer(ctx, kind, purpose, src, dst, bytes)?;
+                    let delivered = exec.transfer(kind, purpose, src, dst, bytes).await?;
                     self.finish_hop(
-                        ctx, region, from, to, kind, purpose, bytes, version, done, false,
-                        delivered,
+                        region, from, to, kind, purpose, bytes, version, done, false, delivered,
                     );
                 }
             }
@@ -876,9 +874,8 @@ impl Coherence {
 
     /// Place an allocation for `region` at `target` without moving data
     /// (output-only clauses). Pins it.
-    fn ensure_placed(
+    async fn ensure_placed(
         &self,
-        ctx: &Ctx,
         exec: &dyn TransferExec,
         region: &Region,
         target: SpaceId,
@@ -926,8 +923,8 @@ impl Coherence {
                 }
             };
             match step {
-                Step::Wait(sig) => sig.wait(ctx)?,
-                Step::Room { space, bytes } => self.make_room(ctx, exec, space, bytes)?,
+                Step::Wait(sig) => sig.wait().await?,
+                Step::Room { space, bytes } => self.make_room(exec, space, bytes).await?,
                 Step::Hop { .. } => unreachable!("placement plans no transfers"),
             }
         }
@@ -935,96 +932,101 @@ impl Coherence {
 
     /// Evict least-recently-used, unpinned copies from `space` until
     /// `need` bytes fit, writing dirty-latest victims back one level.
-    fn make_room(
-        &self,
-        ctx: &Ctx,
-        exec: &dyn TransferExec,
+    ///
+    /// Boxed future: eviction of a dirty victim recurses through
+    /// [`push_one_level`](Self::push_one_level), and an `async fn` cycle
+    /// needs one boxed edge to have a finite type.
+    fn make_room<'a>(
+        &'a self,
+        exec: &'a dyn TransferExec,
         space: SpaceId,
         need: u64,
-    ) -> SimResult<()> {
-        assert_ne!(space, self.topo.root(), "the master host never evicts home data");
-        let info = self.mem.space_info(space);
-        let target = need + (self.evict_slack * info.capacity as f64) as u64;
-        loop {
-            let available = self.mem.available(space);
-            if available >= need.max(target.min(info.capacity)) {
-                return Ok(());
-            }
-            // Choose the LRU evictable copy in `space`.
-            let victim: Option<(Region, bool, u64)> = {
-                let inner = self.inner.lock();
-                inner
-                    .regions
-                    .iter()
-                    .filter_map(|(region, entry)| {
-                        let c = entry.copies.get(&space)?;
-                        if c.pinned > 0 || matches!(c.state, CState::InFlight { .. }) {
-                            return None;
-                        }
-                        Some((*region, c.dirty, c.last_use))
-                    })
-                    .min_by_key(|&(r, _, last_use)| (last_use, r))
-            };
-            let Some((region, dirty, _)) = victim else {
-                if available >= need {
-                    // Slack not reachable (everything left is pinned);
-                    // the immediate need is satisfied, so proceed.
+    ) -> Pin<Box<dyn Future<Output = SimResult<()>> + Send + 'a>> {
+        Box::pin(async move {
+            assert_ne!(space, self.topo.root(), "the master host never evicts home data");
+            let info = self.mem.space_info(space);
+            let target = need + (self.evict_slack * info.capacity as f64) as u64;
+            loop {
+                let available = self.mem.available(space);
+                if available >= need.max(target.min(info.capacity)) {
                     return Ok(());
                 }
-                panic!(
+                // Choose the LRU evictable copy in `space`.
+                let victim: Option<(Region, bool, u64)> = {
+                    let inner = self.inner.lock();
+                    inner
+                        .regions
+                        .iter()
+                        .filter_map(|(region, entry)| {
+                            let c = entry.copies.get(&space)?;
+                            if c.pinned > 0 || matches!(c.state, CState::InFlight { .. }) {
+                                return None;
+                            }
+                            Some((*region, c.dirty, c.last_use))
+                        })
+                        .min_by_key(|&(r, _, last_use)| (last_use, r))
+                };
+                let Some((region, dirty, _)) = victim else {
+                    if available >= need {
+                        // Slack not reachable (everything left is pinned);
+                        // the immediate need is satisfied, so proceed.
+                        return Ok(());
+                    }
+                    panic!(
                     "cache thrash: no evictable copy in space {space:?} while allocating {need} \
                      bytes (all copies pinned or in flight)"
                 );
-            };
-            if dirty {
-                let parent =
-                    self.topo.parent_of(space).expect("non-root space has a parent for write-back");
-                self.push_one_level(ctx, exec, &region, space, parent)?;
-                let mut inner = self.inner.lock();
-                inner.stats.writebacks += 1;
-                inner.stats.writeback_bytes += region.len;
-            }
-            // Free it (re-checking evictability: state may have changed
-            // while the write-back ran).
-            let mut inner = self.inner.lock();
-            let entry = inner.regions.get_mut(&region).expect("victim region");
-            if let Some(c) = entry.copies.get(&space) {
-                if c.pinned == 0 && !matches!(c.state, CState::InFlight { .. }) && !c.dirty {
-                    let alloc = c.alloc;
-                    entry.copies.remove(&space);
-                    inner.stats.evictions += 1;
-                    self.mem.free(space, alloc);
+                };
+                if dirty {
+                    let parent = self
+                        .topo
+                        .parent_of(space)
+                        .expect("non-root space has a parent for write-back");
+                    self.push_one_level(exec, &region, space, parent).await?;
+                    let mut inner = self.inner.lock();
+                    inner.stats.writebacks += 1;
+                    inner.stats.writeback_bytes += region.len;
                 }
+                // Free it (re-checking evictability: state may have changed
+                // while the write-back ran).
+                let mut inner = self.inner.lock();
+                let entry = inner.regions.get_mut(&region).expect("victim region");
+                if let Some(c) = entry.copies.get(&space) {
+                    if c.pinned == 0 && !matches!(c.state, CState::InFlight { .. }) && !c.dirty {
+                        let alloc = c.alloc;
+                        entry.copies.remove(&space);
+                        inner.stats.evictions += 1;
+                        self.mem.free(space, alloc);
+                    }
+                }
+                self.debug_validate_locked(&inner, "eviction");
             }
-            self.debug_validate_locked(&inner, "eviction");
-        }
+        })
     }
 
     /// Stage an up-to-date copy of `region` at `space` without pinning
     /// it — used by the cluster layer to push task data to a remote
     /// node's host memory ahead of the execution request, and by the
     /// GPU prefetcher.
-    pub fn prefetch(
+    pub async fn prefetch(
         &self,
-        ctx: &Ctx,
         exec: &dyn TransferExec,
         region: &Region,
         space: SpaceId,
     ) -> SimResult<()> {
-        self.ensure_valid(ctx, exec, region, space, false, TransferPurpose::Prefetch)
+        self.ensure_valid(exec, region, space, false, TransferPurpose::Prefetch).await
     }
 
     /// Like [`prefetch`](Coherence::prefetch), but accounted as
     /// cluster pre-send traffic: the communication thread stages task
     /// data at a slave node's host memory ahead of the `Exec` request.
-    pub fn presend(
+    pub async fn presend(
         &self,
-        ctx: &Ctx,
         exec: &dyn TransferExec,
         region: &Region,
         space: SpaceId,
     ) -> SimResult<()> {
-        self.ensure_valid(ctx, exec, region, space, false, TransferPurpose::Presend)
+        self.ensure_valid(exec, region, space, false, TransferPurpose::Presend).await
     }
 
     /// Regions with a dirty valid-latest copy somewhere (what a flush
@@ -1050,7 +1052,7 @@ impl Coherence {
     /// valid. The runtime's `taskwait` uses the parallel variant built
     /// on [`dirty_regions`](Coherence::dirty_regions) +
     /// [`flush_region`](Coherence::flush_region).
-    pub fn flush_all(&self, ctx: &Ctx, exec: &dyn TransferExec) -> SimResult<()> {
+    pub async fn flush_all(&self, exec: &dyn TransferExec) -> SimResult<()> {
         let dirty: Vec<Region> = {
             let inner = self.inner.lock();
             inner
@@ -1068,21 +1070,16 @@ impl Coherence {
         let mut sorted = dirty;
         sorted.sort();
         for region in sorted {
-            self.flush_region(ctx, exec, &region)?;
+            self.flush_region(exec, &region).await?;
         }
         Ok(())
     }
 
     /// Flush one region's latest version to the master host
     /// (`taskwait on(...)`).
-    pub fn flush_region(
-        &self,
-        ctx: &Ctx,
-        exec: &dyn TransferExec,
-        region: &Region,
-    ) -> SimResult<()> {
+    pub async fn flush_region(&self, exec: &dyn TransferExec, region: &Region) -> SimResult<()> {
         let root = self.topo.root();
-        self.ensure_valid(ctx, exec, region, root, false, TransferPurpose::Flush)?;
+        self.ensure_valid(exec, region, root, false, TransferPurpose::Flush).await?;
         // The home now reflects the latest version: latest copies are
         // clean, stale dirty copies hold obsolete data and are dropped
         // from the dirty set too.
@@ -1150,7 +1147,7 @@ impl Coherence {
     /// dirty-cover invariant; the caller must reconstruct them (lineage
     /// re-execution) and finish with [`repair_root`](Self::repair_root)
     /// before yielding to the simulation.
-    pub fn purge_spaces(&self, ctx: &Ctx, spaces: &[SpaceId]) -> Vec<LostRegion> {
+    pub fn purge_spaces(&self, spaces: &[SpaceId]) -> Vec<LostRegion> {
         assert!(!spaces.contains(&self.topo.root()), "the master host cannot be purged");
         let mut inner = self.inner.lock();
         for &s in spaces {
@@ -1165,7 +1162,7 @@ impl Coherence {
                 if let Some(c) = entry.copies.remove(&s) {
                     touched = true;
                     if let CState::InFlight { done } = c.state {
-                        done.set(ctx);
+                        done.set();
                     }
                 }
             }
@@ -1255,7 +1252,7 @@ impl Coherence {
     /// rolled-back versions had copies only on the dead node and their
     /// successors were never released, so normal execution re-commits
     /// them from here.
-    pub fn repair_root(&self, ctx: &Ctx, region: &Region, version: u64) {
+    pub fn repair_root(&self, region: &Region, version: u64) {
         let root = self.topo.root();
         let mut inner = self.inner.lock();
         let entry = inner.regions.get_mut(region).expect("repair of unknown region");
@@ -1265,7 +1262,7 @@ impl Coherence {
             // A flush toward the root was on the wire when the node
             // died; its source is gone, so it will resolve undelivered.
             // Wake its waiters now — the state below supersedes it.
-            done.set(ctx);
+            done.set();
         }
         c.state = CState::Valid { version };
         c.dirty = false;

@@ -11,31 +11,35 @@ use ompss_coherence::{
     CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec, TransferPurpose,
 };
 use ompss_mem::{Access, Backing, MemoryManager, Region, SpaceKind};
-use ompss_sim::{Ctx, Sim, SimDuration, SimResult};
+use std::future::Future;
+use std::pin::Pin;
+
+use ompss_sim::{delay, Sim, SimDuration, SimResult};
 
 struct ByteExec {
     mem: Arc<MemoryManager>,
 }
 
 impl TransferExec for ByteExec {
-    fn transfer(
-        &self,
-        ctx: &Ctx,
+    fn transfer<'a>(
+        &'a self,
         _kind: HopKind,
         _purpose: TransferPurpose,
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<bool> {
-        ctx.delay(SimDuration::from_nanos(bytes))?;
-        self.mem.copy(
-            (src.space, src.alloc),
-            src.offset,
-            (dst.space, dst.alloc),
-            dst.offset,
-            bytes,
-        );
-        Ok(true)
+    ) -> Pin<Box<dyn Future<Output = SimResult<bool>> + Send + 'a>> {
+        Box::pin(async move {
+            delay(SimDuration::from_nanos(bytes)).await?;
+            self.mem.copy(
+                (src.space, src.alloc),
+                src.offset,
+                (dst.space, dst.alloc),
+                dst.offset,
+                bytes,
+            );
+            Ok(true)
+        })
     }
 }
 
@@ -107,7 +111,7 @@ proptest! {
         let failure2 = failure.clone();
 
         let sim = Sim::new();
-        sim.spawn("driver", move |ctx| {
+        sim.spawn("driver", async move {
             // Shadow model: region -> the stamp of its last write.
             let mut shadow: Vec<u8> = vec![0; regions2.len()];
             let mut stamp: u8 = 0;
@@ -119,7 +123,7 @@ proptest! {
                 } else {
                     Access::input(region)
                 };
-                let loc = coh.acquire(&ctx, &*exec, &region, true, space).unwrap();
+                let loc = coh.acquire(&*exec, &region, true, space).await.unwrap();
                 // Verify contents = last write's stamp.
                 let mut buf = vec![0u8; LEN as usize];
                 mem2.read(space, loc.alloc, loc.offset, &mut buf);
@@ -137,10 +141,10 @@ proptest! {
                     mem2.write(space, loc.alloc, loc.offset, &data);
                     shadow[op.region_idx] = stamp;
                 }
-                coh.commit(&ctx, &*exec, &[access], space).unwrap();
+                coh.commit(&*exec, &[access], space).await.unwrap();
             }
             // Final flush must land every region's latest bytes at home.
-            coh.flush_all(&ctx, &*exec).unwrap();
+            coh.flush_all(&*exec).await.unwrap();
             for (i, region) in regions2.iter().enumerate() {
                 let info = mem2.data_info(region.data);
                 let mut buf = vec![0u8; LEN as usize];

@@ -10,7 +10,10 @@ use ompss_coherence::{
     CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec, TransferPurpose,
 };
 use ompss_mem::{Access, Backing, MemoryManager, Region, SpaceId, SpaceKind};
-use ompss_sim::{Ctx, Sim, SimDuration, SimResult};
+use std::future::Future;
+use std::pin::Pin;
+
+use ompss_sim::{delay, now, spawn, Sim, SimDuration, SimResult};
 
 /// Executes hops at 1 ns/byte (PCIe) and 2 ns/byte (network), moving
 /// the real bytes and recording a log.
@@ -30,29 +33,30 @@ impl TestExec {
 }
 
 impl TransferExec for TestExec {
-    fn transfer(
-        &self,
-        ctx: &Ctx,
+    fn transfer<'a>(
+        &'a self,
         kind: HopKind,
         _purpose: TransferPurpose,
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<bool> {
-        let per_byte = match kind {
-            HopKind::Pcie => 1,
-            HopKind::Network => 2,
-        };
-        ctx.delay(SimDuration::from_nanos(bytes * per_byte))?;
-        self.mem.copy(
-            (src.space, src.alloc),
-            src.offset,
-            (dst.space, dst.alloc),
-            dst.offset,
-            bytes,
-        );
-        self.log.lock().push((kind, src.space, dst.space, bytes));
-        Ok(true)
+    ) -> Pin<Box<dyn Future<Output = SimResult<bool>> + Send + 'a>> {
+        Box::pin(async move {
+            let per_byte = match kind {
+                HopKind::Pcie => 1,
+                HopKind::Network => 2,
+            };
+            delay(SimDuration::from_nanos(bytes * per_byte)).await?;
+            self.mem.copy(
+                (src.space, src.alloc),
+                src.offset,
+                (dst.space, dst.alloc),
+                dst.offset,
+                bytes,
+            );
+            self.log.lock().push((kind, src.space, dst.space, bytes));
+            Ok(true)
+        })
     }
 }
 
@@ -77,7 +81,10 @@ fn single_node(gpu_capacity: u64) -> SingleNode {
     SingleNode { mem, host, gpu0, gpu1, topo }
 }
 
-fn run_sim(f: impl FnOnce(Ctx) + Send + 'static) {
+fn run_sim<Fut>(f: Fut)
+where
+    Fut: Future<Output = ()> + Send + 'static,
+{
     let sim = Sim::new();
     sim.spawn("test", f);
     sim.run().unwrap();
@@ -98,24 +105,24 @@ fn first_read_pulls_from_home_then_hits() {
     let info = n.mem.data_info(r.data);
     n.mem.write(n.host, info.home_alloc, 0, &[7u8; 256]);
     let (gpu0, mem) = (n.gpu0, n.mem.clone());
-    run_sim(move |ctx| {
-        let loc = coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+    run_sim(async move {
+        let loc = coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
         assert_eq!(loc.space, gpu0);
         let mut buf = [0u8; 256];
         mem.read(gpu0, loc.alloc, loc.offset, &mut buf);
         assert_eq!(buf, [7u8; 256], "real bytes followed the transfer");
         assert_eq!(exec.hops(), vec![(HopKind::Pcie, SpaceId(0), gpu0, 256)]);
-        assert_eq!(ctx.now().as_nanos(), 256, "transfer charged 1 ns/byte");
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        assert_eq!(now().as_nanos(), 256, "transfer charged 1 ns/byte");
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
         // Second acquire is a hit: no new transfer, no time.
-        let before = ctx.now();
-        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
-        assert_eq!(ctx.now(), before);
+        let before = now();
+        coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
+        assert_eq!(now(), before);
         assert_eq!(exec.hops().len(), 1);
         let st = coh.stats();
         assert_eq!(st.hits, 1);
         assert_eq!(st.misses, 1);
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
     });
 }
 
@@ -126,11 +133,11 @@ fn output_only_acquire_moves_nothing() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 128);
     let gpu0 = n.gpu0;
-    run_sim(move |ctx| {
-        coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+    run_sim(async move {
+        coh.acquire(&*exec, &r, false, gpu0).await.unwrap();
         assert!(exec.hops().is_empty(), "write-only placement must not transfer");
-        assert_eq!(ctx.now().as_nanos(), 0);
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        assert_eq!(now().as_nanos(), 0);
+        coh.commit(&*exec, &[Access::output(r)], gpu0).await.unwrap();
     });
 }
 
@@ -141,14 +148,14 @@ fn writeback_defers_and_reader_pulls_from_writer() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let (gpu0, gpu1, mem) = (n.gpu0, n.gpu1, n.mem.clone());
-    run_sim(move |ctx| {
+    run_sim(async move {
         // Writer on gpu0.
-        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        let loc = coh.acquire(&*exec, &r, false, gpu0).await.unwrap();
         mem.write(gpu0, loc.alloc, loc.offset, &[9u8; 64]);
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::output(r)], gpu0).await.unwrap();
         assert!(exec.hops().is_empty(), "write-back: no eager propagation");
         // Reader on gpu1: data routes gpu0 -> host -> gpu1.
-        let loc1 = coh.acquire(&ctx, &*exec, &r, true, gpu1).unwrap();
+        let loc1 = coh.acquire(&*exec, &r, true, gpu1).await.unwrap();
         let mut buf = [0u8; 64];
         mem.read(gpu1, loc1.alloc, loc1.offset, &mut buf);
         assert_eq!(buf, [9u8; 64]);
@@ -157,7 +164,7 @@ fn writeback_defers_and_reader_pulls_from_writer() {
             hops,
             vec![(HopKind::Pcie, gpu0, SpaceId(0), 64), (HopKind::Pcie, SpaceId(0), gpu1, 64)]
         );
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu1).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu1).await.unwrap();
     });
 }
 
@@ -168,10 +175,10 @@ fn write_through_pushes_at_commit() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let (gpu0, host, mem) = (n.gpu0, n.host, n.mem.clone());
-    run_sim(move |ctx| {
-        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+    run_sim(async move {
+        let loc = coh.acquire(&*exec, &r, false, gpu0).await.unwrap();
         mem.write(gpu0, loc.alloc, loc.offset, &[3u8; 64]);
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::output(r)], gpu0).await.unwrap();
         assert_eq!(exec.hops(), vec![(HopKind::Pcie, gpu0, host, 64)]);
         // The home allocation holds the new data.
         let info = mem.data_info(r.data);
@@ -180,9 +187,9 @@ fn write_through_pushes_at_commit() {
         assert_eq!(buf, [3u8; 64]);
         // The GPU copy is retained (unlike no-cache): re-acquire = hit.
         let before = exec.hops().len();
-        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
         assert_eq!(exec.hops().len(), before);
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
     });
 }
 
@@ -193,14 +200,14 @@ fn no_cache_drops_copies_after_commit() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let (gpu0, mem) = (n.gpu0, n.mem.clone());
-    run_sim(move |ctx| {
-        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+    run_sim(async move {
+        coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
         assert_eq!(mem.used(gpu0), 0, "no-cache frees the GPU copy at commit");
         // Next task transfers again.
-        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
         assert_eq!(exec.hops().len(), 2);
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
     });
 }
 
@@ -211,18 +218,18 @@ fn taskwait_flush_brings_dirty_data_home() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let (gpu0, host, mem) = (n.gpu0, n.host, n.mem.clone());
-    run_sim(move |ctx| {
-        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+    run_sim(async move {
+        let loc = coh.acquire(&*exec, &r, false, gpu0).await.unwrap();
         mem.write(gpu0, loc.alloc, loc.offset, &[5u8; 64]);
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
-        coh.flush_all(&ctx, &*exec).unwrap();
+        coh.commit(&*exec, &[Access::output(r)], gpu0).await.unwrap();
+        coh.flush_all(&*exec).await.unwrap();
         let info = mem.data_info(r.data);
         let mut buf = [0u8; 64];
         mem.read(host, info.home_alloc, 0, &mut buf);
         assert_eq!(buf, [5u8; 64]);
         // Flushing again is free: nothing dirty remains.
         let before = exec.hops().len();
-        coh.flush_all(&ctx, &*exec).unwrap();
+        coh.flush_all(&*exec).await.unwrap();
         assert_eq!(exec.hops().len(), before);
     });
 }
@@ -238,17 +245,17 @@ fn lru_eviction_writes_back_dirty_victim() {
     let r2 = region(&n.mem, n.host, 64);
     let r3 = region(&n.mem, n.host, 64);
     let (gpu0, host, mem) = (n.gpu0, n.host, n.mem.clone());
-    run_sim(move |ctx| {
+    run_sim(async move {
         // Dirty r1 on the GPU.
-        let loc = coh.acquire(&ctx, &*exec, &r1, false, gpu0).unwrap();
+        let loc = coh.acquire(&*exec, &r1, false, gpu0).await.unwrap();
         mem.write(gpu0, loc.alloc, loc.offset, &[1u8; 64]);
-        coh.commit(&ctx, &*exec, &[Access::output(r1)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::output(r1)], gpu0).await.unwrap();
         // Clean r2 on the GPU (r1 becomes LRU).
-        coh.acquire(&ctx, &*exec, &r2, true, gpu0).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::input(r2)], gpu0).unwrap();
+        coh.acquire(&*exec, &r2, true, gpu0).await.unwrap();
+        coh.commit(&*exec, &[Access::input(r2)], gpu0).await.unwrap();
         // r3 needs room: r1 must be written back and evicted.
-        coh.acquire(&ctx, &*exec, &r3, true, gpu0).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::input(r3)], gpu0).unwrap();
+        coh.acquire(&*exec, &r3, true, gpu0).await.unwrap();
+        coh.commit(&*exec, &[Access::input(r3)], gpu0).await.unwrap();
         let st = coh.stats();
         assert_eq!(st.evictions, 1);
         assert_eq!(st.writebacks, 1);
@@ -274,10 +281,10 @@ fn all_pinned_cache_panics_with_diagnosis() {
     let r2 = region(&n.mem, n.host, 64);
     let gpu0 = n.gpu0;
     let sim = Sim::new();
-    sim.spawn("test", move |ctx| {
+    sim.spawn("test", async move {
         // r1 pinned (no commit), r2 cannot fit.
-        coh.acquire(&ctx, &*exec, &r1, true, gpu0).unwrap();
-        let _ = coh.acquire(&ctx, &*exec, &r2, true, gpu0);
+        coh.acquire(&*exec, &r1, true, gpu0).await.unwrap();
+        let _ = coh.acquire(&*exec, &r2, true, gpu0).await;
     });
     if let Err(e) = sim.run() {
         panic!("{e}");
@@ -296,8 +303,8 @@ fn inflight_transfers_are_deduplicated() {
     for name in ["a", "b"] {
         let coh = coh.clone();
         let exec = exec.clone();
-        sim.spawn(name, move |ctx| {
-            coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        sim.spawn(name, async move {
+            coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
             coh.unpin(&r, gpu0);
         });
     }
@@ -323,12 +330,12 @@ fn cluster_routes_respect_slave_routing_mode() {
         let exec = Arc::new(TestExec::new(mem.clone()));
         let r = region(&mem, master, 64);
         let mem2 = mem.clone();
-        run_sim(move |ctx| {
+        run_sim(async move {
             // Write on slave1's GPU, then read on slave2's GPU.
-            let loc = coh.acquire(&ctx, &*exec, &r, false, g1).unwrap();
+            let loc = coh.acquire(&*exec, &r, false, g1).await.unwrap();
             mem2.write(g1, loc.alloc, loc.offset, &[8u8; 64]);
-            coh.commit(&ctx, &*exec, &[Access::output(r)], g1).unwrap();
-            let loc2 = coh.acquire(&ctx, &*exec, &r, true, g2).unwrap();
+            coh.commit(&*exec, &[Access::output(r)], g1).await.unwrap();
+            let loc2 = coh.acquire(&*exec, &r, true, g2).await.unwrap();
             let mut buf = [0u8; 64];
             mem2.read(g2, loc2.alloc, loc2.offset, &mut buf);
             assert_eq!(buf, [8u8; 64]);
@@ -337,7 +344,7 @@ fn cluster_routes_respect_slave_routing_mode() {
             let pcie = hops.iter().filter(|h| h.0 == HopKind::Pcie).count();
             assert_eq!(net, expected_net_hops, "routing mode {routing:?}");
             assert_eq!(pcie, 2, "gpu->host and host->gpu at the two ends");
-            coh.commit(&ctx, &*exec, &[Access::input(r)], g2).unwrap();
+            coh.commit(&*exec, &[Access::input(r)], g2).await.unwrap();
         });
     }
 }
@@ -350,16 +357,16 @@ fn intermediate_host_copy_is_cached_for_later_use() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let (gpu0, gpu1, host) = (n.gpu0, n.gpu1, n.host);
-    run_sim(move |ctx| {
-        coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
-        coh.acquire(&ctx, &*exec, &r, true, gpu1).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu1).unwrap();
+    run_sim(async move {
+        coh.acquire(&*exec, &r, false, gpu0).await.unwrap();
+        coh.commit(&*exec, &[Access::output(r)], gpu0).await.unwrap();
+        coh.acquire(&*exec, &r, true, gpu1).await.unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu1).await.unwrap();
         let before = exec.hops().len();
         // Host read (e.g. an SMP task) hits the cached relay copy.
-        coh.acquire(&ctx, &*exec, &r, true, host).unwrap();
+        coh.acquire(&*exec, &r, true, host).await.unwrap();
         assert_eq!(exec.hops().len(), before);
-        coh.commit(&ctx, &*exec, &[Access::input(r)], host).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], host).await.unwrap();
     });
 }
 
@@ -370,15 +377,15 @@ fn bytes_at_reflects_validity_and_staleness() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let (gpu0, gpu1, host) = (n.gpu0, n.gpu1, n.host);
-    run_sim(move |ctx| {
+    run_sim(async move {
         assert_eq!(coh.bytes_at(&r, gpu0), 0, "untouched region only at home");
-        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
         assert_eq!(coh.bytes_at(&r, gpu0), 64);
         assert_eq!(coh.bytes_at(&r, host), 64);
         // A write on gpu1 invalidates the gpu0 and host copies.
-        coh.acquire(&ctx, &*exec, &r, false, gpu1).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu1).unwrap();
+        coh.acquire(&*exec, &r, false, gpu1).await.unwrap();
+        coh.commit(&*exec, &[Access::output(r)], gpu1).await.unwrap();
         assert_eq!(coh.bytes_at(&r, gpu0), 0);
         assert_eq!(coh.bytes_at(&r, host), 0);
         assert_eq!(coh.bytes_at(&r, gpu1), 64);
@@ -393,21 +400,21 @@ fn stale_copy_is_refreshed_in_place_without_realloc() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let (gpu0, gpu1, mem) = (n.gpu0, n.gpu1, n.mem.clone());
-    run_sim(move |ctx| {
-        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+    run_sim(async move {
+        coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
         let used_before = mem.used(gpu0);
         // Invalidate gpu0's copy by writing on gpu1...
-        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu1).unwrap();
+        let loc = coh.acquire(&*exec, &r, false, gpu1).await.unwrap();
         mem.write(gpu1, loc.alloc, loc.offset, &[4u8; 64]);
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu1).unwrap();
+        coh.commit(&*exec, &[Access::output(r)], gpu1).await.unwrap();
         // ...then read it again on gpu0: same allocation, fresh data.
-        let loc0 = coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        let loc0 = coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
         let mut buf = [0u8; 64];
         mem.read(gpu0, loc0.alloc, loc0.offset, &mut buf);
         assert_eq!(buf, [4u8; 64]);
         assert_eq!(mem.used(gpu0), used_before, "stale copy refreshed in place");
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu0).await.unwrap();
     });
 }
 
@@ -421,12 +428,12 @@ fn invalidate_space_drops_clean_copies_and_frees_memory() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 128);
     let (host, gpu0, gpu1, mem) = (n.host, n.gpu0, n.gpu1, n.mem.clone());
-    run_sim(move |ctx| {
+    run_sim(async move {
         // gpu0 writes the region; write-through pushes it home at commit,
         // leaving a clean cached copy on gpu0.
-        let loc = coh.acquire(&ctx, &*exec, &r, false, gpu0).unwrap();
+        let loc = coh.acquire(&*exec, &r, false, gpu0).await.unwrap();
         mem.write(gpu0, loc.alloc, loc.offset, &[9u8; 128]);
-        coh.commit(&ctx, &*exec, &[Access::output(r)], gpu0).unwrap();
+        coh.commit(&*exec, &[Access::output(r)], gpu0).await.unwrap();
         assert_eq!(coh.bytes_at(&r, gpu0), 128);
         let used_before = mem.used(gpu0);
         assert!(used_before > 0);
@@ -435,11 +442,11 @@ fn invalidate_space_drops_clean_copies_and_frees_memory() {
         assert_eq!(coh.bytes_at(&r, gpu0), 0);
         assert_eq!(mem.used(gpu0), 0);
         // The data is still reachable from home for the survivor.
-        let loc1 = coh.acquire(&ctx, &*exec, &r, true, gpu1).unwrap();
+        let loc1 = coh.acquire(&*exec, &r, true, gpu1).await.unwrap();
         let mut buf = [0u8; 128];
         mem.read(gpu1, loc1.alloc, loc1.offset, &mut buf);
         assert_eq!(buf, [9u8; 128]);
-        coh.commit(&ctx, &*exec, &[Access::input(r)], gpu1).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], gpu1).await.unwrap();
         assert_eq!(coh.bytes_at(&r, host), 128);
     });
 }
@@ -451,10 +458,10 @@ fn invalidate_space_skips_pinned_copies() {
     let exec = Arc::new(TestExec::new(n.mem.clone()));
     let r = region(&n.mem, n.host, 64);
     let gpu0 = n.gpu0;
-    run_sim(move |ctx| {
+    run_sim(async move {
         // Acquire pins the copy; invalidation must leave it alone until
         // the failed task's teardown unpins it.
-        coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+        coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
         assert_eq!(coh.invalidate_space(gpu0), 0);
         assert_eq!(coh.bytes_at(&r, gpu0), 64);
         coh.unpin(&r, gpu0);
@@ -483,23 +490,23 @@ fn purge_reports_lost_latest_and_repair_restores_invariants() {
     let r = region(&mem, master, 64);
     let home = mem.data_info(r.data).home_alloc;
     let mem2 = mem.clone();
-    run_sim(move |ctx| {
+    run_sim(async move {
         // v1 is written on slave1's GPU and, under write-back, lives
         // only there when the node dies. Keep the copy pinned to model
         // a task mid-run at the kill instant.
-        let loc = coh.acquire(&ctx, &*exec, &r, false, g1).unwrap();
+        let loc = coh.acquire(&*exec, &r, false, g1).await.unwrap();
         mem2.write(g1, loc.alloc, loc.offset, &[0xAB; 64]);
-        coh.commit(&ctx, &*exec, &[Access::output(r)], g1).unwrap();
-        coh.acquire(&ctx, &*exec, &r, true, g1).unwrap();
+        coh.commit(&*exec, &[Access::output(r)], g1).await.unwrap();
+        coh.acquire(&*exec, &r, true, g1).await.unwrap();
 
-        let lost = coh.purge_spaces(&ctx, &[s1, g1]);
+        let lost = coh.purge_spaces(&[s1, g1]);
         assert_eq!(lost.len(), 1, "the pinned latest-only copy was purged and reported");
         assert_eq!((lost[0].region, lost[0].latest, lost[0].best), (r, 1, 0));
         assert!(coh.is_dead_space(g1) && coh.is_dead_space(s1));
         assert!(!coh.is_dead_space(s2));
         coh.unpin(&r, g1); // late teardown of the dead task: a no-op
         assert!(
-            matches!(coh.acquire(&ctx, &*exec, &r, true, g1), Err(ompss_sim::SimError::Shutdown)),
+            matches!(coh.acquire(&*exec, &r, true, g1).await, Err(ompss_sim::SimError::Shutdown)),
             "acquires targeting a dead space shut down"
         );
 
@@ -509,15 +516,15 @@ fn purge_reports_lost_latest_and_repair_restores_invariants() {
         let (best, pulled) = coh.pull_best_to_root(&r).expect("a valid copy survives");
         assert_eq!((best, pulled), (0, 0), "root already held the best survivor");
         mem2.write(master, home, 0, &[0xAB; 64]);
-        coh.repair_root(&ctx, &r, 1);
+        coh.repair_root(&r, 1);
         coh.check_invariants().expect("repair restores the directory invariants");
 
         // A surviving node reads the reconstructed latest.
-        let loc2 = coh.acquire(&ctx, &*exec, &r, true, g2).unwrap();
+        let loc2 = coh.acquire(&*exec, &r, true, g2).await.unwrap();
         let mut buf = [0u8; 64];
         mem2.read(g2, loc2.alloc, loc2.offset, &mut buf);
         assert_eq!(buf, [0xAB; 64]);
-        coh.commit(&ctx, &*exec, &[Access::input(r)], g2).unwrap();
+        coh.commit(&*exec, &[Access::input(r)], g2).await.unwrap();
     });
 }
 
@@ -531,27 +538,28 @@ fn undelivered_hop_leaves_destination_garbage() {
         deliver: std::sync::atomic::AtomicBool,
     }
     impl TransferExec for FlakyExec {
-        fn transfer(
-            &self,
-            ctx: &Ctx,
+        fn transfer<'a>(
+            &'a self,
             _kind: HopKind,
             _purpose: TransferPurpose,
             src: Loc,
             dst: Loc,
             bytes: u64,
-        ) -> SimResult<bool> {
-            ctx.delay(SimDuration::from_nanos(bytes))?;
-            if !self.deliver.load(std::sync::atomic::Ordering::Relaxed) {
-                return Ok(false);
-            }
-            self.mem.copy(
-                (src.space, src.alloc),
-                src.offset,
-                (dst.space, dst.alloc),
-                dst.offset,
-                bytes,
-            );
-            Ok(true)
+        ) -> Pin<Box<dyn Future<Output = SimResult<bool>> + Send + 'a>> {
+            Box::pin(async move {
+                delay(SimDuration::from_nanos(bytes)).await?;
+                if !self.deliver.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Ok(false);
+                }
+                self.mem.copy(
+                    (src.space, src.alloc),
+                    src.offset,
+                    (dst.space, dst.alloc),
+                    dst.offset,
+                    bytes,
+                );
+                Ok(true)
+            })
         }
     }
     let n = single_node(1 << 20);
@@ -564,24 +572,24 @@ fn undelivered_hop_leaves_destination_garbage() {
     let info = n.mem.data_info(r.data);
     n.mem.write(n.host, info.home_alloc, 0, &[5u8; 64]);
     let (gpu0, mem) = (n.gpu0, n.mem.clone());
-    run_sim(move |ctx| {
+    run_sim(async move {
         // First attempt never lands; the engine keeps re-planning the
         // same hop (each failed try still costs wire time) until the
         // fabric heals, and only then hands out the copy.
         let done = ompss_sim::Signal::new();
         {
             let (coh, exec, done) = (coh.clone(), exec.clone(), done.clone());
-            ctx.spawn("reader", move |ctx| {
-                let loc = coh.acquire(&ctx, &*exec, &r, true, gpu0).unwrap();
+            spawn("reader", async move {
+                let loc = coh.acquire(&*exec, &r, true, gpu0).await.unwrap();
                 let mut buf = [0u8; 64];
                 mem.read(gpu0, loc.alloc, loc.offset, &mut buf);
                 assert_eq!(buf, [5u8; 64], "only delivered bytes are ever handed out");
-                done.set(&ctx);
+                done.set();
             });
         }
-        ctx.delay(SimDuration::from_nanos(100)).unwrap();
+        delay(SimDuration::from_nanos(100)).await.unwrap();
         assert_eq!(coh.bytes_at(&r, gpu0), 0, "undelivered fill is not valid");
         exec.deliver.store(true, std::sync::atomic::Ordering::Relaxed);
-        done.wait(&ctx).unwrap();
+        done.wait().await.unwrap();
     });
 }

@@ -19,31 +19,35 @@ use ompss_coherence::{
     CachePolicy, Coherence, HopKind, Loc, SlaveRouting, Topology, TransferExec, TransferPurpose,
 };
 use ompss_mem::{Access, Backing, MemoryManager, Region, SpaceKind};
-use ompss_sim::{Ctx, Sim, SimDuration, SimResult};
+use std::future::Future;
+use std::pin::Pin;
+
+use ompss_sim::{delay, Sim, SimDuration, SimResult};
 
 struct ByteExec {
     mem: Arc<MemoryManager>,
 }
 
 impl TransferExec for ByteExec {
-    fn transfer(
-        &self,
-        ctx: &Ctx,
+    fn transfer<'a>(
+        &'a self,
         _kind: HopKind,
         _purpose: TransferPurpose,
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<bool> {
-        ctx.delay(SimDuration::from_nanos(bytes))?;
-        self.mem.copy(
-            (src.space, src.alloc),
-            src.offset,
-            (dst.space, dst.alloc),
-            dst.offset,
-            bytes,
-        );
-        Ok(true)
+    ) -> Pin<Box<dyn Future<Output = SimResult<bool>> + Send + 'a>> {
+        Box::pin(async move {
+            delay(SimDuration::from_nanos(bytes)).await?;
+            self.mem.copy(
+                (src.space, src.alloc),
+                src.offset,
+                (dst.space, dst.alloc),
+                dst.offset,
+                bytes,
+            );
+            Ok(true)
+        })
     }
 }
 
@@ -126,7 +130,7 @@ proptest! {
         let regions2 = regions.clone();
 
         let sim = Sim::new();
-        sim.spawn("driver", move |ctx| {
+        sim.spawn("driver", async move {
             for op in &ops2 {
                 match *op {
                     Op::Task { space_idx, region_idx, write } => {
@@ -134,21 +138,20 @@ proptest! {
                         let region = regions2[region_idx];
                         let access =
                             if write { Access::inout(region) } else { Access::input(region) };
-                        let loc = coh2.acquire(&ctx, &*exec, &region, true, space).unwrap();
+                        let loc = coh2.acquire(&*exec, &region, true, space).await.unwrap();
                         if write {
                             let data = vec![0xabu8; LEN as usize];
                             mem2.write(space, loc.alloc, loc.offset, &data);
                         }
-                        coh2.commit(&ctx, &*exec, &[access], space).unwrap();
+                        coh2.commit(&*exec, &[access], space).await.unwrap();
                     }
                     Op::Prefetch { space_idx, region_idx } => {
-                        coh2.prefetch(&ctx, &*exec, &regions2[region_idx], spaces[space_idx])
-                            .unwrap();
+                        coh2.prefetch(&*exec, &regions2[region_idx], spaces[space_idx]).await.unwrap();
                     }
                     Op::Flush { region_idx } => {
-                        coh2.flush_region(&ctx, &*exec, &regions2[region_idx]).unwrap();
+                        coh2.flush_region(&*exec, &regions2[region_idx]).await.unwrap();
                     }
-                    Op::FlushAll => coh2.flush_all(&ctx, &*exec).unwrap(),
+                    Op::FlushAll => coh2.flush_all(&*exec).await.unwrap(),
                 }
                 // The external sweep too, between operations: catches
                 // anything the internal call sites might miss.
@@ -192,13 +195,13 @@ proptest! {
         let exec = Arc::new(ByteExec { mem: mem.clone() });
 
         let sim = Sim::new();
-        sim.spawn("driver", move |ctx| {
+        sim.spawn("driver", async move {
             for &(si, ri) in &writes {
                 let region = regions2[ri];
-                coh2.acquire(&ctx, &*exec, &region, false, spaces[si]).unwrap();
-                coh2.commit(&ctx, &*exec, &[Access::output(region)], spaces[si]).unwrap();
+                coh2.acquire(&*exec, &region, false, spaces[si]).await.unwrap();
+                coh2.commit(&*exec, &[Access::output(region)], spaces[si]).await.unwrap();
             }
-            coh2.flush_all(&ctx, &*exec).unwrap();
+            coh2.flush_all(&*exec).await.unwrap();
         });
         sim.run().unwrap();
         prop_assert!(coh.dirty_regions().is_empty(), "flush_all left dirty regions");

@@ -23,7 +23,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use ompss_sim::{
-    Channel, Ctx, DeviceFuse, FaultClass, FaultPlan, Semaphore, Signal, SimDuration, SimResult,
+    delay, process, Channel, DeviceFuse, FaultClass, FaultPlan, Semaphore, Signal, SimDuration,
+    SimResult,
 };
 
 use crate::spec::{GpuSpec, KernelCost};
@@ -74,8 +75,8 @@ impl CudaEvent {
     }
 
     /// Park until the operation completes (`cudaEventSynchronize`).
-    pub fn synchronize(&self, ctx: &Ctx) -> SimResult<()> {
-        self.signal.wait(ctx)
+    pub async fn synchronize(&self) -> SimResult<()> {
+        self.signal.wait().await
     }
 
     /// After completion: the injected fault that struck this operation,
@@ -86,8 +87,9 @@ impl CudaEvent {
 }
 
 /// Side effect run at the completion instant of a stream operation —
-/// the real byte movement or kernel arithmetic.
-pub type Effect = Box<dyn FnOnce(&Ctx) + Send>;
+/// the real byte movement or kernel arithmetic. Runs inside a
+/// simulation process, so [`ompss_sim::now`] is available.
+pub type Effect = Box<dyn FnOnce() + Send>;
 
 enum StreamOp {
     Memcpy { dir: CopyDir, bytes: u64, pinned: bool, effect: Option<Effect>, done: CudaEvent },
@@ -195,15 +197,14 @@ impl GpuDevice {
     /// the DMA completes). `pinned` tells whether the host side is a
     /// page-locked buffer; pageable copies additionally serialise with
     /// kernel execution, as CUDA's do.
-    pub fn memcpy(
+    pub async fn memcpy(
         &self,
-        ctx: &Ctx,
         dir: CopyDir,
         bytes: u64,
         pinned: bool,
         effect: Option<Effect>,
     ) -> SimResult<()> {
-        let r = self.do_memcpy(ctx, dir, bytes, pinned, effect, false)?;
+        let r = self.do_memcpy(dir, bytes, pinned, effect, false).await?;
         debug_assert!(r.is_ok(), "non-injecting copy reported a fault");
         Ok(())
     }
@@ -213,20 +214,18 @@ impl GpuDevice {
     /// the copy was detected corrupt (time was charged, the effect was
     /// NOT applied) or the device is lost; the caller decides whether to
     /// re-issue.
-    pub fn try_memcpy(
+    pub async fn try_memcpy(
         &self,
-        ctx: &Ctx,
         dir: CopyDir,
         bytes: u64,
         pinned: bool,
         effect: Option<Effect>,
     ) -> SimResult<Result<(), GpuFault>> {
-        self.do_memcpy(ctx, dir, bytes, pinned, effect, true)
+        self.do_memcpy(dir, bytes, pinned, effect, true).await
     }
 
-    fn do_memcpy(
+    async fn do_memcpy(
         &self,
-        ctx: &Ctx,
         dir: CopyDir,
         bytes: u64,
         pinned: bool,
@@ -238,21 +237,21 @@ impl GpuDevice {
             return Ok(Err(GpuFault::DeviceLost));
         }
         if !pinned {
-            d.compute.acquire(ctx)?;
+            d.compute.acquire().await?;
         }
-        d.copy.acquire(ctx)?;
-        d.pcie.acquire(ctx)?;
+        d.copy.acquire().await?;
+        d.pcie.acquire().await?;
         let t = if pinned { d.spec.pcie_time(bytes) } else { d.spec.pageable_time(bytes) };
-        ctx.delay(t)?;
-        d.pcie.release(ctx);
-        d.copy.release(ctx);
+        delay(t).await?;
+        d.pcie.release();
+        d.copy.release();
         if !pinned {
-            d.compute.release(ctx);
+            d.compute.release();
         }
         let fault = if inject { self.roll_copy_fault() } else { None };
         if fault.is_none() {
             if let Some(e) = effect {
-                e(ctx);
+                e();
             }
         }
         let mut st = d.stats.lock();
@@ -279,8 +278,8 @@ impl GpuDevice {
     }
 
     /// Synchronous kernel launch: blocks until the kernel retires.
-    pub fn launch(&self, ctx: &Ctx, cost: KernelCost, effect: Option<Effect>) -> SimResult<()> {
-        let r = self.do_launch(ctx, cost, effect, false)?;
+    pub async fn launch(&self, cost: KernelCost, effect: Option<Effect>) -> SimResult<()> {
+        let r = self.do_launch(cost, effect, false).await?;
         debug_assert!(r.is_ok(), "non-injecting launch reported a fault");
         Ok(())
     }
@@ -289,18 +288,16 @@ impl GpuDevice {
     /// chaos injection when a fault plan is armed. `Ok(Err(_))` means
     /// the kernel's effect was NOT applied — the launch failed, or the
     /// whole device was lost mid-kernel.
-    pub fn try_launch(
+    pub async fn try_launch(
         &self,
-        ctx: &Ctx,
         cost: KernelCost,
         effect: Option<Effect>,
     ) -> SimResult<Result<(), GpuFault>> {
-        self.do_launch(ctx, cost, effect, true)
+        self.do_launch(cost, effect, true).await
     }
 
-    fn do_launch(
+    async fn do_launch(
         &self,
-        ctx: &Ctx,
         cost: KernelCost,
         effect: Option<Effect>,
         inject: bool,
@@ -310,15 +307,15 @@ impl GpuDevice {
             return Ok(Err(GpuFault::DeviceLost));
         }
         // Launch overhead is host-side; charge it before contending.
-        ctx.delay(d.spec.launch_overhead)?;
-        d.compute.acquire(ctx)?;
+        delay(d.spec.launch_overhead).await?;
+        d.compute.acquire().await?;
         let t = cost.body_time(&d.spec);
-        ctx.delay(t)?;
-        d.compute.release(ctx);
+        delay(t).await?;
+        d.compute.release();
         let fault = if inject { self.roll_kernel_fault() } else { None };
         if fault.is_none() {
             if let Some(e) = effect {
-                e(ctx);
+                e();
             }
         }
         let mut st = d.stats.lock();
@@ -363,30 +360,30 @@ impl GpuDevice {
     /// Create an asynchronous stream. Its operations execute in FIFO
     /// order on a daemon process, contending for device engines with
     /// other streams.
-    pub fn create_stream(&self, ctx: &Ctx, label: impl Into<String>) -> Stream {
+    pub fn create_stream(&self, label: impl Into<String>) -> Stream {
         let ops: Channel<StreamOp> = Channel::new();
         let dev = self.clone();
         let rx = ops.clone();
         let label = label.into();
-        ctx.spawn_daemon(format!("gpu:{}:stream:{label}", self.inner.name), move |sctx| {
-            while let Ok(op) = rx.recv(&sctx) {
+        process(format!("gpu:{}:stream:{label}", self.inner.name)).daemon().spawn(async move {
+            while let Ok(op) = rx.recv().await {
                 let r = match op {
                     StreamOp::Memcpy { dir, bytes, pinned, effect, done } => {
-                        let r = dev.try_memcpy(&sctx, dir, bytes, pinned, effect);
+                        let r = dev.try_memcpy(dir, bytes, pinned, effect).await;
                         if let Ok(outcome) = &r {
-                            complete(&sctx, &done, outcome.err());
+                            complete(&done, outcome.err());
                         }
                         r.map(|_| ())
                     }
                     StreamOp::Kernel { cost, effect, done } => {
-                        let r = dev.try_launch(&sctx, cost, effect);
+                        let r = dev.try_launch(cost, effect).await;
                         if let Ok(outcome) = &r {
-                            complete(&sctx, &done, outcome.err());
+                            complete(&done, outcome.err());
                         }
                         r.map(|_| ())
                     }
                     StreamOp::Marker { done } => {
-                        complete(&sctx, &done, None);
+                        complete(&done, None);
                         Ok(())
                     }
                 };
@@ -407,10 +404,10 @@ impl GpuDevice {
 /// operations, either of which breaks the CUDA event contract everything
 /// above (kernel synchronisation, verify-mode effect observation)
 /// relies on.
-fn complete(ctx: &Ctx, done: &CudaEvent, fault: Option<GpuFault>) {
+fn complete(done: &CudaEvent, fault: Option<GpuFault>) {
     debug_assert!(!done.query(), "stream operation completed twice");
     *done.fault.lock() = fault;
-    done.signal.set(ctx);
+    done.signal.set();
 }
 
 /// An asynchronous CUDA-like stream. Operations are queued immediately
@@ -423,35 +420,34 @@ impl Stream {
     /// Queue an asynchronous copy.
     pub fn memcpy_async(
         &self,
-        ctx: &Ctx,
         dir: CopyDir,
         bytes: u64,
         pinned: bool,
         effect: Option<Effect>,
     ) -> CudaEvent {
         let done = CudaEvent::new();
-        self.ops.send(ctx, StreamOp::Memcpy { dir, bytes, pinned, effect, done: done.clone() });
+        self.ops.send(StreamOp::Memcpy { dir, bytes, pinned, effect, done: done.clone() });
         done
     }
 
     /// Queue an asynchronous kernel launch.
-    pub fn launch_async(&self, ctx: &Ctx, cost: KernelCost, effect: Option<Effect>) -> CudaEvent {
+    pub fn launch_async(&self, cost: KernelCost, effect: Option<Effect>) -> CudaEvent {
         let done = CudaEvent::new();
-        self.ops.send(ctx, StreamOp::Kernel { cost, effect, done: done.clone() });
+        self.ops.send(StreamOp::Kernel { cost, effect, done: done.clone() });
         done
     }
 
     /// Record an event at the current tail of the stream.
-    pub fn record_event(&self, ctx: &Ctx) -> CudaEvent {
+    pub fn record_event(&self) -> CudaEvent {
         let done = CudaEvent::new();
-        self.ops.send(ctx, StreamOp::Marker { done: done.clone() });
+        self.ops.send(StreamOp::Marker { done: done.clone() });
         done
     }
 
     /// Park until everything queued so far has completed
     /// (`cudaStreamSynchronize`).
-    pub fn synchronize(&self, ctx: &Ctx) -> SimResult<()> {
-        self.record_event(ctx).synchronize(ctx)
+    pub async fn synchronize(&self) -> SimResult<()> {
+        self.record_event().synchronize().await
     }
 }
 
@@ -507,7 +503,7 @@ impl PinnedPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ompss_sim::Sim;
+    use ompss_sim::{now, yield_now, Sim};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn test_spec() -> GpuSpec {
@@ -529,9 +525,9 @@ mod tests {
     fn sync_memcpy_blocks_for_pcie_time() {
         let sim = Sim::new();
         let gpu = GpuDevice::new("g", test_spec());
-        sim.spawn("p", move |ctx| {
-            gpu.memcpy(&ctx, CopyDir::H2D, 1 << 20, true, None).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 1_048_576); // 2^20 ns at 1 B/ns
+        sim.spawn("p", async move {
+            gpu.memcpy(CopyDir::H2D, 1 << 20, true, None).await.unwrap();
+            assert_eq!(now().as_nanos(), 1_048_576); // 2^20 ns at 1 B/ns
             let st = gpu.stats();
             assert_eq!(st.h2d_copies, 1);
             assert_eq!(st.h2d_bytes, 1 << 20);
@@ -547,9 +543,9 @@ mod tests {
         for name in ["k1", "k2"] {
             let g = gpu.clone();
             let e = ends.clone();
-            sim.spawn(name, move |ctx| {
-                g.launch(&ctx, KernelCost::fixed(SimDuration::from_millis(2)), None).unwrap();
-                e.lock().push(ctx.now().as_nanos());
+            sim.spawn(name, async move {
+                g.launch(KernelCost::fixed(SimDuration::from_millis(2)), None).await.unwrap();
+                e.lock().push(now().as_nanos());
             });
         }
         sim.run().unwrap();
@@ -562,15 +558,15 @@ mod tests {
         // pinned). Total must be 4 ms, not 5.
         let sim = Sim::new();
         let gpu = GpuDevice::new("g", test_spec());
-        sim.spawn("host", move |ctx| {
-            let s0 = gpu.create_stream(&ctx, "compute");
-            let s1 = gpu.create_stream(&ctx, "copy");
-            let k = s0.launch_async(&ctx, KernelCost::fixed(SimDuration::from_millis(4)), None);
-            let c = s1.memcpy_async(&ctx, CopyDir::H2D, 1 << 20, true, None);
-            c.synchronize(&ctx).unwrap();
-            assert!(ctx.now().as_nanos() <= 1_100_000, "copy finished during kernel");
-            k.synchronize(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 4_000_000);
+        sim.spawn("host", async move {
+            let s0 = gpu.create_stream("compute");
+            let s1 = gpu.create_stream("copy");
+            let k = s0.launch_async(KernelCost::fixed(SimDuration::from_millis(4)), None);
+            let c = s1.memcpy_async(CopyDir::H2D, 1 << 20, true, None);
+            c.synchronize().await.unwrap();
+            assert!(now().as_nanos() <= 1_100_000, "copy finished during kernel");
+            k.synchronize().await.unwrap();
+            assert_eq!(now().as_nanos(), 4_000_000);
         });
         sim.run().unwrap();
     }
@@ -581,14 +577,14 @@ mod tests {
         // kernel to release the compute engine → finishes at 5 ms.
         let sim = Sim::new();
         let gpu = GpuDevice::new("g", test_spec());
-        sim.spawn("host", move |ctx| {
-            let s0 = gpu.create_stream(&ctx, "compute");
-            let s1 = gpu.create_stream(&ctx, "copy");
-            let _k = s0.launch_async(&ctx, KernelCost::fixed(SimDuration::from_millis(4)), None);
-            ctx.yield_now().unwrap(); // let the kernel start first
-            let c = s1.memcpy_async(&ctx, CopyDir::H2D, 1 << 20, false, None);
-            c.synchronize(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 5_000_000 + 1_048_576 - 1_000_000);
+        sim.spawn("host", async move {
+            let s0 = gpu.create_stream("compute");
+            let s1 = gpu.create_stream("copy");
+            let _k = s0.launch_async(KernelCost::fixed(SimDuration::from_millis(4)), None);
+            yield_now().await.unwrap(); // let the kernel start first
+            let c = s1.memcpy_async(CopyDir::H2D, 1 << 20, false, None);
+            c.synchronize().await.unwrap();
+            assert_eq!(now().as_nanos(), 5_000_000 + 1_048_576 - 1_000_000);
         });
         sim.run().unwrap();
     }
@@ -599,21 +595,19 @@ mod tests {
         let gpu = GpuDevice::new("g", test_spec());
         let order = Arc::new(Mutex::new(Vec::new()));
         let o = order.clone();
-        sim.spawn("host", move |ctx| {
-            let s = gpu.create_stream(&ctx, "s");
+        sim.spawn("host", async move {
+            let s = gpu.create_stream("s");
             let o1 = o.clone();
             let e1 = s.launch_async(
-                &ctx,
                 KernelCost::fixed(SimDuration::from_millis(1)),
-                Some(Box::new(move |_c| o1.lock().push(1))),
+                Some(Box::new(move || o1.lock().push(1))),
             );
             let o2 = o.clone();
             let e2 = s.launch_async(
-                &ctx,
                 KernelCost::fixed(SimDuration::from_millis(1)),
-                Some(Box::new(move |_c| o2.lock().push(2))),
+                Some(Box::new(move || o2.lock().push(2))),
             );
-            e2.synchronize(&ctx).unwrap();
+            e2.synchronize().await.unwrap();
             assert!(e1.query());
             assert_eq!(*o.lock(), vec![1, 2]);
         });
@@ -626,15 +620,14 @@ mod tests {
         let gpu = GpuDevice::new("g", test_spec());
         let when = Arc::new(AtomicU64::new(0));
         let w = when.clone();
-        sim.spawn("host", move |ctx| {
-            let s = gpu.create_stream(&ctx, "s");
+        sim.spawn("host", async move {
+            let s = gpu.create_stream("s");
             let w2 = w.clone();
             let e = s.launch_async(
-                &ctx,
                 KernelCost::fixed(SimDuration::from_millis(3)),
-                Some(Box::new(move |c| w2.store(c.now().as_nanos(), Ordering::SeqCst))),
+                Some(Box::new(move || w2.store(now().as_nanos(), Ordering::SeqCst))),
             );
-            e.synchronize(&ctx).unwrap();
+            e.synchronize().await.unwrap();
         });
         sim.run().unwrap();
         assert_eq!(when.load(Ordering::SeqCst), 3_000_000);
@@ -655,11 +648,11 @@ mod tests {
     fn event_query_before_completion_is_false() {
         let sim = Sim::new();
         let gpu = GpuDevice::new("g", test_spec());
-        sim.spawn("host", move |ctx| {
-            let s = gpu.create_stream(&ctx, "s");
-            let e = s.launch_async(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None);
+        sim.spawn("host", async move {
+            let s = gpu.create_stream("s");
+            let e = s.launch_async(KernelCost::fixed(SimDuration::from_millis(1)), None);
             assert!(!e.query());
-            e.synchronize(&ctx).unwrap();
+            e.synchronize().await.unwrap();
             assert!(e.query());
         });
         sim.run().unwrap();
@@ -693,29 +686,27 @@ mod tests {
         );
         let ran = Arc::new(AtomicU64::new(0));
         let r = ran.clone();
-        sim.spawn("host", move |ctx| {
-            let s = gpu.create_stream(&ctx, "s");
+        sim.spawn("host", async move {
+            let s = gpu.create_stream("s");
             let r1 = r.clone();
             let e1 = s.launch_async(
-                &ctx,
                 KernelCost::fixed(SimDuration::from_millis(1)),
-                Some(Box::new(move |_c| {
+                Some(Box::new(move || {
                     r1.fetch_add(1, Ordering::SeqCst);
                 })),
             );
             let r2 = r.clone();
             let e2 = s.launch_async(
-                &ctx,
                 KernelCost::fixed(SimDuration::from_millis(1)),
-                Some(Box::new(move |_c| {
+                Some(Box::new(move || {
                     r2.fetch_add(1, Ordering::SeqCst);
                 })),
             );
-            e2.synchronize(&ctx).unwrap();
+            e2.synchronize().await.unwrap();
             assert_eq!(e1.fault(), Some(GpuFault::KernelFailed));
             assert_eq!(e2.fault(), None);
             // Time was still charged for the failed kernel.
-            assert_eq!(ctx.now().as_nanos(), 2_000_000);
+            assert_eq!(now().as_nanos(), 2_000_000);
         });
         sim.run().unwrap();
         assert_eq!(ran.load(Ordering::SeqCst), 1, "failed kernel's effect must not run");
@@ -730,17 +721,17 @@ mod tests {
             DeviceFuse::new(2),
         );
         let g2 = gpu.clone();
-        sim.spawn("host", move |ctx| {
-            let k = g2.try_launch(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None);
+        sim.spawn("host", async move {
+            let k = g2.try_launch(KernelCost::fixed(SimDuration::from_millis(1)), None).await;
             assert_eq!(k.unwrap(), Err(GpuFault::DeviceLost));
             assert!(g2.is_lost());
             // Later operations fail instantly, charging no device time.
-            let t0 = ctx.now();
-            let k2 = g2.try_launch(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None);
+            let t0 = now();
+            let k2 = g2.try_launch(KernelCost::fixed(SimDuration::from_millis(1)), None).await;
             assert_eq!(k2.unwrap(), Err(GpuFault::DeviceLost));
-            let c = g2.try_memcpy(&ctx, CopyDir::H2D, 1 << 20, true, None);
+            let c = g2.try_memcpy(CopyDir::H2D, 1 << 20, true, None).await;
             assert_eq!(c.unwrap(), Err(GpuFault::DeviceLost));
-            assert_eq!(ctx.now(), t0);
+            assert_eq!(now(), t0);
         });
         sim.run().unwrap();
         assert!(gpu.is_lost());
@@ -757,8 +748,8 @@ mod tests {
             DeviceFuse::new(1),
         );
         let g2 = gpu.clone();
-        sim.spawn("host", move |ctx| {
-            let k = g2.try_launch(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None);
+        sim.spawn("host", async move {
+            let k = g2.try_launch(KernelCost::fixed(SimDuration::from_millis(1)), None).await;
             assert_eq!(k.unwrap(), Err(GpuFault::KernelFailed));
             assert!(!g2.is_lost());
         });
@@ -776,19 +767,19 @@ mod tests {
         let applied = Arc::new(AtomicU64::new(0));
         let g2 = gpu.clone();
         let a = applied.clone();
-        sim.spawn("host", move |ctx| {
+        sim.spawn("host", async move {
             let a1 = a.clone();
-            let eff: Effect = Box::new(move |_c| {
+            let eff: Effect = Box::new(move || {
                 a1.fetch_add(1, Ordering::SeqCst);
             });
-            let r = g2.try_memcpy(&ctx, CopyDir::H2D, 1 << 20, true, Some(eff));
+            let r = g2.try_memcpy(CopyDir::H2D, 1 << 20, true, Some(eff)).await;
             assert_eq!(r.unwrap(), Err(GpuFault::CopyFailed));
-            assert_eq!(ctx.now().as_nanos(), 1_048_576, "corrupt copy still burned the wire");
+            assert_eq!(now().as_nanos(), 1_048_576, "corrupt copy still burned the wire");
             let a2 = a.clone();
-            let eff: Effect = Box::new(move |_c| {
+            let eff: Effect = Box::new(move || {
                 a2.fetch_add(1, Ordering::SeqCst);
             });
-            let r = g2.try_memcpy(&ctx, CopyDir::H2D, 1 << 20, true, Some(eff));
+            let r = g2.try_memcpy(CopyDir::H2D, 1 << 20, true, Some(eff)).await;
             assert_eq!(r.unwrap(), Ok(()));
         });
         sim.run().unwrap();
@@ -800,11 +791,11 @@ mod tests {
     fn unarmed_device_never_injects() {
         let sim = Sim::new();
         let gpu = GpuDevice::new("g", test_spec());
-        sim.spawn("host", move |ctx| {
+        sim.spawn("host", async move {
             for _ in 0..32 {
-                let k = gpu.try_launch(&ctx, KernelCost::fixed(SimDuration::from_micros(1)), None);
+                let k = gpu.try_launch(KernelCost::fixed(SimDuration::from_micros(1)), None).await;
                 assert_eq!(k.unwrap(), Ok(()));
-                let c = gpu.try_memcpy(&ctx, CopyDir::D2H, 64, true, None);
+                let c = gpu.try_memcpy(CopyDir::D2H, 64, true, None).await;
                 assert_eq!(c.unwrap(), Ok(()));
             }
         });
@@ -816,9 +807,9 @@ mod tests {
         let sim = Sim::new();
         let gpu = GpuDevice::new("g", test_spec());
         let g = gpu.clone();
-        sim.spawn("p", move |ctx| {
+        sim.spawn("p", async move {
             for _ in 0..3 {
-                g.launch(&ctx, KernelCost::fixed(SimDuration::from_millis(1)), None).unwrap();
+                g.launch(KernelCost::fixed(SimDuration::from_millis(1)), None).await.unwrap();
             }
         });
         sim.run().unwrap();

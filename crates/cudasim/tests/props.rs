@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 
 use ompss_cudasim::{CopyDir, GpuDevice, GpuSpec, KernelCost};
-use ompss_sim::{Sim, SimDuration};
+use ompss_sim::{now, yield_now, Sim, SimDuration};
 
 fn spec() -> GpuSpec {
     GpuSpec {
@@ -52,29 +52,27 @@ proptest! {
         let ops2 = ops.clone();
         let dev2 = dev.clone();
         let comp = completions.clone();
-        sim.spawn("host", move |ctx| {
-            let s = dev2.create_stream(&ctx, "s");
+        sim.spawn("host", async move {
+            let s = dev2.create_stream("s");
             let mut events = Vec::new();
             for (i, op) in ops2.iter().enumerate() {
                 let c = comp.clone();
-                let effect = Some(Box::new(move |cctx: &ompss_sim::Ctx| {
-                    c.lock().push((i, cctx.now()));
+                let effect = Some(Box::new(move || {
+                    c.lock().push((i, now()));
                 }) as ompss_cudasim::Effect);
                 let ev = match *op {
-                    Op::Kernel(ns) => s.launch_async(
-                        &ctx,
-                        KernelCost::fixed(SimDuration::from_nanos(ns)),
-                        effect,
-                    ),
+                    Op::Kernel(ns) => {
+                        s.launch_async(KernelCost::fixed(SimDuration::from_nanos(ns)), effect)
+                    }
                     Op::Copy(h2d, bytes, pinned) => {
                         let dir = if h2d { CopyDir::H2D } else { CopyDir::D2H };
-                        s.memcpy_async(&ctx, dir, bytes, pinned, effect)
+                        s.memcpy_async(dir, bytes, pinned, effect)
                     }
                 };
                 events.push(ev);
             }
             for ev in &events {
-                ev.synchronize(&ctx).unwrap();
+                ev.synchronize().await.unwrap();
             }
         });
         sim.run().unwrap();
@@ -110,24 +108,20 @@ proptest! {
         let dev = GpuDevice::new("g", spec());
         let total: u64 = durations.iter().sum();
         let dev2 = dev.clone();
-        sim.spawn("host", move |ctx| {
-            let ss: Vec<_> =
-                (0..streams).map(|i| dev2.create_stream(&ctx, format!("s{i}"))).collect();
+        sim.spawn("host", async move {
+            let ss: Vec<_> = (0..streams).map(|i| dev2.create_stream(format!("s{i}"))).collect();
             let evs: Vec<_> = durations
                 .iter()
                 .enumerate()
                 .map(|(i, &ns)| {
-                    ss[i % streams].launch_async(
-                        &ctx,
-                        KernelCost::fixed(SimDuration::from_nanos(ns)),
-                        None,
-                    )
+                    ss[i % streams]
+                        .launch_async(KernelCost::fixed(SimDuration::from_nanos(ns)), None)
                 })
                 .collect();
             for ev in &evs {
-                ev.synchronize(&ctx).unwrap();
+                ev.synchronize().await.unwrap();
             }
-            assert!(ctx.now().as_nanos() >= total, "kernels overlapped on one engine");
+            assert!(now().as_nanos() >= total, "kernels overlapped on one engine");
         });
         sim.run().unwrap();
     }
@@ -139,25 +133,21 @@ proptest! {
         for pinned in [true, false] {
             let sim = Sim::new();
             let dev = GpuDevice::new("g", spec());
-            sim.spawn("host", move |ctx| {
-                let s0 = dev.create_stream(&ctx, "compute");
-                let s1 = dev.create_stream(&ctx, "copy");
+            sim.spawn("host", async move {
+                let s0 = dev.create_stream("compute");
+                let s1 = dev.create_stream("copy");
                 let kernel_ns = 10_000_000; // 10 ms, far longer than the copy
-                let k = s0.launch_async(
-                    &ctx,
-                    KernelCost::fixed(SimDuration::from_nanos(kernel_ns)),
-                    None,
-                );
-                ctx.yield_now().unwrap(); // ensure the kernel grabs the engine first
-                let c = s1.memcpy_async(&ctx, CopyDir::H2D, bytes, pinned, None);
-                c.synchronize(&ctx).unwrap();
-                let copy_done = ctx.now().as_nanos();
+                let k = s0.launch_async(KernelCost::fixed(SimDuration::from_nanos(kernel_ns)), None);
+                yield_now().await.unwrap(); // ensure the kernel grabs the engine first
+                let c = s1.memcpy_async(CopyDir::H2D, bytes, pinned, None);
+                c.synchronize().await.unwrap();
+                let copy_done = now().as_nanos();
                 if pinned {
                     assert!(copy_done < kernel_ns, "pinned copy must overlap the kernel");
                 } else {
                     assert!(copy_done >= kernel_ns, "pageable copy must serialise");
                 }
-                k.synchronize(&ctx).unwrap();
+                k.synchronize().await.unwrap();
             });
             sim.run().unwrap();
         }

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use ompss_sim::{Ctx, Signal, SimResult};
+use ompss_sim::{Signal, SimResult};
 
 use crate::fabric::{Fabric, FabricConfig, NetStats, NodeId};
 
@@ -115,9 +115,9 @@ impl<M: Send + Clone + 'static> AmEndpoint<M> {
     }
 
     /// Send a header-only control message; blocks for the wire time.
-    pub fn request_short(&self, ctx: &Ctx, dst: NodeId, msg: M) -> SimResult<()> {
+    pub async fn request_short(&self, dst: NodeId, msg: M) -> SimResult<()> {
         self.net.counters.shorts.fetch_add(1, Relaxed);
-        self.net.fabric.send(ctx, self.node, dst, AM_HEADER_BYTES, msg)
+        self.net.fabric.send(self.node, dst, AM_HEADER_BYTES, msg).await
     }
 
     /// Send a control message accompanied by `payload` bytes of bulk
@@ -125,22 +125,22 @@ impl<M: Send + Clone + 'static> AmEndpoint<M> {
     /// header + payload. The actual bytes are moved by the memory
     /// manager on the handler side; the fabric charges their transfer
     /// time and accounts them here.
-    pub fn request_long(&self, ctx: &Ctx, dst: NodeId, msg: M, payload: u64) -> SimResult<()> {
+    pub async fn request_long(&self, dst: NodeId, msg: M, payload: u64) -> SimResult<()> {
         self.count_long(payload);
-        self.net.fabric.send(ctx, self.node, dst, AM_HEADER_BYTES + payload, msg)
+        self.net.fabric.send(self.node, dst, AM_HEADER_BYTES + payload, msg).await
     }
 
     /// Asynchronous [`request_long`]: the transfer proceeds on a helper
     /// process; the returned signal is set at delivery time.
-    pub fn request_long_detached(&self, ctx: &Ctx, dst: NodeId, msg: M, payload: u64) -> Signal {
+    pub fn request_long_detached(&self, dst: NodeId, msg: M, payload: u64) -> Signal {
         self.count_long(payload);
-        self.net.fabric.send_detached(ctx, self.node, dst, AM_HEADER_BYTES + payload, msg)
+        self.net.fabric.send_detached(self.node, dst, AM_HEADER_BYTES + payload, msg)
     }
 
     /// Asynchronous [`request_short`].
-    pub fn request_short_detached(&self, ctx: &Ctx, dst: NodeId, msg: M) -> Signal {
+    pub fn request_short_detached(&self, dst: NodeId, msg: M) -> Signal {
         self.net.counters.shorts.fetch_add(1, Relaxed);
-        self.net.fabric.send_detached(ctx, self.node, dst, AM_HEADER_BYTES, msg)
+        self.net.fabric.send_detached(self.node, dst, AM_HEADER_BYTES, msg)
     }
 
     fn count_long(&self, payload: u64) {
@@ -151,8 +151,8 @@ impl<M: Send + Clone + 'static> AmEndpoint<M> {
     /// Park until the next request addressed to this node arrives;
     /// returns `(sender, handler argument)`. This is the dispatcher
     /// loop's blocking point.
-    pub fn poll(&self, ctx: &Ctx) -> SimResult<(NodeId, M)> {
-        self.net.fabric.recv(ctx, self.node)
+    pub async fn poll(&self) -> SimResult<(NodeId, M)> {
+        self.net.fabric.recv(self.node).await
     }
 
     /// Non-blocking poll.
@@ -164,7 +164,7 @@ impl<M: Send + Clone + 'static> AmEndpoint<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ompss_sim::{Sim, SimDuration};
+    use ompss_sim::{delay, now, Sim, SimDuration};
 
     fn net() -> AmNet<&'static str> {
         AmNet::new(FabricConfig { nodes: 3, latency: SimDuration::from_micros(1), bandwidth: 1e9 })
@@ -176,13 +176,13 @@ mod tests {
         let n = net();
         let ep0 = n.endpoint(0);
         let ep1 = n.endpoint(1);
-        sim.spawn("master", move |ctx| {
-            ep0.request_short(&ctx, 1, "exec").unwrap();
+        sim.spawn("master", async move {
+            ep0.request_short(1, "exec").await.unwrap();
             // 1 µs latency + 64B / 1GB/s = 64ns
-            assert_eq!(ctx.now().as_nanos(), 1_064);
+            assert_eq!(now().as_nanos(), 1_064);
         });
-        sim.spawn("slave", move |ctx| {
-            let (src, msg) = ep1.poll(&ctx).unwrap();
+        sim.spawn("slave", async move {
+            let (src, msg) = ep1.poll().await.unwrap();
             assert_eq!((src, msg), (0, "exec"));
         });
         sim.run().unwrap();
@@ -194,13 +194,13 @@ mod tests {
         let n = net();
         let ep0 = n.endpoint(0);
         let ep2 = n.endpoint(2);
-        sim.spawn("master", move |ctx| {
-            ep0.request_long(&ctx, 2, "data", 1_000_000).unwrap();
+        sim.spawn("master", async move {
+            ep0.request_long(2, "data", 1_000_000).await.unwrap();
             // 1 µs + (64 + 1e6) / 1e9 s ≈ 1µs + 1.000064 ms
-            assert_eq!(ctx.now().as_nanos(), 1_000 + 1_000_064);
+            assert_eq!(now().as_nanos(), 1_000 + 1_000_064);
         });
-        sim.spawn("slave", move |ctx| {
-            assert_eq!(ep2.poll(&ctx).unwrap(), (0, "data"));
+        sim.spawn("slave", async move {
+            assert_eq!(ep2.poll().await.unwrap(), (0, "data"));
         });
         sim.run().unwrap();
     }
@@ -211,16 +211,16 @@ mod tests {
         let n = net();
         let ep0 = n.endpoint(0);
         let ep1 = n.endpoint(1);
-        sim.spawn("master", move |ctx| {
-            let s = ep0.request_long_detached(&ctx, 1, "bulk", 1_000_000);
+        sim.spawn("master", async move {
+            let s = ep0.request_long_detached(1, "bulk", 1_000_000);
             // Master "computes" while the payload flies.
-            ctx.delay(SimDuration::from_millis(2)).unwrap();
-            s.wait(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 2_000_000, "transfer hid under compute");
+            delay(SimDuration::from_millis(2)).await.unwrap();
+            s.wait().await.unwrap();
+            assert_eq!(now().as_nanos(), 2_000_000, "transfer hid under compute");
         });
-        sim.spawn("slave", move |ctx| {
-            let _ = ep1.poll(&ctx).unwrap();
-            assert!(ctx.now().as_nanos() < 2_000_000);
+        sim.spawn("slave", async move {
+            let _ = ep1.poll().await.unwrap();
+            assert!(now().as_nanos() < 2_000_000);
         });
         sim.run().unwrap();
     }
@@ -231,16 +231,16 @@ mod tests {
         let n = net();
         let ep0 = n.endpoint(0);
         let ep1 = n.endpoint(1);
-        sim.spawn_daemon("dispatcher", move |ctx| {
+        sim.process("dispatcher").daemon().spawn(async move {
             let mut seen = 0;
-            while let Ok((_, _msg)) = ep1.poll(&ctx) {
+            while let Ok((_, _msg)) = ep1.poll().await {
                 seen += 1;
                 assert!(seen <= 10);
             }
         });
-        sim.spawn("master", move |ctx| {
+        sim.spawn("master", async move {
             for _ in 0..10 {
-                ep0.request_short(&ctx, 1, "tick").unwrap();
+                ep0.request_short(1, "tick").await.unwrap();
             }
         });
         sim.run().unwrap();
@@ -252,16 +252,16 @@ mod tests {
         let n = net();
         let ep0 = n.endpoint(0);
         let n2 = n.clone();
-        sim.spawn("p", move |ctx| {
-            ep0.request_long(&ctx, 1, "x", 936).unwrap();
+        sim.spawn("p", async move {
+            ep0.request_long(1, "x", 936).await.unwrap();
             let st = n2.stats();
             assert_eq!(st.bytes_total, 1000);
             assert_eq!(st.messages, 1);
             assert_eq!(n2.am_stats(), AmStats { shorts: 0, longs: 1, long_payload_bytes: 936 });
         });
-        sim.spawn_daemon("sink", {
+        sim.process("sink").daemon().spawn({
             let ep1 = n.endpoint(1);
-            move |ctx| while ep1.poll(&ctx).is_ok() {}
+            async move { while ep1.poll().await.is_ok() {} }
         });
         sim.run().unwrap();
     }

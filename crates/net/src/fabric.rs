@@ -18,7 +18,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_sim::{Channel, Ctx, FaultClass, FaultPlan, Semaphore, Signal, SimDuration, SimResult};
+use ompss_sim::{
+    delay, process, Channel, FaultClass, FaultPlan, Semaphore, Signal, SimDuration, SimResult,
+};
 
 /// A node index within the fabric.
 pub type NodeId = u32;
@@ -183,7 +185,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
     ///
     /// Loopback (`src == dst`) is free of port occupancy and latency:
     /// intra-node "messages" model function calls, not wire traffic.
-    pub fn send(&self, ctx: &Ctx, src: NodeId, dst: NodeId, size: u64, msg: M) -> SimResult<()> {
+    pub async fn send(&self, src: NodeId, dst: NodeId, size: u64, msg: M) -> SimResult<()> {
         {
             let mut st = self.inner.stats.lock();
             st.bytes_total += size;
@@ -195,7 +197,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         }
         if src == dst {
             if !self.is_dead(dst) {
-                self.inner.nics[dst as usize].inbox.send(ctx, (src, msg));
+                self.inner.nics[dst as usize].inbox.send((src, msg));
             }
             return Ok(());
         }
@@ -216,11 +218,11 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         }
         let s = &self.inner.nics[src as usize];
         let d = &self.inner.nics[dst as usize];
-        s.tx.acquire(ctx)?;
-        d.rx.acquire(ctx)?;
-        ctx.delay(wire)?;
-        d.rx.release(ctx);
-        s.tx.release(ctx);
+        s.tx.acquire().await?;
+        d.rx.acquire().await?;
+        delay(wire).await?;
+        d.rx.release();
+        s.tx.release();
         if dropped {
             // The message occupied both ports and the wire, then
             // vanished; the sender cannot tell. Recovery is the
@@ -234,21 +236,21 @@ impl<M: Send + Clone + 'static> Fabric<M> {
             return Ok(());
         }
         if dup {
-            self.inner.nics[dst as usize].inbox.send(ctx, (src, msg.clone()));
+            self.inner.nics[dst as usize].inbox.send((src, msg.clone()));
         }
-        self.inner.nics[dst as usize].inbox.send(ctx, (src, msg));
+        self.inner.nics[dst as usize].inbox.send((src, msg));
         Ok(())
     }
 
     /// Fire-and-forget send: a helper process performs the transfer; the
     /// returned signal is set when the message has been delivered.
-    pub fn send_detached(&self, ctx: &Ctx, src: NodeId, dst: NodeId, size: u64, msg: M) -> Signal {
+    pub fn send_detached(&self, src: NodeId, dst: NodeId, size: u64, msg: M) -> Signal {
         let done = Signal::new();
         let fab = self.clone();
         let sig = done.clone();
-        ctx.spawn_daemon(format!("net:send:{src}->{dst}"), move |tctx| {
-            if fab.send(&tctx, src, dst, size, msg).is_ok() {
-                sig.set(&tctx);
+        process(format!("net:send:{src}->{dst}")).daemon().spawn(async move {
+            if fab.send(src, dst, size, msg).await.is_ok() {
+                sig.set();
             }
         });
         done
@@ -256,8 +258,8 @@ impl<M: Send + Clone + 'static> Fabric<M> {
 
     /// Receive the next message addressed to `node`, parking until one
     /// arrives. Returns `(sender, message)`.
-    pub fn recv(&self, ctx: &Ctx, node: NodeId) -> SimResult<(NodeId, M)> {
-        self.inner.nics[node as usize].inbox.recv(ctx)
+    pub async fn recv(&self, node: NodeId) -> SimResult<(NodeId, M)> {
+        self.inner.nics[node as usize].inbox.recv().await
     }
 
     /// Non-blocking receive.
@@ -274,7 +276,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ompss_sim::Sim;
+    use ompss_sim::{now, Sim};
 
     fn cfg() -> FabricConfig {
         // 1 GB/s, 1 µs latency: a 1000-byte message takes 2 µs.
@@ -293,15 +295,15 @@ mod tests {
         let sim = Sim::new();
         let fab: Fabric<u32> = Fabric::new(cfg());
         let f1 = fab.clone();
-        sim.spawn("sender", move |ctx| {
-            f1.send(&ctx, 0, 1, 1000, 42).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 2_000);
+        sim.spawn("sender", async move {
+            f1.send(0, 1, 1000, 42).await.unwrap();
+            assert_eq!(now().as_nanos(), 2_000);
         });
         let f2 = fab.clone();
-        sim.spawn("receiver", move |ctx| {
-            let (src, msg) = f2.recv(&ctx, 1).unwrap();
+        sim.spawn("receiver", async move {
+            let (src, msg) = f2.recv(1).await.unwrap();
             assert_eq!((src, msg), (0, 42));
-            assert_eq!(ctx.now().as_nanos(), 2_000);
+            assert_eq!(now().as_nanos(), 2_000);
         });
         sim.run().unwrap();
     }
@@ -313,14 +315,14 @@ mod tests {
         let fab: Fabric<u32> = Fabric::new(cfg());
         for (i, dst) in [(0u32, 1u32), (1, 2)] {
             let f = fab.clone();
-            sim.spawn(format!("s{i}"), move |ctx| {
-                f.send(&ctx, 0, dst, 1000, i).unwrap();
+            sim.spawn(format!("s{i}"), async move {
+                f.send(0, dst, 1000, i).await.unwrap();
             });
         }
         let f = fab.clone();
-        sim.spawn("r2", move |ctx| {
-            let _ = f.recv(&ctx, 2).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 4_000, "second transfer queued behind first");
+        sim.spawn("r2", async move {
+            let _ = f.recv(2).await.unwrap();
+            assert_eq!(now().as_nanos(), 4_000, "second transfer queued behind first");
         });
         sim.run().unwrap();
     }
@@ -333,15 +335,15 @@ mod tests {
         let fab: Fabric<u32> = Fabric::new(cfg());
         for src in [1u32, 2] {
             let f = fab.clone();
-            sim.spawn(format!("s{src}"), move |ctx| {
-                f.send(&ctx, src, 0, 1000, src).unwrap();
+            sim.spawn(format!("s{src}"), async move {
+                f.send(src, 0, 1000, src).await.unwrap();
             });
         }
         let f = fab.clone();
-        sim.spawn("sink", move |ctx| {
-            let _ = f.recv(&ctx, 0).unwrap();
-            let _ = f.recv(&ctx, 0).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 4_000);
+        sim.spawn("sink", async move {
+            let _ = f.recv(0).await.unwrap();
+            let _ = f.recv(0).await.unwrap();
+            assert_eq!(now().as_nanos(), 4_000);
         });
         sim.run().unwrap();
     }
@@ -352,9 +354,9 @@ mod tests {
         let fab: Fabric<u32> = Fabric::new(cfg());
         for (src, dst) in [(0u32, 1u32), (2, 3)] {
             let f = fab.clone();
-            sim.spawn(format!("s{src}"), move |ctx| {
-                f.send(&ctx, src, dst, 1000, 0).unwrap();
-                assert_eq!(ctx.now().as_nanos(), 2_000, "no cross-pair contention");
+            sim.spawn(format!("s{src}"), async move {
+                f.send(src, dst, 1000, 0).await.unwrap();
+                assert_eq!(now().as_nanos(), 2_000, "no cross-pair contention");
             });
         }
         sim.run().unwrap();
@@ -365,10 +367,10 @@ mod tests {
         let sim = Sim::new();
         let fab: Fabric<u32> = Fabric::new(cfg());
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
-            f.send(&ctx, 2, 2, 1_000_000, 9).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 0);
-            assert_eq!(f.recv(&ctx, 2).unwrap(), (2, 9));
+        sim.spawn("p", async move {
+            f.send(2, 2, 1_000_000, 9).await.unwrap();
+            assert_eq!(now().as_nanos(), 0);
+            assert_eq!(f.recv(2).await.unwrap(), (2, 9));
         });
         sim.run().unwrap();
     }
@@ -378,11 +380,11 @@ mod tests {
         let sim = Sim::new();
         let fab: Fabric<u32> = Fabric::new(cfg());
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
-            let done = f.send_detached(&ctx, 0, 1, 1000, 5);
+        sim.spawn("p", async move {
+            let done = f.send_detached(0, 1, 1000, 5);
             assert!(!done.is_set(), "send is asynchronous");
-            done.wait(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 2_000);
+            done.wait().await.unwrap();
+            assert_eq!(now().as_nanos(), 2_000);
             assert_eq!(f.try_recv(1), Some((0, 5)));
         });
         sim.run().unwrap();
@@ -393,9 +395,9 @@ mod tests {
         let sim = Sim::new();
         let fab: Fabric<u32> = Fabric::new(cfg());
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
-            f.send(&ctx, 0, 1, 500, 1).unwrap();
-            f.send(&ctx, 1, 0, 300, 2).unwrap();
+        sim.spawn("p", async move {
+            f.send(0, 1, 500, 1).await.unwrap();
+            f.send(1, 0, 300, 2).await.unwrap();
             let st = f.stats();
             assert_eq!(st.bytes_total, 800);
             assert_eq!(st.messages, 2);
@@ -416,11 +418,11 @@ mod tests {
         let fab: Fabric<u32> = Fabric::new(cfg());
         fab.set_fault_plan(Arc::new(FaultPlan::quiet(1).with_forced(FaultClass::NetDrop, 1)));
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
-            f.send(&ctx, 0, 1, 1000, 7).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 2_000, "dropped message still cost wire time");
+        sim.spawn("p", async move {
+            f.send(0, 1, 1000, 7).await.unwrap();
+            assert_eq!(now().as_nanos(), 2_000, "dropped message still cost wire time");
             assert_eq!(f.try_recv(1), None, "dropped message must not arrive");
-            f.send(&ctx, 0, 1, 1000, 8).unwrap();
+            f.send(0, 1, 1000, 8).await.unwrap();
             assert_eq!(f.try_recv(1), Some((0, 8)), "later messages flow normally");
         });
         sim.run().unwrap();
@@ -432,8 +434,8 @@ mod tests {
         let fab: Fabric<u32> = Fabric::new(cfg());
         fab.set_fault_plan(Arc::new(FaultPlan::quiet(1).with_forced(FaultClass::NetDup, 1)));
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
-            f.send(&ctx, 0, 1, 100, 9).unwrap();
+        sim.spawn("p", async move {
+            f.send(0, 1, 100, 9).await.unwrap();
             assert_eq!(f.try_recv(1), Some((0, 9)));
             assert_eq!(f.try_recv(1), Some((0, 9)), "duplicated message arrives twice");
             assert_eq!(f.try_recv(1), None);
@@ -452,9 +454,9 @@ mod tests {
             let f = fab.clone();
             let t = Arc::new(Mutex::new(0u64));
             let t2 = t.clone();
-            sim.spawn("p", move |ctx| {
-                f.send(&ctx, 0, 1, 1000, 1).unwrap();
-                *t2.lock() = ctx.now().as_nanos();
+            sim.spawn("p", async move {
+                f.send(0, 1, 1000, 1).await.unwrap();
+                *t2.lock() = now().as_nanos();
             });
             sim.run().unwrap();
             let v = *t.lock();
@@ -476,8 +478,8 @@ mod tests {
                 .with_forced(FaultClass::NetDup, u64::MAX),
         ));
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
-            f.send(&ctx, 2, 2, 64, 3).unwrap();
+        sim.spawn("p", async move {
+            f.send(2, 2, 64, 3).await.unwrap();
             assert_eq!(f.try_recv(2), Some((2, 3)), "loopback models a call, not a wire");
             assert_eq!(f.try_recv(2), None);
         });
@@ -489,22 +491,22 @@ mod tests {
         let sim = Sim::new();
         let fab: Fabric<u32> = Fabric::new(cfg());
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
+        sim.spawn("p", async move {
             f.kill_node(1);
             assert!(f.is_dead(1));
             assert!(!f.is_dead(0));
             // To the dead node: wire time charged, nothing delivered.
-            f.send(&ctx, 0, 1, 1000, 7).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 2_000);
+            f.send(0, 1, 1000, 7).await.unwrap();
+            assert_eq!(now().as_nanos(), 2_000);
             assert_eq!(f.try_recv(1), None);
             // From the dead node (a zombie process mid-send): same.
-            f.send(&ctx, 1, 2, 1000, 8).unwrap();
+            f.send(1, 2, 1000, 8).await.unwrap();
             assert_eq!(f.try_recv(2), None);
             // Dead-node loopback delivers nothing either.
-            f.send(&ctx, 1, 1, 64, 9).unwrap();
+            f.send(1, 1, 64, 9).await.unwrap();
             assert_eq!(f.try_recv(1), None);
             // Live pairs are unaffected.
-            f.send(&ctx, 0, 2, 64, 10).unwrap();
+            f.send(0, 2, 64, 10).await.unwrap();
             assert_eq!(f.try_recv(2), Some((0, 10)));
         });
         sim.run().unwrap();
@@ -515,10 +517,10 @@ mod tests {
         let sim = Sim::new();
         let fab: Fabric<u32> = Fabric::new(cfg());
         let f = fab.clone();
-        sim.spawn("p", move |ctx| {
-            f.send(&ctx, 0, 2, 100, 0).unwrap();
-            f.send(&ctx, 1, 2, 40, 0).unwrap();
-            f.send(&ctx, 3, 3, 7, 0).unwrap(); // loopback: neither bucket
+        sim.spawn("p", async move {
+            f.send(0, 2, 100, 0).await.unwrap();
+            f.send(1, 2, 40, 0).await.unwrap();
+            f.send(3, 3, 7, 0).await.unwrap(); // loopback: neither bucket
             let st = f.stats();
             assert_eq!(st.master_link_bytes(), 100);
             assert_eq!(st.slave_link_bytes(), 40);

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_sim::{Ctx, RunError, SimResult};
+use ompss_sim::{abort_run, RunError, SimResult};
 
 use crate::fabric::{Fabric, FabricConfig, NetStats, NodeId};
 
@@ -133,26 +133,22 @@ impl MpiRank {
     /// Blocking tagged send of `size` modelled bytes (optionally with
     /// real data). Completes when the message is delivered — rendezvous
     /// semantics, like a large-message `MPI_Send`.
-    pub fn send(
+    pub async fn send(
         &self,
-        ctx: &Ctx,
         dst: NodeId,
         tag: u32,
         size: u64,
         data: Option<Vec<u8>>,
     ) -> SimResult<()> {
-        self.world.fabric.send(
-            ctx,
-            self.rank,
-            dst,
-            MPI_ENVELOPE_BYTES + size,
-            MpiMsg { tag, size, data },
-        )
+        self.world
+            .fabric
+            .send(self.rank, dst, MPI_ENVELOPE_BYTES + size, MpiMsg { tag, size, data })
+            .await
     }
 
     /// Blocking receive matching `source` and `tag` (`None` = any tag).
     /// Returns `(sender, message)`.
-    pub fn recv(&self, ctx: &Ctx, source: Source, tag: Option<u32>) -> SimResult<(NodeId, MpiMsg)> {
+    pub async fn recv(&self, source: Source, tag: Option<u32>) -> SimResult<(NodeId, MpiMsg)> {
         let matches = |src: NodeId, m: &MpiMsg| {
             (match source {
                 Source::Rank(r) => src == r,
@@ -168,13 +164,13 @@ impl MpiRank {
         }
         // Then pull from the wire, stashing non-matching messages.
         loop {
-            let (src, msg) = self.world.fabric.recv(ctx, self.rank)?;
+            let (src, msg) = self.world.fabric.recv(self.rank).await?;
             if matches(src, &msg) {
                 return Ok((src, msg));
             }
             let mut q = self.world.unexpected[self.rank as usize].lock();
             if q.len() >= self.world.unexpected_cap {
-                return Err(ctx.abort_run(RunError::QueueOverflow {
+                return Err(abort_run(RunError::QueueOverflow {
                     queue: format!("mpi:rank{}:unexpected", self.rank),
                     capacity: self.world.unexpected_cap,
                 }));
@@ -184,7 +180,7 @@ impl MpiRank {
     }
 
     /// Dissemination barrier: ⌈log₂ p⌉ rounds, no master hotspot.
-    pub fn barrier(&self, ctx: &Ctx, tag: u32) -> SimResult<()> {
+    pub async fn barrier(&self, tag: u32) -> SimResult<()> {
         let p = self.size();
         if p == 1 {
             return Ok(());
@@ -196,8 +192,8 @@ impl MpiRank {
             let src = (self.rank + p - step) % p;
             // Send then receive; both are on disjoint ports so the
             // pattern cannot deadlock in this fabric model.
-            self.send(ctx, dst, tag + round, 0, None)?;
-            let _ = self.recv(ctx, Source::Rank(src), Some(tag + round))?;
+            self.send(dst, tag + round, 0, None).await?;
+            let _ = self.recv(Source::Rank(src), Some(tag + round)).await?;
             step *= 2;
             round += 1;
         }
@@ -206,24 +202,22 @@ impl MpiRank {
 
     /// Binomial-tree broadcast over the whole world.
     /// Returns the payload (the root passes it in; others receive it).
-    pub fn bcast(
+    pub async fn bcast(
         &self,
-        ctx: &Ctx,
         root: NodeId,
         tag: u32,
         size: u64,
         data: Option<Vec<u8>>,
     ) -> SimResult<Option<Vec<u8>>> {
         let group: Vec<NodeId> = (0..self.size()).collect();
-        self.bcast_group(ctx, &group, root, tag, size, data)
+        self.bcast_group(&group, root, tag, size, data).await
     }
 
     /// Binomial-tree broadcast over an explicit `group` of ranks (used
     /// for SUMMA's row/column broadcasts). `root` must be in the group;
     /// every group member must call with identical arguments.
-    pub fn bcast_group(
+    pub async fn bcast_group(
         &self,
-        ctx: &Ctx,
         group: &[NodeId],
         root: NodeId,
         tag: u32,
@@ -246,7 +240,7 @@ impl MpiRank {
         while mask < p {
             if vrank & mask != 0 {
                 let parent = to_real(vrank ^ mask);
-                let (_, msg) = self.recv(ctx, Source::Rank(parent), Some(tag))?;
+                let (_, msg) = self.recv(Source::Rank(parent), Some(tag)).await?;
                 payload = msg.data;
                 break;
             }
@@ -258,7 +252,7 @@ impl MpiRank {
         while mask > 0 {
             let vchild = vrank | mask;
             if vchild < p && vchild != vrank {
-                self.send(ctx, to_real(vchild), tag, size, payload.clone())?;
+                self.send(to_real(vchild), tag, size, payload.clone()).await?;
             }
             mask >>= 1;
         }
@@ -268,9 +262,8 @@ impl MpiRank {
     /// Ring allgather: every rank contributes `size` modelled bytes and
     /// receives all contributions. Returns the gathered contributions in
     /// rank order (each `None` unless real data was supplied).
-    pub fn allgather(
+    pub async fn allgather(
         &self,
-        ctx: &Ctx,
         tag: u32,
         size: u64,
         data: Option<Vec<u8>>,
@@ -287,8 +280,8 @@ impl MpiRank {
         let mut carry = data;
         let mut carry_origin = self.rank;
         for _ in 0..p - 1 {
-            self.send(ctx, right, tag, size, carry.clone())?;
-            let (_, msg) = self.recv(ctx, Source::Rank(left), Some(tag))?;
+            self.send(right, tag, size, carry.clone()).await?;
+            let (_, msg) = self.recv(Source::Rank(left), Some(tag)).await?;
             carry_origin = (carry_origin + p - 1) % p;
             carry = msg.data;
             slots[carry_origin as usize] = Some(carry.clone());
@@ -298,9 +291,8 @@ impl MpiRank {
 
     /// Gather to `root`: everyone sends `size` bytes to the root, which
     /// receives them in rank order. Returns contributions at the root.
-    pub fn gather(
+    pub async fn gather(
         &self,
-        ctx: &Ctx,
         root: NodeId,
         tag: u32,
         size: u64,
@@ -313,12 +305,12 @@ impl MpiRank {
                 if r == root {
                     continue;
                 }
-                let (_, msg) = self.recv(ctx, Source::Rank(r), Some(tag))?;
+                let (_, msg) = self.recv(Source::Rank(r), Some(tag)).await?;
                 out[r as usize] = msg.data;
             }
             Ok(Some(out))
         } else {
-            self.send(ctx, root, tag, size, data)?;
+            self.send(root, tag, size, data).await?;
             Ok(None)
         }
     }
@@ -327,7 +319,7 @@ impl MpiRank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ompss_sim::{Sim, SimDuration};
+    use ompss_sim::{delay, now, Sim, SimDuration};
     use parking_lot::Mutex as PMutex;
     use std::sync::Arc;
 
@@ -335,14 +327,18 @@ mod tests {
         Mpi::new(FabricConfig { nodes: n, latency: SimDuration::from_micros(1), bandwidth: 1e9 })
     }
 
-    /// Run `f(rank_handle, ctx)` on every rank as its own process.
-    fn run_ranks(mpi: &Mpi, f: impl Fn(MpiRank, &Ctx) + Send + Sync + 'static) {
+    /// Run `f(rank_handle)` on every rank as its own process.
+    fn run_ranks<F, Fut>(mpi: &Mpi, f: F)
+    where
+        F: Fn(MpiRank) -> Fut + Send + Sync + 'static,
+        Fut: std::future::Future<Output = ()> + Send + 'static,
+    {
         let sim = Sim::new();
         let f = Arc::new(f);
         for r in 0..mpi.size() {
             let rank = mpi.rank(r);
             let f = f.clone();
-            sim.spawn(format!("rank{r}"), move |ctx| f(rank, &ctx));
+            sim.spawn(format!("rank{r}"), async move { f(rank).await });
         }
         sim.run().unwrap();
     }
@@ -350,11 +346,11 @@ mod tests {
     #[test]
     fn send_recv_with_data() {
         let mpi = world(2);
-        run_ranks(&mpi, |rank, ctx| {
+        run_ranks(&mpi, |rank| async move {
             if rank.rank() == 0 {
-                rank.send(ctx, 1, 7, 3, Some(vec![1, 2, 3])).unwrap();
+                rank.send(1, 7, 3, Some(vec![1, 2, 3])).await.unwrap();
             } else {
-                let (src, msg) = rank.recv(ctx, Source::Rank(0), Some(7)).unwrap();
+                let (src, msg) = rank.recv(Source::Rank(0), Some(7)).await.unwrap();
                 assert_eq!(src, 0);
                 assert_eq!(msg.data, Some(vec![1, 2, 3]));
                 assert_eq!(msg.size, 3);
@@ -365,15 +361,15 @@ mod tests {
     #[test]
     fn recv_matches_tag_with_unexpected_queue() {
         let mpi = world(2);
-        run_ranks(&mpi, |rank, ctx| {
+        run_ranks(&mpi, |rank| async move {
             if rank.rank() == 0 {
-                rank.send(ctx, 1, 1, 0, Some(vec![1])).unwrap();
-                rank.send(ctx, 1, 2, 0, Some(vec![2])).unwrap();
+                rank.send(1, 1, 0, Some(vec![1])).await.unwrap();
+                rank.send(1, 2, 0, Some(vec![2])).await.unwrap();
             } else {
                 // Receive tag 2 first although tag 1 arrives first.
-                let (_, m2) = rank.recv(ctx, Source::Rank(0), Some(2)).unwrap();
+                let (_, m2) = rank.recv(Source::Rank(0), Some(2)).await.unwrap();
                 assert_eq!(m2.data, Some(vec![2]));
-                let (_, m1) = rank.recv(ctx, Source::Rank(0), Some(1)).unwrap();
+                let (_, m1) = rank.recv(Source::Rank(0), Some(1)).await.unwrap();
                 assert_eq!(m1.data, Some(vec![1]));
             }
         });
@@ -382,17 +378,19 @@ mod tests {
     #[test]
     fn recv_any_source() {
         let mpi = world(3);
-        run_ranks(&mpi, |rank, ctx| match rank.rank() {
-            0 => {
-                let mut got = Vec::new();
-                for _ in 0..2 {
-                    let (src, _) = rank.recv(ctx, Source::Any, Some(9)).unwrap();
-                    got.push(src);
+        run_ranks(&mpi, |rank| async move {
+            match rank.rank() {
+                0 => {
+                    let mut got = Vec::new();
+                    for _ in 0..2 {
+                        let (src, _) = rank.recv(Source::Any, Some(9)).await.unwrap();
+                        got.push(src);
+                    }
+                    got.sort();
+                    assert_eq!(got, vec![1, 2]);
                 }
-                got.sort();
-                assert_eq!(got, vec![1, 2]);
+                _ => rank.send(0, 9, 10, None).await.unwrap(),
             }
-            _ => rank.send(ctx, 0, 9, 10, None).unwrap(),
         });
     }
 
@@ -402,11 +400,14 @@ mod tests {
             let mpi = world(p);
             let after = Arc::new(PMutex::new(Vec::new()));
             let a = after.clone();
-            run_ranks(&mpi, move |rank, ctx| {
-                // Stagger arrival.
-                ctx.delay(SimDuration::from_micros(rank.rank() as u64 * 10)).unwrap();
-                rank.barrier(ctx, 100).unwrap();
-                a.lock().push(ctx.now());
+            run_ranks(&mpi, move |rank| {
+                let a = a.clone();
+                async move {
+                    // Stagger arrival.
+                    delay(SimDuration::from_micros(rank.rank() as u64 * 10)).await.unwrap();
+                    rank.barrier(100).await.unwrap();
+                    a.lock().push(now());
+                }
             });
             let times = after.lock().clone();
             assert_eq!(times.len(), p as usize);
@@ -421,9 +422,9 @@ mod tests {
         for p in [1u32, 2, 3, 4, 5, 8] {
             for root in [0, p - 1] {
                 let mpi = world(p);
-                run_ranks(&mpi, move |rank, ctx| {
+                run_ranks(&mpi, move |rank| async move {
                     let data = if rank.rank() == root { Some(vec![42, root as u8]) } else { None };
-                    let out = rank.bcast(ctx, root, 5, 2, data).unwrap();
+                    let out = rank.bcast(root, 5, 2, data).await.unwrap();
                     assert_eq!(out, Some(vec![42, root as u8]), "p={p} root={root}");
                 });
             }
@@ -434,11 +435,11 @@ mod tests {
     fn bcast_group_works_on_subsets() {
         // Ranks {1, 3} form a group with root 3; others do nothing.
         let mpi = world(4);
-        run_ranks(&mpi, |rank, ctx| {
+        run_ranks(&mpi, |rank| async move {
             let group = [1u32, 3];
             if group.contains(&rank.rank()) {
                 let data = if rank.rank() == 3 { Some(vec![7]) } else { None };
-                let out = rank.bcast_group(ctx, &group, 3, 11, 1, data).unwrap();
+                let out = rank.bcast_group(&group, 3, 11, 1, data).await.unwrap();
                 assert_eq!(out, Some(vec![7]));
             }
         });
@@ -448,9 +449,9 @@ mod tests {
     fn allgather_collects_in_rank_order() {
         for p in [1u32, 2, 3, 4, 6] {
             let mpi = world(p);
-            run_ranks(&mpi, move |rank, ctx| {
+            run_ranks(&mpi, move |rank| async move {
                 let mine = vec![rank.rank() as u8];
-                let all = rank.allgather(ctx, 3, 1, Some(mine)).unwrap();
+                let all = rank.allgather(3, 1, Some(mine)).await.unwrap();
                 let expect: Vec<_> = (0..p).map(|r| Some(vec![r as u8])).collect();
                 assert_eq!(all, expect, "p={p}");
             });
@@ -460,8 +461,8 @@ mod tests {
     #[test]
     fn gather_collects_at_root() {
         let mpi = world(4);
-        run_ranks(&mpi, |rank, ctx| {
-            let out = rank.gather(ctx, 2, 8, 1, Some(vec![rank.rank() as u8])).unwrap();
+        run_ranks(&mpi, |rank| async move {
+            let out = rank.gather(2, 8, 1, Some(vec![rank.rank() as u8])).await.unwrap();
             if rank.rank() == 2 {
                 let got = out.unwrap();
                 assert_eq!(got, vec![Some(vec![0]), Some(vec![1]), Some(vec![2]), Some(vec![3])]);
@@ -476,17 +477,17 @@ mod tests {
         let mpi = world(2).with_unexpected_cap(2);
         let sim = Sim::new();
         let r0 = mpi.rank(0);
-        sim.spawn("rank0", move |ctx| {
+        sim.spawn("rank0", async move {
             // Four tag-1 messages the receiver never matches.
             for _ in 0..4 {
-                let _ = r0.send(&ctx, 1, 1, 0, None);
+                let _ = r0.send(1, 1, 0, None).await;
             }
         });
         let r1 = mpi.rank(1);
-        sim.spawn("rank1", move |ctx| {
+        sim.spawn("rank1", async move {
             // Waits for tag 2, which never comes; the mismatched tag-1
             // flood must overflow the bounded queue, not grow forever.
-            let _ = r1.recv(&ctx, Source::Rank(0), Some(2));
+            let _ = r1.recv(Source::Rank(0), Some(2)).await;
         });
         match sim.run() {
             Err(ompss_sim::RunError::QueueOverflow { queue, capacity }) => {
@@ -502,12 +503,15 @@ mod tests {
         let mpi = world(2);
         let t_small = Arc::new(PMutex::new(0u64));
         let ts = t_small.clone();
-        run_ranks(&mpi, move |rank, ctx| {
-            if rank.rank() == 0 {
-                rank.send(ctx, 1, 0, 1_000_000, None).unwrap();
-                *ts.lock() = ctx.now().as_nanos();
-            } else {
-                rank.recv(ctx, Source::Rank(0), Some(0)).unwrap();
+        run_ranks(&mpi, move |rank| {
+            let ts = ts.clone();
+            async move {
+                if rank.rank() == 0 {
+                    rank.send(1, 0, 1_000_000, None).await.unwrap();
+                    *ts.lock() = now().as_nanos();
+                } else {
+                    rank.recv(Source::Rank(0), Some(0)).await.unwrap();
+                }
             }
         });
         // ~1ms for 1MB at 1GB/s (plus envelope + latency).

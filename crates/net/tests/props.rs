@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 
 use ompss_net::{Fabric, FabricConfig, Mpi, Source};
-use ompss_sim::{Ctx, Sim, SimDuration};
+use ompss_sim::{Sim, SimDuration};
 
 fn cfg(nodes: u32) -> FabricConfig {
     FabricConfig { nodes, latency: SimDuration::from_micros(1), bandwidth: 1e9 }
@@ -29,8 +29,8 @@ proptest! {
         for node in 0..4u32 {
             let f = fab.clone();
             let d = delivered.clone();
-            sim.spawn_daemon(format!("sink{node}"), move |ctx| {
-                while let Ok((src, id)) = f.recv(&ctx, node) {
+            sim.process(format!("sink{node}")).daemon().spawn(async move {
+                while let Ok((src, id)) = f.recv(node).await {
                     d.lock()[node as usize].push((src, id));
                 }
             });
@@ -38,8 +38,8 @@ proptest! {
         let total: u64 = msgs.iter().map(|&(_, _, b)| b).sum();
         for (id, (src, dst, bytes)) in msgs.clone().into_iter().enumerate() {
             let f = fab.clone();
-            sim.spawn(format!("tx{id}"), move |ctx| {
-                f.send(&ctx, src, dst, bytes, id).unwrap();
+            sim.spawn(format!("tx{id}"), async move {
+                f.send(src, dst, bytes, id).await.unwrap();
             });
         }
         sim.run().unwrap();
@@ -71,9 +71,9 @@ proptest! {
             let rank = mpi.rank(r);
             let payload = payload.clone();
             let ok = ok.clone();
-            sim.spawn(format!("rank{r}"), move |ctx: Ctx| {
+            sim.spawn(format!("rank{r}"), async move {
                 let data = (rank.rank() == root).then(|| payload.clone());
-                let out = rank.bcast(&ctx, root, 7, payload.len() as u64, data).unwrap();
+                let out = rank.bcast(root, 7, payload.len() as u64, data).await.unwrap();
                 if out.as_deref() == Some(&payload[..]) {
                     *ok.lock() += 1;
                 }
@@ -93,9 +93,9 @@ proptest! {
         for r in 0..nodes {
             let rank = mpi.rank(r);
             let ok = ok.clone();
-            sim.spawn(format!("rank{r}"), move |ctx: Ctx| {
+            sim.spawn(format!("rank{r}"), async move {
                 let mine = vec![seed.wrapping_add(rank.rank() as u8); 4];
-                let all = rank.allgather(&ctx, 9, 4, Some(mine)).unwrap();
+                let all = rank.allgather(9, 4, Some(mine)).await.unwrap();
                 let expect: Vec<Option<Vec<u8>>> = (0..rank.size())
                     .map(|q| Some(vec![seed.wrapping_add(q as u8); 4]))
                     .collect();
@@ -120,18 +120,18 @@ proptest! {
         {
             let rank = mpi.rank(1);
             let tags = tags_a.clone();
-            sim.spawn("sender-a", move |ctx: Ctx| {
+            sim.spawn("sender-a", async move {
                 for (i, t) in tags.into_iter().enumerate() {
-                    rank.send(&ctx, 0, t, 1, Some(vec![i as u8])).unwrap();
+                    rank.send(0, t, 1, Some(vec![i as u8])).await.unwrap();
                 }
             });
         }
         {
             let rank = mpi.rank(2);
             let tags = tags_b.clone();
-            sim.spawn("sender-b", move |ctx: Ctx| {
+            sim.spawn("sender-b", async move {
                 for (i, t) in tags.into_iter().enumerate() {
-                    rank.send(&ctx, 0, t, 1, Some(vec![i as u8])).unwrap();
+                    rank.send(0, t, 1, Some(vec![i as u8])).await.unwrap();
                 }
             });
         }
@@ -140,16 +140,16 @@ proptest! {
             let rank = mpi.rank(0);
             let (ta, tb) = (tags_a.clone(), tags_b.clone());
             let ok = ok.clone();
-            sim.spawn("receiver", move |ctx: Ctx| {
+            sim.spawn("receiver", async move {
                 // Receive sender B's stream first (by source), in order,
                 // then sender A's by per-message tag.
                 let mut fine = true;
                 for (i, t) in tb.iter().enumerate() {
-                    let (_, m) = rank.recv(&ctx, Source::Rank(2), Some(*t)).unwrap();
+                    let (_, m) = rank.recv(Source::Rank(2), Some(*t)).await.unwrap();
                     fine &= m.data == Some(vec![i as u8]);
                 }
                 for (i, t) in ta.iter().enumerate() {
-                    let (_, m) = rank.recv(&ctx, Source::Rank(1), Some(*t)).unwrap();
+                    let (_, m) = rank.recv(Source::Rank(1), Some(*t)).await.unwrap();
                     fine &= m.data == Some(vec![i as u8]);
                 }
                 *ok.lock() = fine;

@@ -31,7 +31,8 @@ use ompss_mem::{MemoryManager, SpaceId};
 use ompss_net::{AmEndpoint, Fabric, LeaseTracker, NodeId};
 use ompss_sched::{LocalityOracle, ResourceId, Scheduler};
 use ompss_sim::{
-    Bell, Ctx, FaultClass, FaultPlan, Latch, RunError, Signal, SimDuration, SimResult,
+    abort_run, delay, now, process, yield_now, Bell, FaultClass, FaultPlan, Latch, RunError,
+    Signal, SimDuration, SimResult,
 };
 
 use crate::exec::{ClusterMsg, RtExec};
@@ -200,16 +201,15 @@ impl RtShared {
     /// at once (they pipeline on the DMA engines and NIC ports) and the
     /// caller parks until the last completes. Returns the mapped
     /// locations in access order.
-    fn acquire_all(
+    async fn acquire_all(
         self: &Arc<Self>,
-        ctx: &Ctx,
         accesses: &[ompss_mem::Access],
         space: SpaceId,
     ) -> SimResult<Vec<ompss_coherence::Loc>> {
         if accesses.len() <= 1 {
             let mut locs = Vec::with_capacity(accesses.len());
             for a in accesses {
-                locs.push(self.coh.acquire(ctx, &*self.exec, &a.region, a.kind.reads(), space)?);
+                locs.push(self.coh.acquire(&*self.exec, &a.region, a.kind.reads(), space).await?);
             }
             return Ok(locs);
         }
@@ -221,15 +221,14 @@ impl RtShared {
             let sh = self.clone();
             let latch = latch.clone();
             let results = results.clone();
-            ctx.spawn_daemon(format!("acquire:{}", a.region), move |actx| {
-                if let Ok(loc) = sh.coh.acquire(&actx, &*sh.exec, &a.region, a.kind.reads(), space)
-                {
+            process(format!("acquire:{}", a.region)).daemon().spawn(async move {
+                if let Ok(loc) = sh.coh.acquire(&*sh.exec, &a.region, a.kind.reads(), space).await {
                     results.lock()[i] = Some(loc);
                 }
-                latch.done(&actx);
+                latch.done();
             });
         }
-        latch.wait_zero(ctx)?;
+        latch.wait_zero().await?;
         let locs: Option<Vec<_>> = results.lock().iter().copied().collect();
         locs.ok_or(ompss_sim::SimError::Shutdown)
     }
@@ -241,9 +240,8 @@ impl RtShared {
     /// extra time (the task still completes); a *timeout* charges the
     /// full cost and then reports failure without running the body, so
     /// the worker re-executes under its retry budget.
-    fn run_smp_body(
+    async fn run_smp_body(
         self: &Arc<Self>,
-        ctx: &Ctx,
         rec: &TaskRecord,
         space: SpaceId,
         node: NodeId,
@@ -251,7 +249,7 @@ impl RtShared {
         let accesses = rec.copy_accesses();
         let mut locs = Vec::with_capacity(accesses.len());
         for a in &accesses {
-            locs.push(self.coh.acquire(ctx, &*self.exec, &a.region, a.kind.reads(), space)?);
+            locs.push(self.coh.acquire(&*self.exec, &a.region, a.kind.reads(), space).await?);
         }
         let base = match rec.cost {
             TaskCost::Smp(d) => Some(d),
@@ -276,7 +274,7 @@ impl RtShared {
             }
         }
         if let Some(d) = charge {
-            ctx.delay(d)?;
+            delay(d).await?;
         }
         if timed_out {
             for a in &accesses {
@@ -307,15 +305,14 @@ impl RtShared {
                 }
             }
         }
-        self.coh.commit(ctx, &*self.exec, &accesses, space)?;
+        self.coh.commit(&*self.exec, &accesses, space).await?;
         Ok(BodyOutcome::Done)
     }
 
     /// Run `task` on a GPU through its manager's stream, with optional
     /// prefetch of `next` while the kernel executes.
-    fn run_gpu_body(
+    async fn run_gpu_body(
         self: &Arc<Self>,
-        ctx: &Ctx,
         rec: &TaskRecord,
         space: SpaceId,
         node: NodeId,
@@ -323,7 +320,7 @@ impl RtShared {
         prefetch_next: Option<&TaskRecord>,
     ) -> SimResult<BodyOutcome> {
         let accesses = rec.copy_accesses();
-        let locs = self.acquire_all(ctx, &accesses, space)?;
+        let locs = self.acquire_all(&accesses, space).await?;
         let cost = match rec.cost {
             TaskCost::Gpu(k) => k,
             TaskCost::Smp(d) => KernelCost::fixed(d),
@@ -351,25 +348,25 @@ impl RtShared {
             let id = rec.desc.id;
             let label = rec.desc.label.clone();
             let declared = accesses.clone();
-            Box::new(move |_c: &Ctx| match &verify {
+            Box::new(move || match &verify {
                 Some(sink) => sink.run_observed(&mem, id, &label, &declared, &requests, &body),
                 None => {
                     mem.with_bytes_many(&requests, |views| body(views));
                 }
             }) as ompss_cudasim::Effect
         });
-        let ev = stream.launch_async(ctx, cost, effect);
+        let ev = stream.launch_async(cost, effect);
         // Prefetch the next task's read data while the kernel runs
         // (§III-D2): effective only with overlap, since pageable copies
         // serialise after the kernel — the cudasim models that.
         if let Some(next) = prefetch_next {
             for a in next.copy_accesses() {
                 if a.kind.reads() {
-                    self.coh.prefetch(ctx, &*self.exec, &a.region, space)?;
+                    self.coh.prefetch(&*self.exec, &a.region, space).await?;
                 }
             }
         }
-        ev.synchronize(ctx)?;
+        ev.synchronize().await?;
         if let Some(fault) = ev.fault() {
             // The kernel did not retire: its effect never ran, outputs
             // were not written. Unpin the acquired copies (commit would
@@ -385,16 +382,16 @@ impl RtShared {
         if self.node_down(node) {
             return Ok(BodyOutcome::Abandoned);
         }
-        self.coh.commit(ctx, &*self.exec, &accesses, space)?;
+        self.coh.commit(&*self.exec, &accesses, space).await?;
         Ok(BodyOutcome::Done)
     }
 
     /// Account one failed attempt at `rec`'s body. True = retry; false
     /// after aborting the run because the budget ran out.
-    fn note_retry(&self, ctx: &Ctx, rec: &TaskRecord, attempts: &mut u32) -> bool {
+    fn note_retry(&self, rec: &TaskRecord, attempts: &mut u32) -> bool {
         *attempts += 1;
         if *attempts > self.cfg.task_retry_budget {
-            ctx.abort_run(RunError::Exhausted {
+            abort_run(RunError::Exhausted {
                 what: format!("task '{}' (t{}) re-executions", rec.desc.label, rec.desc.id.0),
                 attempts: *attempts,
             });
@@ -405,7 +402,7 @@ impl RtShared {
             tr.record(TraceEvent::Recovery {
                 kind: "task_retry",
                 task: Some(rec.desc.id.0),
-                at: ctx.now(),
+                at: now(),
             });
         }
         true
@@ -419,7 +416,6 @@ impl RtShared {
     /// when clustered), so nothing becomes unservable here.
     fn master_gpu_lost(
         &self,
-        ctx: &Ctx,
         res: ResourceId,
         space: SpaceId,
         tid: TaskId,
@@ -437,19 +433,15 @@ impl RtShared {
         }
         self.coh.invalidate_space(space);
         if let Some(tr) = &self.tracer {
-            tr.record(TraceEvent::Recovery {
-                kind: "device_lost",
-                task: Some(tid.0),
-                at: ctx.now(),
-            });
+            tr.record(TraceEvent::Recovery { kind: "device_lost", task: Some(tid.0), at: now() });
         }
-        self.master_bell.ring(ctx);
-        self.comm_bell.ring(ctx);
+        self.master_bell.ring();
+        self.comm_bell.ring();
     }
 
     /// Master-side completion: release successors, update the
     /// scheduler, wake everyone.
-    pub(crate) fn complete_on_master(&self, ctx: &Ctx, id: TaskId, res: ResourceId) {
+    pub(crate) fn complete_on_master(&self, id: TaskId, res: ResourceId) {
         let rec = {
             let mut m = self.master.lock();
             let mut newly = std::mem::take(&mut m.newly_scratch);
@@ -468,20 +460,20 @@ impl RtShared {
             m.tasks_executed += 1;
             m.records[&id].clone()
         };
-        rec.done.set(ctx);
-        self.latch.done(ctx);
-        self.master_bell.ring(ctx);
-        self.comm_bell.ring(ctx);
+        rec.done.set();
+        self.latch.done();
+        self.master_bell.ring();
+        self.comm_bell.ring();
     }
 }
 
 /// SMP worker loop for the master node.
-pub(crate) fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId, ctx: Ctx) {
+pub(crate) async fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId) {
     let space = shared.hosts[0];
     loop {
         let tid = { shared.master.lock().sched.next(res) };
         let Some(tid) = tid else {
-            if shared.master_bell.wait(&ctx).is_err() {
+            if shared.master_bell.wait().await.is_err() {
                 return;
             }
             continue;
@@ -490,16 +482,16 @@ pub(crate) fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId, ctx: Ctx
         let rec = shared.record(tid);
         let mut attempts = 0u32;
         loop {
-            let t0 = ctx.now();
-            match shared.run_smp_body(&ctx, &rec, space, 0) {
+            let t0 = now();
+            match shared.run_smp_body(&rec, space, 0).await {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
-                    shared.trace_task(&rec, 0, &format!("worker{}", res.0), t0, ctx.now());
-                    shared.complete_on_master(&ctx, tid, res);
+                    shared.trace_task(&rec, 0, &format!("worker{}", res.0), t0, now());
+                    shared.complete_on_master(tid, res);
                     break;
                 }
                 Ok(BodyOutcome::Failed) => {
-                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                    if !shared.note_retry(&rec, &mut attempts) {
                         return;
                     }
                 }
@@ -511,9 +503,9 @@ pub(crate) fn master_smp_worker(shared: Arc<RtShared>, res: ResourceId, ctx: Ctx
 }
 
 /// GPU manager loop for a master-node GPU.
-pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: SpaceId, ctx: Ctx) {
+pub(crate) async fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: SpaceId) {
     let dev = shared.gpus[&space].clone();
-    let stream = dev.create_stream(&ctx, format!("mgr{}", space.0));
+    let stream = dev.create_stream(format!("mgr{}", space.0));
     let mut next: Option<TaskId> = None;
     loop {
         let tid = match next.take() {
@@ -526,7 +518,7 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
                         t
                     }
                     None => {
-                        if shared.master_bell.wait(&ctx).is_err() {
+                        if shared.master_bell.wait().await.is_err() {
                             return;
                         }
                         continue;
@@ -538,7 +530,7 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
         if std::env::var_os("OMPSS_RT_DEBUG").is_some() {
             eprintln!(
                 "[rt {:.6}s] node0 gpu runs {} (t{})",
-                ctx.now().as_secs_f64(),
+                now().as_secs_f64(),
                 rec.desc.label,
                 tid.0
             );
@@ -562,24 +554,24 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
         };
         let mut attempts = 0u32;
         loop {
-            let t0 = ctx.now();
+            let t0 = now();
             // Prefetch only rides the first attempt; a retry must not
             // re-issue it (the copies are already inbound or pinned).
             let pf_arg = if attempts == 0 { pf.as_deref() } else { None };
-            match shared.run_gpu_body(&ctx, &rec, space, 0, &stream, pf_arg) {
+            match shared.run_gpu_body(&rec, space, 0, &stream, pf_arg).await {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
-                    shared.trace_task(&rec, 0, &format!("gpu{}", space.0), t0, ctx.now());
-                    shared.complete_on_master(&ctx, tid, res);
+                    shared.trace_task(&rec, 0, &format!("gpu{}", space.0), t0, now());
+                    shared.complete_on_master(tid, res);
                     break;
                 }
                 Ok(BodyOutcome::Failed) => {
-                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                    if !shared.note_retry(&rec, &mut attempts) {
                         return;
                     }
                 }
                 Ok(BodyOutcome::DeviceLost) => {
-                    shared.master_gpu_lost(&ctx, res, space, tid, next.take());
+                    shared.master_gpu_lost(res, space, tid, next.take());
                     return;
                 }
                 Ok(BodyOutcome::Abandoned) => unreachable!("node 0 cannot be killed"),
@@ -591,7 +583,7 @@ pub(crate) fn master_gpu_manager(shared: Arc<RtShared>, res: ResourceId, space: 
 /// The master's communication thread: drains node-proxy queues round
 /// robin, staging data and dispatching `Exec` messages, keeping each
 /// node at `resources + presend` tasks in flight.
-pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx: Ctx) {
+pub(crate) async fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>) {
     let nodes = shared.cfg.nodes;
     // "Presend" dispatches work to a node before its resources go idle:
     // the cap per device kind is the resource count plus the presend
@@ -649,7 +641,7 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
                 // Staging is node-granular ("a whole remote cluster node
                 // is a single device", §III-C3): data already valid in
                 // any space of the node needs no push.
-                ctx.spawn_daemon(format!("comm:push:t{}", tid.0), move |hctx| {
+                process(format!("comm:push:t{}", tid.0)).daemon().spawn(async move {
                     let node_span = shared2.master_oracle.spans.get(&host);
                     let needed: Vec<_> = rec
                         .copy_accesses()
@@ -670,29 +662,30 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
                     for a in needed {
                         let sh = shared2.clone();
                         let latch = latch.clone();
-                        hctx.spawn_daemon(format!("comm:stage:{}", a.region), move |sctx| {
-                            let _ = sh.coh.presend(&sctx, &*sh.exec, &a.region, host);
-                            latch.done(&sctx);
+                        process(format!("comm:stage:{}", a.region)).daemon().spawn(async move {
+                            let _ = sh.coh.presend(&*sh.exec, &a.region, host).await;
+                            latch.done();
                         });
                     }
-                    if latch.wait_zero(&hctx).is_err() {
+                    if latch.wait_zero().await.is_err() {
                         return;
                     }
                     crate::stats::Counters::add(&shared2.counters.am_exec, 1);
-                    send_msg(&shared2, &ep2, &hctx, node, "Exec", |rel| ClusterMsg::Exec {
+                    send_msg(&shared2, &ep2, node, "Exec", |rel| ClusterMsg::Exec {
                         task: rec.desc.id,
                         rel,
-                    });
+                    })
+                    .await;
                 });
             }
         }
-        if !progressed && shared.comm_bell.wait(&ctx).is_err() {
+        if !progressed && shared.comm_bell.wait().await.is_err() {
             return;
         }
         if progressed {
             // Yield so helpers and other processes advance before the
             // next round-robin sweep.
-            if ctx.yield_now().is_err() {
+            if yield_now().await.is_err() {
                 return;
             }
         }
@@ -701,11 +694,11 @@ pub(crate) fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx
 
 /// The master's AM dispatcher: completion notifications and inbound
 /// data-message sinks.
-pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx: Ctx) {
-    while let Ok((src, msg)) = ep.poll(&ctx) {
+pub(crate) async fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>) {
+    while let Ok((src, msg)) = ep.poll().await {
         match msg {
             ClusterMsg::Done { task, rel } => {
-                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                if !ack_fresh(&shared, &ep, src, rel) {
                     continue;
                 }
                 let stale = {
@@ -726,10 +719,10 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                 if stale {
                     continue;
                 }
-                shared.complete_on_master(&ctx, task, shared.proxy_res[src as usize]);
+                shared.complete_on_master(task, shared.proxy_res[src as usize]);
             }
             ClusterMsg::Failed { task, rel } => {
-                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                if !ack_fresh(&shared, &ep, src, rel) {
                     continue;
                 }
                 // The node hands the task back: put it into the graph
@@ -748,11 +741,11 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                     let rec = m.records[&task].clone();
                     m.sched.submit(&rec.desc, &shared.master_oracle);
                 }
-                shared.master_bell.ring(&ctx);
-                shared.comm_bell.ring(&ctx);
+                shared.master_bell.ring();
+                shared.comm_bell.ring();
             }
             ClusterMsg::GpuDown { rel } => {
-                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                if !ack_fresh(&shared, &ep, src, rel) {
                     continue;
                 }
                 {
@@ -769,17 +762,17 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
                         m.sched.forbid(shared.proxy_res[src as usize], Device::Cuda);
                     }
                 }
-                shared.master_bell.ring(&ctx);
-                shared.comm_bell.ring(&ctx);
+                shared.master_bell.ring();
+                shared.comm_bell.ring();
             }
             ClusterMsg::Pong { node } => {
                 if let Some(lease) = &shared.lease {
-                    lease.lock().beat(node, ctx.now());
+                    lease.lock().beat(node, now());
                 }
             }
             ClusterMsg::Ack { id } => {
                 if let Some(r) = &shared.rel {
-                    r.on_ack(&ctx, id);
+                    r.on_ack(id);
                 }
             }
             ClusterMsg::Data => {}
@@ -792,13 +785,12 @@ pub(crate) fn master_dispatcher(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
 
 /// A slave node's AM dispatcher: receives `Exec` requests and submits
 /// them to the local scheduler.
-pub(crate) fn slave_dispatcher(
+pub(crate) async fn slave_dispatcher(
     shared: Arc<RtShared>,
     node: NodeId,
     ep: AmEndpoint<ClusterMsg>,
-    ctx: Ctx,
 ) {
-    while let Ok((src, msg)) = ep.poll(&ctx) {
+    while let Ok((src, msg)) = ep.poll().await {
         if shared.node_down(node) {
             // A dead machine processes nothing. (The fabric already
             // suppresses delivery to a killed node; this also covers
@@ -807,7 +799,7 @@ pub(crate) fn slave_dispatcher(
         }
         match msg {
             ClusterMsg::Exec { task, rel } => {
-                if !ack_fresh(&shared, &ep, &ctx, src, rel) {
+                if !ack_fresh(&shared, &ep, src, rel) {
                     continue;
                 }
                 let rec = shared.record(task);
@@ -826,23 +818,24 @@ pub(crate) fn slave_dispatcher(
                 for t in orphans {
                     let shared2 = shared.clone();
                     let ep2 = ep.clone();
-                    ctx.spawn_daemon(format!("bounce:t{}", t.0), move |bctx| {
-                        send_msg(&shared2, &ep2, &bctx, 0, "Failed", |rel| ClusterMsg::Failed {
+                    process(format!("bounce:t{}", t.0)).daemon().spawn(async move {
+                        send_msg(&shared2, &ep2, 0, "Failed", |rel| ClusterMsg::Failed {
                             task: t,
                             rel,
-                        });
+                        })
+                        .await;
                     });
                 }
-                slave.bell.ring(&ctx);
+                slave.bell.ring();
             }
             ClusterMsg::Ping => {
                 // Renew the master's lease on this node. Detached and
                 // unacknowledged by design: a silent node is the signal.
-                let _ = ep.request_short_detached(&ctx, 0, ClusterMsg::Pong { node });
+                let _ = ep.request_short_detached(0, ClusterMsg::Pong { node });
             }
             ClusterMsg::Ack { id } => {
                 if let Some(r) = &shared.rel {
-                    r.on_ack(&ctx, id);
+                    r.on_ack(id);
                 }
             }
             ClusterMsg::Data => {}
@@ -852,12 +845,11 @@ pub(crate) fn slave_dispatcher(
 }
 
 /// SMP worker loop on a slave node.
-pub(crate) fn slave_smp_worker(
+pub(crate) async fn slave_smp_worker(
     shared: Arc<RtShared>,
     node: NodeId,
     res: ResourceId,
     ep: AmEndpoint<ClusterMsg>,
-    ctx: Ctx,
 ) {
     let space = shared.slaves[node as usize].host;
     loop {
@@ -866,7 +858,7 @@ pub(crate) fn slave_smp_worker(
         }
         let tid = { shared.slaves[node as usize].sched.lock().next(res) };
         let Some(tid) = tid else {
-            if shared.slaves[node as usize].bell.wait(&ctx).is_err() {
+            if shared.slaves[node as usize].bell.wait().await.is_err() {
                 return;
             }
             continue;
@@ -874,20 +866,18 @@ pub(crate) fn slave_smp_worker(
         let rec = shared.record(tid);
         let mut attempts = 0u32;
         loop {
-            let t0 = ctx.now();
-            match shared.run_smp_body(&ctx, &rec, space, node) {
+            let t0 = now();
+            match shared.run_smp_body(&rec, space, node).await {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
-                    shared.trace_task(&rec, node, &format!("worker{}", res.0), t0, ctx.now());
+                    shared.trace_task(&rec, node, &format!("worker{}", res.0), t0, now());
                     crate::stats::Counters::add(&shared.counters.am_done, 1);
-                    send_msg(&shared, &ep, &ctx, 0, "Done", |rel| ClusterMsg::Done {
-                        task: tid,
-                        rel,
-                    });
+                    send_msg(&shared, &ep, 0, "Done", |rel| ClusterMsg::Done { task: tid, rel })
+                        .await;
                     break;
                 }
                 Ok(BodyOutcome::Failed) => {
-                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                    if !shared.note_retry(&rec, &mut attempts) {
                         return;
                     }
                 }
@@ -899,16 +889,15 @@ pub(crate) fn slave_smp_worker(
 }
 
 /// GPU manager loop on a slave node.
-pub(crate) fn slave_gpu_manager(
+pub(crate) async fn slave_gpu_manager(
     shared: Arc<RtShared>,
     node: NodeId,
     res: ResourceId,
     space: SpaceId,
     ep: AmEndpoint<ClusterMsg>,
-    ctx: Ctx,
 ) {
     let dev = shared.gpus[&space].clone();
-    let stream = dev.create_stream(&ctx, format!("mgr{}", space.0));
+    let stream = dev.create_stream(format!("mgr{}", space.0));
     let mut next: Option<TaskId> = None;
     loop {
         if shared.node_down(node) {
@@ -921,7 +910,7 @@ pub(crate) fn slave_gpu_manager(
                 match t {
                     Some(t) => t,
                     None => {
-                        if shared.slaves[node as usize].bell.wait(&ctx).is_err() {
+                        if shared.slaves[node as usize].bell.wait().await.is_err() {
                             return;
                         }
                         continue;
@@ -933,7 +922,7 @@ pub(crate) fn slave_gpu_manager(
         if std::env::var_os("OMPSS_RT_DEBUG").is_some() {
             eprintln!(
                 "[rt {:.6}s] node{node} gpu runs {} (t{})",
-                ctx.now().as_secs_f64(),
+                now().as_secs_f64(),
                 rec.desc.label,
                 tid.0
             );
@@ -947,26 +936,24 @@ pub(crate) fn slave_gpu_manager(
         };
         let mut attempts = 0u32;
         loop {
-            let t0 = ctx.now();
+            let t0 = now();
             let pf_arg = if attempts == 0 { pf.as_deref() } else { None };
-            match shared.run_gpu_body(&ctx, &rec, space, node, &stream, pf_arg) {
+            match shared.run_gpu_body(&rec, space, node, &stream, pf_arg).await {
                 Err(_) => return,
                 Ok(BodyOutcome::Done) => {
-                    shared.trace_task(&rec, node, &format!("gpu{}", space.0), t0, ctx.now());
+                    shared.trace_task(&rec, node, &format!("gpu{}", space.0), t0, now());
                     crate::stats::Counters::add(&shared.counters.am_done, 1);
-                    send_msg(&shared, &ep, &ctx, 0, "Done", |rel| ClusterMsg::Done {
-                        task: tid,
-                        rel,
-                    });
+                    send_msg(&shared, &ep, 0, "Done", |rel| ClusterMsg::Done { task: tid, rel })
+                        .await;
                     break;
                 }
                 Ok(BodyOutcome::Failed) => {
-                    if !shared.note_retry(&ctx, &rec, &mut attempts) {
+                    if !shared.note_retry(&rec, &mut attempts) {
                         return;
                     }
                 }
                 Ok(BodyOutcome::DeviceLost) => {
-                    slave_gpu_lost(&shared, node, res, space, tid, next.take(), &ep, &ctx);
+                    slave_gpu_lost(&shared, node, res, space, tid, next.take(), &ep);
                     return;
                 }
                 Ok(BodyOutcome::Abandoned) => return,
@@ -989,7 +976,6 @@ fn slave_gpu_lost(
     tid: TaskId,
     prefetched: Option<TaskId>,
     ep: &AmEndpoint<ClusterMsg>,
-    ctx: &Ctx,
 ) {
     crate::stats::Counters::add(&shared.counters.devices_lost, 1);
     let slave = &shared.slaves[node as usize];
@@ -1006,17 +992,17 @@ fn slave_gpu_lost(
     };
     shared.coh.invalidate_space(space);
     if let Some(tr) = &shared.tracer {
-        tr.record(TraceEvent::Recovery { kind: "device_lost", task: Some(tid.0), at: ctx.now() });
+        tr.record(TraceEvent::Recovery { kind: "device_lost", task: Some(tid.0), at: now() });
     }
     let shared2 = shared.clone();
     let ep2 = ep.clone();
-    ctx.spawn_daemon(format!("gpu-down:n{node}"), move |dctx| {
-        send_msg(&shared2, &ep2, &dctx, 0, "GpuDown", |rel| ClusterMsg::GpuDown { rel });
+    process(format!("gpu-down:n{node}")).daemon().spawn(async move {
+        send_msg(&shared2, &ep2, 0, "GpuDown", |rel| ClusterMsg::GpuDown { rel }).await;
         for t in orphans {
-            send_msg(&shared2, &ep2, &dctx, 0, "Failed", |rel| ClusterMsg::Failed { task: t, rel });
+            send_msg(&shared2, &ep2, 0, "Failed", |rel| ClusterMsg::Failed { task: t, rel }).await;
         }
     });
-    slave.bell.ring(ctx);
+    slave.bell.ring();
 }
 
 /// The planned node-kill: at the armed virtual instant the slave's
@@ -1024,14 +1010,13 @@ fn slave_gpu_lost(
 /// commit) and its NIC goes silent — messages to or from it still
 /// occupy the wire but never deliver. Nothing on the master changes
 /// here: detection is the lease protocol's job.
-pub(crate) fn node_kill(
+pub(crate) async fn node_kill(
     shared: Arc<RtShared>,
     fabric: Fabric<ClusterMsg>,
     node: NodeId,
     at: SimDuration,
-    ctx: Ctx,
 ) {
-    match shared.done.wait_timeout(&ctx, at) {
+    match shared.done.wait_timeout(at).await {
         Ok(false) => {} // the planned instant arrived mid-run: kill
         _ => return,    // program finished first (or shutdown): stand down
     }
@@ -1042,35 +1027,35 @@ pub(crate) fn node_kill(
     }
     // Wake the node's parked processes so they observe the flag and
     // stop instead of sleeping through their own death.
-    shared.slaves[node as usize].bell.ring(&ctx);
+    shared.slaves[node as usize].bell.ring();
 }
 
 /// The master's lease monitor (armed-only): probes every live slave on
 /// the heartbeat period, charges missed renewals, and hands nodes whose
 /// lease expired to [`master_node_lost`].
-pub(crate) fn lease_monitor(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, ctx: Ctx) {
+pub(crate) async fn lease_monitor(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>) {
     let Some(lease) = &shared.lease else { return };
     let period = lease.lock().config().period;
     loop {
-        match shared.done.wait_timeout(&ctx, period) {
+        match shared.done.wait_timeout(period).await {
             Ok(false) => {} // a full period elapsed mid-run: probe
             _ => return,    // program finished (or shutdown): stand down
         }
         let dead = {
             let mut l = lease.lock();
             let before = l.missed();
-            let dead = l.expired(ctx.now());
+            let dead = l.expired(now());
             crate::stats::Counters::add(&shared.counters.heartbeats_missed, l.missed() - before);
             dead
         };
         for node in dead {
-            master_node_lost(&shared, &ctx, node);
+            master_node_lost(&shared, node);
         }
         let mut any_live = false;
         for n in 1..shared.cfg.nodes {
             if !lease.lock().is_declared_dead(n) {
                 any_live = true;
-                let _ = ep.request_short_detached(&ctx, n, ClusterMsg::Ping);
+                let _ = ep.request_short_detached(n, ClusterMsg::Ping);
             }
         }
         if !any_live {
@@ -1091,10 +1076,10 @@ pub(crate) fn lease_monitor(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg>, c
 /// 5. reconstruct regions whose latest version lived only there by
 ///    lineage re-execution ([`crate::lineage`]), rolling the version
 ///    back to the rebuilt point so re-homed writers re-commit on top.
-pub(crate) fn master_node_lost(shared: &Arc<RtShared>, ctx: &Ctx, node: NodeId) {
+pub(crate) fn master_node_lost(shared: &Arc<RtShared>, node: NodeId) {
     crate::stats::Counters::add(&shared.counters.nodes_lost, 1);
     if let Some(tr) = &shared.tracer {
-        tr.record(TraceEvent::Recovery { kind: "node_lost", task: None, at: ctx.now() });
+        tr.record(TraceEvent::Recovery { kind: "node_lost", task: None, at: now() });
     }
     {
         let mut m = shared.master.lock();
@@ -1104,7 +1089,7 @@ pub(crate) fn master_node_lost(shared: &Arc<RtShared>, ctx: &Ctx, node: NodeId) 
         let orphans = m.sched.withdraw(shared.proxy_res[node as usize]);
         if !orphans.is_empty() {
             drop(m);
-            ctx.abort_run(RunError::Exhausted {
+            abort_run(RunError::Exhausted {
                 what: format!("placements for tasks only lost node {node} could serve"),
                 attempts: orphans.len() as u32,
             });
@@ -1118,38 +1103,39 @@ pub(crate) fn master_node_lost(shared: &Arc<RtShared>, ctx: &Ctx, node: NodeId) 
             m.sched.submit(&rec.desc, &shared.master_oracle);
         }
         if let Some(r) = &shared.rel {
-            r.abandon_node(ctx, node);
+            r.abandon_node(node);
         }
-        let lost = shared.coh.purge_spaces(ctx, &shared.node_spaces[node as usize]);
-        if let Err(e) = crate::lineage::reconstruct(shared, ctx, &m, &lost) {
+        let lost = shared.coh.purge_spaces(&shared.node_spaces[node as usize]);
+        if let Err(e) = crate::lineage::reconstruct(shared, &m, &lost) {
             drop(m);
-            ctx.abort_run(e);
+            abort_run(e);
             return;
         }
     }
-    shared.master_bell.ring(ctx);
-    shared.comm_bell.ring(ctx);
+    shared.master_bell.ring();
+    shared.comm_bell.ring();
 }
 
 /// Send one control message: reliably (park until the ack arrives,
 /// retransmitting on timeout) when chaos is armed, as a plain
 /// fire-and-forget active message otherwise.
-fn send_msg(
+async fn send_msg(
     shared: &Arc<RtShared>,
     ep: &AmEndpoint<ClusterMsg>,
-    ctx: &Ctx,
     dst: NodeId,
     what: &str,
     make: impl Fn(Option<u64>) -> ClusterMsg,
 ) {
     match &shared.rel {
         Some(r) => {
-            let _ = r.send_reliable(ctx, &shared.counters, what, ep.node(), dst, |id| {
-                ep.request_short(ctx, dst, make(Some(id)))
-            });
+            let _ = r
+                .send_reliable(&shared.counters, what, ep.node(), dst, |id| {
+                    ep.request_short(dst, make(Some(id)))
+                })
+                .await;
         }
         None => {
-            let _ = ep.request_short(ctx, dst, make(None));
+            let _ = ep.request_short(dst, make(None)).await;
         }
     }
 }
@@ -1160,12 +1146,11 @@ fn send_msg(
 fn ack_fresh(
     shared: &Arc<RtShared>,
     ep: &AmEndpoint<ClusterMsg>,
-    ctx: &Ctx,
     src: NodeId,
     rel: Option<u64>,
 ) -> bool {
     let Some(id) = rel else { return true };
-    let _ = ep.request_short_detached(ctx, src, ClusterMsg::Ack { id });
+    let _ = ep.request_short_detached(src, ClusterMsg::Ack { id });
     shared.rel.as_ref().map(|r| r.should_process(id)).unwrap_or(true)
 }
 

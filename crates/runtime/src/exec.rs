@@ -14,6 +14,8 @@
 //! so functional results survive arbitrary routings.
 
 use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 
 use ompss_coherence::{HopKind, Loc, TransferExec, TransferPurpose};
@@ -21,7 +23,7 @@ use ompss_core::TaskId;
 use ompss_cudasim::{CopyDir, GpuDevice, GpuFault, PinnedPool};
 use ompss_mem::{MemoryManager, SpaceId};
 use ompss_net::{Fabric, NodeId};
-use ompss_sim::{Ctx, RunError, SimResult};
+use ompss_sim::{abort_run, delay, now, RunError, SimResult};
 
 /// DMA re-issues allowed when an injected fault corrupts a PCIe copy
 /// before the run aborts. Corruption is detected per transfer and each
@@ -119,95 +121,92 @@ impl RtExec {
 }
 
 impl TransferExec for RtExec {
-    fn transfer(
-        &self,
-        ctx: &Ctx,
+    fn transfer<'a>(
+        &'a self,
         kind: HopKind,
         purpose: TransferPurpose,
         src: Loc,
         dst: Loc,
         bytes: u64,
-    ) -> SimResult<bool> {
-        let t0 = ctx.now();
-        match kind {
-            HopKind::Pcie => {
-                let (gpu_space, dir) = if self.gpus.contains_key(&dst.space) {
-                    (dst.space, CopyDir::H2D)
-                } else {
-                    (src.space, CopyDir::D2H)
-                };
-                let dev = self.gpus.get(&gpu_space).expect("PCIe hop must touch a GPU space");
-                let node = self.node_of[&gpu_space] as usize;
-                let pool = &self.pinned[node];
-                let use_pinned = self.overlap && pool.try_alloc(bytes);
-                Counters::add(
+    ) -> Pin<Box<dyn Future<Output = SimResult<bool>> + Send + 'a>> {
+        Box::pin(async move {
+            let t0 = now();
+            match kind {
+                HopKind::Pcie => {
+                    let (gpu_space, dir) = if self.gpus.contains_key(&dst.space) {
+                        (dst.space, CopyDir::H2D)
+                    } else {
+                        (src.space, CopyDir::D2H)
+                    };
+                    let dev = self.gpus.get(&gpu_space).expect("PCIe hop must touch a GPU space");
+                    let node = self.node_of[&gpu_space] as usize;
+                    let pool = &self.pinned[node];
+                    let use_pinned = self.overlap && pool.try_alloc(bytes);
+                    Counters::add(
+                        if use_pinned {
+                            &self.counters.pcie_pinned_bytes
+                        } else {
+                            &self.counters.pcie_pageable_bytes
+                        },
+                        bytes,
+                    );
+                    let r = pcie_copy(dev, dir, bytes, use_pinned).await;
                     if use_pinned {
-                        &self.counters.pcie_pinned_bytes
-                    } else {
-                        &self.counters.pcie_pageable_bytes
-                    },
-                    bytes,
-                );
-                let r = pcie_copy(ctx, dev, dir, bytes, use_pinned);
-                if use_pinned {
-                    pool.free(bytes);
+                        pool.free(bytes);
+                    }
+                    r?;
                 }
-                r?;
+                HopKind::Network => {
+                    let sn = self.node_of[&src.space];
+                    let dn = self.node_of[&dst.space];
+                    debug_assert_ne!(sn, dn, "network hop within one node");
+                    // Classify the wire traffic: pre-send staging is its own
+                    // bucket; everything else splits by whether the master
+                    // is an endpoint (MtoS) or the hop is slave-direct (StoS).
+                    Counters::add(
+                        if purpose == TransferPurpose::Presend {
+                            &self.counters.net_presend_bytes
+                        } else if sn == 0 || dn == 0 {
+                            &self.counters.net_mts_bytes
+                        } else {
+                            &self.counters.net_sts_bytes
+                        },
+                        bytes,
+                    );
+                    Counters::add(&self.counters.am_data, 1);
+                    self.fabric
+                        .send(sn, dn, ompss_net::AM_HEADER_BYTES + bytes, ClusterMsg::Data)
+                        .await?;
+                }
             }
-            HopKind::Network => {
-                let sn = self.node_of[&src.space];
-                let dn = self.node_of[&dst.space];
-                debug_assert_ne!(sn, dn, "network hop within one node");
-                // Classify the wire traffic: pre-send staging is its own
-                // bucket; everything else splits by whether the master
-                // is an endpoint (MtoS) or the hop is slave-direct (StoS).
-                Counters::add(
-                    if purpose == TransferPurpose::Presend {
-                        &self.counters.net_presend_bytes
-                    } else if sn == 0 || dn == 0 {
-                        &self.counters.net_mts_bytes
-                    } else {
-                        &self.counters.net_sts_bytes
-                    },
+            // The wire/DMA time is spent either way, but if an endpoint's
+            // node has been killed the bytes never land: copying here would
+            // let a stale in-flight transfer clobber data that node-loss
+            // recovery reconstructs at the destination.
+            let delivered = !self.fabric.is_dead(self.node_of[&src.space])
+                && !self.fabric.is_dead(self.node_of[&dst.space]);
+            if delivered {
+                self.mem.copy(
+                    (src.space, src.alloc),
+                    src.offset,
+                    (dst.space, dst.alloc),
+                    dst.offset,
                     bytes,
                 );
-                Counters::add(&self.counters.am_data, 1);
-                self.fabric.send(
-                    ctx,
-                    sn,
-                    dn,
-                    ompss_net::AM_HEADER_BYTES + bytes,
-                    ClusterMsg::Data,
-                )?;
             }
-        }
-        // The wire/DMA time is spent either way, but if an endpoint's
-        // node has been killed the bytes never land: copying here would
-        // let a stale in-flight transfer clobber data that node-loss
-        // recovery reconstructs at the destination.
-        let delivered = !self.fabric.is_dead(self.node_of[&src.space])
-            && !self.fabric.is_dead(self.node_of[&dst.space]);
-        if delivered {
-            self.mem.copy(
-                (src.space, src.alloc),
-                src.offset,
-                (dst.space, dst.alloc),
-                dst.offset,
-                bytes,
-            );
-        }
-        if let Some(tr) = &self.tracer {
-            tr.record(TraceEvent::Transfer {
-                medium: match kind {
-                    HopKind::Pcie => "pcie",
-                    HopKind::Network => "network",
-                },
-                bytes,
-                start: t0,
-                end: ctx.now(),
-            });
-        }
-        Ok(delivered)
+            if let Some(tr) = &self.tracer {
+                tr.record(TraceEvent::Transfer {
+                    medium: match kind {
+                        HopKind::Pcie => "pcie",
+                        HopKind::Network => "network",
+                    },
+                    bytes,
+                    start: t0,
+                    end: now(),
+                });
+            }
+            Ok(delivered)
+        })
     }
 }
 
@@ -218,19 +217,19 @@ impl TransferExec for RtExec {
 /// movement is performed by the caller in simulator memory, and the
 /// space is being torn down by its manager — there is no DMA left to
 /// charge.
-fn pcie_copy(ctx: &Ctx, dev: &GpuDevice, dir: CopyDir, bytes: u64, pinned: bool) -> SimResult<()> {
+async fn pcie_copy(dev: &GpuDevice, dir: CopyDir, bytes: u64, pinned: bool) -> SimResult<()> {
     let mut attempts = 0u32;
     loop {
         if pinned && dir == CopyDir::H2D {
-            ctx.delay(dev.spec().staging_time(bytes))?;
+            delay(dev.spec().staging_time(bytes)).await?;
         }
-        match dev.try_memcpy(ctx, dir, bytes, pinned, None)? {
+        match dev.try_memcpy(dir, bytes, pinned, None).await? {
             Ok(()) => {}
             Err(GpuFault::DeviceLost) => return Ok(()),
             Err(_) => {
                 attempts += 1;
                 if attempts > PCIE_RETRIES {
-                    return Err(ctx.abort_run(RunError::Exhausted {
+                    return Err(abort_run(RunError::Exhausted {
                         what: "pcie copy re-issues".into(),
                         attempts,
                     }));
@@ -240,7 +239,7 @@ fn pcie_copy(ctx: &Ctx, dev: &GpuDevice, dir: CopyDir, bytes: u64, pinned: bool)
         }
         if pinned && dir == CopyDir::D2H {
             // Unstage after the DMA.
-            ctx.delay(dev.spec().staging_time(bytes))?;
+            delay(dev.spec().staging_time(bytes)).await?;
         }
         return Ok(());
     }

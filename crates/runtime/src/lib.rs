@@ -14,7 +14,7 @@
 //! use ompss_runtime::{Runtime, RuntimeConfig, TaskSpec};
 //! use ompss_sim::SimDuration;
 //!
-//! let report = Runtime::run(RuntimeConfig::multi_gpu(2), |omp| {
+//! let report = Runtime::run(RuntimeConfig::multi_gpu(2), |omp| async move {
 //!     let a = omp.alloc_array::<f32>(1024);
 //!     omp.write_array(&a, 0, &vec![1.0f32; 1024]);
 //!     for chunk in 0..4 {
@@ -29,9 +29,10 @@
 //!                         *x *= 2.0;
 //!                     }
 //!                 }),
-//!         );
+//!         )
+//!         .await;
 //!     }
-//!     omp.taskwait();
+//!     omp.taskwait().await;
 //!     assert_eq!(omp.read_array(&a, 0..1).unwrap(), vec![2.0]);
 //! });
 //! assert_eq!(report.tasks, 4);

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use ompss_coherence::LostRegion;
 use ompss_core::{TaskId, TaskState};
 use ompss_mem::Region;
-use ompss_sim::{Ctx, RunError};
+use ompss_sim::{now, RunError};
 
 use crate::engine::{MasterState, RtShared};
 use crate::stats::Counters;
@@ -47,13 +47,11 @@ use crate::trace::TraceEvent;
 /// run (fail closed).
 pub(crate) fn reconstruct(
     shared: &Arc<RtShared>,
-    ctx: &Ctx,
     m: &MasterState,
     lost: &[LostRegion],
 ) -> Result<(), RunError> {
     let mut r = Reconstructor {
         shared,
-        ctx,
         m,
         lost: lost.iter().map(|l| (l.region, *l)).collect(),
         repaired: HashSet::new(),
@@ -67,7 +65,6 @@ pub(crate) fn reconstruct(
 
 struct Reconstructor<'a> {
     shared: &'a Arc<RtShared>,
-    ctx: &'a Ctx,
     m: &'a MasterState,
     /// The purge report, keyed by region.
     lost: BTreeMap<Region, LostRegion>,
@@ -137,7 +134,7 @@ impl Reconstructor<'_> {
                 version = v;
             }
         }
-        self.shared.coh.repair_root(self.ctx, region, version);
+        self.shared.coh.repair_root(region, version);
         Counters::add(&self.shared.counters.bytes_reconstructed, region.len);
         self.visiting.pop();
         self.repaired.insert(*region);
@@ -206,11 +203,7 @@ impl Reconstructor<'_> {
         }
         Counters::add(&self.shared.counters.tasks_relineaged, 1);
         if let Some(tr) = &self.shared.tracer {
-            tr.record(TraceEvent::Recovery {
-                kind: "relineage",
-                task: Some(w.0),
-                at: self.ctx.now(),
-            });
+            tr.record(TraceEvent::Recovery { kind: "relineage", task: Some(w.0), at: now() });
         }
         Ok(())
     }

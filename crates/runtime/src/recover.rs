@@ -17,11 +17,12 @@
 //! this state exists — the zero-cost contract.
 
 use std::collections::{HashMap, HashSet};
+use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use parking_lot::Mutex;
 
-use ompss_sim::{Ctx, RunError, Signal, SimDuration, SimResult};
+use ompss_sim::{abort_run, RunError, Signal, SimDuration, SimResult};
 
 use crate::stats::Counters;
 
@@ -70,15 +71,18 @@ impl Reliability {
     /// which case the exchange is abandoned as delivered (the recovery
     /// path re-homes whatever the message was about, and a sender on a
     /// dead node is about to observe its own death and stand down).
-    pub fn send_reliable(
+    pub async fn send_reliable<F, Fut>(
         &self,
-        ctx: &Ctx,
         counters: &Counters,
         what: &str,
         src: u32,
         dst: u32,
-        mut send: impl FnMut(u64) -> SimResult<()>,
-    ) -> SimResult<()> {
+        mut send: F,
+    ) -> SimResult<()>
+    where
+        F: FnMut(u64) -> Fut,
+        Fut: Future<Output = SimResult<()>>,
+    {
         {
             let dead = self.dead.lock();
             if dead.contains(&dst) || dead.contains(&src) {
@@ -94,16 +98,15 @@ impl Reliability {
             if attempt > 0 {
                 Counters::add(&counters.am_retries, 1);
             }
-            send(id)?;
-            if sig.wait_timeout(ctx, timeout)? {
+            send(id).await?;
+            if sig.wait_timeout(timeout).await? {
                 self.pending.lock().remove(&id);
                 return Ok(());
             }
             timeout = timeout * 2;
         }
         self.pending.lock().remove(&id);
-        Err(ctx
-            .abort_run(RunError::Exhausted { what: format!("{what} retransmissions"), attempts }))
+        Err(abort_run(RunError::Exhausted { what: format!("{what} retransmissions"), attempts }))
     }
 
     /// Node `node` died: wake every sender blocked on an exchange
@@ -111,12 +114,12 @@ impl Reliability {
     /// fabric silences a dead node in both directions, so neither kind
     /// of exchange can ever complete) — and short-circuit all future
     /// sends involving it. Idempotent.
-    pub fn abandon_node(&self, ctx: &Ctx, node: u32) {
+    pub fn abandon_node(&self, node: u32) {
         self.dead.lock().insert(node);
         let mut pending = self.pending.lock();
         for (_, (src, dst, sig)) in pending.iter() {
             if *dst == node || *src == node {
-                sig.set(ctx);
+                sig.set();
             }
         }
         pending.retain(|_, (src, dst, _)| *dst != node && *src != node);
@@ -124,9 +127,9 @@ impl Reliability {
 
     /// An ack for `id` arrived: wake its sender. Idempotent (duplicate
     /// acks, or acks racing a concurrent timeout, are no-ops).
-    pub fn on_ack(&self, ctx: &Ctx, id: u64) {
+    pub fn on_ack(&self, id: u64) {
         if let Some((_, _, sig)) = self.pending.lock().remove(&id) {
-            sig.set(ctx);
+            sig.set();
         }
     }
 
@@ -142,7 +145,9 @@ impl Reliability {
 mod tests {
     use std::sync::Arc;
 
-    use ompss_sim::Sim;
+    use std::future::{ready, Ready};
+
+    use ompss_sim::{delay, now, process, Sim};
 
     use super::*;
 
@@ -153,19 +158,20 @@ mod tests {
         let sent = Arc::new(AtomicU64::new(0));
         let (r2, c2, s2) = (rel.clone(), counters.clone(), sent.clone());
         let sim = Sim::new();
-        sim.spawn("sender", move |ctx| {
+        sim.spawn("sender", async move {
             let r3 = &r2;
-            r2.send_reliable(&ctx, &c2, "test", 0, 1, |id| {
+            r2.send_reliable(&c2, "test", 0, 1, |id| {
                 if s2.fetch_add(1, Relaxed) == 0 {
-                    return Ok(()); // the first copy vanishes on the wire
+                    return ready(Ok(())); // the first copy vanishes on the wire
                 }
                 let r4 = r3.clone();
-                ctx.spawn_daemon("acker", move |actx| {
-                    let _ = actx.delay(SimDuration::from_micros(1));
-                    r4.on_ack(&actx, id);
+                process("acker").daemon().spawn(async move {
+                    let _ = delay(SimDuration::from_micros(1)).await;
+                    r4.on_ack(id);
                 });
-                Ok(())
+                ready(Ok(()))
             })
+            .await
             .expect("retransmission must recover the message");
         });
         sim.run().expect("run completes");
@@ -178,8 +184,8 @@ mod tests {
         let rel = Arc::new(Reliability::new(SimDuration::from_micros(5), 2));
         let counters = Arc::new(Counters::new());
         let sim = Sim::new();
-        sim.spawn("sender", move |ctx| {
-            let r = rel.send_reliable(&ctx, &counters, "exec", 0, 1, |_| Ok(()));
+        sim.spawn("sender", async move {
+            let r = rel.send_reliable(&counters, "exec", 0, 1, |_| ready(Ok(()))).await;
             assert!(r.is_err(), "an unacknowledged message must fail the send");
         });
         match sim.run() {
@@ -194,31 +200,36 @@ mod tests {
         let counters = Arc::new(Counters::new());
         let (r2, c2) = (rel.clone(), counters.clone());
         let sim = Sim::new();
-        sim.spawn("sender", move |ctx| {
+        sim.spawn("sender", async move {
             let r3 = r2.clone();
-            ctx.spawn_daemon("reaper", move |actx| {
-                let _ = actx.delay(SimDuration::from_micros(10));
-                r3.abandon_node(&actx, 2);
+            process("reaper").daemon().spawn(async move {
+                let _ = delay(SimDuration::from_micros(10)).await;
+                r3.abandon_node(2);
             });
             // Never acked, but abandoned before any retransmission: the
             // exchange resolves without burning the budget or aborting.
-            r2.send_reliable(&ctx, &c2, "exec", 0, 2, |_| Ok(()))
+            r2.send_reliable(&c2, "exec", 0, 2, |_| ready(Ok(())))
+                .await
                 .expect("abandoned exchange resolves as delivered");
             // Sends to an already-dead node return immediately.
-            let t0 = ctx.now();
-            r2.send_reliable(&ctx, &c2, "exec", 0, 2, |_| panic!("must not hit the wire"))
-                .expect("dead-node send short-circuits");
-            assert_eq!(ctx.now(), t0);
+            let t0 = now();
+            r2.send_reliable(&c2, "exec", 0, 2, |_| -> Ready<SimResult<()>> {
+                panic!("must not hit the wire")
+            })
+            .await
+            .expect("dead-node send short-circuits");
+            assert_eq!(now(), t0);
             // Exchanges with live nodes still work as before.
             let r4 = r2.clone();
-            r2.send_reliable(&ctx, &c2, "done", 1, 0, |id| {
+            r2.send_reliable(&c2, "done", 1, 0, |id| {
                 let r5 = r4.clone();
-                ctx.spawn_daemon("acker", move |actx| {
-                    let _ = actx.delay(SimDuration::from_micros(1));
-                    r5.on_ack(&actx, id);
+                process("acker").daemon().spawn(async move {
+                    let _ = delay(SimDuration::from_micros(1)).await;
+                    r5.on_ack(id);
                 });
-                Ok(())
+                ready(Ok(()))
             })
+            .await
             .expect("live exchange unaffected");
         });
         sim.run().expect("run completes");

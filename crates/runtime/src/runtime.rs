@@ -1,13 +1,14 @@
 //! The public runtime API: build a machine from a [`RuntimeConfig`],
 //! run an OmpSs program against it, and collect a [`RunReport`].
 //!
-//! The user program is a closure receiving an [`Omp`] handle — the
-//! programming model surface: allocate arrays, submit tasks built with
-//! [`TaskSpec`](crate::TaskSpec), and synchronise with `taskwait`. The
-//! same program runs unchanged on one GPU, a multi-GPU node, or a
-//! cluster of GPU nodes — only the config differs (the paper's central
-//! productivity claim).
+//! The user program is an `async` closure receiving an [`Omp`] handle —
+//! the programming model surface: allocate arrays, submit tasks built
+//! with [`TaskSpec`](crate::TaskSpec), and synchronise with
+//! `taskwait().await`. The same program runs unchanged on one GPU, a
+//! multi-GPU node, or a cluster of GPU nodes — only the config differs
+//! (the paper's central productivity claim).
 
+use std::future::Future;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::sync::atomic::AtomicBool;
@@ -23,8 +24,8 @@ use ompss_mem::{DataId, MemoryManager, Region, Scalar, SpaceId, SpaceKind};
 use ompss_net::{AmNet, AmStats, NetStats};
 use ompss_sched::{ResourceInfo, ResourceKind, SchedStats, Scheduler};
 use ompss_sim::{
-    Bell, Ctx, DeviceFuse, FaultClass, FaultPlan, FaultStats, Latch, RunError, Signal, Sim,
-    SimDuration, SimTime,
+    delay, now, process, Bell, DeviceFuse, FaultClass, FaultPlan, FaultStats, Latch, RunError,
+    Signal, Sim, SimDuration, SimTime,
 };
 
 use crate::config::RuntimeConfig;
@@ -281,15 +282,18 @@ impl<T: Scalar> From<&ArrayHandle<T>> for Region {
 }
 
 /// The OmpSs programming-model handle passed to the user program.
+///
+/// Clones share the same runtime; the handle is freely movable into
+/// helper processes spawned by the program.
+#[derive(Clone)]
 pub struct Omp {
     shared: Arc<RtShared>,
-    ctx: Ctx,
 }
 
 impl Omp {
     /// Current virtual time (for phase timing in harnesses).
     pub fn now(&self) -> SimTime {
-        self.ctx.now()
+        now()
     }
 
     /// The machine's memory manager (host-side initialisation and
@@ -349,13 +353,13 @@ impl Omp {
     /// [`TaskHandle`] for fine-grained synchronisation with
     /// [`taskwait_on_handle`](Omp::taskwait_on_handle); the handle may
     /// be dropped freely when only barrier-style `taskwait` is needed.
-    pub fn submit(&self, spec: TaskSpec) -> TaskHandle {
+    pub async fn submit(&self, spec: TaskSpec) -> TaskHandle {
         assert!(
             device_has_resource(&self.shared.cfg, spec.device),
             "task '{}' targets a device kind with no resources in this configuration",
             spec.label
         );
-        self.ctx.delay(self.shared.cfg.task_overhead).expect("submit during shutdown");
+        delay(self.shared.cfg.task_overhead).await.expect("submit during shutdown");
         self.latch().add(1);
         let handle = {
             let mut m = self.shared.master.lock();
@@ -373,8 +377,8 @@ impl Omp {
             m.records.insert(id, rec);
             handle
         };
-        self.shared.master_bell.ring(&self.ctx);
-        self.shared.comm_bell.ring(&self.ctx);
+        self.shared.master_bell.ring();
+        self.shared.comm_bell.ring();
         handle
     }
 
@@ -386,8 +390,8 @@ impl Omp {
     /// (the default `#pragma omp taskwait`). All dirty regions are
     /// flushed concurrently — the non-blocking cache issues every
     /// write-back at once and waits for the set.
-    pub fn taskwait(&self) {
-        self.latch().wait_zero(&self.ctx).expect("taskwait during shutdown");
+    pub async fn taskwait(&self) {
+        self.latch().wait_zero().await.expect("taskwait during shutdown");
         let dirty = self.shared.coh.dirty_regions();
         if dirty.is_empty() {
             return;
@@ -397,47 +401,48 @@ impl Omp {
         for region in dirty {
             let sh = self.shared.clone();
             let latch = latch.clone();
-            self.ctx.spawn_daemon(format!("flush:{region}"), move |fctx| {
-                let _ = sh.coh.flush_region(&fctx, &*sh.exec, &region);
-                latch.done(&fctx);
+            process(format!("flush:{region}")).daemon().spawn(async move {
+                let _ = sh.coh.flush_region(&*sh.exec, &region).await;
+                latch.done();
             });
         }
-        latch.wait_zero(&self.ctx).expect("taskwait during shutdown");
+        latch.wait_zero().await.expect("taskwait during shutdown");
     }
 
     /// Wait for all submitted tasks without flushing device copies
     /// (`taskwait noflush`).
-    pub fn taskwait_noflush(&self) {
-        self.latch().wait_zero(&self.ctx).expect("taskwait during shutdown");
+    pub async fn taskwait_noflush(&self) {
+        self.latch().wait_zero().await.expect("taskwait during shutdown");
     }
 
     /// Wait until one specific task (identified by the handle its
     /// submission returned) has completed. Does not flush; pair with
     /// [`taskwait_on`](Omp::taskwait_on) when the host must read the
     /// task's output.
-    pub fn taskwait_on_handle(&self, handle: &TaskHandle) {
-        handle.done.wait(&self.ctx).expect("taskwait during shutdown");
+    pub async fn taskwait_on_handle(&self, handle: &TaskHandle) {
+        handle.done.wait().await.expect("taskwait during shutdown");
     }
 
     /// Wait until the pending writer of `region` (if any) completes,
     /// then flush that region home (`taskwait on(...)`).
-    pub fn taskwait_on(&self, region: Region) {
+    pub async fn taskwait_on(&self, region: Region) {
         let writer = {
             let m = self.shared.master.lock();
             m.graph.pending_writer(&region).map(|t| m.records[&t].clone())
         };
         if let Some(rec) = writer {
-            rec.done.wait(&self.ctx).expect("taskwait during shutdown");
+            rec.done.wait().await.expect("taskwait during shutdown");
         }
         self.shared
             .coh
-            .flush_region(&self.ctx, &*self.shared.exec, &region)
+            .flush_region(&*self.shared.exec, &region)
+            .await
             .expect("flush during shutdown");
     }
 
     /// Sleep for virtual time (harness pacing).
-    pub fn delay(&self, d: SimDuration) {
-        let _ = self.ctx.delay(d);
+    pub async fn delay(&self, d: SimDuration) {
+        let _ = delay(d).await;
     }
 
     /// Blocked worksharing: submit one task per `block`-sized chunk of
@@ -446,7 +451,7 @@ impl Omp {
     /// worksharing loop — the extension the paper lists as future work
     /// (§VII) — and what every blocked loop in the evaluation does by
     /// hand.
-    pub fn for_each_block(
+    pub async fn for_each_block(
         &self,
         range: Range<usize>,
         block: usize,
@@ -456,7 +461,7 @@ impl Omp {
         let mut start = range.start;
         while start < range.end {
             let end = (start + block).min(range.end);
-            self.submit(make(start..end));
+            self.submit(make(start..end)).await;
             start = end;
         }
     }
@@ -470,9 +475,10 @@ impl Runtime {
     /// measured report. Panics (mirroring a crashed run) if the program
     /// deadlocks or a process panics; use [`Runtime::try_run`] to
     /// handle those outcomes as values.
-    pub fn run<F>(cfg: RuntimeConfig, program: F) -> RunReport
+    pub fn run<F, Fut>(cfg: RuntimeConfig, program: F) -> RunReport
     where
-        F: FnOnce(&Omp) + Send + 'static,
+        F: FnOnce(Omp) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
     {
         match Self::try_run(cfg, program) {
             Ok(report) => report,
@@ -487,9 +493,10 @@ impl Runtime {
     /// stuck process names) or a process panics
     /// ([`RunError::ProcessPanic`]). Harnesses that probe pathological
     /// schedules want the error, not a crash.
-    pub fn try_run<F>(cfg: RuntimeConfig, program: F) -> Result<RunReport, RunError>
+    pub fn try_run<F, Fut>(cfg: RuntimeConfig, program: F) -> Result<RunReport, RunError>
     where
-        F: FnOnce(&Omp) + Send + 'static,
+        F: FnOnce(Omp) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
     {
         assert!(cfg.nodes >= 1, "need at least the master node");
 
@@ -741,54 +748,52 @@ impl Runtime {
         let sim = Sim::new();
         for (i, res) in master_workers.into_iter().enumerate() {
             let sh = shared.clone();
-            sim.spawn_daemon(format!("node0:worker{i}"), move |ctx| {
-                master_smp_worker(sh, res, ctx)
-            });
+            sim.process(format!("node0:worker{i}")).daemon().spawn(master_smp_worker(sh, res));
         }
         for (res, gs) in master_gpu_res {
             let sh = shared.clone();
-            sim.spawn_daemon(format!("node0:gpumgr{}", gs.0), move |ctx| {
-                master_gpu_manager(sh, res, gs, ctx)
-            });
+            sim.process(format!("node0:gpumgr{}", gs.0))
+                .daemon()
+                .spawn(master_gpu_manager(sh, res, gs));
         }
         if cfg.nodes > 1 {
             let sh = shared.clone();
             let ep = am.endpoint(0);
-            sim.spawn_daemon("node0:comm", move |ctx| comm_thread(sh, ep, ctx));
+            sim.process("node0:comm").daemon().spawn(comm_thread(sh, ep));
             let sh = shared.clone();
             let ep = am.endpoint(0);
-            sim.spawn_daemon("node0:dispatch", move |ctx| master_dispatcher(sh, ep, ctx));
+            sim.process("node0:dispatch").daemon().spawn(master_dispatcher(sh, ep));
             for n in 1..cfg.nodes {
                 let sh = shared.clone();
                 let ep = am.endpoint(n);
-                sim.spawn_daemon(format!("node{n}:dispatch"), move |ctx| {
-                    slave_dispatcher(sh, n, ep, ctx)
-                });
+                sim.process(format!("node{n}:dispatch"))
+                    .daemon()
+                    .spawn(slave_dispatcher(sh, n, ep));
                 let (workers, gres) = slave_res[n as usize].clone();
                 for (i, res) in workers.into_iter().enumerate() {
                     let sh = shared.clone();
                     let ep = am.endpoint(n);
-                    sim.spawn_daemon(format!("node{n}:worker{i}"), move |ctx| {
-                        slave_smp_worker(sh, n, res, ep, ctx)
-                    });
+                    sim.process(format!("node{n}:worker{i}"))
+                        .daemon()
+                        .spawn(slave_smp_worker(sh, n, res, ep));
                 }
                 for (res, gs) in gres {
                     let sh = shared.clone();
                     let ep = am.endpoint(n);
-                    sim.spawn_daemon(format!("node{n}:gpumgr{}", gs.0), move |ctx| {
-                        slave_gpu_manager(sh, n, res, gs, ep, ctx)
-                    });
+                    sim.process(format!("node{n}:gpumgr{}", gs.0))
+                        .daemon()
+                        .spawn(slave_gpu_manager(sh, n, res, gs, ep));
                 }
             }
             if cfg.node_loss.is_some() {
                 let sh = shared.clone();
                 let ep = am.endpoint(0);
-                sim.spawn_daemon("node0:lease", move |ctx| lease_monitor(sh, ep, ctx));
+                sim.process("node0:lease").daemon().spawn(lease_monitor(sh, ep));
             }
             if let Some((node, at)) = cfg.node_loss {
                 let sh = shared.clone();
                 let fabric = am.fabric_clone();
-                sim.spawn_daemon("chaos:nodekill", move |ctx| node_kill(sh, fabric, node, at, ctx));
+                sim.process("chaos:nodekill").daemon().spawn(node_kill(sh, fabric, node, at));
             }
         }
 
@@ -796,16 +801,16 @@ impl Runtime {
         let result: Arc<Mutex<Option<(SimTime, SimTime)>>> = Arc::new(Mutex::new(None));
         let result2 = result.clone();
         let sh_main = shared.clone();
-        sim.spawn("main", move |ctx| {
-            let start = ctx.now();
-            let omp = Omp { shared: sh_main, ctx };
-            program(&omp);
+        sim.spawn("main", async move {
+            let start = now();
+            let omp = Omp { shared: sh_main };
+            program(omp.clone()).await;
             // Implicit final taskwait with flush (end of OmpSs program).
-            omp.taskwait();
-            *result2.lock() = Some((start, omp.ctx.now()));
+            omp.taskwait().await;
+            *result2.lock() = Some((start, now()));
             // Program over: release the chaos daemons (lease monitor,
             // planned kill) so their timers stop driving virtual time.
-            omp.shared.done.set(&omp.ctx);
+            omp.shared.done.set();
         });
 
         // Tag failures from armed-chaos runs with the fault coordinates

@@ -14,7 +14,7 @@ use ompss_runtime::{
 /// A small mixed SMP/CUDA workload exercising transfers on every
 /// medium of the given machine.
 fn workload(cfg: RuntimeConfig) -> RunReport {
-    Runtime::run(cfg, |omp| {
+    Runtime::run(cfg, |omp| async move {
         let a = omp.alloc_array::<f32>(4096);
         omp.write_array(&a, 0, &vec![1.0f32; 4096]);
         for step in 0..3 {
@@ -31,9 +31,10 @@ fn workload(cfg: RuntimeConfig) -> RunReport {
                                 *x *= 2.0;
                             }
                         }),
-                );
+                )
+                .await;
             }
-            omp.taskwait();
+            omp.taskwait().await;
         }
     })
 }
@@ -90,7 +91,7 @@ fn report_json_exposes_every_section() {
 #[test]
 fn paraver_export_round_trips_real_runs() {
     for cfg in [RuntimeConfig::multi_gpu(2), RuntimeConfig::gpu_cluster(2)] {
-        let r = Runtime::run(cfg.with_tracing(true), |omp| {
+        let r = Runtime::run(cfg.with_tracing(true), |omp| async move {
             let a = omp.alloc_array::<f32>(1024);
             for chunk in 0..4 {
                 let reg = a.region(chunk * 256..(chunk + 1) * 256);
@@ -99,9 +100,10 @@ fn paraver_export_round_trips_real_runs() {
                         .device(Device::Cuda)
                         .inout(reg)
                         .cost_smp(SimDuration::from_micros(10)),
-                );
+                )
+                .await;
             }
-            omp.taskwait();
+            omp.taskwait().await;
         });
         let events = r.trace.as_deref().expect("tracing enabled");
         assert!(!events.is_empty());
@@ -123,28 +125,32 @@ fn paraver_export_round_trips_real_runs() {
 
 #[test]
 fn task_handles_wait_on_the_named_task() {
-    let report = Runtime::run(RuntimeConfig::multi_gpu(1), |omp| {
+    let report = Runtime::run(RuntimeConfig::multi_gpu(1), |omp| async move {
         let a = omp.alloc_array::<f32>(256);
         omp.write_array(&a, 0, &vec![1.0f32; 256]);
-        let slow = omp.submit(
-            TaskSpec::new("slow")
-                .device(Device::Smp)
-                .inout(a.region(0..128))
-                .cost_smp(SimDuration::from_millis(5))
-                .body(|v| cast_slice_mut::<f32>(v[0]).fill(3.0)),
-        );
-        let fast = omp.submit(
-            TaskSpec::new("fast")
-                .device(Device::Smp)
-                .inout(a.region(128..256))
-                .cost_smp(SimDuration::from_micros(1))
-                .body(|v| cast_slice_mut::<f32>(v[0]).fill(7.0)),
-        );
+        let slow = omp
+            .submit(
+                TaskSpec::new("slow")
+                    .device(Device::Smp)
+                    .inout(a.region(0..128))
+                    .cost_smp(SimDuration::from_millis(5))
+                    .body(|v| cast_slice_mut::<f32>(v[0]).fill(3.0)),
+            )
+            .await;
+        let fast = omp
+            .submit(
+                TaskSpec::new("fast")
+                    .device(Device::Smp)
+                    .inout(a.region(128..256))
+                    .cost_smp(SimDuration::from_micros(1))
+                    .body(|v| cast_slice_mut::<f32>(v[0]).fill(7.0)),
+            )
+            .await;
         assert_ne!(slow.id(), fast.id());
-        omp.taskwait_on_handle(&slow);
-        omp.taskwait_on_handle(&fast);
+        omp.taskwait_on_handle(&slow).await;
+        omp.taskwait_on_handle(&fast).await;
         // Both bodies have run; the final taskwait flushes the data.
-        omp.taskwait();
+        omp.taskwait().await;
         assert_eq!(omp.read_array(&a, 0..1).unwrap(), vec![3.0]);
         assert_eq!(omp.read_array(&a, 128..129).unwrap(), vec![7.0]);
     });
@@ -168,7 +174,7 @@ proptest! {
             _ => RuntimeConfig::gpu_cluster(2),
         }
         .with_backing(Backing::Phantom);
-        let r = Runtime::run(cfg, move |omp| {
+        let r = Runtime::run(cfg, move |omp| async move {
             let a = omp.alloc_array::<f32>(64 * ntasks);
             for i in 0..ntasks {
                 let reg = a.region(i * 64..(i + 1) * 64);
@@ -178,9 +184,9 @@ proptest! {
                         .device(dev)
                         .inout(reg)
                         .cost_smp(SimDuration::from_micros(cost_us)),
-                );
+                ).await;
             }
-            omp.taskwait();
+            omp.taskwait().await;
         });
         let makespan = r.makespan.as_nanos();
         for ((node, name), b) in &r.counters.resources {

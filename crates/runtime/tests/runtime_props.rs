@@ -72,7 +72,7 @@ proptest! {
         let got = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
         let got2 = got.clone();
         let tasks2 = tasks.clone();
-        Runtime::run(machine(machine_sel), move |omp| {
+        Runtime::run(machine(machine_sel), move |omp| async move {
             let arrays: Vec<_> =
                 (0..ARRAYS).map(|_| omp.alloc_array::<f32>(SLOTS * SLOT_ELEMS)).collect();
             for t in &tasks2 {
@@ -93,9 +93,9 @@ proptest! {
                             *x = 2.0 * *x + c;
                         }
                     }
-                }));
+                })).await;
             }
-            omp.taskwait();
+            omp.taskwait().await;
             let mut out = Vec::new();
             for a in &arrays {
                 out.push(omp.read_array(a, 0..SLOTS * SLOT_ELEMS).unwrap());

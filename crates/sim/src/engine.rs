@@ -2,65 +2,71 @@
 //!
 //! # Model
 //!
-//! A simulation is a set of *processes* — ordinary Rust closures running
-//! on dedicated OS threads — cooperatively scheduled over a virtual
-//! clock. Scheduling is continuation-passing: the thread that yields
-//! runs the dispatcher itself and hands the baton straight to the next
-//! process (or keeps it, when its own wakeup is next). Exactly one
-//! thread holds the baton at any instant, so the whole simulation is
-//! sequential and **deterministic**: events fire in `(time, sequence)`
-//! order and a given program always produces the same schedule, the same
-//! byte counts and the same makespan. The driver thread inside
-//! [`Sim::run`] sleeps until the queue drains, then owns teardown.
+//! A simulation is a set of *processes* — stackless `async` tasks, one
+//! heap object each — polled by a single-threaded executor over a
+//! virtual clock. The kernel pops resume events in `(time, sequence)`
+//! order and polls the matching process's future; while a process
+//! executes Rust code between awaits, virtual time stands still —
+//! computation is free unless explicitly charged with [`delay`].
+//! Because exactly one future runs at any instant, the whole simulation
+//! is sequential and **deterministic**: a given program always produces
+//! the same schedule, the same byte counts and the same makespan. No
+//! OS threads, no stacks, no handshakes — a thousand-node cluster's
+//! worth of live processes is just a vector of boxed futures.
 //!
-//! Processes interact with virtual time only through their [`Ctx`]
-//! handle: [`Ctx::delay`] advances the clock, and the blocking
-//! primitives in [`crate::queue`], [`crate::sync`] park the process until
-//! another process wakes it. While a process executes Rust code between
-//! those calls, virtual time stands still — computation is free unless
-//! explicitly charged with `delay`.
+//! Processes interact with virtual time through free functions that
+//! resolve the running task from executor state: [`delay`] advances the
+//! clock, [`now`]/[`pid`] read it, and the blocking primitives in
+//! [`crate::queue`], [`crate::sync`] return futures that park the
+//! process until another process wakes it.
 //!
 //! # Wakeup correctness
 //!
-//! Every yield bumps the process's *epoch*; every scheduled resume event
+//! Every poll bumps the process's *epoch*; every scheduled resume event
 //! carries the epoch it was aimed at. A resume whose epoch is stale
 //! (the process has run since it was scheduled) is skipped, so spurious
 //! or duplicate wakeups can never cut a `delay` short or corrupt a
-//! primitive's wait protocol.
+//! primitive's wait protocol. Dropping a process's future marks it
+//! finished, so a timer pending for it at drop time pops stale and
+//! never fires.
 //!
 //! # Shutdown
 //!
-//! Processes spawned with [`Ctx::spawn_daemon`] (service loops: workers,
-//! device managers, message dispatchers) are expected to block forever.
-//! When the event queue drains and only daemons remain blocked, the
-//! kernel flips the shutdown flag and resumes them; every blocking call
-//! then returns [`SimError::Shutdown`] and the daemon unwinds. If a
-//! *non-daemon* process is still blocked when the queue drains, that is
-//! a deadlock in the modelled system and [`Sim::run`] reports it.
+//! Processes spawned as daemons (service loops: workers, device
+//! managers, message dispatchers) are expected to block forever. When
+//! the event queue drains and only daemons remain blocked, the kernel
+//! flips the shutdown flag and polls them one last time; every blocking
+//! future then resolves to [`SimError::Shutdown`] and the daemon's
+//! `async` body unwinds through its `?`s. If a *non-daemon* process is
+//! still blocked when the queue drains, that is a deadlock in the
+//! modelled system and [`Sim::run`] reports it.
 //!
 //! # Host fast paths
 //!
-//! An activation costs at most one OS context switch (direct baton
-//! handoff; a central scheduler thread would need two), and the kernel
-//! avoids even that wherever the outcome is already decided (see
-//! DESIGN.md §7): a `delay` whose wakeup precedes every queued event
-//! resumes inline without parking, a wakeup scheduled behind an earlier
-//! live wakeup for the same process is never enqueued (it could only
-//! pop stale), and the event heap is compacted when superseded entries
-//! outnumber live ones. None of this is observable in virtual time —
-//! event and clock-advance counts are identical to the slow path — and
-//! setting `OMPSS_SIM_NO_FASTPATH=1` disables the delay/wakeup-dedup
-//! shortcuts for A/B determinism checks.
+//! An activation costs one future poll (no context switch at all), and
+//! the kernel avoids even the event-heap round trip wherever the
+//! outcome is already decided (see DESIGN.md §7): a `delay` whose
+//! wakeup precedes every queued event completes inline on its first
+//! poll, a wakeup scheduled behind an earlier live wakeup for the same
+//! process is never enqueued (it could only pop stale), and the event
+//! heap is compacted when superseded entries outnumber live ones. None
+//! of this is observable in virtual time — event and clock-advance
+//! counts are identical to the literal kernel — and setting
+//! `OMPSS_SIM_NO_FASTPATH=1` disables the delay/wakeup-dedup shortcuts
+//! for A/B determinism checks.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::error::{RunError, RunReport, SimError, SimResult};
 use crate::time::{SimDuration, SimTime};
@@ -68,67 +74,26 @@ use crate::time::{SimDuration, SimTime};
 /// Identifier of a simulation process.
 pub type Pid = usize;
 
-/// Whose turn it is to run on a process's handshake slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Turn {
-    Kernel,
-    Proc,
-}
-
-/// Per-process resume slot. The simulation baton is *continuation
-/// passing*: whichever thread yields runs the dispatcher itself and
-/// resumes the next process directly, so an activation costs one host
-/// context switch (the yielding thread → the resumed thread) instead of
-/// the two a central scheduler thread would need, and costs zero when
-/// the dispatcher pops the yielding process's own event.
-struct ProcCtrl {
-    turn: Mutex<Turn>,
-    cv: Condvar,
-}
-
-impl ProcCtrl {
-    fn new() -> Arc<Self> {
-        Arc::new(ProcCtrl { turn: Mutex::new(Turn::Kernel), cv: Condvar::new() })
-    }
-
-    /// Hand the baton to this process. Called by whatever thread popped
-    /// its resume event (another process, the driver, or an exiting
-    /// thread); never blocks.
-    fn resume(&self) {
-        let mut turn = self.turn.lock();
-        *turn = Turn::Proc;
-        self.cv.notify_one();
-    }
-
-    /// Park this process's thread until the next [`ProcCtrl::resume`].
-    /// The caller must have published its yield (set `turn` back to
-    /// [`Turn::Kernel`]) *before* its wake event became poppable, or the
-    /// resume could be lost.
-    fn wait_turn(&self) {
-        let mut turn = self.turn.lock();
-        while *turn == Turn::Kernel {
-            self.cv.wait(&mut turn);
-        }
-    }
-}
+/// A process body, type-erased: the `async` block the user spawned,
+/// with its output normalised to `SimResult<()>` (see [`ProcessExit`]).
+type TaskFut = Pin<Box<dyn Future<Output = SimResult<()>> + Send>>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Has a resume event in flight (initial spawn or timed wakeup).
     Ready,
-    /// Currently executing user code (the kernel is inside `kernel_resume`).
+    /// Currently being polled by the executor.
     Running,
     /// Parked in a blocking primitive, waiting for an external wake.
     Blocked,
-    /// Thread has terminated.
+    /// Future completed (or was dropped).
     Finished,
 }
 
 struct ProcSlot {
-    ctrl: Arc<ProcCtrl>,
     name: String,
     phase: Phase,
-    /// Bumped every time the kernel resumes this process; used to
+    /// Bumped every time the kernel polls this process; used to
     /// invalidate stale wakeup events.
     epoch: u64,
     daemon: bool,
@@ -155,9 +120,6 @@ pub(crate) struct Kernel {
     seq: u64,
     queue: BinaryHeap<Reverse<Event>>,
     procs: Vec<ProcSlot>,
-    joins: Vec<JoinHandle<()>>,
-    live: usize,
-    live_non_daemon: usize,
     shutdown: bool,
     events_processed: u64,
     clock_advances: u64,
@@ -170,8 +132,8 @@ pub(crate) struct Kernel {
     /// `(pid, epoch)` already guaranteed them stale.
     wakes_coalesced: u64,
     panics: Vec<(String, String)>,
-    /// First fatal error raised via [`Ctx::abort_run`]; ends the run at
-    /// the next kernel step and becomes [`Sim::run`]'s error.
+    /// First fatal error raised via [`abort_run`]; ends the run at the
+    /// next kernel step and becomes [`Sim::run`]'s error.
     fatal: Option<RunError>,
 }
 
@@ -190,33 +152,19 @@ impl Kernel {
     }
 }
 
-/// Outcome of one dispatcher step (see [`Shared::dispatch_locked`]).
-enum Dispatch {
-    /// The popped event belonged to the dispatching process itself: it
-    /// simply keeps running. No context switch at all.
-    SelfResume,
-    /// Another process's event was popped; the caller must hand it the
-    /// baton (after releasing the kernel lock) and park.
-    Hand(Arc<ProcCtrl>),
-    /// Nothing left to dispatch (queue drained, fatal abort, or
-    /// shutdown): the caller must wake the driver thread.
-    Drained,
-}
-
-/// State shared between the kernel and every process context.
+/// State shared between the kernel and every primitive.
 pub(crate) struct Shared {
     pub(crate) kernel: Mutex<Kernel>,
-    /// Wake token for the driver thread (the one inside [`Sim::run`]).
-    /// It sleeps for the whole live phase and is woken exactly when the
-    /// baton has nowhere to go: queue drained, fatal abort, or a process
-    /// finishing during teardown.
-    driver_token: Mutex<bool>,
-    driver_cv: Condvar,
-    /// Mirror of `Kernel::now` so `Ctx::now` (called on every primitive
-    /// operation) never takes the kernel lock. Only the thread holding
-    /// the baton writes it; handshake mutexes order the accesses.
+    /// The process futures, indexed by pid. Kept outside the kernel
+    /// mutex so a future being polled can lock the kernel (delay,
+    /// spawn, wake scheduling) without deadlocking; the executor takes
+    /// a future out to poll it and puts it back if it stays pending.
+    tasks: Mutex<Vec<Option<TaskFut>>>,
+    /// Mirror of `Kernel::now` so [`now`] (called on every primitive
+    /// operation) never takes the kernel lock. Only the executor writes
+    /// it, at dispatch time.
     now_ns: AtomicU64,
-    /// Mirror of `Kernel::shutdown`, for lock-free checks after a yield.
+    /// Mirror of `Kernel::shutdown`, for lock-free checks in futures.
     shutdown_flag: AtomicBool,
     /// Host fast paths enabled (default). `OMPSS_SIM_NO_FASTPATH=1`
     /// restores the literal kernel for determinism A/B tests.
@@ -253,20 +201,16 @@ impl Shared {
         }
     }
 
-    /// Pop and account the next valid event, deciding who runs next.
-    /// This *is* the kernel step; it executes on whichever thread holds
-    /// the baton. `me` is the dispatching process (None for the driver
-    /// or an exiting thread), so popping one's own wakeup short-circuits
-    /// into [`Dispatch::SelfResume`] with no handoff.
-    fn dispatch_locked(&self, k: &mut Kernel, me: Option<Pid>) -> Dispatch {
+    /// Pop and account the next valid event; returns the process to
+    /// poll, or `None` when the run is over (queue drained, fatal
+    /// abort, or shutdown).
+    fn dispatch_locked(&self, k: &mut Kernel) -> Option<Pid> {
         loop {
-            // A fatal abort or teardown stops dispatching: the driver
-            // takes over from here.
             if k.fatal.is_some() || k.shutdown {
-                return Dispatch::Drained;
+                return None;
             }
             match k.queue.pop() {
-                None => return Dispatch::Drained,
+                None => return None,
                 Some(Reverse(ev)) => {
                     let slot = &mut k.procs[ev.pid];
                     if slot.phase == Phase::Finished || slot.epoch != ev.epoch {
@@ -291,31 +235,10 @@ impl Shared {
                     k.now = ev.time;
                     k.events_processed += 1;
                     self.now_ns.store(ev.time.as_nanos(), Ordering::Release);
-                    return if me == Some(ev.pid) {
-                        Dispatch::SelfResume
-                    } else {
-                        Dispatch::Hand(k.procs[ev.pid].ctrl.clone())
-                    };
+                    return Some(ev.pid);
                 }
             }
         }
-    }
-
-    /// Hand control to the driver thread (queue drained / abort /
-    /// teardown progress). Never blocks.
-    fn wake_driver(&self) {
-        let mut token = self.driver_token.lock();
-        *token = true;
-        self.driver_cv.notify_one();
-    }
-
-    /// Driver side: park until a process hands control back.
-    fn wait_driver(&self) {
-        let mut token = self.driver_token.lock();
-        while !*token {
-            self.driver_cv.wait(&mut token);
-        }
-        *token = false;
     }
 
     pub(crate) fn now(&self) -> SimTime {
@@ -327,18 +250,335 @@ impl Shared {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Current-task context
+// ---------------------------------------------------------------------------
+
+/// The executor publishes the task being polled here, so [`now`],
+/// [`delay`], [`spawn`] and the primitives work inside any `async`
+/// process body without threading a handle through every call. A stack,
+/// so a process may construct and run a nested [`Sim`] synchronously.
+struct TaskCtx {
+    shared: Arc<Shared>,
+    pid: Pid,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<TaskCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the current task's shared state and pid. Panics when
+/// called outside a simulation process.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Shared>, Pid) -> R) -> R {
+    CURRENT.with(|stack| {
+        let stack = stack.borrow();
+        let top = stack
+            .last()
+            .expect("this operation only works inside a simulation process (is a Sim running?)");
+        f(&top.shared, top.pid)
+    })
+}
+
+/// Like [`with_current`], but only needs the executor, not the pid.
+pub(crate) fn with_current_shared<R>(f: impl FnOnce(&Arc<Shared>) -> R) -> R {
+    with_current(|shared, _| f(shared))
+}
+
+/// Current virtual time. Only valid inside a simulation process.
+pub fn now() -> SimTime {
+    with_current_shared(|s| s.now())
+}
+
+/// The calling process's id. Only valid inside a simulation process.
+pub fn pid() -> Pid {
+    with_current(|_, pid| pid)
+}
+
+/// Abort the whole simulation with a structured error: the kernel stops
+/// dispatching, daemons are torn down, and [`Sim::run`] returns `err`
+/// (first abort wins). Returns [`SimError::Shutdown`] so the caller can
+/// unwind through the ordinary `?` path:
+///
+/// ```ignore
+/// return Err(abort_run(RunError::Exhausted { what, attempts }));
+/// ```
+pub fn abort_run(err: RunError) -> SimError {
+    with_current_shared(|shared| {
+        let mut k = shared.kernel.lock();
+        if !k.shutdown && k.fatal.is_none() {
+            k.fatal = Some(err);
+        }
+    });
+    SimError::Shutdown
+}
+
+// ---------------------------------------------------------------------------
+// Spawning
+// ---------------------------------------------------------------------------
+
+/// What an `async` process body may resolve to. Sealed in practice:
+/// `()` for infallible bodies, `SimResult<()>` for bodies that use `?`
+/// on blocking calls — [`SimError::Shutdown`] (daemon teardown) and
+/// [`SimError::Closed`] (drained channel) are clean exits, not errors.
+pub trait ProcessExit: Send + 'static {
+    /// Normalise to the kernel's internal exit type.
+    fn into_exit(self) -> SimResult<()>;
+}
+
+impl ProcessExit for () {
+    fn into_exit(self) -> SimResult<()> {
+        Ok(())
+    }
+}
+
+impl ProcessExit for SimResult<()> {
+    fn into_exit(self) -> SimResult<()> {
+        self
+    }
+}
+
+fn spawn_impl(shared: &Arc<Shared>, name: String, daemon: bool, fut: TaskFut) -> Pid {
+    let mut k = shared.kernel.lock();
+    let pid = k.procs.len();
+    // Initial activation at the current time, epoch 0.
+    let at = k.now;
+    k.procs.push(ProcSlot {
+        name,
+        phase: Phase::Ready,
+        epoch: 0,
+        daemon,
+        pending_wake: Some((at, 0)),
+    });
+    let seq = k.seq;
+    k.seq += 1;
+    k.queue.push(Reverse(Event { time: at, seq, pid, epoch: 0 }));
+    drop(k);
+    let mut tasks = shared.tasks.lock();
+    debug_assert_eq!(tasks.len(), pid);
+    tasks.push(Some(fut));
+    pid
+}
+
+fn box_body<F>(fut: F) -> TaskFut
+where
+    F: Future + Send + 'static,
+    F::Output: ProcessExit,
+{
+    Box::pin(async move { fut.await.into_exit() })
+}
+
+/// Configure-and-spawn builder for one process: the single spawn
+/// surface. `spawn(name, fut)` is shorthand for
+/// `process(name).spawn(fut)`; daemon-ness is the builder option:
+///
+/// ```ignore
+/// process("worker").daemon().spawn(async move {
+///     loop { handle(rx.recv().await?); }
+/// });
+/// ```
+pub struct ProcessBuilder {
+    shared: Arc<Shared>,
+    name: String,
+    daemon: bool,
+}
+
+impl ProcessBuilder {
+    /// Mark the process a daemon: a service loop that blocks forever
+    /// and is torn down via [`SimError::Shutdown`] when the simulation
+    /// drains. Non-daemon processes must finish on their own, or the
+    /// run reports a deadlock.
+    pub fn daemon(mut self) -> Self {
+        self.daemon = true;
+        self
+    }
+
+    /// Spawn the process with `fut` as its body, runnable at the
+    /// current virtual time. Returns its pid.
+    pub fn spawn<F>(self, fut: F) -> Pid
+    where
+        F: Future + Send + 'static,
+        F::Output: ProcessExit,
+    {
+        spawn_impl(&self.shared, self.name, self.daemon, box_body(fut))
+    }
+}
+
+/// Begin spawning a process from inside another process (builder form;
+/// see [`Sim::process`] for the pre-run equivalent).
+pub fn process(name: impl Into<String>) -> ProcessBuilder {
+    with_current_shared(|shared| ProcessBuilder {
+        shared: shared.clone(),
+        name: name.into(),
+        daemon: false,
+    })
+}
+
+/// Spawn a regular (non-daemon) child process from inside another
+/// process, runnable at the current virtual time.
+pub fn spawn<F>(name: impl Into<String>, fut: F) -> Pid
+where
+    F: Future + Send + 'static,
+    F::Output: ProcessExit,
+{
+    process(name).spawn(fut)
+}
+
+// ---------------------------------------------------------------------------
+// Delay
+// ---------------------------------------------------------------------------
+
+enum DelayState {
+    Init,
+    Waiting,
+    Done,
+}
+
+/// Future returned by [`delay`] and [`yield_now`].
+pub struct Delay {
+    d: SimDuration,
+    state: DelayState,
+}
+
+impl Future for Delay {
+    type Output = SimResult<()>;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.state {
+            DelayState::Init => with_current(|shared, pid| {
+                let mut k = shared.kernel.lock();
+                if k.shutdown {
+                    self.state = DelayState::Done;
+                    return Poll::Ready(Err(SimError::Shutdown));
+                }
+                let at = k.now + self.d;
+                if shared.fast_paths && k.fatal.is_none() {
+                    let head_due = match k.queue.peek() {
+                        Some(Reverse(ev)) => ev.time <= at,
+                        None => false,
+                    };
+                    if !head_due {
+                        // No queued event precedes the wakeup: parking
+                        // would make the kernel pop our own event
+                        // straight back. Advance the clock inline
+                        // instead, with identical event accounting.
+                        let now = k.now;
+                        let slot = &mut k.procs[pid];
+                        debug_assert_eq!(slot.phase, Phase::Running);
+                        debug_assert!(
+                            !matches!(slot.pending_wake, Some((_, e)) if e == slot.epoch),
+                            "running process has a live wake in flight"
+                        );
+                        slot.epoch += 1;
+                        if at > now {
+                            k.clock_advances += 1;
+                        }
+                        k.now = at;
+                        k.events_processed += 1;
+                        shared.now_ns.store(at.as_nanos(), Ordering::Release);
+                        self.state = DelayState::Done;
+                        return Poll::Ready(Ok(()));
+                    }
+                }
+                let seq = k.seq;
+                k.seq += 1;
+                let epoch = k.procs[pid].epoch;
+                k.procs[pid].phase = Phase::Ready;
+                if shared.fast_paths {
+                    k.procs[pid].pending_wake = Some((at, epoch));
+                }
+                k.queue.push(Reverse(Event { time: at, seq, pid, epoch }));
+                self.state = DelayState::Waiting;
+                Poll::Pending
+            }),
+            DelayState::Waiting => {
+                self.state = DelayState::Done;
+                if with_current_shared(|s| s.is_shutdown()) {
+                    Poll::Ready(Err(SimError::Shutdown))
+                } else {
+                    Poll::Ready(Ok(()))
+                }
+            }
+            DelayState::Done => panic!("Delay polled after completion"),
+        }
+    }
+}
+
+/// Advance virtual time by `d`: park this process and resume it once
+/// every event scheduled before `now + d` has run.
+pub fn delay(d: SimDuration) -> Delay {
+    Delay { d, state: DelayState::Init }
+}
+
+/// Relinquish the CPU until the next event at the same timestamp has
+/// run: a deterministic yield. Useful to let same-time events
+/// interleave fairly.
+pub fn yield_now() -> Delay {
+    delay(SimDuration::ZERO)
+}
+
+// ---------------------------------------------------------------------------
+// Parking (the primitive-side future)
+// ---------------------------------------------------------------------------
+
+/// Future that repeatedly evaluates `f` — once per valid wakeup — until
+/// it resolves. `f` sees the executor and the calling pid; returning
+/// `None` parks the process (register in a waiter list first, schedule
+/// a wake, or both). This is the poll-based translation of the old
+/// `loop { check-and-register; park()?; }` protocol: each `None` is one
+/// park, each re-evaluation one valid wakeup, so event accounting is
+/// identical. A would-park evaluation during shutdown resolves to
+/// [`SimError::Shutdown`] instead.
+pub(crate) struct ParkWhile<F> {
+    f: F,
+}
+
+impl<T, F> Future for ParkWhile<F>
+where
+    F: FnMut(&Arc<Shared>, Pid) -> Option<SimResult<T>> + Unpin,
+{
+    type Output = SimResult<T>;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = &mut *self;
+        with_current(|shared, pid| match (me.f)(shared, pid) {
+            Some(r) => Poll::Ready(r),
+            None => {
+                let mut k = shared.kernel.lock();
+                if k.shutdown {
+                    return Poll::Ready(Err(SimError::Shutdown));
+                }
+                k.procs[pid].phase = Phase::Blocked;
+                Poll::Pending
+            }
+        })
+    }
+}
+
+/// Build a parking future from a check-and-register closure (see
+/// [`ParkWhile`]).
+pub(crate) fn park_while<T, F>(f: F) -> ParkWhile<F>
+where
+    F: FnMut(&Arc<Shared>, Pid) -> Option<SimResult<T>> + Unpin,
+{
+    ParkWhile { f }
+}
+
+// ---------------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------------
+
 /// A deterministic discrete-event simulation.
 ///
 /// Build one, spawn a root process, and [`run`](Sim::run) it to
 /// completion:
 ///
 /// ```
-/// use ompss_sim::{Sim, SimDuration};
+/// use ompss_sim::{delay, now, Sim, SimDuration};
 ///
 /// let sim = Sim::new();
-/// sim.spawn("main", |ctx| {
-///     ctx.delay(SimDuration::from_millis(3)).unwrap();
-///     assert_eq!(ctx.now().as_nanos(), 3_000_000);
+/// sim.spawn("main", async {
+///     delay(SimDuration::from_millis(3)).await.unwrap();
+///     assert_eq!(now().as_nanos(), 3_000_000);
 /// });
 /// let report = sim.run().unwrap();
 /// assert_eq!(report.end_time.as_nanos(), 3_000_000);
@@ -353,6 +593,16 @@ impl Default for Sim {
     }
 }
 
+const NOOP_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(|_| RawWaker::new(std::ptr::null(), &NOOP_VTABLE), |_| {}, |_| {}, |_| {});
+
+/// Wakes go through the event queue ([`Shared::schedule_wake_current_epoch`]),
+/// never through the std waker, so the executor polls with a no-op one.
+fn noop_waker() -> Waker {
+    // SAFETY: all vtable functions are no-ops; the data pointer is unused.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &NOOP_VTABLE)) }
+}
+
 impl Sim {
     /// Create an empty simulation at time zero.
     pub fn new() -> Self {
@@ -363,9 +613,6 @@ impl Sim {
                     seq: 0,
                     queue: BinaryHeap::new(),
                     procs: Vec::new(),
-                    joins: Vec::new(),
-                    live: 0,
-                    live_non_daemon: 0,
                     shutdown: false,
                     events_processed: 0,
                     clock_advances: 0,
@@ -374,8 +621,7 @@ impl Sim {
                     panics: Vec::new(),
                     fatal: None,
                 }),
-                driver_token: Mutex::new(false),
-                driver_cv: Condvar::new(),
+                tasks: Mutex::new(Vec::new()),
                 now_ns: AtomicU64::new(0),
                 shutdown_flag: AtomicBool::new(false),
                 fast_paths: std::env::var_os("OMPSS_SIM_NO_FASTPATH").is_none_or(|v| v == "0"),
@@ -383,54 +629,100 @@ impl Sim {
         }
     }
 
+    /// Begin spawning a process (builder form, for daemon-ness):
+    /// `sim.process("worker").daemon().spawn(async move { ... })`.
+    pub fn process(&self, name: impl Into<String>) -> ProcessBuilder {
+        ProcessBuilder { shared: self.shared.clone(), name: name.into(), daemon: false }
+    }
+
     /// Spawn a regular (non-daemon) process. It becomes runnable at the
     /// current virtual time. The simulation is not complete until every
     /// non-daemon process has returned.
-    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
+    pub fn spawn<F>(&self, name: impl Into<String>, fut: F) -> Pid
     where
-        F: FnOnce(Ctx) + Send + 'static,
+        F: Future + Send + 'static,
+        F::Output: ProcessExit,
     {
-        spawn_process(&self.shared, name.into(), false, f)
+        self.process(name).spawn(fut)
     }
 
-    /// Spawn a daemon process: a service loop that blocks forever and is
-    /// torn down via [`SimError::Shutdown`] when the simulation drains.
-    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> Pid
-    where
-        F: FnOnce(Ctx) + Send + 'static,
-    {
-        spawn_process(&self.shared, name.into(), true, f)
+    /// Poll process `pid` once, with the current-task context published
+    /// for the free functions. Returns whether the future completed.
+    fn poll_process(shared: &Arc<Shared>, pid: Pid) -> bool {
+        let Some(mut fut) = shared.tasks.lock()[pid].take() else {
+            return true;
+        };
+        CURRENT.with(|s| s.borrow_mut().push(TaskCtx { shared: shared.clone(), pid }));
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let polled = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        let finished = match polled {
+            Ok(Poll::Pending) => {
+                shared.tasks.lock()[pid] = Some(fut);
+                false
+            }
+            Ok(Poll::Ready(_exit)) => {
+                // Shutdown/Closed exits are clean teardown, not failures.
+                let mut k = shared.kernel.lock();
+                let slot = &mut k.procs[pid];
+                slot.phase = Phase::Finished;
+                slot.epoch += 1;
+                drop(k);
+                // Drop the body with the task context still published,
+                // so destructors may use the free functions.
+                drop(fut);
+                true
+            }
+            Err(payload) => {
+                let msg = panic_message(&*payload);
+                let mut k = shared.kernel.lock();
+                let slot = &mut k.procs[pid];
+                slot.phase = Phase::Finished;
+                slot.epoch += 1;
+                let name = slot.name.clone();
+                // Shutdown unwinds may legitimately panic through user
+                // code that unwraps a SimResult; only record panics that
+                // happen while the simulation is live.
+                if !k.shutdown {
+                    k.panics.push((name, msg));
+                }
+                drop(k);
+                // The future may be mid-poll-poisoned; a panicking drop
+                // must not take the executor down with it.
+                let _ = catch_unwind(AssertUnwindSafe(move || drop(fut)));
+                true
+            }
+        };
+        CURRENT.with(|s| {
+            s.borrow_mut().pop();
+        });
+        finished
     }
 
     /// Run the simulation until the event queue drains, then tear down
-    /// daemons and join every process thread.
+    /// daemons.
     ///
     /// Returns an error if the modelled system deadlocked (a non-daemon
     /// process was still blocked at drain time) or any process panicked.
     pub fn run(self) -> Result<RunReport, RunError> {
         let host_start = Instant::now();
-        // Dispatch the first event; after that the baton circulates
-        // process-to-process and this thread sleeps until the queue
-        // drains or a process aborts the run.
+        let shared = &self.shared;
         loop {
-            let hand = {
-                let mut k = self.shared.kernel.lock();
-                match self.shared.dispatch_locked(&mut k, None) {
-                    Dispatch::Hand(ctrl) => Some(ctrl),
-                    Dispatch::Drained => None,
-                    Dispatch::SelfResume => unreachable!("driver has no events of its own"),
-                }
+            let pid = {
+                let mut k = shared.kernel.lock();
+                shared.dispatch_locked(&mut k)
             };
-            match hand {
-                Some(ctrl) => ctrl.resume(),
+            match pid {
+                Some(pid) => {
+                    Self::poll_process(shared, pid);
+                }
                 None => break,
             }
-            self.shared.wait_driver();
         }
 
         // Queue drained. Non-daemon processes still alive are deadlocked.
         let deadlocked: Vec<String> = {
-            let k = self.shared.kernel.lock();
+            let k = shared.kernel.lock();
             k.procs
                 .iter()
                 .filter(|p| !p.daemon && p.phase != Phase::Finished)
@@ -438,49 +730,38 @@ impl Sim {
                 .collect()
         };
 
-        // Tear down daemons (and, on deadlock, the stuck processes too,
-        // so their threads don't leak). Blocking calls observe the
-        // shutdown flag and return `Err(Shutdown)`.
-        self.shared.kernel.lock().shutdown = true;
-        self.shared.shutdown_flag.store(true, Ordering::Release);
+        // Tear down daemons (and, on deadlock, the stuck processes too).
+        // Blocking futures observe the shutdown flag and resolve to
+        // `Err(Shutdown)`, so one poll unwinds each body through its
+        // `?`s — a body that keeps blocking is re-polled until the guard
+        // trips.
+        shared.kernel.lock().shutdown = true;
+        shared.shutdown_flag.store(true, Ordering::Release);
         let mut guard = 0usize;
         loop {
-            let blocked: Vec<Arc<ProcCtrl>> = {
-                let mut k = self.shared.kernel.lock();
+            let pending: Vec<Pid> = {
+                let mut k = shared.kernel.lock();
                 let mut v = Vec::new();
-                for slot in k.procs.iter_mut() {
-                    if slot.phase == Phase::Blocked || slot.phase == Phase::Ready {
+                for (pid, slot) in k.procs.iter_mut().enumerate() {
+                    if slot.phase != Phase::Finished {
                         slot.phase = Phase::Running;
                         slot.epoch += 1;
-                        v.push(slot.ctrl.clone());
+                        v.push(pid);
                     }
                 }
                 v
             };
-            if blocked.is_empty() {
+            if pending.is_empty() {
                 break;
             }
-            // One at a time: a resumed process cannot block again (every
-            // yield path checks the shutdown flag first), so it runs to
-            // completion and its exit path hands control back here.
-            for ctrl in blocked {
-                ctrl.resume();
-                self.shared.wait_driver();
+            for pid in pending {
+                Self::poll_process(shared, pid);
             }
             guard += 1;
             assert!(guard < 1000, "a process is ignoring SimError::Shutdown");
         }
 
-        // All threads have terminated; join them.
-        let joins = {
-            let mut k = self.shared.kernel.lock();
-            std::mem::take(&mut k.joins)
-        };
-        for j in joins {
-            let _ = j.join();
-        }
-
-        let mut k = self.shared.kernel.lock();
+        let mut k = shared.kernel.lock();
         // An abort takes precedence: processes blocked at that instant
         // (and panics from their forced unwinds) are consequences of
         // stopping early, not independent failures.
@@ -504,79 +785,6 @@ impl Sim {
     }
 }
 
-fn spawn_process<F>(shared: &Arc<Shared>, name: String, daemon: bool, f: F) -> Pid
-where
-    F: FnOnce(Ctx) + Send + 'static,
-{
-    let ctrl = ProcCtrl::new();
-    let pid;
-    {
-        let mut k = shared.kernel.lock();
-        pid = k.procs.len();
-        // Initial activation at the current time, epoch 0.
-        let now = k.now;
-        k.procs.push(ProcSlot {
-            ctrl: ctrl.clone(),
-            name: name.clone(),
-            phase: Phase::Ready,
-            epoch: 0,
-            daemon,
-            pending_wake: Some((now, 0)),
-        });
-        k.live += 1;
-        if !daemon {
-            k.live_non_daemon += 1;
-        }
-        let seq = k.seq;
-        k.seq += 1;
-        k.queue.push(Reverse(Event { time: now, seq, pid, epoch: 0 }));
-    }
-
-    let ctx = Ctx { shared: shared.clone(), pid, ctrl: ctrl.clone() };
-    let thread_shared = shared.clone();
-    let thread_ctrl = ctrl;
-    let handle = std::thread::Builder::new()
-        .name(format!("sim:{name}"))
-        .spawn(move || {
-            thread_ctrl.wait_turn();
-            let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
-            // This thread still holds the baton: pass it on (next event's
-            // process, or the driver if nothing is left) before exiting.
-            let hand = {
-                let mut k = thread_shared.kernel.lock();
-                let slot = &mut k.procs[pid];
-                slot.phase = Phase::Finished;
-                slot.epoch += 1;
-                let (slot_name, slot_daemon) = (slot.name.clone(), slot.daemon);
-                k.live -= 1;
-                if !slot_daemon {
-                    k.live_non_daemon -= 1;
-                }
-                if let Err(payload) = result {
-                    let msg = panic_message(&*payload);
-                    // Shutdown unwinds may legitimately panic through
-                    // user code that unwraps a SimResult; only record
-                    // panics that happen while the simulation is live.
-                    if !k.shutdown {
-                        k.panics.push((slot_name, msg));
-                    }
-                }
-                match thread_shared.dispatch_locked(&mut k, None) {
-                    Dispatch::Hand(ctrl) => Some(ctrl),
-                    Dispatch::Drained => None,
-                    Dispatch::SelfResume => unreachable!("finished process cannot be resumed"),
-                }
-            };
-            match hand {
-                Some(ctrl) => ctrl.resume(),
-                None => thread_shared.wake_driver(),
-            }
-        })
-        .expect("failed to spawn simulation process thread");
-    shared.kernel.lock().joins.push(handle);
-    pid
-}
-
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -587,166 +795,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A process's handle to the simulation: clock access, delays, and the
-/// ability to spawn further processes. Cheap to clone; every blocking
-/// primitive takes `&Ctx` to identify and park the calling process.
-#[derive(Clone)]
-pub struct Ctx {
-    pub(crate) shared: Arc<Shared>,
-    pub(crate) pid: Pid,
-    /// This process's handshake baton, cached so a yield never has to
-    /// take the kernel lock just to find it.
-    ctrl: Arc<ProcCtrl>,
-}
-
-impl Ctx {
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.shared.now()
-    }
-
-    /// This process's id.
-    pub fn pid(&self) -> Pid {
-        self.pid
-    }
-
-    /// Advance virtual time by `d`: park this process and resume it once
-    /// every event scheduled before `now + d` has run.
-    ///
-    /// Fast path: when no queued event precedes the wakeup, parking
-    /// would hand the baton to the kernel only for it to pop our own
-    /// event straight back — so the clock advances inline instead,
-    /// with identical event accounting and no context switch.
-    pub fn delay(&self, d: SimDuration) -> SimResult<()> {
-        let mut k = self.shared.kernel.lock();
-        if k.shutdown {
-            return Err(SimError::Shutdown);
-        }
-        let at = k.now + d;
-        if self.shared.fast_paths && k.fatal.is_none() {
-            let head_due = match k.queue.peek() {
-                Some(Reverse(ev)) => ev.time <= at,
-                None => false,
-            };
-            if !head_due {
-                let now = k.now;
-                let slot = &mut k.procs[self.pid];
-                debug_assert_eq!(slot.phase, Phase::Running);
-                debug_assert!(
-                    !matches!(slot.pending_wake, Some((_, e)) if e == slot.epoch),
-                    "running process has a live wake in flight"
-                );
-                // The virtual yield-and-resume, minus the heap traffic.
-                slot.epoch += 1;
-                if at > now {
-                    k.clock_advances += 1;
-                }
-                k.now = at;
-                k.events_processed += 1;
-                self.shared.now_ns.store(at.as_nanos(), Ordering::Release);
-                return Ok(());
-            }
-        }
-        let seq = k.seq;
-        k.seq += 1;
-        let epoch = k.procs[self.pid].epoch;
-        k.procs[self.pid].phase = Phase::Ready;
-        if self.shared.fast_paths {
-            k.procs[self.pid].pending_wake = Some((at, epoch));
-        }
-        k.queue.push(Reverse(Event { time: at, seq, pid: self.pid, epoch }));
-        self.yield_baton(k)
-    }
-
-    /// Yield to the kernel without scheduling a wakeup; some other
-    /// process (via a primitive) must wake this one. Used by the blocking
-    /// primitives; application code should prefer those.
-    pub(crate) fn park(&self) -> SimResult<()> {
-        let mut k = self.shared.kernel.lock();
-        if k.shutdown {
-            return Err(SimError::Shutdown);
-        }
-        k.procs[self.pid].phase = Phase::Blocked;
-        self.yield_baton(k)
-    }
-
-    /// Relinquish the CPU until the next event at the same timestamp has
-    /// run: a deterministic `yield_now`. Useful to let same-time events
-    /// interleave fairly.
-    pub fn yield_now(&self) -> SimResult<()> {
-        self.delay(SimDuration::ZERO)
-    }
-
-    /// Abort the whole simulation with a structured error: the kernel
-    /// stops dispatching, daemons are torn down, and [`Sim::run`]
-    /// returns `err` (first abort wins). Returns [`SimError::Shutdown`]
-    /// so the caller can unwind through the ordinary `?` path.
-    pub fn abort_run(&self, err: RunError) -> SimError {
-        let mut k = self.shared.kernel.lock();
-        if !k.shutdown && k.fatal.is_none() {
-            k.fatal = Some(err);
-        }
-        SimError::Shutdown
-    }
-
-    /// Give up the baton: run the dispatcher on this thread. If our own
-    /// event is next we simply keep running (zero context switches);
-    /// otherwise hand the baton straight to the next process (one
-    /// switch) — or to the driver if nothing is left — and park until
-    /// our own wakeup is dispatched.
-    ///
-    /// The caller must already have published its yield in `k` (phase
-    /// set to `Ready`/`Blocked`, wake event pushed if self-scheduled).
-    fn yield_baton(&self, mut k: parking_lot::MutexGuard<'_, Kernel>) -> SimResult<()> {
-        let hand = match self.shared.dispatch_locked(&mut k, Some(self.pid)) {
-            Dispatch::SelfResume => {
-                return Ok(());
-            }
-            Dispatch::Hand(ctrl) => Some(ctrl),
-            Dispatch::Drained => None,
-        };
-        // Flip our turn *before* releasing the kernel lock: our wake
-        // event only becomes poppable by other threads once the lock
-        // drops, so the resume targeting it cannot be lost.
-        *self.ctrl.turn.lock() = Turn::Kernel;
-        drop(k);
-        match hand {
-            Some(ctrl) => ctrl.resume(),
-            None => self.shared.wake_driver(),
-        }
-        self.ctrl.wait_turn();
-        if self.shared.is_shutdown() {
-            return Err(SimError::Shutdown);
-        }
-        Ok(())
-    }
-
-    /// Spawn a non-daemon child process, runnable at the current time.
-    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
-    where
-        F: FnOnce(Ctx) + Send + 'static,
-    {
-        spawn_process(&self.shared, name.into(), false, f)
-    }
-
-    /// Spawn a daemon child process (see [`Sim::spawn_daemon`]).
-    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> Pid
-    where
-        F: FnOnce(Ctx) + Send + 'static,
-    {
-        spawn_process(&self.shared, name.into(), true, f)
-    }
-
-    /// Internal access for primitives in sibling modules.
-    pub(crate) fn shared(&self) -> &Arc<Shared> {
-        &self.shared
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Park forever (test helper): the old engine's bare `ctx.park()`.
+    async fn park_forever() -> SimResult<()> {
+        park_while(|_, _| None::<SimResult<()>>).await
+    }
 
     #[test]
     fn empty_sim_completes() {
@@ -758,12 +815,12 @@ mod tests {
     #[test]
     fn single_process_delays_advance_clock() {
         let sim = Sim::new();
-        sim.spawn("p", |ctx| {
-            assert_eq!(ctx.now(), SimTime::ZERO);
-            ctx.delay(SimDuration::from_nanos(10)).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 10);
-            ctx.delay(SimDuration::from_nanos(5)).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 15);
+        sim.spawn("p", async {
+            assert_eq!(now(), SimTime::ZERO);
+            delay(SimDuration::from_nanos(10)).await.unwrap();
+            assert_eq!(now().as_nanos(), 10);
+            delay(SimDuration::from_nanos(5)).await.unwrap();
+            assert_eq!(now().as_nanos(), 15);
         });
         let report = sim.run().unwrap();
         assert_eq!(report.end_time.as_nanos(), 15);
@@ -775,8 +832,8 @@ mod tests {
         let sim = Sim::new();
         for (name, d) in [("a", 30u64), ("b", 10), ("c", 20)] {
             let log = log.clone();
-            sim.spawn(name, move |ctx| {
-                ctx.delay(SimDuration::from_nanos(d)).unwrap();
+            sim.spawn(name, async move {
+                delay(SimDuration::from_nanos(d)).await.unwrap();
                 log.lock().push(name);
             });
         }
@@ -790,8 +847,8 @@ mod tests {
         let sim = Sim::new();
         for name in ["first", "second", "third"] {
             let log = log.clone();
-            sim.spawn(name, move |ctx| {
-                ctx.delay(SimDuration::from_nanos(7)).unwrap();
+            sim.spawn(name, async move {
+                delay(SimDuration::from_nanos(7)).await.unwrap();
                 log.lock().push(name);
             });
         }
@@ -804,14 +861,14 @@ mod tests {
         let hits = Arc::new(AtomicUsize::new(0));
         let sim = Sim::new();
         let h = hits.clone();
-        sim.spawn("parent", move |ctx| {
-            ctx.delay(SimDuration::from_nanos(5)).unwrap();
+        sim.spawn("parent", async move {
+            delay(SimDuration::from_nanos(5)).await.unwrap();
             let h2 = h.clone();
-            ctx.spawn("child", move |cctx| {
-                assert_eq!(cctx.now().as_nanos(), 5);
+            spawn("child", async move {
+                assert_eq!(now().as_nanos(), 5);
                 h2.fetch_add(1, Ordering::SeqCst);
             });
-            ctx.delay(SimDuration::from_nanos(1)).unwrap();
+            delay(SimDuration::from_nanos(1)).await.unwrap();
             assert_eq!(h.load(Ordering::SeqCst), 1, "child ran before parent's next event");
         });
         sim.run().unwrap();
@@ -821,13 +878,13 @@ mod tests {
     #[test]
     fn daemon_blocked_forever_is_torn_down() {
         let sim = Sim::new();
-        sim.spawn_daemon("daemon", |ctx| {
+        sim.process("daemon").daemon().spawn(async {
             // Parks forever; must be woken with Shutdown.
-            let r = ctx.park();
+            let r = park_forever().await;
             assert_eq!(r, Err(SimError::Shutdown));
         });
-        sim.spawn("main", |ctx| {
-            ctx.delay(SimDuration::from_nanos(100)).unwrap();
+        sim.spawn("main", async {
+            delay(SimDuration::from_nanos(100)).await.unwrap();
         });
         let report = sim.run().unwrap();
         assert_eq!(report.end_time.as_nanos(), 100);
@@ -836,8 +893,8 @@ mod tests {
     #[test]
     fn blocked_non_daemon_is_reported_as_deadlock() {
         let sim = Sim::new();
-        sim.spawn("stuck", |ctx| {
-            let _ = ctx.park();
+        sim.spawn("stuck", async {
+            let _ = park_forever().await;
         });
         match sim.run() {
             Err(RunError::Deadlock(names)) => assert_eq!(names, vec!["stuck".to_string()]),
@@ -848,7 +905,11 @@ mod tests {
     #[test]
     fn process_panic_is_reported() {
         let sim = Sim::new();
-        sim.spawn("boom", |_ctx| panic!("kaboom"));
+        sim.spawn("boom", async {
+            panic!("kaboom");
+            #[allow(unreachable_code)]
+            ()
+        });
         match sim.run() {
             Err(RunError::ProcessPanic(name, msg)) => {
                 assert_eq!(name, "boom");
@@ -861,10 +922,10 @@ mod tests {
     #[test]
     fn delay_after_shutdown_errors() {
         let sim = Sim::new();
-        sim.spawn_daemon("d", |ctx| {
-            assert_eq!(ctx.park(), Err(SimError::Shutdown));
+        sim.process("d").daemon().spawn(async {
+            assert_eq!(park_forever().await, Err(SimError::Shutdown));
             // Further blocking calls must also fail immediately.
-            assert_eq!(ctx.delay(SimDuration::from_nanos(1)), Err(SimError::Shutdown));
+            assert_eq!(delay(SimDuration::from_nanos(1)).await, Err(SimError::Shutdown));
         });
         sim.run().unwrap();
     }
@@ -875,10 +936,10 @@ mod tests {
         let sim = Sim::new();
         for name in ["a", "b"] {
             let log = log.clone();
-            sim.spawn(name, move |ctx| {
+            sim.spawn(name, async move {
                 for i in 0..3 {
                     log.lock().push(format!("{name}{i}"));
-                    ctx.yield_now().unwrap();
+                    yield_now().await.unwrap();
                 }
             });
         }
@@ -890,13 +951,13 @@ mod tests {
     #[test]
     fn abort_run_returns_the_structured_error() {
         let sim = Sim::new();
-        sim.spawn("stuck", |ctx| {
+        sim.spawn("stuck", async {
             // Would be a deadlock — but the abort below must win.
-            let _ = ctx.park();
+            let _ = park_forever().await;
         });
-        sim.spawn("aborter", |ctx| {
-            ctx.delay(SimDuration::from_nanos(5)).unwrap();
-            let e = ctx.abort_run(RunError::Exhausted { what: "t0".into(), attempts: 4 });
+        sim.spawn("aborter", async {
+            delay(SimDuration::from_nanos(5)).await.unwrap();
+            let e = abort_run(RunError::Exhausted { what: "t0".into(), attempts: 4 });
             assert_eq!(e, SimError::Shutdown);
         });
         match sim.run() {
@@ -912,9 +973,9 @@ mod tests {
     fn first_abort_wins() {
         let sim = Sim::new();
         for i in 0..3u32 {
-            sim.spawn(format!("a{i}"), move |ctx| {
-                ctx.delay(SimDuration::from_nanos(i as u64 + 1)).unwrap();
-                let _ = ctx.abort_run(RunError::Exhausted { what: format!("t{i}"), attempts: i });
+            sim.spawn(format!("a{i}"), async move {
+                delay(SimDuration::from_nanos(i as u64 + 1)).await.unwrap();
+                let _ = abort_run(RunError::Exhausted { what: format!("t{i}"), attempts: i });
             });
         }
         match sim.run() {
@@ -928,9 +989,9 @@ mod tests {
         fn run_once() -> (u64, u64) {
             let sim = Sim::new();
             for i in 0..20u64 {
-                sim.spawn(format!("p{i}"), move |ctx| {
+                sim.spawn(format!("p{i}"), async move {
                     for j in 0..10u64 {
-                        ctx.delay(SimDuration::from_nanos((i * 7 + j * 13) % 29 + 1)).unwrap();
+                        delay(SimDuration::from_nanos((i * 7 + j * 13) % 29 + 1)).await.unwrap();
                     }
                 });
             }
@@ -946,13 +1007,74 @@ mod tests {
         let sim = Sim::new();
         for i in 0..200 {
             let c = counter.clone();
-            sim.spawn(format!("p{i}"), move |ctx| {
-                ctx.delay(SimDuration::from_nanos(i as u64)).unwrap();
+            sim.spawn(format!("p{i}"), async move {
+                delay(SimDuration::from_nanos(i as u64)).await.unwrap();
                 c.fetch_add(1, Ordering::SeqCst);
             });
         }
         let report = sim.run().unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 200);
         assert_eq!(report.processes, 200);
+    }
+
+    #[test]
+    fn process_body_returning_result_exits_cleanly() {
+        let sim = Sim::new();
+        sim.spawn("q", async {
+            delay(SimDuration::from_nanos(3)).await?;
+            Ok(())
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_nanos(), 3);
+    }
+
+    #[test]
+    fn pending_timer_of_dropped_process_does_not_fire() {
+        // A process parks with a timeout; the signal arrives first, the
+        // process finishes, and its future is dropped while its deadline
+        // event is still queued. The stale timer must pop as a no-op —
+        // it cannot resume a dead task or drive the clock.
+        let sim = Sim::new();
+        let sig = crate::sync::Signal::new();
+        let s = sig.clone();
+        sim.spawn("waiter", async move {
+            let got = s.wait_timeout(SimDuration::from_nanos(100)).await.unwrap();
+            assert!(got, "signal should arrive before the deadline");
+        });
+        let s2 = sig.clone();
+        sim.spawn("setter", async move {
+            delay(SimDuration::from_nanos(25)).await.unwrap();
+            s2.set();
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_nanos(), 25, "stale deadline timer drove the clock");
+    }
+
+    #[test]
+    fn wake_dedup_coalesces_redundant_wakes() {
+        // Two same-time wakes for one blocked process: the second can
+        // only pop stale, so the fast path never enqueues it.
+        let sim = Sim::new();
+        sim.spawn("sleeper", async {
+            park_while({
+                let mut registered = false;
+                move |shared, pid| {
+                    if registered {
+                        return Some(Ok(()));
+                    }
+                    registered = true;
+                    let at = shared.now() + SimDuration::from_nanos(5);
+                    shared.schedule_wake_current_epoch(pid, at);
+                    shared.schedule_wake_current_epoch(pid, at);
+                    None
+                }
+            })
+            .await
+            .unwrap();
+        });
+        let report = sim.run().unwrap();
+        if std::env::var_os("OMPSS_SIM_NO_FASTPATH").is_none_or(|v| v == "0") {
+            assert_eq!(report.wakes_coalesced, 1);
+        }
     }
 }

@@ -4,15 +4,16 @@
 //! deterministic FIFO delivery: items are received in send order, and
 //! blocked receivers are served in the order they blocked. `send` never
 //! blocks (the modelled queues — ready-task pools, message inboxes — are
-//! unbounded in Nanos++ too); `recv` parks the calling process until an
-//! item arrives.
+//! unbounded in Nanos++ too); `recv().await` parks the calling process
+//! until an item arrives.
 
 use std::collections::VecDeque;
+use std::future::Future;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::{Ctx, Pid};
+use crate::engine::{park_while, with_current_shared, Pid};
 use crate::error::{SimError, SimResult};
 
 struct Inner<T> {
@@ -61,7 +62,7 @@ impl<T> Channel<T> {
 
     /// Enqueue an item. If a receiver is parked, the oldest one is woken
     /// at the current virtual time. Never blocks.
-    pub fn send(&self, ctx: &Ctx, item: T) {
+    pub fn send(&self, item: T) {
         let wake = {
             let mut inner = self.inner.lock();
             match inner.waiters.pop_front() {
@@ -76,31 +77,33 @@ impl<T> Channel<T> {
             }
         };
         if let Some(pid) = wake {
-            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+            with_current_shared(|s| s.schedule_wake_current_epoch(pid, s.now()));
         }
     }
 
     /// Dequeue an item, parking until one is available.
     ///
-    /// Returns [`SimError::Closed`] if the channel is closed and empty,
-    /// or [`SimError::Shutdown`] during simulation teardown.
-    pub fn recv(&self, ctx: &Ctx) -> SimResult<T> {
-        loop {
-            {
-                let mut inner = self.inner.lock();
-                if let Some(i) = inner.handoff.iter().position(|(p, _)| *p == ctx.pid()) {
-                    return Ok(inner.handoff.swap_remove(i).1);
-                }
-                if let Some(v) = inner.items.pop_front() {
-                    return Ok(v);
-                }
-                if inner.closed {
-                    return Err(SimError::Closed);
-                }
-                inner.waiters.push_back(ctx.pid());
+    /// Resolves to [`SimError::Closed`] if the channel is closed and
+    /// empty, or [`SimError::Shutdown`] during simulation teardown.
+    pub fn recv(&self) -> impl Future<Output = SimResult<T>> + '_ {
+        let mut registered = false;
+        park_while(move |_, pid| {
+            let mut inner = self.inner.lock();
+            if let Some(i) = inner.handoff.iter().position(|(p, _)| *p == pid) {
+                return Some(Ok(inner.handoff.swap_remove(i).1));
             }
-            ctx.park()?;
-        }
+            if let Some(v) = inner.items.pop_front() {
+                return Some(Ok(v));
+            }
+            if inner.closed {
+                return Some(Err(SimError::Closed));
+            }
+            if !registered {
+                inner.waiters.push_back(pid);
+                registered = true;
+            }
+            None
+        })
     }
 
     /// Dequeue an item if one is immediately available.
@@ -125,14 +128,18 @@ impl<T> Channel<T> {
     /// Close the channel: parked and future receivers get
     /// [`SimError::Closed`] once the queue is empty. Items already queued
     /// are still delivered.
-    pub fn close(&self, ctx: &Ctx) {
+    pub fn close(&self) {
         let wakes: Vec<Pid> = {
             let mut inner = self.inner.lock();
             inner.closed = true;
             inner.waiters.drain(..).collect()
         };
-        for pid in wakes {
-            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        if !wakes.is_empty() {
+            with_current_shared(|s| {
+                for pid in wakes {
+                    s.schedule_wake_current_epoch(pid, s.now());
+                }
+            });
         }
     }
 }
@@ -140,7 +147,7 @@ impl<T> Channel<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Sim, SimDuration};
+    use crate::{delay, now, Sim, SimDuration};
     use parking_lot::Mutex as PMutex;
 
     #[test]
@@ -148,11 +155,11 @@ mod tests {
         let sim = Sim::new();
         let ch = Channel::new();
         let c = ch.clone();
-        sim.spawn("p", move |ctx| {
-            c.send(&ctx, 41);
-            c.send(&ctx, 42);
-            assert_eq!(c.recv(&ctx).unwrap(), 41);
-            assert_eq!(c.recv(&ctx).unwrap(), 42);
+        sim.spawn("p", async move {
+            c.send(41);
+            c.send(42);
+            assert_eq!(c.recv().await.unwrap(), 41);
+            assert_eq!(c.recv().await.unwrap(), 42);
         });
         sim.run().unwrap();
     }
@@ -162,14 +169,14 @@ mod tests {
         let sim = Sim::new();
         let ch: Channel<u64> = Channel::new();
         let (c1, c2) = (ch.clone(), ch.clone());
-        sim.spawn("consumer", move |ctx| {
-            let v = c1.recv(&ctx).unwrap();
+        sim.spawn("consumer", async move {
+            let v = c1.recv().await.unwrap();
             assert_eq!(v, 7);
-            assert_eq!(ctx.now().as_nanos(), 50, "woken at the producer's send time");
+            assert_eq!(now().as_nanos(), 50, "woken at the producer's send time");
         });
-        sim.spawn("producer", move |ctx| {
-            ctx.delay(SimDuration::from_nanos(50)).unwrap();
-            c2.send(&ctx, 7);
+        sim.spawn("producer", async move {
+            delay(SimDuration::from_nanos(50)).await.unwrap();
+            c2.send(7);
         });
         sim.run().unwrap();
     }
@@ -180,14 +187,15 @@ mod tests {
         let ch = Channel::new();
         let got = Arc::new(PMutex::new(Vec::new()));
         let (c1, c2, g) = (ch.clone(), ch.clone(), got.clone());
-        sim.spawn("producer", move |ctx| {
+        sim.spawn("producer", async move {
             for i in 0..100 {
-                c1.send(&ctx, i);
+                c1.send(i);
             }
         });
-        sim.spawn("consumer", move |ctx| {
+        sim.spawn("consumer", async move {
             for _ in 0..100 {
-                g.lock().push(c2.recv(&ctx).unwrap());
+                let v = c2.recv().await.unwrap();
+                g.lock().push(v);
             }
         });
         sim.run().unwrap();
@@ -202,16 +210,16 @@ mod tests {
         for name in ["r1", "r2"] {
             let c = ch.clone();
             let g = got.clone();
-            sim.spawn(name, move |ctx| {
-                let v = c.recv(&ctx).unwrap();
+            sim.spawn(name, async move {
+                let v = c.recv().await.unwrap();
                 g.lock().push((name, v));
             });
         }
         let c = ch.clone();
-        sim.spawn("sender", move |ctx| {
-            ctx.delay(SimDuration::from_nanos(10)).unwrap();
-            c.send(&ctx, 100);
-            c.send(&ctx, 200);
+        sim.spawn("sender", async move {
+            delay(SimDuration::from_nanos(10)).await.unwrap();
+            c.send(100);
+            c.send(200);
         });
         sim.run().unwrap();
         assert_eq!(*got.lock(), vec![("r1", 100), ("r2", 200)]);
@@ -222,9 +230,9 @@ mod tests {
         let sim = Sim::new();
         let ch: Channel<u32> = Channel::new();
         let c = ch.clone();
-        sim.spawn("p", move |ctx| {
+        sim.spawn("p", async move {
             assert_eq!(c.try_recv(), None);
-            c.send(&ctx, 1);
+            c.send(1);
             assert_eq!(c.try_recv(), Some(1));
         });
         sim.run().unwrap();
@@ -235,12 +243,12 @@ mod tests {
         let sim = Sim::new();
         let ch: Channel<u32> = Channel::new();
         let (c1, c2) = (ch.clone(), ch.clone());
-        sim.spawn("consumer", move |ctx| {
-            assert_eq!(c1.recv(&ctx), Err(SimError::Closed));
+        sim.spawn("consumer", async move {
+            assert_eq!(c1.recv().await, Err(SimError::Closed));
         });
-        sim.spawn("closer", move |ctx| {
-            ctx.delay(SimDuration::from_nanos(5)).unwrap();
-            c2.close(&ctx);
+        sim.spawn("closer", async move {
+            delay(SimDuration::from_nanos(5)).await.unwrap();
+            c2.close();
         });
         sim.run().unwrap();
     }
@@ -250,11 +258,11 @@ mod tests {
         let sim = Sim::new();
         let ch = Channel::new();
         let c = ch.clone();
-        sim.spawn("p", move |ctx| {
-            c.send(&ctx, 9);
-            c.close(&ctx);
-            assert_eq!(c.recv(&ctx).unwrap(), 9);
-            assert_eq!(c.recv(&ctx), Err(SimError::Closed));
+        sim.spawn("p", async move {
+            c.send(9);
+            c.close();
+            assert_eq!(c.recv().await.unwrap(), 9);
+            assert_eq!(c.recv().await, Err(SimError::Closed));
         });
         sim.run().unwrap();
     }
@@ -265,15 +273,15 @@ mod tests {
         let ch: Channel<u32> = Channel::new();
         let done = Arc::new(PMutex::new(0u32));
         let (c1, c2, d) = (ch.clone(), ch.clone(), done.clone());
-        sim.spawn_daemon("worker", move |ctx| {
-            while let Ok(v) = c1.recv(&ctx) {
+        sim.process("worker").daemon().spawn(async move {
+            while let Ok(v) = c1.recv().await {
                 *d.lock() += v;
             }
         });
-        sim.spawn("main", move |ctx| {
+        sim.spawn("main", async move {
             for _ in 0..5 {
-                c2.send(&ctx, 2);
-                ctx.delay(SimDuration::from_nanos(1)).unwrap();
+                c2.send(2);
+                delay(SimDuration::from_nanos(1)).await.unwrap();
             }
         });
         sim.run().unwrap();

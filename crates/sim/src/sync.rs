@@ -2,13 +2,18 @@
 //! semaphores (the building block of every modelled hardware resource —
 //! PCIe links, DMA engines, NIC ports), one-shot broadcast signals
 //! (completion events), and counting latches (taskwait).
+//!
+//! Blocking operations (`acquire`, `wait`, `wait_zero`, …) return
+//! futures; waking operations (`release`, `set`, `done`, `ring`) are
+//! plain synchronous calls that schedule the waiters' resume events.
 
 use std::collections::VecDeque;
+use std::future::Future;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::{Ctx, Pid};
+use crate::engine::{park_while, with_current, with_current_shared, Pid};
 use crate::error::SimResult;
 
 // ---------------------------------------------------------------------------
@@ -47,52 +52,50 @@ impl Semaphore {
     }
 
     /// Acquire one permit, parking until available.
-    pub fn acquire(&self, ctx: &Ctx) -> SimResult<()> {
-        self.acquire_n(ctx, 1)
+    pub fn acquire(&self) -> impl Future<Output = SimResult<()>> + '_ {
+        self.acquire_n(1)
     }
 
     /// Acquire `n` permits atomically, parking until available.
     ///
     /// FIFO: a large request at the head of the queue blocks later small
     /// requests (no barging), which keeps service order deterministic.
-    pub fn acquire_n(&self, ctx: &Ctx, n: u64) -> SimResult<()> {
+    pub fn acquire_n(&self, n: u64) -> impl Future<Output = SimResult<()>> + '_ {
         let mut registered = false;
-        loop {
+        park_while(move |shared, pid| {
+            let mut inner = self.inner.lock();
+            let at_head = inner.waiters.front().map(|&(p, _)| p) == Some(pid);
+            if inner.permits >= n
+                && (!registered || at_head)
+                && (registered || inner.waiters.is_empty())
             {
-                let mut inner = self.inner.lock();
-                let at_head = inner.waiters.front().map(|&(pid, _)| pid) == Some(ctx.pid());
-                if inner.permits >= n
-                    && (!registered || at_head)
-                    && (registered || inner.waiters.is_empty())
-                {
-                    if registered {
-                        inner.waiters.pop_front();
-                        // Wake the next head in case permits remain for it.
-                        if let Some(&(next, want)) = inner.waiters.front() {
-                            if inner.permits - n >= want {
-                                ctx.shared().schedule_wake_current_epoch(next, ctx.now());
-                            }
+                if registered {
+                    inner.waiters.pop_front();
+                    // Wake the next head in case permits remain for it.
+                    if let Some(&(next, want)) = inner.waiters.front() {
+                        if inner.permits - n >= want {
+                            shared.schedule_wake_current_epoch(next, shared.now());
                         }
                     }
-                    inner.permits -= n;
-                    return Ok(());
                 }
-                if !registered {
-                    inner.waiters.push_back((ctx.pid(), n));
-                    registered = true;
-                }
+                inner.permits -= n;
+                return Some(Ok(()));
             }
-            ctx.park()?;
-        }
+            if !registered {
+                inner.waiters.push_back((pid, n));
+                registered = true;
+            }
+            None
+        })
     }
 
     /// Return one permit.
-    pub fn release(&self, ctx: &Ctx) {
-        self.release_n(ctx, 1);
+    pub fn release(&self) {
+        self.release_n(1);
     }
 
     /// Return `n` permits and wake the head waiter if it can now proceed.
-    pub fn release_n(&self, ctx: &Ctx, n: u64) {
+    pub fn release_n(&self, n: u64) {
         let wake = {
             let mut inner = self.inner.lock();
             inner.permits += n;
@@ -102,7 +105,7 @@ impl Semaphore {
             }
         };
         if let Some(pid) = wake {
-            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+            with_current_shared(|s| s.schedule_wake_current_epoch(pid, s.now()));
         }
     }
 
@@ -149,7 +152,7 @@ impl Signal {
     }
 
     /// Set the signal and wake every waiter. Idempotent.
-    pub fn set(&self, ctx: &Ctx) {
+    pub fn set(&self) {
         let wakes: Vec<Pid> = {
             let mut inner = self.inner.lock();
             if inner.set {
@@ -158,8 +161,12 @@ impl Signal {
             inner.set = true;
             std::mem::take(&mut inner.waiters)
         };
-        for pid in wakes {
-            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        if !wakes.is_empty() {
+            with_current_shared(|s| {
+                for pid in wakes {
+                    s.schedule_wake_current_epoch(pid, s.now());
+                }
+            });
         }
     }
 
@@ -169,44 +176,45 @@ impl Signal {
     }
 
     /// Park until the signal is set.
-    pub fn wait(&self, ctx: &Ctx) -> SimResult<()> {
-        loop {
-            {
-                let mut inner = self.inner.lock();
-                if inner.set {
-                    return Ok(());
-                }
-                inner.waiters.push(ctx.pid());
+    pub fn wait(&self) -> impl Future<Output = SimResult<()>> + '_ {
+        park_while(move |_, pid| {
+            let mut inner = self.inner.lock();
+            if inner.set {
+                return Some(Ok(()));
             }
-            ctx.park()?;
-        }
+            inner.waiters.push(pid);
+            None
+        })
     }
 
-    /// Park until the signal is set or `timeout` elapses. Returns
+    /// Park until the signal is set or `timeout` elapses. Resolves to
     /// `Ok(true)` if the signal was set, `Ok(false)` on timeout. The
     /// timeout path deregisters this process from the waiter list, so a
     /// later `set` cannot deliver a stale wakeup into whatever the
     /// process blocks on next.
-    pub fn wait_timeout(&self, ctx: &Ctx, timeout: crate::SimDuration) -> SimResult<bool> {
-        let deadline = ctx.now() + timeout;
-        loop {
-            {
-                let mut inner = self.inner.lock();
-                if inner.set {
-                    inner.waiters.retain(|&p| p != ctx.pid());
-                    return Ok(true);
-                }
-                if ctx.now() >= deadline {
-                    inner.waiters.retain(|&p| p != ctx.pid());
-                    return Ok(false);
-                }
-                inner.waiters.push(ctx.pid());
+    pub fn wait_timeout(
+        &self,
+        timeout: crate::SimDuration,
+    ) -> impl Future<Output = SimResult<bool>> + '_ {
+        let mut deadline = None;
+        park_while(move |shared, pid| {
+            let deadline = *deadline.get_or_insert_with(|| shared.now() + timeout);
+            let mut inner = self.inner.lock();
+            if inner.set {
+                inner.waiters.retain(|&p| p != pid);
+                return Some(Ok(true));
             }
+            if shared.now() >= deadline {
+                inner.waiters.retain(|&p| p != pid);
+                return Some(Ok(false));
+            }
+            inner.waiters.push(pid);
+            drop(inner);
             // Own wakeup at the deadline; a `set` before then wakes us
             // earlier and the stale deadline event is epoch-invalidated.
-            ctx.shared().schedule_wake_current_epoch(ctx.pid(), deadline);
-            ctx.park()?;
-        }
+            shared.schedule_wake_current_epoch(pid, deadline);
+            None
+        })
     }
 }
 
@@ -254,7 +262,7 @@ impl Latch {
     }
 
     /// Lower the count by one; at zero, wake all waiters.
-    pub fn done(&self, ctx: &Ctx) {
+    pub fn done(&self) {
         let wakes: Vec<Pid> = {
             let mut inner = self.inner.lock();
             assert!(inner.count > 0, "Latch::done without matching add");
@@ -265,8 +273,12 @@ impl Latch {
                 Vec::new()
             }
         };
-        for pid in wakes {
-            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        if !wakes.is_empty() {
+            with_current_shared(|s| {
+                for pid in wakes {
+                    s.schedule_wake_current_epoch(pid, s.now());
+                }
+            });
         }
     }
 
@@ -277,17 +289,15 @@ impl Latch {
 
     /// Park until the count reaches zero. Returns immediately if already
     /// zero.
-    pub fn wait_zero(&self, ctx: &Ctx) -> SimResult<()> {
-        loop {
-            {
-                let mut inner = self.inner.lock();
-                if inner.count == 0 {
-                    return Ok(());
-                }
-                inner.waiters.push(ctx.pid());
+    pub fn wait_zero(&self) -> impl Future<Output = SimResult<()>> + '_ {
+        park_while(move |_, pid| {
+            let mut inner = self.inner.lock();
+            if inner.count == 0 {
+                return Some(Ok(()));
             }
-            ctx.park()?;
-        }
+            inner.waiters.push(pid);
+            None
+        })
     }
 }
 
@@ -329,17 +339,29 @@ impl Bell {
         Bell { inner: Arc::new(Mutex::new(BellInner { waiters: Vec::new() })) }
     }
 
-    /// Park until the next ring.
-    pub fn wait(&self, ctx: &Ctx) -> SimResult<()> {
-        self.inner.lock().waiters.push(ctx.pid());
-        ctx.park()
+    /// Park until the next ring. Unconditional: registration happens on
+    /// the first poll, and any valid wakeup (the ring) completes it.
+    pub fn wait(&self) -> impl Future<Output = SimResult<()>> + '_ {
+        let mut registered = false;
+        park_while(move |_, pid| {
+            if registered {
+                return Some(Ok(()));
+            }
+            self.inner.lock().waiters.push(pid);
+            registered = true;
+            None
+        })
     }
 
     /// Wake every process currently waiting.
-    pub fn ring(&self, ctx: &Ctx) {
+    pub fn ring(&self) {
         let wakes: Vec<Pid> = std::mem::take(&mut self.inner.lock().waiters);
-        for pid in wakes {
-            ctx.shared().schedule_wake_current_epoch(pid, ctx.now());
+        if !wakes.is_empty() {
+            with_current(|shared, _| {
+                for pid in wakes {
+                    shared.schedule_wake_current_epoch(pid, shared.now());
+                }
+            });
         }
     }
 }
@@ -347,7 +369,7 @@ impl Bell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Sim, SimDuration};
+    use crate::{delay, now, spawn, Sim, SimDuration};
     use parking_lot::Mutex as PMutex;
 
     #[test]
@@ -360,11 +382,11 @@ mod tests {
         for name in ["a", "b"] {
             let s = sem.clone();
             let e = ends.clone();
-            sim.spawn(name, move |ctx| {
-                s.acquire(&ctx).unwrap();
-                ctx.delay(SimDuration::from_nanos(10)).unwrap();
-                s.release(&ctx);
-                e.lock().push((name, ctx.now().as_nanos()));
+            sim.spawn(name, async move {
+                s.acquire().await.unwrap();
+                delay(SimDuration::from_nanos(10)).await.unwrap();
+                s.release();
+                e.lock().push((name, now().as_nanos()));
             });
         }
         sim.run().unwrap();
@@ -379,11 +401,11 @@ mod tests {
         for name in ["a", "b"] {
             let s = sem.clone();
             let e = ends.clone();
-            sim.spawn(name, move |ctx| {
-                s.acquire(&ctx).unwrap();
-                ctx.delay(SimDuration::from_nanos(10)).unwrap();
-                s.release(&ctx);
-                e.lock().push(ctx.now().as_nanos());
+            sim.spawn(name, async move {
+                s.acquire().await.unwrap();
+                delay(SimDuration::from_nanos(10)).await.unwrap();
+                s.release();
+                e.lock().push(now().as_nanos());
             });
         }
         sim.run().unwrap();
@@ -399,32 +421,32 @@ mod tests {
         let order = Arc::new(PMutex::new(Vec::new()));
         {
             let s = sem.clone();
-            sim.spawn("holder", move |ctx| {
-                s.acquire_n(&ctx, 2).unwrap();
-                ctx.delay(SimDuration::from_nanos(10)).unwrap();
-                s.release(&ctx); // one back -> big still can't run
-                ctx.delay(SimDuration::from_nanos(10)).unwrap();
-                s.release(&ctx); // second back -> big runs
+            sim.spawn("holder", async move {
+                s.acquire_n(2).await.unwrap();
+                delay(SimDuration::from_nanos(10)).await.unwrap();
+                s.release(); // one back -> big still can't run
+                delay(SimDuration::from_nanos(10)).await.unwrap();
+                s.release(); // second back -> big runs
             });
         }
         {
             let s = sem.clone();
             let o = order.clone();
-            sim.spawn("big", move |ctx| {
-                ctx.delay(SimDuration::from_nanos(1)).unwrap();
-                s.acquire_n(&ctx, 2).unwrap();
-                o.lock().push(("big", ctx.now().as_nanos()));
-                s.release_n(&ctx, 2);
+            sim.spawn("big", async move {
+                delay(SimDuration::from_nanos(1)).await.unwrap();
+                s.acquire_n(2).await.unwrap();
+                o.lock().push(("big", now().as_nanos()));
+                s.release_n(2);
             });
         }
         {
             let s = sem.clone();
             let o = order.clone();
-            sim.spawn("small", move |ctx| {
-                ctx.delay(SimDuration::from_nanos(2)).unwrap();
-                s.acquire(&ctx).unwrap();
-                o.lock().push(("small", ctx.now().as_nanos()));
-                s.release(&ctx);
+            sim.spawn("small", async move {
+                delay(SimDuration::from_nanos(2)).await.unwrap();
+                s.acquire().await.unwrap();
+                o.lock().push(("small", now().as_nanos()));
+                s.release();
             });
         }
         sim.run().unwrap();
@@ -439,11 +461,11 @@ mod tests {
         let sim = Sim::new();
         let sem = Semaphore::new(3);
         let s = sem.clone();
-        sim.spawn("p", move |ctx| {
+        sim.spawn("p", async move {
             assert_eq!(s.available(), 3);
-            s.acquire_n(&ctx, 2).unwrap();
+            s.acquire_n(2).await.unwrap();
             assert_eq!(s.available(), 1);
-            s.release_n(&ctx, 2);
+            s.release_n(2);
             assert_eq!(s.available(), 3);
         });
         sim.run().unwrap();
@@ -457,15 +479,15 @@ mod tests {
         for name in ["w1", "w2", "w3"] {
             let s = sig.clone();
             let d = done.clone();
-            sim.spawn(name, move |ctx| {
-                s.wait(&ctx).unwrap();
-                d.lock().push((name, ctx.now().as_nanos()));
+            sim.spawn(name, async move {
+                s.wait().await.unwrap();
+                d.lock().push((name, now().as_nanos()));
             });
         }
         let s = sig.clone();
-        sim.spawn("setter", move |ctx| {
-            ctx.delay(SimDuration::from_nanos(30)).unwrap();
-            s.set(&ctx);
+        sim.spawn("setter", async move {
+            delay(SimDuration::from_nanos(30)).await.unwrap();
+            s.set();
         });
         sim.run().unwrap();
         let got = done.lock().clone();
@@ -478,11 +500,11 @@ mod tests {
         let sim = Sim::new();
         let sig = Signal::new();
         let s = sig.clone();
-        sim.spawn("p", move |ctx| {
-            s.set(&ctx);
+        sim.spawn("p", async move {
+            s.set();
             assert!(s.is_set());
-            s.wait(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 0);
+            s.wait().await.unwrap();
+            assert_eq!(now().as_nanos(), 0);
         });
         sim.run().unwrap();
     }
@@ -493,22 +515,22 @@ mod tests {
         let sig = Signal::new();
         {
             let s = sig.clone();
-            sim.spawn("waiter", move |ctx| {
+            sim.spawn("waiter", async move {
                 // First wait times out at 10ns (set comes at 25ns).
-                assert!(!s.wait_timeout(&ctx, SimDuration::from_nanos(10)).unwrap());
-                assert_eq!(ctx.now().as_nanos(), 10);
+                assert!(!s.wait_timeout(SimDuration::from_nanos(10)).await.unwrap());
+                assert_eq!(now().as_nanos(), 10);
                 // Second wait sees the set at 25ns, before its deadline.
-                assert!(s.wait_timeout(&ctx, SimDuration::from_nanos(100)).unwrap());
-                assert_eq!(ctx.now().as_nanos(), 25);
+                assert!(s.wait_timeout(SimDuration::from_nanos(100)).await.unwrap());
+                assert_eq!(now().as_nanos(), 25);
                 // A later delay must not be cut short by any stale wake.
-                ctx.delay(SimDuration::from_nanos(500)).unwrap();
-                assert_eq!(ctx.now().as_nanos(), 525);
+                delay(SimDuration::from_nanos(500)).await.unwrap();
+                assert_eq!(now().as_nanos(), 525);
             });
         }
         let s = sig.clone();
-        sim.spawn("setter", move |ctx| {
-            ctx.delay(SimDuration::from_nanos(25)).unwrap();
-            s.set(&ctx);
+        sim.spawn("setter", async move {
+            delay(SimDuration::from_nanos(25)).await.unwrap();
+            s.set();
         });
         sim.run().unwrap();
     }
@@ -519,11 +541,11 @@ mod tests {
         let sim = Sim::new();
         let sig = Signal::new();
         let s = sig.clone();
-        sim.spawn("p", move |ctx| {
-            assert!(!s.wait_timeout(&ctx, SimDuration::from_nanos(5)).unwrap());
-            s.set(&ctx); // would panic/misfire on a stale self-wake
-            ctx.delay(SimDuration::from_nanos(50)).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 55);
+        sim.spawn("p", async move {
+            assert!(!s.wait_timeout(SimDuration::from_nanos(5)).await.unwrap());
+            s.set(); // would panic/misfire on a stale self-wake
+            delay(SimDuration::from_nanos(50)).await.unwrap();
+            assert_eq!(now().as_nanos(), 55);
         });
         sim.run().unwrap();
     }
@@ -535,15 +557,15 @@ mod tests {
         latch.add(3);
         for i in 1..=3u64 {
             let l = latch.clone();
-            sim.spawn(format!("child{i}"), move |ctx| {
-                ctx.delay(SimDuration::from_nanos(i * 10)).unwrap();
-                l.done(&ctx);
+            sim.spawn(format!("child{i}"), async move {
+                delay(SimDuration::from_nanos(i * 10)).await.unwrap();
+                l.done();
             });
         }
         let l = latch.clone();
-        sim.spawn("parent", move |ctx| {
-            l.wait_zero(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 30);
+        sim.spawn("parent", async move {
+            l.wait_zero().await.unwrap();
+            assert_eq!(now().as_nanos(), 30);
         });
         sim.run().unwrap();
     }
@@ -553,25 +575,25 @@ mod tests {
         let sim = Sim::new();
         let latch = Latch::new();
         let l = latch.clone();
-        sim.spawn("parent", move |ctx| {
+        sim.spawn("parent", async move {
             // Region 1.
             l.add(1);
             let l2 = l.clone();
-            ctx.spawn("c1", move |cctx| {
-                cctx.delay(SimDuration::from_nanos(5)).unwrap();
-                l2.done(&cctx);
+            spawn("c1", async move {
+                delay(SimDuration::from_nanos(5)).await.unwrap();
+                l2.done();
             });
-            l.wait_zero(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 5);
+            l.wait_zero().await.unwrap();
+            assert_eq!(now().as_nanos(), 5);
             // Region 2 raises the count again.
             l.add(1);
             let l3 = l.clone();
-            ctx.spawn("c2", move |cctx| {
-                cctx.delay(SimDuration::from_nanos(7)).unwrap();
-                l3.done(&cctx);
+            spawn("c2", async move {
+                delay(SimDuration::from_nanos(7)).await.unwrap();
+                l3.done();
             });
-            l.wait_zero(&ctx).unwrap();
-            assert_eq!(ctx.now().as_nanos(), 12);
+            l.wait_zero().await.unwrap();
+            assert_eq!(now().as_nanos(), 12);
         });
         sim.run().unwrap();
     }
@@ -584,19 +606,19 @@ mod tests {
         for name in ["w1", "w2"] {
             let b = bell.clone();
             let w = wakeups.clone();
-            sim.spawn(name, move |ctx| {
-                b.wait(&ctx).unwrap();
-                w.lock().push((name, ctx.now().as_nanos()));
-                b.wait(&ctx).unwrap();
-                w.lock().push((name, ctx.now().as_nanos()));
+            sim.spawn(name, async move {
+                b.wait().await.unwrap();
+                w.lock().push((name, now().as_nanos()));
+                b.wait().await.unwrap();
+                w.lock().push((name, now().as_nanos()));
             });
         }
         let b = bell.clone();
-        sim.spawn("ringer", move |ctx| {
-            ctx.delay(SimDuration::from_nanos(10)).unwrap();
-            b.ring(&ctx);
-            ctx.delay(SimDuration::from_nanos(10)).unwrap();
-            b.ring(&ctx);
+        sim.spawn("ringer", async move {
+            delay(SimDuration::from_nanos(10)).await.unwrap();
+            b.ring();
+            delay(SimDuration::from_nanos(10)).await.unwrap();
+            b.ring();
         });
         sim.run().unwrap();
         let got = wakeups.lock().clone();
@@ -607,7 +629,7 @@ mod tests {
     fn bell_ring_with_no_waiters_is_noop() {
         let sim = Sim::new();
         let bell = Bell::new();
-        sim.spawn("p", move |ctx| bell.ring(&ctx));
+        sim.spawn("p", async move { bell.ring() });
         sim.run().unwrap();
     }
 
@@ -616,7 +638,7 @@ mod tests {
     fn latch_underflow_panics() {
         let sim = Sim::new();
         let latch = Latch::new();
-        sim.spawn("p", move |ctx| latch.done(&ctx));
+        sim.spawn("p", async move { latch.done() });
         // The panic is reported through RunError; re-panic for the test.
         if let Err(e) = sim.run() {
             panic!("{e}");

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use proptest::prelude::*;
 
-use ompss_sim::{Channel, Semaphore, Sim, SimDuration};
+use ompss_sim::{delay, spawn, Channel, Semaphore, Sim, SimDuration};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -23,18 +23,18 @@ proptest! {
         let msgs_per = 5u32;
         for (p, (d0, d1)) in delays.clone().into_iter().enumerate() {
             let tx = ch.clone();
-            sim.spawn(format!("producer{p}"), move |ctx| {
+            sim.spawn(format!("producer{p}"), async move {
                 for m in 0..msgs_per {
-                    ctx.delay(SimDuration::from_nanos(d0 + (m as u64 * d1) % 17)).unwrap();
-                    tx.send(&ctx, (p, m));
+                    delay(SimDuration::from_nanos(d0 + (m as u64 * d1) % 17)).await.unwrap();
+                    tx.send((p, m));
                 }
             });
         }
         let got = Arc::new(Mutex::new(Vec::new()));
         let g = got.clone();
         let rx = ch.clone();
-        sim.spawn_daemon("consumer", move |ctx| {
-            while let Ok(v) = rx.recv(&ctx) {
+        sim.process("consumer").daemon().spawn(async move {
+            while let Ok(v) = rx.recv().await {
                 g.lock().push(v);
             }
         });
@@ -65,17 +65,17 @@ proptest! {
             let s = sem.clone();
             let a = active.clone();
             let done = served.clone();
-            sim.spawn(format!("w{w}"), move |ctx| {
-                ctx.delay(SimDuration::from_nanos((w as u64 * 7) % 13)).unwrap();
-                s.acquire(&ctx).unwrap();
+            sim.spawn(format!("w{w}"), async move {
+                delay(SimDuration::from_nanos((w as u64 * 7) % 13)).await.unwrap();
+                s.acquire().await.unwrap();
                 {
                     let mut g = a.lock();
                     g.0 += 1;
                     g.1 = g.1.max(g.0);
                 }
-                ctx.delay(SimDuration::from_nanos(hold)).unwrap();
+                delay(SimDuration::from_nanos(hold)).await.unwrap();
                 a.lock().0 -= 1;
-                s.release(&ctx);
+                s.release();
                 *done.lock() += 1;
             });
         }
@@ -95,9 +95,9 @@ proptest! {
         let run = |prog: Vec<Vec<u64>>| {
             let sim = Sim::new();
             for (i, delays) in prog.into_iter().enumerate() {
-                sim.spawn(format!("p{i}"), move |ctx| {
+                sim.spawn(format!("p{i}"), async move {
                     for d in delays {
-                        ctx.delay(SimDuration::from_nanos(d)).unwrap();
+                        delay(SimDuration::from_nanos(d)).await.unwrap();
                     }
                 });
             }
@@ -105,5 +105,54 @@ proptest! {
             (r.end_time, r.events)
         };
         prop_assert_eq!(run(prog.clone()), run(prog));
+    }
+
+    /// Executor determinism under the full primitive mix: an interleaved
+    /// spawn/delay/channel workload produces the identical event order
+    /// (observed trace) and identical RunReport fingerprint on every run.
+    #[test]
+    fn interleaved_spawn_delay_channel_workloads_fingerprint_identically(
+        groups in proptest::collection::vec((1u64..60, 1u64..8, 1u64..6), 1..12)
+    ) {
+        let run = |groups: &[(u64, u64, u64)]| {
+            let trace = Arc::new(Mutex::new(Vec::new()));
+            let sim = Sim::new();
+            let ch: Channel<u64> = Channel::new();
+            for (g, &(d, msgs, kids)) in groups.iter().enumerate() {
+                let tx = ch.clone();
+                let tr = trace.clone();
+                sim.spawn(format!("g{g}"), async move {
+                    for k in 0..kids {
+                        let tx = tx.clone();
+                        let tr = tr.clone();
+                        spawn(format!("g{g}k{k}"), async move {
+                            delay(SimDuration::from_nanos(d * (k + 1))).await.unwrap();
+                            for m in 0..msgs {
+                                tx.send(g as u64 * 1000 + k * 100 + m);
+                                delay(SimDuration::from_nanos(d % 7 + 1)).await.unwrap();
+                            }
+                            tr.lock().push((ompss_sim::now().as_nanos(), g as u64, k));
+                        });
+                    }
+                    delay(SimDuration::from_nanos(d)).await.unwrap();
+                });
+            }
+            let total: u64 = groups.iter().map(|&(_, m, k)| m * k).sum();
+            let rx = ch.clone();
+            let tr = trace.clone();
+            sim.spawn("drain", async move {
+                for _ in 0..total {
+                    let v = rx.recv().await.unwrap();
+                    tr.lock().push((ompss_sim::now().as_nanos(), u64::MAX, v));
+                }
+            });
+            let r = sim.run().unwrap();
+            let t = trace.lock().clone();
+            (t, (r.end_time.as_nanos(), r.events, r.clock_advances, r.processes as u64))
+        };
+        let (trace_a, fp_a) = run(&groups);
+        let (trace_b, fp_b) = run(&groups);
+        prop_assert_eq!(trace_a, trace_b, "event order diverged between identical runs");
+        prop_assert_eq!(fp_a, fp_b, "RunReport fingerprint diverged between identical runs");
     }
 }

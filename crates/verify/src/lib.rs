@@ -302,7 +302,8 @@ mod tests {
         // Only the `verify` field matters to `validate`; fabricate the
         // rest through a real (tiny) run to keep the struct honest.
         let mut rep =
-            ompss_runtime::Runtime::run(ompss_runtime::RuntimeConfig::multi_gpu(1), |_omp| {});
+            ompss_runtime::Runtime::run(ompss_runtime::RuntimeConfig::multi_gpu(1), |_omp| async {
+            });
         rep.verify = Some(v);
         rep
     }

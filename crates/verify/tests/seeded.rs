@@ -26,7 +26,7 @@ fn sole(findings: Vec<Finding>) -> Finding {
 
 #[test]
 fn undeclared_write_yields_one_finding() {
-    let rep = Runtime::run(cfg(), |omp| {
+    let rep = Runtime::run(cfg(), |omp| async move {
         let data = omp.alloc_array::<f32>(64);
         let other = omp.alloc_array::<f32>(64);
         let r1 = data.region(0..64);
@@ -35,7 +35,8 @@ fn undeclared_write_yields_one_finding() {
         // `other` — the graph cannot order that write against anyone.
         omp.submit(TaskSpec::new("bad_write").device(Device::Smp).input(r1).body(move |_v| {
             track::record_write(r2);
-        }));
+        }))
+        .await;
     });
     let f = sole(validate(&rep));
     assert_eq!(f.kind, FindingKind::UndeclaredWrite);
@@ -44,14 +45,15 @@ fn undeclared_write_yields_one_finding() {
 
 #[test]
 fn write_through_input_yields_one_finding() {
-    let rep = Runtime::run(cfg(), |omp| {
+    let rep = Runtime::run(cfg(), |omp| async move {
         let data = omp.alloc_array::<f32>(64);
         let r1 = data.region(0..64);
         // No explicit recording needed: the byte diff catches the
         // mutation through the input-declared view.
         omp.submit(TaskSpec::new("sneaky").device(Device::Smp).input(r1).body(move |v| {
             v[0][0] ^= 0xff;
-        }));
+        }))
+        .await;
     });
     let f = sole(validate(&rep));
     assert_eq!(f.kind, FindingKind::WriteThroughInput);
@@ -60,7 +62,7 @@ fn write_through_input_yields_one_finding() {
 
 #[test]
 fn concurrent_writers_yield_one_finding() {
-    let rep = Runtime::run(cfg(), |omp| {
+    let rep = Runtime::run(cfg(), |omp| async move {
         let decoy = omp.alloc_array::<f32>(64);
         let shared = omp.alloc_array::<f32>(64);
         let r3 = shared.region(0..64);
@@ -70,7 +72,8 @@ fn concurrent_writers_yield_one_finding() {
                 move |_v| {
                     track::record_write(r3);
                 },
-            ));
+            ))
+            .await;
         }
     });
     // One ConcurrentWriters finding; the two undeclared writes that
@@ -82,7 +85,7 @@ fn concurrent_writers_yield_one_finding() {
 
 #[test]
 fn stale_read_yields_one_finding() {
-    let rep = Runtime::run(cfg(), |omp| {
+    let rep = Runtime::run(cfg(), |omp| async move {
         let data = omp.alloc_array::<f32>(64);
         let other = omp.alloc_array::<f32>(64);
         let r4 = data.region(0..64);
@@ -91,12 +94,14 @@ fn stale_read_yields_one_finding() {
             move |_v| {
                 track::record_write(r4);
             },
-        ));
+        ))
+        .await;
         // Reads the producer's region without declaring it: nothing
         // orders this read after (or before) the write.
         omp.submit(TaskSpec::new("racy_reader").device(Device::Smp).input(ro).body(move |_v| {
             track::record_read(r4);
-        }));
+        }))
+        .await;
     });
     // One StaleRead finding anchored on the reader; its undeclared
     // read is suppressed, and the producer's write was declared.
@@ -109,7 +114,7 @@ fn stale_read_yields_one_finding() {
 /// version of the same pattern is clean.
 #[test]
 fn declared_ordered_version_is_clean() {
-    let rep = Runtime::run(cfg(), |omp| {
+    let rep = Runtime::run(cfg(), |omp| async move {
         let data = omp.alloc_array::<f32>(64);
         let r = data.region(0..64);
         omp.submit(TaskSpec::new("producer").device(Device::Smp).output(r).cost_smp(slow()).body(
@@ -117,10 +122,12 @@ fn declared_ordered_version_is_clean() {
                 track::record_write(r);
                 v[0].fill(1);
             },
-        ));
+        ))
+        .await;
         omp.submit(TaskSpec::new("consumer").device(Device::Smp).input(r).body(move |_v| {
             track::record_read(r);
-        }));
+        }))
+        .await;
     });
     let findings = validate(&rep);
     assert!(findings.is_empty(), "{findings:?}");

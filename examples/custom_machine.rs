@@ -18,19 +18,19 @@ fn main() {
     // Part 1: drive the simulated CUDA layer directly — the substrate
     // the runtime's GPU managers are built on.
     let sim = Sim::new();
-    sim.spawn("cuda-demo", |ctx| {
+    sim.spawn("cuda-demo", async {
         let dev = GpuDevice::new("demo", GpuSpec::gtx_480());
-        let compute = dev.create_stream(&ctx, "compute");
-        let copies = dev.create_stream(&ctx, "copies");
+        let compute = dev.create_stream("compute");
+        let copies = dev.create_stream("copies");
         // A 4 ms kernel and a pinned 8 MB upload, on separate streams:
-        let k = compute.launch_async(&ctx, KernelCost::fixed(SimDuration::from_millis(4)), None);
-        let c = copies.memcpy_async(&ctx, CopyDir::H2D, 8 << 20, true, None);
-        c.synchronize(&ctx).unwrap();
-        let copy_done = ctx.now();
-        k.synchronize(&ctx).unwrap();
+        let k = compute.launch_async(KernelCost::fixed(SimDuration::from_millis(4)), None);
+        let c = copies.memcpy_async(CopyDir::H2D, 8 << 20, true, None);
+        c.synchronize().await.unwrap();
+        let copy_done = now();
+        k.synchronize().await.unwrap();
         println!(
             "substrate demo: pinned copy finished at {copy_done}, kernel at {} — they overlapped",
-            ctx.now()
+            now()
         );
     });
     sim.run().unwrap();

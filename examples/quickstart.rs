@@ -18,7 +18,7 @@ const A: f32 = 2.5;
 /// The annotated program: the paper's `#pragma omp target device(cuda)
 /// copy_deps` + `#pragma omp task input([BS]x) inout([BS]y)` pair,
 /// lowered to the runtime API.
-fn saxpy(omp: &ompss::Omp) -> Vec<f32> {
+async fn saxpy(omp: &ompss::Omp) -> Vec<f32> {
     let x = omp.alloc_array::<f32>(N);
     let y = omp.alloc_array::<f32>(N);
     omp.write_array(&x, 0, &(0..N).map(|i| i as f32).collect::<Vec<_>>());
@@ -39,9 +39,10 @@ fn saxpy(omp: &ompss::Omp) -> Vec<f32> {
                         *yv += A * xv;
                     }
                 }),
-        );
+        )
+        .await;
     }
-    omp.taskwait(); // wait + flush results back to the host
+    omp.taskwait().await; // wait + flush results back to the host
     omp.read_array(&y, 0..N).expect("real backing")
 }
 
@@ -54,8 +55,8 @@ fn main() {
     for (name, cfg) in machines {
         let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
         let out2 = out.clone();
-        let report = Runtime::run(cfg, move |omp| {
-            *out2.lock() = saxpy(omp);
+        let report = Runtime::run(cfg, move |omp| async move {
+            *out2.lock() = saxpy(&omp).await;
         });
         let y = out.lock().clone();
         // Validate against the closed form: y[i] = 1 + A·i.

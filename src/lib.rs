@@ -15,7 +15,7 @@
 //!
 //! // Two GPUs in one node; swap for `RuntimeConfig::gpu_cluster(8)`
 //! // and the program below is untouched.
-//! let report = Runtime::run(RuntimeConfig::multi_gpu(2), |omp| {
+//! let report = Runtime::run(RuntimeConfig::multi_gpu(2), |omp| async move {
 //!     let a = omp.alloc_array::<f32>(1 << 12);
 //!     for j in (0..1 << 12).step_by(1 << 10) {
 //!         let r = a.region(j..j + (1 << 10));
@@ -29,9 +29,10 @@
 //!                         *x = 2.0 * *x + 1.0;
 //!                     }
 //!                 }),
-//!         );
+//!         )
+//!         .await;
 //!     }
-//!     omp.taskwait();
+//!     omp.taskwait().await;
 //! });
 //! assert_eq!(report.tasks, 4);
 //! ```
@@ -61,12 +62,12 @@ pub use ompss_runtime::{
 /// ```
 /// use ompss::prelude::*;
 ///
-/// let report = Runtime::run(RuntimeConfig::multi_gpu(1), |omp| {
+/// let report = Runtime::run(RuntimeConfig::multi_gpu(1), |omp| async move {
 ///     let a = omp.alloc_array::<f32>(256);
 ///     // A bare handle in a clause means the whole array; `submit`
 ///     // returns a handle for `taskwait on`-style point waits.
-///     let h = omp.submit(TaskSpec::new("init").device(Device::Smp).output(a));
-///     omp.taskwait_on_handle(&h);
+///     let h = omp.submit(TaskSpec::new("init").device(Device::Smp).output(a)).await;
+///     omp.taskwait_on_handle(&h).await;
 /// });
 /// assert_eq!(report.tasks, 1);
 /// ```
@@ -78,6 +79,9 @@ pub mod prelude {
         ArrayHandle, CachePolicy, Omp, Policy, RunReport, Runtime, RuntimeConfig, SimDuration,
         SlaveRouting, TaskHandle, TaskSpec,
     };
+    // Ambient-context accessors, usable directly inside any `async`
+    // task or process body — no handle threading required.
+    pub use ompss_sim::{abort_run, delay, now, pid, yield_now};
 }
 
 /// The evaluation applications (Matmul, STREAM, Perlin, N-Body) in
@@ -91,14 +95,15 @@ pub use ompss_apps as apps;
 /// ```
 /// use ompss::{Device, Runtime, RuntimeConfig, TaskSpec};
 ///
-/// let report = Runtime::run(RuntimeConfig::multi_gpu(1).with_verify(true), |omp| {
+/// let report = Runtime::run(RuntimeConfig::multi_gpu(1).with_verify(true), |omp| async move {
 ///     let a = omp.alloc_array::<f32>(64);
 ///     let r = a.region(0..64);
 ///     // Mutates its view despite declaring only `input` — the byte
 ///     // diff catches it.
 ///     omp.submit(TaskSpec::new("sneaky").device(Device::Smp).input(r).body(|v| {
 ///         v[0][0] ^= 1;
-///     }));
+///     }))
+///     .await;
 /// });
 /// let findings = ompss::verify::validate(&report);
 /// assert_eq!(findings.len(), 1);
@@ -113,5 +118,7 @@ pub mod substrate {
     pub use ompss_cudasim::{CopyDir, CudaEvent, GpuDevice, PinnedPool, Stream};
     pub use ompss_mem::{MemoryManager, SpaceId, SpaceKind};
     pub use ompss_net::{AmEndpoint, AmNet, Fabric, FabricConfig, Mpi, MpiRank};
-    pub use ompss_sim::{Bell, Channel, Ctx, Latch, Semaphore, Signal, Sim};
+    pub use ompss_sim::{
+        delay, now, pid, process, spawn, yield_now, Bell, Channel, Latch, Semaphore, Signal, Sim,
+    };
 }

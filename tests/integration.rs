@@ -18,7 +18,7 @@ fn heterogeneous_cpu_gpu_pipeline_validates() {
     let bs = 512usize;
     let sum = std::sync::Arc::new(parking_lot::Mutex::new(0.0f64));
     let sum2 = sum.clone();
-    Runtime::run(RuntimeConfig::multi_gpu(2), move |omp| {
+    Runtime::run(RuntimeConfig::multi_gpu(2), move |omp| async move {
         let x = omp.alloc_array::<f32>(n);
         let y = omp.alloc_array::<f32>(n);
         let acc = omp.alloc_array::<f32>(n / bs);
@@ -34,7 +34,8 @@ fn heterogeneous_cpu_gpu_pipeline_validates() {
                             *e = (j + o) as f32;
                         }
                     }),
-            );
+            )
+            .await;
         }
         // Stage 2 (GPU): y = x * 2.
         for j in (0..n).step_by(bs) {
@@ -50,7 +51,8 @@ fn heterogeneous_cpu_gpu_pipeline_validates() {
                             *e = 2.0 * cast_slice::<f32>(xs)[o];
                         }
                     }),
-            );
+            )
+            .await;
         }
         // Stage 3 (CPU): per-block sums.
         for (b, j) in (0..n).step_by(bs).enumerate() {
@@ -65,9 +67,10 @@ fn heterogeneous_cpu_gpu_pipeline_validates() {
                         let s: f32 = cast_slice::<f32>(ys).iter().sum();
                         cast_slice_mut::<f32>(out[0])[0] = s;
                     }),
-            );
+            )
+            .await;
         }
-        omp.taskwait();
+        omp.taskwait().await;
         let partials = omp.read_array(&acc, 0..n / bs).unwrap();
         *sum2.lock() = partials.iter().map(|&p| p as f64).sum();
     });
@@ -144,13 +147,13 @@ fn substrate_layer_usable_directly() {
     use ompss::GpuSpec;
 
     let sim = Sim::new();
-    sim.spawn("driver", |ctx| {
+    sim.spawn("driver", async {
         let dev = GpuDevice::new("g", GpuSpec::tesla_s2050());
-        let s = dev.create_stream(&ctx, "s");
-        let k = s.launch_async(&ctx, KernelCost::fixed(SimDuration::from_millis(2)), None);
-        let c = s.memcpy_async(&ctx, CopyDir::D2H, 1 << 20, false, None);
+        let s = dev.create_stream("s");
+        let k = s.launch_async(KernelCost::fixed(SimDuration::from_millis(2)), None);
+        let c = s.memcpy_async(CopyDir::D2H, 1 << 20, false, None);
         // Same stream: FIFO — the copy completes after the kernel.
-        c.synchronize(&ctx).unwrap();
+        c.synchronize().await.unwrap();
         assert!(k.query());
         let st = dev.stats();
         assert_eq!(st.kernels, 1);
@@ -164,7 +167,7 @@ fn substrate_layer_usable_directly() {
 #[test]
 fn taskwait_variants_through_facade() {
     // Two GPUs so the short task is not queued behind the long one.
-    Runtime::run(RuntimeConfig::multi_gpu(2), |omp| {
+    Runtime::run(RuntimeConfig::multi_gpu(2), |omp| async move {
         let a = omp.alloc_array::<f32>(256);
         let b = omp.alloc_array::<f32>(256);
         omp.submit(
@@ -173,22 +176,24 @@ fn taskwait_variants_through_facade() {
                 .output(a.full())
                 .cost_gpu(KernelCost::fixed(SimDuration::from_millis(5)))
                 .body(|v| cast_slice_mut::<f32>(v[0]).fill(1.0)),
-        );
+        )
+        .await;
         omp.submit(
             TaskSpec::new("wb")
                 .device(Device::Cuda)
                 .output(b.full())
                 .cost_gpu(KernelCost::fixed(SimDuration::from_micros(50)))
                 .body(|v| cast_slice_mut::<f32>(v[0]).fill(2.0)),
-        );
+        )
+        .await;
         let t0 = omp.now();
-        omp.taskwait_on(b.full());
+        omp.taskwait_on(b.full()).await;
         assert!(omp.now() - t0 < SimDuration::from_millis(2), "must not wait for task wa");
         assert_eq!(omp.read_array(&b, 0..1).unwrap(), vec![2.0]);
-        omp.taskwait_noflush();
+        omp.taskwait_noflush().await;
         // a finished but was not flushed:
         assert_eq!(omp.read_array(&a, 0..1).unwrap(), vec![0.0]);
-        omp.taskwait();
+        omp.taskwait().await;
         assert_eq!(omp.read_array(&a, 0..1).unwrap(), vec![1.0]);
     });
 }
@@ -197,8 +202,9 @@ fn taskwait_variants_through_facade() {
 /// reports consistent accounting.
 #[test]
 fn large_cluster_mixed_device_accounting() {
-    let report =
-        Runtime::run(RuntimeConfig::gpu_cluster(8).with_backing(Backing::Phantom), |omp| {
+    let report = Runtime::run(
+        RuntimeConfig::gpu_cluster(8).with_backing(Backing::Phantom),
+        |omp| async move {
             let a = omp.alloc_array::<f32>(64 * 1024);
             for j in (0..64 * 1024).step_by(4096) {
                 let r = a.region(j..j + 4096);
@@ -207,9 +213,10 @@ fn large_cluster_mixed_device_accounting() {
                         .device(Device::Cuda)
                         .inout(r)
                         .cost_gpu(KernelCost::fixed(SimDuration::from_micros(400))),
-                );
+                )
+                .await;
             }
-            omp.taskwait_noflush();
+            omp.taskwait_noflush().await;
             for j in (0..64 * 1024).step_by(4096) {
                 let r = a.region(j..j + 4096);
                 omp.submit(
@@ -217,10 +224,12 @@ fn large_cluster_mixed_device_accounting() {
                         .device(Device::Smp)
                         .inout(r)
                         .cost_smp(SimDuration::from_micros(300)),
-                );
+                )
+                .await;
             }
-            omp.taskwait();
-        });
+            omp.taskwait().await;
+        },
+    );
     assert_eq!(report.tasks, 32);
     assert_eq!(report.gpus.len(), 8);
     let kernels: u64 = report.gpus.iter().map(|(_, g)| g.kernels).sum();
