@@ -8,6 +8,7 @@
 #   ./ci.sh chaos    # only the fault-injection sweep over the apps
 #   ./ci.sh bench    # wall-clock spine: fail on >20% macro regression
 #   ./ci.sh scale    # 1000-node cluster demonstration (release)
+#   ./ci.sh mc       # bounded model-check of matmul+stream schedules
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,6 +32,18 @@ bench() {
 scale() {
     echo "==> 1000-node cluster demonstration (release, in-memory)"
     cargo test -q --release -p ompss-runtime --test runtime_tests -- --ignored thousand_node
+}
+
+mc() {
+    echo "==> ompss-mc (matmul+stream, 2-node cluster, >=1000 interleavings each)"
+    cargo run -q --release -p ompss-mc --bin mc -- \
+        --apps matmul,stream --nodes 2 --max-interleavings 1200 --min-interleavings 1000
+}
+
+mc_defects() {
+    echo "==> ompss-mc seeded-defect corpus (cfg mc_defects build)"
+    RUSTFLAGS="--cfg mc_defects" CARGO_TARGET_DIR=target/mc-defects \
+        cargo test -q -p ompss-mc --test defects
 }
 
 if [[ "${1:-}" == "verify" ]]; then
@@ -57,6 +70,12 @@ if [[ "${1:-}" == "scale" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "mc" ]]; then
+    mc
+    echo "CI green."
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -75,5 +94,11 @@ cargo test --workspace -q
 verify
 
 chaos
+
+mc
+
+if [[ "${1:-}" != "quick" ]]; then
+    mc_defects
+fi
 
 echo "CI green."

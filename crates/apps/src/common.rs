@@ -30,6 +30,26 @@ pub struct AppRun {
     pub report: Option<ompss_runtime::RunReport>,
 }
 
+/// Unwrap a fallible OmpSs app run, panicking with the same messages
+/// [`Runtime::run`] would have produced. The `run` entry point of each
+/// OmpSs version is `try_run` plus this, so harnesses that want the
+/// failure as a value (schedule exploration, model checking) share one
+/// program body with the crash-on-failure callers.
+///
+/// [`Runtime::run`]: ompss_runtime::Runtime::run
+pub fn unwrap_run(result: Result<AppRun, ompss_runtime::RunError>) -> AppRun {
+    use ompss_runtime::RunError;
+    match result {
+        Ok(r) => r,
+        Err(RunError::Deadlock { blocked }) => {
+            let names: Vec<&str> = blocked.iter().map(|p| p.name.as_str()).collect();
+            panic!("runtime deadlock; stuck: {names:?}")
+        }
+        Err(RunError::ProcessPanic(name, msg)) => panic!("process '{name}' panicked: {msg}"),
+        Err(e) => panic!("run failed: {e}"),
+    }
+}
+
 /// Run `fut` as the only process of a fresh simulation and return its
 /// result.
 pub fn run_single<R: Send + 'static>(

@@ -4,9 +4,9 @@
 //! caches them, and keeps the dependence chains per C tile.
 
 use ompss_mem::track;
-use ompss_runtime::{task_views, Device, Omp, Runtime, RuntimeConfig, TaskSpec};
+use ompss_runtime::{task_views, Device, Omp, RunError, Runtime, RuntimeConfig, TaskSpec};
 
-use crate::common::{gflops, AppRun, PhaseTimer};
+use crate::common::{gflops, unwrap_run, AppRun, PhaseTimer};
 
 use super::{init_a, init_b, sgemm_tile, MatmulParams};
 
@@ -26,6 +26,12 @@ pub enum InitMode {
 /// Run the OmpSs version; measures the multiply phase (init excluded,
 /// as its point is data *placement*).
 pub fn run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> AppRun {
+    unwrap_run(try_run(cfg, p, init))
+}
+
+/// Like [`run`], but surfaces deadlocks and executor failures as a
+/// [`RunError`] value instead of panicking.
+pub fn try_run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> Result<AppRun, RunError> {
     let out = std::sync::Arc::new(parking_lot::Mutex::new(AppRun {
         elapsed: ompss_sim::SimDuration::ZERO,
         metric: 0.0,
@@ -33,7 +39,7 @@ pub fn run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> AppRun {
         report: None,
     }));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| async move {
+    let rep = Runtime::try_run(cfg, move |omp| async move {
         let a = omp.alloc_array::<f32>(p.matrix_elems());
         let b = omp.alloc_array::<f32>(p.matrix_elems());
         let c = omp.alloc_array::<f32>(p.matrix_elems());
@@ -70,10 +76,10 @@ pub fn run(cfg: RuntimeConfig, p: MatmulParams, init: InitMode) -> AppRun {
 
         let check = if p.real { omp.read_array(&c, 0..p.matrix_elems()) } else { None };
         *out2.lock() = AppRun { elapsed, metric: gflops(p.flops(), elapsed), check, report: None };
-    });
+    })?;
     let mut r = out.lock().clone();
     r.report = Some(rep);
-    r
+    Ok(r)
 }
 
 async fn submit_gemms(

@@ -6,17 +6,23 @@
 //! GPU each iteration.
 
 use ompss_mem::{cast_slice, track};
-use ompss_runtime::{Device, Runtime, RuntimeConfig, TaskSpec};
+use ompss_runtime::{Device, RunError, Runtime, RuntimeConfig, TaskSpec};
 
-use crate::common::{gflops, AppRun, PhaseTimer};
+use crate::common::{gflops, unwrap_run, AppRun, PhaseTimer};
 
 use super::{step_block, NbodyParams};
 
 /// Run the OmpSs version.
 pub fn run(cfg: RuntimeConfig, p: NbodyParams) -> AppRun {
+    unwrap_run(try_run(cfg, p))
+}
+
+/// Like [`run`], but surfaces deadlocks and executor failures as a
+/// [`RunError`] value instead of panicking.
+pub fn try_run(cfg: RuntimeConfig, p: NbodyParams) -> Result<AppRun, RunError> {
     let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| async move {
+    let rep = Runtime::try_run(cfg, move |omp| async move {
         // One position array per round: each iteration produces a fresh
         // snapshot that must be distributed to all GPUs (the paper's
         // "data from the previous round"), while older rounds linger as
@@ -77,8 +83,8 @@ pub fn run(cfg: RuntimeConfig, p: NbodyParams) -> AppRun {
         let check = if p.real { omp.read_array(&pos[p.iters], 0..4 * p.n) } else { None };
         *out2.lock() =
             Some(AppRun { elapsed, metric: gflops(p.flops(), elapsed), check, report: None });
-    });
+    })?;
     let mut r = out.lock().take().unwrap();
     r.report = Some(rep);
-    r
+    Ok(r)
 }

@@ -5,17 +5,23 @@
 //! graph.
 
 use ompss_mem::track;
-use ompss_runtime::{task_views, Device, Runtime, RuntimeConfig, TaskSpec};
+use ompss_runtime::{task_views, Device, RunError, Runtime, RuntimeConfig, TaskSpec};
 
-use crate::common::{mpixels, AppRun, PhaseTimer};
+use crate::common::{mpixels, unwrap_run, AppRun, PhaseTimer};
 
 use super::{filter_block, PerlinParams};
 
 /// Run the OmpSs version. `flush` selects the paper's Flush variant.
 pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
+    unwrap_run(try_run(cfg, p, flush))
+}
+
+/// Like [`run`], but surfaces deadlocks and executor failures as a
+/// [`RunError`] value instead of panicking.
+pub fn try_run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> Result<AppRun, RunError> {
     let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| async move {
+    let rep = Runtime::try_run(cfg, move |omp| async move {
         let image = omp.alloc_array::<u32>(p.pixels());
         // The blank frame is produced in place by tasks, which also
         // distributes the row blocks across devices.
@@ -64,8 +70,8 @@ pub fn run(cfg: RuntimeConfig, p: PerlinParams, flush: bool) -> AppRun {
             check,
             report: None,
         });
-    });
+    })?;
     let mut r = out.lock().take().unwrap();
     r.report = Some(rep);
-    r
+    Ok(r)
 }

@@ -5,17 +5,29 @@
 //! footprint-derived default cost applies.
 
 use ompss_mem::track;
-use ompss_runtime::{task_views, Device, Runtime, RuntimeConfig, TaskSpec};
+use ompss_runtime::{task_views, Device, RunError, Runtime, RuntimeConfig, TaskSpec};
 
-use crate::common::{gbs, AppRun, PhaseTimer};
+use crate::common::{gbs, unwrap_run, AppRun, PhaseTimer};
 
 use super::{kernels, StreamParams};
 
 /// Run the OmpSs version; measures the `ntimes` sweeps.
 pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
+    unwrap_run(try_run(cfg, p))
+}
+
+/// Like [`run`], but surfaces deadlocks and executor failures as a
+/// [`RunError`] value instead of panicking.
+pub fn try_run(cfg: RuntimeConfig, p: StreamParams) -> Result<AppRun, RunError> {
+    // Seeded defect "stream": declare the scale kernel's read of `c`
+    // as an output clause instead. The WAW edge still orders the task
+    // after `copy`, so results stay right under every schedule — only
+    // clause conformance (the body records a read that no input/inout
+    // clause covers) can catch the lie.
+    let defect = ompss_sim::defects::armed("stream");
     let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
     let out2 = out.clone();
-    let rep = Runtime::run(cfg, move |omp| async move {
+    let rep = Runtime::try_run(cfg, move |omp| async move {
         let a = omp.alloc_array::<f64>(p.n);
         let b = omp.alloc_array::<f64>(p.n);
         let c = omp.alloc_array::<f64>(p.n);
@@ -56,14 +68,14 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
             }
             for j in (0..p.n).step_by(p.bsize) {
                 let (rc, rb) = (c.region(j..j + p.bsize), b.region(j..j + p.bsize));
-                omp.submit(TaskSpec::new("scale").device(Device::Cuda).input(rc).output(rb).body(
-                    move |v| {
-                        task_views!(v => cv: f64, bv: f64);
-                        track::record_read(rc);
-                        track::record_write(rb);
-                        kernels::scale(cv, bv);
-                    },
-                ))
+                let spec = TaskSpec::new("scale").device(Device::Cuda);
+                let spec = if defect { spec.output(rc) } else { spec.input(rc) };
+                omp.submit(spec.output(rb).body(move |v| {
+                    task_views!(v => cv: f64, bv: f64);
+                    track::record_read(rc);
+                    track::record_write(rb);
+                    kernels::scale(cv, bv);
+                }))
                 .await;
             }
             for j in (0..p.n).step_by(p.bsize) {
@@ -116,8 +128,8 @@ pub fn run(cfg: RuntimeConfig, p: StreamParams) -> AppRun {
         };
         *out2.lock() =
             Some(AppRun { elapsed, metric: gbs(p.total_bytes(), elapsed), check, report: None });
-    });
+    })?;
     let mut r = out.lock().take().unwrap();
     r.report = Some(rep);
-    r
+    Ok(r)
 }

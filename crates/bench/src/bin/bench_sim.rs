@@ -112,7 +112,7 @@ fn des_spawn_micro() -> (f64, u64, u64) {
     let sim = Sim::new();
     sim.spawn("spawner", async {
         for i in 0..SPAWN_PROCESSES {
-            ompss_sim::spawn(format!("p{i}"), async {
+            ompss_sim::spawn(("p", i), async {
                 ompss_sim::yield_now().await.unwrap();
             });
         }

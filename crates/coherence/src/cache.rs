@@ -49,6 +49,22 @@ use ompss_sim::{now, Signal, SimError, SimResult};
 
 use crate::topo::{HopKind, Topology};
 
+/// Report a coherence-region touch to an armed model checker (no-op
+/// otherwise — see [`ompss_sim::mc_touch`]). Region identity is hashed
+/// (FNV-1a) into the resource-id space with the top bit set, so region
+/// ids can never collide with the small counter ids primitives get
+/// from [`ompss_sim::mc_resource_id`].
+fn mc_touch_region(region: &Region) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in [region.data.0, region.offset, region.len] {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    ompss_sim::mc_touch(h | (1 << 63));
+}
+
 /// The cache write policy (`NX_CACHE_POLICY` in Nanos++).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CachePolicy {
@@ -473,6 +489,7 @@ impl Coherence {
             let mut inner = self.inner.lock();
             let mut written = Vec::new();
             for a in accesses {
+                mc_touch_region(&a.region);
                 if !a.kind.writes() {
                     continue;
                 }
@@ -733,6 +750,7 @@ impl Coherence {
         pin: bool,
         purpose: TransferPurpose,
     ) -> SimResult<()> {
+        mc_touch_region(region);
         let mut first_check = true;
         loop {
             let step: Step = {
@@ -880,6 +898,7 @@ impl Coherence {
         region: &Region,
         target: SpaceId,
     ) -> SimResult<()> {
+        mc_touch_region(region);
         loop {
             let step: Step = {
                 let mut guard = self.inner.lock();

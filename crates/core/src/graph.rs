@@ -509,6 +509,18 @@ impl TaskGraph {
         &self.lints
     }
 
+    /// Introspection for ahead-of-run analysis (the `ompss-mc` static
+    /// lints): every submitted task in submission order, with its label
+    /// and the dependence successors recorded at submission time. Edges
+    /// only exist toward tasks submitted while the predecessor was
+    /// still live — completed-before-submission orderings are temporal,
+    /// not edges (see [`TaskGraph::happens_before`]).
+    pub fn tasks_snapshot(&self) -> Vec<(TaskId, &str, &[TaskId])> {
+        let mut v: Vec<(&TaskId, &Node)> = self.nodes.iter().collect();
+        v.sort_by_key(|(_, n)| n.seq);
+        v.into_iter().map(|(id, n)| (*id, n.label.as_str(), n.succs.as_slice())).collect()
+    }
+
     /// Retain up to `depth` writers per region for lineage-based
     /// reconstruction (node-loss recovery). Enable *before* submitting
     /// tasks — history is recorded at submission, not retroactively.

@@ -1,0 +1,72 @@
+//! # ompss-mc — schedule-space model checking for the OmpSs runtime
+//!
+//! The discrete-event executor under the whole runtime is
+//! deterministic: co-enabled events (same virtual instant) dispatch in
+//! sequence order. That determinism is what makes simulation results
+//! reproducible — and what hides every bug that only exists under
+//! *another* legal order. This crate takes control of exactly that
+//! tie-break ([`ompss_sim::install_tie_break`]) and explores the
+//! schedule space loom-style: stateless depth-first search over
+//! re-executions, pruned with sleep sets built on a step-footprint
+//! independence relation (two steps commute unless they share a
+//! process, a synchronisation primitive, or a coherence region), under
+//! configurable depth and preemption bounds.
+//!
+//! Every interleaving is judged by four oracles — output-fingerprint
+//! determinism, deadlock freedom (with per-process blocked dumps),
+//! executor epoch/wake-coalescing invariants, and `ompss-verify`
+//! clause/race findings — and every finding carries a replayable
+//! choice trace ([`explore::replay`]).
+//!
+//! Ahead of any exploration, [`spec::GraphSpec`] lints the *declared*
+//! task graph: unsatisfiable clause declarations, waits no producer
+//! can satisfy, dependence/wait cycles, unreachable tasks.
+//!
+//! The `mc` binary drives the shipped applications through both
+//! passes; `./ci.sh mc` is the quick entry point.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod controller;
+pub mod explore;
+pub mod spec;
+
+pub use controller::{ChoiceRecord, RecordingController};
+pub use explore::{explore, parse_trace, replay, trace_string, McConfig, McReport, RunOutcome};
+pub use spec::{GraphSpec, SpecTask};
+
+/// FNV-1a fingerprint of an application's observable result: the
+/// output's f32 bit patterns plus the executed task count. Virtual
+/// times and event counts are deliberately excluded — reordering
+/// co-enabled events legitimately shifts timing; only the *data* must
+/// be schedule-invariant.
+pub fn fingerprint(check: Option<&[f32]>, tasks: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    if let Some(vals) = check {
+        for v in vals {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    eat(&tasks.to_le_bytes());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_outputs_and_counts() {
+        let a = fingerprint(Some(&[1.0, 2.0]), 4);
+        assert_eq!(a, fingerprint(Some(&[1.0, 2.0]), 4));
+        assert_ne!(a, fingerprint(Some(&[1.0, 2.5]), 4));
+        assert_ne!(a, fingerprint(Some(&[1.0, 2.0]), 5));
+    }
+}

@@ -1,0 +1,339 @@
+//! Ahead-of-run task-graph lints.
+//!
+//! A [`GraphSpec`] is the *declared* shape of a program — its tasks'
+//! dependence clauses plus any sentinel waits their bodies will block
+//! on — checked before a single task runs. The pass reuses the real
+//! [`TaskGraph`] builder for clause admission (so it rejects exactly
+//! what the runtime would) and then analyses the combined
+//! dependence + wait edge set:
+//!
+//! * [`FindingKind::UnsatisfiableClause`] — a declaration the graph
+//!   builder rejects outright (partial region overlap, duplicate id).
+//! * [`FindingKind::UnsatisfiableWait`] — a body waits on a region no
+//!   task in the spec produces; under sentinel-wait semantics (wait
+//!   until a producer completes) it blocks forever.
+//! * [`FindingKind::WaitCycle`] — a cycle through dependence and wait
+//!   edges: each task on it waits (directly or transitively) for its
+//!   own completion, so no legal schedule exists.
+//! * [`FindingKind::UnreachableTask`] — a task downstream of a task
+//!   that can never complete; it never becomes ready.
+//!
+//! Dependence edges alone cannot form a cycle (submission order makes
+//! them a DAG); it is the *wait* edges — a body blocking on a region
+//! whose producer is ordered after the waiting task — that close
+//! cycles, which is why a purely dynamic detector only sees them as an
+//! opaque deadlock.
+
+use ompss_core::{TaskGraph, TaskId};
+use ompss_mem::{Access, Region};
+use ompss_verify::{Finding, FindingKind};
+
+/// One declared task: a label, its dependence clauses, and the regions
+/// its body will sentinel-wait on.
+#[derive(Debug, Clone)]
+pub struct SpecTask {
+    /// Human-readable label, threaded into findings.
+    pub label: String,
+    /// Dependence clauses, as submitted to the runtime.
+    pub accesses: Vec<Access>,
+    /// Regions the task body blocks on until a producer completes.
+    pub waits: Vec<Region>,
+}
+
+/// A declared task graph, lintable before anything runs.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSpec {
+    tasks: Vec<SpecTask>,
+}
+
+impl GraphSpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a task (in submission order); returns its index.
+    pub fn task(&mut self, label: &str, accesses: Vec<Access>) -> usize {
+        self.tasks.push(SpecTask { label: label.to_string(), accesses, waits: Vec::new() });
+        self.tasks.len() - 1
+    }
+
+    /// Declare that `task`'s body sentinel-waits on `region`.
+    pub fn wait(&mut self, task: usize, region: Region) {
+        self.tasks[task].waits.push(region);
+    }
+
+    /// Number of declared tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no task is declared.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Run the full lint pass.
+    pub fn lint(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+
+        // Clause admission through the real graph builder. Rejected
+        // tasks are excluded from the edge analysis (their clauses
+        // recorded no edges).
+        let mut graph = TaskGraph::new();
+        let mut admitted: Vec<bool> = Vec::with_capacity(self.tasks.len());
+        for (i, t) in self.tasks.iter().enumerate() {
+            match graph.add_task_labeled(TaskId(i as u64), &t.label, &t.accesses) {
+                Ok(_) => admitted.push(true),
+                Err(e) => {
+                    admitted.push(false);
+                    findings.push(Finding {
+                        kind: FindingKind::UnsatisfiableClause,
+                        task: Some(TaskId(i as u64)),
+                        label: t.label.clone(),
+                        region: None,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+
+        // Forward edge set: dependence successors from the builder,
+        // plus one wait edge per (writer of waited region → waiter).
+        let n = self.tasks.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, _, task_succs) in graph.tasks_snapshot() {
+            for s in task_succs {
+                succs[id.0 as usize].push(s.0 as usize);
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if !admitted[i] {
+                continue;
+            }
+            for w in &t.waits {
+                let writers: Vec<usize> = self
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, u)| {
+                        *j != i
+                            && admitted[*j]
+                            && u.accesses.iter().any(|a| a.kind.writes() && a.region.overlaps(w))
+                    })
+                    .map(|(j, _)| j)
+                    .collect();
+                if writers.is_empty() {
+                    findings.push(Finding {
+                        kind: FindingKind::UnsatisfiableWait,
+                        task: Some(TaskId(i as u64)),
+                        label: t.label.clone(),
+                        region: Some(*w),
+                        message: format!(
+                            "{} waits on {w} but no task writes it — the wait can never \
+                             be satisfied",
+                            who(i, &t.label)
+                        ),
+                    });
+                }
+                for j in writers {
+                    succs[j].push(i);
+                }
+            }
+        }
+
+        // Cycle detection over the combined edges (iterative DFS with
+        // colors); every task on a cycle gets one WaitCycle finding
+        // naming the loop.
+        let mut color = vec![0u8; n]; // 0 white, 1 on stack, 2 done
+        let mut on_cycle = vec![false; n];
+        for root in 0..n {
+            if color[root] != 0 {
+                continue;
+            }
+            // stack of (node, next-successor-index); `path` mirrors it.
+            let mut stack = vec![(root, 0usize)];
+            color[root] = 1;
+            while let Some(top) = stack.len().checked_sub(1) {
+                let (node, next) = stack[top];
+                if next < succs[node].len() {
+                    stack[top].1 += 1;
+                    let s = succs[node][next];
+                    match color[s] {
+                        0 => {
+                            color[s] = 1;
+                            stack.push((s, 0));
+                        }
+                        1 => {
+                            // Found a cycle: the stack suffix from `s`.
+                            let start = stack.iter().position(|&(v, _)| v == s).expect("on stack");
+                            let cycle: Vec<usize> =
+                                stack[start..].iter().map(|&(v, _)| v).collect();
+                            let fresh = cycle.iter().any(|&v| !on_cycle[v]);
+                            for &v in &cycle {
+                                on_cycle[v] = true;
+                            }
+                            if fresh {
+                                let names: Vec<String> =
+                                    cycle.iter().map(|&v| who(v, &self.tasks[v].label)).collect();
+                                findings.push(Finding {
+                                    kind: FindingKind::WaitCycle,
+                                    task: Some(TaskId(cycle[0] as u64)),
+                                    label: self.tasks[cycle[0]].label.clone(),
+                                    region: None,
+                                    message: format!(
+                                        "dependence/wait cycle: {} -> back to the first — \
+                                         no schedule can order these tasks",
+                                        names.join(" -> ")
+                                    ),
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+
+        // Never-completes propagation: roots are cycle members and
+        // unsatisfiable waiters; anything downstream (dependence or
+        // wait) never becomes ready.
+        let mut never: Vec<bool> = (0..n)
+            .map(|i| {
+                on_cycle[i]
+                    || findings.iter().any(|f| {
+                        f.kind == FindingKind::UnsatisfiableWait && f.task == Some(TaskId(i as u64))
+                    })
+            })
+            .collect();
+        let roots: Vec<bool> = never.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if !never[i] {
+                    continue;
+                }
+                for &s in &succs[i] {
+                    if !never[s] {
+                        never[s] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            if never[i] && !roots[i] {
+                findings.push(Finding {
+                    kind: FindingKind::UnreachableTask,
+                    task: Some(TaskId(i as u64)),
+                    label: self.tasks[i].label.clone(),
+                    region: None,
+                    message: format!(
+                        "{} can never start: a predecessor it depends on never completes",
+                        who(i, &self.tasks[i].label)
+                    ),
+                });
+            }
+        }
+
+        findings
+    }
+}
+
+fn who(idx: usize, label: &str) -> String {
+    if label.is_empty() {
+        format!("task {idx}")
+    } else {
+        format!("task {idx} '{label}'")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompss_mem::DataId;
+
+    fn r(data: u64, offset: u64, len: u64) -> Region {
+        Region::new(DataId(data), offset, len)
+    }
+
+    #[test]
+    fn clean_chain_lints_nothing() {
+        let mut s = GraphSpec::new();
+        s.task("produce", vec![Access::output(r(1, 0, 8))]);
+        s.task("consume", vec![Access::input(r(1, 0, 8))]);
+        assert!(s.lint().is_empty());
+    }
+
+    #[test]
+    fn partial_overlap_is_unsatisfiable_clause() {
+        let mut s = GraphSpec::new();
+        s.task("a", vec![Access::output(r(1, 0, 8))]);
+        s.task("b", vec![Access::input(r(1, 4, 8))]); // half-overlap
+        let f = s.lint();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, FindingKind::UnsatisfiableClause);
+        assert!(f[0].message.contains("partial"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn wait_without_writer_is_unsatisfiable() {
+        let mut s = GraphSpec::new();
+        let t = s.task("lonely", vec![Access::output(r(1, 0, 8))]);
+        s.wait(t, r(9, 0, 8));
+        let f = s.lint();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, FindingKind::UnsatisfiableWait);
+    }
+
+    #[test]
+    fn wait_on_later_producer_closes_a_cycle() {
+        let mut s = GraphSpec::new();
+        // a waits (in its body) on a sentinel that only b writes — but b
+        // depends on a's output, so neither can finish.
+        let a = s.task("a", vec![Access::output(r(1, 0, 8))]);
+        s.task("b", vec![Access::input(r(1, 0, 8)), Access::output(r(2, 0, 8))]);
+        s.wait(a, r(2, 0, 8));
+        let f = s.lint();
+        assert!(f.iter().any(|f| f.kind == FindingKind::WaitCycle), "expected a WaitCycle: {f:?}");
+        let cycle = f.iter().find(|f| f.kind == FindingKind::WaitCycle).unwrap();
+        assert!(
+            cycle.message.contains("'a'") && cycle.message.contains("'b'"),
+            "{}",
+            cycle.message
+        );
+    }
+
+    #[test]
+    fn downstream_of_a_cycle_is_unreachable() {
+        let mut s = GraphSpec::new();
+        let a = s.task("a", vec![Access::output(r(1, 0, 8))]);
+        s.task("b", vec![Access::input(r(1, 0, 8)), Access::output(r(2, 0, 8))]);
+        s.wait(a, r(2, 0, 8));
+        // c consumes b's sentinel: stuck behind the cycle.
+        s.task("c", vec![Access::input(r(2, 0, 8))]);
+        let f = s.lint();
+        let unreachable: Vec<_> =
+            f.iter().filter(|f| f.kind == FindingKind::UnreachableTask).collect();
+        assert_eq!(unreachable.len(), 1, "{f:?}");
+        assert_eq!(unreachable[0].label, "c");
+    }
+
+    #[test]
+    fn unsatisfiable_wait_poisons_dependents() {
+        let mut s = GraphSpec::new();
+        let a = s.task("a", vec![Access::output(r(1, 0, 8))]);
+        s.wait(a, r(9, 0, 8)); // nobody writes D9
+        s.task("b", vec![Access::input(r(1, 0, 8))]);
+        let f = s.lint();
+        assert!(f.iter().any(|f| f.kind == FindingKind::UnsatisfiableWait));
+        assert!(
+            f.iter().any(|f| f.kind == FindingKind::UnreachableTask && f.label == "b"),
+            "{f:?}"
+        );
+    }
+}

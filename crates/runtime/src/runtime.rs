@@ -482,7 +482,10 @@ impl Runtime {
     {
         match Self::try_run(cfg, program) {
             Ok(report) => report,
-            Err(RunError::Deadlock(names)) => panic!("runtime deadlock; stuck: {names:?}"),
+            Err(RunError::Deadlock { blocked }) => {
+                let names: Vec<&str> = blocked.iter().map(|p| p.name.as_str()).collect();
+                panic!("runtime deadlock; stuck: {names:?}")
+            }
             Err(RunError::ProcessPanic(name, msg)) => panic!("process '{name}' panicked: {msg}"),
             Err(e) => panic!("run failed: {e}"),
         }

@@ -1,0 +1,63 @@
+//! Seeded defect corpus for the model checker's self-test.
+//!
+//! `ompss-mc` claims to catch executor bugs, lost wakeups and
+//! under-declared dependences. The only way to trust that claim is to
+//! plant each bug class and watch the checker find it. This module is
+//! the arming switch: known-bad mutations stay in the shipping source
+//! behind `#[cfg(mc_defects)]` (compiled out of normal builds entirely)
+//! and are switched on per-thread by name, so the defect tests in
+//! `crates/mc/tests/defects.rs` can arm exactly one at a time.
+//!
+//! Build with `RUSTFLAGS="--cfg mc_defects"` to compile the corpus in.
+//!
+//! Defect names:
+//! - `"epoch"` — the kernel dispatch path skips the stale-epoch check,
+//!   resuming processes on superseded events (spurious wakeups). Caught
+//!   by the checker's kernel-invariant oracle.
+//! - `"wakeup"` — [`crate::sync::Signal::set`] drops the set when no
+//!   waiter is registered yet: the classic lost-wakeup race, visible
+//!   only in orderings where the setter runs before the waiter parks.
+//!   Caught by the deadlock oracle with a replayable trace.
+//! - `"stream"` — the STREAM app's `scale` task declares its `c`
+//!   operand with the wrong clause direction (see
+//!   `crates/apps/src/stream/ompss.rs`). Caught by the clause/race
+//!   oracle (`ompss-verify` findings).
+
+#[cfg(mc_defects)]
+use std::cell::Cell;
+
+#[cfg(mc_defects)]
+thread_local! {
+    static ARMED: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// Arm one named defect on this thread. No-op unless the workspace was
+/// built with `--cfg mc_defects`.
+pub fn arm(which: &'static str) {
+    #[cfg(mc_defects)]
+    ARMED.with(|a| a.set(Some(which)));
+    #[cfg(not(mc_defects))]
+    let _ = which;
+}
+
+/// Disarm whatever defect is armed on this thread.
+pub fn disarm() {
+    #[cfg(mc_defects)]
+    ARMED.with(|a| a.set(None));
+}
+
+/// True when defect `which` is armed on this thread. Compiles to a
+/// constant `false` (and dead-code-eliminates its callers' defect
+/// branches) unless built with `--cfg mc_defects`.
+#[inline]
+pub fn armed(which: &str) -> bool {
+    #[cfg(mc_defects)]
+    {
+        ARMED.with(|a| a.get()).is_some_and(|name| name == which)
+    }
+    #[cfg(not(mc_defects))]
+    {
+        let _ = which;
+        false
+    }
+}

@@ -55,9 +55,10 @@
 //! `OMPSS_SIM_NO_FASTPATH=1` disables the delay/wakeup-dedup shortcuts
 //! for A/B determinism checks.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
@@ -68,11 +69,57 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use crate::error::{RunError, RunReport, SimError, SimResult};
+use crate::error::{ProcState, RunError, RunReport, SimError, SimResult};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a simulation process.
 pub type Pid = usize;
+
+/// A process name, stored without forcing an allocation on the spawn
+/// hot path.
+///
+/// Spawn-heavy runs used to pay a `format!` + heap allocation per
+/// process for a name that is only rendered on cold paths (deadlock
+/// reports, panic reports). `ProcName` keeps the common cases free:
+/// literals are borrowed, and the ubiquitous `"{prefix}{index}"` shape
+/// is stored as its parts and rendered lazily via `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcName {
+    /// A borrowed literal — zero allocation.
+    Static(&'static str),
+    /// An owned, pre-rendered string.
+    Owned(Box<str>),
+    /// `"{0}{1}"`, rendered only when displayed.
+    Indexed(&'static str, u64),
+}
+
+impl fmt::Display for ProcName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcName::Static(s) => f.write_str(s),
+            ProcName::Owned(s) => f.write_str(s),
+            ProcName::Indexed(prefix, i) => write!(f, "{prefix}{i}"),
+        }
+    }
+}
+
+impl From<&'static str> for ProcName {
+    fn from(s: &'static str) -> Self {
+        ProcName::Static(s)
+    }
+}
+
+impl From<String> for ProcName {
+    fn from(s: String) -> Self {
+        ProcName::Owned(s.into_boxed_str())
+    }
+}
+
+impl From<(&'static str, u64)> for ProcName {
+    fn from((prefix, i): (&'static str, u64)) -> Self {
+        ProcName::Indexed(prefix, i)
+    }
+}
 
 /// A process body, type-erased: the `async` block the user spawned,
 /// with its output normalised to `SimResult<()>` (see [`ProcessExit`]).
@@ -91,7 +138,7 @@ enum Phase {
 }
 
 struct ProcSlot {
-    name: String,
+    name: ProcName,
     phase: Phase,
     /// Bumped every time the kernel polls this process; used to
     /// invalidate stale wakeup events.
@@ -115,6 +162,130 @@ struct Event {
     epoch: u64,
 }
 
+// ---------------------------------------------------------------------------
+// Model-checking hooks: tie-break control + dispatch footprints
+// ---------------------------------------------------------------------------
+
+/// What one dispatched step did, as far as commutativity analysis
+/// cares. Two steps whose footprints are disjoint (no shared process,
+/// no shared resource) can be reordered without changing the reachable
+/// state — the independence relation behind the model checker's
+/// partial-order reduction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepFootprint {
+    /// The process that was polled.
+    pub pid: Pid,
+    /// Processes it scheduled wakes for (including coalesced wakes).
+    pub wakes: Vec<Pid>,
+    /// Processes it spawned.
+    pub spawns: Vec<Pid>,
+    /// Ids of primitives it touched (channels, semaphores, signals,
+    /// latches, bells, coherence regions) — see [`mc_touch`].
+    pub resources: Vec<u64>,
+}
+
+impl StepFootprint {
+    /// True when the two steps commute: they involve disjoint process
+    /// sets and disjoint resource sets.
+    pub fn independent(&self, other: &StepFootprint) -> bool {
+        fn pids(s: &StepFootprint) -> impl Iterator<Item = Pid> + '_ {
+            std::iter::once(s.pid).chain(s.wakes.iter().copied()).chain(s.spawns.iter().copied())
+        }
+        if pids(self).any(|p| pids(other).any(|q| p == q)) {
+            return false;
+        }
+        !self.resources.iter().any(|r| other.resources.contains(r))
+    }
+}
+
+/// Controls the executor's tie-break between co-enabled events.
+///
+/// Whenever two or more live events pop at the same minimal `SimTime`,
+/// a controller installed via [`install_tie_break`] picks which process
+/// runs next (the default executor always picks the lowest sequence
+/// number — spawn/schedule order). After each dispatched poll the
+/// controller also observes the step's [`StepFootprint`], which is what
+/// the model checker's independence oracle is built from.
+pub trait TieBreak: Send {
+    /// Pick one of `candidates` (ordered by sequence number, so index 0
+    /// is the default schedule's choice) to dispatch at time `now`.
+    /// Returns an index into `candidates`.
+    fn choose(&mut self, now: SimTime, candidates: &[Pid]) -> usize;
+
+    /// Observe what the just-dispatched step did.
+    fn observe(&mut self, step: StepFootprint);
+}
+
+/// Tie-break installation consumed by the next [`Sim::new`] on this
+/// thread (loom-style: the checker arms the thread, then calls into
+/// code that constructs the simulation internally).
+struct McInstall {
+    controller: Arc<Mutex<dyn TieBreak>>,
+    validate: bool,
+}
+
+/// Per-sim model-checking state.
+struct McState {
+    controller: Arc<Mutex<dyn TieBreak>>,
+    /// Check kernel invariants on every dispatch (stale events must be
+    /// dropped; a valid pop must match the tracked pending wake).
+    validate: bool,
+}
+
+thread_local! {
+    static MC_INSTALL: RefCell<Option<McInstall>> = const { RefCell::new(None) };
+    /// Resource-id well for [`mc_resource_id`]. Thread-local and reset
+    /// by [`install_tie_break`] so ids are stable across replays of the
+    /// same single-threaded program.
+    static RESOURCE_IDS: Cell<u64> = const { Cell::new(0) };
+    /// Fast flag: the process currently being polled on this thread
+    /// belongs to a sim with a controller installed, so primitives
+    /// should report resource touches.
+    static MC_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arm the **next** [`Sim::new`] on this thread with a tie-break
+/// controller. Also resets the resource-id counter so primitive ids
+/// are identical across replays of the same program. `validate` turns
+/// on per-dispatch kernel invariant checking (surfaced as
+/// [`RunError::InvariantViolation`]).
+pub fn install_tie_break(controller: Arc<Mutex<dyn TieBreak>>, validate: bool) {
+    RESOURCE_IDS.with(|c| c.set(0));
+    MC_INSTALL.with(|slot| *slot.borrow_mut() = Some(McInstall { controller, validate }));
+}
+
+/// Allocate a stable id for a dependence-relevant resource (channel,
+/// semaphore, coherence region, ...). Deterministic for a
+/// deterministic program: the counter is thread-local and reset by
+/// [`install_tie_break`], so the n-th primitive constructed is always
+/// resource n across replays.
+pub fn mc_resource_id() -> u64 {
+    RESOURCE_IDS.with(|c| {
+        let id = c.get() + 1;
+        c.set(id);
+        id
+    })
+}
+
+/// Report that the running process touched resource `id`. No-op unless
+/// the current poll belongs to a sim with a tie-break controller
+/// installed, so the cost outside model checking is one thread-local
+/// flag read.
+pub fn mc_touch(id: u64) {
+    if !MC_ACTIVE.with(|f| f.get()) {
+        return;
+    }
+    CURRENT.with(|stack| {
+        if let Some(top) = stack.borrow().last() {
+            if top.shared.mc.is_some() {
+                if let Some(step) = top.shared.kernel.lock().step.as_mut() {
+                    step.resources.push(id);
+                }
+            }
+        }
+    });
+}
+
 pub(crate) struct Kernel {
     now: SimTime,
     seq: u64,
@@ -135,6 +306,13 @@ pub(crate) struct Kernel {
     /// First fatal error raised via [`abort_run`]; ends the run at the
     /// next kernel step and becomes [`Sim::run`]'s error.
     fatal: Option<RunError>,
+    /// Footprint of the step currently being executed (set at dispatch,
+    /// handed to the controller after the poll). `None` unless a
+    /// tie-break controller is installed.
+    step: Option<StepFootprint>,
+    /// Kernel invariant violations caught in validation mode. Bounded;
+    /// the first one becomes [`RunError::InvariantViolation`].
+    violations: Vec<String>,
 }
 
 impl Kernel {
@@ -169,6 +347,9 @@ pub(crate) struct Shared {
     /// Host fast paths enabled (default). `OMPSS_SIM_NO_FASTPATH=1`
     /// restores the literal kernel for determinism A/B tests.
     fast_paths: bool,
+    /// Model-checking state, consumed from [`install_tie_break`]'s
+    /// thread-local by [`Sim::new`]. `None` in ordinary runs.
+    mc: Option<McState>,
 }
 
 impl Shared {
@@ -177,6 +358,12 @@ impl Shared {
     /// about to block); a stale epoch at pop time makes the event a no-op.
     pub(crate) fn schedule_wake_current_epoch(&self, pid: Pid, at: SimTime) {
         let mut k = self.kernel.lock();
+        if let Some(step) = k.step.as_mut() {
+            // Record the wake whether or not it is coalesced below: the
+            // independence oracle cares that this step *interacts* with
+            // `pid`, not how the heap stores the event.
+            step.wakes.push(pid);
+        }
         let epoch = k.procs[pid].epoch;
         if self.fast_paths {
             match k.procs[pid].pending_wake {
@@ -205,6 +392,9 @@ impl Shared {
     /// poll, or `None` when the run is over (queue drained, fatal
     /// abort, or shutdown).
     fn dispatch_locked(&self, k: &mut Kernel) -> Option<Pid> {
+        if self.mc.is_some() {
+            return self.dispatch_mc_locked(k);
+        }
         loop {
             if k.fatal.is_some() || k.shutdown {
                 return None;
@@ -213,10 +403,16 @@ impl Shared {
                 None => return None,
                 Some(Reverse(ev)) => {
                     let slot = &mut k.procs[ev.pid];
-                    if slot.phase == Phase::Finished || slot.epoch != ev.epoch {
+                    let stale = slot.phase == Phase::Finished || slot.epoch != ev.epoch;
+                    if stale && !crate::defects::armed("epoch") {
                         // Stale wakeup. If it was superseded it was
                         // counted; settle the books.
                         k.stale_events = k.stale_events.saturating_sub(1);
+                        continue;
+                    }
+                    if stale && slot.phase == Phase::Finished {
+                        // Even the seeded epoch defect cannot resume a
+                        // dropped future.
                         continue;
                     }
                     debug_assert!(
@@ -238,6 +434,140 @@ impl Shared {
                     return Some(ev.pid);
                 }
             }
+        }
+    }
+
+    /// Dispatch with a tie-break controller installed: every set of
+    /// live events co-enabled at the minimal queued time becomes an
+    /// explicit choice point the controller resolves, instead of the
+    /// sequence counter deciding. Unchosen events go back on the heap
+    /// with their original sequence numbers, so sibling order at the
+    /// next choice point is stable.
+    fn dispatch_mc_locked(&self, k: &mut Kernel) -> Option<Pid> {
+        let mc = self.mc.as_ref().expect("mc dispatch without a controller");
+        loop {
+            if k.fatal.is_some() || k.shutdown {
+                return None;
+            }
+            let Reverse(first) = k.queue.pop()?;
+            let t = first.time;
+            // Pop everything co-enabled at `t`; drop stale events and
+            // keep at most one live event per process (a second could
+            // only pop stale once the first dispatches).
+            let mut live: Vec<Event> = Vec::new();
+            let mut requeue: Vec<Event> = Vec::new();
+            let mut next = Some(first);
+            loop {
+                let e = match next.take() {
+                    Some(e) => e,
+                    None => match k.queue.peek() {
+                        Some(Reverse(head)) if head.time == t => {
+                            let Reverse(head) = k.queue.pop().expect("peeked event vanished");
+                            head
+                        }
+                        _ => break,
+                    },
+                };
+                let (phase, slot_epoch) = {
+                    let s = &k.procs[e.pid];
+                    (s.phase, s.epoch)
+                };
+                let stale = phase == Phase::Finished || slot_epoch != e.epoch;
+                if stale && !crate::defects::armed("epoch") {
+                    k.stale_events = k.stale_events.saturating_sub(1);
+                    continue;
+                }
+                if stale && phase == Phase::Finished {
+                    continue;
+                }
+                if stale {
+                    // The seeded epoch defect let a stale event through:
+                    // exactly what validation mode must catch.
+                    if mc.validate && k.violations.len() < 16 {
+                        k.violations.push(format!(
+                            "stale event reached dispatch: pid {} event epoch {} vs slot \
+                             epoch {slot_epoch} at t={}ns",
+                            e.pid,
+                            e.epoch,
+                            t.as_nanos()
+                        ));
+                    }
+                }
+                if live.iter().any(|l| l.pid == e.pid) {
+                    // Reachable only with fast paths off: leave it
+                    // queued; it pops stale after the first dispatches.
+                    requeue.push(e);
+                    continue;
+                }
+                live.push(e);
+            }
+            for e in requeue {
+                k.queue.push(Reverse(e));
+            }
+            if live.is_empty() {
+                continue;
+            }
+            let chosen = if live.len() == 1 {
+                0
+            } else {
+                let pids: Vec<Pid> = live.iter().map(|e| e.pid).collect();
+                let c = mc.controller.lock().choose(t, &pids);
+                assert!(
+                    c < live.len(),
+                    "TieBreak::choose returned {c} for {} candidates",
+                    live.len()
+                );
+                c
+            };
+            for (i, e) in live.iter().enumerate() {
+                if i != chosen {
+                    k.queue.push(Reverse(*e));
+                }
+            }
+            let ev = live[chosen];
+            if mc.validate && self.fast_paths {
+                let (slot_epoch, pending) = {
+                    let s = &k.procs[ev.pid];
+                    (s.epoch, s.pending_wake)
+                };
+                if slot_epoch == ev.epoch
+                    && pending != Some((ev.time, ev.epoch))
+                    && k.violations.len() < 16
+                {
+                    k.violations.push(format!(
+                        "valid pop does not match tracked pending wake: pid {} expected \
+                         {:?}, tracked {pending:?}",
+                        ev.pid,
+                        (ev.time.as_nanos(), ev.epoch)
+                    ));
+                }
+            }
+            {
+                let slot = &mut k.procs[ev.pid];
+                slot.phase = Phase::Running;
+                slot.epoch += 1;
+                slot.pending_wake = None;
+            }
+            if ev.time > k.now {
+                k.clock_advances += 1;
+            }
+            k.now = ev.time;
+            k.events_processed += 1;
+            self.now_ns.store(ev.time.as_nanos(), Ordering::Release);
+            k.step = Some(StepFootprint { pid: ev.pid, ..Default::default() });
+            return Some(ev.pid);
+        }
+    }
+
+    /// Hand the finished step's footprint to the controller (set only
+    /// while a tie-break controller is installed).
+    fn flush_step(&self) {
+        let Some(mc) = self.mc.as_ref() else {
+            return;
+        };
+        let step = self.kernel.lock().step.take();
+        if let Some(step) = step {
+            mc.controller.lock().observe(step);
         }
     }
 
@@ -337,7 +667,7 @@ impl ProcessExit for SimResult<()> {
     }
 }
 
-fn spawn_impl(shared: &Arc<Shared>, name: String, daemon: bool, fut: TaskFut) -> Pid {
+fn spawn_impl(shared: &Arc<Shared>, name: ProcName, daemon: bool, fut: TaskFut) -> Pid {
     let mut k = shared.kernel.lock();
     let pid = k.procs.len();
     // Initial activation at the current time, epoch 0.
@@ -349,6 +679,9 @@ fn spawn_impl(shared: &Arc<Shared>, name: String, daemon: bool, fut: TaskFut) ->
         daemon,
         pending_wake: Some((at, 0)),
     });
+    if let Some(step) = k.step.as_mut() {
+        step.spawns.push(pid);
+    }
     let seq = k.seq;
     k.seq += 1;
     k.queue.push(Reverse(Event { time: at, seq, pid, epoch: 0 }));
@@ -378,7 +711,7 @@ where
 /// ```
 pub struct ProcessBuilder {
     shared: Arc<Shared>,
-    name: String,
+    name: ProcName,
     daemon: bool,
 }
 
@@ -405,7 +738,7 @@ impl ProcessBuilder {
 
 /// Begin spawning a process from inside another process (builder form;
 /// see [`Sim::process`] for the pre-run equivalent).
-pub fn process(name: impl Into<String>) -> ProcessBuilder {
+pub fn process(name: impl Into<ProcName>) -> ProcessBuilder {
     with_current_shared(|shared| ProcessBuilder {
         shared: shared.clone(),
         name: name.into(),
@@ -415,7 +748,7 @@ pub fn process(name: impl Into<String>) -> ProcessBuilder {
 
 /// Spawn a regular (non-daemon) child process from inside another
 /// process, runnable at the current virtual time.
-pub fn spawn<F>(name: impl Into<String>, fut: F) -> Pid
+pub fn spawn<F>(name: impl Into<ProcName>, fut: F) -> Pid
 where
     F: Future + Send + 'static,
     F::Output: ProcessExit,
@@ -620,25 +953,32 @@ impl Sim {
                     wakes_coalesced: 0,
                     panics: Vec::new(),
                     fatal: None,
+                    step: None,
+                    violations: Vec::new(),
                 }),
                 tasks: Mutex::new(Vec::new()),
                 now_ns: AtomicU64::new(0),
                 shutdown_flag: AtomicBool::new(false),
                 fast_paths: std::env::var_os("OMPSS_SIM_NO_FASTPATH").is_none_or(|v| v == "0"),
+                mc: MC_INSTALL.with(|slot| {
+                    slot.borrow_mut()
+                        .take()
+                        .map(|i| McState { controller: i.controller, validate: i.validate })
+                }),
             }),
         }
     }
 
     /// Begin spawning a process (builder form, for daemon-ness):
     /// `sim.process("worker").daemon().spawn(async move { ... })`.
-    pub fn process(&self, name: impl Into<String>) -> ProcessBuilder {
+    pub fn process(&self, name: impl Into<ProcName>) -> ProcessBuilder {
         ProcessBuilder { shared: self.shared.clone(), name: name.into(), daemon: false }
     }
 
     /// Spawn a regular (non-daemon) process. It becomes runnable at the
     /// current virtual time. The simulation is not complete until every
     /// non-daemon process has returned.
-    pub fn spawn<F>(&self, name: impl Into<String>, fut: F) -> Pid
+    pub fn spawn<F>(&self, name: impl Into<ProcName>, fut: F) -> Pid
     where
         F: Future + Send + 'static,
         F::Output: ProcessExit,
@@ -653,6 +993,7 @@ impl Sim {
             return true;
         };
         CURRENT.with(|s| s.borrow_mut().push(TaskCtx { shared: shared.clone(), pid }));
+        let mc_was_active = MC_ACTIVE.with(|f| f.replace(shared.mc.is_some()));
         let waker = noop_waker();
         let mut cx = Context::from_waker(&waker);
         let polled = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
@@ -679,7 +1020,7 @@ impl Sim {
                 let slot = &mut k.procs[pid];
                 slot.phase = Phase::Finished;
                 slot.epoch += 1;
-                let name = slot.name.clone();
+                let name = slot.name.to_string();
                 // Shutdown unwinds may legitimately panic through user
                 // code that unwraps a SimResult; only record panics that
                 // happen while the simulation is live.
@@ -693,6 +1034,7 @@ impl Sim {
                 true
             }
         };
+        MC_ACTIVE.with(|f| f.set(mc_was_active));
         CURRENT.with(|s| {
             s.borrow_mut().pop();
         });
@@ -715,18 +1057,27 @@ impl Sim {
             match pid {
                 Some(pid) => {
                     Self::poll_process(shared, pid);
+                    shared.flush_step();
                 }
                 None => break,
             }
         }
 
         // Queue drained. Non-daemon processes still alive are deadlocked.
-        let deadlocked: Vec<String> = {
+        let deadlocked: Vec<ProcState> = {
             let k = shared.kernel.lock();
             k.procs
                 .iter()
-                .filter(|p| !p.daemon && p.phase != Phase::Finished)
-                .map(|p| p.name.clone())
+                .enumerate()
+                .filter(|(_, p)| !p.daemon && p.phase != Phase::Finished)
+                .map(|(pid, p)| ProcState {
+                    pid,
+                    name: p.name.to_string(),
+                    phase: match p.phase {
+                        Phase::Blocked => "blocked",
+                        _ => "ready",
+                    },
+                })
                 .collect()
         };
 
@@ -768,11 +1119,17 @@ impl Sim {
         if let Some(fatal) = k.fatal.take() {
             return Err(fatal);
         }
+        // A kernel invariant break is the root cause of whatever
+        // followed it (spurious wakes can cascade into panics or
+        // deadlocks), so it outranks both.
+        if let Some(what) = k.violations.first() {
+            return Err(RunError::InvariantViolation { what: what.clone() });
+        }
         if let Some((name, msg)) = k.panics.first() {
             return Err(RunError::ProcessPanic(name.clone(), msg.clone()));
         }
         if !deadlocked.is_empty() {
-            return Err(RunError::Deadlock(deadlocked));
+            return Err(RunError::Deadlock { blocked: deadlocked });
         }
         Ok(RunReport {
             end_time: k.now,
@@ -897,7 +1254,11 @@ mod tests {
             let _ = park_forever().await;
         });
         match sim.run() {
-            Err(RunError::Deadlock(names)) => assert_eq!(names, vec!["stuck".to_string()]),
+            Err(RunError::Deadlock { blocked }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].name, "stuck");
+                assert_eq!(blocked[0].phase, "blocked");
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
     }

@@ -50,13 +50,33 @@ pub struct RunReport {
     pub wakes_coalesced: u64,
 }
 
+/// Where a process stood when a run ended badly — one entry per stuck
+/// process in [`RunError::Deadlock`]. Structured so tools (the seed
+/// sweep, the model checker) can name the culprits without parsing a
+/// panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcState {
+    /// The process's id, assigned at spawn time.
+    pub pid: usize,
+    /// The process's rendered name.
+    pub name: String,
+    /// Executor phase when the queue drained: `"blocked"` (parked in a
+    /// primitive, waiting for a wake that never came) or `"ready"` (a
+    /// resume event was still in flight — only possible when a fatal
+    /// abort discarded the queue).
+    pub phase: &'static str,
+}
+
 /// A simulation failed to complete cleanly.
 #[derive(Debug, Clone)]
 pub enum RunError {
     /// The event queue drained while non-daemon processes were still
-    /// blocked: a deadlock in the modelled system. Contains the names of
-    /// the stuck processes.
-    Deadlock(Vec<String>),
+    /// blocked: a deadlock in the modelled system. Carries the stuck
+    /// processes with their blocked-state details.
+    Deadlock {
+        /// Every non-daemon process that had not finished.
+        blocked: Vec<ProcState>,
+    },
     /// A process panicked. Contains `(process name, panic message)` for
     /// the first recorded panic.
     ProcessPanic(String, String),
@@ -78,6 +98,14 @@ pub enum RunError {
         /// The configured capacity it hit.
         capacity: usize,
     },
+    /// The kernel's own bookkeeping broke an invariant while running in
+    /// validation mode (model checking): a stale event was dispatched,
+    /// or a valid pop did not match the tracked pending wake. This is a
+    /// bug in the executor, not in the modelled program.
+    InvariantViolation {
+        /// What the kernel caught, with event/epoch details.
+        what: String,
+    },
 }
 
 impl RunError {
@@ -89,12 +117,15 @@ impl RunError {
     pub fn with_fault_context(mut self, seed: u64, rate: f64) -> RunError {
         let tag = format!(" [fault_seed={seed} fault_rate={rate}]");
         match &mut self {
-            RunError::Deadlock(names) => {
-                names.push(format!("(fault_seed={seed} fault_rate={rate})"))
-            }
+            RunError::Deadlock { blocked } => blocked.push(ProcState {
+                pid: usize::MAX,
+                name: format!("(fault_seed={seed} fault_rate={rate})"),
+                phase: "tag",
+            }),
             RunError::ProcessPanic(_, msg) => msg.push_str(&tag),
             RunError::Exhausted { what, .. } => what.push_str(&tag),
             RunError::QueueOverflow { queue, .. } => queue.push_str(&tag),
+            RunError::InvariantViolation { what } => what.push_str(&tag),
         }
         self
     }
@@ -103,7 +134,8 @@ impl RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Deadlock(names) => {
+            RunError::Deadlock { blocked } => {
+                let names: Vec<&str> = blocked.iter().map(|p| p.name.as_str()).collect();
                 write!(f, "simulation deadlock; blocked processes: {}", names.join(", "))
             }
             RunError::ProcessPanic(name, msg) => {
@@ -114,6 +146,9 @@ impl fmt::Display for RunError {
             }
             RunError::QueueOverflow { queue, capacity } => {
                 write!(f, "queue '{queue}' overflowed its capacity of {capacity}")
+            }
+            RunError::InvariantViolation { what } => {
+                write!(f, "executor invariant violated: {what}")
             }
         }
     }
@@ -128,10 +163,13 @@ mod tests {
     #[test]
     fn fault_context_lands_in_display_of_every_variant() {
         let errs = [
-            RunError::Deadlock(vec!["p0".into()]),
+            RunError::Deadlock {
+                blocked: vec![ProcState { pid: 0, name: "p0".into(), phase: "blocked" }],
+            },
             RunError::ProcessPanic("p".into(), "boom".into()),
             RunError::Exhausted { what: "x".into(), attempts: 3 },
             RunError::QueueOverflow { queue: "q".into(), capacity: 8 },
+            RunError::InvariantViolation { what: "stale dispatch".into() },
         ];
         for e in errs {
             let tagged = e.with_fault_context(42, 0.05);

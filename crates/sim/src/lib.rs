@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod defects;
 mod engine;
 mod error;
 mod fault;
@@ -59,10 +60,10 @@ mod sync;
 mod time;
 
 pub use engine::{
-    abort_run, delay, now, pid, process, spawn, yield_now, Delay, Pid, ProcessBuilder, ProcessExit,
-    Sim,
+    abort_run, delay, install_tie_break, mc_resource_id, mc_touch, now, pid, process, spawn,
+    yield_now, Delay, Pid, ProcName, ProcessBuilder, ProcessExit, Sim, StepFootprint, TieBreak,
 };
-pub use error::{RunError, RunReport, SimError, SimResult};
+pub use error::{ProcState, RunError, RunReport, SimError, SimResult};
 pub use fault::{DeviceFuse, FaultClass, FaultPlan, FaultStats, FAULT_CLASSES};
 pub use queue::Channel;
 pub use sync::{Bell, Latch, Semaphore, Signal};

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::{park_while, with_current_shared, Pid};
+use crate::engine::{mc_resource_id, mc_touch, park_while, with_current_shared, Pid};
 use crate::error::{SimError, SimResult};
 
 struct Inner<T> {
@@ -33,11 +33,13 @@ struct Inner<T> {
 /// Clones share the same queue.
 pub struct Channel<T> {
     inner: Arc<Mutex<Inner<T>>>,
+    /// Stable resource id for the model checker's independence oracle.
+    id: u64,
 }
 
 impl<T> Clone for Channel<T> {
     fn clone(&self) -> Self {
-        Channel { inner: self.inner.clone() }
+        Channel { inner: self.inner.clone(), id: self.id }
     }
 }
 
@@ -57,12 +59,14 @@ impl<T> Channel<T> {
                 handoff: Vec::new(),
                 closed: false,
             })),
+            id: mc_resource_id(),
         }
     }
 
     /// Enqueue an item. If a receiver is parked, the oldest one is woken
     /// at the current virtual time. Never blocks.
     pub fn send(&self, item: T) {
+        mc_touch(self.id);
         let wake = {
             let mut inner = self.inner.lock();
             match inner.waiters.pop_front() {
@@ -88,6 +92,7 @@ impl<T> Channel<T> {
     pub fn recv(&self) -> impl Future<Output = SimResult<T>> + '_ {
         let mut registered = false;
         park_while(move |_, pid| {
+            mc_touch(self.id);
             let mut inner = self.inner.lock();
             if let Some(i) = inner.handoff.iter().position(|(p, _)| *p == pid) {
                 return Some(Ok(inner.handoff.swap_remove(i).1));
@@ -108,6 +113,7 @@ impl<T> Channel<T> {
 
     /// Dequeue an item if one is immediately available.
     pub fn try_recv(&self) -> Option<T> {
+        mc_touch(self.id);
         self.inner.lock().items.pop_front()
     }
 
@@ -115,12 +121,14 @@ impl<T> Channel<T> {
     /// receiver that has not resumed yet (they were externally observable
     /// as "queued" before the handoff optimisation, and must stay so).
     pub fn len(&self) -> usize {
+        mc_touch(self.id);
         let inner = self.inner.lock();
         inner.items.len() + inner.handoff.len()
     }
 
     /// True if no items are queued (see [`Channel::len`]).
     pub fn is_empty(&self) -> bool {
+        mc_touch(self.id);
         let inner = self.inner.lock();
         inner.items.is_empty() && inner.handoff.is_empty()
     }
@@ -129,6 +137,7 @@ impl<T> Channel<T> {
     /// [`SimError::Closed`] once the queue is empty. Items already queued
     /// are still delivered.
     pub fn close(&self) {
+        mc_touch(self.id);
         let wakes: Vec<Pid> = {
             let mut inner = self.inner.lock();
             inner.closed = true;

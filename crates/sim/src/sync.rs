@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::{park_while, with_current, with_current_shared, Pid};
+use crate::engine::{mc_resource_id, mc_touch, park_while, with_current, with_current_shared, Pid};
 use crate::error::SimResult;
 
 // ---------------------------------------------------------------------------
@@ -37,18 +37,23 @@ struct SemInner {
 /// virtual clock exactly like a busy device would.
 pub struct Semaphore {
     inner: Arc<Mutex<SemInner>>,
+    /// Stable resource id for the model checker's independence oracle.
+    id: u64,
 }
 
 impl Clone for Semaphore {
     fn clone(&self) -> Self {
-        Semaphore { inner: self.inner.clone() }
+        Semaphore { inner: self.inner.clone(), id: self.id }
     }
 }
 
 impl Semaphore {
     /// Create a semaphore holding `permits` permits.
     pub fn new(permits: u64) -> Self {
-        Semaphore { inner: Arc::new(Mutex::new(SemInner { permits, waiters: VecDeque::new() })) }
+        Semaphore {
+            inner: Arc::new(Mutex::new(SemInner { permits, waiters: VecDeque::new() })),
+            id: mc_resource_id(),
+        }
     }
 
     /// Acquire one permit, parking until available.
@@ -63,6 +68,7 @@ impl Semaphore {
     pub fn acquire_n(&self, n: u64) -> impl Future<Output = SimResult<()>> + '_ {
         let mut registered = false;
         park_while(move |shared, pid| {
+            mc_touch(self.id);
             let mut inner = self.inner.lock();
             let at_head = inner.waiters.front().map(|&(p, _)| p) == Some(pid);
             if inner.permits >= n
@@ -96,6 +102,7 @@ impl Semaphore {
 
     /// Return `n` permits and wake the head waiter if it can now proceed.
     pub fn release_n(&self, n: u64) {
+        mc_touch(self.id);
         let wake = {
             let mut inner = self.inner.lock();
             inner.permits += n;
@@ -111,6 +118,7 @@ impl Semaphore {
 
     /// Permits currently available.
     pub fn available(&self) -> u64 {
+        mc_touch(self.id);
         self.inner.lock().permits
     }
 }
@@ -131,11 +139,13 @@ struct SignalInner {
 /// acknowledged).
 pub struct Signal {
     inner: Arc<Mutex<SignalInner>>,
+    /// Stable resource id for the model checker's independence oracle.
+    id: u64,
 }
 
 impl Clone for Signal {
     fn clone(&self) -> Self {
-        Signal { inner: self.inner.clone() }
+        Signal { inner: self.inner.clone(), id: self.id }
     }
 }
 
@@ -148,14 +158,24 @@ impl Default for Signal {
 impl Signal {
     /// Create an unset signal.
     pub fn new() -> Self {
-        Signal { inner: Arc::new(Mutex::new(SignalInner { set: false, waiters: Vec::new() })) }
+        Signal {
+            inner: Arc::new(Mutex::new(SignalInner { set: false, waiters: Vec::new() })),
+            id: mc_resource_id(),
+        }
     }
 
     /// Set the signal and wake every waiter. Idempotent.
     pub fn set(&self) {
+        mc_touch(self.id);
         let wakes: Vec<Pid> = {
             let mut inner = self.inner.lock();
             if inner.set {
+                return;
+            }
+            if crate::defects::armed("wakeup") && inner.waiters.is_empty() {
+                // Seeded defect: drop the set when nobody is registered
+                // yet — the classic lost-wakeup race. Only orderings
+                // where the setter runs before the waiter parks hang.
                 return;
             }
             inner.set = true;
@@ -172,12 +192,14 @@ impl Signal {
 
     /// True if the signal has been set.
     pub fn is_set(&self) -> bool {
+        mc_touch(self.id);
         self.inner.lock().set
     }
 
     /// Park until the signal is set.
     pub fn wait(&self) -> impl Future<Output = SimResult<()>> + '_ {
         park_while(move |_, pid| {
+            mc_touch(self.id);
             let mut inner = self.inner.lock();
             if inner.set {
                 return Some(Ok(()));
@@ -198,6 +220,7 @@ impl Signal {
     ) -> impl Future<Output = SimResult<bool>> + '_ {
         let mut deadline = None;
         park_while(move |shared, pid| {
+            mc_touch(self.id);
             let deadline = *deadline.get_or_insert_with(|| shared.now() + timeout);
             let mut inner = self.inner.lock();
             if inner.set {
@@ -236,11 +259,13 @@ struct LatchInner {
 /// second `taskwait` region).
 pub struct Latch {
     inner: Arc<Mutex<LatchInner>>,
+    /// Stable resource id for the model checker's independence oracle.
+    id: u64,
 }
 
 impl Clone for Latch {
     fn clone(&self) -> Self {
-        Latch { inner: self.inner.clone() }
+        Latch { inner: self.inner.clone(), id: self.id }
     }
 }
 
@@ -253,16 +278,21 @@ impl Default for Latch {
 impl Latch {
     /// Create a latch with count zero.
     pub fn new() -> Self {
-        Latch { inner: Arc::new(Mutex::new(LatchInner { count: 0, waiters: Vec::new() })) }
+        Latch {
+            inner: Arc::new(Mutex::new(LatchInner { count: 0, waiters: Vec::new() })),
+            id: mc_resource_id(),
+        }
     }
 
     /// Raise the count by `n`.
     pub fn add(&self, n: u64) {
+        mc_touch(self.id);
         self.inner.lock().count += n;
     }
 
     /// Lower the count by one; at zero, wake all waiters.
     pub fn done(&self) {
+        mc_touch(self.id);
         let wakes: Vec<Pid> = {
             let mut inner = self.inner.lock();
             assert!(inner.count > 0, "Latch::done without matching add");
@@ -284,6 +314,7 @@ impl Latch {
 
     /// Current count.
     pub fn count(&self) -> u64 {
+        mc_touch(self.id);
         self.inner.lock().count
     }
 
@@ -291,6 +322,7 @@ impl Latch {
     /// zero.
     pub fn wait_zero(&self) -> impl Future<Output = SimResult<()>> + '_ {
         park_while(move |_, pid| {
+            mc_touch(self.id);
             let mut inner = self.inner.lock();
             if inner.count == 0 {
                 return Some(Ok(()));
@@ -319,11 +351,13 @@ struct BellInner {
 /// race cannot occur.
 pub struct Bell {
     inner: Arc<Mutex<BellInner>>,
+    /// Stable resource id for the model checker's independence oracle.
+    id: u64,
 }
 
 impl Clone for Bell {
     fn clone(&self) -> Self {
-        Bell { inner: self.inner.clone() }
+        Bell { inner: self.inner.clone(), id: self.id }
     }
 }
 
@@ -336,7 +370,10 @@ impl Default for Bell {
 impl Bell {
     /// Create a bell with no waiters.
     pub fn new() -> Self {
-        Bell { inner: Arc::new(Mutex::new(BellInner { waiters: Vec::new() })) }
+        Bell {
+            inner: Arc::new(Mutex::new(BellInner { waiters: Vec::new() })),
+            id: mc_resource_id(),
+        }
     }
 
     /// Park until the next ring. Unconditional: registration happens on
@@ -344,6 +381,7 @@ impl Bell {
     pub fn wait(&self) -> impl Future<Output = SimResult<()>> + '_ {
         let mut registered = false;
         park_while(move |_, pid| {
+            mc_touch(self.id);
             if registered {
                 return Some(Ok(()));
             }
@@ -355,6 +393,7 @@ impl Bell {
 
     /// Wake every process currently waiting.
     pub fn ring(&self) {
+        mc_touch(self.id);
         let wakes: Vec<Pid> = std::mem::take(&mut self.inner.lock().waiters);
         if !wakes.is_empty() {
             with_current(|shared, _| {

@@ -156,3 +156,128 @@ proptest! {
         prop_assert_eq!(fp_a, fp_b, "RunReport fingerprint diverged between identical runs");
     }
 }
+
+// Epoch edge cases: deterministic regression tests for the wake-epoch
+// machinery the model checker's validation mode polices.
+
+/// A superseded deadline event still in the heap when the run aborts
+/// must stay dead: teardown bumps every epoch and polls directly, so
+/// the stale event can neither resume the waiter a second time nor
+/// displace the abort as the run's outcome.
+#[test]
+fn stale_wake_is_inert_after_abort_run() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let resumed = Arc::new(AtomicUsize::new(0));
+    let sim = Sim::new();
+    let sig = ompss_sim::Signal::new();
+    let sig2 = sig.clone();
+    let r = resumed.clone();
+    sim.spawn("waiter", async move {
+        // Deadline event at t=100; the set at t=10 supersedes it.
+        let got = sig2.wait_timeout(SimDuration::from_nanos(100)).await?;
+        assert!(got, "set arrives before the deadline");
+        r.fetch_add(1, Ordering::Relaxed);
+        // Still parked at t=100 (stale event's instant) and at t=20
+        // (abort instant): any spurious resume would err the delay.
+        delay(SimDuration::from_nanos(500)).await?;
+        r.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    });
+    sim.spawn("setter", async move {
+        delay(SimDuration::from_nanos(10)).await?;
+        sig.set();
+        Ok(())
+    });
+    sim.spawn("aborter", async move {
+        delay(SimDuration::from_nanos(20)).await?;
+        Err(ompss_sim::abort_run(ompss_sim::RunError::Exhausted {
+            what: "test abort".to_string(),
+            attempts: 1,
+        }))
+    });
+    match sim.run() {
+        Err(ompss_sim::RunError::Exhausted { what, attempts: 1 }) => {
+            assert_eq!(what, "test abort");
+        }
+        other => panic!("abort must be the run's outcome, got {other:?}"),
+    }
+    assert_eq!(resumed.load(Ordering::Relaxed), 1, "waiter resumed exactly once (the set)");
+}
+
+/// Two same-instant wakes for one parked process coalesce into one
+/// heap event — and the counter records exactly that one coalescing,
+/// no more (delays and spawns never coalesce: each targets a fresh
+/// epoch or a distinct pid). A semaphore's head waiter stays
+/// registered until it polls, so two releases at one instant both
+/// wake it: the second wake is the coalesced one.
+#[test]
+fn same_instant_double_wake_coalesces_exactly_once() {
+    let sim = Sim::new();
+    let sem = Semaphore::new(0);
+    let s = sem.clone();
+    sim.spawn("waiter", async move { s.acquire().await });
+    for i in 0..2u64 {
+        let s = sem.clone();
+        sim.spawn(("releaser", i), async move {
+            delay(SimDuration::from_nanos(10)).await?;
+            s.release();
+            Ok(())
+        });
+    }
+    let rep = sim.run().unwrap();
+    assert_eq!(
+        rep.wakes_coalesced, 1,
+        "two releases at one instant are one event plus one coalesced wake"
+    );
+}
+
+/// Daemons are torn down only after the last non-daemon event: every
+/// worker record precedes every daemon-shutdown record, and teardown
+/// does not advance the virtual clock.
+#[test]
+fn daemon_teardown_follows_the_last_worker_event() {
+    let log: Arc<Mutex<Vec<(u64, &'static str)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sim = Sim::new();
+    let ch: Channel<u64> = Channel::new();
+    for i in 0..2u64 {
+        let l = log.clone();
+        let rx = ch.clone();
+        sim.process(("daemon", i)).daemon().spawn(async move {
+            loop {
+                match rx.recv().await {
+                    Ok(_) => {}
+                    Err(e) => {
+                        l.lock().push((ompss_sim::now().as_nanos(), "daemon-shutdown"));
+                        return Err(e);
+                    }
+                }
+            }
+        });
+    }
+    let l = log.clone();
+    let tx = ch.clone();
+    sim.spawn("worker", async move {
+        delay(SimDuration::from_nanos(50)).await?;
+        tx.send(7);
+        l.lock().push((ompss_sim::now().as_nanos(), "worker-done"));
+        Ok(())
+    });
+    let rep = sim.run().unwrap();
+    let log = log.lock().clone();
+    let worker_done = log.iter().position(|&(_, what)| what == "worker-done").expect("worker ran");
+    let shutdowns: Vec<usize> = log
+        .iter()
+        .enumerate()
+        .filter(|(_, &(_, what))| what == "daemon-shutdown")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(shutdowns.len(), 2, "both daemons observed shutdown: {log:?}");
+    assert!(shutdowns.iter().all(|&s| s > worker_done), "teardown after workers: {log:?}");
+    for &(t, what) in log.iter() {
+        if what == "daemon-shutdown" {
+            assert_eq!(t, rep.end_time.as_nanos(), "teardown must not advance the clock");
+        }
+    }
+    assert_eq!(rep.end_time.as_nanos(), 50);
+}

@@ -5,6 +5,7 @@
 //! verify --all              # all four apps (default when no args)
 //! verify matmul stream      # a subset
 //! verify --no-schedules ... # skip the seed-permutation exploration
+//! verify --seeds 0,9,23     # explore these scheduler seeds instead
 //! ```
 //!
 //! Each selected application runs with [`RuntimeConfig::verify`] on
@@ -27,18 +28,25 @@ use ompss_apps::nbody::{self, NbodyParams};
 use ompss_apps::perlin::{self, PerlinParams};
 use ompss_apps::stream::{self, StreamParams};
 use ompss_json::Json;
-use ompss_runtime::RuntimeConfig;
+use ompss_runtime::{RunError, RuntimeConfig};
 use ompss_verify::schedule::{self, Observation};
 use ompss_verify::{report_json, validate, Finding};
 
 const APPS: [&str; 4] = ["matmul", "stream", "nbody", "perlin"];
 
 fn run_app(name: &str, cfg: RuntimeConfig) -> AppRun {
+    match try_run_app(name, cfg) {
+        Ok(run) => run,
+        Err(e) => panic!("{name}: {e}"),
+    }
+}
+
+fn try_run_app(name: &str, cfg: RuntimeConfig) -> Result<AppRun, RunError> {
     match name {
-        "matmul" => matmul::ompss::run(cfg, MatmulParams::validate(), InitMode::Smp),
-        "stream" => stream::ompss::run(cfg, StreamParams::validate()),
-        "nbody" => nbody::ompss::run(cfg, NbodyParams::validate()),
-        "perlin" => perlin::ompss::run(cfg, PerlinParams::validate(), false),
+        "matmul" => matmul::ompss::try_run(cfg, MatmulParams::validate(), InitMode::Smp),
+        "stream" => stream::ompss::try_run(cfg, StreamParams::validate()),
+        "nbody" => nbody::ompss::try_run(cfg, NbodyParams::validate()),
+        "perlin" => perlin::ompss::try_run(cfg, PerlinParams::validate(), false),
         other => panic!("unknown app '{other}'"),
     }
 }
@@ -53,12 +61,13 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: verify [--all] [--no-schedules] [--jobs N] [app...]\napps: {}",
+            "usage: verify [--all] [--no-schedules] [--jobs N] [--seeds a,b,c] [app...]\napps: {}",
             APPS.join(" ")
         );
         return;
     }
     ompss_sweep::parse_jobs_flag(&mut args);
+    let seeds = parse_seeds_flag(&mut args);
     let schedules = !args.iter().any(|a| a == "--no-schedules");
     // Resolve names against APPS so the closures below capture
     // `&'static str`, not borrows of `args`.
@@ -88,7 +97,8 @@ fn main() {
             }));
         }
         if schedules {
-            tasks.push(Box::new(move || (format!("{app}/schedules"), explore_app(app))));
+            let seeds = seeds.clone();
+            tasks.push(Box::new(move || (format!("{app}/schedules"), explore_app(app, &seeds))));
         }
     }
 
@@ -109,14 +119,42 @@ fn main() {
     }
 }
 
+/// Consume a `--seeds a,b,c` / `--seeds=a,b,c` flag; defaults to
+/// [`schedule::DEFAULT_SEEDS`] when absent.
+fn parse_seeds_flag(args: &mut Vec<String>) -> Vec<u64> {
+    let parse = |v: &str| -> Vec<u64> {
+        let seeds: Vec<u64> = v
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse::<u64>().expect("--seeds expects comma-separated integers"))
+            .collect();
+        assert!(!seeds.is_empty(), "--seeds needs at least one seed");
+        seeds
+    };
+    let mut seeds = schedule::DEFAULT_SEEDS.to_vec();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--seeds" {
+            seeds = parse(args.get(i + 1).unwrap_or_else(|| panic!("--seeds needs a value")));
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--seeds=") {
+            seeds = parse(v);
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    seeds
+}
+
 /// Rerun `app` on the multi-GPU topology across scheduler seeds and
 /// diff outputs (verification itself stays off: exploration only cares
 /// about the results, and the byte-diff snapshots would slow the extra
 /// runs for nothing).
-fn explore_app(app: &str) -> Vec<Finding> {
-    schedule::explore(app, &schedule::DEFAULT_SEEDS, |seed| {
-        let run = run_app(app, RuntimeConfig::multi_gpu(2).with_sched_seed(seed));
+fn explore_app(app: &str, seeds: &[u64]) -> Vec<Finding> {
+    schedule::explore(app, seeds, |seed| {
+        let run = try_run_app(app, RuntimeConfig::multi_gpu(2).with_sched_seed(seed))?;
         let tasks = run.report.as_ref().map_or(0, |r| r.tasks);
-        Observation { check: run.check, tasks }
+        Ok(Observation { check: run.check, tasks })
     })
 }

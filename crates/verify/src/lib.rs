@@ -57,6 +57,18 @@ pub enum FindingKind {
     Deadlock,
     /// Results differed across legal schedules.
     ScheduleNondeterminism,
+    /// A cycle through dependence and wait edges: no legal schedule
+    /// can order the involved tasks.
+    WaitCycle,
+    /// A wait blocks on a sentinel region no task ever produces.
+    UnsatisfiableWait,
+    /// A task can never become ready (its predecessors never complete).
+    UnreachableTask,
+    /// A clause declaration the graph builder rejected outright.
+    UnsatisfiableClause,
+    /// The executor broke one of its own invariants (epoch tracking,
+    /// wake coalescing) during a run.
+    ExecutorInvariant,
 }
 
 impl FindingKind {
@@ -72,6 +84,11 @@ impl FindingKind {
             FindingKind::DeadWrite => "dead-write",
             FindingKind::Deadlock => "deadlock",
             FindingKind::ScheduleNondeterminism => "schedule-nondeterminism",
+            FindingKind::WaitCycle => "wait-cycle",
+            FindingKind::UnsatisfiableWait => "unsatisfiable-wait",
+            FindingKind::UnreachableTask => "unreachable-task",
+            FindingKind::UnsatisfiableClause => "unsatisfiable-clause",
+            FindingKind::ExecutorInvariant => "executor-invariant",
         }
     }
 }

@@ -13,7 +13,7 @@
 //!
 //! [`RuntimeConfig::with_sched_seed`]: ompss_runtime::RuntimeConfig::with_sched_seed
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use ompss_runtime::RunError;
 
 use crate::{Finding, FindingKind};
 
@@ -33,32 +33,27 @@ pub struct Observation {
 }
 
 /// Run `run` once per seed and diff the observations against the first
-/// seed's. Returns one [`FindingKind::Deadlock`] finding per crashed
-/// or deadlocked seed and one [`FindingKind::ScheduleNondeterminism`]
-/// finding per diverging seed.
+/// seed's. A run that fails surfaces as one structured finding per
+/// seed: [`FindingKind::Deadlock`] for deadlocks (naming every blocked
+/// process and its phase) and crashes, [`FindingKind::ExecutorInvariant`]
+/// for executor self-check failures. Diverging successful runs yield
+/// one [`FindingKind::ScheduleNondeterminism`] finding per seed.
 ///
 /// `target` names the program under test in the findings' messages.
 pub fn explore<F>(target: &str, seeds: &[u64], run: F) -> Vec<Finding>
 where
-    F: Fn(u64) -> Observation,
+    F: Fn(u64) -> Result<Observation, RunError>,
 {
     let mut findings = Vec::new();
     let mut baseline: Option<(u64, Observation)> = None;
     for &seed in seeds {
-        // A buggy program may deadlock (the runtime panics the whole
-        // process group) under some orders; contain that to a finding.
-        let outcome = catch_unwind(AssertUnwindSafe(|| run(seed)));
-        let obs = match outcome {
+        // A buggy program may deadlock or crash under some orders; the
+        // runtime reports that as a structured error we turn into a
+        // finding, then keep probing the remaining seeds.
+        let obs = match run(seed) {
             Ok(obs) => obs,
-            Err(panic) => {
-                let msg = panic_message(&panic);
-                findings.push(Finding {
-                    kind: FindingKind::Deadlock,
-                    task: None,
-                    label: String::new(),
-                    region: None,
-                    message: format!("{target} crashed under scheduler seed {seed}: {msg}"),
-                });
+            Err(err) => {
+                findings.push(error_finding(target, seed, &err));
                 continue;
             }
         };
@@ -83,6 +78,44 @@ where
     findings
 }
 
+/// Turn one failed seeded run into a finding. Deadlocks enumerate the
+/// blocked processes (name and phase) so the report pinpoints *what*
+/// is stuck, not just that something is.
+fn error_finding(target: &str, seed: u64, err: &RunError) -> Finding {
+    match err {
+        RunError::Deadlock { blocked } => {
+            let stuck: Vec<String> =
+                blocked.iter().map(|p| format!("{} ({})", p.name, p.phase)).collect();
+            Finding {
+                kind: FindingKind::Deadlock,
+                task: None,
+                label: String::new(),
+                region: None,
+                message: format!(
+                    "{target} deadlocked under scheduler seed {seed}; blocked: {}",
+                    stuck.join(", ")
+                ),
+            }
+        }
+        RunError::InvariantViolation { what } => Finding {
+            kind: FindingKind::ExecutorInvariant,
+            task: None,
+            label: String::new(),
+            region: None,
+            message: format!(
+                "{target} tripped an executor invariant under scheduler seed {seed}: {what}"
+            ),
+        },
+        other => Finding {
+            kind: FindingKind::Deadlock,
+            task: None,
+            label: String::new(),
+            region: None,
+            message: format!("{target} crashed under scheduler seed {seed}: {other}"),
+        },
+    }
+}
+
 /// Describe how two observations differ, or `None` if they agree.
 fn diverges(a: &Observation, b: &Observation) -> Option<String> {
     if a.tasks != b.tasks {
@@ -101,19 +134,10 @@ fn diverges(a: &Observation, b: &Observation) -> Option<String> {
     }
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".into()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ompss_runtime::ProcState;
 
     fn obs(tasks: u64, check: &[f32]) -> Observation {
         Observation { check: Some(check.to_vec()), tasks }
@@ -121,14 +145,15 @@ mod tests {
 
     #[test]
     fn identical_runs_are_clean() {
-        let f = explore("t", &DEFAULT_SEEDS, |_| obs(4, &[1.0, 2.0]));
+        let f = explore("t", &DEFAULT_SEEDS, |_| Ok(obs(4, &[1.0, 2.0])));
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn diverging_output_is_flagged_per_seed() {
-        let f =
-            explore("t", &DEFAULT_SEEDS, |seed| obs(4, &[1.0, if seed == 42 { 3.0 } else { 2.0 }]));
+        let f = explore("t", &DEFAULT_SEEDS, |seed| {
+            Ok(obs(4, &[1.0, if seed == 42 { 3.0 } else { 2.0 }]))
+        });
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].kind, FindingKind::ScheduleNondeterminism);
         assert!(f[0].message.contains("seeds 0 and 42"), "{}", f[0].message);
@@ -137,21 +162,34 @@ mod tests {
 
     #[test]
     fn task_count_divergence_is_flagged() {
-        let f = explore("t", &[0, 1], |seed| obs(4 + seed, &[]));
+        let f = explore("t", &[0, 1], |seed| Ok(obs(4 + seed, &[])));
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("4 tasks vs 5"), "{}", f[0].message);
     }
 
     #[test]
-    fn crash_becomes_deadlock_finding_and_comparison_continues() {
+    fn deadlock_names_blocked_processes_and_comparison_continues() {
         let f = explore("t", &DEFAULT_SEEDS, |seed| {
             if seed == 0 {
-                panic!("runtime deadlock; stuck: [\"worker\"]");
+                return Err(RunError::Deadlock {
+                    blocked: vec![ProcState { pid: 3, name: "worker".into(), phase: "blocked" }],
+                });
             }
-            obs(2, &[1.0])
+            Ok(obs(2, &[1.0]))
         });
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].kind, FindingKind::Deadlock);
         assert!(f[0].message.contains("seed 0"), "{}", f[0].message);
+        assert!(f[0].message.contains("worker (blocked)"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn invariant_violation_is_its_own_kind() {
+        let f = explore("t", &[0], |_| {
+            Err(RunError::InvariantViolation { what: "stale event reached dispatch".into() })
+        });
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, FindingKind::ExecutorInvariant);
+        assert!(f[0].message.contains("stale event"), "{}", f[0].message);
     }
 }
