@@ -9,6 +9,7 @@
 #   ./ci.sh bench    # wall-clock spine: fail on >20% macro regression
 #   ./ci.sh scale    # 1000-node cluster demonstration (release)
 #   ./ci.sh mc       # bounded model-check of matmul+stream schedules
+#   ./ci.sh serve    # job-server soak: overload, cancels, fairness
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,6 +28,13 @@ chaos() {
 bench() {
     echo "==> bench_sim (host wall-clock vs committed BENCH_sim.json, +20% budget)"
     cargo run -q --release -p ompss-bench --bin bench_sim -- --check
+    echo "==> serve --bench (daemon throughput vs committed BENCH_serve.json, -20% budget)"
+    cargo run -q --release -p ompss-serve --bin serve -- --bench --check --jobs 4
+}
+
+serve() {
+    echo "==> ompss-serve soak (500 mixed-priority jobs, overload bursts, cancels, drain)"
+    cargo run -q --release -p ompss-serve --bin serve -- --soak 500 --jobs 4
 }
 
 scale() {
@@ -76,6 +84,12 @@ if [[ "${1:-}" == "mc" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "serve" ]]; then
+    serve
+    echo "CI green."
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -96,6 +110,8 @@ verify
 chaos
 
 mc
+
+serve
 
 if [[ "${1:-}" != "quick" ]]; then
     mc_defects

@@ -29,9 +29,9 @@
 
 use std::sync::Arc;
 
-use ompss_chaos::{chaos_run, output_of, run_app, topologies, APPS};
+use ompss_chaos::{chaos_run, output_of, run_app, topologies, try_run_app, APPS};
 use ompss_json::Json;
-use ompss_runtime::{FaultClass, FaultPlan};
+use ompss_runtime::{FaultClass, FaultPlan, RunError};
 
 fn parse_list(flag: &str, s: &str) -> Vec<f64> {
     s.split(',')
@@ -195,26 +195,16 @@ fn main() {
 }
 
 /// How one planned node-kill case ended. Recovery and a fail-closed
-/// [`ompss_runtime::RunError::Exhausted`] are the only acceptable
-/// outcomes — wrong bytes and crashes fail the sweep.
+/// [`RunError::Exhausted`] are the only acceptable outcomes — wrong
+/// bytes and any other error fail the sweep.
 enum KillOutcome {
     /// The run completed bit-identically; carries its recovery
     /// counters `(nodes_lost, relineaged, reconstructed, missed)`.
     Finished((u64, u64, u64, u64)),
     /// The run aborted with a recovery-budget/lineage exhaustion.
     FailClosed(String),
-    /// Any other panic: a real defect.
+    /// Any other failure: a real defect.
     Crashed(String),
-}
-
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
 }
 
 /// The whole-node loss grid: app × cluster size × victim slave × kill
@@ -240,10 +230,9 @@ fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
 
     // Phase 2: one kill case per (app, cluster, victim, point). Each
     // case classifies itself against its captured reference, so the
-    // grid still fans out across `--jobs` threads. An `Exhausted` abort
-    // surfaces as a panic from the app harness; silence the default
-    // hook for the phase so expected fail-closed cases do not spray
-    // backtraces over the report.
+    // grid still fans out across `--jobs` threads. Outcomes are sorted
+    // by `RunError` variant — `Exhausted` is the fail-closed budget
+    // abort, anything else a defect — not by grepping panic strings.
     let mut kill_tasks: Vec<Box<dyn FnOnce() -> KillOutcome + Send>> = Vec::new();
     let mut grid: Vec<(&'static str, &'static str, u32, u64)> = Vec::new();
     for &app in apps {
@@ -257,7 +246,7 @@ fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
                     let at = SimDuration::from_nanos(makespan * pct / 100);
                     kill_tasks.push(Box::new(move || {
                         let cfg = RuntimeConfig::gpu_cluster(nodes).with_node_loss(victim, at);
-                        match std::panic::catch_unwind(|| run_app(app, cfg)) {
+                        match try_run_app(app, cfg) {
                             Ok(run) => {
                                 let c = &run.report.as_ref().expect("report").counters;
                                 let counters = (
@@ -272,24 +261,17 @@ fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
                                     KillOutcome::Crashed("output diverged".into())
                                 }
                             }
-                            Err(p) => {
-                                let msg = panic_text(p);
-                                if msg.contains("exhausted") {
-                                    KillOutcome::FailClosed(msg)
-                                } else {
-                                    KillOutcome::Crashed(msg)
-                                }
+                            Err(e @ RunError::Exhausted { .. }) => {
+                                KillOutcome::FailClosed(e.to_string())
                             }
+                            Err(e) => KillOutcome::Crashed(e.to_string()),
                         }
                     }));
                 }
             }
         }
     }
-    let hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
     let results = ompss_sweep::run_jobs(ompss_sweep::jobs(), kill_tasks);
-    std::panic::set_hook(hook);
 
     let mut cases = Json::array();
     let (mut recovered, mut fail_closed, mut failures) = (0u64, 0u64, 0u64);

@@ -21,21 +21,29 @@ use ompss_apps::matmul::{self, MatmulParams};
 use ompss_apps::nbody::{self, NbodyParams};
 use ompss_apps::perlin::{self, PerlinParams};
 use ompss_apps::stream::{self, StreamParams};
-use ompss_runtime::{FaultPlan, RuntimeConfig};
+use ompss_runtime::{FaultPlan, RunError, RuntimeConfig};
 
 /// The applications the sweep covers.
 pub const APPS: [&str; 4] = ["matmul", "stream", "nbody", "perlin"];
 
 /// Run one application at validation scale (real byte backing, output
-/// returned in `check`) under `cfg`.
-pub fn run_app(name: &str, cfg: RuntimeConfig) -> AppRun {
+/// returned in `check`) under `cfg`, surfacing the structured
+/// [`RunError`] — the form harnesses match on (`is_retryable`, variant
+/// classification) instead of parsing panic strings.
+pub fn try_run_app(name: &str, cfg: RuntimeConfig) -> Result<AppRun, RunError> {
     match name {
-        "matmul" => matmul::ompss::run(cfg, MatmulParams::validate(), InitMode::Smp),
-        "stream" => stream::ompss::run(cfg, StreamParams::validate()),
-        "nbody" => nbody::ompss::run(cfg, NbodyParams::validate()),
-        "perlin" => perlin::ompss::run(cfg, PerlinParams::validate(), false),
+        "matmul" => matmul::ompss::try_run(cfg, MatmulParams::validate(), InitMode::Smp),
+        "stream" => stream::ompss::try_run(cfg, StreamParams::validate()),
+        "nbody" => nbody::ompss::try_run(cfg, NbodyParams::validate()),
+        "perlin" => perlin::ompss::try_run(cfg, PerlinParams::validate(), false),
         other => panic!("unknown app '{other}'"),
     }
+}
+
+/// Like [`try_run_app`] but panicking with the error's `Display` on
+/// failure — for call sites that treat any failure as fatal.
+pub fn run_app(name: &str, cfg: RuntimeConfig) -> AppRun {
+    try_run_app(name, cfg).unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
 /// The two topologies the sweep exercises: the paper's single-node
@@ -56,6 +64,15 @@ pub fn with_big_budgets(cfg: RuntimeConfig) -> RuntimeConfig {
 /// raised.
 pub fn chaos_run(app: &str, cfg: RuntimeConfig, plan: Arc<FaultPlan>) -> AppRun {
     run_app(app, with_big_budgets(cfg.with_fault_plan(plan)))
+}
+
+/// Fallible [`chaos_run`]: same raised budgets, structured error out.
+pub fn try_chaos_run(
+    app: &str,
+    cfg: RuntimeConfig,
+    plan: Arc<FaultPlan>,
+) -> Result<AppRun, RunError> {
+    try_run_app(app, with_big_budgets(cfg.with_fault_plan(plan)))
 }
 
 /// Fetch the validation output of a run, which validation-scale app

@@ -13,10 +13,14 @@
 //! in the same style as `serde_json::to_string_pretty`, so existing
 //! tooling that consumed the old bench output keeps working.
 //!
-//! There is deliberately no parser and no derive machinery: producers
-//! implement [`ToJson`] by hand, which keeps the field order explicit
-//! and the dependency graph free of proc-macros (the build environment
-//! has no network access to fetch them).
+//! There is no derive machinery: producers implement [`ToJson`] by
+//! hand, which keeps the field order explicit and the dependency graph
+//! free of proc-macros (the build environment has no network access to
+//! fetch them). A minimal recursive-descent parser ([`Json::parse`])
+//! exists for machine-written input — the `ompss-serve` job protocol
+//! and committed baseline files — not as a general-purpose JSON reader:
+//! it accepts exactly the documents this workspace's writer produces
+//! (plus insignificant whitespace) and rejects everything else loudly.
 
 #![warn(missing_docs)]
 
@@ -106,6 +110,21 @@ impl Json {
         let mut out = String::new();
         self.write_pretty(&mut out, 0);
         out
+    }
+
+    /// Parse a JSON document. Numbers become [`Json::U64`] when they
+    /// are unsigned integers that fit, [`Json::I64`] when negative
+    /// integers, and [`Json::F64`] otherwise; duplicate object keys are
+    /// kept in document order (the writer never produces them).
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), at: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
     }
 
     fn write_compact(&self, out: &mut String) {
@@ -279,6 +298,230 @@ impl<T: Into<Json>> From<Option<T>> for Json {
     }
 }
 
+/// Why [`Json::parse`] rejected a document, with the byte offset of
+/// the offending character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// What the parser expected or found.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> ParseError {
+        ParseError { at: self.at, what: what.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else { return Err(self.err("unterminated string")) };
+            self.at += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let n = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("malformed \\u escape"))?;
+                            self.at += 4;
+                            // Surrogate pairs: the writer never emits
+                            // them (it writes raw UTF-8), so only BMP
+                            // scalars are accepted.
+                            let ch = char::from_u32(n)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(ch);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at `c`.
+                    let start = self.at - 1;
+                    let width = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.at = start + width;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.at += 1;
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.at += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii number");
+        if !fractional {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| ParseError { at: start, what: format!("malformed number '{text}'") })
+    }
+}
+
 /// Types with a canonical JSON representation.
 pub trait ToJson {
     /// Convert to a JSON value.
@@ -333,6 +576,46 @@ mod tests {
     fn insertion_order_is_output_order() {
         let a = Json::object().field("z", 1u64).field("a", 2u64);
         assert_eq!(a.to_compact_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::object()
+            .field("name", "job-1")
+            .field("priority", 2u64)
+            .field("neg", -3i64)
+            .field("rate", 0.05)
+            .field("big", 1.5e10)
+            .field("ok", true)
+            .field("none", Json::Null)
+            .field("tags", vec!["a".to_string(), "b\"c\\d\ne".to_string()])
+            .field("empty_arr", Json::array())
+            .field("empty_obj", Json::object());
+        for text in [doc.to_compact_string(), doc.to_pretty_string()] {
+            assert_eq!(Json::parse(&text).expect("parses"), doc, "input: {text}");
+        }
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(Json::parse("7").unwrap(), Json::U64(7));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("7.5").unwrap(), Json::F64(7.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::U64(u64::MAX));
+    }
+
+    #[test]
+    fn parse_unicode_escape_and_utf8() {
+        assert_eq!(Json::parse(r#""aAß""#).unwrap(), Json::Str("aAß".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated", "{\"a\" 1}"] {
+            let e = Json::parse(bad).expect_err(&format!("must reject {bad:?}"));
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -83,8 +83,11 @@ fn main() {
     let mut tasks: Vec<SectionTask> = Vec::new();
     for &app in &selected {
         tasks.push(Box::new(move || {
-            let findings = apps::static_lints(app, nodes)
-                .unwrap_or_else(|e| panic!("{app}: recording run for the static pass failed: {e}"));
+            let findings = apps::static_lints(app, nodes).unwrap_or_else(|e| {
+                // The RunError Display line, then a plain nonzero exit.
+                eprintln!("error: {app}: {e}");
+                std::process::exit(1);
+            });
             (format!("{app}/static"), Section::Static(findings))
         }));
         let cfg = cfg.clone();

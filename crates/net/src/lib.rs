@@ -26,4 +26,4 @@ mod mpi;
 pub use am::{AmEndpoint, AmNet, AmStats, AM_HEADER_BYTES};
 pub use fabric::{Fabric, FabricConfig, NetStats, NodeId};
 pub use heartbeat::{LeaseConfig, LeaseTracker};
-pub use mpi::{Mpi, MpiMsg, MpiRank, Source, MPI_ENVELOPE_BYTES};
+pub use mpi::{Mpi, MpiMsg, MpiRank, Source, UnexpectedStats, MPI_ENVELOPE_BYTES};

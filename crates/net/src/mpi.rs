@@ -11,6 +11,7 @@
 //! the OmpSs runtime, so simulated times are directly comparable.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -48,6 +49,21 @@ pub enum Source {
     Any,
 }
 
+/// Pressure observed on the world's unexpected-message queues — the
+/// early-warning gauge for the bounded-queue abort: `peak` close to the
+/// cap means the receive pattern is one burst away from
+/// [`RunError::QueueOverflow`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnexpectedStats {
+    /// Messages stashed as unexpected (received before any matching
+    /// `recv` was posted), summed over all ranks.
+    pub stashed: u64,
+    /// High-water mark of any single rank's unexpected queue.
+    pub peak: u64,
+    /// Overflow aborts triggered (0 or 1 — the first ends the run).
+    pub overflows: u64,
+}
+
 /// An MPI-like world of `size` ranks over a simulated fabric.
 ///
 /// Clones share the same world.
@@ -59,6 +75,8 @@ pub struct Mpi {
     /// Bound on each unexpected queue; overflow aborts the run with
     /// [`RunError::QueueOverflow`] instead of growing silently.
     unexpected_cap: usize,
+    /// `[stashed, peak, overflows]` — see [`UnexpectedStats`].
+    unexpected_stats: Arc<[AtomicU64; 3]>,
 }
 
 impl Clone for Mpi {
@@ -67,6 +85,7 @@ impl Clone for Mpi {
             fabric: self.fabric.clone(),
             unexpected: self.unexpected.clone(),
             unexpected_cap: self.unexpected_cap,
+            unexpected_stats: self.unexpected_stats.clone(),
         }
     }
 }
@@ -79,6 +98,7 @@ impl Mpi {
             fabric: Fabric::new(cfg),
             unexpected: Arc::new((0..n).map(|_| Mutex::new(VecDeque::new())).collect()),
             unexpected_cap: MPI_UNEXPECTED_CAP,
+            unexpected_stats: Arc::new([AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)]),
         }
     }
 
@@ -104,6 +124,15 @@ impl Mpi {
     /// Traffic counters.
     pub fn stats(&self) -> NetStats {
         self.fabric.stats()
+    }
+
+    /// Unexpected-queue pressure counters.
+    pub fn unexpected_stats(&self) -> UnexpectedStats {
+        UnexpectedStats {
+            stashed: self.unexpected_stats[0].load(Relaxed),
+            peak: self.unexpected_stats[1].load(Relaxed),
+            overflows: self.unexpected_stats[2].load(Relaxed),
+        }
     }
 }
 
@@ -170,12 +199,15 @@ impl MpiRank {
             }
             let mut q = self.world.unexpected[self.rank as usize].lock();
             if q.len() >= self.world.unexpected_cap {
+                self.world.unexpected_stats[2].fetch_add(1, Relaxed);
                 return Err(abort_run(RunError::QueueOverflow {
                     queue: format!("mpi:rank{}:unexpected", self.rank),
                     capacity: self.world.unexpected_cap,
                 }));
             }
             q.push_back((src, msg));
+            self.world.unexpected_stats[0].fetch_add(1, Relaxed);
+            self.world.unexpected_stats[1].fetch_max(q.len() as u64, Relaxed);
         }
     }
 
@@ -490,12 +522,46 @@ mod tests {
             let _ = r1.recv(Source::Rank(0), Some(2)).await;
         });
         match sim.run() {
-            Err(ompss_sim::RunError::QueueOverflow { queue, capacity }) => {
-                assert_eq!(queue, "mpi:rank1:unexpected");
-                assert_eq!(capacity, 2);
+            Err(e @ ompss_sim::RunError::QueueOverflow { .. }) => {
+                match &e {
+                    ompss_sim::RunError::QueueOverflow { queue, capacity } => {
+                        assert_eq!(queue, "mpi:rank1:unexpected");
+                        assert_eq!(*capacity, 2);
+                    }
+                    _ => unreachable!(),
+                }
+                // The overflow is momentary pressure, not a defect: a
+                // job server may re-run the spec.
+                assert!(e.is_retryable(), "queue overflow must classify as retryable");
             }
             other => panic!("expected QueueOverflow, got {other:?}"),
         }
+        // The pressure gauge reports the path to the abort: two stashes
+        // filled the queue to its cap, the third triggered the overflow.
+        let stats = mpi.unexpected_stats();
+        assert_eq!(stats, UnexpectedStats { stashed: 2, peak: 2, overflows: 1 });
+    }
+
+    #[test]
+    fn unexpected_stats_track_peak_without_overflow() {
+        let mpi = world(2).with_unexpected_cap(8);
+        run_ranks(&mpi, |rank| async move {
+            if rank.rank() == 0 {
+                for tag in [1u32, 2, 3] {
+                    rank.send(1, tag, 0, None).await.unwrap();
+                }
+            } else {
+                // Match in reverse order: tags 1 and 2 get stashed
+                // while waiting for 3, then drain from the queue.
+                for tag in [3u32, 2, 1] {
+                    rank.recv(Source::Rank(0), Some(tag)).await.unwrap();
+                }
+            }
+        });
+        let stats = mpi.unexpected_stats();
+        assert_eq!(stats.overflows, 0);
+        assert_eq!(stats.stashed, 2);
+        assert_eq!(stats.peak, 2);
     }
 
     #[test]

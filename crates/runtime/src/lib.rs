@@ -65,7 +65,8 @@ pub use ompss_cudasim::{GpuSpec, KernelCost};
 pub use ompss_mem::{Backing, Region};
 pub use ompss_sched::Policy;
 pub use ompss_sim::{
-    DeviceFuse, FaultClass, FaultPlan, FaultStats, ProcState, RunError, SimDuration, SimTime,
+    Backoff, DeviceFuse, FaultClass, FaultPlan, FaultStats, ProcState, RunError, SimDuration,
+    SimTime,
 };
 
 /// Destructure a task body's byte views into typed mutable slices, in

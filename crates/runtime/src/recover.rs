@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use parking_lot::Mutex;
 
-use ompss_sim::{abort_run, RunError, Signal, SimDuration, SimResult};
+use ompss_sim::{abort_run, Backoff, RunError, Signal, SimDuration, SimResult};
 
 use crate::stats::Counters;
 
@@ -92,9 +92,10 @@ impl Reliability {
         let id = self.next_id.fetch_add(1, Relaxed);
         let sig = Signal::new();
         self.pending.lock().insert(id, (src, dst, sig.clone()));
-        let mut timeout = self.base_timeout;
+        // One ack wait per attempt, doubling: the shared deterministic
+        // backoff schedule (also used by `ompss-serve` job retries).
         let attempts = self.budget.saturating_add(1);
-        for attempt in 0..attempts {
+        for (attempt, timeout) in Backoff::exponential(self.base_timeout, attempts).enumerate() {
             if attempt > 0 {
                 Counters::add(&counters.am_retries, 1);
             }
@@ -103,7 +104,6 @@ impl Reliability {
                 self.pending.lock().remove(&id);
                 return Ok(());
             }
-            timeout = timeout * 2;
         }
         self.pending.lock().remove(&id);
         Err(abort_run(RunError::Exhausted { what: format!("{what} retransmissions"), attempts }))

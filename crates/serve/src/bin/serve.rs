@@ -1,0 +1,519 @@
+//! serve — the ompss simulation daemon.
+//!
+//! ```text
+//! serve                          # line protocol on stdin/stdout
+//! serve --socket PATH            # daemon on a Unix socket, one client per connection
+//! serve --soak [N]               # in-process robustness soak (default 500 jobs)
+//! serve --bench [--check]        # daemon throughput baseline / regression gate
+//! ```
+//!
+//! Common flags: `--jobs N` (worker threads), `--queue-cap N`.
+//!
+//! The protocol is one JSON object per line in each direction; see
+//! [`ompss_serve::serve_connection`]. The soak and bench modes are the
+//! CI faces of the daemon: `./ci.sh serve` runs the soak, `./ci.sh
+//! bench` runs `--bench --check` against the committed
+//! `BENCH_serve.json`.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ompss_json::{Json, ToJson};
+use ompss_serve::{
+    serve_connection, Event, EventKind, JobSpec, ServeConfig, Server, Sink, AGING_POPS,
+    PRIORITY_MAX,
+};
+
+/// Soak: the committed peak-RSS ceiling. The daemon's whole point is
+/// bounded memory under overload; blowing this is a failed soak.
+const SOAK_RSS_LIMIT_BYTES: u64 = 1 << 30; // 1 GiB
+
+/// Soak: per-pop fairness bound on queue wait, in pops. A queued job
+/// ages one priority level per [`AGING_POPS`] pops, so after
+/// `PRIORITY_MAX * AGING_POPS` pops it outranks every possible
+/// newcomer base priority; what remains ahead of it is bounded by the
+/// queue capacity plus the newcomers admitted while it aged (at most
+/// one per pop during the aging window). `3 *` leaves slack for
+/// tie-break noise without ever letting true starvation pass.
+fn fairness_bound(queue_cap: usize) -> u64 {
+    queue_cap as u64 + 3 * PRIORITY_MAX as u64 * AGING_POPS
+}
+
+/// Bench: `--check` fails when throughput drops below baseline by more
+/// than this factor.
+const REGRESSION_HEADROOM: f64 = 1.20;
+
+/// Bench: jobs pushed through the daemon.
+const BENCH_JOBS: usize = 96;
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// `VmHWM`; 0 where unavailable).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Path of the committed baseline: `<workspace>/BENCH_serve.json`.
+fn bench_path() -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => std::path::Path::new(&m).join("../../BENCH_serve.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_serve.json"),
+    }
+}
+
+/// Deterministic 64-bit xorshift for the soak's job mix.
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Everything the soak records about the event stream, keyed by id.
+#[derive(Default)]
+struct SoakLog {
+    /// Terminal event names per job (must end at exactly one each).
+    terminals: HashMap<u64, Vec<&'static str>>,
+    /// Worst queue wait seen in any `started` event, in pops.
+    max_waited_pops: u64,
+    /// `(id, attempts, report bytes)` of completed jobs, for the
+    /// determinism re-run sample.
+    results: Vec<(u64, u32, String)>,
+}
+
+fn terminal_name(kind: &EventKind) -> Option<&'static str> {
+    Some(match kind {
+        EventKind::Result { .. } => "result",
+        EventKind::Rejected { reason } => reason,
+        EventKind::Cancelled => "cancelled",
+        EventKind::DeadlineExceeded => "deadline_exceeded",
+        EventKind::Failed { .. } => "failed",
+        EventKind::Admitted { .. } | EventKind::Started { .. } | EventKind::Retrying { .. } => {
+            return None
+        }
+    })
+}
+
+fn soak_sink(log: Arc<Mutex<SoakLog>>) -> Sink {
+    Arc::new(move |ev: &Event| {
+        let mut log = log.lock().expect("soak log");
+        if let EventKind::Started { waited_pops, .. } = ev.kind {
+            log.max_waited_pops = log.max_waited_pops.max(waited_pops);
+        }
+        if let EventKind::Result { attempts, ref report, .. } = ev.kind {
+            log.results.push((ev.id, attempts, report.to_compact_string()));
+        }
+        if let Some(name) = terminal_name(&ev.kind) {
+            log.terminals.entry(ev.id).or_default().push(name);
+        }
+    })
+}
+
+/// The soak's deterministic job mix: mostly cheap fault-free stream
+/// runs, salted with other apps, cluster topologies, zero deadlines,
+/// faulty-with-retries specs and occasional hopeless fault rates.
+fn soak_spec(i: usize, rng: &mut u64) -> JobSpec {
+    let app = if i % 7 == 3 {
+        ompss_chaos::APPS[xorshift(rng) as usize % ompss_chaos::APPS.len()]
+    } else {
+        "stream"
+    };
+    let mut j = Json::object()
+        .field("app", app)
+        .field("priority", xorshift(rng) % 10)
+        .field("tag", format!("soak-{i}"));
+    if i % 23 == 11 {
+        j = j.field("topology", "cluster").field("nodes", 2u64);
+    }
+    if i % 13 == 5 {
+        // Already expired on admission: must terminate as
+        // deadline_exceeded unless a worker wins the race.
+        j = j.field("deadline_ms", 0u64);
+    }
+    if i % 19 == 7 {
+        j = j.field("fault_rate", 0.02).field("fault_seed", xorshift(rng)).field("retries", 2u64);
+    }
+    if i % 29 == 13 {
+        j = j.field("fault_rate", 0.45).field("fault_seed", xorshift(rng)).field("retries", 1u64);
+    }
+    JobSpec::from_json(&j).expect("soak specs are well-formed")
+}
+
+/// Malformed specs the soak interleaves to prove bad requests are
+/// rejected at the door and never become jobs.
+const BAD_SPECS: [&str; 4] = [
+    r#"{"topology":"cluster"}"#,
+    r#"{"app":"nosuch"}"#,
+    r#"{"app":"stream","priority":99}"#,
+    r#"{"app":"stream","fault_rate":2.0}"#,
+];
+
+fn run_soak(n: usize) -> i32 {
+    let queue_cap = 16;
+    let cfg = ServeConfig { queue_cap, ..ServeConfig::default() };
+    let workers = cfg.workers;
+    println!("serve soak: {n} jobs, {workers} worker(s), queue cap {queue_cap}");
+    let server = Server::new(cfg);
+    let log: Arc<Mutex<SoakLog>> = Arc::default();
+    let sink = soak_sink(log.clone());
+    let mut rng = 0x5eed_5e12_feed_f00d_u64;
+    let mut specs: HashMap<u64, JobSpec> = HashMap::new();
+    let mut bad_rejected = 0usize;
+    let mut submitted = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+
+    let t0 = Instant::now();
+    for i in 0..n {
+        if i % 11 == 4 {
+            // A malformed request: must fail validation, never queue.
+            let text = BAD_SPECS[xorshift(&mut rng) as usize % BAD_SPECS.len()];
+            match JobSpec::parse(text) {
+                Err(_) => bad_rejected += 1,
+                Ok(_) => violations.push(format!("bad spec parsed: {text}")),
+            }
+            continue;
+        }
+        let spec = soak_spec(i, &mut rng);
+        let id = server.submit(spec.clone(), sink.clone());
+        specs.insert(id, spec);
+        submitted += 1;
+        if i % 17 == 9 {
+            // Cancel immediately; terminal may be `cancelled` or a
+            // result the worker already raced to — both are legal.
+            server.cancel(id);
+        }
+        // Pace most submissions so a healthy share completes, but let
+        // every fourth batch of 24 arrive as an unthrottled burst: 24
+        // near-instant arrivals against a cap of 16 and `workers`
+        // in-flight slots must overrun admission, forcing the
+        // queue-full / load-shed paths the soak exists to exercise.
+        let burst = (i / 24) % 4 == 3;
+        if !burst {
+            while submitted - log.lock().expect("log").terminals.len() > workers {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+    // Drain while work is still queued: queued jobs must terminate as
+    // rejected("draining"), in-flight jobs must finish.
+    let counters = server.counters();
+    server.shutdown();
+    let wall = t0.elapsed().as_secs_f64();
+
+    let log = log.lock().expect("soak log");
+
+    // 1. Exactly one terminal per submitted job.
+    for (&id, names) in &log.terminals {
+        if names.len() != 1 {
+            violations.push(format!("job {id} got {} terminals: {names:?}", names.len()));
+        }
+    }
+    if log.terminals.len() != submitted {
+        violations.push(format!(
+            "{} jobs submitted but {} got a terminal event",
+            submitted,
+            log.terminals.len()
+        ));
+    }
+
+    // 2. Fairness: no started job waited past the aging bound.
+    let bound = fairness_bound(queue_cap);
+    if log.max_waited_pops > bound {
+        violations
+            .push(format!("fairness: a job waited {} pops (bound {bound})", log.max_waited_pops));
+    }
+
+    // 3. Determinism: first-attempt results must be byte-identical to a
+    //    direct run of the same spec.
+    let mut checked = 0;
+    for (id, attempts, report) in log.results.iter() {
+        if *attempts != 1 || checked >= 20 {
+            continue;
+        }
+        let spec = &specs[id];
+        let direct = ompss_chaos::try_run_app(spec.app, spec.config(0))
+            .unwrap_or_else(|e| panic!("direct re-run of job {id} failed: {e}"));
+        let direct_bytes = direct
+            .report
+            .as_ref()
+            .map(|r| r.to_json().to_compact_string())
+            .unwrap_or_else(|| Json::object().to_compact_string());
+        if direct_bytes != *report {
+            violations.push(format!("job {id}: served report differs from direct run"));
+        }
+        checked += 1;
+    }
+
+    // 4. Bounded memory.
+    let rss = peak_rss_bytes();
+    if rss > SOAK_RSS_LIMIT_BYTES {
+        violations.push(format!(
+            "peak RSS {} MiB exceeds the committed {} MiB limit",
+            rss >> 20,
+            SOAK_RSS_LIMIT_BYTES >> 20
+        ));
+    }
+
+    let mut by_kind: HashMap<&str, usize> = HashMap::new();
+    for names in log.terminals.values() {
+        for name in names {
+            *by_kind.entry(name).or_default() += 1;
+        }
+    }
+    let snap = counters.snapshot();
+    let mut terminals = Json::object();
+    let mut kinds: Vec<_> = by_kind.iter().collect();
+    kinds.sort();
+    for (name, count) in kinds {
+        terminals = terminals.field(name, *count as u64);
+    }
+    let summary = Json::object()
+        .field("soak_jobs", submitted as u64)
+        .field("bad_specs_rejected", bad_rejected as u64)
+        .field("wall_s", wall)
+        .field("terminals", terminals)
+        .field("max_waited_pops", log.max_waited_pops)
+        .field("fairness_bound", bound)
+        .field("determinism_checked", checked as u64)
+        .field("peak_rss_mib", rss >> 20)
+        .field("counters", snap.to_json());
+    println!("{}", summary.to_pretty_string());
+
+    // The soak must actually have exercised the overload machinery.
+    if snap.serve_rejected == 0 && snap.serve_shed == 0 {
+        violations.push("soak never hit admission control; lower the cap or raise n".into());
+    }
+    if snap.serve_completed == 0 {
+        violations.push("soak completed no jobs".into());
+    }
+
+    if violations.is_empty() {
+        println!("serve soak: OK");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("serve soak: VIOLATION: {v}");
+        }
+        1
+    }
+}
+
+/// Pull a numeric field out of a committed `BENCH_serve.json`.
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    match Json::parse(text).ok()?.get(key)? {
+        Json::F64(v) => Some(*v),
+        Json::U64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+fn run_bench(check: bool) -> i32 {
+    let cfg = ServeConfig { queue_cap: BENCH_JOBS, ..ServeConfig::default() };
+    let workers = cfg.workers;
+    println!("serve bench: {BENCH_JOBS} jobs, {workers} worker(s)");
+    let server = Server::new(cfg);
+
+    let waits: Arc<Mutex<Vec<Duration>>> = Arc::default();
+    let done: Arc<Mutex<usize>> = Arc::default();
+    let submitted_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::default();
+    let sink: Sink = {
+        let waits = waits.clone();
+        let done = done.clone();
+        let submitted_at = submitted_at.clone();
+        Arc::new(move |ev: &Event| {
+            if let EventKind::Started { .. } = ev.kind {
+                if let Some(t) = submitted_at.lock().expect("submits").get(&ev.id) {
+                    waits.lock().expect("waits").push(t.elapsed());
+                }
+            }
+            if ev.is_terminal() {
+                *done.lock().expect("done") += 1;
+            }
+        })
+    };
+
+    let spec = JobSpec::parse(r#"{"app":"stream"}"#).expect("bench spec");
+    let t0 = Instant::now();
+    for _ in 0..BENCH_JOBS {
+        let before = Instant::now();
+        let id = server.submit(spec.clone(), sink.clone());
+        submitted_at.lock().expect("submits").insert(id, before);
+    }
+    while *done.lock().expect("done") < BENCH_JOBS {
+        assert!(t0.elapsed() < Duration::from_secs(600), "bench stalled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let jobs_per_sec = BENCH_JOBS as f64 / wall;
+    let mut waits: Vec<u64> =
+        waits.lock().expect("waits").iter().map(|d| d.as_micros() as u64).collect();
+    waits.sort_unstable();
+    let pct = |p: f64| waits[((waits.len() - 1) as f64 * p) as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    println!("  jobs/s      {jobs_per_sec:>10.2}");
+    println!("  queue wait  p50 {p50} us, p99 {p99} us");
+
+    let path = bench_path();
+    let baseline =
+        std::fs::read_to_string(&path).ok().and_then(|t| baseline_field(&t, "jobs_per_sec"));
+    if let Some(b) = baseline {
+        println!("  baseline    {b:>10.2} jobs/s ({:+.1}%)", (jobs_per_sec / b - 1.0) * 100.0);
+    }
+
+    if check {
+        let b = baseline
+            .unwrap_or_else(|| panic!("--check needs a committed baseline at {}", path.display()));
+        if jobs_per_sec * REGRESSION_HEADROOM < b {
+            eprintln!(
+                "serve bench: {jobs_per_sec:.2} jobs/s is more than {:.0}% below baseline {b:.2}",
+                (REGRESSION_HEADROOM - 1.0) * 100.0
+            );
+            return 1;
+        }
+        println!("serve bench: within {:.0}% of baseline", (REGRESSION_HEADROOM - 1.0) * 100.0);
+        return 0;
+    }
+
+    let doc = Json::object()
+        .field("bench", "serve")
+        .field("jobs", BENCH_JOBS as u64)
+        .field("workers", workers as u64)
+        .field("jobs_per_sec", jobs_per_sec)
+        .field("wait_p50_us", p50)
+        .field("wait_p99_us", p99);
+    std::fs::write(&path, doc.to_pretty_string() + "\n").expect("write BENCH_serve.json");
+    println!("serve bench: wrote {}", path.display());
+    0
+}
+
+fn run_stdin(cfg: ServeConfig) {
+    let server = Server::new(cfg);
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout();
+    let wants_shutdown = serve_connection(&server, stdin, stdout);
+    if !wants_shutdown {
+        // Plain EOF (a piped client): deliver every outstanding result
+        // before exiting. An explicit shutdown op drains instead.
+        server.quiesce();
+    }
+    server.shutdown();
+}
+
+fn run_socket(path: &str, cfg: ServeConfig) {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)
+        .unwrap_or_else(|e| panic!("serve: cannot bind socket {path}: {e}"));
+    println!("serve: listening on {path}");
+    let server = Server::new(cfg);
+    let stop = AtomicBool::new(false);
+    let conns: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for stream in listener.incoming() {
+            if stop.load(Relaxed) {
+                break;
+            }
+            let Ok(stream) = stream else { break };
+            conns.lock().expect("conns").push(stream.try_clone().expect("clone unix stream"));
+            let (server, stop, conns) = (&server, &stop, &conns);
+            s.spawn(move || {
+                let reader = BufReader::new(stream.try_clone().expect("clone unix stream"));
+                if serve_connection(server, reader, stream) {
+                    stop.store(true, Relaxed);
+                    // Hang up every open connection so its handler
+                    // thread sees EOF, then poke the accept loop awake.
+                    for c in conns.lock().expect("conns").iter() {
+                        let _ = c.shutdown(std::net::Shutdown::Both);
+                    }
+                    let _ = UnixStream::connect(path);
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    server.shutdown();
+    println!("serve: drained, bye");
+}
+
+fn main() {
+    // Panics inside simulated processes (fault injection tripping an
+    // `expect` in app code) are caught by the sim engine and surfaced
+    // as structured `RunError::ProcessPanic` results; the default
+    // hook's backtrace spam would drown the protocol stream. Keep one
+    // diagnostic line per panic instead.
+    std::panic::set_hook(Box::new(|info| {
+        let thread = std::thread::current().name().unwrap_or("?").to_string();
+        eprintln!("serve: panic in {thread}: {info}");
+    }));
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = ompss_sweep::parse_jobs_flag(&mut args);
+
+    let mut queue_cap: Option<usize> = None;
+    let mut socket: Option<String> = None;
+    let mut soak: Option<usize> = None;
+    let mut bench = false;
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--queue-cap" => {
+                queue_cap = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--queue-cap needs a positive integer")),
+                );
+                i += 2;
+            }
+            "--socket" => {
+                socket = Some(
+                    args.get(i + 1).unwrap_or_else(|| panic!("--socket needs a path")).clone(),
+                );
+                i += 2;
+            }
+            "--soak" => {
+                let n = args.get(i + 1).and_then(|v| v.parse().ok());
+                soak = Some(n.unwrap_or(500));
+                i += if n.is_some() { 2 } else { 1 };
+            }
+            "--bench" => {
+                bench = true;
+                i += 1;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => panic!(
+                "serve: unknown flag '{other}'; usage: serve [--jobs N] [--queue-cap N] \
+                 [--socket PATH | --soak [N] | --bench [--check]]"
+            ),
+        }
+    }
+
+    let mut cfg = ServeConfig { workers: jobs, ..ServeConfig::default() };
+    if let Some(cap) = queue_cap {
+        cfg.queue_cap = cap;
+    }
+
+    if let Some(n) = soak {
+        std::process::exit(run_soak(n));
+    }
+    if bench {
+        std::process::exit(run_bench(check));
+    }
+    match socket {
+        Some(path) => run_socket(&path, cfg),
+        None => run_stdin(cfg),
+    }
+}

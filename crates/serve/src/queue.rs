@@ -1,0 +1,260 @@
+//! The bounded admission queue: priorities, aging fairness, load shed.
+//!
+//! The queue is the daemon's only buffer, and it is *bounded by
+//! construction*: overload turns into explicit admission decisions —
+//! reject the newcomer, or shed the least valuable queued job to make
+//! room — never into unbounded memory growth.
+//!
+//! Ordering is by **effective priority**: the spec's base priority plus
+//! one level per [`AGING_POPS`] pops waited. Aging gives a starvation
+//! bound instead of a promise: a queued job's effective priority
+//! eventually exceeds any newcomer's base, and ties break FIFO, so a
+//! priority-`p` job waits at most on the jobs already ahead of it plus
+//! the newcomers that can still outrank it while it ages — a bound the
+//! soak harness asserts per pop (see `bin/serve.rs`).
+//!
+//! Everything is O(queue length) linear scans: the cap is small (tens
+//! to hundreds), decisions must be deterministic, and a heap would buy
+//! nothing but subtler tie-breaks.
+
+use std::time::Instant;
+
+use crate::spec::JobSpec;
+
+/// Pops a queued job must wait to gain one effective priority level.
+pub const AGING_POPS: u64 = 4;
+
+/// One queued job with its admission bookkeeping.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// The validated request.
+    pub spec: JobSpec,
+    /// Host-time deadline fixed at admission, if the spec set one.
+    pub deadline: Option<Instant>,
+    /// Host time of admission (queue-wait metrics).
+    pub enqueued_at: Instant,
+    /// Pop counter value at admission (aging reference point).
+    enqueue_pops: u64,
+    /// Pops this job waited before being popped; set by
+    /// [`AdmitQueue::pop`].
+    pub waited_pops: u64,
+}
+
+impl QueuedJob {
+    /// Package a job for admission.
+    pub fn new(id: u64, spec: JobSpec, deadline: Option<Instant>) -> QueuedJob {
+        QueuedJob {
+            id,
+            spec,
+            deadline,
+            enqueued_at: Instant::now(),
+            enqueue_pops: 0,
+            waited_pops: 0,
+        }
+    }
+}
+
+/// Outcome of an admission attempt.
+#[derive(Debug)]
+pub enum Admit {
+    /// Queued; there was room.
+    Admitted,
+    /// Queued after evicting `victim`, the lowest-effective-priority
+    /// entry — the caller owes the victim its terminal response.
+    Shed {
+        /// The job removed to make room.
+        victim: QueuedJob,
+    },
+    /// Queue full and the newcomer does not outrank anything queued.
+    Rejected,
+}
+
+/// The bounded priority queue. Not internally synchronised — the server
+/// wraps it in a mutex.
+#[derive(Debug)]
+pub struct AdmitQueue {
+    cap: usize,
+    /// Arrival order is index order; pops remove from anywhere.
+    entries: Vec<QueuedJob>,
+    pops: u64,
+    peak: usize,
+}
+
+impl AdmitQueue {
+    /// An empty queue admitting at most `cap` jobs (at least 1).
+    pub fn new(cap: usize) -> AdmitQueue {
+        AdmitQueue { cap: cap.max(1), entries: Vec::new(), pops: 0, peak: 0 }
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// High-water mark of [`len`](AdmitQueue::len).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The admission cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    fn effective(&self, e: &QueuedJob) -> u64 {
+        e.spec.priority as u64 + (self.pops - e.enqueue_pops) / AGING_POPS
+    }
+
+    /// Admit `job`, shedding the weakest queued entry if the queue is
+    /// full and the newcomer's *base* priority strictly exceeds that
+    /// entry's *effective* priority (aging protects old queued work
+    /// from being churned out by a stream of equal-priority arrivals).
+    pub fn push(&mut self, mut job: QueuedJob) -> Admit {
+        job.enqueue_pops = self.pops;
+        if self.entries.len() < self.cap {
+            self.entries.push(job);
+            self.peak = self.peak.max(self.entries.len());
+            return Admit::Admitted;
+        }
+        // Weakest = lowest effective priority; among ties the youngest
+        // (highest index) loses, so aged entries keep their place.
+        let weakest = (0..self.entries.len())
+            .rev()
+            .min_by_key(|&i| self.effective(&self.entries[i]))
+            .expect("full queue has entries");
+        if (job.spec.priority as u64) > self.effective(&self.entries[weakest]) {
+            let victim = self.entries.remove(weakest);
+            self.entries.push(job);
+            Admit::Shed { victim }
+        } else {
+            Admit::Rejected
+        }
+    }
+
+    /// Pop the highest-effective-priority job (FIFO among ties), with
+    /// its `waited_pops` filled in.
+    pub fn pop(&mut self) -> Option<QueuedJob> {
+        let best = (0..self.entries.len()).max_by_key(|&i| {
+            // Stable max: later entries win only on strictly greater
+            // effective priority, so ties go to the earliest arrival.
+            (self.effective(&self.entries[i]), usize::MAX - i)
+        })?;
+        let mut job = self.entries.remove(best);
+        job.waited_pops = self.pops - job.enqueue_pops;
+        self.pops += 1;
+        Some(job)
+    }
+
+    /// Remove a queued job by id (client cancellation).
+    pub fn remove(&mut self, id: u64) -> Option<QueuedJob> {
+        let at = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(at))
+    }
+
+    /// Take every queued job (shutdown drain), oldest first.
+    pub fn drain_all(&mut self) -> Vec<QueuedJob> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(priority: u8) -> JobSpec {
+        let mut s = JobSpec::parse(r#"{"app":"stream"}"#).expect("test spec");
+        s.priority = priority;
+        s
+    }
+
+    fn job(id: u64, priority: u8) -> QueuedJob {
+        QueuedJob::new(id, spec(priority), None)
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let mut q = AdmitQueue::new(8);
+        for (id, p) in [(1, 3), (2, 7), (3, 3), (4, 7)] {
+            assert!(matches!(q.push(job(id, p)), Admit::Admitted));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
+        assert_eq!(order, vec![2, 4, 1, 3], "priority first, FIFO within a level");
+    }
+
+    #[test]
+    fn aging_promotes_a_starved_job() {
+        let mut q = AdmitQueue::new(16);
+        q.push(job(1, 0)); // the starved low-priority job
+                           // Feed and pop priority-5 work; each pop ages job 1 by 1/AGING.
+        let mut next = 2;
+        for _ in 0..5 * AGING_POPS {
+            q.push(job(next, 5));
+            let popped = q.pop().expect("queue non-empty");
+            assert_ne!(popped.id, 1, "not yet aged past priority 5");
+            next += 1;
+        }
+        // One more round: job 1's effective priority is now 5 and it is
+        // the oldest entry, so it wins the tie against any newcomer.
+        q.push(job(next, 5));
+        let popped = q.pop().expect("queue non-empty");
+        assert_eq!(popped.id, 1, "aging must eventually win");
+        assert_eq!(popped.waited_pops, 5 * AGING_POPS);
+    }
+
+    #[test]
+    fn full_queue_sheds_the_weakest_for_a_stronger_newcomer() {
+        let mut q = AdmitQueue::new(2);
+        q.push(job(1, 5));
+        q.push(job(2, 1));
+        match q.push(job(3, 8)) {
+            Admit::Shed { victim } => assert_eq!(victim.id, 2, "lowest effective priority sheds"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().expect("entries").id, 3);
+    }
+
+    #[test]
+    fn full_queue_rejects_a_newcomer_that_outranks_nothing() {
+        let mut q = AdmitQueue::new(2);
+        q.push(job(1, 5));
+        q.push(job(2, 5));
+        // Equal priority does not shed: strict inequality protects
+        // queued work from churn by an equal-priority arrival stream.
+        assert!(matches!(q.push(job(3, 5)), Admit::Rejected));
+        assert!(matches!(q.push(job(4, 2)), Admit::Rejected));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn shed_ties_take_the_youngest() {
+        let mut q = AdmitQueue::new(2);
+        q.push(job(1, 1));
+        q.push(job(2, 1));
+        match q.push(job(3, 9)) {
+            Admit::Shed { victim } => assert_eq!(victim.id, 2, "older equal entry survives"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_and_drain() {
+        let mut q = AdmitQueue::new(4);
+        for id in 1..=3 {
+            q.push(job(id, 4));
+        }
+        assert_eq!(q.remove(2).expect("queued").id, 2);
+        assert!(q.remove(2).is_none(), "removal is once");
+        let rest: Vec<u64> = q.drain_all().into_iter().map(|j| j.id).collect();
+        assert_eq!(rest, vec![1, 3]);
+        assert!(q.is_empty());
+        assert_eq!(q.peak(), 3);
+    }
+}

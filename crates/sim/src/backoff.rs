@@ -1,0 +1,124 @@
+//! Deterministic exponential backoff.
+//!
+//! Two very different retry loops in this workspace share one shape: a
+//! bounded number of attempts with a doubling wait between them. The
+//! runtime's ack/retransmit protocol (`ompss-runtime::recover`) waits
+//! in *virtual* time between retransmissions of a cluster message, and
+//! the `ompss-serve` daemon waits in *host* time between re-runs of a
+//! retryable job. [`Backoff`] is the schedule both use: an iterator of
+//! [`SimDuration`]s, fully determined by its parameters — no jitter, no
+//! clocks — so a retry sequence is reproducible from its configuration
+//! alone, in virtual time or mapped onto host time.
+
+use crate::time::SimDuration;
+
+/// A bounded, deterministic sequence of retry waits: `base`, `base×2`,
+/// `base×4`, … for `attempts` steps, optionally clamped to a ceiling.
+///
+/// ```
+/// use ompss_sim::{Backoff, SimDuration};
+///
+/// let waits: Vec<u64> = Backoff::exponential(SimDuration::from_micros(10), 4)
+///     .map(|d| d.as_nanos())
+///     .collect();
+/// assert_eq!(waits, vec![10_000, 20_000, 40_000, 80_000]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backoff {
+    next: SimDuration,
+    cap: Option<SimDuration>,
+    remaining: u32,
+}
+
+impl Backoff {
+    /// A doubling schedule starting at `base`, yielding `attempts`
+    /// waits. `attempts` of zero yields an empty schedule (no retries).
+    pub fn exponential(base: SimDuration, attempts: u32) -> Backoff {
+        Backoff { next: base, cap: None, remaining: attempts }
+    }
+
+    /// Clamp every yielded wait to at most `cap` (the schedule still
+    /// terminates after its configured attempt count).
+    pub fn capped(mut self, cap: SimDuration) -> Backoff {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Waits left in the schedule.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+impl Iterator for Backoff {
+    type Item = SimDuration;
+
+    fn next(&mut self) -> Option<SimDuration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut wait = self.next;
+        if let Some(cap) = self.cap {
+            if wait > cap {
+                wait = cap;
+            }
+        }
+        // Saturate rather than overflow on absurd attempt counts; the
+        // cap (if any) keeps the yielded value sane either way.
+        self.next = SimDuration::from_nanos(self.next.as_nanos().saturating_mul(2));
+        Some(wait)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_per_attempt() {
+        let waits: Vec<u64> =
+            Backoff::exponential(SimDuration::from_nanos(3), 5).map(|d| d.as_nanos()).collect();
+        assert_eq!(waits, vec![3, 6, 12, 24, 48]);
+    }
+
+    #[test]
+    fn zero_attempts_is_empty() {
+        assert_eq!(Backoff::exponential(SimDuration::from_micros(1), 0).count(), 0);
+    }
+
+    #[test]
+    fn cap_clamps_late_waits() {
+        let waits: Vec<u64> = Backoff::exponential(SimDuration::from_nanos(10), 6)
+            .capped(SimDuration::from_nanos(35))
+            .map(|d| d.as_nanos())
+            .collect();
+        assert_eq!(waits, vec![10, 20, 35, 35, 35, 35]);
+    }
+
+    #[test]
+    fn schedule_is_reproducible() {
+        let a: Vec<_> = Backoff::exponential(SimDuration::from_micros(7), 8).collect();
+        let b: Vec<_> = Backoff::exponential(SimDuration::from_micros(7), 8).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut b = Backoff::exponential(SimDuration::from_nanos(1), 2);
+        assert_eq!(b.remaining(), 2);
+        b.next();
+        assert_eq!(b.remaining(), 1);
+        b.next();
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.next(), None);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut b = Backoff::exponential(SimDuration::from_nanos(u64::MAX / 2 + 1), 3);
+        b.next();
+        assert_eq!(b.next(), Some(SimDuration::from_nanos(u64::MAX)));
+        assert_eq!(b.next(), Some(SimDuration::from_nanos(u64::MAX)));
+    }
+}

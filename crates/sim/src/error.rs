@@ -109,6 +109,29 @@ pub enum RunError {
 }
 
 impl RunError {
+    /// Whether re-running the same job could plausibly succeed.
+    ///
+    /// The classification a job server needs before it burns a retry
+    /// budget: [`Exhausted`](RunError::Exhausted) and
+    /// [`QueueOverflow`](RunError::QueueOverflow) are *resource-shaped*
+    /// failures — a retry budget that ran out under an unlucky fault
+    /// draw, a bounded queue that filled under momentary pressure — and
+    /// a re-run under different fault coordinates (or lighter load) can
+    /// complete. [`Deadlock`](RunError::Deadlock),
+    /// [`ProcessPanic`](RunError::ProcessPanic) and
+    /// [`InvariantViolation`](RunError::InvariantViolation) are
+    /// *defect-shaped*: the simulation is deterministic, so an
+    /// identical re-run reproduces them exactly and retrying only
+    /// wastes the budget.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RunError::Exhausted { .. } | RunError::QueueOverflow { .. } => true,
+            RunError::Deadlock { .. }
+            | RunError::ProcessPanic(_, _)
+            | RunError::InvariantViolation { .. } => false,
+        }
+    }
+
     /// Tag this error with the fault plan that produced the run, so any
     /// chaos failure is reproducible from its message alone. The tag is
     /// appended to the variant's existing string payload (the `what`,
@@ -176,6 +199,25 @@ mod tests {
             let shown = tagged.to_string();
             assert!(shown.contains("fault_seed=42"), "missing seed in: {shown}");
             assert!(shown.contains("fault_rate=0.05"), "missing rate in: {shown}");
+        }
+    }
+
+    #[test]
+    fn retryable_classification_covers_every_variant() {
+        let retryable = [
+            RunError::Exhausted { what: "x".into(), attempts: 3 },
+            RunError::QueueOverflow { queue: "q".into(), capacity: 8 },
+        ];
+        let fatal = [
+            RunError::Deadlock { blocked: vec![] },
+            RunError::ProcessPanic("p".into(), "boom".into()),
+            RunError::InvariantViolation { what: "stale".into() },
+        ];
+        for e in retryable {
+            assert!(e.is_retryable(), "{e}");
+        }
+        for e in fatal {
+            assert!(!e.is_retryable(), "{e}");
         }
     }
 

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+mod backoff;
 pub mod defects;
 mod engine;
 mod error;
@@ -59,6 +60,7 @@ mod queue;
 mod sync;
 mod time;
 
+pub use backoff::Backoff;
 pub use engine::{
     abort_run, delay, install_tie_break, mc_resource_id, mc_touch, now, pid, process, spawn,
     yield_now, Delay, Pid, ProcName, ProcessBuilder, ProcessExit, Sim, StepFootprint, TieBreak,

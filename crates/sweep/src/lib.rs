@@ -23,6 +23,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+mod pool;
+
+pub use pool::{CancelToken, WorkerPool};
+
 /// Process-wide job count used by [`jobs`] when a harness has parsed
 /// `--jobs` (0 = unset, fall back to env/host detection).
 static JOBS: AtomicUsize = AtomicUsize::new(0);

@@ -37,7 +37,12 @@ const APPS: [&str; 4] = ["matmul", "stream", "nbody", "perlin"];
 fn run_app(name: &str, cfg: RuntimeConfig) -> AppRun {
     match try_run_app(name, cfg) {
         Ok(run) => run,
-        Err(e) => panic!("{name}: {e}"),
+        Err(e) => {
+            // One consistent line per failure class — the RunError
+            // Display — and a nonzero exit, not a panic trace.
+            eprintln!("error: {name}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
