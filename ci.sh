@@ -7,21 +7,21 @@
 #   ./ci.sh verify   # only the ompss-verify sweep over the apps
 #   ./ci.sh chaos    # only the fault-injection sweep over the apps
 #   ./ci.sh bench    # wall-clock spine: fail on >20% macro regression
-#   ./ci.sh scale    # 1000-node cluster demonstration (release)
+#   ./ci.sh scale    # 1000-node demo + 64-node weak-scaling gate (release)
 #   ./ci.sh mc       # bounded model-check of matmul+stream schedules
 #   ./ci.sh serve    # job-server soak: overload, cancels, fairness
 set -euo pipefail
 cd "$(dirname "$0")"
 
 verify() {
-    echo "==> ompss-verify (all apps, multi-GPU + cluster, schedule sweep)"
+    echo "==> ompss-verify (all apps, multi-GPU + flat cluster + sharded cluster, schedule sweep)"
     cargo run -q --release -p ompss-verify --bin verify -- --all
 }
 
 chaos() {
     echo "==> ompss-chaos (all apps, two rates x three seeds, both topologies)"
     cargo run -q --release -p ompss-chaos --bin chaos -- --rates 0.05,0.1 --seeds 1,2,3
-    echo "==> ompss-chaos --node-kill (all apps, cluster sizes 2+3, every slave, three kill points)"
+    echo "==> ompss-chaos --node-kill (all apps, flat clusters 2+3 + sharded cluster 3, every slave, three kill points)"
     cargo run -q --release -p ompss-chaos --bin chaos -- --node-kill --kill-points 20,45,70
 }
 
@@ -40,6 +40,8 @@ serve() {
 scale() {
     echo "==> 1000-node cluster demonstration (release, in-memory)"
     cargo test -q --release -p ompss-runtime --test runtime_tests -- --ignored thousand_node
+    echo "==> weak scaling at 64 nodes (sharded control plane must beat the flat master)"
+    cargo test -q --release -p ompss-apps --lib -- --ignored weak_scaling
 }
 
 mc() {

@@ -21,3 +21,4 @@ pub mod matmul;
 pub mod nbody;
 pub mod perlin;
 pub mod stream;
+pub mod ws;

@@ -3,27 +3,41 @@
 //!
 //! Independent configurations within each figure run on `--jobs N` host
 //! threads (default: `OMPSS_BENCH_JOBS` or the host's parallelism); the
-//! output is byte-identical at any job count.
+//! output is byte-identical at any job count. Naming figure ids (e.g.
+//! `all_figures figWS`) regenerates just those.
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     ompss_sweep::parse_jobs_flag(&mut args);
-    assert!(args.is_empty(), "usage: all_figures [--jobs N]");
     let dir = ompss_bench::results_dir();
-    let figs = [
-        ompss_bench::figures::fig05(),
-        ompss_bench::figures::fig06(),
-        ompss_bench::figures::fig07(),
-        ompss_bench::figures::fig08(),
-        ompss_bench::figures::fig09(),
-        ompss_bench::figures::fig10(),
-        ompss_bench::figures::fig11(),
-        ompss_bench::figures::fig12(),
-        ompss_bench::figures::fig13(),
-        ompss_bench::figures::table1(),
+    type Entry = (&'static str, fn() -> ompss_bench::FigureData);
+    let all: [Entry; 11] = [
+        ("fig05", ompss_bench::figures::fig05),
+        ("fig06", ompss_bench::figures::fig06),
+        ("fig07", ompss_bench::figures::fig07),
+        ("fig08", ompss_bench::figures::fig08),
+        ("fig09", ompss_bench::figures::fig09),
+        ("fig10", ompss_bench::figures::fig10),
+        ("fig11", ompss_bench::figures::fig11),
+        ("fig12", ompss_bench::figures::fig12),
+        ("fig13", ompss_bench::figures::fig13),
+        ("figWS", ompss_bench::figures::figws),
+        ("table1", ompss_bench::figures::table1),
     ];
-    for fig in &figs {
+    for a in &args {
+        assert!(
+            all.iter().any(|(id, _)| id == a),
+            "unknown figure id '{a}'; usage: all_figures [--jobs N] [figure-id...]"
+        );
+    }
+    let mut saved = 0;
+    for (id, make) in all {
+        if !args.is_empty() && !args.iter().any(|a| a == id) {
+            continue;
+        }
+        let fig = make();
         fig.print();
         fig.save(&dir);
+        saved += 1;
     }
-    println!("saved {} result files to {}", figs.len(), dir.display());
+    println!("saved {saved} result files to {}", dir.display());
 }

@@ -172,6 +172,7 @@ fn figure_suite() -> Vec<FigureEntry> {
         ("fig11", f::fig11),
         ("fig12", f::fig12),
         ("fig13", f::fig13),
+        ("figWS", f::figws),
         ("table1", f::table1),
     ]
 }

@@ -14,7 +14,7 @@
 
 use ompss_apps::common::AppRun;
 use ompss_apps::matmul::{self, ompss::InitMode};
-use ompss_apps::{nbody, perlin, stream};
+use ompss_apps::{nbody, perlin, stream, ws};
 use ompss_cudasim::GpuSpec;
 use ompss_json::ToJson;
 use ompss_net::FabricConfig;
@@ -426,6 +426,59 @@ pub fn fig13() -> FigureData {
     fig.add(om);
     fig.add(mp);
     fig.note("expected shape: MPI ahead at 1-2 nodes; OmpSs scales better toward 8");
+    fig
+}
+
+// --------------------------------------------------------------- Fig WS
+
+/// Node counts of the weak-scaling sweep — past the paper's scale on
+/// purpose: the flat master saturates inside this range, the sharded
+/// plane does not.
+pub const WS_NODES: [u32; 4] = [4, 16, 64, 256];
+
+/// The cluster preset at weak-scaling node counts, flat or sharded
+/// (one shard per node).
+fn ws_cfg(nodes: u32, sharded: bool) -> RuntimeConfig {
+    ws::ws_config(nodes, sharded)
+}
+
+/// Fig. WS: weak scaling of the control plane — aggregate task
+/// throughput at fixed per-node work, flat single master vs the
+/// sharded plane (`OMPSS_SHARDS`), on the two weak-scaling apps.
+pub fn figws() -> FigureData {
+    let mut fig = FigureData::new(
+        "figWS",
+        "Weak scaling, flat vs sharded control plane (4 × 256 KiB blocks/node)",
+        "ktasks/s",
+    );
+    type WsApp = fn(RuntimeConfig, ws::WsParams) -> AppRun;
+    let p = ws::WsParams::paper();
+    let apps: [(&str, WsApp); 2] = [("stream_ws", ws::run_stream), ("matmul_ws", ws::run_matmul)];
+    let mut runs: Vec<Task> = Vec::new();
+    for (_, run) in apps {
+        for sharded in [false, true] {
+            for nodes in WS_NODES {
+                runs.push(Box::new(move || run(ws_cfg(nodes, sharded), p)));
+            }
+        }
+    }
+    let mut results = sweep(runs);
+    for (app, _) in apps {
+        for sharded in [false, true] {
+            let mode = if sharded { "sharded" } else { "flat" };
+            let mut s = Series::new(format!("{app}/{mode}"));
+            for nodes in WS_NODES {
+                let r = results.next().expect("one result per queued config");
+                if nodes == 64 {
+                    attach(&mut fig, format!("{}@64nodes", s.label), &r);
+                }
+                s.push(nodes.to_string(), r.metric);
+            }
+            fig.add(s);
+        }
+    }
+    fig.note("expected shape: flat saturates by 64 nodes; sharded keeps gaining through 256");
+    fig.note("sharded reports carry shard_lookups/peer_resolutions/submaster_spawns counters");
     fig
 }
 

@@ -14,7 +14,7 @@
 //! | `fig12_perlin_cluster`  | Fig. 12 — Perlin, cluster, Flush/NoFlush |
 //! | `fig13_nbody_cluster`   | Fig. 13 — N-Body, cluster, OmpSs vs MPI+CUDA |
 //! | `table1_productivity`   | Table I — useful lines of code per version |
-//! | `all_figures`           | everything above, saving JSON to `results/` |
+//! | `all_figures`           | everything above plus `figWS` (weak scaling, flat vs sharded control plane — beyond the paper), saving JSON to `results/` |
 //!
 //! Each harness prints an aligned text table (series × sweep points)
 //! and can save machine-readable JSON. Absolute values come from the

@@ -23,6 +23,7 @@ use ompss_apps::common::AppRun;
 use ompss_apps::matmul::ompss::InitMode;
 use ompss_apps::matmul::{self, MatmulParams};
 use ompss_apps::nbody::{self, NbodyParams};
+use ompss_apps::ws::{self, WsParams};
 use ompss_json::ToJson;
 use ompss_runtime::{RunReport, RuntimeConfig};
 
@@ -36,7 +37,10 @@ fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64) {
 }
 
 /// The validate-scale configurations the sweep test fans out: two apps
-/// across the paper's two topologies.
+/// across the paper's two topologies, plus the weak-scaling apps on a
+/// sharded-control-plane cluster — the figWS configurations, so the
+/// sharded directory/sub-master machinery is held to the same
+/// byte-identity contract as the flat plane.
 fn sweep_tasks() -> Vec<Box<dyn FnOnce() -> AppRun + Send>> {
     let mut tasks: Vec<Box<dyn FnOnce() -> AppRun + Send>> = Vec::new();
     for cfg in [RuntimeConfig::multi_gpu(2), RuntimeConfig::gpu_cluster(2)] {
@@ -45,6 +49,8 @@ fn sweep_tasks() -> Vec<Box<dyn FnOnce() -> AppRun + Send>> {
             .push(Box::new(move || matmul::ompss::run(c, MatmulParams::validate(), InitMode::Smp)));
         tasks.push(Box::new(move || nbody::ompss::run(cfg, NbodyParams::validate())));
     }
+    tasks.push(Box::new(|| ws::run_stream(ws::ws_config(8, true), WsParams::paper())));
+    tasks.push(Box::new(|| ws::run_matmul(ws::ws_config(8, true), WsParams::paper())));
     tasks
 }
 

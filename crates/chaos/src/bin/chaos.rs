@@ -15,11 +15,12 @@
 //! failed run, or missing recovery class makes the exit status 1.
 //!
 //! `--node-kill` switches to the whole-node loss grid: every app on
-//! every cluster topology, killing each slave node at planned fractions
-//! of the fault-free makespan. Each case must either recover
-//! bit-identically or fail closed with [`RunError::Exhausted`]; wrong
-//! bytes or any other crash fails the sweep, as does a grid in which no
-//! case actually recovered.
+//! every cluster topology — including a sharded-control-plane cluster
+//! where each slave victim owns a directory shard — killing each slave
+//! node at planned fractions of the fault-free makespan. Each case must
+//! either recover bit-identically or fail closed with
+//! [`RunError::Exhausted`]; wrong bytes or any other crash fails the
+//! sweep, as does a grid in which no case actually recovered.
 //!
 //! Every run in the grid — references included — is an independent
 //! simulation, so all of them execute on `--jobs N` host threads
@@ -213,14 +214,27 @@ enum KillOutcome {
 fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
     use ompss_runtime::{RuntimeConfig, SimDuration};
     type RefTask = Box<dyn FnOnce() -> (Vec<f32>, u64) + Send>;
-    let clusters: [(&'static str, u32); 2] = [("cluster2", 2), ("cluster3", 3)];
+    // The third cluster runs the sharded control plane, so every slave
+    // victim is a shard *owner* homing a slice of the directory: killing
+    // it exercises the master's re-homing path, which must either
+    // restore the bytes or fail closed.
+    let clusters: [(&'static str, u32, bool); 3] =
+        [("cluster2", 2, false), ("cluster3", 3, false), ("cluster3_sharded", 3, true)];
+    let cluster_cfg = |nodes: u32, sharded: bool| {
+        let cfg = RuntimeConfig::gpu_cluster(nodes);
+        if sharded {
+            cfg.with_sharded_control(nodes)
+        } else {
+            cfg
+        }
+    };
 
     // Phase 1: fault-free references (output bytes + makespan).
     let mut ref_tasks: Vec<RefTask> = Vec::new();
     for &app in apps {
-        for &(_, nodes) in &clusters {
+        for &(_, nodes, sharded) in &clusters {
             ref_tasks.push(Box::new(move || {
-                let run = run_app(app, RuntimeConfig::gpu_cluster(nodes));
+                let run = run_app(app, cluster_cfg(nodes, sharded));
                 let makespan = run.report.as_ref().expect("report").makespan.as_nanos();
                 (output_of(&run).to_vec(), makespan)
             }));
@@ -236,7 +250,7 @@ fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
     let mut kill_tasks: Vec<Box<dyn FnOnce() -> KillOutcome + Send>> = Vec::new();
     let mut grid: Vec<(&'static str, &'static str, u32, u64)> = Vec::new();
     for &app in apps {
-        for &(topo, nodes) in &clusters {
+        for &(topo, nodes, sharded) in &clusters {
             let (expect, makespan) = refs.next().expect("one reference per app x cluster");
             let expect = std::sync::Arc::new(expect);
             for victim in 1..nodes {
@@ -245,7 +259,7 @@ fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
                     let expect = expect.clone();
                     let at = SimDuration::from_nanos(makespan * pct / 100);
                     kill_tasks.push(Box::new(move || {
-                        let cfg = RuntimeConfig::gpu_cluster(nodes).with_node_loss(victim, at);
+                        let cfg = cluster_cfg(nodes, sharded).with_node_loss(victim, at);
                         match try_run_app(app, cfg) {
                             Ok(run) => {
                                 let c = &run.report.as_ref().expect("report").counters;

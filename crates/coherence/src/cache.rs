@@ -31,11 +31,13 @@
 //!
 //! # Dirty invariant
 //!
-//! A copy is *dirty* iff its data version is not present at the root
-//! (master host) home. The invariant maintained everywhere is: **if the
-//! root does not hold the latest version of a region, at least one
-//! valid-latest copy below it is marked dirty**, so eviction write-backs
-//! can never lose the only latest copy.
+//! A copy is *dirty* iff its data version is not present at the
+//! region's *home* (the host holding the data object's home
+//! allocation — the master host in the flat plane, a shard-owner node
+//! under [`crate::ShardMap`] sharding). The invariant maintained
+//! everywhere is: **if the home does not hold the latest version of a
+//! region, at least one valid-latest copy elsewhere is marked dirty**,
+//! so eviction write-backs can never lose the only latest copy.
 
 use std::collections::HashMap;
 use std::future::Future;
@@ -44,7 +46,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_mem::{Access, AllocId, MemoryManager, Region, SpaceId};
+use ompss_mem::{Access, AllocId, DataId, MemoryManager, Region, SpaceId};
 use ompss_sim::{now, Signal, SimError, SimResult};
 
 use crate::topo::{HopKind, Topology};
@@ -167,9 +169,10 @@ pub struct LostRegion {
     pub region: Region,
     /// The version the directory had committed before the loss.
     pub latest: u64,
-    /// The newest version still held by a surviving copy (the root
-    /// home always holds at least version 0, so reconstruction always
-    /// has a base to replay from).
+    /// The newest version still held by a surviving copy (a live home
+    /// holds at least version 0, so reconstruction has a base to
+    /// replay from; when the *home itself* died the recovery path
+    /// re-homes the data first — see [`Coherence::rehome_data`]).
     pub best: u64,
 }
 
@@ -228,13 +231,18 @@ struct CopyState {
 
 struct RegionEntry {
     version: u64,
+    /// The host space holding this region's authoritative home copy
+    /// (the data object's home allocation). The master host in the
+    /// flat plane; a shard-owner node's host under sharded homing.
+    /// Node-loss recovery may move it ([`Coherence::rehome_data`]).
+    home: SpaceId,
     copies: HashMap<SpaceId, CopyState>,
 }
 
 impl RegionEntry {
-    fn root_has(&self, root: SpaceId, version: u64) -> bool {
+    fn home_has(&self, version: u64) -> bool {
         matches!(
-            self.copies.get(&root).map(|c| &c.state),
+            self.copies.get(&self.home).map(|c| &c.state),
             Some(CState::Valid { version: v }) if *v >= version
         )
     }
@@ -329,14 +337,14 @@ impl Coherence {
 
     /// Sweep the directory and report the first invariant violation:
     ///
-    /// 1. **Dirty cover** — if the root home does not hold a region's
-    ///    latest version, at least one valid-latest copy below it is
+    /// 1. **Dirty cover** — if a region's home does not hold its
+    ///    latest version, at least one valid-latest copy elsewhere is
     ///    marked dirty (eviction write-backs can never lose the only
     ///    latest data).
     /// 2. **Version monotonicity** — no copy carries a version newer
     ///    than the directory entry's.
-    /// 3. **Root never dirty** — the master-host home copy is the
-    ///    authority; it is never marked dirty.
+    /// 3. **Home never dirty** — the home copy is the authority; it is
+    ///    never marked dirty.
     ///
     /// Note what is *not* an invariant: multiple dirty copies of one
     /// region are legal (a demand hop to a sibling marks the
@@ -348,7 +356,6 @@ impl Coherence {
     }
 
     fn check_invariants_locked(&self, inner: &Inner) -> Result<(), String> {
-        let root = self.topo.root();
         for (region, entry) in &inner.regions {
             for (&space, c) in &entry.copies {
                 if let CState::Valid { version } = c.state {
@@ -360,20 +367,20 @@ impl Coherence {
                         ));
                     }
                 }
-                if space == root && c.dirty {
+                if space == entry.home && c.dirty {
                     return Err(format!(
-                        "root dirty: {region} home copy at {space:?} is marked dirty"
+                        "home dirty: {region} home copy at {space:?} is marked dirty"
                     ));
                 }
             }
-            if !entry.root_has(root, entry.version) {
+            if !entry.home_has(entry.version) {
                 let covered = entry.copies.values().any(|c| {
                     c.dirty
                         && matches!(c.state, CState::Valid { version } if version == entry.version)
                 });
                 if !covered {
                     return Err(format!(
-                        "dirty cover violated: root lacks {region} v{} and no valid-latest \
+                        "dirty cover violated: home lacks {region} v{} and no valid-latest \
                          copy is marked dirty — an eviction could lose the data",
                         entry.version
                     ));
@@ -412,9 +419,10 @@ impl Coherence {
             return;
         }
         // First touch: the authoritative copy is the data object's home
-        // allocation at the root (master host).
+        // allocation — the master host in the flat plane, a shard
+        // owner's host under sharded homing.
         let info = self.mem.data_info(region.data);
-        debug_assert_eq!(info.home_space, self.topo.root(), "home copies live at the master host");
+        debug_assert!(!self.topo.is_gpu(info.home_space), "home copies live in host memory");
         let mut copies = HashMap::new();
         copies.insert(
             info.home_space,
@@ -427,7 +435,7 @@ impl Coherence {
                 last_use: 0,
             },
         );
-        inner.regions.insert(*region, RegionEntry { version: 0, copies });
+        inner.regions.insert(*region, RegionEntry { version: 0, home: info.home_space, copies });
     }
 
     /// Make `region` available in `target`: up-to-date if `read`, merely
@@ -484,8 +492,7 @@ impl Coherence {
         accesses: &[Access],
         target: SpaceId,
     ) -> SimResult<()> {
-        let root = self.topo.root();
-        let written: Vec<Region> = {
+        let written: Vec<(Region, SpaceId)> = {
             let mut inner = self.inner.lock();
             let mut written = Vec::new();
             for a in accesses {
@@ -496,10 +503,11 @@ impl Coherence {
                 let entry = inner.regions.get_mut(&a.region).expect("committed region unknown");
                 entry.version += 1;
                 let v = entry.version;
+                let home = entry.home;
                 let c = entry.copies.get_mut(&target).expect("written copy missing");
                 c.state = CState::Valid { version: v };
-                // The root *is* the home: data there is never dirty.
-                c.dirty = target != root;
+                // The home *is* the authority: data there is never dirty.
+                c.dirty = target != home;
                 // Single owner: the freshly committed version exists in
                 // exactly one place until the engine propagates it.
                 debug_assert_eq!(
@@ -513,15 +521,17 @@ impl Coherence {
                      one space",
                     a.region
                 );
-                written.push(a.region);
+                written.push((a.region, home));
             }
             written
         };
 
-        // Policy: push writes one level up at commit time.
+        // Policy: push writes one level up at commit time — toward the
+        // written region's own home, which may differ per region under
+        // sharded homing.
         if matches!(self.policy, CachePolicy::WriteThrough | CachePolicy::NoCache) {
-            if let Some(parent) = self.topo.parent_of(target) {
-                for region in &written {
+            for (region, home) in &written {
+                if let Some(parent) = self.push_target(target, *home) {
                     self.push_one_level(exec, region, target, parent).await?;
                 }
             }
@@ -531,11 +541,12 @@ impl Coherence {
         let mut inner = self.inner.lock();
         for a in accesses {
             let entry = inner.regions.get_mut(&a.region).expect("committed region unknown");
+            let home = entry.home;
             let c = entry.copies.get_mut(&target).expect("copy missing at unpin");
             assert!(c.pinned > 0, "commit without acquire");
             c.pinned -= 1;
             if self.policy == CachePolicy::NoCache
-                && target != root
+                && target != home
                 && c.pinned == 0
                 && !matches!(c.state, CState::InFlight { .. })
                 && !c.dirty
@@ -550,9 +561,22 @@ impl Coherence {
     }
 
     /// Compute the dirty bit for a copy of `version` at `space`: data is
-    /// dirty iff it has not reached the root home yet.
+    /// dirty iff it has not reached the region's home yet.
     fn dirty_for(&self, entry: &RegionEntry, space: SpaceId, version: u64) -> bool {
-        space != self.topo.root() && !entry.root_has(self.topo.root(), version)
+        space != entry.home && !entry.home_has(version)
+    }
+
+    /// The space one level "up" from `from` for write propagation of a
+    /// region homed at `home`: a GPU pushes to its own host; a host
+    /// that is not the home pushes straight to the home host (a
+    /// peer-to-peer network hop when both are slaves); the home itself
+    /// has nowhere further up. Equals `Topology::parent_of` whenever
+    /// `home` is the master host — the flat plane.
+    fn push_target(&self, from: SpaceId, home: SpaceId) -> Option<SpaceId> {
+        if self.topo.is_gpu(from) {
+            return self.topo.parent_of(from);
+        }
+        (from != home).then_some(home)
     }
 
     /// Push `region`'s data from `from` one level up to `parent`
@@ -962,7 +986,6 @@ impl Coherence {
         need: u64,
     ) -> Pin<Box<dyn Future<Output = SimResult<()>> + Send + 'a>> {
         Box::pin(async move {
-            assert_ne!(space, self.topo.root(), "the master host never evicts home data");
             let info = self.mem.space_info(space);
             let target = need + (self.evict_slack * info.capacity as f64) as u64;
             loop {
@@ -970,22 +993,29 @@ impl Coherence {
                 if available >= need.max(target.min(info.capacity)) {
                     return Ok(());
                 }
-                // Choose the LRU evictable copy in `space`.
-                let victim: Option<(Region, bool, u64)> = {
+                // Choose the LRU evictable copy in `space`. Home copies
+                // are never eviction victims: they are the authority for
+                // their region (the master host evicts nothing in the
+                // flat plane; a shard owner keeps its owned shard
+                // resident and evicts only what it caches for others).
+                let victim: Option<(Region, bool, SpaceId, u64)> = {
                     let inner = self.inner.lock();
                     inner
                         .regions
                         .iter()
                         .filter_map(|(region, entry)| {
+                            if space == entry.home {
+                                return None;
+                            }
                             let c = entry.copies.get(&space)?;
                             if c.pinned > 0 || matches!(c.state, CState::InFlight { .. }) {
                                 return None;
                             }
-                            Some((*region, c.dirty, c.last_use))
+                            Some((*region, c.dirty, entry.home, c.last_use))
                         })
-                        .min_by_key(|&(r, _, last_use)| (last_use, r))
+                        .min_by_key(|&(r, _, _, last_use)| (last_use, r))
                 };
-                let Some((region, dirty, _)) = victim else {
+                let Some((region, dirty, home, _)) = victim else {
                     if available >= need {
                         // Slack not reachable (everything left is pinned);
                         // the immediate need is satisfied, so proceed.
@@ -998,9 +1028,8 @@ impl Coherence {
                 };
                 if dirty {
                     let parent = self
-                        .topo
-                        .parent_of(space)
-                        .expect("non-root space has a parent for write-back");
+                        .push_target(space, home)
+                        .expect("a dirty copy is never at its own home");
                     self.push_one_level(exec, &region, space, parent).await?;
                     let mut inner = self.inner.lock();
                     inner.stats.writebacks += 1;
@@ -1066,7 +1095,7 @@ impl Coherence {
         dirty
     }
 
-    /// Flush every dirty region to the master host (the OmpSs `taskwait`
+    /// Flush every dirty region to its home host (the OmpSs `taskwait`
     /// semantics without `noflush`), one region at a time. Copies stay
     /// valid. The runtime's `taskwait` uses the parallel variant built
     /// on [`dirty_regions`](Coherence::dirty_regions) +
@@ -1094,11 +1123,18 @@ impl Coherence {
         Ok(())
     }
 
-    /// Flush one region's latest version to the master host
-    /// (`taskwait on(...)`).
+    /// Flush one region's latest version to its home host
+    /// (`taskwait on(...)`) — the master in the flat plane, the shard
+    /// owner's host under sharded homing (host-side reads go through
+    /// the home allocation either way).
     pub async fn flush_region(&self, exec: &dyn TransferExec, region: &Region) -> SimResult<()> {
-        let root = self.topo.root();
-        self.ensure_valid(exec, region, root, false, TransferPurpose::Flush).await?;
+        let home = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            self.init_entry(inner, region);
+            inner.regions[region].home
+        };
+        self.ensure_valid(exec, region, home, false, TransferPurpose::Flush).await?;
         // The home now reflects the latest version: latest copies are
         // clean, stale dirty copies hold obsolete data and are dropped
         // from the dirty set too.
@@ -1210,19 +1246,133 @@ impl Coherence {
         self.inner.lock().dead.contains(&space)
     }
 
-    /// Materialise the best surviving version of `region` in its root
-    /// home allocation by raw byte copy (zero virtual time — recovery
+    /// Move `data`'s directory home to `new_home` (its new home
+    /// allocation `new_alloc`, sized `size`) after the previous home
+    /// died with its node. Called by node-loss recovery at zero
+    /// virtual time, after [`purge_spaces`](Self::purge_spaces) and
+    /// *before* lineage reconstruction, under the master lock with no
+    /// simulator yields.
+    ///
+    /// For every tracked region of the data, the best surviving valid
+    /// version is raw-copied into the new home allocation and becomes
+    /// the (clean) home copy; regions whose latest version did not
+    /// survive stay short of the dirty-cover invariant exactly as
+    /// [`purge_spaces`](Self::purge_spaces) reported them, and lineage
+    /// finishes the job through the re-pointed home.
+    ///
+    /// Fails — the caller must fail **closed**, never serve wrong
+    /// bytes — when any byte of the object lies outside every tracked
+    /// region (its only copy was the dead home allocation), when a
+    /// region has no surviving valid copy at all (not even a base for
+    /// replay), or when a live task holds a busy copy at `new_home`
+    /// that cannot be displaced without yielding.
+    pub fn rehome_data(
+        &self,
+        data: DataId,
+        size: u64,
+        new_home: SpaceId,
+        new_alloc: AllocId,
+    ) -> Result<(), String> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let mut regions: Vec<Region> =
+            inner.regions.keys().filter(|r| r.data == data).copied().collect();
+        regions.sort();
+        // Coverage: bytes outside every tracked region existed only in
+        // the dead home allocation — no task ever named them, so no
+        // survivor and no lineage can reproduce them.
+        let mut covered = 0u64;
+        for r in &regions {
+            if r.offset > covered {
+                break;
+            }
+            covered = covered.max(r.offset + r.len);
+        }
+        if covered < size {
+            return Err(format!(
+                "bytes {covered}..{size} of {data:?} lie outside every tracked region \
+                 and died with the home node"
+            ));
+        }
+        for region in regions {
+            let entry = inner.regions.get_mut(&region).expect("listed above");
+            if let Some(c) = entry.copies.get(&new_home) {
+                // A busy cached copy at the new home cannot be swapped
+                // out from under its task without yielding.
+                if c.pinned > 0 || matches!(c.state, CState::InFlight { .. }) {
+                    return Err(format!("{region} has a busy copy at the new home {new_home:?}"));
+                }
+            }
+            let best = entry
+                .copies
+                .values()
+                .filter_map(|c| match c.state {
+                    CState::Valid { version } => Some(version),
+                    _ => None,
+                })
+                .max();
+            let Some(best) = best else {
+                return Err(format!("no surviving valid copy of {region} to re-home"));
+            };
+            // Deterministic source: the lowest-numbered space holding
+            // the best version (mirrors pull_best_to_root).
+            let (&src_space, src_c) = entry
+                .copies
+                .iter()
+                .filter(|(_, c)| matches!(c.state, CState::Valid { version } if version == best))
+                .min_by_key(|(&s, _)| s.0)
+                .expect("best version has a holder");
+            self.mem.copy(
+                (src_space, src_c.alloc),
+                src_c.offset,
+                (new_home, new_alloc),
+                region.offset,
+                region.len,
+            );
+            // Displace any (idle) cached copy at the new home: the home
+            // copy must live in the home allocation.
+            if let Some(c) = entry.copies.remove(&new_home) {
+                inner.stats.evictions += 1;
+                self.mem.free(new_home, c.alloc);
+            }
+            let entry = inner.regions.get_mut(&region).expect("listed above");
+            entry.home = new_home;
+            entry.copies.insert(
+                new_home,
+                CopyState {
+                    alloc: new_alloc,
+                    offset: region.offset,
+                    state: CState::Valid { version: best },
+                    dirty: false,
+                    pinned: 0,
+                    last_use: 0,
+                },
+            );
+            // The new home covers everything up to `best`: clean the
+            // survivors it supersedes (latest copies past `best` keep
+            // their dirty cover until lineage repairs the entry).
+            for c in entry.copies.values_mut() {
+                if matches!(c.state, CState::Valid { version } if version <= best) {
+                    c.dirty = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialise the best surviving version of `region` in its home
+    /// allocation by raw byte copy (zero virtual time — recovery
     /// preamble, not modelled traffic). Returns `(best_version,
-    /// bytes_copied)`; zero bytes when the root already holds it. Does
+    /// bytes_copied)`; zero bytes when the home already holds it. Does
     /// not touch directory state — [`repair_root`](Self::repair_root)
     /// finalises once reconstruction is done. `None` when no valid copy
-    /// survives anywhere (the root home was mid-flight when its source
-    /// died): the caller must fail closed, because the root bytes are
+    /// survives anywhere (the home was mid-flight when its source
+    /// died): the caller must fail closed, because the home bytes are
     /// then of an unknown version and replay could compound the error.
     pub fn pull_best_to_root(&self, region: &Region) -> Option<(u64, u64)> {
         let inner = self.inner.lock();
-        let root = self.topo.root();
         let entry = inner.regions.get(region)?;
+        let home = entry.home;
         let best = entry
             .copies
             .values()
@@ -1232,7 +1382,7 @@ impl Coherence {
             })
             .max()?;
         if matches!(
-            entry.copies.get(&root).map(|c| &c.state),
+            entry.copies.get(&home).map(|c| &c.state),
             Some(CState::Valid { version }) if *version >= best
         ) {
             return Some((best, 0));
@@ -1244,12 +1394,12 @@ impl Coherence {
             .filter(|(_, c)| matches!(c.state, CState::Valid { version } if version == best))
             .min_by_key(|(&s, _)| s.0)
             .expect("best version has a holder");
-        let root_c = entry.copies.get(&root).expect("root home copy");
+        let home_c = entry.copies.get(&home).expect("home copy");
         self.mem.copy(
             (src_space, src_c.alloc),
             src_c.offset,
-            (root, root_c.alloc),
-            root_c.offset,
+            (home, home_c.alloc),
+            home_c.offset,
             region.len,
         );
         Some((best, region.len))
@@ -1263,22 +1413,22 @@ impl Coherence {
         self.inner.lock().regions.contains_key(region)
     }
 
-    /// Declare `version` of `region` reconstructed at the root home:
-    /// the directory version rolls back to it, the root copy becomes
+    /// Declare `version` of `region` reconstructed at its home: the
+    /// directory version rolls back to it, the home copy becomes
     /// the authoritative valid-latest, and every surviving copy is
     /// cleaned. Only node-loss recovery calls this, after lineage
-    /// re-execution materialised the bytes in the root home allocation;
+    /// re-execution materialised the bytes in the home allocation;
     /// rolled-back versions had copies only on the dead node and their
     /// successors were never released, so normal execution re-commits
     /// them from here.
     pub fn repair_root(&self, region: &Region, version: u64) {
-        let root = self.topo.root();
         let mut inner = self.inner.lock();
         let entry = inner.regions.get_mut(region).expect("repair of unknown region");
         entry.version = version;
-        let c = entry.copies.get_mut(&root).expect("root home copy");
+        let home = entry.home;
+        let c = entry.copies.get_mut(&home).expect("home copy");
         if let CState::InFlight { done } = &c.state {
-            // A flush toward the root was on the wire when the node
+            // A flush toward the home was on the wire when the node
             // died; its source is gone, so it will resolve undelivered.
             // Wake its waiters now — the state below supersedes it.
             done.set();

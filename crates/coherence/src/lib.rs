@@ -20,9 +20,11 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod shard;
 mod topo;
 
 pub use cache::{
     CachePolicy, Coherence, CoherenceStats, Loc, LostRegion, TransferExec, TransferPurpose,
 };
+pub use shard::ShardMap;
 pub use topo::{Hop, HopKind, SlaveRouting, Topology};

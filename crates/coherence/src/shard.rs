@@ -1,0 +1,125 @@
+//! Deterministic sharding of the control plane by `DataId`.
+//!
+//! The paper's evaluation (§IV) stops at four nodes because the master
+//! image owns the whole region directory and every task-generation
+//! step: all coherence resolution and dispatch serializes through one
+//! node. The sharded control plane partitions ownership of the
+//! `DataId` space across nodes with a pure function — consistent
+//! multiplicative hashing — so that *any* node can compute, locally
+//! and without a directory round trip, which node homes a given data
+//! object. Ownership resolution therefore needs no active message at
+//! all (the decisive advantage of a deterministic shard map over a
+//! lookup service); only the data bytes themselves move, and they move
+//! peer-to-peer between the owner and the consumer.
+//!
+//! The map is **total** (every `DataId` has exactly one shard),
+//! **disjoint** (shards never overlap — it is a function), and
+//! **deterministic** (independent of job count, iteration order, or
+//! host); the proptests in this module pin all three.
+
+use ompss_mem::DataId;
+
+/// Fibonacci-hashing constant: `2^64 / φ`, odd, so multiplication by it
+/// is a bijection on `u64` that spreads consecutive ids across the
+/// whole space.
+const SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A deterministic partition of the `DataId` space into `shards`
+/// equal ranges, and of shards onto owner nodes.
+///
+/// Construction is trivially cheap; every node of the cluster builds
+/// an identical map from the run configuration alone, which is what
+/// makes peer-to-peer resolution possible without consulting the
+/// master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A map with `shards` shards. `shards == 0` is the flat
+    /// single-master plane and is rejected here: callers gate on the
+    /// config before building a map.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards > 0, "a shard map needs at least one shard");
+        ShardMap { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `data`. Total and disjoint by construction:
+    /// a pure function of the id. The multiply spreads sequential ids
+    /// (allocation order) uniformly; the 128-bit scale maps the spread
+    /// key onto `0..shards` without modulo bias.
+    pub fn shard_of(&self, data: DataId) -> u32 {
+        let key = data.0.wrapping_mul(SPREAD);
+        ((key as u128 * self.shards as u128) >> 64) as u32
+    }
+
+    /// The cluster node owning `data`'s shard, for a cluster of
+    /// `nodes` nodes: shards wrap round-robin onto nodes, so with
+    /// `shards == nodes` each node owns exactly one shard.
+    pub fn owner_node(&self, data: DataId, nodes: u32) -> u32 {
+        assert!(nodes > 0, "owner_node needs a non-empty cluster");
+        self.shard_of(data) % nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let m = ShardMap::new(1);
+        for id in [0u64, 1, 7, u64::MAX] {
+            assert_eq!(m.shard_of(DataId(id)), 0);
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        // Allocation order is sequential from 0; a shard map that
+        // clumped consecutive ids onto one owner would re-centralize
+        // the directory. With 4 shards, the first 16 ids must touch
+        // every shard.
+        let m = ShardMap::new(4);
+        let mut seen = [false; 4];
+        for id in 0..16u64 {
+            seen[m.shard_of(DataId(id)) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "ids 0..16 left a shard empty: {seen:?}");
+    }
+
+    proptest! {
+        /// Total cover: every DataId maps to a shard in range, for any
+        /// shard count.
+        #[test]
+        fn total_cover(id in any::<u64>(), shards in 1u32..=512) {
+            let m = ShardMap::new(shards);
+            prop_assert!(m.shard_of(DataId(id)) < shards);
+        }
+
+        /// Disjointness/determinism: two independently constructed maps
+        /// (as two jobs or two nodes would build) agree on every id —
+        /// the partition is a function of (id, shards) alone.
+        #[test]
+        fn deterministic_across_builders(id in any::<u64>(), shards in 1u32..=512) {
+            let a = ShardMap::new(shards);
+            let b = ShardMap::new(shards);
+            prop_assert_eq!(a.shard_of(DataId(id)), b.shard_of(DataId(id)));
+            prop_assert_eq!(a.owner_node(DataId(id), shards), b.owner_node(DataId(id), shards));
+        }
+
+        /// Owner nodes stay in range for any cluster size.
+        #[test]
+        fn owner_in_cluster(id in any::<u64>(), shards in 1u32..=512, nodes in 1u32..=512) {
+            let m = ShardMap::new(shards);
+            prop_assert!(m.owner_node(DataId(id), nodes) < nodes);
+        }
+    }
+}

@@ -461,6 +461,45 @@ impl MemoryManager {
     pub fn data_count(&self) -> usize {
         self.inner.lock().data.len()
     }
+
+    /// The id the next [`Self::register_data`] call will assign. Ids are
+    /// sequential and never reused, so this equals [`Self::data_count`];
+    /// the sharded runtime uses it to route an allocation to its shard
+    /// owner *before* registering it there.
+    pub fn next_data_id(&self) -> DataId {
+        DataId(self.inner.lock().next_data)
+    }
+
+    /// All data objects whose home copy lives in `space`, with their
+    /// sizes, sorted by id — the shard a node owns, enumerated when
+    /// that node dies and its directory shard must be re-homed.
+    pub fn datas_homed_at(&self, space: SpaceId) -> Vec<(DataId, u64)> {
+        let inner = self.inner.lock();
+        let mut v: Vec<(DataId, u64)> = inner
+            .data
+            .iter()
+            .filter(|(_, info)| info.home_space == space)
+            .map(|(id, info)| (*id, info.size))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Move a data object's home to `new_home`: allocates a fresh home
+    /// copy there and re-points the registry. The *bytes* of the new
+    /// home copy are the coherence layer's job
+    /// (`Coherence::rehome_data`); the old home allocation is not freed
+    /// — re-homing only happens when the old home's node is dead and
+    /// its space purged. Returns the new home allocation.
+    pub fn rehome_data(&self, id: DataId, new_home: SpaceId) -> Result<AllocId, OutOfMemory> {
+        let size = self.data_info(id).size;
+        let alloc = self.alloc(new_home, size)?;
+        let mut inner = self.inner.lock();
+        let info = inner.data.get_mut(&id).expect("data_info above checked existence");
+        info.home_space = new_home;
+        info.home_alloc = alloc;
+        Ok(alloc)
+    }
 }
 
 #[cfg(test)]
@@ -614,6 +653,24 @@ mod tests {
         assert_eq!(info.home_space, s);
         assert_eq!(m.used(s), 128);
         assert_eq!(m.data_count(), 1);
+    }
+
+    #[test]
+    fn rehome_repoints_registry_and_enumeration() {
+        let m = mgr();
+        let s0 = m.add_space("host0", SpaceKind::Host(0), None, 1024);
+        let s1 = m.add_space("host1", SpaceKind::Host(1), Some(s0), 1024);
+        assert_eq!(m.next_data_id(), DataId(0));
+        let a = m.register_data(64, s1).unwrap();
+        let b = m.register_data(32, s1).unwrap();
+        assert_eq!(m.next_data_id(), DataId(2));
+        assert_eq!(m.datas_homed_at(s1), vec![(a, 64), (b, 32)]);
+        let new_alloc = m.rehome_data(a, s0).unwrap();
+        let info = m.data_info(a);
+        assert_eq!(info.home_space, s0);
+        assert_eq!(info.home_alloc, new_alloc);
+        assert_eq!(m.datas_homed_at(s1), vec![(b, 32)]);
+        assert_eq!(m.datas_homed_at(s0), vec![(a, 64)]);
     }
 
     #[test]

@@ -111,6 +111,15 @@ pub struct RuntimeConfig {
     /// per lost region before the run aborts with
     /// [`ompss_sim::RunError::Exhausted`] (`OMPSS_LINEAGE_DEPTH`).
     pub lineage_depth_budget: u32,
+    /// Control-plane shards (`OMPSS_SHARDS`): `0` (default) keeps the
+    /// paper's flat single-master plane — directory, homes and task
+    /// generation all on node 0, bit-identical to a build without
+    /// sharding. `n > 0` partitions the `DataId` space across `n`
+    /// shards via [`ompss_coherence::ShardMap`]: array homes spread
+    /// over shard-owner nodes, transfer sources resolve peer-to-peer,
+    /// and `for_each_block` expands shard-locally through per-owner
+    /// sub-masters.
+    pub shards: u32,
 }
 
 impl RuntimeConfig {
@@ -149,6 +158,7 @@ impl RuntimeConfig {
             heartbeat_period: SimDuration::from_micros(200),
             lease_window: SimDuration::from_micros(1000),
             lineage_depth_budget: 64,
+            shards: 0,
         }
     }
 
@@ -185,6 +195,7 @@ impl RuntimeConfig {
             heartbeat_period: SimDuration::from_micros(200),
             lease_window: SimDuration::from_micros(1000),
             lineage_depth_budget: 64,
+            shards: 0,
         }
     }
 
@@ -309,6 +320,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Shard the control plane into `n` shards (0 = flat single
+    /// master; see the field docs). Shards beyond the node count still
+    /// work — several shards just wrap onto the same owner node.
+    pub fn with_sharded_control(mut self, n: u32) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Is the sharded control plane armed?
+    pub fn sharded(&self) -> bool {
+        self.shards > 0
+    }
+
     /// Are faults (and therefore the recovery machinery) enabled?
     pub fn faults_enabled(&self) -> bool {
         self.fault_plan.is_some() || self.fault_rate > 0.0 || self.node_loss.is_some()
@@ -345,6 +369,7 @@ impl RuntimeConfig {
     /// | `OMPSS_FAULT_NODE_LOSS` | `node@micros` planned kill (e.g. `1@800`) |
     /// | `OMPSS_HEARTBEAT_PERIOD_US` / `OMPSS_LEASE_WINDOW_US` | integers (µs) |
     /// | `OMPSS_LINEAGE_DEPTH` | integer re-execution budget |
+    /// | `OMPSS_SHARDS` | control-plane shard count (0 = flat master) |
     ///
     /// Unknown values panic (a typo silently ignored would invalidate an
     /// experiment).
@@ -430,6 +455,9 @@ impl RuntimeConfig {
         }
         if let Ok(v) = env::var("OMPSS_LINEAGE_DEPTH") {
             self.lineage_depth_budget = v.parse().expect("OMPSS_LINEAGE_DEPTH: not an integer");
+        }
+        if let Ok(v) = env::var("OMPSS_SHARDS") {
+            self.shards = v.parse().expect("OMPSS_SHARDS: not an integer");
         }
         self
     }

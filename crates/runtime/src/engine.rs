@@ -1106,6 +1106,34 @@ pub(crate) fn master_node_lost(shared: &Arc<RtShared>, node: NodeId) {
             r.abandon_node(node);
         }
         let lost = shared.coh.purge_spaces(&shared.node_spaces[node as usize]);
+        // Sharded control plane: the dead node may have *homed* part of
+        // the data space. Re-home its shard onto the master — registry
+        // first (so lineage replay targets the new home), then the
+        // directory, which pulls the best surviving bytes into the new
+        // home copy. No surviving copy, a coverage gap, or a busy copy
+        // at the new home fails closed: wrong bytes are never served.
+        let dead_host = shared.hosts[node as usize];
+        for (data, size) in shared.mem.datas_homed_at(dead_host) {
+            let new_alloc = match shared.mem.rehome_data(data, shared.hosts[0]) {
+                Ok(a) => a,
+                Err(e) => {
+                    drop(m);
+                    abort_run(RunError::Exhausted {
+                        what: format!("master memory re-homing shard of node {node}: {e}"),
+                        attempts: 1,
+                    });
+                    return;
+                }
+            };
+            if let Err(e) = shared.coh.rehome_data(data, size, shared.hosts[0], new_alloc) {
+                drop(m);
+                abort_run(RunError::Exhausted {
+                    what: format!("re-homing {data:?} off dead node {node}: {e}"),
+                    attempts: 1,
+                });
+                return;
+            }
+        }
         if let Err(e) = crate::lineage::reconstruct(shared, &m, &lost) {
             drop(m);
             abort_run(e);

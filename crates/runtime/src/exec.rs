@@ -101,6 +101,9 @@ pub struct RtExec {
     overlap: bool,
     tracer: Option<Tracer>,
     counters: Arc<Counters>,
+    /// Sharded control plane armed: slave↔slave hops are peer-resolved
+    /// ownership traffic and counted as such.
+    sharded: bool,
 }
 
 impl RtExec {
@@ -115,8 +118,9 @@ impl RtExec {
         overlap: bool,
         tracer: Option<Tracer>,
         counters: Arc<Counters>,
+        sharded: bool,
     ) -> Self {
-        RtExec { mem, gpus, node_of, pinned, fabric, overlap, tracer, counters }
+        RtExec { mem, gpus, node_of, pinned, fabric, overlap, tracer, counters, sharded }
     }
 }
 
@@ -173,6 +177,12 @@ impl TransferExec for RtExec {
                         },
                         bytes,
                     );
+                    // Under the sharded plane a slave↔slave hop means the
+                    // consumer resolved the owner locally via the ShardMap
+                    // and pulled peer-to-peer — no master round trip.
+                    if self.sharded && sn != 0 && dn != 0 {
+                        Counters::add(&self.counters.peer_resolutions, 1);
+                    }
                     Counters::add(&self.counters.am_data, 1);
                     self.fabric
                         .send(sn, dn, ompss_net::AM_HEADER_BYTES + bytes, ClusterMsg::Data)

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_coherence::{CachePolicy, Coherence, CoherenceStats, Topology};
+use ompss_coherence::{CachePolicy, Coherence, CoherenceStats, ShardMap, Topology};
 use ompss_core::{TaskGraph, TaskId};
 use ompss_cudasim::{GpuDevice, GpuStats, PinnedPool};
 use ompss_json::{Json, ToJson};
@@ -307,14 +307,23 @@ impl Omp {
         &self.shared.cfg
     }
 
-    /// Allocate a typed array in master host memory.
+    /// Allocate a typed array in its home host memory: the master's
+    /// under the flat control plane, the shard owner's under
+    /// [`RuntimeConfig::with_sharded_control`] — every node computes
+    /// the owner locally from the [`ShardMap`], no directory round
+    /// trip.
     pub fn alloc_array<T: Scalar>(&self, len: usize) -> ArrayHandle<T> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
-        let data = self
-            .shared
-            .mem
-            .register_data(bytes, self.shared.hosts[0])
-            .expect("master host out of memory");
+        let cfg = &self.shared.cfg;
+        let home = if cfg.sharded() && cfg.nodes > 1 {
+            let map = ShardMap::new(cfg.shards);
+            let owner = map.owner_node(self.shared.mem.next_data_id(), cfg.nodes);
+            Counters::add(&self.shared.counters.shard_lookups, 1);
+            self.shared.hosts[owner as usize]
+        } else {
+            self.shared.hosts[0]
+        };
+        let data = self.shared.mem.register_data(bytes, home).expect("home host out of memory");
         ArrayHandle { data, len, _t: PhantomData }
     }
 
@@ -451,6 +460,13 @@ impl Omp {
     /// worksharing loop — the extension the paper lists as future work
     /// (§VII) — and what every blocked loop in the evaluation does by
     /// hand.
+    /// Under the sharded control plane the blocks are partitioned by
+    /// shard owner and expanded by per-owner *sub-master* processes, so
+    /// the per-task creation overhead is paid in parallel across shards
+    /// instead of serialising through one loop. Worksharing semantics
+    /// are assumed: the blocks of one call are mutually independent
+    /// (dependences on *earlier* submissions are preserved either way —
+    /// every task of the call is in the graph before the call returns).
     pub async fn for_each_block(
         &self,
         range: Range<usize>,
@@ -458,6 +474,46 @@ impl Omp {
         make: impl Fn(Range<usize>) -> TaskSpec,
     ) {
         assert!(block > 0, "block size must be positive");
+        let cfg = &self.shared.cfg;
+        if cfg.sharded() && cfg.nodes > 1 {
+            // Route each block to the owner of the data it writes (its
+            // first dependence when it writes nothing).
+            let map = ShardMap::new(cfg.shards);
+            let mut parts: Vec<Vec<TaskSpec>> = (0..cfg.nodes).map(|_| Vec::new()).collect();
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + block).min(range.end);
+                let spec = make(start..end);
+                let key = spec
+                    .deps
+                    .iter()
+                    .find(|a| a.kind.writes())
+                    .or_else(|| spec.deps.first())
+                    .map(|a| a.region.data)
+                    .unwrap_or(DataId(0));
+                parts[map.owner_node(key, cfg.nodes) as usize].push(spec);
+                start = end;
+            }
+            let latch = Latch::new();
+            for (owner, specs) in parts.into_iter().enumerate() {
+                if specs.is_empty() {
+                    continue;
+                }
+                latch.add(1);
+                let omp = self.clone();
+                let latch = latch.clone();
+                let n = specs.len() as u64;
+                process(format!("submaster:node{owner}")).daemon().spawn(async move {
+                    for spec in specs {
+                        omp.submit(spec).await;
+                    }
+                    Counters::add(&omp.shared.counters.submaster_spawns, n);
+                    latch.done();
+                });
+            }
+            latch.wait_zero().await.expect("for_each_block during shutdown");
+            return;
+        }
         let mut start = range.start;
         while start < range.end {
             let end = (start + block).min(range.end);
@@ -597,6 +653,7 @@ impl Runtime {
             cfg.overlap,
             tracer.clone(),
             counters.clone(),
+            cfg.sharded(),
         ));
         let coh = Arc::new(
             Coherence::new(mem.clone(), topo, cfg.cache_policy)

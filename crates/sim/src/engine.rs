@@ -12,7 +12,13 @@
 //! is sequential and **deterministic**: a given program always produces
 //! the same schedule, the same byte counts and the same makespan. No
 //! OS threads, no stacks, no handshakes — a thousand-node cluster's
-//! worth of live processes is just a vector of boxed futures.
+//! worth of live processes is just a vector of boxed futures. The
+//! vector is an *arena*: a slot whose future completed cleanly is
+//! recycled by the next spawn (its epoch sequence continues, so events
+//! aimed at the dead incarnation stay stale), which keeps spawn-heavy
+//! runs — millions of short-lived transfer/pump processes — at a
+//! footprint proportional to the number *live*, not the number ever
+//! spawned. Panicked slots are never recycled.
 //!
 //! Processes interact with virtual time through free functions that
 //! resolve the running task from executor state: [`delay`] advances the
@@ -291,6 +297,16 @@ pub(crate) struct Kernel {
     seq: u64,
     queue: BinaryHeap<Reverse<Event>>,
     procs: Vec<ProcSlot>,
+    /// Total processes ever spawned. With slot reuse `procs.len()` is
+    /// only the high-water mark of *live* processes; this counter is
+    /// what [`RunReport::processes`] reports.
+    spawned: u64,
+    /// Arena free list: pids whose futures completed cleanly, ready to
+    /// host a new process. The slot's epoch is never reset, so events
+    /// aimed at a previous incarnation stay stale forever. Panicked
+    /// slots are deliberately not recycled — their name/panic records
+    /// must keep pointing at the process that died in them.
+    free_slots: Vec<Pid>,
     shutdown: bool,
     events_processed: u64,
     clock_advances: u64,
@@ -669,26 +685,49 @@ impl ProcessExit for SimResult<()> {
 
 fn spawn_impl(shared: &Arc<Shared>, name: ProcName, daemon: bool, fut: TaskFut) -> Pid {
     let mut k = shared.kernel.lock();
-    let pid = k.procs.len();
-    // Initial activation at the current time, epoch 0.
+    // Initial activation at the current time: a fresh slot starts at
+    // epoch 0; a recycled slot continues its epoch sequence so stale
+    // events from the previous incarnation can never resume this one.
     let at = k.now;
-    k.procs.push(ProcSlot {
-        name,
-        phase: Phase::Ready,
-        epoch: 0,
-        daemon,
-        pending_wake: Some((at, 0)),
-    });
+    k.spawned += 1;
+    let (pid, epoch) = match k.free_slots.pop() {
+        Some(pid) => {
+            let slot = &mut k.procs[pid];
+            debug_assert_eq!(slot.phase, Phase::Finished);
+            let epoch = slot.epoch;
+            slot.name = name;
+            slot.phase = Phase::Ready;
+            slot.daemon = daemon;
+            slot.pending_wake = Some((at, epoch));
+            (pid, epoch)
+        }
+        None => {
+            let pid = k.procs.len();
+            k.procs.push(ProcSlot {
+                name,
+                phase: Phase::Ready,
+                epoch: 0,
+                daemon,
+                pending_wake: Some((at, 0)),
+            });
+            (pid, 0)
+        }
+    };
     if let Some(step) = k.step.as_mut() {
         step.spawns.push(pid);
     }
     let seq = k.seq;
     k.seq += 1;
-    k.queue.push(Reverse(Event { time: at, seq, pid, epoch: 0 }));
+    k.queue.push(Reverse(Event { time: at, seq, pid, epoch }));
     drop(k);
     let mut tasks = shared.tasks.lock();
-    debug_assert_eq!(tasks.len(), pid);
-    tasks.push(Some(fut));
+    if pid < tasks.len() {
+        debug_assert!(tasks[pid].is_none(), "reused slot still holds a future");
+        tasks[pid] = Some(fut);
+    } else {
+        debug_assert_eq!(tasks.len(), pid);
+        tasks.push(Some(fut));
+    }
     pid
 }
 
@@ -946,6 +985,8 @@ impl Sim {
                     seq: 0,
                     queue: BinaryHeap::new(),
                     procs: Vec::new(),
+                    spawned: 0,
+                    free_slots: Vec::new(),
                     shutdown: false,
                     events_processed: 0,
                     clock_advances: 0,
@@ -1008,6 +1049,16 @@ impl Sim {
                 let slot = &mut k.procs[pid];
                 slot.phase = Phase::Finished;
                 slot.epoch += 1;
+                // Clean finishes recycle their slot. Safe even though
+                // the body's destructors run below: the future is
+                // already out of the task table, so a destructor-spawn
+                // that wins this slot installs its own future, and the
+                // epoch continuation keeps the dead incarnation's
+                // events stale. No recycling during shutdown — teardown
+                // enumerates slots and nothing spawns.
+                if !k.shutdown {
+                    k.free_slots.push(pid);
+                }
                 drop(k);
                 // Drop the body with the task context still published,
                 // so destructors may use the free functions.
@@ -1135,7 +1186,7 @@ impl Sim {
             end_time: k.now,
             events: k.events_processed,
             clock_advances: k.clock_advances,
-            processes: k.procs.len(),
+            processes: k.spawned as usize,
             host_ns: host_start.elapsed().as_nanos() as u64,
             wakes_coalesced: k.wakes_coalesced,
         })
@@ -1409,6 +1460,80 @@ mod tests {
         });
         let report = sim.run().unwrap();
         assert_eq!(report.end_time.as_nanos(), 25, "stale deadline timer drove the clock");
+    }
+
+    #[test]
+    fn finished_slots_are_reused_and_processes_reports_spawn_count() {
+        let sim = Sim::new();
+        let shared = sim.shared.clone();
+        sim.spawn("root", async {
+            for i in 0..50u64 {
+                spawn(("p", i), async {
+                    yield_now().await.unwrap();
+                });
+                // Let the child run to completion before the next spawn,
+                // so its slot is free for reuse.
+                delay(SimDuration::from_nanos(10)).await.unwrap();
+            }
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.processes, 51, "processes must count spawns, not slots");
+        let slots = shared.kernel.lock().procs.len();
+        assert!(slots <= 3, "sequential spawn/finish must recycle slots; got {slots} of 51");
+    }
+
+    #[test]
+    fn panicked_slots_are_never_reused() {
+        let sim = Sim::new();
+        let shared = sim.shared.clone();
+        sim.spawn("root", async {
+            for i in 0..5u64 {
+                spawn(("bad", i), async {
+                    panic!("dies in its slot");
+                    #[allow(unreachable_code)]
+                    ()
+                });
+                delay(SimDuration::from_nanos(10)).await.unwrap();
+            }
+        });
+        match sim.run() {
+            Err(RunError::ProcessPanic(name, _)) => assert_eq!(name, "bad0"),
+            other => panic!("expected panic report, got {other:?}"),
+        }
+        let slots = shared.kernel.lock().procs.len();
+        assert_eq!(slots, 6, "each panicked process must keep its own slot");
+    }
+
+    #[test]
+    fn stale_wake_of_previous_incarnation_never_resumes_reused_slot() {
+        // The waiter finishes at t=25 with its 100ns deadline event
+        // still queued; the reincarnation takes over the slot and must
+        // sleep straight through that stale event.
+        let sim = Sim::new();
+        let shared = sim.shared.clone();
+        let sig = crate::sync::Signal::new();
+        let s = sig.clone();
+        sim.spawn("waiter", async move {
+            let got = s.wait_timeout(SimDuration::from_nanos(100)).await.unwrap();
+            assert!(got, "signal should arrive before the deadline");
+        });
+        sim.spawn("driver", async move {
+            delay(SimDuration::from_nanos(25)).await.unwrap();
+            sig.set();
+            delay(SimDuration::from_nanos(5)).await.unwrap();
+            spawn("reincarnation", async {
+                delay(SimDuration::from_nanos(200)).await.unwrap();
+                assert_eq!(now().as_nanos(), 230, "stale deadline cut the delay short");
+            });
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_nanos(), 230);
+        assert_eq!(report.processes, 3);
+        assert_eq!(
+            shared.kernel.lock().procs.len(),
+            2,
+            "the reincarnation must reuse the waiter's slot"
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Each selected application runs with [`RuntimeConfig::verify`] on
-//! under two topologies (2 GPUs on one node; a 2-node cluster), its
+//! under three topologies (2 GPUs on one node; a 2-node cluster; the
+//! same cluster with `with_sharded_control`), its
 //! evidence is checked by [`ompss_verify::validate`], and — unless
 //! `--no-schedules` — it is rerun across scheduler tie-break seeds
 //! ([`ompss_verify::schedule`]) to diff results. The report is printed
@@ -56,10 +57,17 @@ fn try_run_app(name: &str, cfg: RuntimeConfig) -> Result<AppRun, RunError> {
     }
 }
 
-/// The two topologies every app is checked under: the paper's
-/// single-node multi-GPU setting and its multi-node cluster setting.
-fn configs() -> [(&'static str, RuntimeConfig); 2] {
-    [("multi_gpu", RuntimeConfig::multi_gpu(2)), ("cluster", RuntimeConfig::gpu_cluster(2))]
+/// The topologies every app is checked under: the paper's single-node
+/// multi-GPU setting, its multi-node cluster setting (flat master),
+/// and the same cluster with the sharded control plane on — so the
+/// shard-homed directory and sub-master expansion face the same
+/// clause/dependence validation as the flat path.
+fn configs() -> [(&'static str, RuntimeConfig); 3] {
+    [
+        ("multi_gpu", RuntimeConfig::multi_gpu(2)),
+        ("cluster", RuntimeConfig::gpu_cluster(2)),
+        ("cluster_sharded", RuntimeConfig::gpu_cluster(2).with_sharded_control(2)),
+    ]
 }
 
 fn main() {
