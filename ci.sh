@@ -6,6 +6,7 @@
 #   ./ci.sh quick    # skip the release build (lints + tests + verify)
 #   ./ci.sh verify   # only the ompss-verify sweep over the apps
 #   ./ci.sh chaos    # only the fault-injection sweep over the apps
+#   ./ci.sh churn    # elastic-membership grid: joins/drains/kill races
 #   ./ci.sh bench    # wall-clock spine: fail on >20% macro regression
 #   ./ci.sh scale    # 1000-node demo + 64-node weak-scaling gate (release)
 #   ./ci.sh mc       # bounded model-check of matmul+stream schedules
@@ -23,6 +24,11 @@ chaos() {
     cargo run -q --release -p ompss-chaos --bin chaos -- --rates 0.05,0.1 --seeds 1,2,3
     echo "==> ompss-chaos --node-kill (all apps, flat clusters 2+3 + sharded cluster 3, every slave, three kill points)"
     cargo run -q --release -p ompss-chaos --bin chaos -- --node-kill --kill-points 20,45,70
+}
+
+churn() {
+    echo "==> ompss-chaos --churn (perlin+stream, flat + sharded 3-node cluster, join/drain/kill races)"
+    cargo run -q --release -p ompss-chaos --bin chaos -- --churn perlin stream
 }
 
 bench() {
@@ -64,6 +70,12 @@ fi
 
 if [[ "${1:-}" == "chaos" ]]; then
     chaos
+    echo "CI green."
+    exit 0
+fi
+
+if [[ "${1:-}" == "churn" ]]; then
+    churn
     echo "CI green."
     exit 0
 fi
@@ -110,6 +122,8 @@ cargo test --workspace -q
 verify
 
 chaos
+
+churn
 
 mc
 

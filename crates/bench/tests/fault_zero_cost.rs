@@ -72,6 +72,44 @@ fn assert_node_loss_knobs_are_free(cfg: RuntimeConfig) {
     );
 }
 
+/// Elastic-membership machinery is opt-in twice over: arming a drain
+/// far past the makespan means the daemon stands down without firing,
+/// and the run must be byte-identical to one that never heard of
+/// membership — same makespan, same task count, same results, zero
+/// membership counters, and a counters JSON report with no
+/// `membership` section (the section is conditional so historical
+/// report bytes stay stable). Events are not pinned: the parked
+/// daemon's own timer exists, as with `kill_after_completion`.
+fn assert_membership_knobs_are_free(cfg: RuntimeConfig) {
+    use ompss_json::ToJson;
+    use ompss_runtime::SimDuration;
+    let run = |cfg: RuntimeConfig| matmul::ompss::run(cfg, MatmulParams::validate(), InitMode::Smp);
+    let armed = cfg.clone().with_node_drain(1, SimDuration::from_millis(100));
+    let (base, idle) = (run(cfg), run(armed));
+    let (base_rep, idle_rep) = (base.report.as_ref().unwrap(), idle.report.as_ref().unwrap());
+    assert_eq!(
+        (base_rep.makespan, base_rep.tasks),
+        (idle_rep.makespan, idle_rep.tasks),
+        "a drain planned past the makespan changed the schedule"
+    );
+    assert_eq!(base.check, idle.check, "a drain planned past the makespan changed the results");
+    let c = &idle_rep.counters;
+    assert_eq!(
+        (c.nodes_joined, c.nodes_drained, c.regions_rebalanced, c.bytes_migrated),
+        (0, 0, 0, 0),
+        "membership counters must stay zero when no churn fired"
+    );
+    let (base_json, idle_json) = (
+        base_rep.counters.to_json().to_pretty_string(),
+        idle_rep.counters.to_json().to_pretty_string(),
+    );
+    assert_eq!(base_json, idle_json, "unfired membership knobs changed the report bytes");
+    assert!(
+        !idle_json.contains("\"membership\""),
+        "a quiet run must not grow a membership report section"
+    );
+}
+
 #[test]
 fn matmul_multigpu_timing_unchanged_by_disarmed_faults() {
     assert_disarmed_is_free(RuntimeConfig::multi_gpu(2));
@@ -90,4 +128,14 @@ fn matmul_multigpu_timing_unchanged_by_unarmed_node_loss_knobs() {
 #[test]
 fn matmul_cluster_timing_unchanged_by_unarmed_node_loss_knobs() {
     assert_node_loss_knobs_are_free(RuntimeConfig::gpu_cluster(2));
+}
+
+#[test]
+fn matmul_cluster_timing_unchanged_by_unfired_membership_knobs() {
+    assert_membership_knobs_are_free(RuntimeConfig::gpu_cluster(2));
+}
+
+#[test]
+fn matmul_sharded_cluster_timing_unchanged_by_unfired_membership_knobs() {
+    assert_membership_knobs_are_free(RuntimeConfig::gpu_cluster(3).with_sharded_control(3));
 }

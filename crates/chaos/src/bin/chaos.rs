@@ -22,6 +22,15 @@
 //! [`RunError::Exhausted`]; wrong bytes or any other crash fails the
 //! sweep, as does a grid in which no case actually recovered.
 //!
+//! `--churn` switches to the elastic-membership grid: each app on a
+//! three-node cluster, flat and sharded control plane, under planned
+//! joins, drains, a join+drain round trip, and two drain×kill races
+//! (the draining node killed mid-drain, and a bystander killed while
+//! another node drains). Every cell must finish bit-identically to the
+//! static reference or fail closed with [`RunError::Exhausted`] —
+//! wrong bytes or any other crash fails the sweep, as does a grid in
+//! which no join or no drain actually fired.
+//!
 //! Every run in the grid — references included — is an independent
 //! simulation, so all of them execute on `--jobs N` host threads
 //! (default `OMPSS_BENCH_JOBS` / host parallelism); comparisons and the
@@ -45,7 +54,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: chaos [--rates r1,r2] [--seeds s1,s2] [--jobs N] [app...]\n       \
-             chaos --node-kill [--kill-points p1,p2] [--jobs N] [app...]\napps: {}",
+             chaos --node-kill [--kill-points p1,p2] [--jobs N] [app...]\n       \
+             chaos --churn [--jobs N] [app...]\napps: {}",
             APPS.join(" ")
         );
         return;
@@ -54,6 +64,7 @@ fn main() {
     let mut rates: Vec<f64> = vec![0.05, 0.1];
     let mut seeds: Vec<u64> = vec![1, 2, 3];
     let mut node_kill = false;
+    let mut churn = false;
     let mut kill_points: Vec<u64> = vec![20, 45, 70];
     // Resolved against APPS so the sweep closures capture `&'static str`.
     let mut named: Vec<&'static str> = Vec::new();
@@ -70,6 +81,7 @@ fn main() {
                     .collect();
             }
             "--node-kill" => node_kill = true,
+            "--churn" => churn = true,
             "--kill-points" => {
                 kill_points =
                     parse_list("--kill-points", &it.next().expect("--kill-points needs a value"))
@@ -90,6 +102,10 @@ fn main() {
 
     if node_kill {
         node_kill_sweep(&apps, &kill_points);
+        return;
+    }
+    if churn {
+        churn_sweep(&apps);
         return;
     }
 
@@ -339,6 +355,171 @@ fn node_kill_sweep(apps: &[&'static str], points: &[u64]) {
     }
     if recovered == 0 {
         eprintln!("chaos --node-kill: no case actually recovered; the grid proves nothing");
+        std::process::exit(1);
+    }
+}
+
+/// How one churn cell ended. Finishing bit-identically to the static
+/// reference and failing closed with [`RunError::Exhausted`] are the
+/// only acceptable outcomes — wrong bytes and any other error fail the
+/// sweep.
+enum ChurnOutcome {
+    /// Bit-identical finish; carries `(nodes_joined, nodes_drained,
+    /// regions_rebalanced, bytes_migrated, nodes_lost)`.
+    Finished((u64, u64, u64, u64, u64)),
+    FailClosed(String),
+    Crashed(String),
+}
+
+/// The elastic-membership grid: app × {flat, sharded} three-node
+/// cluster × churn scenario. Node 2 is the elastic member throughout;
+/// the two kill scenarios race a crash against its drain (the drainee
+/// itself, then bystander node 1). Instants are fractions of the
+/// static fault-free makespan so every event lands mid-run.
+fn churn_sweep(apps: &[&'static str]) {
+    use ompss_runtime::{RuntimeConfig, SimDuration};
+    // (name, join %, drain %, (kill victim, kill %)).
+    type Scenario = (&'static str, Option<u64>, Option<u64>, Option<(u32, u64)>);
+    const SCENARIOS: [Scenario; 5] = [
+        ("join", Some(25), None, None),
+        ("drain", None, Some(45), None),
+        ("join_drain", Some(20), Some(55), None),
+        ("drain_then_kill", None, Some(40), Some((2, 45))),
+        ("kill_other_during_drain", None, Some(40), Some((1, 45))),
+    ];
+    let planes: [(&'static str, bool); 2] = [("cluster3", false), ("cluster3_sharded", true)];
+    let cluster_cfg = |sharded: bool| {
+        let cfg = RuntimeConfig::gpu_cluster(3);
+        if sharded {
+            cfg.with_sharded_control(3)
+        } else {
+            cfg
+        }
+    };
+
+    // Phase 1: static references (output bytes + makespan).
+    type RefTask = Box<dyn FnOnce() -> (Vec<f32>, u64) + Send>;
+    let mut ref_tasks: Vec<RefTask> = Vec::new();
+    for &app in apps {
+        for &(_, sharded) in &planes {
+            ref_tasks.push(Box::new(move || {
+                let run = run_app(app, cluster_cfg(sharded));
+                let makespan = run.report.as_ref().expect("report").makespan.as_nanos();
+                (output_of(&run).to_vec(), makespan)
+            }));
+        }
+    }
+    let mut refs = ompss_sweep::run_jobs(ompss_sweep::jobs(), ref_tasks).into_iter();
+
+    // Phase 2: one run per cell, classified against its reference.
+    let mut cell_tasks: Vec<Box<dyn FnOnce() -> ChurnOutcome + Send>> = Vec::new();
+    let mut grid: Vec<(&'static str, &'static str, &'static str)> = Vec::new();
+    for &app in apps {
+        for &(plane, sharded) in &planes {
+            let (expect, makespan) = refs.next().expect("one reference per app x plane");
+            let expect = std::sync::Arc::new(expect);
+            for &(name, join, drain, kill) in &SCENARIOS {
+                grid.push((app, plane, name));
+                let expect = expect.clone();
+                let at = move |pct: u64| SimDuration::from_nanos(makespan * pct / 100);
+                cell_tasks.push(Box::new(move || {
+                    let mut cfg = cluster_cfg(sharded);
+                    if let Some(pct) = join {
+                        cfg = cfg.with_node_join(2, at(pct));
+                    }
+                    if let Some(pct) = drain {
+                        cfg = cfg.with_node_drain(2, at(pct));
+                    }
+                    if let Some((victim, pct)) = kill {
+                        cfg = cfg.with_node_loss(victim, at(pct));
+                    }
+                    match try_run_app(app, cfg) {
+                        Ok(run) => {
+                            let c = &run.report.as_ref().expect("report").counters;
+                            let counters = (
+                                c.nodes_joined,
+                                c.nodes_drained,
+                                c.regions_rebalanced,
+                                c.bytes_migrated,
+                                c.nodes_lost,
+                            );
+                            if output_of(&run) == expect.as_slice() {
+                                ChurnOutcome::Finished(counters)
+                            } else {
+                                ChurnOutcome::Crashed("output diverged".into())
+                            }
+                        }
+                        Err(e @ RunError::Exhausted { .. }) => {
+                            ChurnOutcome::FailClosed(e.to_string())
+                        }
+                        Err(e) => ChurnOutcome::Crashed(e.to_string()),
+                    }
+                }));
+            }
+        }
+    }
+    let results = ompss_sweep::run_jobs(ompss_sweep::jobs(), cell_tasks);
+
+    let mut cases = Json::array();
+    let (mut identical, mut fail_closed, mut failures) = (0u64, 0u64, 0u64);
+    let (mut joined, mut drained, mut rebalanced, mut migrated, mut lost) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for ((app, plane, scenario), outcome) in grid.into_iter().zip(results) {
+        let mut case =
+            Json::object().field("app", app).field("topology", plane).field("scenario", scenario);
+        case = match outcome {
+            ChurnOutcome::Finished((j, d, r, b, l)) => {
+                identical += 1;
+                joined += j;
+                drained += d;
+                rebalanced += r;
+                migrated += b;
+                lost += l;
+                case.field("outcome", "identical")
+                    .field("nodes_joined", j)
+                    .field("nodes_drained", d)
+                    .field("regions_rebalanced", r)
+                    .field("bytes_migrated", b)
+                    .field("nodes_lost", l)
+            }
+            ChurnOutcome::FailClosed(msg) => {
+                fail_closed += 1;
+                case.field("outcome", "fail_closed").field("error", msg)
+            }
+            ChurnOutcome::Crashed(msg) => {
+                failures += 1;
+                case.field("outcome", "FAILURE").field("error", msg)
+            }
+        };
+        cases.push(case);
+    }
+
+    let report = Json::object()
+        .field("tool", "ompss-chaos")
+        .field("mode", "churn")
+        .field(
+            "totals",
+            Json::object()
+                .field("identical", identical)
+                .field("fail_closed", fail_closed)
+                .field("failures", failures)
+                .field("nodes_joined", joined)
+                .field("nodes_drained", drained)
+                .field("regions_rebalanced", rebalanced)
+                .field("bytes_migrated", migrated)
+                .field("nodes_lost", lost),
+        )
+        .field("cases", cases);
+    println!("{}", report.to_pretty_string().trim_end());
+    if failures > 0 {
+        eprintln!("chaos --churn: {failures} case(s) crashed or produced wrong bytes");
+        std::process::exit(1);
+    }
+    if joined == 0 || drained == 0 {
+        eprintln!(
+            "chaos --churn: the grid exercised no {} (joined={joined}, drained={drained})",
+            if joined == 0 { "join" } else { "drain" }
+        );
         std::process::exit(1);
     }
 }

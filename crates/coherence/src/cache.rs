@@ -1077,6 +1077,28 @@ impl Coherence {
         self.ensure_valid(exec, region, space, false, TransferPurpose::Presend).await
     }
 
+    /// Regions whose dirty valid-latest copy lives at one of `spaces`,
+    /// in deterministic order — what a draining node must flush home
+    /// before its copies can be dropped.
+    pub fn dirty_regions_at(&self, spaces: &[SpaceId]) -> Vec<Region> {
+        let inner = self.inner.lock();
+        let mut dirty: Vec<Region> = inner
+            .regions
+            .iter()
+            .filter(|(_, e)| {
+                spaces.iter().any(|s| {
+                    e.copies.get(s).is_some_and(|c| {
+                        c.dirty
+                            && matches!(c.state, CState::Valid { version } if version == e.version)
+                    })
+                })
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        dirty.sort();
+        dirty
+    }
+
     /// Regions with a dirty valid-latest copy somewhere (what a flush
     /// must write home), in deterministic order.
     pub fn dirty_regions(&self) -> Vec<Region> {
@@ -1266,13 +1288,14 @@ impl Coherence {
     /// region has no surviving valid copy at all (not even a base for
     /// replay), or when a live task holds a busy copy at `new_home`
     /// that cannot be displaced without yielding.
+    /// On success returns the number of regions re-pointed.
     pub fn rehome_data(
         &self,
         data: DataId,
         size: u64,
         new_home: SpaceId,
         new_alloc: AllocId,
-    ) -> Result<(), String> {
+    ) -> Result<usize, String> {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
         let mut regions: Vec<Region> =
@@ -1294,6 +1317,7 @@ impl Coherence {
                  and died with the home node"
             ));
         }
+        let moved = regions.len();
         for region in regions {
             let entry = inner.regions.get_mut(&region).expect("listed above");
             if let Some(c) = entry.copies.get(&new_home) {
@@ -1357,7 +1381,122 @@ impl Coherence {
                 }
             }
         }
-        Ok(())
+        Ok(moved)
+    }
+
+    /// Can `data`'s home move to `new_home` right now without yielding?
+    /// True when every tracked region's home copy is idle (not pinned,
+    /// not filling) and no busy copy sits at `new_home`. A planned
+    /// rebalance *skips* data that is momentarily busy — the registry
+    /// home stays authoritative wherever it points, so leaving a slice
+    /// at its old owner is merely suboptimal, never wrong.
+    pub fn migrate_ready(&self, data: DataId, new_home: SpaceId) -> bool {
+        let inner = self.inner.lock();
+        inner.regions.iter().filter(|(r, _)| r.data == data).all(|(_, e)| {
+            let home_idle = e
+                .copies
+                .get(&e.home)
+                .is_none_or(|c| c.pinned == 0 && !matches!(c.state, CState::InFlight { .. }));
+            let target_idle = new_home == e.home
+                || e.copies
+                    .get(&new_home)
+                    .is_none_or(|c| c.pinned == 0 && !matches!(c.state, CState::InFlight { .. }));
+            home_idle && target_idle
+        })
+    }
+
+    /// Move `data`'s home from the **live** allocation `old` to
+    /// `new_home`/`new_alloc` (sized `size`) — the planned counterpart
+    /// of [`rehome_data`](Self::rehome_data), used by elastic
+    /// membership where the old home's node is alive and every byte
+    /// survives. Called registry-second (the memory registry has
+    /// already re-pointed the data and handed out `new_alloc`), under
+    /// the master lock with no simulator yields, and only after
+    /// [`migrate_ready`](Self::migrate_ready) said yes in the same
+    /// critical section.
+    ///
+    /// The whole object is raw-copied (untracked bytes included — they
+    /// exist only in the home allocation), then each tracked region's
+    /// home copy moves to `new_home`. An idle cached copy already at
+    /// `new_home` is compared by version: if it is **fresher** than the
+    /// home copy (a write committed at the new owner's host that has
+    /// not flushed yet) its bytes are promoted into the home allocation
+    /// and its version carries over — displacing it would destroy the
+    /// latest write; if it is stale or garbage it is displaced (the
+    /// home copy must live in the home allocation). Either way its old
+    /// cache allocation and the old home allocation are freed. Copies
+    /// at other spaces are untouched. Returns `(regions_moved,
+    /// bytes_moved)`.
+    pub fn migrate_home(
+        &self,
+        data: DataId,
+        size: u64,
+        old: (SpaceId, AllocId),
+        new_home: SpaceId,
+        new_alloc: AllocId,
+    ) -> (usize, u64) {
+        let (old_home, old_alloc) = old;
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        self.mem.copy((old_home, old_alloc), 0, (new_home, new_alloc), 0, size);
+        let mut regions: Vec<Region> =
+            inner.regions.keys().filter(|r| r.data == data).copied().collect();
+        regions.sort();
+        let moved = regions.len();
+        for region in regions {
+            let entry = inner.regions.get_mut(&region).expect("listed above");
+            assert_eq!(entry.home, old_home, "migrate_home: data split across homes");
+            let home_copy = entry.copies.remove(&old_home);
+            let local = entry.copies.remove(&new_home);
+            let valid = |c: &Option<CopyState>| match c {
+                Some(CopyState { state: CState::Valid { version }, .. }) => Some(*version),
+                _ => None,
+            };
+            let promote = match (valid(&local), valid(&home_copy)) {
+                (Some(lv), Some(hv)) => lv > hv,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            entry.home = new_home;
+            if let Some(c) = local {
+                debug_assert!(
+                    c.pinned == 0 && !matches!(c.state, CState::InFlight { .. }),
+                    "migrate_ready admitted a busy copy at the new home"
+                );
+                if promote {
+                    // The new owner's host holds a version the moving
+                    // home has not seen — its bytes become the home
+                    // bytes, not the raw-copied stale ones.
+                    self.mem.copy(
+                        (new_home, c.alloc),
+                        c.offset,
+                        (new_home, new_alloc),
+                        region.offset,
+                        region.len,
+                    );
+                } else {
+                    inner.stats.evictions += 1;
+                }
+                self.mem.free(new_home, c.alloc);
+                if promote {
+                    entry.copies.insert(
+                        new_home,
+                        CopyState { alloc: new_alloc, offset: region.offset, ..c },
+                    );
+                }
+            }
+            if !promote {
+                if let Some(c) = home_copy {
+                    entry.copies.insert(
+                        new_home,
+                        CopyState { alloc: new_alloc, offset: region.offset, ..c },
+                    );
+                }
+            }
+        }
+        self.mem.free(old_home, old_alloc);
+        self.debug_validate_locked(&guard, "migrate_home");
+        (moved, size)
     }
 
     /// Materialise the best surviving version of `region` in its home

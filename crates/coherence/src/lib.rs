@@ -26,5 +26,5 @@ mod topo;
 pub use cache::{
     CachePolicy, Coherence, CoherenceStats, Loc, LostRegion, TransferExec, TransferPurpose,
 };
-pub use shard::ShardMap;
+pub use shard::{MembershipEpochs, ShardMap};
 pub use topo::{Hop, HopKind, SlaveRouting, Topology};

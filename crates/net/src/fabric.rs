@@ -116,6 +116,12 @@ struct FabricInner<M> {
     /// Per-node NIC death flags (whole-node loss): a dead endpoint's
     /// messages still occupy the wire but are never delivered.
     dead: Vec<AtomicBool>,
+    /// Per-node NIC offline flags (elastic membership): an offline NIC
+    /// behaves like a dead one on the wire, but unlike death it is
+    /// planned and reversible — a joining node's NIC starts offline and
+    /// is brought up at its join instant; a drained node's goes back
+    /// offline at departure.
+    offline: Vec<AtomicBool>,
 }
 
 /// A simulated cluster interconnect carrying messages of type `M`.
@@ -147,6 +153,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
                     ..NetStats::default()
                 }),
                 dead: (0..cfg.nodes).map(|_| AtomicBool::new(false)).collect(),
+                offline: (0..cfg.nodes).map(|_| AtomicBool::new(false)).collect(),
                 cfg,
                 nics,
                 faults: Mutex::new(None),
@@ -179,6 +186,27 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         self.inner.dead[node as usize].load(Relaxed)
     }
 
+    /// Take `node`'s NIC off the wire without declaring it dead: the
+    /// planned counterpart of [`Fabric::kill_node`]. Off-wire delivery
+    /// semantics are identical (traffic occupies the wire but is never
+    /// delivered); the difference is intent and reversibility — a
+    /// joiner's NIC starts offline and comes up via
+    /// [`Fabric::set_online`].
+    pub fn set_offline(&self, node: NodeId) {
+        self.inner.offline[node as usize].store(true, Relaxed);
+    }
+
+    /// Bring `node`'s NIC onto the wire (join bring-up). Death is not
+    /// reversible: a killed NIC stays off the wire regardless.
+    pub fn set_online(&self, node: NodeId) {
+        self.inner.offline[node as usize].store(false, Relaxed);
+    }
+
+    /// Is `node`'s NIC currently off the wire (offline or dead)?
+    pub fn is_offwire(&self, node: NodeId) -> bool {
+        self.is_dead(node) || self.inner.offline[node as usize].load(Relaxed)
+    }
+
     /// Send `msg` (declared wire size `size` bytes) from `src` to `dst`,
     /// blocking the calling process for the transfer duration. The
     /// message is in `dst`'s inbox when this returns.
@@ -196,7 +224,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
             st.link_messages[src as usize][dst as usize] += 1;
         }
         if src == dst {
-            if !self.is_dead(dst) {
+            if !self.is_offwire(dst) {
                 self.inner.nics[dst as usize].inbox.send((src, msg));
             }
             return Ok(());
@@ -229,10 +257,11 @@ impl<M: Send + Clone + 'static> Fabric<M> {
             // reliability layer's problem.
             return Ok(());
         }
-        if self.is_dead(src) || self.is_dead(dst) {
-            // A dead endpoint (killed before or during the transfer):
-            // the bytes were on the wire but there is nobody to receive
-            // them — same observable outcome as a drop.
+        if self.is_offwire(src) || self.is_offwire(dst) {
+            // An off-wire endpoint (killed, not yet joined, or drained
+            // away before or during the transfer): the bytes were on
+            // the wire but there is nobody to receive them — same
+            // observable outcome as a drop.
             return Ok(());
         }
         if dup {
@@ -508,6 +537,32 @@ mod tests {
             // Live pairs are unaffected.
             f.send(0, 2, 64, 10).await.unwrap();
             assert_eq!(f.try_recv(2), Some((0, 10)));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn offline_nic_is_off_the_wire_until_brought_online() {
+        let sim = Sim::new();
+        let fab: Fabric<u32> = Fabric::new(cfg());
+        let f = fab.clone();
+        sim.spawn("p", async move {
+            // A joiner's NIC starts offline: wire time is charged (the
+            // sender cannot tell) but nothing is delivered.
+            f.set_offline(1);
+            assert!(f.is_offwire(1));
+            assert!(!f.is_dead(1), "offline is planned, not a death");
+            f.send(0, 1, 1000, 7).await.unwrap();
+            assert_eq!(f.try_recv(1), None);
+            // Join bring-up: the same link now delivers.
+            f.set_online(1);
+            assert!(!f.is_offwire(1));
+            f.send(0, 1, 1000, 8).await.unwrap();
+            assert_eq!(f.try_recv(1), Some((0, 8)));
+            // Death is not reversible via set_online.
+            f.kill_node(2);
+            f.set_online(2);
+            assert!(f.is_offwire(2));
         });
         sim.run().unwrap();
     }

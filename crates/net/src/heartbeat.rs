@@ -52,6 +52,37 @@ impl LeaseTracker {
         self.cfg
     }
 
+    /// Start tracking `node` with a lease freshly renewed at `now` — a
+    /// node joining the cluster mid-run. Ignored if already tracked
+    /// (including already-declared nodes: death is final for the run).
+    pub fn track(&mut self, node: NodeId, now: SimTime) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        self.nodes.push(node);
+        self.last_seen.push(now);
+        self.declared.push(false);
+    }
+
+    /// Stop tracking `node` — a graceful drain's departure, not a
+    /// death: the lease is retired without ever being declared expired
+    /// and the node no longer counts toward missed heartbeats. Ignored
+    /// if untracked.
+    pub fn untrack(&mut self, node: NodeId) {
+        if let Some(i) = self.nodes.iter().position(|&n| n == node) {
+            self.nodes.remove(i);
+            self.last_seen.remove(i);
+            self.declared.remove(i);
+        }
+    }
+
+    /// Is `node` currently tracked? Declared-dead nodes stay tracked
+    /// (death is an outcome of the lease); drained nodes do not
+    /// (departure retires it).
+    pub fn is_tracked(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
     /// Renew `node`'s lease at `now` (a heartbeat reply arrived).
     /// Renewals from untracked or already-declared nodes are ignored.
     pub fn beat(&mut self, node: NodeId, now: SimTime) {
@@ -137,6 +168,38 @@ mod tests {
         t.beat(1, us(1400));
         assert!(t.expired(us(1400)).is_empty());
         assert!(t.is_declared_dead(1));
+    }
+
+    #[test]
+    fn tracked_joiner_lives_by_its_own_lease() {
+        // A node joining mid-run starts fresh at its join instant, not
+        // at the tracker's birth: silence *before* the join must not
+        // count against it.
+        let mut t = LeaseTracker::new(cfg(), vec![1], us(0));
+        assert!(!t.is_tracked(2));
+        t.beat(1, us(1900));
+        t.track(2, us(2000));
+        assert!(t.is_tracked(2));
+        assert!(t.expired(us(2100)).is_empty(), "joiner's lease is fresh at the join");
+        // ...but from the join on it is a full citizen of the protocol.
+        t.beat(1, us(3000));
+        assert_eq!(t.expired(us(3100)), vec![2], "a silent joiner dies like anyone else");
+    }
+
+    #[test]
+    fn untracked_drainer_never_expires_and_track_is_idempotent() {
+        let mut t = LeaseTracker::new(cfg(), vec![1, 2], us(0));
+        t.untrack(1);
+        assert!(!t.is_tracked(1));
+        t.beat(2, us(1500));
+        assert!(t.expired(us(1500)).is_empty(), "a drained node is not a dead node");
+        assert_eq!(t.missed(), 0, "departure retires the lease without missed beats");
+        // Re-tracking an already-tracked node is a no-op, and
+        // untracking an unknown node never panics.
+        t.track(2, us(1600));
+        t.untrack(7);
+        assert!(t.is_tracked(2));
+        assert!(!t.is_declared_dead(1));
     }
 
     #[test]

@@ -111,6 +111,23 @@ pub struct RuntimeConfig {
     /// per lost region before the run aborts with
     /// [`ompss_sim::RunError::Exhausted`] (`OMPSS_LINEAGE_DEPTH`).
     pub lineage_depth_budget: u32,
+    /// Planned mid-run node join (`OMPSS_NODE_JOIN`): slave node index
+    /// and the virtual instant it comes up. The node starts absent —
+    /// NIC offline, scheduler proxy out of service, no heartbeat lease
+    /// — and at the instant the Fabric brings its NIC online, the
+    /// scheduler adopts its proxy and the lease tracker starts its
+    /// lease. Under sharded control the join opens a new membership
+    /// epoch and rebalances moved slices onto the joiner. `None`
+    /// (default) spawns none of the machinery.
+    pub node_join: Option<(u32, SimDuration)>,
+    /// Planned graceful drain (`OMPSS_NODE_DRAIN`): slave node index
+    /// and the virtual instant it starts leaving. The node stops
+    /// accepting tasks, finishes what it has, flushes and migrates its
+    /// home/cached regions off (no fault semantics, no lineage), then
+    /// departs. A drain interrupted by a kill falls back to crash
+    /// recovery or fails closed. `None` (default) spawns none of the
+    /// machinery.
+    pub node_drain: Option<(u32, SimDuration)>,
     /// Control-plane shards (`OMPSS_SHARDS`): `0` (default) keeps the
     /// paper's flat single-master plane — directory, homes and task
     /// generation all on node 0, bit-identical to a build without
@@ -158,6 +175,8 @@ impl RuntimeConfig {
             heartbeat_period: SimDuration::from_micros(200),
             lease_window: SimDuration::from_micros(1000),
             lineage_depth_budget: 64,
+            node_join: None,
+            node_drain: None,
             shards: 0,
         }
     }
@@ -195,6 +214,8 @@ impl RuntimeConfig {
             heartbeat_period: SimDuration::from_micros(200),
             lease_window: SimDuration::from_micros(1000),
             lineage_depth_budget: 64,
+            node_join: None,
+            node_drain: None,
             shards: 0,
         }
     }
@@ -320,6 +341,27 @@ impl RuntimeConfig {
         self
     }
 
+    /// Plan a node join: slave `node` starts the run absent and comes
+    /// up at `at` of virtual time.
+    pub fn with_node_join(mut self, node: u32, at: SimDuration) -> Self {
+        assert!(node > 0, "node 0 is the master; only slaves can join");
+        self.node_join = Some((node, at));
+        self
+    }
+
+    /// Plan a graceful drain: slave `node` starts leaving at `at` of
+    /// virtual time.
+    pub fn with_node_drain(mut self, node: u32, at: SimDuration) -> Self {
+        assert!(node > 0, "node 0 is the master; only slaves can drain");
+        self.node_drain = Some((node, at));
+        self
+    }
+
+    /// Is elastic membership armed (a planned join or drain)?
+    pub fn membership_enabled(&self) -> bool {
+        self.node_join.is_some() || self.node_drain.is_some()
+    }
+
     /// Shard the control plane into `n` shards (0 = flat single
     /// master; see the field docs). Shards beyond the node count still
     /// work — several shards just wrap onto the same owner node.
@@ -370,6 +412,8 @@ impl RuntimeConfig {
     /// | `OMPSS_HEARTBEAT_PERIOD_US` / `OMPSS_LEASE_WINDOW_US` | integers (µs) |
     /// | `OMPSS_LINEAGE_DEPTH` | integer re-execution budget |
     /// | `OMPSS_SHARDS` | control-plane shard count (0 = flat master) |
+    /// | `OMPSS_NODE_JOIN` | `node@micros` planned join (e.g. `2@500`) |
+    /// | `OMPSS_NODE_DRAIN` | `node@micros` planned drain (e.g. `1@800`) |
     ///
     /// Unknown values panic (a typo silently ignored would invalidate an
     /// experiment).
@@ -458,6 +502,18 @@ impl RuntimeConfig {
         }
         if let Ok(v) = env::var("OMPSS_SHARDS") {
             self.shards = v.parse().expect("OMPSS_SHARDS: not an integer");
+        }
+        if let Ok(v) = env::var("OMPSS_NODE_JOIN") {
+            let (node, micros) = v.split_once('@').expect("OMPSS_NODE_JOIN: expected node@micros");
+            let node: u32 = node.parse().expect("OMPSS_NODE_JOIN: node not an integer");
+            let micros: u64 = micros.parse().expect("OMPSS_NODE_JOIN: not microseconds");
+            self = self.with_node_join(node, SimDuration::from_micros(micros));
+        }
+        if let Ok(v) = env::var("OMPSS_NODE_DRAIN") {
+            let (node, micros) = v.split_once('@').expect("OMPSS_NODE_DRAIN: expected node@micros");
+            let node: u32 = node.parse().expect("OMPSS_NODE_DRAIN: node not an integer");
+            let micros: u64 = micros.parse().expect("OMPSS_NODE_DRAIN: not microseconds");
+            self = self.with_node_drain(node, SimDuration::from_micros(micros));
         }
         self
     }

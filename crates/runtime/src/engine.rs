@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_coherence::Coherence;
+use ompss_coherence::{Coherence, MembershipEpochs};
 use ompss_core::{Device, TaskGraph, TaskId};
 use ompss_cudasim::{GpuDevice, GpuFault, KernelCost};
 use ompss_mem::Region;
@@ -82,6 +82,10 @@ pub(crate) struct MasterState {
     /// comm thread stops dispatching to them and stale notifications
     /// from them are ignored.
     pub node_dead: Vec<bool>,
+    /// Nodes armed to join that have not yet come up (index 0 unused):
+    /// the comm thread never dispatches to an absent node; the planned
+    /// [`node_join`] clears the flag at the join instant.
+    pub node_absent: Vec<bool>,
 }
 
 /// Per-slave-node state.
@@ -132,10 +136,18 @@ pub(crate) struct RtShared {
     /// Reliable-delivery state for control messages; `Some` exactly
     /// when `faults` is (plain sends otherwise — the paper's protocol).
     pub rel: Option<Arc<Reliability>>,
-    /// Lease bookkeeping of the heartbeat protocol; `Some` exactly when
-    /// node-loss chaos is armed (disarmed runs track nothing and send
-    /// nothing).
+    /// Lease bookkeeping of the heartbeat protocol; `Some` when
+    /// node-loss chaos *or* elastic membership is armed (disarmed runs
+    /// track nothing and send nothing). An armed joiner starts
+    /// untracked — its lease begins at the join instant; a drained node
+    /// is untracked at departure — retirement, not death.
     pub lease: Option<Mutex<LeaseTracker>>,
+    /// Epoch-versioned shard ownership; `Some` exactly when elastic
+    /// membership is armed on the sharded control plane. Planned
+    /// joins/drains advance the epoch and rebalance slice homes; static
+    /// runs never construct this and resolve through the pure
+    /// [`ompss_coherence::ShardMap`] alone.
+    pub membership: Option<Mutex<MembershipEpochs>>,
     /// Every space of each node (host first, then its GPUs) — the purge
     /// set when that node dies.
     pub node_spaces: Vec<Vec<SpaceId>>,
@@ -603,7 +615,7 @@ pub(crate) async fn comm_thread(shared: Arc<RtShared>, ep: AmEndpoint<ClusterMsg
             {
                 let tid = {
                     let mut m = shared.master.lock();
-                    if m.node_dead[node as usize] {
+                    if m.node_dead[node as usize] || m.node_absent[node as usize] {
                         continue;
                     }
                     let (smp_in, cuda_in) = m.inflight[node as usize];
@@ -1030,6 +1042,280 @@ pub(crate) async fn node_kill(
     shared.slaves[node as usize].bell.ring();
 }
 
+/// The planned node-join: at the armed virtual instant the new node's
+/// NIC comes on the wire, the master adopts its proxy resource (with
+/// affinity tie-breaks restored), its heartbeat lease starts fresh, and
+/// — under sharded control — membership advances one epoch and the
+/// slices the new member now owns are re-homed onto it, registry first.
+/// The whole master-side handshake is atomic in virtual time (one
+/// critical section, no yields), so the rest of the machine observes
+/// either the pre-join cluster or the fully joined one; the epoch's
+/// handoff window opens and seals inside that same section.
+pub(crate) async fn node_join(
+    shared: Arc<RtShared>,
+    fabric: Fabric<ClusterMsg>,
+    node: NodeId,
+    at: SimDuration,
+) {
+    match shared.done.wait_timeout(at).await {
+        Ok(false) => {} // the planned instant arrived mid-run: join
+        _ => return,    // program finished first (or shutdown): stand down
+    }
+    if shared.node_down(node) {
+        return; // killed before it came up: it stays down
+    }
+    fabric.set_online(node);
+    let mut regions_moved = 0u64;
+    let mut bytes_moved = 0u64;
+    {
+        let mut m = shared.master.lock();
+        m.node_absent[node as usize] = false;
+        m.sched.adopt(shared.proxy_res[node as usize]);
+        if let Some(lease) = &shared.lease {
+            // The joiner's lease begins now — silence before the join
+            // was absence, not failure.
+            lease.lock().track(node, now());
+        }
+        if let Some(membership) = &shared.membership {
+            let mut ms = membership.lock();
+            ms.join(node);
+            // Rebalance: every slice whose owner the new epoch changed
+            // is re-homed, registry first. A slice whose copies are
+            // busy (pinned or mid-transfer) simply stays put — the
+            // registry remains authoritative either way, so resolution
+            // keeps returning real bytes; this is an optimisation, not
+            // a correctness requirement, unlike the drain's migration.
+            for h in 0..shared.cfg.nodes as usize {
+                for (data, size) in shared.mem.datas_homed_at(shared.hosts[h]) {
+                    let owner = ms.owner(data) as usize;
+                    if m.node_dead[owner] {
+                        continue; // crashed members never receive slices
+                    }
+                    let new_home = shared.hosts[owner];
+                    if new_home == shared.hosts[h] || !shared.coh.migrate_ready(data, new_home) {
+                        continue;
+                    }
+                    let info = shared.mem.data_info(data);
+                    let Ok(new_alloc) = shared.mem.rehome_data(data, new_home) else {
+                        continue; // new owner out of memory: stays put
+                    };
+                    let (r, b) = shared.coh.migrate_home(
+                        data,
+                        size,
+                        (info.home_space, info.home_alloc),
+                        new_home,
+                        new_alloc,
+                    );
+                    regions_moved += r as u64;
+                    bytes_moved += b;
+                }
+            }
+            ms.seal();
+        }
+    }
+    crate::stats::Counters::add(&shared.counters.nodes_joined, 1);
+    crate::stats::Counters::add(&shared.counters.regions_rebalanced, regions_moved);
+    crate::stats::Counters::add(&shared.counters.bytes_migrated, bytes_moved);
+    if let Some(tr) = &shared.tracer {
+        tr.record(TraceEvent::Recovery { kind: "node_join", task: None, at: now() });
+    }
+    // Wake the joiner's parked workers and the master's dispatch loops:
+    // there is a new node to feed.
+    shared.slaves[node as usize].bell.ring();
+    shared.master_bell.ring();
+    shared.comm_bell.ring();
+}
+
+/// The planned node-drain — graceful elastic departure, the inverse of
+/// [`node_join`]. No fault semantics: nothing is lost, nothing is
+/// replayed. The state machine:
+///
+/// 1. **Quiesce** — withdraw the node's proxy so no new work is placed
+///    on it (tasks only it could serve fail closed, as with a loss).
+/// 2. **Drain** — wait until every task already dispatched there has
+///    completed. A kill racing the drain abandons the protocol here:
+///    the lease monitor's crash recovery owns the node from then on.
+/// 3. **Flush** — write every dirty region cached on the node back to
+///    its home over the modeled wire (the drain's data cost).
+/// 4. **Re-home** — under sharded control, advance membership one epoch
+///    (opening the two-epoch handoff window) and move every slice homed
+///    on the leaver to its new owner, registry first; the flat plane
+///    re-homes onto the master. Busy slices are retried on a short
+///    period and fail closed ([`RunError::Exhausted`]) when the budget
+///    runs out — wrong bytes are never served.
+/// 5. **Depart** — seal the epoch, purge the node's spaces (anything
+///    still stranded fails closed), retire its lease, and take it off
+///    the wire.
+pub(crate) async fn node_drain(
+    shared: Arc<RtShared>,
+    fabric: Fabric<ClusterMsg>,
+    node: NodeId,
+    at: SimDuration,
+) {
+    match shared.done.wait_timeout(at).await {
+        Ok(false) => {} // the planned instant arrived mid-run: drain
+        _ => return,    // program finished first (or shutdown): stand down
+    }
+    // 1. Quiesce: no new dispatch to the leaver.
+    {
+        let mut m = shared.master.lock();
+        if m.node_dead[node as usize] || m.node_absent[node as usize] || shared.node_down(node) {
+            return; // already gone (killed, or never joined): nothing to drain
+        }
+        let orphans = m.sched.withdraw(shared.proxy_res[node as usize]);
+        if !orphans.is_empty() {
+            drop(m);
+            abort_run(RunError::Exhausted {
+                what: format!("placements for tasks only draining node {node} could serve"),
+                attempts: orphans.len() as u32,
+            });
+            return;
+        }
+    }
+    // 2. Drain in-flight work. Polled on a short virtual period: cheap
+    // in events, and immune to completions that ring no bell.
+    let poll = SimDuration::from_micros(50);
+    loop {
+        {
+            let m = shared.master.lock();
+            if m.node_dead[node as usize] || shared.node_down(node) {
+                return; // killed mid-drain: crash recovery owns the node now
+            }
+            if m.dispatched[node as usize].is_empty() {
+                break;
+            }
+        }
+        if delay(poll).await.is_err() {
+            return;
+        }
+    }
+    // 3. Flush dirty regions home. The withdrawn node runs no further
+    // tasks, so no new dirty copy can appear behind the sweep.
+    let mut bytes_moved = 0u64;
+    for region in shared.coh.dirty_regions_at(&shared.node_spaces[node as usize]) {
+        if shared.node_down(node) {
+            return;
+        }
+        if shared.coh.flush_region(&*shared.exec, &region).await.is_err() {
+            return;
+        }
+        bytes_moved += region.len;
+    }
+    // 4. Re-home every slice the leaver homes. The epoch advances
+    // before any slice moves, so lookups that race the migration
+    // resolve through the two-epoch window; each move is registry-first
+    // and atomic in virtual time, so neither registry ever points at
+    // bytes that are not there.
+    {
+        let m = shared.master.lock();
+        if m.node_dead[node as usize] || shared.node_down(node) {
+            return;
+        }
+        if let Some(membership) = &shared.membership {
+            membership.lock().drain(node);
+        }
+    }
+    let leaver_host = shared.hosts[node as usize];
+    let mut regions_moved = 0u64;
+    let mut attempts = 0u32;
+    loop {
+        let busy = {
+            let m = shared.master.lock();
+            if m.node_dead[node as usize] || shared.node_down(node) {
+                return;
+            }
+            let mut busy = 0usize;
+            for (data, size) in shared.mem.datas_homed_at(leaver_host) {
+                let owner = match &shared.membership {
+                    Some(ms) => ms.lock().owner(data),
+                    None => 0, // flat plane: everything re-homes onto the master
+                };
+                // A *crashed* member is invisible to the epoch map
+                // (only joins and drains advance it). Never re-home
+                // onto a dead node: the master adopts those slices.
+                let owner = if m.node_dead[owner as usize] { 0 } else { owner };
+                let new_home = shared.hosts[owner as usize];
+                if !shared.coh.migrate_ready(data, new_home) {
+                    busy += 1;
+                    continue;
+                }
+                let info = shared.mem.data_info(data);
+                let new_alloc = match shared.mem.rehome_data(data, new_home) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        drop(m);
+                        abort_run(RunError::Exhausted {
+                            what: format!("re-homing {data:?} off draining node {node}: {e}"),
+                            attempts: 1,
+                        });
+                        return;
+                    }
+                };
+                let (r, b) = shared.coh.migrate_home(
+                    data,
+                    size,
+                    (info.home_space, info.home_alloc),
+                    new_home,
+                    new_alloc,
+                );
+                regions_moved += r as u64;
+                bytes_moved += b;
+            }
+            busy
+        };
+        if busy == 0 {
+            break;
+        }
+        attempts += 1;
+        if attempts > 64 {
+            abort_run(RunError::Exhausted {
+                what: format!("{busy} slices stayed busy while node {node} drained"),
+                attempts,
+            });
+            return;
+        }
+        if delay(poll).await.is_err() {
+            return;
+        }
+    }
+    // 5. Depart.
+    {
+        let mut m = shared.master.lock();
+        if m.node_dead[node as usize] || shared.node_down(node) {
+            return;
+        }
+        if let Some(membership) = &shared.membership {
+            membership.lock().seal();
+        }
+        let lost = shared.coh.purge_spaces(&shared.node_spaces[node as usize]);
+        if !lost.is_empty() {
+            drop(m);
+            abort_run(RunError::Exhausted {
+                what: format!("{} regions were still live on node {node} at departure", lost.len()),
+                attempts: 1,
+            });
+            return;
+        }
+        m.node_dead[node as usize] = true;
+        m.cuda_alive[node as usize] = 0;
+        m.inflight[node as usize] = (0, 0);
+        if let Some(lease) = &shared.lease {
+            lease.lock().untrack(node);
+        }
+    }
+    shared.slaves[node as usize].dead.store(true, Relaxed);
+    fabric.set_offline(node);
+    crate::stats::Counters::add(&shared.counters.nodes_drained, 1);
+    crate::stats::Counters::add(&shared.counters.regions_rebalanced, regions_moved);
+    crate::stats::Counters::add(&shared.counters.bytes_migrated, bytes_moved);
+    if let Some(tr) = &shared.tracer {
+        tr.record(TraceEvent::Recovery { kind: "node_drain", task: None, at: now() });
+    }
+    shared.slaves[node as usize].bell.ring();
+    shared.master_bell.ring();
+    shared.comm_bell.ring();
+}
+
 /// The master's lease monitor (armed-only): probes every live slave on
 /// the heartbeat period, charges missed renewals, and hands nodes whose
 /// lease expired to [`master_node_lost`].
@@ -1053,7 +1339,14 @@ pub(crate) async fn lease_monitor(shared: Arc<RtShared>, ep: AmEndpoint<ClusterM
         }
         let mut any_live = false;
         for n in 1..shared.cfg.nodes {
-            if !lease.lock().is_declared_dead(n) {
+            // Only tracked nodes are probed: an armed joiner has no
+            // lease until it comes up, a drained node retired its lease
+            // at departure — silence from either is not a failure.
+            let live = {
+                let l = lease.lock();
+                l.is_tracked(n) && !l.is_declared_dead(n)
+            };
+            if live {
                 any_live = true;
                 let _ = ep.request_short_detached(n, ClusterMsg::Ping);
             }

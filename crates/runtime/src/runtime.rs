@@ -16,7 +16,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ompss_coherence::{CachePolicy, Coherence, CoherenceStats, ShardMap, Topology};
+use ompss_coherence::{
+    CachePolicy, Coherence, CoherenceStats, MembershipEpochs, ShardMap, Topology,
+};
 use ompss_core::{TaskGraph, TaskId};
 use ompss_cudasim::{GpuDevice, GpuStats, PinnedPool};
 use ompss_json::{Json, ToJson};
@@ -31,8 +33,8 @@ use ompss_sim::{
 use crate::config::RuntimeConfig;
 use crate::engine::{
     comm_thread, device_has_resource, lease_monitor, master_dispatcher, master_gpu_manager,
-    master_smp_worker, node_kill, slave_dispatcher, slave_gpu_manager, slave_smp_worker,
-    MasterState, RtShared, SlaveState, SpanOracle,
+    master_smp_worker, node_drain, node_join, node_kill, slave_dispatcher, slave_gpu_manager,
+    slave_smp_worker, MasterState, RtShared, SlaveState, SpanOracle,
 };
 use crate::exec::RtExec;
 use crate::recover::Reliability;
@@ -316,8 +318,15 @@ impl Omp {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let cfg = &self.shared.cfg;
         let home = if cfg.sharded() && cfg.nodes > 1 {
-            let map = ShardMap::new(cfg.shards);
-            let owner = map.owner_node(self.shared.mem.next_data_id(), cfg.nodes);
+            // Under elastic membership the owner comes from the current
+            // epoch's member list; a static cluster is just epoch 0, so
+            // the unarmed path is the identical pure-function lookup.
+            let owner = match &self.shared.membership {
+                Some(ms) => ms.lock().owner(self.shared.mem.next_data_id()),
+                None => {
+                    ShardMap::new(cfg.shards).owner_node(self.shared.mem.next_data_id(), cfg.nodes)
+                }
+            };
             Counters::add(&self.shared.counters.shard_lookups, 1);
             self.shared.hosts[owner as usize]
         } else {
@@ -491,7 +500,11 @@ impl Omp {
                     .or_else(|| spec.deps.first())
                     .map(|a| a.region.data)
                     .unwrap_or(DataId(0));
-                parts[map.owner_node(key, cfg.nodes) as usize].push(spec);
+                let owner = match &self.shared.membership {
+                    Some(ms) => ms.lock().owner(key),
+                    None => map.owner_node(key, cfg.nodes),
+                };
+                parts[owner as usize].push(spec);
                 start = end;
             }
             let latch = Latch::new();
@@ -558,6 +571,36 @@ impl Runtime {
         Fut: Future<Output = ()> + Send + 'static,
     {
         assert!(cfg.nodes >= 1, "need at least the master node");
+
+        // ---- configuration validation ---------------------------------
+        // A self-contradictory config is rejected before any machine is
+        // built — a structured error, not a mid-run surprise. The
+        // builder asserts the same invariants, but the env-var path
+        // (`OMPSS_HEARTBEAT_*`, `OMPSS_NODE_JOIN`/`OMPSS_NODE_DRAIN`)
+        // reaches here unchecked.
+        if cfg.heartbeat_period >= cfg.lease_window {
+            return Err(RunError::InvalidConfig {
+                what: format!(
+                    "heartbeat_period ({} ns) must be shorter than lease_window ({} ns): \
+                     a node could never renew its lease between probes",
+                    cfg.heartbeat_period.as_nanos(),
+                    cfg.lease_window.as_nanos()
+                ),
+            });
+        }
+        for (knob, armed) in [("node_join", cfg.node_join), ("node_drain", cfg.node_drain)] {
+            if let Some((node, _)) = armed {
+                if node == 0 || node >= cfg.nodes {
+                    return Err(RunError::InvalidConfig {
+                        what: format!(
+                            "{knob} targets node {node}, but valid slaves are 1..{} \
+                             (node 0 is the master and can neither join nor drain)",
+                            cfg.nodes
+                        ),
+                    });
+                }
+            }
+        }
 
         // ---- chaos arming ---------------------------------------------
         let faults: Option<Arc<FaultPlan>> = match &cfg.fault_plan {
@@ -699,6 +742,12 @@ impl Runtime {
             span.extend(gpu_spaces[n as usize].iter().copied());
             spans.insert(hosts[n as usize], span);
         }
+        // An armed joiner starts absent: its proxy is out of service
+        // (no placement, no affinity hints) until the planned join
+        // adopts it back.
+        if let Some((j, _)) = cfg.node_join {
+            sched.deactivate(proxy_res[j as usize]);
+        }
         let master_oracle = SpanOracle { coh: coh.clone(), spans };
 
         // ---- slave schedulers ----------------------------------------
@@ -775,6 +824,13 @@ impl Runtime {
                 cuda_alive: vec![cfg.gpus_per_node; cfg.nodes as usize],
                 dispatched: vec![std::collections::BTreeSet::new(); cfg.nodes as usize],
                 node_dead: vec![false; cfg.nodes as usize],
+                node_absent: {
+                    let mut v = vec![false; cfg.nodes as usize];
+                    if let Some((j, _)) = cfg.node_join {
+                        v[j as usize] = true;
+                    }
+                    v
+                },
             }),
             master_bell: Bell::new(),
             comm_bell: Bell::new(),
@@ -790,15 +846,25 @@ impl Runtime {
             verify: cfg.verify.then(|| Arc::new(VerifySink::new())),
             faults: faults.clone(),
             rel,
-            lease: cfg.node_loss.is_some().then(|| {
+            lease: (cfg.node_loss.is_some() || cfg.membership_enabled()).then(|| {
+                // An armed joiner is not tracked from the start: its
+                // lease begins at the join instant, so pre-join silence
+                // is absence, not failure.
+                let tracked: Vec<ompss_net::NodeId> =
+                    (1..cfg.nodes).filter(|&n| cfg.node_join.is_none_or(|(j, _)| j != n)).collect();
                 Mutex::new(ompss_net::LeaseTracker::new(
                     ompss_net::LeaseConfig {
                         period: cfg.heartbeat_period,
                         window: cfg.lease_window,
                     },
-                    (1..cfg.nodes).collect(),
+                    tracked,
                     SimTime(0),
                 ))
+            }),
+            membership: (cfg.membership_enabled() && cfg.sharded() && cfg.nodes > 1).then(|| {
+                let members: Vec<u32> =
+                    (0..cfg.nodes).filter(|&n| cfg.node_join.is_none_or(|(j, _)| j != n)).collect();
+                Mutex::new(MembershipEpochs::new(cfg.shards, members))
             }),
             node_spaces,
             done: ompss_sim::Signal::new(),
@@ -854,6 +920,19 @@ impl Runtime {
                 let sh = shared.clone();
                 let fabric = am.fabric_clone();
                 sim.process("chaos:nodekill").daemon().spawn(node_kill(sh, fabric, node, at));
+            }
+            if let Some((node, at)) = cfg.node_join {
+                // The joiner starts off the wire; its (already spawned)
+                // service processes idle until the join feeds them.
+                am.fabric_clone().set_offline(node);
+                let sh = shared.clone();
+                let fabric = am.fabric_clone();
+                sim.process("elastic:join").daemon().spawn(node_join(sh, fabric, node, at));
+            }
+            if let Some((node, at)) = cfg.node_drain {
+                let sh = shared.clone();
+                let fabric = am.fabric_clone();
+                sim.process("elastic:drain").daemon().spawn(node_drain(sh, fabric, node, at));
             }
         }
 

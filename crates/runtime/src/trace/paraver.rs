@@ -41,13 +41,18 @@ pub const EVENT_TRANSFER_BYTES: u64 = 60_000_002;
 /// (see [`recovery_kind_id`]).
 pub const EVENT_RECOVERY: u64 = 60_000_003;
 
-/// Paraver value for a recovery kind string.
+/// Paraver value for a recovery kind string. Elastic-membership events
+/// (planned joins/drains, not faults) share the recovery thread: they
+/// are the same class of "the cluster changed shape under the run"
+/// punctual marks an analyst scrubs for.
 pub fn recovery_kind_id(kind: &str) -> u64 {
     match kind {
         "task_retry" => 1,
         "device_lost" => 2,
         "node_lost" => 3,
         "relineage" => 4,
+        "node_join" => 5,
+        "node_drain" => 6,
         _ => 99,
     }
 }

@@ -244,6 +244,18 @@ impl Scheduler {
         self.active[resource.0]
     }
 
+    /// Bring `resource` (back) into service — elastic membership's dual
+    /// of [`deactivate`](Scheduler::deactivate): placement, hand-out,
+    /// stealing and affinity scoring include it again from now on, with
+    /// the same deterministic index-order tie-breaks as a resource that
+    /// was registered from the start (its id never changed, only its
+    /// service bit). Any forbidden device kind is cleared: a joining
+    /// node arrives whole, devices and all. Idempotent.
+    pub fn adopt(&mut self, resource: ResourceId) {
+        self.active[resource.0] = true;
+        self.forbidden[resource.0] = None;
+    }
+
     /// Stop routing `device`-kind tasks to `resource` while keeping it
     /// in service for everything else: the master calls this on a node
     /// proxy when the node reports its last GPU down, so CUDA work no
@@ -644,6 +656,50 @@ mod tests {
         assert_eq!(s.next(g), None, "SMP successor must not be hinted to a GPU");
         let w = s.register(smp(0));
         assert_eq!(s.next(w), Some(TaskId(5)));
+    }
+
+    #[test]
+    fn adopt_brings_a_resource_into_service() {
+        // A joining node's proxy is registered at construction but held
+        // out of service; adopt() makes it a full scheduling citizen.
+        let mut s = Scheduler::new(Policy::BreadthFirst);
+        let w = s.register(smp(0));
+        s.deactivate(w);
+        s.submit(&desc(0, Device::Smp, &[]), &NoLocality);
+        assert_eq!(s.next(w), None, "out-of-service resources are never handed work");
+        s.adopt(w);
+        assert!(s.is_active(w));
+        assert_eq!(s.next(w), Some(TaskId(0)));
+        // Idempotent: adopting an active resource changes nothing.
+        s.adopt(w);
+        assert_eq!(s.next(w), None);
+    }
+
+    #[test]
+    fn adopt_clears_forbidden_kinds_and_restores_affinity_tie_breaks() {
+        // An adopted resource scores affinity exactly like one that was
+        // never away: same index-order iteration, so a genuine tie
+        // still goes to the global queue rather than favouring either
+        // contender.
+        let mut s = Scheduler::new(Policy::Affinity);
+        let g0 = s.register(gpu(10));
+        let g1 = s.register(gpu(11));
+        s.forbid(g1, Device::Cuda);
+        s.deactivate(g1);
+        s.adopt(g1);
+        let oracle = MapOracle(HashMap::from([((7, 10), 4096), ((7, 11), 4096)]));
+        s.submit(&desc(0, Device::Cuda, &[(7, 0, 4096)]), &oracle);
+        // Tie between g0 and g1: global queue, demand-driven pickup —
+        // and the adopted g1 may serve CUDA again (forbid was cleared).
+        assert_eq!(s.next(g1), Some(TaskId(0)));
+        assert_eq!(s.stats().global_hits, 1);
+        // With g1 holding strictly more bytes, placement picks it over
+        // the never-deactivated g0, proving the tie-break order healed.
+        let oracle = MapOracle(HashMap::from([((8, 10), 100), ((8, 11), 4096)]));
+        s.submit(&desc(1, Device::Cuda, &[(8, 0, 4096)]), &oracle);
+        assert_eq!(s.next(g1), Some(TaskId(1)));
+        assert_eq!(s.stats().local_hits, 1);
+        let _ = g0;
     }
 
     #[test]

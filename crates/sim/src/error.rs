@@ -106,6 +106,15 @@ pub enum RunError {
         /// What the kernel caught, with event/epoch details.
         what: String,
     },
+    /// The run was rejected before the machine was built: the
+    /// configuration is self-contradictory (e.g. a heartbeat period no
+    /// shorter than the lease window, so no node could ever renew its
+    /// lease between probes). Structured so callers can distinguish "fix
+    /// your config" from runtime failures without parsing a message.
+    InvalidConfig {
+        /// What is wrong with the configuration, and why.
+        what: String,
+    },
 }
 
 impl RunError {
@@ -128,7 +137,8 @@ impl RunError {
             RunError::Exhausted { .. } | RunError::QueueOverflow { .. } => true,
             RunError::Deadlock { .. }
             | RunError::ProcessPanic(_, _)
-            | RunError::InvariantViolation { .. } => false,
+            | RunError::InvariantViolation { .. }
+            | RunError::InvalidConfig { .. } => false,
         }
     }
 
@@ -149,6 +159,7 @@ impl RunError {
             RunError::Exhausted { what, .. } => what.push_str(&tag),
             RunError::QueueOverflow { queue, .. } => queue.push_str(&tag),
             RunError::InvariantViolation { what } => what.push_str(&tag),
+            RunError::InvalidConfig { what } => what.push_str(&tag),
         }
         self
     }
@@ -173,6 +184,9 @@ impl fmt::Display for RunError {
             RunError::InvariantViolation { what } => {
                 write!(f, "executor invariant violated: {what}")
             }
+            RunError::InvalidConfig { what } => {
+                write!(f, "invalid configuration: {what}")
+            }
         }
     }
 }
@@ -193,6 +207,7 @@ mod tests {
             RunError::Exhausted { what: "x".into(), attempts: 3 },
             RunError::QueueOverflow { queue: "q".into(), capacity: 8 },
             RunError::InvariantViolation { what: "stale dispatch".into() },
+            RunError::InvalidConfig { what: "period >= window".into() },
         ];
         for e in errs {
             let tagged = e.with_fault_context(42, 0.05);
@@ -212,6 +227,7 @@ mod tests {
             RunError::Deadlock { blocked: vec![] },
             RunError::ProcessPanic("p".into(), "boom".into()),
             RunError::InvariantViolation { what: "stale".into() },
+            RunError::InvalidConfig { what: "period >= window".into() },
         ];
         for e in retryable {
             assert!(e.is_retryable(), "{e}");
